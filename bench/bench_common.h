@@ -1,0 +1,57 @@
+// Shared helpers for the benchmark harnesses.
+//
+// Every bench binary prints paper-shaped tables to stdout and finishes in
+// tens of seconds by default. Environment knobs:
+//   PC_FULL=1      run at full paper scale (longer contexts, more samples)
+//   PC_SCALE=x     override the context-scale factor for measured runs
+//   PC_SAMPLES=n   override the per-dataset sample count
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "eval/table.h"
+#include "eval/workload.h"
+
+namespace pc::bench {
+
+inline bool full_mode() {
+  const char* v = std::getenv("PC_FULL");
+  return v != nullptr && std::string(v) != "0";
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+// Default context scale for measured (this-host) runs: PC_FULL uses the
+// paper's LongBench-average ~5K contexts, the quick default shrinks them.
+inline double context_scale() {
+  return env_double("PC_SCALE", full_mode() ? 1.0 : 0.3);
+}
+
+inline int samples_per_dataset(int quick_default, int full_default) {
+  return env_int("PC_SAMPLES", full_mode() ? full_default : quick_default);
+}
+
+// Figures subsample 8 datasets like the paper's body; PC_FULL runs the
+// whole 21-dataset LongBench suite (the paper's appendix).
+inline const std::vector<DatasetSpec>& figure_datasets() {
+  return full_mode() ? DatasetSpec::longbench21() : DatasetSpec::longbench8();
+}
+
+inline void print_banner(const std::string& what, const std::string& note) {
+  std::cout << "\n############################################################\n"
+            << "# " << what << "\n";
+  if (!note.empty()) std::cout << "# " << note << "\n";
+  std::cout << "############################################################\n";
+}
+
+}  // namespace pc::bench

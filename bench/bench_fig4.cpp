@@ -1,0 +1,102 @@
+// Reproduces Figure 4: CPU TTFT for eight LongBench datasets across two
+// CPUs.
+//
+// Two complementary parts:
+//   (1) MEASURED — the real engine (llama-tiny architecture) runs every
+//       dataset on this host: module encoding offline, then cached serve
+//       vs. full-prefill baseline, wall-clock. This is a genuine
+//       end-to-end Prompt Cache measurement, just at laptop scale
+//       (PC_FULL=1 for paper-scale ~5K-token contexts).
+//   (2) MODELED — the analytic DeviceModel at Llama-7B scale for the two
+//       paper testbeds (Intel i9-13900K/DDR5, AMD Ryzen 9 7950X/DDR4).
+// Expected shape (paper §5.2.2): tens-of-x speedups, Intel > AMD, and the
+// dataset with the largest uncached fraction (TriviaQA) benefits least.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/engine.h"
+#include "eval/workload.h"
+#include "sys/device_model.h"
+
+int main() {
+  using namespace pc;
+  const double scale = bench::context_scale();
+
+  bench::print_banner("Figure 4 — CPU TTFT across LongBench datasets",
+                      "part 1 measured on this host (scale " +
+                          TablePrinter::fmt(scale, 2) +
+                          "x of ~5K tokens; PC_FULL=1 for full scale)");
+
+  // Part 1: measured.
+  {
+    const ModelConfig config =
+        ModelConfig::llama_tiny(Vocab::basic_english().size(), 16384);
+    const Model model = Model::random(config, 1234);
+    const Tokenizer tokenizer(Vocab::basic_english());
+    LatencyWorkload workload(23);
+
+    TablePrinter table("measured on this host, llama-tiny engine");
+    table.set_header({"dataset", "tokens", "uncached", "baseline TTFT",
+                      "cached TTFT", "retrieve", "speedup"});
+    for (const DatasetSpec& ds : bench::figure_datasets()) {
+      const LatencySample sample = workload.make_sample(ds, 0, scale);
+      PromptCacheEngine engine(model, tokenizer);
+      engine.load_schema(sample.schema_pml);  // offline encoding
+
+      GenerateOptions opts;
+      opts.max_new_tokens = 1;
+      const ServeResult cached = engine.serve(sample.prompt_pml, opts);
+      const ServeResult baseline =
+          engine.serve_baseline(sample.prompt_pml, opts);
+
+      table.add_row({ds.name, std::to_string(baseline.prompt_tokens),
+                     std::to_string(cached.ttft.uncached_tokens),
+                     TablePrinter::fmt_ms(baseline.ttft.total_ms()),
+                     TablePrinter::fmt_ms(cached.ttft.total_ms()),
+                     TablePrinter::fmt_ms(cached.ttft.retrieve_ms),
+                     TablePrinter::fmt_times(baseline.ttft.total_ms() /
+                                             cached.ttft.total_ms())});
+    }
+    table.print(std::cout);
+  }
+
+  // Part 2: modeled at paper scale.
+  {
+    const ModelSpec& spec = find_spec("Llama 7B");
+    LatencyWorkload workload(23);
+    const ChatTemplate tmpl(TemplateStyle::kLlama2);
+    for (const HardwareProfile* cpu :
+         {&HardwareProfile::intel_i9_13900k(),
+          &HardwareProfile::amd_ryzen9_7950x()}) {
+      TablePrinter table("modeled, Llama 7B on " + cpu->name);
+      table.set_header(
+          {"dataset", "tokens", "baseline", "cached", "speedup"});
+      for (const DatasetSpec& ds : bench::figure_datasets()) {
+        const LatencySample sample = workload.make_sample(ds, 0, 1.0);
+        const pml::Schema schema = pml::Schema::parse(
+            sample.schema_pml, workload.tokenizer(), tmpl);
+        const pml::PromptBinding binding =
+            pml::bind_prompt(schema, pml::parse_prompt(sample.prompt_pml),
+                             workload.tokenizer());
+        const int cached = binding.cached_token_count();
+        const int uncached = binding.uncached_token_count();
+        const double base =
+            estimate_baseline_ttft(*cpu, spec, cached + uncached).total();
+        const double fast =
+            estimate_cached_ttft(*cpu, spec, cached, uncached,
+                                 ModuleLocation::kHostMemory)
+                .total();
+        table.add_row({ds.name, std::to_string(cached + uncached),
+                       TablePrinter::fmt_ms(base * 1e3),
+                       TablePrinter::fmt_ms(fast * 1e3),
+                       TablePrinter::fmt_times(base / fast)});
+      }
+      table.print(std::cout);
+    }
+  }
+
+  std::cout << "\nPaper reference (Fig. 4): up to 70x on the Intel/DDR5 "
+               "testbed, up to 20x on the AMD/DDR4 testbed; TriviaQA "
+               "(largest uncached share) benefits least.\n";
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Reproduces the §5.4 "effect of model size" and "end-to-end latency"
+// analyses:
+//   * growing the model (7B -> 13B at 3K tokens) adds far more latency to
+//     the KV-Cache baseline (+220 ms in the paper) than to Prompt Cache
+//     (+30 ms), because prefill FLOPs scale with d^2 while the module copy
+//     scales with d;
+//   * TTFT improves ~10x while the per-token decode latency (TTST) is
+//     identical for both systems, so the end-to-end gain diminishes with
+//     generation length.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/engine.h"
+#include "eval/workload.h"
+#include "sys/device_model.h"
+
+int main() {
+  using namespace pc;
+  bench::print_banner("§5.4 — effect of model size and end-to-end latency",
+                      "");
+
+  // Modeled: 7B vs 13B at 3K tokens on the RTX 4090 (paper's setup).
+  {
+    const auto& hw = HardwareProfile::rtx4090();
+    TablePrinter table("modeled on " + hw.name + ", 3K-token prompt");
+    table.set_header({"model", "KV Cache TTFT", "Prompt Cache TTFT",
+                      "baseline delta", "cached delta"});
+    double prev_base = 0, prev_cached = 0;
+    for (const char* name : {"Llama 7B", "Llama 13B"}) {
+      const ModelSpec& spec = find_spec(name);
+      const double base = estimate_baseline_ttft(hw, spec, 3000).total();
+      const double cached =
+          estimate_cached_ttft(hw, spec, 2950, 50,
+                               ModuleLocation::kDeviceMemory)
+              .total();
+      table.add_row(
+          {name, TablePrinter::fmt_ms(base * 1e3),
+           TablePrinter::fmt_ms(cached * 1e3),
+           prev_base == 0 ? "-"
+                          : "+" + TablePrinter::fmt_ms((base - prev_base) * 1e3),
+           prev_cached == 0
+               ? "-"
+               : "+" + TablePrinter::fmt_ms((cached - prev_cached) * 1e3)});
+      prev_base = base;
+      prev_cached = cached;
+    }
+    table.print(std::cout);
+    std::cout << "Paper: 7B -> 13B added ~220 ms to KV Cache but ~30 ms to "
+                 "Prompt Cache at 3K tokens.\n";
+  }
+
+  // Measured: two engine sizes on this host show the same asymmetry.
+  {
+    const Tokenizer tokenizer(Vocab::basic_english());
+    LatencyWorkload workload(47);
+    const int tokens =
+        static_cast<int>(2048 * bench::context_scale() / 0.3 * 0.3);
+
+    TablePrinter table("measured on this host, " + std::to_string(tokens) +
+                       "-token fully cached prompt");
+    table.set_header({"engine", "d_model", "KV Cache TTFT",
+                      "Prompt Cache TTFT", "speedup"});
+    for (int width : {128, 256}) {
+      ModelConfig config =
+          ModelConfig::llama_tiny(Vocab::basic_english().size(), 16384);
+      config.d_model = width;
+      config.n_heads = 4;
+      config.n_kv_heads = 2;
+      config.d_head = width / config.n_heads;
+      config.d_ff = width * 8 / 3;
+      config.name = "llama-tiny-d" + std::to_string(width);
+      const Model model = Model::random(config, 7);
+
+      const LatencySample sample = workload.make_sweep_sample(
+          tokens, 4, "msz-" + std::to_string(width));
+      PromptCacheEngine engine(model, tokenizer);
+      engine.load_schema(sample.schema_pml);
+      GenerateOptions opts;
+      opts.max_new_tokens = 1;
+      const ServeResult cached = engine.serve(sample.prompt_pml, opts);
+      const ServeResult baseline =
+          engine.serve_baseline(sample.prompt_pml, opts);
+      table.add_row({config.name, std::to_string(width),
+                     TablePrinter::fmt_ms(baseline.ttft.total_ms()),
+                     TablePrinter::fmt_ms(cached.ttft.total_ms()),
+                     TablePrinter::fmt_times(baseline.ttft.total_ms() /
+                                             cached.ttft.total_ms())});
+    }
+    table.print(std::cout);
+  }
+
+  // End-to-end: TTFT + n * TTST for both systems (decode cost identical).
+  {
+    const auto& hw = HardwareProfile::rtx4090();
+    const ModelSpec& spec = find_spec("Llama 7B");
+    const double base_ttft =
+        estimate_baseline_ttft(hw, spec, 3000).total();
+    const double cached_ttft =
+        estimate_cached_ttft(hw, spec, 2950, 50,
+                             ModuleLocation::kDeviceMemory)
+            .total();
+    const double ttst = estimate_decode_step_s(hw, spec, 3000);
+
+    TablePrinter table("modeled end-to-end response latency, 3K context (" +
+                       hw.name + ")");
+    table.set_header({"generated tokens", "KV Cache", "Prompt Cache",
+                      "speedup"});
+    for (int n : {1, 16, 64, 256}) {
+      const double base = base_ttft + n * ttst;
+      const double cached = cached_ttft + n * ttst;
+      table.add_row({std::to_string(n), TablePrinter::fmt_ms(base * 1e3),
+                     TablePrinter::fmt_ms(cached * 1e3),
+                     TablePrinter::fmt_times(base / cached)});
+    }
+    table.print(std::cout);
+    std::cout << "Paper: TTFT 900 ms -> 90 ms on RTX 4090 at 3K context; "
+                 "TTST stays ~32 ms/token for both, so the end-to-end gain "
+                 "shrinks as more tokens are generated.\n";
+  }
+  return 0;
+}

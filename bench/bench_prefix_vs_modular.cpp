@@ -1,0 +1,139 @@
+// Prompt Cache vs prefix caching (§2.2): "Paged attention also demonstrates
+// simple prefix sharing ... However, existing approaches are specific to
+// certain scenarios, while we investigate attention reuse for general LLM
+// prompts."
+//
+// This benchmark quantifies that claim on the real engine. A request stream
+// assembles prompts from a shared document pool under two regimes:
+//   * FIXED ORDER  — every request uses the same documents in the same
+//     order (the scenario prefix caching is built for);
+//   * SHUFFLED     — each request samples a subset in random order (the
+//     general document-reuse scenario of the paper's introduction).
+// We report the fraction of prompt tokens restored from cache and measured
+// TTFT for (a) vLLM-style longest-prefix reuse and (b) Prompt Cache's
+// modular reuse. Prefix caching matches Prompt Cache only in the fixed
+// regime; under shuffling its reuse collapses while Prompt Cache is
+// unaffected — order-independence is exactly what the schema's position
+// layout buys.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/engine.h"
+#include "core/prefix_cache.h"
+#include "pml/prompt_builder.h"
+
+namespace {
+
+using namespace pc;
+
+struct RegimeResult {
+  double prefix_reuse = 0, prefix_ttft_ms = 0;
+  double modular_reuse = 0, modular_ttft_ms = 0;
+  int requests = 0;
+};
+
+}  // namespace
+
+int main() {
+  const double scale = bench::context_scale();
+  const int kDocs = 6;
+  const int kPerRequest = 3;
+  const int kRequests = 10;
+  const int doc_tokens = std::max(24, static_cast<int>(500 * scale));
+
+  bench::print_banner(
+      "Prompt Cache vs prefix caching (vLLM-style), measured",
+      std::to_string(kDocs) + " docs x " + std::to_string(doc_tokens) +
+          " tokens; " + std::to_string(kRequests) + " requests of " +
+          std::to_string(kPerRequest) + " docs each");
+
+  const Tokenizer tokenizer(Vocab::basic_english());
+  const Model model = Model::random(
+      ModelConfig::llama_tiny(Vocab::basic_english().size(), 16384), 3);
+  LatencyWorkload words(77);
+
+  // Shared document pool, published once as a schema for the modular side.
+  std::vector<std::string> docs;
+  std::string schema = "<schema name=\"pool\">\n";
+  {
+    DatasetSpec spec;
+    spec.latency_n_docs = 1;
+    spec.latency_doc_tokens = doc_tokens;
+    spec.latency_question_tokens = 8;
+    spec.name = "pool";
+    for (int d = 0; d < kDocs; ++d) {
+      const LatencySample s = words.make_sample(spec, d, 1.0);
+      // Extract the doc body back out of the generated schema.
+      const size_t b = s.schema_pml.find('>') + 1;
+      const size_t mb = s.schema_pml.find("\">", b) + 2;
+      const size_t me = s.schema_pml.find("</module>");
+      docs.push_back(s.schema_pml.substr(mb, me - mb));
+      schema += "  <module name=\"doc" + std::to_string(d) + "\">" +
+                docs.back() + "</module>\n";
+    }
+    schema += "</schema>\n";
+  }
+
+  Rng rng(11);
+  auto run_regime = [&](bool shuffled) {
+    RegimeResult out;
+    out.requests = kRequests;
+    PrefixCacheEngine prefix_engine(model, tokenizer);
+    PromptCacheEngine modular_engine(model, tokenizer);
+    modular_engine.load_schema(schema);  // offline module encoding
+
+    GenerateOptions opts;
+    opts.max_new_tokens = 1;
+    for (int r = 0; r < kRequests; ++r) {
+      std::vector<int> pick(kDocs);
+      for (int i = 0; i < kDocs; ++i) pick[static_cast<size_t>(i)] = i;
+      if (shuffled) rng.shuffle(pick);
+      pick.resize(kPerRequest);
+      const std::string question =
+          "question " + std::to_string(r) + " what should we see ?";
+
+      // Prefix side: one flat token stream.
+      std::string flat;
+      for (int d : pick) flat += docs[static_cast<size_t>(d)] + " ";
+      flat += question;
+      const auto pr = prefix_engine.serve(tokenizer.encode(flat), opts);
+      out.prefix_reuse += static_cast<double>(pr.reused_tokens) /
+                          (pr.reused_tokens + pr.computed_tokens);
+      out.prefix_ttft_ms += pr.ttft_ms;
+
+      // Modular side: the same docs as module imports.
+      pml::PromptBuilder prompt("pool");
+      for (int d : pick) prompt.import("doc" + std::to_string(d));
+      prompt.text(question);
+      const ServeResult mr = modular_engine.serve(prompt.str(), opts);
+      out.modular_reuse +=
+          static_cast<double>(mr.ttft.cached_tokens) / mr.prompt_tokens;
+      out.modular_ttft_ms += mr.ttft.total_ms();
+    }
+    out.prefix_reuse /= kRequests;
+    out.prefix_ttft_ms /= kRequests;
+    out.modular_reuse /= kRequests;
+    out.modular_ttft_ms /= kRequests;
+    return out;
+  };
+
+  TablePrinter table;
+  table.set_header({"regime", "system", "tokens reused", "mean TTFT"});
+  for (bool shuffled : {false, true}) {
+    const RegimeResult r = run_regime(shuffled);
+    const char* regime = shuffled ? "shuffled subsets" : "fixed order";
+    table.add_row({regime, "prefix cache",
+                   TablePrinter::fmt(100.0 * r.prefix_reuse, 1) + " %",
+                   TablePrinter::fmt_ms(r.prefix_ttft_ms)});
+    table.add_row({regime, "Prompt Cache",
+                   TablePrinter::fmt(100.0 * r.modular_reuse, 1) + " %",
+                   TablePrinter::fmt_ms(r.modular_ttft_ms)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: with a fixed document order both systems reuse "
+               "nearly everything; once requests pick documents in varying "
+               "order, prefix reuse collapses to the (rare) shared literal "
+               "prefix while Prompt Cache's modular reuse is unchanged.\n";
+  return 0;
+}

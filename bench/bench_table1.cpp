@@ -1,0 +1,106 @@
+// Reproduces Table 1: output accuracy with and without Prompt Cache across
+// four models and eight LongBench-like datasets.
+//
+// Models are induction-head surrogates (see DESIGN.md): weights are
+// constructed so the model retrieves planted answers from its context,
+// making F1 / Rouge-L / accuracy meaningful without pretrained weights.
+// The four "models" differ in attention sharpness and evaluation seed,
+// standing in for the four LLMs of the paper. Absolute scores are higher
+// than the paper's (synthetic tasks are cleanly retrievable); the
+// reproduction target is the *relationship*: cached is at parity with the
+// baseline everywhere except passage retrieval, whose boundary-straddling
+// facts degrade under module-masked encoding exactly as §3.3 predicts.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/engine.h"
+#include "eval/metrics.h"
+#include "eval/workload.h"
+#include "model/induction.h"
+
+namespace {
+
+struct ModelVariant {
+  const char* name;
+  float beta1;
+  float beta2;
+  uint64_t workload_seed;
+};
+
+double score(pc::TaskMetric metric, const std::string& prediction,
+             const std::string& reference) {
+  switch (metric) {
+    case pc::TaskMetric::kF1:
+      return 100.0 * pc::f1_score(prediction, reference);
+    case pc::TaskMetric::kRougeL:
+      return 100.0 * pc::rouge_l(prediction, reference);
+    case pc::TaskMetric::kAccuracy:
+      return 100.0 * pc::exact_match(prediction, reference);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pc;
+  const int n_samples = bench::samples_per_dataset(2, 6);
+
+  bench::print_banner(
+      "Table 1 — accuracy with and without Prompt Cache",
+      "induction-head surrogate models; " + std::to_string(n_samples) +
+          " samples per dataset (PC_SAMPLES to change)");
+
+  const ModelVariant variants[] = {
+      {"llama2-7b-sim", 24.0f, 24.0f, 101},
+      {"llama2-13b-sim", 28.0f, 28.0f, 202},
+      {"mpt-7b-sim", 18.0f, 14.0f, 303},
+      {"falcon-7b-sim", 16.0f, 12.0f, 404},
+  };
+
+  TablePrinter table;
+  std::vector<std::string> header = {"Dataset", "Metric"};
+  for (const auto& v : variants) {
+    header.push_back(std::string(v.name) + " base");
+    header.push_back(std::string(v.name) + " cached");
+  }
+  table.set_header(header);
+
+  for (const DatasetSpec& ds : bench::figure_datasets()) {
+    std::vector<std::string> row = {ds.name, ds.metric_name()};
+    for (const auto& variant : variants) {
+      AccuracyWorkload workload(variant.workload_seed);
+      Model model = make_induction_model(
+          {workload.vocab().size(),
+           AccuracyWorkload::kMaxSchemaPositions + 64, variant.beta1,
+           variant.beta2});
+
+      GenerateOptions opts;
+      opts.max_new_tokens = ds.answer_len + 3;
+      opts.stop_tokens = {workload.stop_token()};
+
+      double base_total = 0, cached_total = 0;
+      for (int i = 0; i < n_samples; ++i) {
+        const AccuracySample sample = workload.make_sample(ds, i);
+        PromptCacheEngine engine(model, workload.tokenizer());
+        engine.load_schema(sample.schema_pml);
+        const ServeResult cached = engine.serve(sample.prompt_pml, opts);
+        const ServeResult baseline =
+            engine.serve_baseline(sample.prompt_pml, opts);
+        base_total += score(ds.metric, baseline.text, sample.reference);
+        cached_total += score(ds.metric, cached.text, sample.reference);
+      }
+      row.push_back(TablePrinter::fmt(base_total / n_samples, 1));
+      row.push_back(TablePrinter::fmt(cached_total / n_samples, 1));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper reference (Table 1): cached accuracy is comparable "
+               "to the baseline on all QA/summarization datasets; passage "
+               "retrieval is the outlier (e.g. Llama2 7B: 7.50 baseline vs "
+               "4.25 cached) because its queried facts span module "
+               "boundaries.\n";
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Reproduces the §5.6 use cases (Figures 6, 7, 8): code generation with
+// source files as modules, union-based personalization, and parameterized
+// prompts. For each, we measure TTFT for cached vs baseline serving on the
+// real engine and report the generated-output agreement between the two
+// paths (the paper reports identical/negligibly different outputs).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/engine.h"
+#include "eval/workload.h"
+#include "pml/prompt_builder.h"
+#include "pml/prompt_program.h"
+
+namespace {
+
+using namespace pc;
+
+// Synthetic "source file" text of roughly n tokens from the basic vocab.
+std::string code_like_text(const std::string& name, int n_tokens, Rng& rng) {
+  const std::vector<std::string> words = {
+      "class",  "function", "state",  "value", "name",   "set",  "get",
+      "update", "move",     "play",   "start", "end",    "call", "use",
+      "number", "list",     "map",    "unit",  "player", "game", "point",
+      "line",   "turn",     "change", "find",  "make"};
+  std::string out = "class " + name + " { ";
+  for (int i = 0; i < n_tokens - 8; ++i) {
+    out += rng.pick(words);
+    out += (i % 9 == 8) ? " ; " : " ";
+  }
+  return out + " } ";
+}
+
+struct RunResult {
+  double base_ttft;
+  double cached_ttft;
+  double agreement;
+  int tokens;
+};
+
+RunResult run_case(PromptCacheEngine& engine, const std::string& prompt,
+                   int max_new = 12) {
+  GenerateOptions opts;
+  opts.max_new_tokens = max_new;
+  opts.stop_tokens.clear();
+  const ServeResult cached = engine.serve(prompt, opts);
+  const ServeResult baseline = engine.serve_baseline(prompt, opts);
+  size_t agree = 0;
+  const size_t n = std::min(cached.tokens.size(), baseline.tokens.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (cached.tokens[i] == baseline.tokens[i]) ++agree;
+  }
+  return {baseline.ttft.total_ms(), cached.ttft.total_ms(),
+          n == 0 ? 1.0 : static_cast<double>(agree) / n,
+          baseline.prompt_tokens};
+}
+
+void add_row(TablePrinter& t, const std::string& name, const RunResult& r) {
+  t.add_row({name, std::to_string(r.tokens),
+             TablePrinter::fmt_ms(r.base_ttft),
+             TablePrinter::fmt_ms(r.cached_ttft),
+             TablePrinter::fmt_times(r.base_ttft / r.cached_ttft),
+             TablePrinter::fmt(100.0 * r.agreement, 1) + " %"});
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::context_scale();
+  const int file_tokens = static_cast<int>(1500 * scale);
+  bench::print_banner(
+      "§5.6 use cases — code generation (Fig. 6), personalization (Fig. 7), "
+      "parameterized prompts (Fig. 8)",
+      "measured on this host, llama-tiny engine");
+
+  const Tokenizer tokenizer(Vocab::basic_english());
+  const Model model = Model::random(
+      ModelConfig::llama_tiny(Vocab::basic_english().size(), 16384), 55);
+  Rng rng(2024);
+
+  TablePrinter table;
+  table.set_header({"use case", "prompt tokens", "baseline TTFT",
+                    "cached TTFT", "speedup", "output agreement"});
+
+  // ---- Figure 6: code generation, one module per source file ----
+  {
+    std::string schema = "<schema name=\"codegen\">\n";
+    for (const char* cls : {"unit", "map", "game", "player"}) {
+      schema += "  <module name=\"" + std::string(cls) + "\">" +
+                pml::escape_text(code_like_text(cls, file_tokens, rng)) +
+                "</module>\n";
+    }
+    schema += "</schema>\n";
+
+    PromptCacheEngine engine(model, tokenizer);
+    engine.load_schema(schema);
+    pml::PromptBuilder prompt("codegen");
+    prompt.import("unit").import("map").import("player");
+    prompt.text("write a function to move the player on the map");
+    add_row(table, "code generation (3 of 4 files)",
+            run_case(engine, prompt.str()));
+  }
+
+  // ---- Figure 7: personalization, six trait categories in unions ----
+  {
+    const char* categories[] = {"grade",  "proficiency", "history",
+                                "style",  "assessment",  "goal"};
+    std::string schema = "<schema name=\"personal\">\n";
+    schema += "  you recommend learning material for a student\n";
+    for (const char* cat : categories) {
+      schema += "  <union>\n";
+      for (int t = 0; t < 5; ++t) {
+        const std::string name =
+            std::string(cat) + "-" + std::to_string(t);
+        schema += "    <module name=\"" + name + "\">the student " +
+                  std::string(cat) + " level is " + std::to_string(t) +
+                  " " + code_like_text(name, file_tokens / 5, rng) +
+                  "</module>\n";
+      }
+      schema += "  </union>\n";
+    }
+    schema += "</schema>\n";
+
+    PromptCacheEngine engine(model, tokenizer);
+    engine.load_schema(schema);
+    pml::PromptBuilder prompt("personal");
+    int pick = 0;
+    for (const char* cat : categories) {
+      prompt.import(std::string(cat) + "-" + std::to_string(pick++ % 5));
+    }
+    prompt.text("suggest the next thing to study");
+    add_row(table, "personalization (6 unions x 5 traits)",
+            run_case(engine, prompt.str()));
+  }
+
+  // ---- Figure 8: parameterized travel planner via the prompt-program DSL ----
+  {
+    pml::PromptProgram prog("travel");
+    prog.text("you are a travel planner");
+    prog.if_block("trip-plan", [&](pml::BlockBuilder& b) {
+      b.text("plan a trip of");
+      b.param("duration", 4);
+      b.text("days to the place below");
+      b.choose({{"miami", "miami : " + code_like_text("miami",
+                                                      file_tokens / 2, rng)},
+                {"maui", "maui : " + code_like_text("maui",
+                                                    file_tokens / 2, rng)}});
+    });
+
+    PromptCacheEngine engine(model, tokenizer);
+    engine.load_schema(prog.compile());
+    pml::PromptBuilder prompt("travel");
+    pml::ImportBuilder plan("trip-plan");
+    plan.arg("duration", "3 days");
+    plan.import(pml::ImportBuilder("maui"));
+    prompt.import(plan);
+    prompt.text("highlight the surf spots");
+    add_row(table, "parameterized trip plan (param + union)",
+            run_case(engine, prompt.str()));
+  }
+
+  table.print(std::cout);
+  std::cout << "\nPaper reference (§5.6): ~4x TTFT improvement for "
+               "multi-file code generation with identical output; similar "
+               "latency benefits with negligible quality change for "
+               "personalization and parameterized prompts.\n"
+               "Note on agreement: with random-weight models greedy "
+               "decoding is chaotic — one flipped token diverges the rest — "
+               "so agreement is a harsh lower bound here. Semantic accuracy "
+               "preservation is evaluated rigorously in bench_table1.\n";
+  return 0;
+}

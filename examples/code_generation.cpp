@@ -1,0 +1,89 @@
+// Code generation with source files as prompt modules (paper §5.6.1,
+// Figure 6): each class of a small game project is one module; the user
+// "imports" exactly the files a request needs, and the attention states of
+// every file are computed once no matter how many requests follow.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/engine.h"
+#include "pml/prompt_builder.h"
+#include "pml/xml.h"
+
+namespace {
+
+// A toy "source file" written with in-vocabulary words so it tokenizes
+// compactly (token *values* don't matter for latency, structure does).
+std::string source_file(const std::string& name, int repeats) {
+  std::string body = "class " + name + " { ";
+  for (int i = 0; i < repeats; ++i) {
+    body +=
+        "function update ( state ) { set value ; move point ; } "
+        "function get ( name ) { find value ; } ";
+  }
+  return body + "}";
+}
+
+}  // namespace
+
+int main() {
+  using namespace pc;
+
+  const Tokenizer tokenizer(Vocab::basic_english());
+  const Model model = Model::random(
+      ModelConfig::llama_tiny(Vocab::basic_english().size(), 16384), 7);
+  PromptCacheEngine engine(model, tokenizer);
+
+  // The project: four files, one module each.
+  std::string schema = "<schema name=\"project\">\n";
+  schema += "you help write game code . the project files follow .\n";
+  for (const char* file : {"unit", "map", "game", "player"}) {
+    schema += "<module name=\"" + std::string(file) + "\">" +
+              pml::escape_text(source_file(file, 24)) + "</module>\n";
+  }
+  schema += "</schema>\n";
+  engine.load_schema(schema);
+
+  GenerateOptions options;
+  options.max_new_tokens = 16;
+
+  // Three requests touching different subsets of the project.
+  const std::vector<std::pair<std::string, std::vector<std::string>>>
+      requests = {
+          {"write a function to move the player", {"player", "map"}},
+          {"add a new unit to the game", {"unit", "game"}},
+          {"show the player on the map", {"player", "map", "game"}},
+      };
+
+  std::printf("%-44s %-22s %10s %10s %8s\n", "request", "imports",
+              "cached", "baseline", "speedup");
+  for (const auto& [request, files] : requests) {
+    pml::PromptBuilder prompt("project");
+    std::string import_list;
+    for (const auto& f : files) {
+      prompt.import(f);
+      import_list += f + " ";
+    }
+    prompt.text(request);
+
+    const ServeResult cached = engine.serve(prompt.str(), options);
+    const ServeResult baseline = engine.serve_baseline(prompt.str(), options);
+    std::printf("%-44s %-22s %8.1fms %8.1fms %7.1fx\n", request.c_str(),
+                import_list.c_str(), cached.ttft.total_ms(),
+                baseline.ttft.total_ms(),
+                baseline.ttft.total_ms() / cached.ttft.total_ms());
+  }
+
+  const auto& stats = engine.stats();
+  std::printf(
+      "\nmodules encoded once: %llu; serves: %llu; store holds %zu entries "
+      "(%s)\n",
+      static_cast<unsigned long long>(stats.modules_encoded),
+      static_cast<unsigned long long>(stats.serves), engine.store().size(),
+      format_bytes(static_cast<double>(
+                       engine.store().usage(ModuleLocation::kDeviceMemory)
+                           .used_bytes))
+          .c_str());
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Document question answering with checkable answers — the paper's
+// motivating long-context scenario (§1): a pool of documents is shared
+// across many questions, so each document becomes a prompt module whose
+// attention states are computed once.
+//
+// The model here is the hand-constructed induction-head transformer, which
+// genuinely retrieves planted facts from its context, so you can see that
+// Prompt Cache preserves answers — and watch the one case where it cannot
+// (a fact split across two modules), plus the scaffold that repairs it.
+#include <cstdio>
+
+#include "core/engine.h"
+#include "eval/workload.h"
+#include "model/induction.h"
+
+int main() {
+  using namespace pc;
+
+  // The workload owns a compact closed vocabulary ("q.." keys, "a.."
+  // values, "w.." filler); the induction model is sized to it.
+  AccuracyWorkload workload(2024);
+  const Model model = make_induction_model(
+      {workload.vocab().size(), AccuracyWorkload::kMaxSchemaPositions + 64});
+
+  GenerateOptions options;
+  options.max_new_tokens = 6;
+  options.stop_tokens = {workload.stop_token()};
+
+  // Three "documents", each with facts written as  key value value .
+  const char* schema = R"(
+    <schema name="library">
+      <module name="doc-geo">
+        w00 w01 q01 a10 a11 . w02 w03 q02 a12 a13 . w04
+      </module>
+      <module name="doc-med">
+        w05 w06 q03 a14 a15 . w07 q04 a16 a17 . w08
+      </module>
+      <module name="doc-law">
+        w09 w10 q05 a18 a19 . w11 w12
+      </module>
+    </schema>)";
+
+  PromptCacheEngine engine(model, workload.tokenizer());
+  engine.load_schema(schema);
+
+  // Many questions against the same cached documents.
+  const struct {
+    const char* key;
+    const char* expect;
+  } questions[] = {
+      {"q01", "a10 a11"}, {"q03", "a14 a15"}, {"q05", "a18 a19"},
+      {"q02", "a12 a13"},
+  };
+
+  std::printf("%-8s %-12s %-12s %-10s %-10s\n", "query", "cached", "baseline",
+              "ttft(ms)", "base(ms)");
+  for (const auto& q : questions) {
+    const std::string prompt =
+        std::string("<prompt schema=\"library\">"
+                    "<doc-geo/><doc-med/><doc-law/> question: ") +
+        q.key + "</prompt>";
+    const ServeResult cached = engine.serve(prompt, options);
+    const ServeResult baseline = engine.serve_baseline(prompt, options);
+    std::printf("%-8s %-12s %-12s %-10.2f %-10.2f   expected: %s\n", q.key,
+                cached.text.c_str(), baseline.text.c_str(),
+                cached.ttft.total_ms(), baseline.ttft.total_ms(), q.expect);
+  }
+
+  // A fact split across two modules: lost under caching, restored by a
+  // scaffold (§3.3) that encodes the two parts with a shared attention span.
+  const char* split_schema = R"(
+    <schema name="split">
+      <module name="part-a">w00 w01 w02 q09</module>
+      <module name="part-b">a20 a21 . w03 w04</module>
+    </schema>)";
+  const char* split_prompt =
+      R"(<prompt schema="split"><part-a/><part-b/> question: q09</prompt>)";
+
+  std::printf("\nfact split across modules (answer should be: a20 a21)\n");
+  {
+    PromptCacheEngine plain(model, workload.tokenizer());
+    plain.load_schema(split_schema);
+    std::printf("  baseline          : %s\n",
+                plain.serve_baseline(split_prompt, options).text.c_str());
+    std::printf("  cached, no scaffold: %s   <- previous-token link severed\n",
+                plain.serve(split_prompt, options).text.c_str());
+  }
+  {
+    PromptCacheEngine scaffolded(model, workload.tokenizer());
+    scaffolded.load_schema(split_schema);
+    scaffolded.add_scaffold("split", {"part-a", "part-b"});
+    std::printf("  cached, scaffolded : %s\n",
+                scaffolded.serve(split_prompt, options).text.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Retrieval-augmented generation on top of Prompt Cache (paper §6):
+// "Prompt Cache can directly accelerate in-context RAG methods, where the
+// information retrieval system basically serves as a database of prompt
+// modules."
+//
+// A BM25 index selects which document modules each question imports; the
+// documents' attention states were encoded once at startup, so every
+// request costs retrieval + a short uncached suffix instead of a full
+// prefill. The model is the induction-head transformer, so the planted
+// answers are actually retrieved and checkable.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "eval/retriever.h"
+#include "model/induction.h"
+#include "pml/prompt_builder.h"
+
+int main() {
+  using namespace pc;
+
+  // Document pool: topical words for the retriever, plus planted facts
+  // ("qNN aNN aNN .") for the model to copy out.
+  const struct Doc {
+    const char* name;
+    const char* text;
+  } docs[] = {
+      {"doc-beach",
+       "the beach city guide . surf and warm sea near the sand . "
+       "q01 a10 a11 . people visit the water at night"},
+      {"doc-mountain",
+       "the mountain island guide . a long walk with a high view . "
+       "q02 a12 a13 . start early and carry water"},
+      {"doc-market",
+       "the old market guide . food and paper and stone goods . "
+       "q03 a14 a15 . the best day is the first day"},
+      {"doc-museum",
+       "the city museum guide . old art and a famous book room . "
+       "q04 a16 a17 . open every day but the last"},
+  };
+
+  // A closed vocabulary covering the corpus (the induction model's width
+  // scales with vocab size, so we build exactly what we need).
+  std::vector<std::string> pieces = {
+      "question:", ".", "the",  "beach",  "city",   "guide", "surf",
+      "and",       "warm", "sea",   "near",   "sand",   "people", "visit",
+      "water",     "at",   "night", "mountain", "island", "long", "walk",
+      "with",      "a",    "high",  "view",   "start",  "early", "carry",
+      "old",       "market", "food", "paper", "stone",  "goods", "best",
+      "day",       "is",   "first", "museum", "art",    "famous", "book",
+      "room",      "open", "every", "but",    "last",   "about", "tell",
+      "me",        "what", "should", "we",    "see",
+  };
+  for (int i = 1; i <= 4; ++i) {
+    char q[8];
+    std::snprintf(q, sizeof(q), "q%02d", i);
+    pieces.emplace_back(q);
+  }
+  for (int i = 10; i <= 17; ++i) {
+    char a[8];
+    std::snprintf(a, sizeof(a), "a%02d", i);
+    pieces.emplace_back(a);
+  }
+  const Vocab vocab = Vocab::from_pieces(pieces, /*byte_fallback=*/false);
+  const Tokenizer tokenizer(vocab);
+  const Model model = make_induction_model({vocab.size(), 512});
+
+  // Index the pool and publish it as a schema: one module per document.
+  Bm25Index index;
+  std::string schema = "<schema name=\"rag\">\n";
+  for (const Doc& doc : docs) {
+    index.add_document(doc.name, doc.text);
+    schema += "  <module name=\"" + std::string(doc.name) + "\">" +
+              doc.text + "</module>\n";
+  }
+  schema += "</schema>\n";
+  index.finalize();
+
+  PromptCacheEngine engine(model, tokenizer);
+  engine.load_schema(schema);  // all documents encoded once, here
+  std::printf("indexed and encoded %d documents\n\n",
+              index.document_count());
+
+  GenerateOptions options;
+  options.max_new_tokens = 4;
+  options.stop_tokens = {*vocab.find_piece(".")};
+
+  const struct Query {
+    const char* text;    // natural-ish query for BM25
+    const char* key;     // the fact being asked about
+    const char* expect;
+  } queries[] = {
+      {"tell me about surf near the warm sea", "q01", "a10 a11"},
+      {"what about the long mountain walk", "q02", "a12 a13"},
+      {"food at the old market", "q03", "a14 a15"},
+      {"the famous museum art room", "q04", "a16 a17"},
+  };
+
+  std::printf("%-42s %-12s %-10s %-10s %s\n", "query", "retrieved", "answer",
+              "ttft", "");
+  for (const Query& q : queries) {
+    const auto hits = index.query(q.text, 2);
+    pml::PromptBuilder prompt("rag");
+    std::string retrieved;
+    for (const auto& hit : hits) {
+      prompt.import(index.document_name(hit.doc));
+      retrieved += index.document_name(hit.doc).substr(4) + " ";
+    }
+    prompt.text(std::string(q.text) + " question: " + q.key);
+
+    const ServeResult r = engine.serve(prompt.str(), options);
+    const bool ok = r.text == q.expect;
+    std::printf("%-42s %-12s %-10s %7.2fms %s\n", q.text, retrieved.c_str(),
+                r.text.c_str(), r.ttft.total_ms(),
+                ok ? "(correct)" : "(MISMATCH)");
+  }
+
+  std::printf("\ntelemetry: cached TTFT %s\n",
+              engine.cached_ttft_histogram().summary().c_str());
+  return 0;
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full reproduction driver: build, test, run every example and every
+# benchmark, capturing outputs. PC_FULL=1 scales the benchmarks to
+# paper-sized contexts and sample counts.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== configure + build"
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests"
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+echo "== examples"
+for e in build/examples/*; do
+  [ -f "$e" ] && [ -x "$e" ] || continue
+  echo "---- $e"
+  "$e"
+done
+
+echo "== benchmarks"
+: > bench_output.txt
+for b in build/bench/bench_*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "---- $b"
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo "== done: see test_output.txt and bench_output.txt"

@@ -1,0 +1,72 @@
+/* C API for embedding Prompt Cache from other languages.
+ *
+ * A deliberately small surface: create an engine over one of the built-in
+ * demo models, load schemas, serve prompts, read timing, persist modules.
+ * All functions are non-throwing; failures return NULL / negative values
+ * and the message is retrievable with pc_last_error(). Strings returned by
+ * the API are malloc'd and owned by the caller (free with pc_string_free).
+ *
+ * Thread-affinity follows the C++ engine: one pc_engine per thread.
+ */
+#ifndef PC_PROMPT_CACHE_C_H_
+#define PC_PROMPT_CACHE_C_H_
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct pc_engine pc_engine;
+
+typedef struct pc_serve_result {
+  char* text;           /* generated text (caller frees via pc_string_free) */
+  double ttft_ms;       /* retrieve + uncached compute */
+  double retrieve_ms;   /* module memcpy share */
+  int cached_tokens;    /* tokens restored from cache */
+  int uncached_tokens;  /* tokens computed at serve time */
+} pc_serve_result;
+
+/* Model families for the demo engine. */
+typedef enum pc_model_family {
+  PC_MODEL_LLAMA_TINY = 0,   /* RMSNorm + RoPE + SwiGLU, GQA */
+  PC_MODEL_MPT_TINY = 1,     /* LayerNorm + ALiBi */
+  PC_MODEL_FALCON_TINY = 2,  /* parallel block + RoPE, MQA */
+  PC_MODEL_GPT2_TINY = 3,    /* learned positions */
+} pc_model_family;
+
+/* Creates an engine over a random-weight model of the given family and the
+ * built-in English vocabulary. zero_copy enables borrow-based serving.
+ * Returns NULL on failure. */
+pc_engine* pc_engine_create(pc_model_family family, unsigned long long seed,
+                            int zero_copy);
+void pc_engine_destroy(pc_engine* engine);
+
+/* Loads (or replaces) a PML schema; its modules are encoded eagerly.
+ * Returns 0 on success, -1 on failure. */
+int pc_load_schema(pc_engine* engine, const char* schema_pml);
+
+/* Serves a PML prompt with greedy decoding of up to max_new_tokens.
+ * Returns 0 and fills *out on success, -1 on failure. */
+int pc_serve(pc_engine* engine, const char* prompt_pml, int max_new_tokens,
+             pc_serve_result* out);
+
+/* Same content as one contiguous prefill (the paper's baseline). */
+int pc_serve_baseline(pc_engine* engine, const char* prompt_pml,
+                      int max_new_tokens, pc_serve_result* out);
+
+/* Module persistence. Return the number of records, or -1 on failure. */
+long pc_save_modules(pc_engine* engine, const char* path);
+long pc_load_modules(pc_engine* engine, const char* path);
+
+/* Thread-local message for the most recent failure ("" if none). The
+ * returned pointer is valid until the next API call on this thread. */
+const char* pc_last_error(void);
+
+void pc_string_free(char* s);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* PC_PROMPT_CACHE_C_H_ */

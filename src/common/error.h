@@ -1,0 +1,83 @@
+// Error handling primitives for the Prompt Cache library.
+//
+// Following the C++ Core Guidelines (I.10, E.2) we signal failures that the
+// caller cannot locally prevent with exceptions. Programming-contract
+// violations (precondition breaks) use PC_CHECK, which throws
+// pc::ContractViolation carrying the failing expression and location so test
+// suites can assert on failure modes precisely.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pc {
+
+// Base class for all errors thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// A violated precondition / invariant inside the library (bug in caller or
+// in the library itself).
+class ContractViolation : public Error {
+ public:
+  explicit ContractViolation(const std::string& what) : Error(what) {}
+};
+
+// Malformed PML input (lexing, parsing, or schema/prompt validation).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+// A prompt referenced a schema / module / parameter that does not exist or
+// violated the schema contract (e.g. argument longer than parameter length).
+class SchemaError : public Error {
+ public:
+  explicit SchemaError(const std::string& what) : Error(what) {}
+};
+
+// Resource exhaustion in the module cache (e.g. module larger than the
+// configured tier capacity so it can never be admitted).
+class CacheError : public Error {
+ public:
+  explicit CacheError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise_contract_violation(const char* expr,
+                                                  const char* file, int line,
+                                                  const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violation: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace pc
+
+// Precondition / invariant check. Always enabled (cheap relative to the
+// numeric work this library does); throws pc::ContractViolation on failure.
+#define PC_CHECK(expr)                                                       \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::pc::detail::raise_contract_violation(#expr, __FILE__, __LINE__, ""); \
+    }                                                                        \
+  } while (0)
+
+// Like PC_CHECK but with a streamed message, e.g.
+//   PC_CHECK_MSG(a == b, "shape mismatch: " << a << " vs " << b);
+#define PC_CHECK_MSG(expr, stream_expr)                                   \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream pc_check_os_;                                    \
+      pc_check_os_ << stream_expr;                                        \
+      ::pc::detail::raise_contract_violation(#expr, __FILE__, __LINE__,   \
+                                             pc_check_os_.str());         \
+    }                                                                     \
+  } while (0)

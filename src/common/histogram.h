@@ -1,0 +1,92 @@
+// Log-bucketed latency histogram with percentile queries.
+//
+// The engine records per-request TTFT into these so long-running serving
+// processes can report p50/p90/p99 without retaining per-request samples.
+// Buckets grow geometrically (factor 2^(1/4) ≈ 19% per bucket) from 1 µs to
+// ~4.6 hours, giving <10% quantile error at constant memory.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+
+namespace pc {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 136;  // 1e-6 s * 2^(135/4) ≈ 1.5e4 s
+
+  void record_seconds(double seconds) {
+    ++count_;
+    sum_seconds_ += seconds;
+    max_seconds_ = std::max(max_seconds_, seconds);
+    min_seconds_ = std::min(min_seconds_, seconds);
+    ++buckets_[static_cast<size_t>(bucket_for(seconds))];
+  }
+
+  void record_ms(double ms) { record_seconds(ms / 1e3); }
+
+  uint64_t count() const { return count_; }
+  double sum_seconds() const { return sum_seconds_; }
+  double mean_seconds() const {
+    return count_ == 0 ? 0.0 : sum_seconds_ / static_cast<double>(count_);
+  }
+  double max_seconds() const { return count_ == 0 ? 0.0 : max_seconds_; }
+  double min_seconds() const { return count_ == 0 ? 0.0 : min_seconds_; }
+
+  // Quantile in [0, 1]; returns the upper edge of the bucket containing it.
+  double quantile_seconds(double q) const {
+    PC_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile out of range");
+    if (count_ == 0) return 0.0;
+    const uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += buckets_[static_cast<size_t>(b)];
+      if (seen >= rank && seen > 0) return bucket_upper_edge(b);
+    }
+    return max_seconds_;
+  }
+
+  double p50_ms() const { return quantile_seconds(0.50) * 1e3; }
+  double p90_ms() const { return quantile_seconds(0.90) * 1e3; }
+  double p99_ms() const { return quantile_seconds(0.99) * 1e3; }
+
+  void reset() { *this = LatencyHistogram(); }
+
+  // One-line summary for logs: "n=42 mean=1.2ms p50=1.1ms p99=3.0ms".
+  std::string summary() const {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%llu mean=%.3fms p50=%.3fms p90=%.3fms p99=%.3fms "
+                  "max=%.3fms",
+                  static_cast<unsigned long long>(count_),
+                  mean_seconds() * 1e3, p50_ms(), p90_ms(), p99_ms(),
+                  max_seconds() * 1e3);
+    return buf;
+  }
+
+ private:
+  static int bucket_for(double seconds) {
+    if (seconds <= 1e-6) return 0;
+    const int b =
+        static_cast<int>(std::floor(4.0 * std::log2(seconds / 1e-6))) + 1;
+    return std::min(std::max(b, 0), kBuckets - 1);
+  }
+
+  static double bucket_upper_edge(int bucket) {
+    if (bucket <= 0) return 1e-6;
+    return 1e-6 * std::pow(2.0, static_cast<double>(bucket) / 4.0);
+  }
+
+  std::array<uint64_t, kBuckets> buckets_ = {};
+  uint64_t count_ = 0;
+  double sum_seconds_ = 0.0;
+  double max_seconds_ = 0.0;
+  double min_seconds_ = 1e300;
+};
+
+}  // namespace pc

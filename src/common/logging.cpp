@@ -1,0 +1,25 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace pc {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_mutex;
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+namespace detail {
+
+void write_log_line(LogLevel level, const std::string& line) {
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << "[" << kNames[static_cast<int>(level)] << "] " << line << "\n";
+}
+
+}  // namespace detail
+}  // namespace pc

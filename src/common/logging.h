@@ -1,0 +1,50 @@
+// Minimal leveled logger. Single translation-unit state, thread-safe writes.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace pc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global log level; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+
+void write_log_line(LogLevel level, const std::string& line);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { write_log_line(level_, os_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace pc
+
+#define PC_LOG(level)                                  \
+  if (static_cast<int>(::pc::log_level()) <=           \
+      static_cast<int>(::pc::LogLevel::level))         \
+  ::pc::detail::LogMessage(::pc::LogLevel::level)
+
+#define PC_LOG_DEBUG PC_LOG(kDebug)
+#define PC_LOG_INFO PC_LOG(kInfo)
+#define PC_LOG_WARN PC_LOG(kWarn)
+#define PC_LOG_ERROR PC_LOG(kError)

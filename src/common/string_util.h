@@ -1,0 +1,37 @@
+// Small string helpers shared across the tokenizer, PML parser, and eval
+// harness. All functions are pure.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pc {
+
+// Splits on any run of `delim` characters; no empty pieces are produced.
+std::vector<std::string> split(std::string_view text, char delim);
+
+// Splits on whitespace runs (space, tab, newline, CR); no empty pieces.
+std::vector<std::string> split_whitespace(std::string_view text);
+
+// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view text);
+
+// Joins pieces with `sep` between them.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+// ASCII lowercase copy.
+std::string to_lower(std::string_view text);
+
+// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to);
+
+// Formats a byte count as a human-readable string ("1.50 GiB").
+std::string format_bytes(double bytes);
+
+}  // namespace pc

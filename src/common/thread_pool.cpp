@@ -1,0 +1,97 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace pc {
+
+ThreadPool::ThreadPool(size_t n_threads) {
+  if (n_threads == 0) {
+    n_threads = std::thread::hardware_concurrency();
+    if (n_threads == 0) n_threads = 1;
+  }
+  // The calling thread participates in parallel_for, so spawn one fewer.
+  for (size_t i = 1; i < n_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(size_t n,
+                              const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  const size_t n_chunks = std::min(size(), n);
+  if (n_chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+
+  std::atomic<size_t> remaining{n_chunks - 1};
+  std::exception_ptr first_error = nullptr;
+  std::mutex error_mutex;
+  std::condition_variable done_cv;
+  std::mutex done_mutex;
+
+  const size_t chunk = (n + n_chunks - 1) / n_chunks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t c = 1; c < n_chunks; ++c) {
+      const size_t begin = c * chunk;
+      const size_t end = std::min(n, begin + chunk);
+      tasks_.push([&, begin, end] {
+        try {
+          if (begin < end) fn(begin, end);
+        } catch (...) {
+          std::lock_guard<std::mutex> elock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        if (remaining.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> dlock(done_mutex);
+          done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  // The caller runs the first chunk.
+  try {
+    fn(0, std::min(n, chunk));
+  } catch (...) {
+    std::lock_guard<std::mutex> elock(error_mutex);
+    if (!first_error) first_error = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> dlock(done_mutex);
+  done_cv.wait(dlock, [&] { return remaining.load() == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace pc

@@ -1,0 +1,47 @@
+// A small fixed-size thread pool with a parallel-for helper.
+//
+// The tensor kernels use parallel_for to split row ranges across workers.
+// On single-core hosts the pool degrades gracefully: with one worker the
+// loop body runs inline on the calling thread with no queuing overhead.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pc {
+
+class ThreadPool {
+ public:
+  // n_threads == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size() + 1; }  // including caller
+
+  // Runs fn(begin, end) over [0, n) split into roughly equal chunks, one per
+  // worker plus the calling thread. Blocks until all chunks complete.
+  // Exceptions thrown by fn propagate to the caller (first one wins).
+  void parallel_for(size_t n, const std::function<void(size_t, size_t)>& fn);
+
+  // Process-wide default pool (sized to hardware concurrency).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace pc

@@ -1,0 +1,79 @@
+// An encoded prompt module: the precomputed (k,v) attention states of one
+// module's own tokens at their schema-assigned position IDs (paper §3.3).
+//
+// Storage precision is configurable (EngineConfig::precision): fp32 keeps
+// the engine's native states; fp16 halves the footprint (the paper's Table
+// 2 assumption); int8 quarters it (the §5.5/§6 compression direction).
+// Lower precisions convert on retrieval — trading copy time for capacity.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kv/kv_cache.h"
+#include "kv/quant.h"
+#include "sys/device_model.h"
+#include "tensor/fp16.h"
+
+namespace pc {
+
+enum class StorePrecision { kFp32, kFp16, kQ8 };
+
+struct EncodedModule {
+  // Exactly one payload is held, matching `precision`.
+  std::optional<KVCache> kv32;
+
+  struct F16Layer {
+    std::vector<f16> k;
+    std::vector<f16> v;
+  };
+  std::vector<F16Layer> kv16_layers;  // [n_layers][n_tokens * kv_dim]
+  std::vector<Q8Layer> kv8_layers;    // [n_layers]
+
+  std::vector<int> pos_ids;  // used with fp16/q8 payloads
+
+  StorePrecision precision = StorePrecision::kFp32;
+  int n_tokens = 0;
+  int kv_dim = 0;
+  int n_layers = 0;
+
+  // Row ranges [begin, end) of text content — the rows copied at serve
+  // time. Parameter placeholder rows are skipped (arguments replace them).
+  std::vector<std::pair<int, int>> text_row_ranges;
+
+  struct ParamSlot {
+    int param_index = -1;
+    int row_begin = 0;
+    int row_end = 0;
+  };
+  std::vector<ParamSlot> params;
+
+  int text_token_count() const {
+    int n = 0;
+    for (const auto& [b, e] : text_row_ranges) n += e - b;
+    return n;
+  }
+
+  // Bytes of one token's resident K+V payload across all layers.
+  size_t bytes_per_token() const {
+    const size_t kv_elems = static_cast<size_t>(kv_dim) * 2 * n_layers;
+    switch (precision) {
+      case StorePrecision::kFp32:
+        return kv_elems * sizeof(float);
+      case StorePrecision::kFp16:
+        return kv_elems * sizeof(f16);
+      case StorePrecision::kQ8:
+        // int8 payload + one fp32 scale per row (K and V) per layer.
+        return kv_elems * sizeof(int8_t) +
+               static_cast<size_t>(2) * n_layers * sizeof(float);
+    }
+    return 0;
+  }
+
+  size_t payload_bytes() const {
+    return bytes_per_token() * static_cast<size_t>(n_tokens);
+  }
+};
+
+}  // namespace pc

@@ -1,0 +1,673 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "common/timer.h"
+#include "core/serialize.h"
+#include "tensor/fp16.h"
+
+namespace pc {
+
+namespace {
+
+// The uncached token stream of a binding: parameter arguments and free
+// texts, ordered by their assigned position IDs (layout order) so later
+// segments causally see earlier ones, matching the baseline's reading
+// order.
+struct UncachedStream {
+  std::vector<TokenId> tokens;
+  std::vector<int> pos_ids;
+};
+
+UncachedStream collect_uncached(const pml::PromptBinding& binding) {
+  struct Seg {
+    int start;
+    int seq;
+    const std::vector<TokenId>* tokens;
+  };
+  std::vector<Seg> segs;
+  int seq = 0;
+  for (const pml::BoundArg& a : binding.args) {
+    if (!a.tokens.empty()) segs.push_back({a.start_pos, seq++, &a.tokens});
+  }
+  for (const pml::BoundText& t : binding.texts) {
+    if (!t.tokens.empty()) segs.push_back({t.start_pos, seq++, &t.tokens});
+  }
+  std::sort(segs.begin(), segs.end(), [](const Seg& a, const Seg& b) {
+    return a.start != b.start ? a.start < b.start : a.seq < b.seq;
+  });
+  UncachedStream out;
+  for (const Seg& s : segs) {
+    for (size_t i = 0; i < s.tokens->size(); ++i) {
+      out.tokens.push_back((*s.tokens)[i]);
+      out.pos_ids.push_back(s.start + static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PromptCacheEngine::PromptCacheEngine(const Model& model,
+                                     const TextTokenizer& tokenizer,
+                                     EngineConfig config)
+    : model_(model),
+      tokenizer_(tokenizer),
+      chat_template_(model.config().chat_template),
+      config_(config),
+      store_(config.device_capacity_bytes, config.host_capacity_bytes) {}
+
+const pml::Schema& PromptCacheEngine::load_schema(
+    std::string_view schema_pml) {
+  pml::Schema schema = pml::Schema::parse(schema_pml, tokenizer_,
+                                          chat_template_);
+  PC_CHECK_MSG(schema.total_positions <= model_.config().max_pos,
+               "schema '" << schema.name << "' occupies "
+                          << schema.total_positions
+                          << " positions, model max_pos is "
+                          << model_.config().max_pos);
+  const std::string name = schema.name;
+
+  // Runtime module updates (§1): replacing a schema invalidates every
+  // encoded state derived from the old version — module contents or
+  // positions may have changed while the keys stay the same.
+  if (const pml::Schema* old = find_schema(name)) {
+    for (size_t mi = 0; mi < old->modules.size(); ++mi) {
+      store_.erase(module_key(*old, static_cast<int>(mi)));
+    }
+    for (auto it = scaffolds_.begin(); it != scaffolds_.end();) {
+      if (it->schema_name == name) {
+        store_.erase(it->key);
+        it = scaffolds_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  auto [it, inserted] = schemas_.insert_or_assign(name, std::move(schema));
+  if (config_.eager_encode) {
+    for (size_t mi = 0; mi < it->second.modules.size(); ++mi) {
+      encode_module(it->second, static_cast<int>(mi));
+    }
+  }
+  return it->second;
+}
+
+const pml::Schema* PromptCacheEngine::find_schema(
+    const std::string& name) const {
+  auto it = schemas_.find(name);
+  return it == schemas_.end() ? nullptr : &it->second;
+}
+
+void PromptCacheEngine::add_scaffold(const std::string& schema_name,
+                                     std::vector<std::string> module_names) {
+  const pml::Schema* schema = find_schema(schema_name);
+  PC_CHECK_MSG(schema != nullptr, "scaffold references unloaded schema '"
+                                      << schema_name << "'");
+  Scaffold s;
+  s.schema_name = schema_name;
+  s.module_names = std::move(module_names);
+  PC_CHECK_MSG(s.module_names.size() >= 2,
+               "a scaffold needs at least two modules");
+  for (const std::string& mn : s.module_names) {
+    const int mi = schema->find_module(mn);
+    PC_CHECK_MSG(mi != -1, "scaffold references unknown module '" << mn
+                                                                  << "'");
+    s.module_indices.push_back(mi);
+  }
+  // Joint encoding follows layout order.
+  std::sort(s.module_indices.begin(), s.module_indices.end(),
+            [&](int a, int b) {
+              return schema->module(a).start_pos < schema->module(b).start_pos;
+            });
+  s.key = schema_name + "::scaffold";
+  for (int mi : s.module_indices) s.key += ":" + schema->module(mi).name;
+  if (config_.eager_encode) encode_scaffold(*schema, s);
+  scaffolds_.push_back(std::move(s));
+}
+
+EncodedModule PromptCacheEngine::finalize_encoding(
+    KVCache kv, const std::vector<pml::TokenRun>& runs) {
+  EncodedModule m;
+  m.n_tokens = kv.size();
+  m.kv_dim = kv.kv_dim();
+  m.n_layers = kv.n_layers();
+
+  int row = 0;
+  for (const pml::TokenRun& run : runs) {
+    const int n = static_cast<int>(run.tokens.size());
+    if (run.is_param) {
+      m.params.push_back({run.param_index, row, row + n});
+    } else if (n > 0) {
+      // Merge adjacent text ranges so serve-time copies are large memcpys.
+      if (!m.text_row_ranges.empty() && m.text_row_ranges.back().second == row) {
+        m.text_row_ranges.back().second = row + n;
+      } else {
+        m.text_row_ranges.emplace_back(row, row + n);
+      }
+    }
+    row += n;
+  }
+
+  m.precision = config_.precision;
+  switch (config_.precision) {
+    case StorePrecision::kFp32:
+      m.kv32 = std::move(kv);
+      return m;
+    case StorePrecision::kFp16: {
+      m.pos_ids = kv.pos_ids();
+      m.kv16_layers.resize(static_cast<size_t>(kv.n_layers()));
+      const size_t row_elems = static_cast<size_t>(kv.kv_dim());
+      for (int l = 0; l < kv.n_layers(); ++l) {
+        auto& layer = m.kv16_layers[static_cast<size_t>(l)];
+        layer.k.reserve(row_elems * static_cast<size_t>(kv.size()));
+        layer.v.reserve(row_elems * static_cast<size_t>(kv.size()));
+        for (int t = 0; t < kv.size(); ++t) {
+          for (size_t e = 0; e < row_elems; ++e) {
+            layer.k.push_back(float_to_half(kv.k_row(l, t)[e]));
+            layer.v.push_back(float_to_half(kv.v_row(l, t)[e]));
+          }
+        }
+      }
+      return m;
+    }
+    case StorePrecision::kQ8: {
+      m.pos_ids = kv.pos_ids();
+      m.kv8_layers.resize(static_cast<size_t>(kv.n_layers()));
+      const int width = kv.kv_dim();
+      const size_t elems =
+          static_cast<size_t>(kv.size()) * static_cast<size_t>(width);
+      for (int l = 0; l < kv.n_layers(); ++l) {
+        Q8Layer& layer = m.kv8_layers[static_cast<size_t>(l)];
+        layer.k.resize(elems);
+        layer.v.resize(elems);
+        layer.k_scales.resize(static_cast<size_t>(kv.size()));
+        layer.v_scales.resize(static_cast<size_t>(kv.size()));
+        // Rows are contiguous in the cache's layer buffer.
+        if (kv.size() > 0) {
+          quantize_rows(kv.k_row(l, 0), kv.size(), width, layer.k.data(),
+                        layer.k_scales.data());
+          quantize_rows(kv.v_row(l, 0), kv.size(), width, layer.v.data(),
+                        layer.v_scales.data());
+        }
+      }
+      return m;
+    }
+  }
+  return m;
+}
+
+void PromptCacheEngine::encode_module(const pml::Schema& schema, int mi) {
+  const std::string key = module_key(schema, mi);
+  if (store_.contains(key)) return;
+
+  const std::vector<pml::TokenRun> runs = schema.module_own_runs(mi);
+  std::vector<TokenId> tokens;
+  std::vector<int> pos_ids;
+  for (const pml::TokenRun& run : runs) {
+    for (size_t i = 0; i < run.tokens.size(); ++i) {
+      tokens.push_back(run.tokens[i]);
+      pos_ids.push_back(run.start_pos + static_cast<int>(i));
+    }
+  }
+
+  KVCache kv = model_.make_cache();
+  if (!tokens.empty()) {
+    kv.reserve(static_cast<int>(tokens.size()));
+    (void)model_.forward(tokens, pos_ids, kv);  // module-local attention
+  }
+  store_.insert(key, finalize_encoding(std::move(kv), runs));
+  ++stats_.modules_encoded;
+}
+
+void PromptCacheEngine::encode_scaffold(const pml::Schema& schema,
+                                        const Scaffold& scaffold) {
+  if (store_.contains(scaffold.key)) return;
+
+  std::vector<pml::TokenRun> runs;
+  for (int mi : scaffold.module_indices) {
+    for (pml::TokenRun& run : schema.module_own_runs(mi)) {
+      runs.push_back(std::move(run));
+    }
+  }
+  std::vector<TokenId> tokens;
+  std::vector<int> pos_ids;
+  for (const pml::TokenRun& run : runs) {
+    for (size_t i = 0; i < run.tokens.size(); ++i) {
+      tokens.push_back(run.tokens[i]);
+      pos_ids.push_back(run.start_pos + static_cast<int>(i));
+    }
+  }
+
+  KVCache kv = model_.make_cache();
+  if (!tokens.empty()) {
+    kv.reserve(static_cast<int>(tokens.size()));
+    (void)model_.forward(tokens, pos_ids, kv);  // shared attention span
+  }
+  store_.insert(scaffold.key, finalize_encoding(std::move(kv), runs));
+  ++stats_.scaffolds_encoded;
+}
+
+pml::PromptBinding PromptCacheEngine::bind(std::string_view prompt_pml) const {
+  const pml::PromptAst ast = pml::parse_prompt(prompt_pml);
+  const pml::Schema* schema = find_schema(ast.schema_name);
+  if (schema == nullptr) {
+    throw SchemaError("prompt references schema '" + ast.schema_name +
+                      "' which has not been loaded");
+  }
+  return pml::bind_prompt(*schema, ast, tokenizer_);
+}
+
+std::vector<const PromptCacheEngine::Scaffold*>
+PromptCacheEngine::active_scaffolds(const pml::PromptBinding& binding,
+                                    std::vector<bool>* covered) const {
+  covered->assign(binding.schema->modules.size(), false);
+  std::vector<bool> included(binding.schema->modules.size(), false);
+  for (int mi : binding.modules) included[static_cast<size_t>(mi)] = true;
+
+  std::vector<const Scaffold*> active;
+  for (const Scaffold& s : scaffolds_) {
+    if (s.schema_name != binding.schema->name) continue;
+    bool all = true;
+    for (int mi : s.module_indices) {
+      if (!included[static_cast<size_t>(mi)] ||
+          (*covered)[static_cast<size_t>(mi)]) {
+        all = false;
+        break;
+      }
+    }
+    if (!all) continue;
+    for (int mi : s.module_indices) (*covered)[static_cast<size_t>(mi)] = true;
+    active.push_back(&s);
+  }
+  return active;
+}
+
+double PromptCacheEngine::ensure_encoded(const pml::PromptBinding& binding) {
+  WallTimer timer;
+  std::vector<bool> covered;
+  const auto active = active_scaffolds(binding, &covered);
+  for (const Scaffold* s : active) encode_scaffold(*binding.schema, *s);
+  for (int mi : binding.modules) {
+    if (!covered[static_cast<size_t>(mi)]) encode_module(*binding.schema, mi);
+  }
+  return timer.elapsed_ms();
+}
+
+void PromptCacheEngine::append_text_rows(const EncodedModule& module,
+                                         ModuleLocation loc,
+                                         KVCache& sequence_cache,
+                                         TtftBreakdown* ttft) const {
+  const size_t row_elems = static_cast<size_t>(module.kv_dim);
+  for (const auto& [begin, end] : module.text_row_ranges) {
+    switch (module.precision) {
+      case StorePrecision::kFp32:
+        sequence_cache.append_range(*module.kv32, begin, end);
+        break;
+      case StorePrecision::kFp16: {
+        const int first = sequence_cache.append_tokens(std::span<const int>(
+            module.pos_ids.data() + begin, static_cast<size_t>(end - begin)));
+        for (int l = 0; l < module.n_layers; ++l) {
+          const auto& layer = module.kv16_layers[static_cast<size_t>(l)];
+          for (int t = begin; t < end; ++t) {
+            float* kd = sequence_cache.k_row(l, first + (t - begin));
+            float* vd = sequence_cache.v_row(l, first + (t - begin));
+            const size_t off = static_cast<size_t>(t) * row_elems;
+            for (size_t e = 0; e < row_elems; ++e) {
+              kd[e] = half_to_float(layer.k[off + e]);
+              vd[e] = half_to_float(layer.v[off + e]);
+            }
+          }
+        }
+        break;
+      }
+      case StorePrecision::kQ8: {
+        const int first = sequence_cache.append_tokens(std::span<const int>(
+            module.pos_ids.data() + begin, static_cast<size_t>(end - begin)));
+        for (int l = 0; l < module.n_layers; ++l) {
+          const Q8Layer& layer = module.kv8_layers[static_cast<size_t>(l)];
+          for (int t = begin; t < end; ++t) {
+            const size_t off = static_cast<size_t>(t) * row_elems;
+            dequantize_row(layer.k.data() + off,
+                           layer.k_scales[static_cast<size_t>(t)],
+                           module.kv_dim,
+                           sequence_cache.k_row(l, first + (t - begin)));
+            dequantize_row(layer.v.data() + off,
+                           layer.v_scales[static_cast<size_t>(t)],
+                           module.kv_dim,
+                           sequence_cache.v_row(l, first + (t - begin)));
+          }
+        }
+        break;
+      }
+    }
+    if (ttft != nullptr) {
+      const size_t bytes =
+          module.bytes_per_token() * static_cast<size_t>(end - begin);
+      ttft->cached_tokens += end - begin;
+      if (loc == ModuleLocation::kHostMemory) {
+        ttft->bytes_from_host += bytes;
+      } else {
+        ttft->bytes_from_device += bytes;
+      }
+    }
+  }
+}
+
+void PromptCacheEngine::for_each_encoded(
+    const pml::PromptBinding& binding,
+    const std::function<void(const std::string& key,
+                             const EncodedModule& module,
+                             ModuleLocation location)>& emit) {
+  std::vector<bool> covered;
+  const auto active = active_scaffolds(binding, &covered);
+
+  std::vector<bool> scaffold_done(active.size(), false);
+  auto scaffold_of = [&](int mi) -> size_t {
+    for (size_t si = 0; si < active.size(); ++si) {
+      const auto& members = active[si]->module_indices;
+      if (std::find(members.begin(), members.end(), mi) != members.end()) {
+        return si;
+      }
+    }
+    PC_CHECK_MSG(false, "covered module without scaffold");
+    return 0;
+  };
+
+  for (int mi : binding.modules) {
+    std::string key;
+    if (covered[static_cast<size_t>(mi)]) {
+      const size_t si = scaffold_of(mi);
+      if (scaffold_done[si]) continue;
+      scaffold_done[si] = true;
+      key = active[si]->key;
+    } else {
+      key = module_key(*binding.schema, mi);
+    }
+    ModuleLocation loc = ModuleLocation::kHostMemory;
+    const EncodedModule* encoded = store_.find(key, &loc);
+    if (encoded == nullptr) {
+      // Evicted since the ensure pass (cache thrash): re-encode inline.
+      ++stats_.thrash_reencodes;
+      if (covered[static_cast<size_t>(mi)]) {
+        encode_scaffold(*binding.schema, *active[scaffold_of(mi)]);
+      } else {
+        encode_module(*binding.schema, mi);
+      }
+      encoded = store_.find(key, &loc);
+      PC_CHECK(encoded != nullptr);
+    }
+    emit(key, *encoded, loc);
+  }
+}
+
+namespace {
+
+// Shared tail of both assembly paths: one forward pass over the uncached
+// content. A fully cached prompt still needs one computed position to
+// produce logits; we kick off with <s> at the next free position.
+template <typename CacheT>
+Tensor prefill_uncached(const Model& model, const pml::PromptBinding& binding,
+                        CacheT& cache, TtftBreakdown* ttft) {
+  WallTimer uncached_timer;
+  UncachedStream stream = collect_uncached(binding);
+  if (stream.tokens.empty()) {
+    stream.tokens.push_back(Vocab::kBos);
+    stream.pos_ids.push_back(binding.next_pos);
+  }
+  Tensor logits = model.forward(stream.tokens, stream.pos_ids, cache);
+  if (ttft != nullptr) {
+    ttft->uncached_ms = uncached_timer.elapsed_ms();
+    ttft->uncached_tokens = static_cast<int>(stream.tokens.size());
+  }
+  return logits;
+}
+
+}  // namespace
+
+Tensor PromptCacheEngine::assemble_and_prefill(
+    const pml::PromptBinding& binding, KVCache& sequence_cache,
+    TtftBreakdown* ttft) {
+  WallTimer retrieve_timer;
+  sequence_cache.reserve(binding.cached_token_count() +
+                         binding.uncached_token_count() + 64);
+  for_each_encoded(binding, [&](const std::string&, const EncodedModule& m,
+                                ModuleLocation loc) {
+    append_text_rows(m, loc, sequence_cache, ttft);
+  });
+  if (ttft != nullptr) ttft->retrieve_ms = retrieve_timer.elapsed_ms();
+  return prefill_uncached(model_, binding, sequence_cache, ttft);
+}
+
+Tensor PromptCacheEngine::assemble_and_prefill(
+    const pml::PromptBinding& binding, SegmentedKVCache& view,
+    TtftBreakdown* ttft) {
+  WallTimer retrieve_timer;
+  for_each_encoded(binding, [&](const std::string& key,
+                                const EncodedModule& m, ModuleLocation) {
+    PC_CHECK_MSG(m.precision == StorePrecision::kFp32,
+                 "zero-copy serving requires kFp32 module storage (module '"
+                     << key << "' is stored at reduced precision)");
+    // Pin so later thrash re-encodes cannot evict rows this view borrowed.
+    if (!store_.is_pinned(key)) {
+      store_.pin(key);
+      borrowed_pins_.push_back(key);
+    }
+    for (const auto& [begin, end] : m.text_row_ranges) {
+      view.append_borrowed(*m.kv32, begin, end);
+      if (ttft != nullptr) {
+        ttft->cached_tokens += end - begin;
+        ttft->bytes_zero_copy +=
+            m.bytes_per_token() * static_cast<size_t>(end - begin);
+      }
+    }
+  });
+  if (ttft != nullptr) ttft->retrieve_ms = retrieve_timer.elapsed_ms();
+  return prefill_uncached(model_, binding, view, ttft);
+}
+
+void PromptCacheEngine::release_borrowed_pins() {
+  for (const std::string& key : borrowed_pins_) store_.unpin(key);
+  borrowed_pins_.clear();
+}
+
+ServeResult PromptCacheEngine::serve(std::string_view prompt_pml,
+                                     const GenerateOptions& options) {
+  ++stats_.serves;
+  const pml::PromptBinding binding = bind(prompt_pml);
+
+  ServeResult result;
+  result.encode_ms = ensure_encoded(binding);
+
+  // The kickoff token (fully cached prompt) occupies next_pos itself.
+  const bool kickoff = binding.args.empty() && binding.texts.empty();
+  const int gen_start = binding.next_pos + (kickoff ? 1 : 0);
+
+  WallTimer decode_timer;
+  if (config_.zero_copy) {
+    const int tail_capacity = binding.uncached_token_count() + 1 +
+                              options.max_new_tokens +
+                              config_.zero_copy_tail_slack;
+    SegmentedKVCache view(model_.config().n_layers, model_.config().kv_dim(),
+                          tail_capacity);
+    const Tensor logits = assemble_and_prefill(binding, view, &result.ttft);
+    decode_timer.reset();
+    Model::GenerateOutput gen = model_.generate(logits, gen_start, view, options);
+    result.tokens = std::move(gen.tokens);
+    result.finish_reason = gen.finish_reason;
+    release_borrowed_pins();
+  } else {
+    KVCache sequence_cache = model_.make_cache();
+    const Tensor logits =
+        assemble_and_prefill(binding, sequence_cache, &result.ttft);
+    decode_timer.reset();
+    Model::GenerateOutput gen =
+        model_.generate(logits, gen_start, sequence_cache, options);
+    result.tokens = std::move(gen.tokens);
+    result.finish_reason = gen.finish_reason;
+  }
+  result.prompt_tokens =
+      result.ttft.cached_tokens + result.ttft.uncached_tokens;
+  result.decode_ms = decode_timer.elapsed_ms();
+  result.text = tokenizer_.decode(result.tokens);
+  cached_ttft_.record_ms(result.ttft.total_ms());
+
+  if (config_.prefetch_union_siblings) {
+    // Off the latency path: warm the alternatives of every union member
+    // this prompt used, so the next profile/locale/variant request finds
+    // them already in device memory.
+    const uint64_t before = store_.stats().promotions;
+    for (int mi : binding.modules) {
+      const pml::ModuleNode& m = binding.schema->module(mi);
+      if (m.union_id < 0) continue;
+      for (int sibling :
+           binding.schema->unions[static_cast<size_t>(m.union_id)].members) {
+        if (sibling == mi) continue;
+        (void)store_.promote(module_key(*binding.schema, sibling),
+                             ModuleLocation::kDeviceMemory);
+      }
+    }
+    stats_.sibling_prefetches += store_.stats().promotions - before;
+  }
+  return result;
+}
+
+void PromptCacheEngine::pin_module(const std::string& schema_name,
+                                   const std::string& module_name) {
+  const pml::Schema* schema = find_schema(schema_name);
+  PC_CHECK_MSG(schema != nullptr, "pin_module: unknown schema '"
+                                      << schema_name << "'");
+  const int mi = schema->find_module(module_name);
+  PC_CHECK_MSG(mi != -1, "pin_module: unknown module '" << module_name
+                                                        << "'");
+  encode_module(*schema, mi);
+  PC_CHECK(store_.pin(module_key(*schema, mi)));
+}
+
+size_t PromptCacheEngine::save_modules(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw Error("cannot open '" + path + "' for writing");
+  write_store_header(os);
+  size_t count = 0;
+  store_.for_each([&](const std::string& key, const EncodedModule& module,
+                      ModuleLocation) {
+    write_module_record(os, key, module);
+    ++count;
+  });
+  os.flush();
+  if (!os) throw Error("write failure persisting modules to '" + path + "'");
+  return count;
+}
+
+size_t PromptCacheEngine::load_modules(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw Error("cannot open '" + path + "' for reading");
+  read_store_header(is);
+  size_t count = 0;
+  std::string key;
+  EncodedModule module;
+  while (read_module_record(is, &key, &module)) {
+    PC_CHECK_MSG(module.kv_dim == model_.config().kv_dim() &&
+                     module.n_layers == model_.config().n_layers,
+                 "persisted module '" << key
+                                      << "' does not match this model's "
+                                         "geometry");
+    store_.insert(key, std::move(module));
+    module = EncodedModule{};
+    ++count;
+  }
+  return count;
+}
+
+std::vector<ServeResult> PromptCacheEngine::serve_batch(
+    const std::vector<std::string>& prompts, const GenerateOptions& options,
+    BatchStats* stats) {
+  std::vector<ServeResult> results;
+  results.reserve(prompts.size());
+
+  std::set<std::string> distinct_keys;
+  size_t duplicate_bytes = 0;
+
+  for (const std::string& prompt : prompts) {
+    // Account module usage before serving (ensure_encoded makes the
+    // lookups below hits).
+    if (stats != nullptr) {
+      const pml::PromptBinding binding = bind(prompt);
+      (void)ensure_encoded(binding);
+      for_each_encoded(binding, [&](const std::string& key,
+                                    const EncodedModule& m, ModuleLocation) {
+        if (distinct_keys.insert(key).second) {
+          stats->shared_module_bytes += m.payload_bytes();
+        } else {
+          duplicate_bytes += m.payload_bytes();
+        }
+      });
+    }
+    results.push_back(serve(prompt, options));
+    if (stats != nullptr) {
+      const ServeResult& r = results.back();
+      if (config_.zero_copy) {
+        // Owned memory is the tail only; approximate from uncached +
+        // generated rows at engine precision (fp32 tails).
+        const size_t row_bytes = static_cast<size_t>(2) *
+                                 model_.config().n_layers *
+                                 model_.config().kv_dim() * sizeof(float);
+        stats->owned_bytes +=
+            row_bytes * (static_cast<size_t>(r.ttft.uncached_tokens) +
+                         r.tokens.size());
+      } else {
+        const size_t row_bytes = static_cast<size_t>(2) *
+                                 model_.config().n_layers *
+                                 model_.config().kv_dim() * sizeof(float);
+        stats->owned_bytes +=
+            row_bytes * (static_cast<size_t>(r.ttft.cached_tokens) +
+                         static_cast<size_t>(r.ttft.uncached_tokens) +
+                         r.tokens.size());
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->requests = static_cast<int>(prompts.size());
+    stats->duplicate_module_bytes_avoided = duplicate_bytes;
+  }
+  return results;
+}
+
+ServeResult PromptCacheEngine::serve_baseline(std::string_view prompt_pml,
+                                              const GenerateOptions& options) {
+  ++stats_.baseline_serves;
+  const pml::PromptBinding binding = bind(prompt_pml);
+
+  ServeResult result;
+  const std::vector<TokenId>& tokens = binding.baseline_tokens;
+  PC_CHECK_MSG(!tokens.empty(), "baseline prompt is empty");
+  PC_CHECK_MSG(static_cast<int>(tokens.size()) < model_.config().max_pos,
+               "baseline prompt exceeds max_pos");
+  std::vector<int> pos_ids(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) pos_ids[i] = static_cast<int>(i);
+
+  KVCache sequence_cache = model_.make_cache();
+  sequence_cache.reserve(static_cast<int>(tokens.size()) +
+                         options.max_new_tokens);
+
+  WallTimer prefill_timer;
+  const Tensor logits = model_.forward(tokens, pos_ids, sequence_cache);
+  result.ttft.uncached_ms = prefill_timer.elapsed_ms();
+  result.ttft.uncached_tokens = static_cast<int>(tokens.size());
+  result.prompt_tokens = static_cast<int>(tokens.size());
+
+  WallTimer decode_timer;
+  Model::GenerateOutput gen = model_.generate(
+      logits, static_cast<int>(tokens.size()), sequence_cache, options);
+  result.tokens = std::move(gen.tokens);
+  result.finish_reason = gen.finish_reason;
+  result.decode_ms = decode_timer.elapsed_ms();
+  result.text = tokenizer_.decode(result.tokens);
+  baseline_ttft_.record_ms(result.ttft.total_ms());
+  return result;
+}
+
+}  // namespace pc

@@ -1,0 +1,228 @@
+// The Prompt Cache engine (paper §3): schema registration + module
+// encoding, scaffolds, and cached inference, with a regular KV-Cache
+// baseline sharing the identical pipeline (§5: "Prompt Cache and KV Cache
+// share the exact same inference pipeline except for attention state
+// computation").
+//
+// serve() implements §3.4:
+//   1. parse the prompt and verify it against its schema (bind_prompt);
+//   2. retrieve the encoded attention states of imported modules and
+//      concatenate them into the sequence KV cache (a pure memcpy;
+//      parameter-placeholder rows are skipped);
+//   3. compute attention states for uncached content — parameter arguments
+//      (at their placeholder position IDs) and free text segments — in one
+//      forward pass that attends over the concatenated cache;
+//   4. greedy-decode from the resulting logits.
+// TTFT = step 2 + step 3 (+ the argmax); module encoding is offline and
+// reported separately.
+//
+// Threading contract: an engine is single-threaded — serve(), load_schema()
+// and the other mutating calls must not run concurrently (the module store,
+// stats, and histograms are unsynchronized). Scale out with one engine per
+// worker over a shared (const) Model, and share encoded modules between
+// processes via save_modules()/load_modules().
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.h"
+#include "core/module_store.h"
+#include "model/model.h"
+#include "pml/prompt.h"
+#include "pml/schema.h"
+
+namespace pc {
+
+struct EngineConfig {
+  size_t device_capacity_bytes = 0;  // 0 = unlimited (simulated GPU HBM tier)
+  size_t host_capacity_bytes = 0;    // 0 = unlimited (host DRAM tier)
+  // Module storage precision (§5.5): fp16 halves and int8 quarters the
+  // resident footprint, converting back to fp32 during retrieval.
+  StorePrecision precision = StorePrecision::kFp32;
+  bool eager_encode = true;  // encode all modules at schema load
+  // Union-sibling prefetch (§3.2.3): after serving a prompt that used a
+  // union member, promote the member's siblings into device memory — the
+  // next request is likely to pick one of them.
+  bool prefetch_union_siblings = false;
+  // Zero-copy serving (§6 direction: share attention states across
+  // requests): the per-request cache borrows module rows from the store
+  // instead of copying them; only uncached/generated rows are owned.
+  // Requires kFp32 precision (borrowed rows are read in place).
+  bool zero_copy = false;
+  // Owned-tail headroom for zero-copy serving beyond the request's
+  // max_new_tokens (kickoff token, rounding).
+  int zero_copy_tail_slack = 8;
+};
+
+struct TtftBreakdown {
+  double retrieve_ms = 0;  // module state concatenation (memcpy)
+  double uncached_ms = 0;  // forward pass over uncached tokens + first argmax
+  int cached_tokens = 0;
+  int uncached_tokens = 0;
+  size_t bytes_from_host = 0;    // copied over the host link
+  size_t bytes_from_device = 0;  // copied within device memory
+  size_t bytes_zero_copy = 0;    // borrowed in place, nothing moved
+
+  double total_ms() const { return retrieve_ms + uncached_ms; }
+};
+
+struct ServeResult {
+  std::vector<TokenId> tokens;  // generated token ids
+  std::string text;             // decoded
+  FinishReason finish_reason = FinishReason::kLength;
+  TtftBreakdown ttft;
+  double encode_ms = 0;  // offline module encoding triggered by this call
+  double decode_ms = 0;  // autoregressive steps after the first token
+  int prompt_tokens = 0;
+};
+
+struct EngineStats {
+  uint64_t serves = 0;
+  uint64_t baseline_serves = 0;
+  uint64_t modules_encoded = 0;
+  uint64_t scaffolds_encoded = 0;
+  uint64_t thrash_reencodes = 0;  // cache misses inside the TTFT window
+  uint64_t sibling_prefetches = 0;
+};
+
+class PromptCacheEngine {
+ public:
+  PromptCacheEngine(const Model& model, const TextTokenizer& tokenizer,
+                    EngineConfig config = {});
+
+  // Parses, lays out, and (eagerly) encodes a schema. Returns it.
+  const pml::Schema& load_schema(std::string_view schema_pml);
+
+  const pml::Schema* find_schema(const std::string& name) const;
+
+  // Registers a scaffold (§3.3): the named modules are additionally encoded
+  // *jointly* (shared attention span); when a prompt imports all of them,
+  // the joint states override the individual ones.
+  void add_scaffold(const std::string& schema_name,
+                    std::vector<std::string> module_names);
+
+  // Parses and validates a prompt against its (loaded) schema.
+  pml::PromptBinding bind(std::string_view prompt_pml) const;
+
+  // Cached inference (§3.4).
+  ServeResult serve(std::string_view prompt_pml,
+                    const GenerateOptions& options = {});
+
+  // Regular KV-Cache baseline: the same prompt content as one contiguous
+  // prefill at positions 0..n-1.
+  ServeResult serve_baseline(std::string_view prompt_pml,
+                             const GenerateOptions& options = {});
+
+  // Serves a batch of prompts and accounts for module sharing across them
+  // (§3.4): modules imported by several requests are stored (and, under
+  // zero_copy, referenced) once. shared_module_bytes counts each distinct
+  // module once; owned_bytes is the per-request memory actually allocated
+  // (tails under zero_copy, full caches otherwise).
+  struct BatchStats {
+    size_t shared_module_bytes = 0;
+    size_t owned_bytes = 0;
+    size_t duplicate_module_bytes_avoided = 0;
+    int requests = 0;
+  };
+  std::vector<ServeResult> serve_batch(
+      const std::vector<std::string>& prompts,
+      const GenerateOptions& options = {}, BatchStats* stats = nullptr);
+
+  // Building blocks, exposed for tests and benchmarks -----------------------
+
+  // Steps 2-3 of serve() without generation: assembles the sequence cache
+  // and returns the first-token logits.
+  Tensor assemble_and_prefill(const pml::PromptBinding& binding,
+                              KVCache& sequence_cache, TtftBreakdown* ttft);
+
+  // Zero-copy variant: borrows module rows from the store (pinning them
+  // for the view's lifetime is the caller's job in manual use; serve()
+  // handles it). The view must have tail capacity for the uncached tokens.
+  Tensor assemble_and_prefill(const pml::PromptBinding& binding,
+                              SegmentedKVCache& view, TtftBreakdown* ttft);
+
+  // Zero-copy assembly pins the borrowed modules so eviction cannot free
+  // rows a live view references; this releases those pins. serve() calls
+  // it automatically after generation.
+  void release_borrowed_pins();
+
+  // Ensures every module used by `binding` is encoded; returns ms spent.
+  double ensure_encoded(const pml::PromptBinding& binding);
+
+  // Persists every resident encoded module (and scaffold) to `path`, and
+  // restores them on a fresh engine so serving can resume without
+  // re-encoding. Returns the number of records written/read. Throws
+  // pc::Error on I/O or corruption.
+  size_t save_modules(const std::string& path) const;
+  size_t load_modules(const std::string& path);
+
+  // Pins a module's encoded states so the store never evicts them
+  // (encodes first if needed). Throws if the schema/module is unknown.
+  void pin_module(const std::string& schema_name,
+                  const std::string& module_name);
+
+  const Model& model() const { return model_; }
+  const TextTokenizer& tokenizer() const { return tokenizer_; }
+  ModuleStore& store() { return store_; }
+  const EngineStats& stats() const { return stats_; }
+
+  // Per-request TTFT distributions (serving telemetry).
+  const LatencyHistogram& cached_ttft_histogram() const {
+    return cached_ttft_;
+  }
+  const LatencyHistogram& baseline_ttft_histogram() const {
+    return baseline_ttft_;
+  }
+
+ private:
+  struct Scaffold {
+    std::string schema_name;
+    std::vector<std::string> module_names;  // as registered
+    std::vector<int> module_indices;        // resolved, sorted
+    std::string key;
+  };
+
+  std::string module_key(const pml::Schema& schema, int mi) const {
+    return schema.name + "::" + schema.module(mi).name;
+  }
+
+  void encode_module(const pml::Schema& schema, int mi);
+  void encode_scaffold(const pml::Schema& schema, const Scaffold& scaffold);
+
+  // Resolves the encoded payload for every module/scaffold of a binding
+  // (re-encoding evicted entries) and emits them in concatenation order.
+  void for_each_encoded(
+      const pml::PromptBinding& binding,
+      const std::function<void(const std::string& key,
+                               const EncodedModule& module,
+                               ModuleLocation location)>& emit);
+  EncodedModule finalize_encoding(KVCache kv,
+                                  const std::vector<pml::TokenRun>& runs);
+
+  // Appends an encoded payload's text rows to the sequence cache, tallying
+  // transfer bytes by tier.
+  void append_text_rows(const EncodedModule& module, ModuleLocation loc,
+                        KVCache& sequence_cache, TtftBreakdown* ttft) const;
+
+  // Scaffolds covering a binding (all members imported), plus the set of
+  // module indices they cover.
+  std::vector<const Scaffold*> active_scaffolds(
+      const pml::PromptBinding& binding, std::vector<bool>* covered) const;
+
+  const Model& model_;
+  const TextTokenizer& tokenizer_;
+  ChatTemplate chat_template_;
+  EngineConfig config_;
+  std::map<std::string, pml::Schema> schemas_;
+  std::vector<Scaffold> scaffolds_;
+  ModuleStore store_;
+  EngineStats stats_;
+  LatencyHistogram cached_ttft_;
+  LatencyHistogram baseline_ttft_;
+  std::vector<std::string> borrowed_pins_;
+};
+
+}  // namespace pc

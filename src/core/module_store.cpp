@@ -1,0 +1,140 @@
+#include "core/module_store.h"
+
+#include <vector>
+
+namespace pc {
+
+const EncodedModule* ModuleStore::find(const std::string& key,
+                                       ModuleLocation* location) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  touch(it->second, key);
+  if (location != nullptr) *location = it->second.location;
+  return &it->second.module;
+}
+
+void ModuleStore::touch(Entry& e, const std::string& key) {
+  lru_.erase(e.lru_it);
+  lru_.push_front(key);
+  e.lru_it = lru_.begin();
+}
+
+bool ModuleStore::make_room(ModuleLocation loc, size_t bytes) {
+  const TierUsage& u = tiers_.usage(loc);
+  if (u.capacity_bytes != 0 && bytes > u.capacity_bytes) return false;
+  while (!tiers_.can_fit(loc, bytes)) {
+    // Evict the coldest unpinned entry in this tier.
+    std::string victim;
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      const Entry& e = entries_.at(*it);
+      if (e.location == loc && !e.pinned) {
+        victim = *it;
+        break;
+      }
+    }
+    if (victim.empty()) return false;  // nothing evictable left
+
+    // Device victims demote to host when it has room (encoded states are
+    // expensive to recompute and host memory is the abundant tier, §4.1);
+    // anything else is dropped and re-encoded on next use.
+    Entry& ve = entries_.at(victim);
+    const size_t vbytes = ve.module.payload_bytes();
+    const ModuleLocation other = loc == ModuleLocation::kDeviceMemory
+                                     ? ModuleLocation::kHostMemory
+                                     : ModuleLocation::kDeviceMemory;
+    if (loc == ModuleLocation::kDeviceMemory &&
+        tiers_.can_fit(other, vbytes)) {
+      tiers_.credit(loc, vbytes);
+      tiers_.charge(other, vbytes);
+      ve.location = other;
+      ++stats_.demotions;
+    } else {
+      erase(victim);
+      ++stats_.evictions;
+    }
+  }
+  return true;
+}
+
+bool ModuleStore::pin(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  it->second.pinned = true;
+  return true;
+}
+
+bool ModuleStore::unpin(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  it->second.pinned = false;
+  return true;
+}
+
+bool ModuleStore::is_pinned(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it != entries_.end() && it->second.pinned;
+}
+
+bool ModuleStore::promote(const std::string& key, ModuleLocation target) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  Entry& e = it->second;
+  if (e.location == target) return true;
+  const size_t bytes = e.module.payload_bytes();
+  if (!make_room(target, bytes)) return false;
+  // make_room may have evicted entries but never this one (wrong tier).
+  tiers_.credit(e.location, bytes);
+  tiers_.charge(target, bytes);
+  e.location = target;
+  ++stats_.promotions;
+  return true;
+}
+
+void ModuleStore::insert(const std::string& key, EncodedModule module) {
+  erase(key);  // replace semantics
+  const size_t bytes = module.payload_bytes();
+
+  // Placement: free device space, then free host space (spilling keeps
+  // every module resident, paper §4.1), and only then evict — device tier
+  // first, since its entries can be re-fetched from nowhere cheaper.
+  ModuleLocation loc;
+  if (tiers_.can_fit(ModuleLocation::kDeviceMemory, bytes)) {
+    loc = ModuleLocation::kDeviceMemory;
+  } else if (tiers_.can_fit(ModuleLocation::kHostMemory, bytes)) {
+    loc = ModuleLocation::kHostMemory;
+  } else if (make_room(ModuleLocation::kDeviceMemory, bytes)) {
+    loc = ModuleLocation::kDeviceMemory;
+  } else if (make_room(ModuleLocation::kHostMemory, bytes)) {
+    loc = ModuleLocation::kHostMemory;
+  } else {
+    throw CacheError("module '" + key + "' (" + std::to_string(bytes) +
+                     " bytes) does not fit in any memory tier");
+  }
+  tiers_.charge(loc, bytes);
+
+  lru_.push_front(key);
+  Entry e{std::move(module), loc, /*pinned=*/false, lru_.begin()};
+  entries_.emplace(key, std::move(e));
+  ++stats_.insertions;
+}
+
+void ModuleStore::erase(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  tiers_.credit(it->second.location, it->second.module.payload_bytes());
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void ModuleStore::clear() {
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [k, _] : entries_) keys.push_back(k);
+  for (const auto& k : keys) erase(k);
+}
+
+}  // namespace pc

@@ -1,0 +1,100 @@
+// Two-tier module registry with LRU eviction.
+//
+// Encoded modules are placed in device memory (fast, scarce) while it has
+// room, spilling to host memory (abundant, but costs a transfer at serve
+// time) — the memory trade-off of paper §4.1. Eviction is least-recently-
+// used within a tier; the paper leaves replacement policy to future serving
+// systems (§6), so the policy here is deliberately simple and pluggable
+// through this one class.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "core/encoded_module.h"
+#include "sys/memory_tier.h"
+
+namespace pc {
+
+struct ModuleStoreStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;   // dropped entirely (re-encode on next use)
+  uint64_t demotions = 0;   // moved device -> host to make room
+  uint64_t promotions = 0;  // moved host -> device (prefetch / warm-up)
+};
+
+class ModuleStore {
+ public:
+  // Capacities in bytes; 0 means unlimited.
+  ModuleStore(size_t device_capacity, size_t host_capacity)
+      : tiers_(host_capacity, device_capacity) {}
+
+  // Looks up an encoded module and bumps its recency. Returns nullptr on
+  // miss. `location` (if non-null) receives the tier it resides in.
+  const EncodedModule* find(const std::string& key,
+                            ModuleLocation* location = nullptr);
+
+  // Inserts (or replaces) a module, placing it device-first and evicting
+  // LRU entries as needed. Throws pc::CacheError when the module fits in
+  // neither tier even after evicting everything else.
+  void insert(const std::string& key, EncodedModule module);
+
+  bool contains(const std::string& key) const {
+    return entries_.contains(key);
+  }
+
+  // Pinned entries are never chosen as eviction victims (e.g. a system
+  // prompt every request imports). Returns false if the key is absent.
+  bool pin(const std::string& key);
+  bool unpin(const std::string& key);
+  bool is_pinned(const std::string& key) const;
+
+  // Moves an entry to `target` (union-sibling prefetch, §3.2.3: when one
+  // member of a union is served, its alternatives are likely next). Evicts
+  // unpinned LRU entries in the target tier as needed; returns false when
+  // the entry is absent or cannot fit. A no-op success if already there.
+  bool promote(const std::string& key, ModuleLocation target);
+
+  void erase(const std::string& key);
+  void clear();
+
+  // Visits every resident entry (hot-to-cold order is not guaranteed).
+  // The callback must not mutate the store.
+  void for_each(const std::function<void(const std::string& key,
+                                         const EncodedModule& module,
+                                         ModuleLocation location)>& fn) const {
+    for (const auto& [key, entry] : entries_) {
+      fn(key, entry.module, entry.location);
+    }
+  }
+
+  size_t size() const { return entries_.size(); }
+  const ModuleStoreStats& stats() const { return stats_; }
+  const TierUsage& usage(ModuleLocation loc) const { return tiers_.usage(loc); }
+
+ private:
+  struct Entry {
+    EncodedModule module;
+    ModuleLocation location;
+    bool pinned = false;
+    std::list<std::string>::iterator lru_it;  // into lru_ (front = hottest)
+  };
+
+  // Frees LRU entries in `loc` until `bytes` fit; returns false if
+  // impossible (capacity too small even when empty).
+  bool make_room(ModuleLocation loc, size_t bytes);
+
+  void touch(Entry& e, const std::string& key);
+
+  TierAllocator tiers_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // most-recently-used first
+  ModuleStoreStats stats_;
+};
+
+}  // namespace pc

@@ -1,0 +1,80 @@
+// Prefix-cache baseline: the "simple prefix sharing" the paper contrasts
+// against (§2.2, PagedAttention / vLLM-style automatic prefix caching).
+//
+// Attention states are reused only when a new request's token stream shares
+// an exact *prefix* (same tokens at positions 0..k) with a previously
+// served one — no schema, no position relocation, no masking. This is the
+// strongest schema-free baseline: it is exact (prefix states are identical
+// by construction) but brittle, because any reordering or substitution of
+// shared content breaks the match. bench_prefix_vs_modular quantifies the
+// gap against Prompt Cache's modular reuse.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <vector>
+
+#include "model/model.h"
+#include "tokenizer/tokenizer.h"
+
+namespace pc {
+
+struct PrefixCacheStats {
+  uint64_t requests = 0;
+  uint64_t full_hits = 0;      // entire prompt prefilled from cache
+  uint64_t partial_hits = 0;   // some prefix reused
+  uint64_t misses = 0;         // nothing reusable
+  uint64_t tokens_reused = 0;
+  uint64_t tokens_computed = 0;
+  uint64_t evictions = 0;
+};
+
+class PrefixCacheEngine {
+ public:
+  // capacity_bytes bounds the resident prefix states (0 = unlimited);
+  // eviction is LRU over whole entries.
+  PrefixCacheEngine(const Model& model, const TextTokenizer& tokenizer,
+                    size_t capacity_bytes = 0)
+      : model_(model), tokenizer_(tokenizer), capacity_(capacity_bytes) {}
+
+  struct Result {
+    std::vector<TokenId> tokens;
+    std::string text;
+    double ttft_ms = 0;
+    int reused_tokens = 0;
+    int computed_tokens = 0;
+  };
+
+  // Serves a plain prompt: longest-prefix lookup, copy, compute the rest,
+  // generate; the prompt's full prefill states are cached for future
+  // requests.
+  Result serve(const std::vector<TokenId>& prompt,
+               const GenerateOptions& options = {});
+
+  // Longest cached prefix (in tokens) of `prompt`, without serving.
+  int longest_prefix(const std::vector<TokenId>& prompt) const;
+
+  const PrefixCacheStats& stats() const { return stats_; }
+  size_t resident_bytes() const { return resident_bytes_; }
+  size_t entries() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::vector<TokenId> tokens;
+    KVCache states;
+    Entry(std::vector<TokenId> t, KVCache s)
+        : tokens(std::move(t)), states(std::move(s)) {}
+  };
+
+  void insert(std::vector<TokenId> tokens, KVCache states);
+
+  const Model& model_;
+  const TextTokenizer& tokenizer_;
+  size_t capacity_;
+  size_t resident_bytes_ = 0;
+  std::list<Entry> entries_;  // front = most recently used
+  PrefixCacheStats stats_;
+};
+
+}  // namespace pc

@@ -1,0 +1,31 @@
+// Binary persistence for encoded prompt modules.
+//
+// A serving process encodes a schema's modules once; persisting them lets a
+// restarted (or scaled-out) server skip re-encoding entirely — the offline
+// half of the paper's deployment story. The format is a little-endian
+// stream of (key, EncodedModule) records with a magic header and a per-
+// record FNV-1a checksum; corrupt or truncated files fail loudly with
+// pc::Error rather than loading partial state silently.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/encoded_module.h"
+
+namespace pc {
+
+// Serializes one record. Throws pc::Error on stream failure.
+void write_module_record(std::ostream& os, const std::string& key,
+                         const EncodedModule& module);
+
+// Reads the next record. Returns false at a clean end-of-stream; throws
+// pc::Error on malformed input or checksum mismatch.
+bool read_module_record(std::istream& is, std::string* key,
+                        EncodedModule* module);
+
+// File header handling: call before the first record on each side.
+void write_store_header(std::ostream& os);
+void read_store_header(std::istream& is);
+
+}  // namespace pc

@@ -1,0 +1,102 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace pc {
+
+std::vector<std::string> normalize_answer(std::string_view text) {
+  std::string cleaned;
+  cleaned.reserve(text.size());
+  for (char c : text) {
+    if (std::ispunct(static_cast<unsigned char>(c))) {
+      cleaned += ' ';
+    } else {
+      cleaned += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  return split_whitespace(cleaned);
+}
+
+double f1_score(std::string_view prediction, std::string_view reference) {
+  const auto pred = normalize_answer(prediction);
+  const auto ref = normalize_answer(reference);
+  if (pred.empty() || ref.empty()) {
+    return (pred.empty() && ref.empty()) ? 1.0 : 0.0;
+  }
+  std::unordered_map<std::string, int> ref_counts;
+  for (const auto& t : ref) ++ref_counts[t];
+  int overlap = 0;
+  for (const auto& t : pred) {
+    auto it = ref_counts.find(t);
+    if (it != ref_counts.end() && it->second > 0) {
+      --it->second;
+      ++overlap;
+    }
+  }
+  if (overlap == 0) return 0.0;
+  const double precision = static_cast<double>(overlap) / pred.size();
+  const double recall = static_cast<double>(overlap) / ref.size();
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+size_t lcs_length(const std::vector<std::string>& a,
+                  const std::vector<std::string>& b) {
+  if (a.empty() || b.empty()) return 0;
+  std::vector<size_t> prev(b.size() + 1, 0);
+  std::vector<size_t> cur(b.size() + 1, 0);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+double rouge_l(std::string_view prediction, std::string_view reference) {
+  const auto pred = normalize_answer(prediction);
+  const auto ref = normalize_answer(reference);
+  if (pred.empty() || ref.empty()) {
+    return (pred.empty() && ref.empty()) ? 1.0 : 0.0;
+  }
+  const size_t lcs = lcs_length(pred, ref);
+  if (lcs == 0) return 0.0;
+  const double precision = static_cast<double>(lcs) / pred.size();
+  const double recall = static_cast<double>(lcs) / ref.size();
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+double substring_match(std::string_view prediction,
+                       std::string_view reference) {
+  const auto pred = normalize_answer(prediction);
+  const auto ref = normalize_answer(reference);
+  if (ref.empty()) return 1.0;
+  if (pred.size() < ref.size()) return 0.0;
+  for (size_t start = 0; start + ref.size() <= pred.size(); ++start) {
+    bool match = true;
+    for (size_t i = 0; i < ref.size(); ++i) {
+      if (pred[start + i] != ref[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return 1.0;
+  }
+  return 0.0;
+}
+
+double exact_match(std::string_view prediction, std::string_view reference) {
+  return normalize_answer(prediction) == normalize_answer(reference) ? 1.0
+                                                                     : 0.0;
+}
+
+}  // namespace pc

@@ -1,0 +1,35 @@
+// Scoring metrics used by LongBench and hence by Table 1: token-level F1
+// (QA tasks), Rouge-L (summarization), and accuracy / exact match
+// (passage retrieval). Implemented from scratch over whitespace-split
+// normalized tokens, matching the standard definitions.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pc {
+
+// Lowercases, strips punctuation tokens, and splits on whitespace.
+std::vector<std::string> normalize_answer(std::string_view text);
+
+// Token-level F1 between prediction and reference (SQuAD-style): harmonic
+// mean of precision and recall over the token multisets.
+double f1_score(std::string_view prediction, std::string_view reference);
+
+// Rouge-L F-measure: based on the longest common subsequence between the
+// normalized token sequences.
+double rouge_l(std::string_view prediction, std::string_view reference);
+
+// 1.0 when normalized prediction contains the normalized reference as a
+// contiguous subsequence (substring match, as LongBench scores retrieval).
+double substring_match(std::string_view prediction, std::string_view reference);
+
+// 1.0 when the normalized token sequences are identical.
+double exact_match(std::string_view prediction, std::string_view reference);
+
+// Longest common subsequence length (exposed for tests).
+size_t lcs_length(const std::vector<std::string>& a,
+                  const std::vector<std::string>& b);
+
+}  // namespace pc

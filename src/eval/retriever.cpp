@@ -1,0 +1,83 @@
+#include "eval/retriever.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/metrics.h"
+
+namespace pc {
+
+int Bm25Index::add_document(std::string name, std::string_view text) {
+  PC_CHECK_MSG(!finalized_, "add_document after finalize");
+  const int doc = static_cast<int>(docs_.size());
+
+  std::unordered_map<std::string, int> counts;
+  const auto terms = normalize_answer(text);
+  for (const auto& t : terms) ++counts[t];
+
+  docs_.push_back({std::move(name), static_cast<int>(terms.size())});
+  for (const auto& [term, count] : counts) {
+    postings_[term].push_back({doc, count});
+  }
+  return doc;
+}
+
+void Bm25Index::finalize() {
+  PC_CHECK_MSG(!docs_.empty(), "empty index");
+  double total = 0;
+  for (const auto& d : docs_) total += d.length;
+  avg_doc_len_ = total / static_cast<double>(docs_.size());
+  finalized_ = true;
+}
+
+double Bm25Index::idf(const std::string& term) const {
+  auto it = postings_.find(term);
+  if (it == postings_.end()) return 0.0;
+  const double n = static_cast<double>(docs_.size());
+  const double df = static_cast<double>(it->second.size());
+  // BM25+-style floor via the +1 inside the log keeps idf positive for
+  // terms present in most documents.
+  return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+}
+
+std::vector<Bm25Index::Result> Bm25Index::query(std::string_view text,
+                                                int top_k) const {
+  PC_CHECK_MSG(finalized_, "query before finalize");
+  PC_CHECK(top_k > 0);
+
+  std::unordered_map<std::string, int> q_counts;
+  for (const auto& t : normalize_answer(text)) ++q_counts[t];
+
+  std::vector<double> scores(docs_.size(), 0.0);
+  for (const auto& [term, q_count] : q_counts) {
+    (void)q_count;  // query term frequency is conventionally ignored
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    const double term_idf = idf(term);
+    for (const Posting& p : it->second) {
+      const double tf = static_cast<double>(p.term_count);
+      const double len_norm =
+          1.0 - b_ + b_ * docs_[static_cast<size_t>(p.doc)].length /
+                         avg_doc_len_;
+      scores[static_cast<size_t>(p.doc)] +=
+          term_idf * tf * (k1_ + 1.0) / (tf + k1_ * len_norm);
+    }
+  }
+
+  std::vector<Result> results;
+  for (size_t d = 0; d < scores.size(); ++d) {
+    if (scores[d] > 0.0) {
+      results.push_back({static_cast<int>(d), scores[d]});
+    }
+  }
+  std::sort(results.begin(), results.end(),
+            [](const Result& a, const Result& b) {
+              return a.score != b.score ? a.score > b.score : a.doc < b.doc;
+            });
+  if (static_cast<int>(results.size()) > top_k) {
+    results.resize(static_cast<size_t>(top_k));
+  }
+  return results;
+}
+
+}  // namespace pc

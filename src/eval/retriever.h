@@ -1,0 +1,71 @@
+// BM25 lexical retrieval over a document pool.
+//
+// The paper's closing direction (§6) is retrieval-augmented generation:
+// "the information retrieval system basically serves as a database of
+// prompt modules." This is that retrieval system — an Okapi BM25 index so
+// the RAG example and benchmarks can select which document modules a query
+// imports, end to end, without external dependencies.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+
+namespace pc {
+
+class Bm25Index {
+ public:
+  // Standard Okapi parameters: k1 term-frequency saturation, b length
+  // normalization.
+  explicit Bm25Index(double k1 = 1.2, double b = 0.75) : k1_(k1), b_(b) {
+    PC_CHECK(k1 > 0 && b >= 0 && b <= 1);
+  }
+
+  // Adds a document; `name` is an opaque caller label (e.g. the PML module
+  // name). Returns the document's index. Text is normalized (lowercase,
+  // punctuation stripped) before indexing.
+  int add_document(std::string name, std::string_view text);
+
+  // Must be called after the last add_document and before query().
+  void finalize();
+
+  int document_count() const { return static_cast<int>(docs_.size()); }
+  const std::string& document_name(int doc) const {
+    PC_CHECK(doc >= 0 && doc < document_count());
+    return docs_[static_cast<size_t>(doc)].name;
+  }
+
+  struct Result {
+    int doc = -1;
+    double score = 0.0;
+  };
+
+  // Top-k documents by BM25 score, best first. Documents with zero overlap
+  // are omitted, so fewer than k results may return.
+  std::vector<Result> query(std::string_view text, int top_k) const;
+
+  // Inverse document frequency of a (normalized) term; 0 if absent.
+  double idf(const std::string& term) const;
+
+ private:
+  struct Doc {
+    std::string name;
+    int length = 0;  // terms
+  };
+  struct Posting {
+    int doc;
+    int term_count;
+  };
+
+  double k1_;
+  double b_;
+  bool finalized_ = false;
+  double avg_doc_len_ = 0.0;
+  std::vector<Doc> docs_;
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+};
+
+}  // namespace pc

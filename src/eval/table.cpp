@@ -1,0 +1,64 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace pc {
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<size_t> widths;
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << cell << std::string(widths[i] - cell.size(), ' ');
+      os << (i + 1 < widths.size() ? " | " : " |");
+    }
+    os << "\n";
+  };
+
+  size_t total = 4;
+  for (size_t w : widths) total += w + 3;
+
+  if (!title_.empty()) os << "\n=== " << title_ << " ===\n";
+  if (!header_.empty()) {
+    emit(header_);
+    os << std::string(total > 4 ? total - 4 : 0, '-') << "\n";
+  }
+  for (const auto& r : rows_) emit(r);
+  os.flush();
+}
+
+std::string TablePrinter::fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string TablePrinter::fmt_ms(double ms) {
+  char buf[64];
+  if (ms >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", ms / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ms);
+  }
+  return buf;
+}
+
+std::string TablePrinter::fmt_times(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1fx", x);
+  return buf;
+}
+
+}  // namespace pc

@@ -1,0 +1,34 @@
+// Plain-text table formatting for the benchmark harnesses: aligned columns,
+// optional title, printed to any ostream.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pc {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title = "") : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header) {
+    header_ = std::move(header);
+  }
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print(std::ostream& os) const;
+
+  // Formatting helpers for cells.
+  static std::string fmt(double value, int decimals = 2);
+  static std::string fmt_ms(double ms);     // adaptive ms/s
+  static std::string fmt_times(double x);   // "12.3x"
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pc

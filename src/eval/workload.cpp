@@ -1,0 +1,345 @@
+#include "eval/workload.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+#include "common/error.h"
+#include "pml/prompt_builder.h"
+
+namespace pc {
+
+const std::vector<DatasetSpec>& DatasetSpec::longbench8() {
+  // Accuracy shapes keep total context under AccuracyWorkload's position
+  // budget; latency shapes approximate each dataset's LongBench profile
+  // (~4-10K context, task-directive-sized uncached text; TriviaQA carries
+  // the largest uncached share, as the paper observes in §5.2.2).
+  static const std::vector<DatasetSpec> specs = {
+      {"NarrativeQA", TaskMetric::kF1, 1, 6, 2, 80, 0.05, 0.55, 6, 750, 35},
+      {"2WikiMQA", TaskMetric::kF1, 3, 3, 2, 30, 0.10, 0.65, 8, 570, 40},
+      {"MuSiQue", TaskMetric::kF1, 4, 3, 2, 24, 0.15, 0.75, 9, 600, 45},
+      {"GovReport", TaskMetric::kRougeL, 1, 4, 6, 80, 0.00, 0.50, 5, 1000, 25},
+      {"QMSum", TaskMetric::kRougeL, 1, 4, 5, 80, 0.00, 0.60, 5, 950, 50},
+      {"MultiNews", TaskMetric::kRougeL, 3, 2, 5, 36, 0.00, 0.55, 5, 420, 30},
+      {"TriviaQA", TaskMetric::kF1, 2, 4, 1, 44, 0.05, 0.35, 6, 700, 160},
+      {"PassageRet", TaskMetric::kAccuracy, 4, 2, 2, 20, 0.45, 0.30, 10, 500,
+       35},
+  };
+  return specs;
+}
+
+const std::vector<DatasetSpec>& DatasetSpec::longbench21() {
+  // The figure-8 datasets plus the remaining 13 LongBench tasks, shaped by
+  // their published category: single-doc QA (Qasper, MultiFieldQA),
+  // multi-doc QA (HotpotQA, DuReader), summarization (VCSUM, SAMSum),
+  // few-shot classification (TREC, LSHT), synthetic counting/retrieval
+  // (PassageCount, PassageRet-zh), and code completion (LCC, RepoBench-P —
+  // long cached repository context, short uncached cursor context).
+  static const std::vector<DatasetSpec> specs = [] {
+    std::vector<DatasetSpec> all = longbench8();
+    const std::vector<DatasetSpec> extra = {
+        {"Qasper", TaskMetric::kF1, 1, 5, 2, 70, 0.05, 0.50, 5, 720, 40},
+        {"MultiFieldQA-en", TaskMetric::kF1, 2, 4, 2, 40, 0.05, 0.45, 6, 800,
+         40},
+        {"MultiFieldQA-zh", TaskMetric::kF1, 2, 4, 2, 40, 0.05, 0.50, 6, 740,
+         40},
+        {"HotpotQA", TaskMetric::kF1, 3, 3, 2, 28, 0.10, 0.60, 8, 640, 45},
+        {"DuReader", TaskMetric::kRougeL, 2, 3, 5, 50, 0.05, 0.55, 7, 750,
+         40},
+        {"VCSUM", TaskMetric::kRougeL, 1, 4, 6, 80, 0.00, 0.55, 5, 1050, 25},
+        {"TREC", TaskMetric::kAccuracy, 1, 8, 1, 60, 0.00, 0.30, 4, 600, 30},
+        {"SAMSum", TaskMetric::kRougeL, 1, 4, 4, 70, 0.00, 0.45, 4, 650, 35},
+        {"LSHT", TaskMetric::kAccuracy, 1, 8, 1, 60, 0.00, 0.35, 5, 700, 30},
+        {"PassageCount", TaskMetric::kAccuracy, 4, 2, 1, 22, 0.20, 0.30, 9,
+         480, 30},
+        {"PassageRet-zh", TaskMetric::kAccuracy, 4, 2, 2, 20, 0.45, 0.30, 10,
+         470, 35},
+        {"LCC", TaskMetric::kF1, 1, 6, 3, 80, 0.00, 0.40, 4, 1150, 60},
+        {"RepoBench-P", TaskMetric::kF1, 3, 4, 3, 30, 0.10, 0.50, 7, 820,
+         70},
+    };
+    all.insert(all.end(), extra.begin(), extra.end());
+    return all;
+  }();
+  return specs;
+}
+
+namespace {
+
+std::vector<std::string> numbered_pieces(const char* prefix, int count) {
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%s%02d", prefix, i);
+    out.emplace_back(buf);
+  }
+  return out;
+}
+
+uint64_t sample_seed(uint64_t base, const std::string& name, int index) {
+  uint64_t h = base;
+  for (char c : name) h = h * 1099511628211ULL + static_cast<uint8_t>(c);
+  return h * 1099511628211ULL + static_cast<uint64_t>(index);
+}
+
+}  // namespace
+
+AccuracyWorkload::AccuracyWorkload(uint64_t seed)
+    : tokenizer_(vocab_), seed_(seed) {
+  filler_ = numbered_pieces("w", 30);
+  keys_ = numbered_pieces("q", 40);
+  values_ = numbered_pieces("a", 100);
+
+  std::vector<std::string> pieces = filler_;
+  pieces.insert(pieces.end(), keys_.begin(), keys_.end());
+  pieces.insert(pieces.end(), values_.begin(), values_.end());
+  pieces.emplace_back("question:");
+  pieces.emplace_back("summary:");
+  pieces.emplace_back("passage");
+  pieces.emplace_back(".");
+  // Chat-template pieces (multi-turn sessions render role labels).
+  pieces.emplace_back("user");
+  pieces.emplace_back("assistant");
+  pieces.emplace_back("system");
+  pieces.emplace_back(":");
+  vocab_ = Vocab::from_pieces(pieces, /*byte_fallback=*/false);
+  tokenizer_ = Tokenizer(vocab_);
+  stop_token_ = *vocab_.find_piece(".");
+}
+
+std::string AccuracyWorkload::filler_words(int count, Rng& rng) const {
+  std::string out;
+  for (int i = 0; i < count; ++i) {
+    if (i > 0) out += ' ';
+    out += rng.pick(filler_);
+  }
+  return out;
+}
+
+AccuracySample AccuracyWorkload::make_sample(const DatasetSpec& spec,
+                                             int sample_index) {
+  Rng rng(sample_seed(seed_, spec.name, sample_index));
+
+  const int total_facts = spec.n_docs * spec.facts_per_doc;
+  PC_CHECK_MSG(total_facts <= static_cast<int>(keys_.size()),
+               "dataset needs more keys than the vocabulary provides");
+  PC_CHECK_MSG(total_facts * spec.answer_len <=
+                   static_cast<int>(values_.size()),
+               "dataset needs more values than the vocabulary provides");
+
+  std::vector<std::string> keys = keys_;
+  std::vector<std::string> values = values_;
+  rng.shuffle(keys);
+  rng.shuffle(values);
+
+  // Build the fact table.
+  std::vector<Fact> facts(static_cast<size_t>(total_facts));
+  int vi = 0;
+  for (int f = 0; f < total_facts; ++f) {
+    facts[static_cast<size_t>(f)].key = keys[static_cast<size_t>(f)];
+    for (int a = 0; a < spec.answer_len; ++a) {
+      facts[static_cast<size_t>(f)].values.push_back(
+          values[static_cast<size_t>(vi++)]);
+    }
+  }
+
+  const int target = static_cast<int>(rng.next_below(
+      static_cast<uint64_t>(total_facts)));
+  // Straddles are stratified over sample indices so even a 2-sample run
+  // sees straddle_fraction of its samples affected (Bernoulli draws would
+  // make small-sample tables noisy).
+  const auto straddle_count = [&](int n) {
+    return static_cast<int>(n * spec.straddle_fraction + 0.5 + 1e-9);
+  };
+  const bool straddle =
+      straddle_count(sample_index + 1) > straddle_count(sample_index);
+  // Value-collision difficulty: one of the target's non-final value tokens
+  // is also planted as a non-final value of a decoy fact, so the greedy
+  // copy chain can fork mid-answer. This hurts baseline and cached alike.
+  const bool collide = spec.answer_len >= 2 && spec.collision_rate > 0 &&
+                       rng.bernoulli(spec.collision_rate);
+
+  // Summarization datasets query a "summary:"-keyed fact (single global
+  // summary, Rouge-L scored).
+  if (spec.metric == TaskMetric::kRougeL) {
+    facts[static_cast<size_t>(target)].key = "summary:";
+  }
+
+  if (collide && total_facts >= 2) {
+    // Duplicate a middle value of the target into a decoy fact's middle
+    // slot: the chain copies correctly up to the duplicate, then the
+    // induction match splits between the two continuations.
+    int decoy = static_cast<int>(rng.next_below(
+        static_cast<uint64_t>(total_facts)));
+    if (decoy == target) decoy = (decoy + 1) % total_facts;
+    const size_t slot = spec.answer_len >= 3 ? 1 : 0;
+    facts[static_cast<size_t>(decoy)]
+        .values[std::min<size_t>(slot, facts[static_cast<size_t>(decoy)]
+                                           .values.size() -
+                                           2)] =
+        facts[static_cast<size_t>(target)].values[slot];
+  }
+
+  AccuracySample sample;
+  std::string schema = "<schema name=\"" + spec.name + "-" +
+                       std::to_string(sample_index) + "\">\n";
+  std::vector<std::string> module_names;
+
+  const int filler_run =
+      std::max(1, spec.filler_per_doc / (spec.facts_per_doc + 1));
+  const int target_doc = target / spec.facts_per_doc;
+
+  for (int d = 0; d < spec.n_docs; ++d) {
+    // Document text: filler, then (fact filler)*.
+    std::vector<std::string> parts;
+    parts.push_back(filler_words(filler_run, rng));
+    int split_at = -1;  // character offset where a straddling split occurs
+    for (int f = 0; f < spec.facts_per_doc; ++f) {
+      const int fi = d * spec.facts_per_doc + f;
+      const Fact& fact = facts[static_cast<size_t>(fi)];
+      std::string fact_text = fact.key;
+      std::string value_text;
+      for (const auto& v : fact.values) value_text += " " + v;
+      if (straddle && fi == target) {
+        // Key ends the first module; values open the second. Module-masked
+        // encoding severs the previous-token link between them.
+        parts.push_back(fact_text);
+        split_at = static_cast<int>(parts.size());
+        parts.push_back(value_text + " .");
+      } else {
+        parts.push_back(fact_text + value_text + " .");
+      }
+      parts.push_back(filler_words(filler_run, rng));
+    }
+
+    auto emit_module = [&](const std::string& mod_name,
+                           const std::string& body) {
+      schema += "  <module name=\"" + mod_name + "\">" + body + "</module>\n";
+      module_names.push_back(mod_name);
+      sample.context_tokens +=
+          static_cast<int>(tokenizer_.encode(body).size());
+    };
+
+    const std::string doc_name = "doc" + std::to_string(d);
+    if (d == target_doc && split_at >= 0) {
+      std::string part1, part2;
+      for (int p = 0; p < static_cast<int>(parts.size()); ++p) {
+        std::string& dst = p < split_at ? part1 : part2;
+        if (!dst.empty()) dst += ' ';
+        dst += parts[static_cast<size_t>(p)];
+      }
+      emit_module(doc_name + "a", part1);
+      emit_module(doc_name + "b", part2);
+    } else {
+      std::string body;
+      for (const auto& p : parts) {
+        if (!body.empty()) body += ' ';
+        body += p;
+      }
+      emit_module(doc_name, body);
+    }
+  }
+  schema += "</schema>\n";
+
+  const Fact& answer = facts[static_cast<size_t>(target)];
+  sample.question = "question: " + answer.key;
+  std::string reference;
+  for (const auto& v : answer.values) {
+    if (!reference.empty()) reference += ' ';
+    reference += v;
+  }
+  sample.reference = reference;
+  sample.schema_pml = std::move(schema);
+
+  pml::PromptBuilder prompt(spec.name + "-" + std::to_string(sample_index));
+  for (const auto& mn : module_names) prompt.import(mn);
+  prompt.text(sample.question);
+  sample.prompt_pml = prompt.str();
+  return sample;
+}
+
+LatencyWorkload::LatencyWorkload(uint64_t seed)
+    : tokenizer_(Vocab::basic_english()), rng_(seed) {
+  const Vocab& v = Vocab::basic_english();
+  for (TokenId id = v.first_piece_id(); id < v.size(); ++id) {
+    const std::string& p = v.piece(id);
+    if (p.size() >= 2 &&
+        std::all_of(p.begin(), p.end(),
+                    [](char c) { return c >= 'a' && c <= 'z'; })) {
+      word_pool_.push_back(p);
+    }
+  }
+  PC_CHECK(word_pool_.size() > 100);
+}
+
+std::string LatencyWorkload::filler_words(int count) {
+  std::string out;
+  for (int i = 0; i < count; ++i) {
+    if (i > 0) out += ' ';
+    out += rng_.pick(word_pool_);
+  }
+  return out;
+}
+
+LatencySample LatencyWorkload::make_sample(const DatasetSpec& spec,
+                                           int sample_index, double scale) {
+  LatencySample sample;
+  const std::string schema_name =
+      spec.name + "-lat-" + std::to_string(sample_index);
+  std::string schema = "<schema name=\"" + schema_name + "\">\n";
+  std::vector<std::string> module_names;
+  const int doc_tokens =
+      std::max(8, static_cast<int>(spec.latency_doc_tokens * scale));
+  for (int d = 0; d < spec.latency_n_docs; ++d) {
+    const std::string body = filler_words(doc_tokens);
+    const std::string mod_name = "doc" + std::to_string(d);
+    schema += "  <module name=\"" + mod_name + "\">" + body + "</module>\n";
+    module_names.push_back(mod_name);
+    sample.context_tokens +=
+        static_cast<int>(tokenizer_.encode(body).size());
+  }
+  schema += "</schema>\n";
+  sample.schema_pml = std::move(schema);
+
+  pml::PromptBuilder prompt(schema_name);
+  for (const auto& mn : module_names) prompt.import(mn);
+  const std::string question =
+      filler_words(std::max(1, spec.latency_question_tokens - 1)) + " ?";
+  sample.question_tokens =
+      static_cast<int>(tokenizer_.encode(question).size());
+  prompt.text(question);
+  sample.prompt_pml = prompt.str();
+  return sample;
+}
+
+LatencySample LatencyWorkload::make_sweep_sample(
+    int n_tokens, int n_modules, const std::string& schema_name) {
+  PC_CHECK(n_modules > 0 && n_tokens >= n_modules);
+  LatencySample sample;
+  std::string schema = "<schema name=\"" + schema_name + "\">\n";
+  std::vector<std::string> module_names;
+  const int per_module = n_tokens / n_modules;
+  int remaining = n_tokens;
+  for (int d = 0; d < n_modules; ++d) {
+    const int count = d + 1 == n_modules ? remaining : per_module;
+    remaining -= count;
+    const std::string body = filler_words(count);
+    const std::string mod_name = "m" + std::to_string(d);
+    schema += "  <module name=\"" + mod_name + "\">" + body + "</module>\n";
+    module_names.push_back(mod_name);
+    sample.context_tokens +=
+        static_cast<int>(tokenizer_.encode(body).size());
+  }
+  schema += "</schema>\n";
+  sample.schema_pml = std::move(schema);
+
+  pml::PromptBuilder prompt(schema_name);
+  for (const auto& mn : module_names) prompt.import(mn);
+  prompt.text("?");
+  sample.question_tokens = 1;
+  sample.prompt_pml = prompt.str();
+  return sample;
+}
+
+}  // namespace pc

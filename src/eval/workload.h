@@ -1,0 +1,151 @@
+// Synthetic LongBench-like workload generator.
+//
+// The paper evaluates on eight LongBench datasets (Table 1 / Figures 3-4):
+// documents are defined as prompt modules and the task directive stays
+// uncached user text (§5.1). LongBench itself is not available offline, so
+// this generator synthesizes workloads with the same *structure*:
+//
+//   * Accuracy samples (Table 1): documents made of filler text with
+//     planted facts "key v1 ... vk .". The question names a key and the
+//     reference answer is its value sequence — retrievable in-context by
+//     the induction-head model, so F1 / Rouge-L / accuracy are meaningful.
+//     A dataset's `straddle_fraction` controls how often the queried fact
+//     crosses a module boundary: such facts are retrievable by the
+//     full-prefill baseline but lost under module-masked encoding, which
+//     reproduces the semantic-dependence degradation the paper reports for
+//     passage retrieval (§3.3, Table 1).
+//
+//   * Latency samples (Figures 3-5): paper-scale contexts (~5K tokens,
+//     LongBench average) of in-vocabulary filler text, with a
+//     dataset-specific uncached question length (e.g. TriviaQA carries the
+//     largest uncached fraction, as in §5.2.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tokenizer/tokenizer.h"
+
+namespace pc {
+
+enum class TaskMetric { kF1, kRougeL, kAccuracy };
+
+struct DatasetSpec {
+  std::string name;
+  TaskMetric metric;
+
+  // Accuracy-task shape (small contexts, induction model).
+  int n_docs = 1;
+  int facts_per_doc = 4;
+  int answer_len = 2;           // value tokens per fact
+  int filler_per_doc = 60;      // filler tokens between facts
+  double straddle_fraction = 0; // queried fact crosses a module boundary
+                                // (stratified across sample indices)
+  double collision_rate = 0;    // value-token ambiguity: a queried value
+                                // also appears inside another fact, forking
+                                // the copy chain (hurts baseline and cached
+                                // alike — this sets the task's difficulty
+                                // ceiling, like distractors in LongBench)
+
+  // Latency-task shape (paper-scale contexts, random-weight models).
+  int latency_n_docs = 6;
+  int latency_doc_tokens = 750;
+  int latency_question_tokens = 35;
+
+  const char* metric_name() const {
+    switch (metric) {
+      case TaskMetric::kF1:
+        return "F1";
+      case TaskMetric::kRougeL:
+        return "Rouge L";
+      case TaskMetric::kAccuracy:
+        return "Acc";
+    }
+    return "?";
+  }
+
+  // The eight datasets shown in Table 1 and Figures 3-4.
+  static const std::vector<DatasetSpec>& longbench8();
+
+  // All 21 LongBench datasets (the paper's appendix evaluates the full
+  // suite; the figures subsample 8 of them "due to space constraints").
+  static const std::vector<DatasetSpec>& longbench21();
+};
+
+struct AccuracySample {
+  std::string schema_pml;
+  std::string prompt_pml;
+  std::string question;   // the uncached task directive
+  std::string reference;  // ground-truth answer text
+  int context_tokens = 0; // cached module tokens
+};
+
+struct LatencySample {
+  std::string schema_pml;
+  std::string prompt_pml;
+  int context_tokens = 0;
+  int question_tokens = 0;
+};
+
+// Generates accuracy samples over its own compact closed vocabulary
+// (designed for the induction model, whose width scales with vocab size).
+class AccuracyWorkload {
+ public:
+  explicit AccuracyWorkload(uint64_t seed = 17);
+
+  const Vocab& vocab() const { return vocab_; }
+  const TextTokenizer& tokenizer() const { return tokenizer_; }
+
+  // Token id of the fact terminator "." — the generation stop token.
+  TokenId stop_token() const { return stop_token_; }
+
+  // Positions the schema may occupy (bound for the induction model's
+  // max_pos).
+  static constexpr int kMaxSchemaPositions = 384;
+
+  AccuracySample make_sample(const DatasetSpec& spec, int sample_index);
+
+ private:
+  struct Fact {
+    std::string key;
+    std::vector<std::string> values;
+  };
+
+  std::string filler_words(int count, Rng& rng) const;
+
+  Vocab vocab_;
+  Tokenizer tokenizer_;
+  uint64_t seed_;
+  TokenId stop_token_ = Vocab::kUnk;
+  std::vector<std::string> filler_;
+  std::vector<std::string> keys_;
+  std::vector<std::string> values_;
+};
+
+// Generates paper-scale latency samples over the built-in English
+// vocabulary (token values are irrelevant to latency; shapes are not).
+class LatencyWorkload {
+ public:
+  explicit LatencyWorkload(uint64_t seed = 23);
+
+  const TextTokenizer& tokenizer() const { return tokenizer_; }
+
+  // scale multiplies context sizes (1.0 = LongBench-average ~5K tokens).
+  LatencySample make_sample(const DatasetSpec& spec, int sample_index,
+                            double scale = 1.0);
+
+  // A fully cached synthetic prompt of exactly n_tokens context split into
+  // `n_modules` modules, plus a single-token question (Figure 5 sweep).
+  LatencySample make_sweep_sample(int n_tokens, int n_modules,
+                                  const std::string& schema_name);
+
+ private:
+  std::string filler_words(int count);
+
+  Tokenizer tokenizer_;
+  Rng rng_;
+  std::vector<std::string> word_pool_;
+};
+
+}  // namespace pc

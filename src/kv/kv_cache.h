@@ -1,0 +1,205 @@
+// Key-value attention-state cache for one sequence.
+//
+// Layout: per layer, K and V are [n_tokens, kv_dim] row-major buffers where
+// kv_dim = n_kv_heads * d_head. The position ID of every cached token is
+// retained (shared across layers) because Prompt Cache relocates modules:
+// RoPE keys are cached post-rotation, but ALiBi biases must be recomputed
+// from true key position IDs at attention time (paper §4.2).
+//
+// Growth policy implements the paper's buffered concatenation operator
+// (§4.2): PyTorch-style concatenation reallocates and copies the whole
+// buffer on every append; the buffered policy grows geometrically (and
+// honors reserve()), so appending a module is a single memcpy into reserved
+// space. Both policies are kept so the ablation benchmark can measure the
+// difference; stats record every reallocation.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace pc {
+
+enum class ConcatPolicy {
+  kBuffered,  // geometric growth + reserve(): amortized O(1) appends
+  kNaive,     // exact-fit reallocation on every append (PyTorch torch.cat)
+};
+
+struct KVCacheStats {
+  uint64_t reallocations = 0;   // buffer growth events (all layers summed)
+  uint64_t bytes_moved = 0;     // bytes copied due to reallocation
+  uint64_t bytes_appended = 0;  // payload bytes written by appends
+};
+
+class KVCache {
+ public:
+  KVCache(int n_layers, int kv_dim,
+          ConcatPolicy policy = ConcatPolicy::kBuffered)
+      : n_layers_(n_layers), kv_dim_(kv_dim), policy_(policy) {
+    PC_CHECK(n_layers > 0 && kv_dim > 0);
+    layers_.resize(static_cast<size_t>(n_layers));
+  }
+
+  int n_layers() const { return n_layers_; }
+  int kv_dim() const { return kv_dim_; }
+  int size() const { return n_tokens_; }
+  bool empty() const { return n_tokens_ == 0; }
+  ConcatPolicy policy() const { return policy_; }
+  const KVCacheStats& stats() const { return stats_; }
+
+  const std::vector<int>& pos_ids() const { return pos_ids_; }
+  int pos_id(int token) const {
+    PC_CHECK(token >= 0 && token < n_tokens_);
+    return pos_ids_[static_cast<size_t>(token)];
+  }
+
+  // Ensures capacity for at least n_tokens without reallocation.
+  void reserve(int n_tokens) {
+    if (n_tokens <= capacity_) return;
+    grow_to(n_tokens);
+  }
+
+  int capacity() const { return capacity_; }
+
+  // Appends `count` token slots with the given position IDs; rows are
+  // zero-initialized and writable via k_row()/v_row(). Returns the index of
+  // the first new token.
+  int append_tokens(std::span<const int> new_pos_ids) {
+    const int count = static_cast<int>(new_pos_ids.size());
+    ensure_capacity(n_tokens_ + count);
+    const int first = n_tokens_;
+    pos_ids_.insert(pos_ids_.end(), new_pos_ids.begin(), new_pos_ids.end());
+    n_tokens_ += count;
+    stats_.bytes_appended += static_cast<uint64_t>(count) * kv_dim_ * 2 *
+                             n_layers_ * sizeof(float);
+    return first;
+  }
+
+  // Appends the entire contents of `src` (same geometry) — this is the
+  // module-concatenation step of cached inference, a pure memcpy.
+  int append_copy(const KVCache& src) { return append_range(src, 0, src.size()); }
+
+  // Appends token rows [begin, end) of `src`. Used to copy a module's text
+  // rows while skipping parameter placeholders (paper §3.3/§3.4).
+  int append_range(const KVCache& src, int begin, int end) {
+    PC_CHECK_MSG(src.n_layers_ == n_layers_ && src.kv_dim_ == kv_dim_,
+                 "KV geometry mismatch on concat");
+    PC_CHECK(begin >= 0 && begin <= end && end <= src.n_tokens_);
+    const int count = end - begin;
+    const int first = append_tokens(
+        std::span<const int>(src.pos_ids_.data() + begin,
+                             static_cast<size_t>(count)));
+    const size_t row_bytes = static_cast<size_t>(kv_dim_) * sizeof(float);
+    for (int l = 0; l < n_layers_; ++l) {
+      auto& dst = layers_[static_cast<size_t>(l)];
+      const auto& s = src.layers_[static_cast<size_t>(l)];
+      std::memcpy(dst.k.data() + static_cast<size_t>(first) * kv_dim_,
+                  s.k.data() + static_cast<size_t>(begin) * kv_dim_,
+                  static_cast<size_t>(count) * row_bytes);
+      std::memcpy(dst.v.data() + static_cast<size_t>(first) * kv_dim_,
+                  s.v.data() + static_cast<size_t>(begin) * kv_dim_,
+                  static_cast<size_t>(count) * row_bytes);
+    }
+    return first;
+  }
+
+  float* k_row(int layer, int token) { return row(layer, token, true); }
+  float* v_row(int layer, int token) { return row(layer, token, false); }
+  const float* k_row(int layer, int token) const {
+    return const_cast<KVCache*>(this)->row(layer, token, true);
+  }
+  const float* v_row(int layer, int token) const {
+    return const_cast<KVCache*>(this)->row(layer, token, false);
+  }
+
+  // Overwrites token rows in every layer from another cache (used for
+  // parameter substitution: argument states replace <unk> placeholders).
+  void overwrite_from(int dst_first, const KVCache& src, int src_first,
+                      int count) {
+    PC_CHECK(src.n_layers_ == n_layers_ && src.kv_dim_ == kv_dim_);
+    PC_CHECK(dst_first >= 0 && dst_first + count <= n_tokens_);
+    PC_CHECK(src_first >= 0 && src_first + count <= src.n_tokens_);
+    const size_t bytes = static_cast<size_t>(count) * kv_dim_ * sizeof(float);
+    for (int l = 0; l < n_layers_; ++l) {
+      std::memcpy(k_row(l, dst_first), src.k_row(l, src_first), bytes);
+      std::memcpy(v_row(l, dst_first), src.v_row(l, src_first), bytes);
+    }
+    for (int i = 0; i < count; ++i) {
+      pos_ids_[static_cast<size_t>(dst_first + i)] =
+          src.pos_ids_[static_cast<size_t>(src_first + i)];
+    }
+  }
+
+  // Total bytes of attention-state payload currently held.
+  size_t payload_bytes() const {
+    return static_cast<size_t>(n_tokens_) * kv_dim_ * 2 * n_layers_ *
+           sizeof(float);
+  }
+
+  // Truncates to the first n_tokens (used to roll back speculative appends).
+  void truncate(int n_tokens) {
+    PC_CHECK(n_tokens >= 0 && n_tokens <= n_tokens_);
+    n_tokens_ = n_tokens;
+    pos_ids_.resize(static_cast<size_t>(n_tokens));
+  }
+
+ private:
+  struct LayerBuffers {
+    std::vector<float> k;
+    std::vector<float> v;
+  };
+
+  float* row(int layer, int token, bool key) {
+    PC_CHECK_MSG(layer >= 0 && layer < n_layers_, "layer out of range");
+    PC_CHECK_MSG(token >= 0 && token < n_tokens_,
+                 "token " << token << " out of range " << n_tokens_);
+    auto& bufs = layers_[static_cast<size_t>(layer)];
+    auto& buf = key ? bufs.k : bufs.v;
+    return buf.data() + static_cast<size_t>(token) * kv_dim_;
+  }
+
+  void ensure_capacity(int n_tokens) {
+    if (n_tokens <= capacity_) return;
+    int target = n_tokens;
+    if (policy_ == ConcatPolicy::kBuffered) {
+      target = std::max(n_tokens, capacity_ > 0 ? capacity_ * 2 : 64);
+    }
+    grow_to(target);
+  }
+
+  void grow_to(int target) {
+    const size_t elems = static_cast<size_t>(target) * kv_dim_;
+    for (auto& bufs : layers_) {
+      // vector::resize preserves contents; count the move explicitly when
+      // the allocation actually changes.
+      const bool moved = bufs.k.capacity() < elems;
+      if (moved) {
+        stats_.reallocations += 2;  // k and v
+        stats_.bytes_moved += static_cast<uint64_t>(n_tokens_) * kv_dim_ * 2 *
+                              sizeof(float);
+      }
+      bufs.k.resize(elems, 0.0f);
+      bufs.v.resize(elems, 0.0f);
+      if (policy_ == ConcatPolicy::kNaive) {
+        bufs.k.shrink_to_fit();
+        bufs.v.shrink_to_fit();
+      }
+    }
+    capacity_ = target;
+    pos_ids_.reserve(static_cast<size_t>(target));
+  }
+
+  int n_layers_;
+  int kv_dim_;
+  ConcatPolicy policy_;
+  int n_tokens_ = 0;
+  int capacity_ = 0;
+  std::vector<int> pos_ids_;
+  std::vector<LayerBuffers> layers_;
+  KVCacheStats stats_;
+};
+
+}  // namespace pc

@@ -1,0 +1,136 @@
+// Zero-copy composite KV cache.
+//
+// Cached inference normally memcpy-concatenates module states into a
+// per-request cache (§3.4). SegmentedKVCache removes even that copy: it
+// *borrows* rows from encoded modules (which stay resident in the module
+// store) and owns only a small writable tail for uncached/generated
+// tokens. This is the CPU analog of the paper's future-work direction of
+// sharing attention states across concurrent requests (§6): N requests
+// importing the same modules hold N pointer tables and N tails, but one
+// copy of the module states.
+//
+// Row access goes through per-layer pointer tables, so the attention inner
+// loop pays one extra indirection per row. The owned tail has fixed
+// capacity (reserved up front) because growing it would invalidate the
+// published row pointers; appending beyond the reservation is a contract
+// violation, not a reallocation.
+//
+// Lifetime: borrowed sources must outlive the view. The engine pins
+// borrowed modules in the store for the duration of a request.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "kv/kv_cache.h"
+
+namespace pc {
+
+class SegmentedKVCache {
+ public:
+  // tail_capacity bounds the owned (writable) tokens: uncached prompt
+  // segments plus the generation budget.
+  SegmentedKVCache(int n_layers, int kv_dim, int tail_capacity)
+      : n_layers_(n_layers),
+        kv_dim_(kv_dim),
+        tail_capacity_(tail_capacity),
+        tail_(n_layers, kv_dim) {
+    PC_CHECK(tail_capacity >= 0);
+    tail_.reserve(tail_capacity);
+    k_rows_.resize(static_cast<size_t>(n_layers));
+    v_rows_.resize(static_cast<size_t>(n_layers));
+  }
+
+  int n_layers() const { return n_layers_; }
+  int kv_dim() const { return kv_dim_; }
+  int size() const { return static_cast<int>(pos_ids_.size()); }
+  bool empty() const { return pos_ids_.empty(); }
+  int borrowed_tokens() const { return borrowed_tokens_; }
+  int owned_tokens() const { return tail_.size(); }
+
+  // Borrows rows [begin, end) of `src` by reference. No payload moves;
+  // src must stay alive and unmodified while this view is used.
+  void append_borrowed(const KVCache& src, int begin, int end) {
+    PC_CHECK_MSG(src.n_layers() == n_layers_ && src.kv_dim() == kv_dim_,
+                 "borrowed segment geometry mismatch");
+    PC_CHECK(begin >= 0 && begin <= end && end <= src.size());
+    PC_CHECK_MSG(tail_.size() == 0,
+                 "segments must be borrowed before any owned appends");
+    for (int l = 0; l < n_layers_; ++l) {
+      auto& kt = k_rows_[static_cast<size_t>(l)];
+      auto& vt = v_rows_[static_cast<size_t>(l)];
+      for (int t = begin; t < end; ++t) {
+        kt.push_back(src.k_row(l, t));
+        vt.push_back(src.v_row(l, t));
+      }
+    }
+    for (int t = begin; t < end; ++t) pos_ids_.push_back(src.pos_id(t));
+    borrowed_tokens_ += end - begin;
+  }
+
+  // Appends owned writable token slots (the uncached/generated rows).
+  // Returns the global index of the first new token.
+  int append_tokens(std::span<const int> new_pos_ids) {
+    PC_CHECK_MSG(tail_.size() + static_cast<int>(new_pos_ids.size()) <=
+                     tail_capacity_,
+                 "segmented cache tail overflow: reserve a larger "
+                 "generation budget");
+    const int first_tail = tail_.append_tokens(new_pos_ids);
+    for (size_t i = 0; i < new_pos_ids.size(); ++i) {
+      const int t = first_tail + static_cast<int>(i);
+      for (int l = 0; l < n_layers_; ++l) {
+        k_rows_[static_cast<size_t>(l)].push_back(tail_.k_row(l, t));
+        v_rows_[static_cast<size_t>(l)].push_back(tail_.v_row(l, t));
+      }
+      pos_ids_.push_back(new_pos_ids[i]);
+    }
+    return size() - static_cast<int>(new_pos_ids.size());
+  }
+
+  const float* k_row(int layer, int token) const {
+    return k_rows_[checked_layer(layer)][checked_token(token)];
+  }
+  const float* v_row(int layer, int token) const {
+    return v_rows_[checked_layer(layer)][checked_token(token)];
+  }
+
+  // Writable access — owned tail rows only.
+  float* k_row_mut(int layer, int token) {
+    PC_CHECK_MSG(token >= borrowed_tokens_, "borrowed rows are read-only");
+    return tail_.k_row(layer, token - borrowed_tokens_);
+  }
+  float* v_row_mut(int layer, int token) {
+    PC_CHECK_MSG(token >= borrowed_tokens_, "borrowed rows are read-only");
+    return tail_.v_row(layer, token - borrowed_tokens_);
+  }
+
+  int pos_id(int token) const {
+    return pos_ids_[checked_token(token)];
+  }
+
+  // Payload bytes this view *owns* (the point of zero-copy: O(tail), not
+  // O(prompt)).
+  size_t owned_payload_bytes() const { return tail_.payload_bytes(); }
+
+ private:
+  size_t checked_layer(int layer) const {
+    PC_CHECK_MSG(layer >= 0 && layer < n_layers_, "layer out of range");
+    return static_cast<size_t>(layer);
+  }
+  size_t checked_token(int token) const {
+    PC_CHECK_MSG(token >= 0 && token < size(),
+                 "token " << token << " out of range " << size());
+    return static_cast<size_t>(token);
+  }
+
+  int n_layers_;
+  int kv_dim_;
+  int tail_capacity_;
+  int borrowed_tokens_ = 0;
+  KVCache tail_;
+  std::vector<std::vector<const float*>> k_rows_;  // [layer][token]
+  std::vector<std::vector<const float*>> v_rows_;
+  std::vector<int> pos_ids_;
+};
+
+}  // namespace pc

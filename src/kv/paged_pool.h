@@ -1,0 +1,199 @@
+// Paged KV storage with shared, reference-counted pages.
+//
+// Models the batch-inference memory optimization from paper §3.4: when many
+// prompts in a batch import the same prompt module, a paged allocator
+// (PagedAttention, Kwon et al. 2023) lets them share *pointers* to the same
+// attention-state pages instead of duplicating them. This module implements
+// the allocator and the sharing accounting so the ablation benchmark can
+// quantify the footprint reduction; it is storage-level and intentionally
+// independent of the compute path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace pc {
+
+using PageId = int32_t;
+constexpr PageId kInvalidPage = -1;
+
+struct PagedPoolStats {
+  uint64_t pages_allocated = 0;  // cumulative allocations
+  uint64_t pages_freed = 0;
+  uint64_t cow_copies = 0;  // copy-on-write page duplications
+};
+
+class PagedKVPool {
+ public:
+  // page_tokens: tokens per page; bytes_per_token: full per-token KV payload
+  // across all layers (2 * n_layers * kv_dim * dtype_size).
+  PagedKVPool(int page_tokens, size_t bytes_per_token)
+      : page_tokens_(page_tokens), bytes_per_token_(bytes_per_token) {
+    PC_CHECK(page_tokens > 0 && bytes_per_token > 0);
+  }
+
+  int page_tokens() const { return page_tokens_; }
+  size_t page_bytes() const { return bytes_per_token_ * page_tokens_; }
+
+  PageId allocate() {
+    PageId id;
+    if (!free_list_.empty()) {
+      id = free_list_.back();
+      free_list_.pop_back();
+      pages_[static_cast<size_t>(id)].refcount = 1;
+      pages_[static_cast<size_t>(id)].data.assign(page_floats(), 0.0f);
+    } else {
+      id = static_cast<PageId>(pages_.size());
+      pages_.push_back(Page{std::vector<float>(page_floats(), 0.0f), 1});
+    }
+    ++stats_.pages_allocated;
+    return id;
+  }
+
+  void retain(PageId id) { ++page(id).refcount; }
+
+  void release(PageId id) {
+    Page& p = page(id);
+    PC_CHECK_MSG(p.refcount > 0, "release of dead page " << id);
+    if (--p.refcount == 0) {
+      p.data.clear();
+      p.data.shrink_to_fit();
+      free_list_.push_back(id);
+      ++stats_.pages_freed;
+    }
+  }
+
+  int refcount(PageId id) const {
+    return const_cast<PagedKVPool*>(this)->page(id).refcount;
+  }
+
+  // Write access with copy-on-write: if the page is shared, a private copy
+  // is made and its id returned; otherwise the same id is returned.
+  PageId make_writable(PageId id) {
+    if (page(id).refcount == 1) return id;
+    // Copy the payload before allocate(): growing pages_ invalidates
+    // references into it.
+    std::vector<float> payload = page(id).data;
+    const PageId fresh = allocate();
+    page(fresh).data = std::move(payload);
+    ++stats_.cow_copies;
+    release(id);
+    return fresh;
+  }
+
+  float* data(PageId id) { return page(id).data.data(); }
+  const float* data(PageId id) const {
+    return const_cast<PagedKVPool*>(this)->page(id).data.data();
+  }
+
+  // Number of live (referenced) pages and their total payload.
+  int live_pages() const {
+    int n = 0;
+    for (const auto& p : pages_) {
+      if (p.refcount > 0) ++n;
+    }
+    return n;
+  }
+  size_t live_bytes() const {
+    return static_cast<size_t>(live_pages()) * page_bytes();
+  }
+
+  const PagedPoolStats& stats() const { return stats_; }
+
+ private:
+  struct Page {
+    std::vector<float> data;
+    int refcount = 0;
+  };
+
+  size_t page_floats() const {
+    return page_bytes() / sizeof(float) + (page_bytes() % sizeof(float) != 0);
+  }
+
+  Page& page(PageId id) {
+    PC_CHECK_MSG(id >= 0 && static_cast<size_t>(id) < pages_.size(),
+                 "bad page id " << id);
+    return pages_[static_cast<size_t>(id)];
+  }
+
+  int page_tokens_;
+  size_t bytes_per_token_;
+  std::vector<Page> pages_;
+  std::vector<PageId> free_list_;
+  PagedPoolStats stats_;
+};
+
+// A sequence's view onto the pool: an ordered page table plus token count.
+class PagedSequence {
+ public:
+  explicit PagedSequence(PagedKVPool& pool) : pool_(&pool) {}
+
+  PagedSequence(const PagedSequence&) = delete;
+  PagedSequence& operator=(const PagedSequence&) = delete;
+  PagedSequence(PagedSequence&& other) noexcept
+      : pool_(other.pool_),
+        pages_(std::move(other.pages_)),
+        n_tokens_(other.n_tokens_) {
+    other.pages_.clear();
+    other.n_tokens_ = 0;
+  }
+
+  ~PagedSequence() {
+    for (PageId id : pages_) pool_->release(id);
+  }
+
+  int n_tokens() const { return n_tokens_; }
+  const std::vector<PageId>& pages() const { return pages_; }
+
+  // Appends n fresh (exclusive) tokens, allocating pages as needed.
+  void append_tokens(int n) {
+    PC_CHECK(n >= 0);
+    while (n > 0) {
+      const int room = slack();
+      if (room == 0) {
+        pages_.push_back(pool_->allocate());
+        continue;
+      }
+      const int take = std::min(room, n);
+      n_tokens_ += take;
+      n -= take;
+    }
+  }
+
+  // Appends another sequence's pages by reference (zero copy) — valid when
+  // this sequence currently ends on a page boundary, which is how encoded
+  // modules are laid out. This is the batch-sharing fast path of §3.4.
+  void append_shared(const PagedSequence& src) {
+    PC_CHECK_MSG(slack() == 0,
+                 "append_shared requires a page-aligned destination");
+    for (PageId id : src.pages_) {
+      pool_->retain(id);
+      pages_.push_back(id);
+    }
+    n_tokens_ += src.n_tokens_;
+    // Padding inside src's final page is inherited; count it as occupied so
+    // subsequent appends start on a fresh page.
+    n_tokens_ += src.slack();
+  }
+
+  // Ensures the page holding `token` is exclusively owned, copying if shared.
+  void make_token_writable(int token) {
+    PC_CHECK(token >= 0 && token < n_tokens_);
+    const size_t idx = static_cast<size_t>(token / pool_->page_tokens());
+    pages_[idx] = pool_->make_writable(pages_[idx]);
+  }
+
+ private:
+  int slack() const {
+    const int cap = static_cast<int>(pages_.size()) * pool_->page_tokens();
+    return cap - n_tokens_;
+  }
+
+  PagedKVPool* pool_;
+  std::vector<PageId> pages_;
+  int n_tokens_ = 0;
+};
+
+}  // namespace pc

@@ -1,0 +1,154 @@
+// Runnable model configurations (laptop scale).
+//
+// The engine implements the three transformer families the paper adapts in
+// §4.2 — RoPE models (Llama2, Falcon), ALiBi models (MPT), and absolute-
+// position-table models (GPT-2/BERT lineage) — at dimensions small enough
+// to run on a single CPU core. Weight values are random (latency is
+// shape-determined, not value-determined); the accuracy experiments use the
+// hand-constructed induction model from model/induction.h instead.
+#pragma once
+
+#include <string>
+
+#include "common/error.h"
+#include "tokenizer/chat_template.h"
+
+namespace pc {
+
+enum class ArchFamily {
+  kLlama,   // RMSNorm, RoPE, SwiGLU MLP, sequential block
+  kMpt,     // LayerNorm, ALiBi, GELU MLP, sequential block
+  kFalcon,  // LayerNorm, RoPE, GELU MLP, parallel attention+MLP block
+  kGpt2,    // LayerNorm, learned absolute positions, GELU MLP
+};
+
+enum class PosEncodingKind { kRope, kAlibi, kLearned, kSinusoidal };
+enum class NormKind { kRmsNorm, kLayerNorm, kNone };
+enum class ActivationKind { kSilu, kGelu };
+
+struct ModelConfig {
+  std::string name;
+  ArchFamily family = ArchFamily::kLlama;
+
+  int vocab_size = 0;
+  int d_model = 0;
+  int n_layers = 0;
+  int n_heads = 0;
+  int n_kv_heads = 0;  // < n_heads enables GQA; == n_heads is MHA
+  int d_head = 0;
+  int d_ff = 0;
+  int max_pos = 2048;  // position-ID space (schemas address into this)
+
+  PosEncodingKind pos = PosEncodingKind::kRope;
+  NormKind norm = NormKind::kRmsNorm;
+  ActivationKind activation = ActivationKind::kSilu;
+  bool gated_mlp = true;       // SwiGLU-style three-matrix MLP
+  bool parallel_block = false; // Falcon-style parallel attn+MLP
+  bool use_mlp = true;         // attention-only models (induction) disable
+  bool final_norm = true;
+  float rope_theta = 10000.0f;
+  float norm_eps = 1e-5f;
+  float init_stddev = 0.02f;
+  float attn_scale = 0.0f;  // 0 selects 1/sqrt(d_head)
+
+  TemplateStyle chat_template = TemplateStyle::kPlain;
+
+  int kv_dim() const { return n_kv_heads * d_head; }
+  int q_dim() const { return n_heads * d_head; }
+
+  void validate() const {
+    PC_CHECK_MSG(vocab_size > 0 && d_model > 0 && n_layers > 0, "empty dims");
+    PC_CHECK_MSG(n_heads > 0 && n_kv_heads > 0 && d_head > 0, "bad heads");
+    PC_CHECK_MSG(n_heads % n_kv_heads == 0, "n_heads must divide by kv heads");
+    PC_CHECK_MSG(max_pos > 0, "max_pos must be positive");
+    if (pos == PosEncodingKind::kRope) {
+      PC_CHECK_MSG(d_head % 2 == 0, "RoPE needs even d_head");
+    }
+    if (use_mlp) PC_CHECK_MSG(d_ff > 0, "d_ff required when MLP enabled");
+  }
+
+  // ---- presets (one per architecture family in the paper) ----
+
+  static ModelConfig llama_tiny(int vocab_size, int max_pos = 8192) {
+    ModelConfig c;
+    c.name = "llama-tiny";
+    c.family = ArchFamily::kLlama;
+    c.vocab_size = vocab_size;
+    c.d_model = 192;
+    c.n_layers = 4;
+    c.n_heads = 6;
+    c.n_kv_heads = 3;  // exercise GQA
+    c.d_head = 32;
+    c.d_ff = 512;
+    c.max_pos = max_pos;
+    c.pos = PosEncodingKind::kRope;
+    c.norm = NormKind::kRmsNorm;
+    c.activation = ActivationKind::kSilu;
+    c.gated_mlp = true;
+    c.chat_template = TemplateStyle::kLlama2;
+    return c;
+  }
+
+  static ModelConfig mpt_tiny(int vocab_size, int max_pos = 8192) {
+    ModelConfig c;
+    c.name = "mpt-tiny";
+    c.family = ArchFamily::kMpt;
+    c.vocab_size = vocab_size;
+    c.d_model = 192;
+    c.n_layers = 4;
+    c.n_heads = 6;
+    c.n_kv_heads = 6;
+    c.d_head = 32;
+    c.d_ff = 768;
+    c.max_pos = max_pos;
+    c.pos = PosEncodingKind::kAlibi;
+    c.norm = NormKind::kLayerNorm;
+    c.activation = ActivationKind::kGelu;
+    c.gated_mlp = false;
+    c.chat_template = TemplateStyle::kChatML;
+    return c;
+  }
+
+  static ModelConfig falcon_tiny(int vocab_size, int max_pos = 8192) {
+    ModelConfig c;
+    c.name = "falcon-tiny";
+    c.family = ArchFamily::kFalcon;
+    c.vocab_size = vocab_size;
+    c.d_model = 192;
+    c.n_layers = 4;
+    c.n_heads = 6;
+    c.n_kv_heads = 1;  // Falcon uses multi-query attention
+    c.d_head = 32;
+    c.d_ff = 768;
+    c.max_pos = max_pos;
+    c.pos = PosEncodingKind::kRope;
+    c.norm = NormKind::kLayerNorm;
+    c.activation = ActivationKind::kGelu;
+    c.gated_mlp = false;
+    c.parallel_block = true;
+    c.chat_template = TemplateStyle::kFalcon;
+    return c;
+  }
+
+  static ModelConfig gpt2_tiny(int vocab_size, int max_pos = 2048) {
+    ModelConfig c;
+    c.name = "gpt2-tiny";
+    c.family = ArchFamily::kGpt2;
+    c.vocab_size = vocab_size;
+    c.d_model = 192;
+    c.n_layers = 4;
+    c.n_heads = 6;
+    c.n_kv_heads = 6;
+    c.d_head = 32;
+    c.d_ff = 768;
+    c.max_pos = max_pos;
+    c.pos = PosEncodingKind::kLearned;
+    c.norm = NormKind::kLayerNorm;
+    c.activation = ActivationKind::kGelu;
+    c.gated_mlp = false;
+    c.chat_template = TemplateStyle::kPlain;
+    return c;
+  }
+};
+
+}  // namespace pc

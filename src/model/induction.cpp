@@ -1,0 +1,73 @@
+#include "model/induction.h"
+
+namespace pc {
+
+Model make_induction_model(const InductionModelOptions& opt) {
+  PC_CHECK_MSG(opt.vocab_size > 0 && opt.max_pos > 0,
+               "induction model needs vocab_size and max_pos");
+  const int v = opt.vocab_size;
+  const int p = opt.max_pos;
+  const int d = 3 * v + p;
+  const int tok0 = 0;
+  const int pos0 = v;
+  const int prev0 = v + p;
+  const int ind0 = 2 * v + p;
+
+  ModelConfig c;
+  c.name = "induction";
+  c.family = ArchFamily::kGpt2;
+  c.vocab_size = v;
+  c.d_model = d;
+  c.n_layers = 2;
+  c.n_heads = 1;
+  c.n_kv_heads = 1;
+  c.d_head = d;
+  c.d_ff = 0;
+  c.max_pos = p;
+  c.pos = PosEncodingKind::kLearned;
+  c.norm = NormKind::kNone;
+  c.use_mlp = false;
+  c.final_norm = false;
+  c.attn_scale = 1.0f;  // betas are baked into the weights
+  c.chat_template = TemplateStyle::kPlain;
+
+  ModelWeights w = ModelWeights::zeros(c);
+
+  // Embeddings: identity one-hots into TOK and POS.
+  for (int t = 0; t < v; ++t) w.tok_embed.at(t, tok0 + t) = 1.0f;
+  w.pos_table = PositionTable::zeros(p, d);
+  for (int q = 0; q < p; ++q) w.pos_table.tensor().at(q, pos0 + q) = 1.0f;
+
+  // Layer 1: previous-token head.
+  {
+    LayerWeights& l = w.layers[0];
+    for (int q = 0; q < p; ++q) {
+      l.wq.at(pos0 + q, pos0 + q) = opt.beta1;  // query: my position
+      if (q + 1 < p) {
+        l.wk.at(pos0 + q + 1, pos0 + q) = 1.0f;  // key: my position + 1
+      }
+    }
+    for (int t = 0; t < v; ++t) {
+      l.wv.at(prev0 + t, tok0 + t) = 1.0f;  // value: my token into PREV
+      l.wo.at(prev0 + t, prev0 + t) = 1.0f; // pass PREV through
+    }
+  }
+
+  // Layer 2: induction head.
+  {
+    LayerWeights& l = w.layers[1];
+    for (int t = 0; t < v; ++t) {
+      l.wq.at(prev0 + t, tok0 + t) = opt.beta2;  // query: PREV==my token?
+      l.wk.at(prev0 + t, prev0 + t) = 1.0f;      // key: my PREV content
+      l.wv.at(ind0 + t, tok0 + t) = 1.0f;        // value: my token into IND
+      l.wo.at(ind0 + t, ind0 + t) = 1.0f;        // pass IND through
+    }
+  }
+
+  // Unembedding: read IND.
+  for (int t = 0; t < v; ++t) w.lm_head.at(t, ind0 + t) = 1.0f;
+
+  return Model(std::move(c), std::move(w));
+}
+
+}  // namespace pc

@@ -1,0 +1,54 @@
+// Hand-constructed induction-head transformer.
+//
+// The paper's accuracy experiments (Table 1) require a model that actually
+// *uses* its context: cached-vs-baseline accuracy is only informative if the
+// model retrieves answers from the prompt. Since no pretrained weights are
+// available, we construct one analytically: the classic two-layer
+// attention-only "induction head" circuit (Elhage et al. / Olsson et al.)
+// that performs in-context copying — given a context containing "K V1 V2 ."
+// and a query ending in "K", greedy decoding emits "V1 V2 ." exactly.
+//
+// Construction (one head per layer, no norms, no MLP, d = 3·V + P):
+//   subspaces  TOK [0,V) | POS [V,V+P) | PREV [V+P,V+P+V) | IND [V+P+V,d)
+//   embed      token t at position p  ->  e_TOK(t) + e_POS(p)
+//   layer 1    "previous-token head": query beta1·e_POS(p), key e_POS(p+1),
+//              so position p attends (near-)hard to position p-1 and copies
+//              that token's one-hot into PREV.
+//   layer 2    "induction head": query beta2·e_PREV(t_i) from the current
+//              token, key = PREV content, so token t attends to positions
+//              whose *predecessor* was t, and copies the token found there
+//              into IND.
+//   unembed    logits read IND.
+//
+// Why this exercises exactly what the paper measures: the previous-token
+// head depends on attention across adjacent positions, so module-masked
+// encoding (Prompt Cache) severs it only at module boundaries. Facts wholly
+// inside one module survive caching bit-for-bit; facts straddling a module
+// boundary are lost under caching but retrievable by the baseline — the
+// same semantic-independence condition §3.3 describes, and the mechanism
+// behind Table 1's passage-retrieval outliers. Scaffolding (§3.3) restores
+// the straddling facts.
+#pragma once
+
+#include "model/model.h"
+
+namespace pc {
+
+// Construction artifact worth knowing: the first token of any encoding has
+// only itself to attend to in layer 1 (softmax over one element), so it
+// copies its *own* token into PREV. If a module's first token were a fact
+// key, the induction head would see a spurious "key preceded by key" match.
+// The workload generator therefore always opens documents with neutral
+// filler tokens — the same hygiene real prompts get for free from BOS and
+// formatting tokens.
+struct InductionModelOptions {
+  int vocab_size = 0;  // V: total token-id space (one-hot TOK subspace)
+  int max_pos = 512;   // P: position-id space (one-hot POS subspace)
+  float beta1 = 24.0f; // previous-token head sharpness
+  float beta2 = 24.0f; // induction head sharpness
+};
+
+// d_model chosen by the construction: 3 * vocab_size + max_pos.
+Model make_induction_model(const InductionModelOptions& options);
+
+}  // namespace pc

@@ -1,0 +1,468 @@
+#include "model/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <cstring>
+
+#include "common/thread_pool.h"
+#include "tensor/ops.h"
+
+namespace pc {
+
+Model::Model(ModelConfig config, ModelWeights weights)
+    : config_(std::move(config)), weights_(std::move(weights)) {
+  config_.validate();
+  if (config_.pos == PosEncodingKind::kRope) {
+    rope_ = std::make_unique<RopeTable>(config_.d_head, config_.max_pos,
+                                        config_.rope_theta);
+  } else if (config_.pos == PosEncodingKind::kAlibi) {
+    alibi_ = std::make_unique<Alibi>(config_.n_heads);
+  }
+  attn_scale_ = config_.attn_scale != 0.0f
+                    ? config_.attn_scale
+                    : 1.0f / std::sqrt(static_cast<float>(config_.d_head));
+}
+
+Model Model::random(const ModelConfig& config, uint64_t seed) {
+  Rng rng(seed);
+  return Model(config, ModelWeights::random(config, rng));
+}
+
+void Model::embed(std::span<const TokenId> tokens,
+                  std::span<const int> pos_ids, Tensor& x) const {
+  const int d = config_.d_model;
+  const bool table_pos = config_.pos == PosEncodingKind::kLearned ||
+                         config_.pos == PosEncodingKind::kSinusoidal;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    PC_CHECK_MSG(tokens[i] >= 0 && tokens[i] < config_.vocab_size,
+                 "token id " << tokens[i] << " outside vocab");
+    const float* src = weights_.tok_embed.row(tokens[i]);
+    float* dst = x.row(static_cast<int64_t>(i));
+    std::memcpy(dst, src, static_cast<size_t>(d) * sizeof(float));
+    if (table_pos) {
+      axpy(1.0f, weights_.pos_table.row(pos_ids[i]), dst,
+           static_cast<size_t>(d));
+    }
+  }
+}
+
+void Model::apply_norm(const Tensor& w, const Tensor& b, const Tensor& x,
+                       Tensor& out) const {
+  const size_t d = static_cast<size_t>(config_.d_model);
+  const int64_t n = x.dim(0);
+  switch (config_.norm) {
+    case NormKind::kNone:
+      std::memcpy(out.data(), x.data(), x.byte_size());
+      return;
+    case NormKind::kRmsNorm:
+      for (int64_t i = 0; i < n; ++i) {
+        rmsnorm(x.row(i), w.data(), out.row(i), d, config_.norm_eps);
+      }
+      return;
+    case NormKind::kLayerNorm:
+      for (int64_t i = 0; i < n; ++i) {
+        layernorm(x.row(i), w.data(), b.empty() ? nullptr : b.data(),
+                  out.row(i), d, config_.norm_eps);
+      }
+      return;
+  }
+}
+
+namespace {
+
+// Uniform row accessors over the two cache representations.
+inline float* kv_k_write(KVCache& c, int l, int t) { return c.k_row(l, t); }
+inline float* kv_v_write(KVCache& c, int l, int t) { return c.v_row(l, t); }
+inline const float* kv_k_read(const KVCache& c, int l, int t) {
+  return c.k_row(l, t);
+}
+inline const float* kv_v_read(const KVCache& c, int l, int t) {
+  return c.v_row(l, t);
+}
+inline float* kv_k_write(SegmentedKVCache& c, int l, int t) {
+  return c.k_row_mut(l, t);
+}
+inline float* kv_v_write(SegmentedKVCache& c, int l, int t) {
+  return c.v_row_mut(l, t);
+}
+inline const float* kv_k_read(const SegmentedKVCache& c, int l, int t) {
+  return c.k_row(l, t);
+}
+inline const float* kv_v_read(const SegmentedKVCache& c, int l, int t) {
+  return c.v_row(l, t);
+}
+
+}  // namespace
+
+template <typename CacheT>
+void Model::attention(int layer, const Tensor& h,
+                      std::span<const int> pos_ids,
+                      std::span<const int> block_ids,
+                      std::span<const bool> hidden_from_global,
+                      int first_new, CacheT& cache, Tensor& out) const {
+  const auto& lw = weights_.layers[static_cast<size_t>(layer)];
+  const int n_new = static_cast<int>(h.dim(0));
+  const int d_head = config_.d_head;
+  const int n_heads = config_.n_heads;
+  const int group = n_heads / config_.n_kv_heads;
+
+  Tensor q = matmul_nt(h, lw.wq);   // [n_new, q_dim]
+  Tensor kx = matmul_nt(h, lw.wk);  // [n_new, kv_dim]
+  Tensor vx = matmul_nt(h, lw.wv);  // [n_new, kv_dim]
+
+  if (rope_) {
+    for (int i = 0; i < n_new; ++i) {
+      const int pos = pos_ids[static_cast<size_t>(i)];
+      float* qi = q.row(i);
+      for (int hd = 0; hd < n_heads; ++hd) {
+        rope_->apply(qi + hd * d_head, pos);
+      }
+      float* ki = kx.row(i);
+      for (int hd = 0; hd < config_.n_kv_heads; ++hd) {
+        rope_->apply(ki + hd * d_head, pos);
+      }
+    }
+  }
+
+  // Publish the new keys/values into the cache (keys post-rotation, so the
+  // module stays valid if these rows are later copied elsewhere).
+  const size_t kv_bytes = static_cast<size_t>(config_.kv_dim()) * sizeof(float);
+  for (int i = 0; i < n_new; ++i) {
+    std::memcpy(kv_k_write(cache, layer, first_new + i), kx.row(i), kv_bytes);
+    std::memcpy(kv_v_write(cache, layer, first_new + i), vx.row(i), kv_bytes);
+  }
+
+  // Score/mix per head. Token i may attend to cache slots [0, first_new+i].
+  auto head_work = [&](size_t head_begin, size_t head_end) {
+    std::vector<float> scores(static_cast<size_t>(first_new) +
+                              static_cast<size_t>(n_new));
+    for (size_t hd = head_begin; hd < head_end; ++hd) {
+      const int kv_head = static_cast<int>(hd) / group;
+      const int k_off = kv_head * d_head;
+      for (int i = 0; i < n_new; ++i) {
+        const float* qv = q.row(i) + hd * d_head;
+        const int ctx = first_new + i + 1;
+        const int my_block =
+            block_ids.empty() ? kGlobalBlock
+                              : block_ids[static_cast<size_t>(i)];
+        for (int j = 0; j < ctx; ++j) {
+          const bool masked =
+              my_block == kGlobalBlock
+                  ? (!hidden_from_global.empty() &&
+                     hidden_from_global[static_cast<size_t>(j)])
+                  : (!block_ids.empty() &&
+                     block_ids[static_cast<size_t>(j)] != my_block);
+          if (masked) {
+            scores[static_cast<size_t>(j)] =
+                -std::numeric_limits<float>::infinity();
+            continue;
+          }
+          float s = dot(qv, kv_k_read(cache, layer, j) + k_off,
+                        static_cast<size_t>(d_head)) *
+                    attn_scale_;
+          if (alibi_) {
+            s += alibi_->bias(static_cast<int>(hd),
+                              pos_ids[static_cast<size_t>(i)],
+                              cache.pos_id(j));
+          }
+          scores[static_cast<size_t>(j)] = s;
+        }
+        softmax_inplace(scores.data(), static_cast<size_t>(ctx));
+        float* dst = out.row(i) + hd * d_head;
+        std::fill(dst, dst + d_head, 0.0f);
+        for (int j = 0; j < ctx; ++j) {
+          const float w = scores[static_cast<size_t>(j)];
+          if (w == 0.0f) continue;
+          axpy(w, kv_v_read(cache, layer, j) + k_off, dst,
+               static_cast<size_t>(d_head));
+        }
+      }
+    }
+  };
+  if (ThreadPool::global().size() > 1 && n_heads > 1) {
+    ThreadPool::global().parallel_for(static_cast<size_t>(n_heads), head_work);
+  } else {
+    head_work(0, static_cast<size_t>(n_heads));
+  }
+}
+
+void Model::mlp(int layer, const Tensor& h, Tensor& out) const {
+  const auto& lw = weights_.layers[static_cast<size_t>(layer)];
+  Tensor up = matmul_nt(h, lw.w_up);  // [n, d_ff]
+  if (config_.gated_mlp) {
+    Tensor gate = matmul_nt(h, lw.w_gate);
+    if (config_.activation == ActivationKind::kSilu) {
+      silu_inplace(gate.data(), gate.numel());
+    } else {
+      gelu_inplace(gate.data(), gate.numel());
+    }
+    mul_inplace(up, gate);
+  } else {
+    if (config_.activation == ActivationKind::kSilu) {
+      silu_inplace(up.data(), up.numel());
+    } else {
+      gelu_inplace(up.data(), up.numel());
+    }
+  }
+  out = matmul_nt(up, lw.w_down);  // [n, d_model]
+}
+
+Tensor Model::forward(std::span<const TokenId> tokens,
+                      std::span<const int> pos_ids, KVCache& cache,
+                      bool return_all_logits) const {
+  return forward_impl(tokens, pos_ids, {}, cache, return_all_logits);
+}
+
+Tensor Model::forward(std::span<const TokenId> tokens,
+                      std::span<const int> pos_ids, SegmentedKVCache& cache,
+                      bool return_all_logits) const {
+  return forward_impl(tokens, pos_ids, {}, cache, return_all_logits);
+}
+
+Tensor Model::forward_blocked(std::span<const TokenId> tokens,
+                              std::span<const int> pos_ids,
+                              std::span<const int> block_ids, KVCache& cache,
+                              bool return_all_logits,
+                              std::span<const bool> hidden_from_global) const {
+  PC_CHECK_MSG(cache.empty(), "forward_blocked requires an empty cache");
+  PC_CHECK_MSG(block_ids.size() == tokens.size(),
+               "block_ids length mismatch");
+  PC_CHECK_MSG(hidden_from_global.empty() ||
+                   hidden_from_global.size() == tokens.size(),
+               "hidden_from_global length mismatch");
+  return forward_impl(tokens, pos_ids, block_ids, cache, return_all_logits,
+                      hidden_from_global);
+}
+
+template <typename CacheT>
+Tensor Model::forward_impl(std::span<const TokenId> tokens,
+                           std::span<const int> pos_ids,
+                           std::span<const int> block_ids, CacheT& cache,
+                           bool return_all_logits,
+                           std::span<const bool> hidden_from_global) const {
+  PC_CHECK_MSG(tokens.size() == pos_ids.size(),
+               "tokens/pos_ids length mismatch");
+  PC_CHECK_MSG(!tokens.empty(), "empty forward");
+  PC_CHECK_MSG(cache.n_layers() == config_.n_layers &&
+                   cache.kv_dim() == config_.kv_dim(),
+               "cache geometry mismatch");
+  for (int p : pos_ids) {
+    PC_CHECK_MSG(p >= 0 && p < config_.max_pos,
+                 "position id " << p << " outside max_pos " << config_.max_pos);
+  }
+
+  const int n_new = static_cast<int>(tokens.size());
+  const int d = config_.d_model;
+  const int first_new = cache.append_tokens(pos_ids);
+
+  Tensor x({n_new, d});
+  embed(tokens, pos_ids, x);
+
+  Tensor h({n_new, d});
+  Tensor attn_out({n_new, config_.q_dim()});
+  for (int l = 0; l < config_.n_layers; ++l) {
+    const auto& lw = weights_.layers[static_cast<size_t>(l)];
+    apply_norm(lw.norm1_w, lw.norm1_b, x, h);
+    attention(l, h, pos_ids, block_ids, hidden_from_global, first_new, cache,
+              attn_out);
+    Tensor attn_proj = matmul_nt(attn_out, lw.wo);  // [n, d_model]
+
+    if (config_.parallel_block) {
+      // Falcon block: MLP reads the same normed input; both add to residual.
+      add_inplace(x, attn_proj);
+      if (config_.use_mlp) {
+        Tensor mlp_out;
+        mlp(l, h, mlp_out);
+        add_inplace(x, mlp_out);
+      }
+    } else {
+      add_inplace(x, attn_proj);
+      if (config_.use_mlp) {
+        apply_norm(lw.norm2_w, lw.norm2_b, x, h);
+        Tensor mlp_out;
+        mlp(l, h, mlp_out);
+        add_inplace(x, mlp_out);
+      }
+    }
+  }
+
+  // Logits for the requested rows.
+  const int64_t out_rows = return_all_logits ? n_new : 1;
+  Tensor final_in({out_rows, d});
+  for (int64_t r = 0; r < out_rows; ++r) {
+    const int64_t src = return_all_logits ? r : n_new - 1;
+    std::memcpy(final_in.row(r), x.row(src),
+                static_cast<size_t>(d) * sizeof(float));
+  }
+  if (config_.final_norm && config_.norm != NormKind::kNone) {
+    Tensor normed({out_rows, d});
+    apply_norm(weights_.final_norm_w, weights_.final_norm_b, final_in, normed);
+    return matmul_nt(normed, weights_.lm_head);
+  }
+  return matmul_nt(final_in, weights_.lm_head);
+}
+
+TokenId Model::argmax(const Tensor& logits, int64_t row) {
+  PC_CHECK(logits.ndim() == 2 && row < logits.dim(0));
+  const float* p = logits.row(row);
+  int64_t best = 0;
+  for (int64_t i = 1; i < logits.dim(1); ++i) {
+    if (p[i] > p[best]) best = i;
+  }
+  return static_cast<TokenId>(best);
+}
+
+std::vector<TokenId> Model::generate_greedy(
+    const Tensor& last_logits, int next_pos, KVCache& cache,
+    const GenerateOptions& options) const {
+  return generate_impl(last_logits, next_pos, cache, options).tokens;
+}
+
+std::vector<TokenId> Model::generate_greedy(
+    const Tensor& last_logits, int next_pos, SegmentedKVCache& cache,
+    const GenerateOptions& options) const {
+  return generate_impl(last_logits, next_pos, cache, options).tokens;
+}
+
+Model::GenerateOutput Model::generate(const Tensor& last_logits, int next_pos,
+                                      KVCache& cache,
+                                      const GenerateOptions& options) const {
+  return generate_impl(last_logits, next_pos, cache, options);
+}
+
+Model::GenerateOutput Model::generate(const Tensor& last_logits, int next_pos,
+                                      SegmentedKVCache& cache,
+                                      const GenerateOptions& options) const {
+  return generate_impl(last_logits, next_pos, cache, options);
+}
+
+namespace {
+
+// log softmax(logits)[token], numerically stable.
+double token_logprob(const Tensor& logits, TokenId token) {
+  PC_CHECK(logits.ndim() == 2 && logits.dim(0) >= 1);
+  PC_CHECK(token >= 0 && token < logits.dim(1));
+  const float* row = logits.row(0);
+  float mx = row[0];
+  for (int64_t i = 1; i < logits.dim(1); ++i) mx = std::max(mx, row[i]);
+  double sum = 0;
+  for (int64_t i = 0; i < logits.dim(1); ++i) {
+    sum += std::exp(static_cast<double>(row[i] - mx));
+  }
+  return static_cast<double>(row[token] - mx) - std::log(sum);
+}
+
+}  // namespace
+
+double Model::continuation_logprob(const Tensor& last_logits,
+                                   std::span<const TokenId> continuation,
+                                   int next_pos, KVCache& cache) const {
+  PC_CHECK_MSG(!continuation.empty(), "empty continuation");
+  double total = token_logprob(last_logits, continuation[0]);
+  for (size_t i = 0; i + 1 < continuation.size(); ++i) {
+    const int pos = next_pos + static_cast<int>(i);
+    PC_CHECK_MSG(pos < config_.max_pos, "continuation exceeds max_pos");
+    const TokenId input = continuation[i];
+    const Tensor logits = forward({&input, 1}, {&pos, 1}, cache);
+    total += token_logprob(logits, continuation[i + 1]);
+  }
+  return total;
+}
+
+TokenId Model::sample_token(const Tensor& logits,
+                            const GenerateOptions& options, Rng& rng) {
+  if (options.temperature <= 0.0f) return argmax(logits);
+  PC_CHECK(logits.ndim() == 2 && logits.dim(0) >= 1);
+  const int64_t vocab = logits.dim(1);
+  const float* row = logits.row(0);
+
+  // Candidate set: all tokens, or the top_k by logit.
+  std::vector<int64_t> candidates(static_cast<size_t>(vocab));
+  for (int64_t i = 0; i < vocab; ++i) candidates[static_cast<size_t>(i)] = i;
+  if (options.top_k > 0 && options.top_k < vocab) {
+    std::partial_sort(candidates.begin(),
+                      candidates.begin() + options.top_k, candidates.end(),
+                      [&](int64_t a, int64_t b) { return row[a] > row[b]; });
+    candidates.resize(static_cast<size_t>(options.top_k));
+  }
+
+  // Softmax over candidates at the given temperature, then inverse-CDF.
+  float mx = row[candidates.front()];
+  for (int64_t c : candidates) mx = std::max(mx, row[c]);
+  double total = 0;
+  std::vector<double> weights(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    weights[i] = std::exp(
+        static_cast<double>(row[candidates[i]] - mx) / options.temperature);
+    total += weights[i];
+  }
+  double u = rng.next_double() * total;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0) return static_cast<TokenId>(candidates[i]);
+  }
+  return static_cast<TokenId>(candidates.back());
+}
+
+namespace {
+
+// Index of the matched stop sequence whose tokens form a suffix of `out`,
+// or -1.
+int matched_stop_sequence(const std::vector<TokenId>& out,
+                          const GenerateOptions& options) {
+  for (size_t s = 0; s < options.stop_sequences.size(); ++s) {
+    const auto& seq = options.stop_sequences[s];
+    if (seq.empty() || seq.size() > out.size()) continue;
+    if (std::equal(seq.begin(), seq.end(), out.end() - seq.size())) {
+      return static_cast<int>(s);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+template <typename CacheT>
+Model::GenerateOutput Model::generate_impl(
+    const Tensor& last_logits, int next_pos, CacheT& cache,
+    const GenerateOptions& options) const {
+  GenerateOutput out;
+  out.finish_reason = FinishReason::kLength;
+  Rng rng(options.seed);
+  TokenId next = sample_token(last_logits, options, rng);
+  for (int step = 0; step < options.max_new_tokens; ++step) {
+    bool stop = false;
+    for (TokenId s : options.stop_tokens) {
+      if (next == s) {
+        stop = true;
+        break;
+      }
+    }
+    if (stop) {
+      out.finish_reason = FinishReason::kStopToken;
+      break;
+    }
+    out.tokens.push_back(next);
+    const int hit = matched_stop_sequence(out.tokens, options);
+    if (hit >= 0) {
+      out.tokens.resize(
+          out.tokens.size() -
+          options.stop_sequences[static_cast<size_t>(hit)].size());
+      out.finish_reason = FinishReason::kStopSequence;
+      break;
+    }
+    if (step + 1 == options.max_new_tokens) break;  // kLength
+    const int pos = next_pos + step;
+    if (pos >= config_.max_pos) {
+      out.finish_reason = FinishReason::kPositionBudget;
+      break;
+    }
+    const TokenId input = next;
+    const Tensor logits = forward({&input, 1}, {&pos, 1}, cache);
+    next = sample_token(logits, options, rng);
+  }
+  return out;
+}
+
+}  // namespace pc

@@ -1,0 +1,291 @@
+#include "pml/prompt.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "pml/xml.h"
+
+namespace pc::pml {
+
+namespace {
+
+PromptItem make_text_item(std::string text) {
+  PromptItem item;
+  item.text = std::move(text);
+  return item;
+}
+
+std::vector<PromptItem> items_from_children(const XmlNode& element) {
+  std::vector<PromptItem> items;
+  for (const XmlNode& child : element.children) {
+    if (child.is_text()) {
+      const auto trimmed = trim(child.text);
+      if (!trimmed.empty()) items.push_back(make_text_item(std::string(trimmed)));
+      continue;
+    }
+    auto import = std::make_unique<PromptImport>();
+    import->module_name = child.tag;
+    import->line = child.line;
+    for (const XmlAttr& attr : child.attrs) {
+      import->args.emplace_back(attr.name, attr.value);
+    }
+    import->children = items_from_children(child);
+    PromptItem item;
+    item.import = std::move(import);
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+class Binder {
+ public:
+  Binder(const Schema& schema, const PromptAst& prompt,
+         const TextTokenizer& tokenizer)
+      : schema_(schema), prompt_(prompt), tokenizer_(tokenizer) {}
+
+  PromptBinding run() {
+    out_.schema = &schema_;
+    included_.assign(schema_.modules.size(), false);
+    union_used_.assign(schema_.unions.size(), -1);
+
+    if (prompt_.schema_name != schema_.name) {
+      throw SchemaError("prompt declares schema '" + prompt_.schema_name +
+                        "' but was bound against '" + schema_.name + "'");
+    }
+
+    // Anonymous modules are always included; free text never collides with
+    // them because the cursor starts past their extent.
+    for (int mi : schema_.anonymous_modules) {
+      include(mi);
+      cursor_ = std::max(cursor_, schema_.module(mi).end_pos);
+    }
+
+    walk_items(prompt_.items, /*parent=*/-1);
+
+    finalize_next_pos();
+    collect_warnings();
+    build_baseline();
+    return std::move(out_);
+  }
+
+ private:
+  void include(int mi) {
+    if (included_[static_cast<size_t>(mi)]) {
+      throw SchemaError("module '" + schema_.module(mi).name +
+                        "' imported more than once");
+    }
+    const ModuleNode& m = schema_.module(mi);
+    if (m.union_id >= 0) {
+      int& used = union_used_[static_cast<size_t>(m.union_id)];
+      if (used != -1) {
+        throw SchemaError("modules '" + schema_.module(used).name + "' and '" +
+                          m.name +
+                          "' belong to the same union and are exclusive");
+      }
+      used = mi;
+    }
+    included_[static_cast<size_t>(mi)] = true;
+    out_.modules.push_back(mi);
+  }
+
+  void walk_items(const std::vector<PromptItem>& items, int parent) {
+    for (const PromptItem& item : items) {
+      if (item.is_text()) {
+        bind_text(item.text);
+      } else {
+        bind_import(*item.import, parent);
+      }
+    }
+  }
+
+  void bind_text(const std::string& text) {
+    BoundText t;
+    t.tokens = tokenizer_.encode(text);
+    if (t.tokens.empty()) return;
+    t.start_pos = cursor_;
+    cursor_ += static_cast<int>(t.tokens.size());
+    out_.texts.push_back(std::move(t));
+  }
+
+  void bind_import(const PromptImport& import, int parent) {
+    const int mi = schema_.find_module(import.module_name);
+    if (mi == -1) {
+      throw SchemaError("prompt imports unknown module '" +
+                        import.module_name + "' (line " +
+                        std::to_string(import.line) + ")");
+    }
+    const ModuleNode& m = schema_.module(mi);
+    if (m.anonymous) {
+      throw SchemaError("anonymous modules cannot be imported explicitly");
+    }
+    if (m.parent != parent) {
+      const std::string where =
+          parent == -1 ? "at the prompt top level"
+                       : "inside module '" + schema_.module(parent).name + "'";
+      throw SchemaError("module '" + m.name + "' cannot be imported " + where +
+                        ": schema nests it " +
+                        (m.parent == -1
+                             ? "at the top level"
+                             : "inside '" + schema_.module(m.parent).name +
+                                   "'"));
+    }
+    include(mi);
+
+    for (const auto& [pname, value] : import.args) {
+      const int pi = m.param_index(pname);
+      if (pi == -1) {
+        throw SchemaError("module '" + m.name + "' has no parameter '" +
+                          pname + "'");
+      }
+      const ParamDef& p = m.params[static_cast<size_t>(pi)];
+      BoundArg arg;
+      arg.module_index = mi;
+      arg.param_index = pi;
+      arg.tokens = tokenizer_.encode(value);
+      if (static_cast<int>(arg.tokens.size()) > p.max_len) {
+        throw SchemaError("argument for parameter '" + pname + "' of '" +
+                          m.name + "' is " +
+                          std::to_string(arg.tokens.size()) +
+                          " tokens, exceeding len=" +
+                          std::to_string(p.max_len));
+      }
+      arg.start_pos = p.start_pos;
+      out_.args.push_back(std::move(arg));
+    }
+
+    walk_items(import.children, mi);
+
+    // Free text after this import resumes at the module's end (§3.4).
+    cursor_ = std::max(cursor_, m.end_pos);
+  }
+
+  void collect_warnings() {
+    for (const BoundText& t : out_.texts) {
+      const int t_end = t.start_pos + static_cast<int>(t.tokens.size());
+      for (int mi : out_.modules) {
+        const ModuleNode& m = schema_.module(mi);
+        if (m.own_token_count() == 0) continue;
+        if (t.start_pos < m.end_pos && m.start_pos < t_end) {
+          out_.warnings.push_back(
+              "free text at positions [" + std::to_string(t.start_pos) +
+              ", " + std::to_string(t_end) + ") overlaps module '" + m.name +
+              "' [" + std::to_string(m.start_pos) + ", " +
+              std::to_string(m.end_pos) +
+              ") — leave a gap (e.g. a buffer <param>) or reorder imports");
+        }
+      }
+    }
+    for (const BoundArg& a : out_.args) {
+      const ParamDef& p =
+          schema_.module(a.module_index)
+              .params[static_cast<size_t>(a.param_index)];
+      if (p.max_len >= 8 &&
+          static_cast<int>(a.tokens.size()) * 4 <= p.max_len) {
+        out_.warnings.push_back(
+            "argument for '" + p.name + "' uses " +
+            std::to_string(a.tokens.size()) + " of " +
+            std::to_string(p.max_len) +
+            " budgeted positions; a smaller len would tighten the layout");
+      }
+    }
+  }
+
+  void finalize_next_pos() {
+    int next = cursor_;
+    for (int mi : out_.modules) {
+      next = std::max(next, schema_.module(mi).end_pos);
+    }
+    for (const BoundArg& a : out_.args) {
+      next = std::max(next, a.start_pos + static_cast<int>(a.tokens.size()));
+    }
+    out_.next_pos = next;
+  }
+
+  // The baseline prompt is the same content as one contiguous token stream
+  // in layout order: module runs (arguments substituted in place of their
+  // placeholders) and free texts, sorted by their assigned start position.
+  void build_baseline() {
+    struct Run {
+      int start;
+      int seq;
+      std::vector<TokenId> tokens;
+    };
+    std::vector<Run> runs;
+    int seq = 0;
+
+    auto arg_for = [&](int mi, int pi) -> const BoundArg* {
+      for (const BoundArg& a : out_.args) {
+        if (a.module_index == mi && a.param_index == pi) return &a;
+      }
+      return nullptr;
+    };
+
+    for (int mi : out_.modules) {
+      for (pml::TokenRun& run : schema_.module_own_runs(mi)) {
+        if (run.is_param) {
+          const BoundArg* arg = arg_for(mi, run.param_index);
+          if (arg == nullptr || arg->tokens.empty()) continue;
+          runs.push_back({run.start_pos, seq++, arg->tokens});
+        } else {
+          runs.push_back({run.start_pos, seq++, std::move(run.tokens)});
+        }
+      }
+    }
+    for (const BoundText& t : out_.texts) {
+      runs.push_back({t.start_pos, seq++, t.tokens});
+    }
+    std::sort(runs.begin(), runs.end(), [](const Run& a, const Run& b) {
+      return a.start != b.start ? a.start < b.start : a.seq < b.seq;
+    });
+    for (const Run& r : runs) {
+      out_.baseline_tokens.insert(out_.baseline_tokens.end(),
+                                  r.tokens.begin(), r.tokens.end());
+    }
+  }
+
+  const Schema& schema_;
+  const PromptAst& prompt_;
+  const TextTokenizer& tokenizer_;
+  PromptBinding out_;
+  std::vector<bool> included_;
+  std::vector<int> union_used_;
+  int cursor_ = 0;
+};
+
+}  // namespace
+
+PromptAst parse_prompt(std::string_view pml_source) {
+  const XmlNode root = parse_xml(pml_source);
+  if (root.tag != "prompt") {
+    throw ParseError("prompt document must have a <prompt> root, found <" +
+                     root.tag + ">");
+  }
+  PromptAst ast;
+  ast.schema_name = root.required_attr("schema");
+  ast.items = items_from_children(root);
+  return ast;
+}
+
+int PromptBinding::cached_token_count() const {
+  int n = 0;
+  for (int mi : modules) {
+    for (const TokenRun& run : schema->module_own_runs(mi)) {
+      if (!run.is_param) n += static_cast<int>(run.tokens.size());
+    }
+  }
+  return n;
+}
+
+int PromptBinding::uncached_token_count() const {
+  int n = 0;
+  for (const BoundArg& a : args) n += static_cast<int>(a.tokens.size());
+  for (const BoundText& t : texts) n += static_cast<int>(t.tokens.size());
+  return n;
+}
+
+PromptBinding bind_prompt(const Schema& schema, const PromptAst& prompt,
+                          const TextTokenizer& tokenizer) {
+  return Binder(schema, prompt, tokenizer).run();
+}
+
+}  // namespace pc::pml

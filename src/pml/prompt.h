@@ -1,0 +1,103 @@
+// PML prompt documents and their binding against a schema (paper §3.4).
+//
+// A prompt (<prompt schema="...">) lists the modules it imports (by tag
+// name, e.g. <miami/>), supplies parameter arguments as attributes
+// (<trip-plan duration="3 days">), nests imports to mirror schema nesting,
+// and interleaves free text — the uncached segments.
+//
+// bind_prompt() validates the prompt against the schema (module existence,
+// nesting, union exclusivity, argument length budgets) and produces the
+// execution plan of cached inference: which modules to retrieve, and the
+// token/position-ID streams of every uncached segment. It also materializes
+// the equivalent plain prompt for the KV-Cache baseline.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pml/schema.h"
+
+namespace pc::pml {
+
+struct PromptImport;
+
+// One ordered child of a prompt or of an import element.
+struct PromptItem {
+  std::unique_ptr<PromptImport> import;  // nullptr for text items
+  std::string text;
+
+  bool is_text() const { return import == nullptr; }
+};
+
+struct PromptImport {
+  std::string module_name;
+  std::vector<std::pair<std::string, std::string>> args;  // param -> value
+  std::vector<PromptItem> children;
+  int line = 0;
+};
+
+struct PromptAst {
+  std::string schema_name;
+  std::vector<PromptItem> items;
+};
+
+// Parses a <prompt schema="..."> document. Structural errors throw
+// pc::ParseError; schema conformance is checked later by bind_prompt.
+PromptAst parse_prompt(std::string_view pml_source);
+
+// A parameter argument bound to its placeholder slot.
+struct BoundArg {
+  int module_index = -1;
+  int param_index = -1;
+  std::vector<TokenId> tokens;  // <= param.max_len tokens
+  int start_pos = -1;           // the placeholder's first position ID
+};
+
+// An uncached free-text segment with assigned position IDs.
+struct BoundText {
+  std::vector<TokenId> tokens;
+  int start_pos = -1;
+};
+
+// The execution plan for serving one prompt.
+struct PromptBinding {
+  const Schema* schema = nullptr;
+
+  // Modules whose cached states are concatenated, in concatenation order:
+  // anonymous modules first (schema order), then imports (prompt order,
+  // parents before their imported children).
+  std::vector<int> modules;
+
+  // Arguments for parameterized imports (paper §3.3): computed like
+  // uncached segments at the placeholder position IDs, replacing the
+  // <unk> placeholder states.
+  std::vector<BoundArg> args;
+
+  // Free text segments in prompt order.
+  std::vector<BoundText> texts;
+
+  // One past the largest position ID used; generation continues here.
+  int next_pos = 0;
+
+  // The same prompt as served by the baseline: all included content with
+  // arguments substituted inline, as one contiguous token stream.
+  std::vector<TokenId> baseline_tokens;
+
+  // Non-fatal layout advisories: free text whose assigned positions overlap
+  // an included module's range (the paper's "assuming gaps exist" caveat,
+  // §3.4), or arguments that waste most of their parameter budget. The
+  // prompt still serves; these flag schemas worth restructuring.
+  std::vector<std::string> warnings;
+
+  int cached_token_count() const;    // tokens restored from cache
+  int uncached_token_count() const;  // tokens computed at serve time
+};
+
+// Validates `prompt` against `schema` and builds the plan. Throws
+// pc::SchemaError on conformance violations.
+PromptBinding bind_prompt(const Schema& schema, const PromptAst& prompt,
+                          const TextTokenizer& tokenizer);
+
+}  // namespace pc::pml

@@ -1,0 +1,79 @@
+// Programmatic construction of PML prompt documents (the <prompt> side of
+// the prompt-program API). Used by the examples and workload generators so
+// prompts are built structurally rather than by string pasting.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pml/xml.h"
+
+namespace pc::pml {
+
+class ImportBuilder {
+ public:
+  explicit ImportBuilder(std::string module_name)
+      : module_name_(std::move(module_name)) {}
+
+  ImportBuilder& arg(std::string param, std::string value) {
+    args_.emplace_back(std::move(param), std::move(value));
+    return *this;
+  }
+
+  ImportBuilder& text(std::string content) {
+    children_ += escape_text(content) + "\n";
+    return *this;
+  }
+
+  ImportBuilder& import(const ImportBuilder& nested) {
+    children_ += nested.str();
+    return *this;
+  }
+
+  std::string str() const {
+    std::string out = "<" + module_name_;
+    for (const auto& [k, v] : args_) {
+      out += " " + k + "=\"" + escape_attr(v) + "\"";
+    }
+    if (children_.empty()) return out + "/>\n";
+    return out + ">\n" + children_ + "</" + module_name_ + ">\n";
+  }
+
+ private:
+  std::string module_name_;
+  std::vector<std::pair<std::string, std::string>> args_;
+  std::string children_;
+};
+
+class PromptBuilder {
+ public:
+  explicit PromptBuilder(std::string schema_name)
+      : schema_name_(std::move(schema_name)) {}
+
+  PromptBuilder& import(std::string module_name) {
+    body_ += ImportBuilder(std::move(module_name)).str();
+    return *this;
+  }
+
+  PromptBuilder& import(const ImportBuilder& builder) {
+    body_ += builder.str();
+    return *this;
+  }
+
+  PromptBuilder& text(std::string content) {
+    body_ += escape_text(content) + "\n";
+    return *this;
+  }
+
+  std::string str() const {
+    return "<prompt schema=\"" + escape_attr(schema_name_) + "\">\n" + body_ +
+           "</prompt>\n";
+  }
+
+ private:
+  std::string schema_name_;
+  std::string body_;
+};
+
+}  // namespace pc::pml

@@ -1,0 +1,138 @@
+#include "pml/prompt_program.h"
+
+#include "common/error.h"
+#include "pml/xml.h"
+
+namespace pc::pml {
+
+using detail::ProgNode;
+
+BlockBuilder& BlockBuilder::text(std::string content) {
+  ProgNode n;
+  n.kind = ProgNode::Kind::kText;
+  n.text = std::move(content);
+  sink_->push_back(std::move(n));
+  return *this;
+}
+
+BlockBuilder& BlockBuilder::param(std::string name, int max_len) {
+  PC_CHECK_MSG(max_len > 0, "param max_len must be positive");
+  ProgNode n;
+  n.kind = ProgNode::Kind::kParam;
+  n.name = std::move(name);
+  n.param_len = max_len;
+  sink_->push_back(std::move(n));
+  return *this;
+}
+
+BlockBuilder& BlockBuilder::if_block(
+    std::string name, const std::function<void(BlockBuilder&)>& body) {
+  ProgNode n;
+  n.kind = ProgNode::Kind::kModule;
+  n.name = std::move(name);
+  BlockBuilder inner(&n.children);
+  body(inner);
+  sink_->push_back(std::move(n));
+  return *this;
+}
+
+BlockBuilder& BlockBuilder::choose(
+    std::vector<std::pair<std::string, std::string>> cases) {
+  ProgNode u;
+  u.kind = ProgNode::Kind::kUnion;
+  for (auto& [name, content] : cases) {
+    ProgNode m;
+    m.kind = ProgNode::Kind::kModule;
+    m.name = std::move(name);
+    ProgNode t;
+    t.kind = ProgNode::Kind::kText;
+    t.text = std::move(content);
+    m.children.push_back(std::move(t));
+    u.children.push_back(std::move(m));
+  }
+  sink_->push_back(std::move(u));
+  return *this;
+}
+
+BlockBuilder& BlockBuilder::choose_blocks(
+    std::vector<std::pair<std::string, std::function<void(BlockBuilder&)>>>
+        cases) {
+  ProgNode u;
+  u.kind = ProgNode::Kind::kUnion;
+  for (auto& [name, body] : cases) {
+    ProgNode m;
+    m.kind = ProgNode::Kind::kModule;
+    m.name = std::move(name);
+    BlockBuilder inner(&m.children);
+    body(inner);
+    u.children.push_back(std::move(m));
+  }
+  sink_->push_back(std::move(u));
+  return *this;
+}
+
+BlockBuilder& BlockBuilder::role(
+    ChatRole r, const std::function<void(BlockBuilder&)>& body) {
+  ProgNode n;
+  n.kind = ProgNode::Kind::kRole;
+  n.role = r;
+  BlockBuilder inner(&n.children);
+  body(inner);
+  sink_->push_back(std::move(n));
+  return *this;
+}
+
+namespace {
+
+const char* role_tag(ChatRole r) {
+  switch (r) {
+    case ChatRole::kSystem:
+      return "system";
+    case ChatRole::kUser:
+      return "user";
+    case ChatRole::kAssistant:
+      return "assistant";
+  }
+  return "system";
+}
+
+void emit(const ProgNode& n, std::string& out, int depth) {
+  const std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  switch (n.kind) {
+    case ProgNode::Kind::kText:
+      out += indent + escape_text(n.text) + "\n";
+      return;
+    case ProgNode::Kind::kParam:
+      out += indent + "<param name=\"" + escape_attr(n.name) + "\" len=\"" +
+             std::to_string(n.param_len) + "\"/>\n";
+      return;
+    case ProgNode::Kind::kModule:
+      out += indent + "<module name=\"" + escape_attr(n.name) + "\">\n";
+      for (const ProgNode& c : n.children) emit(c, out, depth + 1);
+      out += indent + "</module>\n";
+      return;
+    case ProgNode::Kind::kUnion:
+      out += indent + "<union>\n";
+      for (const ProgNode& c : n.children) emit(c, out, depth + 1);
+      out += indent + "</union>\n";
+      return;
+    case ProgNode::Kind::kRole:
+      out += indent + "<" + role_tag(n.role) + ">\n";
+      for (const ProgNode& c : n.children) emit(c, out, depth + 1);
+      out += indent + "</" + role_tag(n.role) + ">\n";
+      return;
+  }
+}
+
+}  // namespace
+
+std::string PromptProgram::compile() const {
+  std::string out = "<schema name=\"" + escape_attr(schema_name_) + "\">\n";
+  // Access the node list through the BlockBuilder sink we own.
+  // (nodes_ is private to this object; compile is a member, so direct.)
+  for (const ProgNode& n : nodes_) emit(n, out, 1);
+  out += "</schema>\n";
+  return out;
+}
+
+}  // namespace pc::pml

@@ -1,0 +1,102 @@
+// Prompt programs: a host-language front end that compiles to PML
+// (paper §3.2.4).
+//
+// The paper derives PML schemas from Python prompt programs: `if`
+// statements become <module>, choose-one statements become <union>,
+// function calls become nested modules, and a decorator bounds argument
+// lengths (<param len>). This is the C++ equivalent: a builder DSL whose
+// compile() emits a PML schema document, so applications never hand-write
+// markup.
+//
+//   PromptProgram prog("assistant");
+//   prog.text("You are a helpful travel agent.");
+//   prog.if_block("frequent-flyer", [](BlockBuilder& b) {
+//     b.text("The user holds elite status; mention lounge access.");
+//   });
+//   prog.choose({{"city-miami", "The trip is to Miami."},
+//                {"city-maui", "The trip is to Maui."}});
+//   prog.if_block("trip-plan", [](BlockBuilder& b) {
+//     b.text("Plan a trip of");
+//     b.param("duration", 4);
+//     b.text("days.");
+//   });
+//   std::string schema_pml = prog.compile();
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tokenizer/chat_template.h"
+
+namespace pc::pml {
+
+namespace detail {
+
+struct ProgNode {
+  enum class Kind { kText, kParam, kModule, kUnion, kRole };
+  Kind kind;
+  std::string text;       // kText
+  std::string name;       // kParam / kModule
+  int param_len = 0;      // kParam
+  ChatRole role = ChatRole::kSystem;  // kRole
+  std::vector<ProgNode> children;     // kModule / kUnion / kRole
+};
+
+}  // namespace detail
+
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(std::vector<detail::ProgNode>* sink) : sink_(sink) {}
+
+  // Literal prompt text.
+  BlockBuilder& text(std::string content);
+
+  // A bounded runtime argument (the decorator of §3.2.4).
+  BlockBuilder& param(std::string name, int max_len);
+
+  // `if (name)` — a module included only when the prompt imports it.
+  BlockBuilder& if_block(std::string name,
+                         const std::function<void(BlockBuilder&)>& body);
+
+  // A function call — nested module, same semantics as if_block.
+  BlockBuilder& call(std::string name,
+                     const std::function<void(BlockBuilder&)>& body) {
+    return if_block(std::move(name), body);
+  }
+
+  // choose-one over simple text alternatives — a union of leaf modules.
+  BlockBuilder& choose(
+      std::vector<std::pair<std::string, std::string>> cases);
+
+  // choose-one over structured alternatives.
+  BlockBuilder& choose_blocks(
+      std::vector<std::pair<std::string,
+                            std::function<void(BlockBuilder&)>>> cases);
+
+  // Role-tagged section (compiled against the model's chat template).
+  BlockBuilder& role(ChatRole r,
+                     const std::function<void(BlockBuilder&)>& body);
+
+ private:
+  std::vector<detail::ProgNode>* sink_;
+};
+
+class PromptProgram : public BlockBuilder {
+ public:
+  explicit PromptProgram(std::string schema_name)
+      : BlockBuilder(&nodes_), schema_name_(std::move(schema_name)) {}
+
+  const std::string& schema_name() const { return schema_name_; }
+
+  // Emits the PML schema document.
+  std::string compile() const;
+
+ private:
+  std::string schema_name_;
+  std::vector<detail::ProgNode> nodes_;
+};
+
+}  // namespace pc::pml

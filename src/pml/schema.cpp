@@ -1,0 +1,296 @@
+#include "pml/schema.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "pml/xml.h"
+
+namespace pc::pml {
+
+namespace {
+
+bool is_role_tag(const std::string& tag, ChatRole* role) {
+  if (tag == "system") {
+    *role = ChatRole::kSystem;
+    return true;
+  }
+  if (tag == "user") {
+    *role = ChatRole::kUser;
+    return true;
+  }
+  if (tag == "assistant") {
+    *role = ChatRole::kAssistant;
+    return true;
+  }
+  return false;
+}
+
+class SchemaBuilder {
+ public:
+  SchemaBuilder(const TextTokenizer& tokenizer, const ChatTemplate& tmpl)
+      : tokenizer_(tokenizer), template_(tmpl) {}
+
+  Schema build(const XmlNode& root) {
+    if (root.tag != "schema") {
+      throw ParseError("schema document must have a <schema> root, found <" +
+                       root.tag + ">");
+    }
+    schema_.name = root.required_attr("name");
+
+    process_children(root, /*parent=*/-1);
+
+    // Layout pass.
+    int cursor = 0;
+    for (const ContentItem& item : schema_.root_content) {
+      cursor = item.kind == ContentItem::Kind::kModule
+                   ? layout_module(item.index, cursor)
+                   : layout_union(item.index, cursor);
+    }
+    schema_.total_positions = cursor;
+    return std::move(schema_);
+  }
+
+ private:
+  ModuleNode* node(int mi) {
+    return &schema_.modules[static_cast<size_t>(mi)];
+  }
+
+  // Appends text content to `parent` (or to a fresh anonymous top-level
+  // module when parent == -1).
+  void add_text(int parent, const std::string& text) {
+    const auto trimmed = trim(text);
+    if (trimmed.empty()) return;
+    int target = parent;
+    if (parent == -1) {
+      target = new_module("", /*parent=*/-1, /*union_id=*/-1,
+                          /*anonymous=*/true);
+      schema_.root_content.push_back({ContentItem::Kind::kModule, target});
+      schema_.anonymous_modules.push_back(target);
+    }
+    TextPiece piece;
+    piece.text = std::string(trimmed);
+    piece.tokens = tokenizer_.encode(piece.text);
+    ModuleNode* m = node(target);
+    m->content.push_back(
+        {ContentItem::Kind::kText, static_cast<int>(m->pieces.size())});
+    m->pieces.push_back(std::move(piece));
+  }
+
+  int new_module(const std::string& module_name, int parent, int union_id,
+                 bool anonymous) {
+    ModuleNode m;
+    m.anonymous = anonymous;
+    m.parent = parent;
+    m.union_id = union_id;
+    if (anonymous) {
+      m.name = "__anon" + std::to_string(anon_counter_++);
+    } else {
+      m.name = module_name;
+      if (m.name.empty() || m.name.starts_with("__")) {
+        throw ParseError("invalid module name '" + m.name + "'");
+      }
+      if (schema_.find_module(m.name) != -1) {
+        throw ParseError("duplicate module name '" + m.name + "'");
+      }
+    }
+    schema_.modules.push_back(std::move(m));
+    return static_cast<int>(schema_.modules.size()) - 1;
+  }
+
+  // Processes the children of a container element into module `parent`
+  // (-1 = schema top level).
+  void process_children(const XmlNode& element, int parent) {
+    for (const XmlNode& child : element.children) {
+      if (child.is_text()) {
+        add_text(parent, child.text);
+        continue;
+      }
+      ChatRole role;
+      if (child.tag == "module") {
+        const int mi = process_module(child, parent, /*union_id=*/-1);
+        if (parent == -1) {
+          schema_.root_content.push_back({ContentItem::Kind::kModule, mi});
+        } else {
+          ModuleNode* p = node(parent);
+          p->content.push_back({ContentItem::Kind::kModule, mi});
+          p->children.push_back(mi);
+        }
+      } else if (child.tag == "union") {
+        process_union(child, parent);
+      } else if (child.tag == "param") {
+        if (parent == -1) {
+          throw ParseError("<param> must appear inside a <module> (line " +
+                           std::to_string(child.line) + ")");
+        }
+        process_param(child, parent);
+      } else if (is_role_tag(child.tag, &role)) {
+        const ChatTemplate::Wrapping w = template_.wrap(role);
+        add_text(parent, w.prefix);
+        process_children(child, parent);
+        add_text(parent, w.suffix);
+      } else {
+        throw ParseError("unexpected tag <" + child.tag +
+                         "> in schema (line " + std::to_string(child.line) +
+                         ")");
+      }
+    }
+  }
+
+  int process_module(const XmlNode& element, int parent, int union_id) {
+    const int mi = new_module(element.required_attr("name"), parent, union_id,
+                              /*anonymous=*/false);
+    process_children(element, mi);
+    return mi;
+  }
+
+  void process_param(const XmlNode& element, int parent) {
+    ParamDef p;
+    p.name = element.required_attr("name");
+    const std::string& len = element.required_attr("len");
+    try {
+      p.max_len = std::stoi(len);
+    } catch (const std::exception&) {
+      throw ParseError("<param> len attribute must be an integer, got '" +
+                       len + "'");
+    }
+    if (p.max_len <= 0) {
+      throw ParseError("<param name=\"" + p.name + "\"> len must be positive");
+    }
+    ModuleNode* m = node(parent);
+    if (m->param_index(p.name) != -1) {
+      throw ParseError("duplicate param '" + p.name + "' in module '" +
+                       m->name + "'");
+    }
+    m->content.push_back(
+        {ContentItem::Kind::kParam, static_cast<int>(m->params.size())});
+    m->params.push_back(std::move(p));
+  }
+
+  void process_union(const XmlNode& element, int parent) {
+    UnionDef u;
+    const int union_id = static_cast<int>(schema_.unions.size());
+    // Reserve the slot so member modules can reference union_id.
+    schema_.unions.push_back(UnionDef{});
+    for (const XmlNode& child : element.children) {
+      if (child.is_text()) {
+        if (!trim(child.text).empty()) {
+          throw ParseError("<union> may contain only <module> children");
+        }
+        continue;
+      }
+      if (child.tag != "module") {
+        throw ParseError(
+            "<union> may contain only <module> children, found <" +
+            child.tag + ">");
+      }
+      const int mi = process_module(child, parent, union_id);
+      u.members.push_back(mi);
+      if (parent != -1) node(parent)->children.push_back(mi);
+    }
+    if (u.members.empty()) {
+      throw ParseError("<union> must contain at least one module");
+    }
+    schema_.unions[static_cast<size_t>(union_id)] = std::move(u);
+    if (parent == -1) {
+      schema_.root_content.push_back({ContentItem::Kind::kUnion, union_id});
+    } else {
+      node(parent)->content.push_back({ContentItem::Kind::kUnion, union_id});
+    }
+  }
+
+  int layout_module(int mi, int cursor) {
+    node(mi)->start_pos = cursor;
+    // Note: content loops only touch this module's own vectors or recurse;
+    // schema_.modules is stable during layout (no insertions happen here).
+    for (const ContentItem& item : node(mi)->content) {
+      switch (item.kind) {
+        case ContentItem::Kind::kText: {
+          TextPiece& piece = node(mi)->pieces[static_cast<size_t>(item.index)];
+          piece.start_pos = cursor;
+          cursor += static_cast<int>(piece.tokens.size());
+          break;
+        }
+        case ContentItem::Kind::kParam: {
+          ParamDef& p = node(mi)->params[static_cast<size_t>(item.index)];
+          p.start_pos = cursor;
+          cursor += p.max_len;
+          break;
+        }
+        case ContentItem::Kind::kModule:
+          cursor = layout_module(item.index, cursor);
+          break;
+        case ContentItem::Kind::kUnion:
+          cursor = layout_union(item.index, cursor);
+          break;
+      }
+    }
+    node(mi)->end_pos = cursor;
+    return cursor;
+  }
+
+  int layout_union(int union_id, int cursor) {
+    UnionDef& u = schema_.unions[static_cast<size_t>(union_id)];
+    u.start_pos = cursor;
+    int end = cursor;
+    for (int mi : u.members) {
+      end = std::max(end, layout_module(mi, cursor));
+    }
+    u.end_pos = end;
+    return end;
+  }
+
+  const TextTokenizer& tokenizer_;
+  const ChatTemplate& template_;
+  Schema schema_;
+  int anon_counter_ = 0;
+};
+
+}  // namespace
+
+Schema Schema::parse(std::string_view pml_source, const TextTokenizer& tokenizer,
+                     const ChatTemplate& chat_template) {
+  const XmlNode root = parse_xml(pml_source);
+  SchemaBuilder builder(tokenizer, chat_template);
+  return builder.build(root);
+}
+
+int Schema::find_module(std::string_view module_name) const {
+  for (size_t i = 0; i < modules.size(); ++i) {
+    if (modules[i].name == module_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<TokenRun> Schema::module_own_runs(int index) const {
+  const ModuleNode& m = module(index);
+  std::vector<TokenRun> runs;
+  for (const ContentItem& item : m.content) {
+    switch (item.kind) {
+      case ContentItem::Kind::kText: {
+        const TextPiece& piece = m.pieces[static_cast<size_t>(item.index)];
+        if (piece.tokens.empty()) break;
+        TokenRun run;
+        run.tokens = piece.tokens;
+        run.start_pos = piece.start_pos;
+        runs.push_back(std::move(run));
+        break;
+      }
+      case ContentItem::Kind::kParam: {
+        const ParamDef& p = m.params[static_cast<size_t>(item.index)];
+        TokenRun run;
+        run.tokens.assign(static_cast<size_t>(p.max_len), Vocab::kUnk);
+        run.start_pos = p.start_pos;
+        run.is_param = true;
+        run.param_index = item.index;
+        runs.push_back(std::move(run));
+        break;
+      }
+      case ContentItem::Kind::kModule:
+      case ContentItem::Kind::kUnion:
+        break;  // nested modules are encoded separately
+    }
+  }
+  return runs;
+}
+
+}  // namespace pc::pml

@@ -1,0 +1,116 @@
+// PML schema semantics and position-ID layout (paper §3.2, §3.3).
+//
+// A schema declares prompt modules (<module>), parameters (<param>),
+// mutually exclusive groups (<union>), nested modules, and LLM-agnostic
+// role tags (<system>/<user>/<assistant>, compiled through ChatTemplate).
+// Text outside <module> tags becomes anonymous modules that every derived
+// prompt includes.
+//
+// Parsing also performs the layout pass: every token of every module is
+// assigned an absolute position ID by its location in the schema. Union
+// members share their start position and the union occupies the extent of
+// its largest member (§3.2.3); parameters occupy max_len positions filled
+// with <unk> placeholders (§3.3).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tokenizer/chat_template.h"
+#include "tokenizer/tokenizer.h"
+
+namespace pc::pml {
+
+struct ParamDef {
+  std::string name;
+  int max_len = 0;     // maximum argument tokens (len attribute)
+  int start_pos = -1;  // assigned by layout: first <unk> position
+};
+
+// A contiguous run of a module's own tokens.
+struct TextPiece {
+  std::string text;             // post template expansion
+  std::vector<TokenId> tokens;  // tokenized
+  int start_pos = -1;
+};
+
+struct ContentItem {
+  enum class Kind { kText, kParam, kModule, kUnion };
+  Kind kind;
+  int index;  // into pieces / params / schema modules / schema unions
+};
+
+struct ModuleNode {
+  std::string name;
+  bool anonymous = false;
+  int parent = -1;    // enclosing module index; -1 for top level
+  int union_id = -1;  // >= 0 when a member of a union
+  std::vector<ContentItem> content;  // ordered
+  std::vector<TextPiece> pieces;
+  std::vector<ParamDef> params;
+  std::vector<int> children;  // nested module indices (incl. union members)
+  int start_pos = -1;
+  int end_pos = -1;  // exclusive; includes nested children / unions
+
+  // Tokens in own pieces + param placeholders (excludes nested modules).
+  int own_token_count() const {
+    int n = 0;
+    for (const auto& p : pieces) n += static_cast<int>(p.tokens.size());
+    for (const auto& p : params) n += p.max_len;
+    return n;
+  }
+
+  int param_index(std::string_view param_name) const {
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (params[i].name == param_name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+struct UnionDef {
+  std::vector<int> members;  // module indices
+  int start_pos = -1;
+  int end_pos = -1;
+};
+
+// One run of a module's own token stream with its layout positions —
+// the unit the encoder feeds to the model.
+struct TokenRun {
+  std::vector<TokenId> tokens;  // param runs hold max_len <unk> tokens
+  int start_pos = -1;
+  bool is_param = false;
+  int param_index = -1;
+};
+
+// Immutable result of parsing + layout. A data holder: members are public
+// (Core Guidelines C.131), helpers below give the common lookups.
+struct Schema {
+  std::string name;
+  std::vector<ModuleNode> modules;
+  std::vector<UnionDef> unions;
+  // Top-level order: kModule / kUnion items only (top-level text becomes
+  // anonymous kModule entries).
+  std::vector<ContentItem> root_content;
+  std::vector<int> anonymous_modules;  // always-included, schema order
+  int total_positions = 0;
+
+  // Parses and lays out a schema document (<schema name="...">...).
+  // The tokenizer supplies token ids; the template expands role tags.
+  static Schema parse(std::string_view pml_source, const TextTokenizer& tokenizer,
+                      const ChatTemplate& chat_template);
+
+  const ModuleNode& module(int index) const {
+    PC_CHECK(index >= 0 && static_cast<size_t>(index) < modules.size());
+    return modules[static_cast<size_t>(index)];
+  }
+
+  // Index of the named module, or -1.
+  int find_module(std::string_view module_name) const;
+
+  // The module's own token runs (text + param placeholders) in order.
+  std::vector<TokenRun> module_own_runs(int index) const;
+};
+
+}  // namespace pc::pml

@@ -1,0 +1,79 @@
+#include "pml/writer.h"
+
+#include "pml/xml.h"
+
+namespace pc::pml {
+
+namespace {
+
+void emit_module_body(const Schema& schema, const ModuleNode& m,
+                      std::string& out, int depth);
+
+std::string indent(int depth) {
+  return std::string(static_cast<size_t>(depth) * 2, ' ');
+}
+
+void emit_module(const Schema& schema, int mi, std::string& out, int depth) {
+  const ModuleNode& m = schema.module(mi);
+  if (m.anonymous) {
+    // Anonymous modules were plain text in the source document.
+    for (const TextPiece& piece : m.pieces) {
+      out += indent(depth) + escape_text(piece.text) + "\n";
+    }
+    return;
+  }
+  out += indent(depth) + "<module name=\"" + escape_attr(m.name) + "\">\n";
+  emit_module_body(schema, m, out, depth + 1);
+  out += indent(depth) + "</module>\n";
+}
+
+void emit_union(const Schema& schema, int union_id, std::string& out,
+                int depth) {
+  out += indent(depth) + "<union>\n";
+  for (int mi : schema.unions[static_cast<size_t>(union_id)].members) {
+    emit_module(schema, mi, out, depth + 1);
+  }
+  out += indent(depth) + "</union>\n";
+}
+
+void emit_module_body(const Schema& schema, const ModuleNode& m,
+                      std::string& out, int depth) {
+  for (const ContentItem& item : m.content) {
+    switch (item.kind) {
+      case ContentItem::Kind::kText:
+        out += indent(depth) +
+               escape_text(m.pieces[static_cast<size_t>(item.index)].text) +
+               "\n";
+        break;
+      case ContentItem::Kind::kParam: {
+        const ParamDef& p = m.params[static_cast<size_t>(item.index)];
+        out += indent(depth) + "<param name=\"" + escape_attr(p.name) +
+               "\" len=\"" + std::to_string(p.max_len) + "\"/>\n";
+        break;
+      }
+      case ContentItem::Kind::kModule:
+        emit_module(schema, item.index, out, depth);
+        break;
+      case ContentItem::Kind::kUnion:
+        emit_union(schema, item.index, out, depth);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string write_schema(const Schema& schema) {
+  std::string out = "<schema name=\"" + escape_attr(schema.name) + "\">\n";
+  for (const ContentItem& item : schema.root_content) {
+    if (item.kind == ContentItem::Kind::kModule) {
+      emit_module(schema, item.index, out, 1);
+    } else {
+      emit_union(schema, item.index, out, 1);
+    }
+  }
+  out += "</schema>\n";
+  return out;
+}
+
+}  // namespace pc::pml

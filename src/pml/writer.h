@@ -1,0 +1,17 @@
+// Canonical PML serialization: turns a parsed (and laid-out) Schema back
+// into markup. Role tags were already expanded through the chat template at
+// parse time, so the output is the canonical template-compiled form — what
+// the engine actually encodes. Round-trips: parsing the writer's output
+// yields an identical layout.
+#pragma once
+
+#include <string>
+
+#include "pml/schema.h"
+
+namespace pc::pml {
+
+// Serializes the schema document (modules, params, unions, anonymous text).
+std::string write_schema(const Schema& schema);
+
+}  // namespace pc::pml

@@ -1,0 +1,242 @@
+#include "pml/xml.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace pc::pml {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : src_(src) {}
+
+  XmlNode parse_document() {
+    skip_whitespace_and_comments();
+    XmlNode root = parse_element();
+    skip_whitespace_and_comments();
+    if (!at_end()) fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  bool at_end() const { return pos_ >= src_.size(); }
+
+  char peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  bool consume(std::string_view expect) {
+    if (src_.substr(pos_).starts_with(expect)) {
+      for (size_t i = 0; i < expect.size(); ++i) advance();
+      return true;
+    }
+    return false;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::ostringstream os;
+    os << "PML parse error at line " << line_ << ": " << msg;
+    throw ParseError(os.str());
+  }
+
+  void skip_whitespace() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) {
+      advance();
+    }
+  }
+
+  void skip_whitespace_and_comments() {
+    for (;;) {
+      skip_whitespace();
+      if (src_.substr(pos_).starts_with("<!--")) {
+        skip_comment();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_comment() {
+    consume("<!--");
+    while (!at_end() && !src_.substr(pos_).starts_with("-->")) advance();
+    if (!consume("-->")) fail("unterminated comment");
+  }
+
+  static bool is_name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+           c == '_' || c == '.' || c == ':';
+  }
+
+  std::string parse_name() {
+    if (!is_name_char(peek())) fail("expected a name");
+    std::string name;
+    while (!at_end() && is_name_char(peek())) name += advance();
+    return name;
+  }
+
+  std::string parse_entity() {
+    // positioned on '&'
+    advance();
+    std::string ent;
+    while (!at_end() && peek() != ';' && ent.size() < 8) ent += advance();
+    if (!consume(";")) fail("unterminated entity '&" + ent + "'");
+    if (ent == "lt") return "<";
+    if (ent == "gt") return ">";
+    if (ent == "amp") return "&";
+    if (ent == "quot") return "\"";
+    if (ent == "apos") return "'";
+    fail("unknown entity '&" + ent + ";'");
+  }
+
+  std::string parse_attr_value() {
+    const char quote = peek();
+    if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+    advance();
+    std::string value;
+    while (!at_end() && peek() != quote) {
+      if (peek() == '&') {
+        value += parse_entity();
+      } else {
+        value += advance();
+      }
+    }
+    if (!consume(std::string_view(&quote, 1))) {
+      fail("unterminated attribute value");
+    }
+    return value;
+  }
+
+  XmlNode parse_element() {
+    const int start_line = line_;
+    if (!consume("<")) fail("expected '<'");
+    XmlNode node;
+    node.line = start_line;
+    node.tag = parse_name();
+
+    for (;;) {
+      skip_whitespace();
+      if (consume("/>")) return node;  // self-closing
+      if (consume(">")) break;
+      XmlAttr attr;
+      attr.name = parse_name();
+      skip_whitespace();
+      if (!consume("=")) fail("expected '=' after attribute name");
+      skip_whitespace();
+      attr.value = parse_attr_value();
+      for (const auto& existing : node.attrs) {
+        if (existing.name == attr.name) {
+          fail("duplicate attribute '" + attr.name + "'");
+        }
+      }
+      node.attrs.push_back(std::move(attr));
+    }
+
+    // Children until matching close tag.
+    std::string text;
+    auto flush_text = [&] {
+      // Whitespace-only runs between elements are layout, not content.
+      const bool all_space =
+          text.find_first_not_of(" \t\r\n\f\v") == std::string::npos;
+      if (text.empty() || all_space) {
+        text.clear();
+        return;
+      }
+      XmlNode t;
+      t.text = std::move(text);
+      t.line = line_;
+      text.clear();
+      node.children.push_back(std::move(t));
+    };
+    for (;;) {
+      if (at_end()) fail("unterminated element <" + node.tag + ">");
+      if (src_.substr(pos_).starts_with("<!--")) {
+        skip_comment();
+        continue;
+      }
+      if (src_.substr(pos_).starts_with("</")) {
+        flush_text();
+        consume("</");
+        const std::string close = parse_name();
+        if (close != node.tag) {
+          fail("mismatched close tag </" + close + "> for <" + node.tag + ">");
+        }
+        skip_whitespace();
+        if (!consume(">")) fail("expected '>' in close tag");
+        return node;
+      }
+      if (peek() == '<') {
+        flush_text();
+        node.children.push_back(parse_element());
+        continue;
+      }
+      if (peek() == '&') {
+        text += parse_entity();
+        continue;
+      }
+      text += advance();
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+const std::string& XmlNode::required_attr(std::string_view name) const {
+  const std::string* v = attr(name);
+  if (v == nullptr) {
+    throw ParseError("element <" + tag + "> missing required attribute '" +
+                     std::string(name) + "'");
+  }
+  return *v;
+}
+
+std::string XmlNode::direct_text() const {
+  std::string out;
+  for (const auto& c : children) {
+    if (c.is_text()) out += c.text;
+  }
+  return out;
+}
+
+XmlNode parse_xml(std::string_view source) {
+  return Parser(source).parse_document();
+}
+
+std::string escape_text(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string escape_attr(std::string_view text) {
+  std::string out = escape_text(text);
+  std::string quoted;
+  for (char c : out) {
+    if (c == '"') {
+      quoted += "&quot;";
+    } else {
+      quoted += c;
+    }
+  }
+  return quoted;
+}
+
+}  // namespace pc::pml

@@ -1,0 +1,57 @@
+// Minimal XML parser for the Prompt Markup Language.
+//
+// Supports the subset PML needs: nested elements, self-closing tags,
+// double- or single-quoted attributes, text nodes, comments, and the five
+// standard entities. Position information (line:column) is carried through
+// to pc::ParseError messages.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+
+namespace pc::pml {
+
+struct XmlAttr {
+  std::string name;
+  std::string value;
+};
+
+struct XmlNode {
+  // Element node when !tag.empty(); text node otherwise.
+  std::string tag;
+  std::vector<XmlAttr> attrs;
+  std::vector<XmlNode> children;
+  std::string text;  // text nodes only
+  int line = 0;      // 1-based source line of the node start
+
+  bool is_text() const { return tag.empty(); }
+
+  // Attribute lookup; returns nullptr when absent.
+  const std::string* attr(std::string_view name) const {
+    for (const auto& a : attrs) {
+      if (a.name == name) return &a.value;
+    }
+    return nullptr;
+  }
+
+  // Attribute lookup with a required-presence contract.
+  const std::string& required_attr(std::string_view name) const;
+
+  // Concatenated text of the direct text children.
+  std::string direct_text() const;
+};
+
+// Parses a document with a single root element. Throws pc::ParseError on
+// malformed input.
+XmlNode parse_xml(std::string_view source);
+
+// Escapes text for embedding into an XML document (used by the writer and
+// the prompt-program compiler).
+std::string escape_text(std::string_view text);
+std::string escape_attr(std::string_view text);
+
+}  // namespace pc::pml

@@ -1,0 +1,60 @@
+// Absolute positional embedding tables (learned GPT-2 style or fixed
+// sinusoidal BERT style). The paper (§4.2) notes these need no adaptation
+// for discontinuous position IDs beyond indexing the table by ID — which is
+// what row() does.
+#pragma once
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace pc {
+
+class PositionTable {
+ public:
+  static PositionTable learned(int max_pos, int d_model, Rng& rng,
+                               float stddev = 0.02f) {
+    PositionTable t;
+    t.table_ = Tensor({max_pos, d_model});
+    for (float& x : t.table_.span()) x = rng.gauss(0.0f, stddev);
+    return t;
+  }
+
+  static PositionTable sinusoidal(int max_pos, int d_model) {
+    PositionTable t;
+    t.table_ = Tensor({max_pos, d_model});
+    for (int p = 0; p < max_pos; ++p) {
+      for (int i = 0; i < d_model; ++i) {
+        const double rate =
+            std::pow(10000.0, -static_cast<double>(i - (i % 2)) / d_model);
+        const double angle = p * rate;
+        t.table_.at(p, i) = static_cast<float>((i % 2 == 0) ? std::sin(angle)
+                                                            : std::cos(angle));
+      }
+    }
+    return t;
+  }
+
+  // A zero table (for hand-constructed models that install rows manually).
+  static PositionTable zeros(int max_pos, int d_model) {
+    PositionTable t;
+    t.table_ = Tensor({max_pos, d_model});
+    return t;
+  }
+
+  int max_pos() const { return static_cast<int>(table_.dim(0)); }
+  int d_model() const { return static_cast<int>(table_.dim(1)); }
+
+  const float* row(int pos) const {
+    PC_CHECK_MSG(pos >= 0 && pos < max_pos(),
+                 "position " << pos << " out of table range " << max_pos());
+    return table_.row(pos);
+  }
+
+  Tensor& tensor() { return table_; }
+  const Tensor& tensor() const { return table_; }
+
+ private:
+  Tensor table_;
+};
+
+}  // namespace pc

@@ -1,0 +1,68 @@
+// Rotary positional embeddings (RoPE, Su et al. 2021) with position-ID
+// lookup tables.
+//
+// The paper (§4.2) notes that stock RoPE implementations assume position IDs
+// 0..n-1 and must be adapted for Prompt Cache's discontinuous IDs by
+// building a lookup table of rotation matrices indexed by absolute position
+// ID. RopeTable is exactly that: cos/sin rows are precomputed for every
+// position up to max_pos and applied by explicit position ID.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace pc {
+
+class RopeTable {
+ public:
+  // d_head must be even. theta is the base frequency (10000 for Llama2).
+  RopeTable(int d_head, int max_pos, float theta = 10000.0f)
+      : d_head_(d_head), max_pos_(max_pos) {
+    PC_CHECK_MSG(d_head > 0 && d_head % 2 == 0, "RoPE head dim must be even");
+    PC_CHECK(max_pos > 0);
+    const int half = d_head / 2;
+    cos_.resize(static_cast<size_t>(max_pos) * half);
+    sin_.resize(static_cast<size_t>(max_pos) * half);
+    for (int p = 0; p < max_pos; ++p) {
+      for (int i = 0; i < half; ++i) {
+        const double freq =
+            1.0 / std::pow(static_cast<double>(theta),
+                           (2.0 * i) / static_cast<double>(d_head));
+        const double angle = static_cast<double>(p) * freq;
+        cos_[static_cast<size_t>(p) * half + i] =
+            static_cast<float>(std::cos(angle));
+        sin_[static_cast<size_t>(p) * half + i] =
+            static_cast<float>(std::sin(angle));
+      }
+    }
+  }
+
+  int d_head() const { return d_head_; }
+  int max_pos() const { return max_pos_; }
+
+  // Rotates one head vector x[0..d_head) in place for position id `pos`.
+  // Uses the Llama pairing (x[i], x[i + d/2]).
+  void apply(float* x, int pos) const {
+    PC_CHECK_MSG(pos >= 0 && pos < max_pos_,
+                 "RoPE position " << pos << " out of range " << max_pos_);
+    const int half = d_head_ / 2;
+    const float* c = cos_.data() + static_cast<size_t>(pos) * half;
+    const float* s = sin_.data() + static_cast<size_t>(pos) * half;
+    for (int i = 0; i < half; ++i) {
+      const float x0 = x[i];
+      const float x1 = x[i + half];
+      x[i] = x0 * c[i] - x1 * s[i];
+      x[i + half] = x0 * s[i] + x1 * c[i];
+    }
+  }
+
+ private:
+  int d_head_;
+  int max_pos_;
+  std::vector<float> cos_;
+  std::vector<float> sin_;
+};
+
+}  // namespace pc

@@ -1,0 +1,32 @@
+// Umbrella header: everything a downstream application needs.
+//
+//   #include "prompt_cache.h"
+//
+//   pc::Tokenizer tokenizer(pc::Vocab::basic_english());
+//   pc::Model model = pc::Model::random(
+//       pc::ModelConfig::llama_tiny(tokenizer.vocab().size()), 42);
+//   pc::PromptCacheEngine engine(model, tokenizer);
+//   engine.load_schema("<schema name=...>...");
+//   pc::ServeResult r = engine.serve("<prompt schema=...>...");
+//
+// Individual headers remain includable for finer-grained dependencies.
+#pragma once
+
+#include "core/engine.h"        // PromptCacheEngine, EngineConfig, ServeResult
+#include "core/prefix_cache.h"  // PrefixCacheEngine (the §2.2 baseline)
+#include "core/serialize.h"     // module persistence records
+#include "core/session.h"       // ChatSession
+#include "eval/metrics.h"       // F1 / Rouge-L / accuracy scorers
+#include "eval/retriever.h"     // BM25 index for RAG-style module selection
+#include "eval/workload.h"      // synthetic LongBench-like workloads
+#include "model/induction.h"    // hand-constructed retrieval model
+#include "model/model.h"        // transformer engine
+#include "pml/prompt.h"         // prompt parsing + binding
+#include "pml/prompt_builder.h" // programmatic prompt construction
+#include "pml/prompt_program.h" // prompt-program -> PML compiler
+#include "pml/schema.h"         // schema parsing + layout
+#include "pml/writer.h"         // canonical PML serialization
+#include "sys/device_model.h"   // analytic hardware profiles
+#include "sys/gpu_sim.h"        // discrete-event GPU pipeline simulation
+#include "tokenizer/bpe.h"      // BPE trainer/tokenizer
+#include "tokenizer/tokenizer.h"

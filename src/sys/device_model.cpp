@@ -1,0 +1,142 @@
+#include "sys/device_model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace pc {
+
+namespace {
+
+// Sustained GEMM efficiency as a function of the number of query rows.
+// Skinny matmuls (few uncached tokens, single decode steps) achieve a small
+// fraction of peak throughput on both CPUs and GPUs; long prefills approach
+// the sustained peak. Modeled as a linear ramp with a floor.
+double seq_efficiency(const HardwareProfile& hw, int64_t n_rows) {
+  return hw.eff_floor +
+         (1.0 - hw.eff_floor) *
+             std::min(1.0, static_cast<double>(n_rows) / hw.eff_ramp_rows);
+}
+
+double compute_time_s(const HardwareProfile& hw, double flops,
+                      int64_t n_rows) {
+  return flops / (hw.compute_flops * seq_efficiency(hw, n_rows));
+}
+
+}  // namespace
+
+// Profiles: peak numbers from public spec sheets, derated to the sustained
+// throughput a framework-level (HF transformers-style) pipeline achieves.
+// CPU compute assumes all cores, AVX-accelerated fp32 GEMM; CPU copy
+// bandwidth is sustained memcpy (read+write) rather than theoretical bus
+// rate. The AMD testbed pairs a faster core with slower DDR4-3600 memory
+// (§5.1), which depresses both its sustained GEMM and its copy bandwidth.
+const HardwareProfile& HardwareProfile::intel_i9_13900k() {
+  static const HardwareProfile p{
+      "Intel i9-13900K (DDR5-5600)", false,
+      1.1e12,   // sustained fp32 GEMM
+      89.6e9,   // DDR5-5600 dual channel
+      30.0e9,   // sustained host memcpy
+      2e-6, 0.0,
+      0.30, 512};
+  return p;
+}
+
+const HardwareProfile& HardwareProfile::amd_ryzen9_7950x() {
+  static const HardwareProfile p{
+      "AMD Ryzen 9 7950X (DDR4-3600)", false,
+      0.85e12,  // DDR4-starved sustained GEMM
+      57.6e9,
+      11.0e9,   // sustained host memcpy on DDR4
+      2e-6, 0.0,
+      // DDR4 starves skinny GEMMs hardest: weight streaming dominates when
+      // there are few rows to amortize it over.
+      0.06, 768};
+  return p;
+}
+
+const HardwareProfile& HardwareProfile::rtx4090() {
+  static const HardwareProfile p{
+      "NVIDIA RTX 4090", true,
+      5.0e13,   // sustained fp16 (framework-level, no fused attention)
+      1.008e12, // GDDR6X
+      6.5e9,    // PCIe 4.0 x16, pageable-copy effective
+      15e-6,
+      30e-3,    // launch/tokenize/dispatch fixed overhead (framework-level)
+      0.05, 2048};
+  return p;
+}
+
+const HardwareProfile& HardwareProfile::a40() {
+  static const HardwareProfile p{
+      "NVIDIA A40", true, 3.0e13, 0.696e12, 6.0e9, 15e-6, 30e-3,
+      0.05, 2048};
+  return p;
+}
+
+const HardwareProfile& HardwareProfile::a100() {
+  static const HardwareProfile p{
+      "NVIDIA A100", true, 6.0e13, 1.555e12, 7.0e9, 15e-6, 30e-3,
+      0.05, 2048};
+  return p;
+}
+
+const std::vector<const HardwareProfile*>& HardwareProfile::all() {
+  static const std::vector<const HardwareProfile*> v = {
+      &intel_i9_13900k(), &amd_ryzen9_7950x(), &rtx4090(), &a40(), &a100()};
+  return v;
+}
+
+TtftEstimate estimate_baseline_ttft(const HardwareProfile& hw,
+                                    const ModelSpec& spec, int64_t n_tokens) {
+  TtftEstimate e;
+  e.compute_s = compute_time_s(hw, prefill_flops(spec, n_tokens), n_tokens) +
+                hw.kernel_launch_s;
+  e.transfer_s = 0.0;
+  return e;
+}
+
+double estimate_memcpy_s(const HardwareProfile& hw, size_t bytes,
+                         ModuleLocation from) {
+  const double b = static_cast<double>(bytes);
+  if (from == ModuleLocation::kDeviceMemory) {
+    PC_CHECK_MSG(hw.is_gpu, "device memory requires a GPU profile");
+    return b / hw.mem_bw_bytes + hw.host_link_latency_s;
+  }
+  // Host memory: GPUs pay the PCIe link; CPUs pay a host-to-host memcpy.
+  return b / hw.host_link_bw_bytes + hw.host_link_latency_s;
+}
+
+TtftEstimate estimate_cached_ttft(const HardwareProfile& hw,
+                                  const ModelSpec& spec, int64_t cached_tokens,
+                                  int64_t uncached_tokens,
+                                  ModuleLocation location) {
+  PC_CHECK(cached_tokens >= 0 && uncached_tokens >= 0);
+  TtftEstimate e;
+  e.transfer_s = estimate_memcpy_s(
+      hw, spec.kv_bytes_per_token() * static_cast<size_t>(cached_tokens),
+      location);
+  // Even a fully cached prompt computes at least one position (the token
+  // whose logits become the first output).
+  const int64_t u = std::max<int64_t>(1, uncached_tokens);
+  e.compute_s =
+      compute_time_s(hw, extend_flops(spec, cached_tokens, u), u) +
+      hw.kernel_launch_s;
+  return e;
+}
+
+double estimate_decode_step_s(const HardwareProfile& hw, const ModelSpec& spec,
+                              int64_t context_tokens) {
+  // Decode is memory-bandwidth bound: every parameter and the KV cache are
+  // streamed once per token. Take the max of the bandwidth and compute
+  // bounds plus launch overhead.
+  const double param_bytes = spec.approx_params() * spec.dtype_bytes;
+  const double kv_bytes = static_cast<double>(spec.kv_bytes_per_token()) *
+                          static_cast<double>(context_tokens);
+  const double bw_bound = (param_bytes + kv_bytes) / hw.mem_bw_bytes;
+  const double flop_bound =
+      extend_flops(spec, context_tokens, 1) / (hw.compute_flops * 0.05);
+  return std::max(bw_bound, flop_bound) + hw.kernel_launch_s;
+}
+
+}  // namespace pc

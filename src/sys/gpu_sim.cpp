@@ -1,0 +1,94 @@
+#include "sys/gpu_sim.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace pc {
+
+namespace {
+
+// Per-layer slice of the uncached forward, consistent with extend_flops
+// (which additionally counts final logits once).
+double layer_compute_flops(const ModelSpec& spec, int64_t past_tokens,
+                           int64_t new_tokens) {
+  const double total =
+      extend_flops(spec, past_tokens, new_tokens) -
+      2.0 * static_cast<double>(spec.d_model) * spec.vocab_size;
+  return total / spec.n_layers;
+}
+
+}  // namespace
+
+GpuSimResult simulate_cached_ttft(const HardwareProfile& hw,
+                                  const ModelSpec& spec,
+                                  int64_t cached_tokens,
+                                  int64_t uncached_tokens,
+                                  ModuleLocation location, bool overlap) {
+  PC_CHECK(hw.is_gpu);
+  PC_CHECK(cached_tokens >= 0 && uncached_tokens >= 1);
+  const int layers = spec.n_layers;
+
+  // Per-layer task durations.
+  const double layer_copy_bytes =
+      static_cast<double>(spec.kv_bytes_per_token()) * cached_tokens / layers;
+  const double link_bw = location == ModuleLocation::kDeviceMemory
+                             ? hw.mem_bw_bytes
+                             : hw.host_link_bw_bytes;
+  const double copy_s = layer_copy_bytes / link_bw + hw.host_link_latency_s;
+
+  // Short-sequence efficiency, as in the analytic model.
+  const double floor = hw.eff_floor;
+  const double eff =
+      floor + (1.0 - floor) *
+                  std::min(1.0, static_cast<double>(uncached_tokens) /
+                                    hw.eff_ramp_rows);
+  const double compute_s =
+      layer_compute_flops(spec, cached_tokens, uncached_tokens) /
+      (hw.compute_flops * eff);
+  const double logits_s = 2.0 * static_cast<double>(spec.d_model) *
+                          spec.vocab_size / (hw.compute_flops * eff);
+
+  GpuSimResult out;
+  out.layer_finish_s.resize(static_cast<size_t>(layers));
+
+  if (!overlap) {
+    // One serial timeline: all copies, then all compute.
+    double t = hw.kernel_launch_s;
+    t += layers * copy_s;
+    out.copy_busy_s = layers * copy_s;
+    for (int l = 0; l < layers; ++l) {
+      t += compute_s;
+      out.layer_finish_s[static_cast<size_t>(l)] = t;
+    }
+    out.compute_busy_s = layers * compute_s;
+    out.ttft_s = t + logits_s;
+    out.compute_stall_s = layers * copy_s;  // compute waited for all copies
+    return out;
+  }
+
+  // Two resources, event-driven: the copy engine streams layer copies
+  // back-to-back; compute for layer l starts when both its copy and the
+  // previous layer's compute have finished.
+  double copy_free = hw.kernel_launch_s;
+  double compute_free = hw.kernel_launch_s;
+  std::vector<double> copy_done(static_cast<size_t>(layers));
+  for (int l = 0; l < layers; ++l) {
+    copy_free += copy_s;
+    copy_done[static_cast<size_t>(l)] = copy_free;
+  }
+  out.copy_busy_s = layers * copy_s;
+
+  for (int l = 0; l < layers; ++l) {
+    const double ready =
+        std::max(compute_free, copy_done[static_cast<size_t>(l)]);
+    out.compute_stall_s += ready - compute_free;
+    compute_free = ready + compute_s;
+    out.layer_finish_s[static_cast<size_t>(l)] = compute_free;
+    out.compute_busy_s += compute_s;
+  }
+  out.ttft_s = compute_free + logits_s;
+  return out;
+}
+
+}  // namespace pc

@@ -1,0 +1,45 @@
+// Discrete-event simulation of cached inference on a GPU.
+//
+// The analytic model in device_model.h charges the full module transfer
+// serially before any compute. Real implementations pipeline: the copy
+// engine (PCIe DMA) moves layer l+1's cached KV while the compute engine
+// runs layer l's uncached forward, hiding much of the host-memory penalty
+// behind compute. This simulator models the two engines as serial resources
+// with per-layer tasks and dependencies and reports the resulting TTFT and
+// utilization — quantifying how much of the paper's modules-in-CPU-memory
+// gap (Figure 3) a pipelined runtime recovers.
+//
+// Task graph for L layers:
+//   copy engine    C_0 -> C_1 -> ... -> C_{L-1}        (module KV per layer)
+//   compute engine K_0 -> K_1 -> ... -> K_{L-1} -> OUT (uncached forward)
+//   dependency     K_l also requires C_l (attention reads that layer's
+//                  cached keys/values)
+// Non-overlapped mode serializes everything on one timeline (the analytic
+// model's assumption).
+#pragma once
+
+#include <vector>
+
+#include "sys/device_model.h"
+
+namespace pc {
+
+struct GpuSimResult {
+  double ttft_s = 0;
+  double copy_busy_s = 0;     // total copy-engine busy time
+  double compute_busy_s = 0;  // total compute-engine busy time
+  double compute_stall_s = 0; // compute idle waiting for copies
+  // Completion time of each layer's compute task (diagnostics/tests).
+  std::vector<double> layer_finish_s;
+};
+
+// Simulates the TTFT of cached inference: per-layer module-KV copies from
+// `location` plus per-layer uncached compute. When `overlap` is false, copy
+// and compute share one serial timeline (matches the analytic model).
+GpuSimResult simulate_cached_ttft(const HardwareProfile& hw,
+                                  const ModelSpec& spec,
+                                  int64_t cached_tokens,
+                                  int64_t uncached_tokens,
+                                  ModuleLocation location, bool overlap);
+
+}  // namespace pc

@@ -1,0 +1,65 @@
+// Two-tier module storage accounting (paper §4.1).
+//
+// Prompt Cache stores encoded modules in either host DRAM (large, but GPUs
+// pay a PCIe copy to use it) or device HBM (fast, scarce). TierAllocator
+// tracks capacity and usage per tier so the core cache can make placement
+// decisions and the benchmarks can report footprint; actual storage always
+// lives in host RAM in this reproduction — the tier tag determines which
+// simulated transfer cost applies at inference time.
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.h"
+#include "sys/device_model.h"
+
+namespace pc {
+
+struct TierUsage {
+  size_t capacity_bytes = 0;  // 0 means unlimited
+  size_t used_bytes = 0;
+
+  size_t free_bytes() const {
+    if (capacity_bytes == 0) return static_cast<size_t>(-1);
+    return capacity_bytes - used_bytes;
+  }
+};
+
+class TierAllocator {
+ public:
+  TierAllocator(size_t host_capacity_bytes, size_t device_capacity_bytes) {
+    host_.capacity_bytes = host_capacity_bytes;
+    device_.capacity_bytes = device_capacity_bytes;
+  }
+
+  const TierUsage& usage(ModuleLocation loc) const {
+    return loc == ModuleLocation::kHostMemory ? host_ : device_;
+  }
+
+  bool can_fit(ModuleLocation loc, size_t bytes) const {
+    const TierUsage& u = usage(loc);
+    return u.capacity_bytes == 0 || u.used_bytes + bytes <= u.capacity_bytes;
+  }
+
+  void charge(ModuleLocation loc, size_t bytes) {
+    TierUsage& u = mutable_usage(loc);
+    PC_CHECK_MSG(can_fit(loc, bytes), "tier over-commit");
+    u.used_bytes += bytes;
+  }
+
+  void credit(ModuleLocation loc, size_t bytes) {
+    TierUsage& u = mutable_usage(loc);
+    PC_CHECK_MSG(u.used_bytes >= bytes, "tier under-flow");
+    u.used_bytes -= bytes;
+  }
+
+ private:
+  TierUsage& mutable_usage(ModuleLocation loc) {
+    return loc == ModuleLocation::kHostMemory ? host_ : device_;
+  }
+
+  TierUsage host_;
+  TierUsage device_;
+};
+
+}  // namespace pc

@@ -1,0 +1,68 @@
+#include "sys/model_spec.h"
+
+#include "common/error.h"
+
+namespace pc {
+
+namespace {
+
+// Per-layer FLOPs for projections + MLP for one token (matmul FLOPs = 2·m·k).
+double per_token_layer_flops(const ModelSpec& s) {
+  const double d = s.d_model;
+  const double q_out = static_cast<double>(s.n_heads) * s.d_head;
+  const double kv_out = static_cast<double>(s.kv_dim());
+  const double proj = 2.0 * d * (q_out + 2.0 * kv_out)  // QKV
+                      + 2.0 * q_out * d;                // output proj
+  const double mlp = 2.0 * d * s.d_ff * (s.gated_mlp ? 3.0 : 2.0);
+  return proj + mlp;
+}
+
+}  // namespace
+
+double prefill_flops(const ModelSpec& spec, int64_t n_tokens) {
+  const double n = static_cast<double>(n_tokens);
+  const double linear = n * per_token_layer_flops(spec) * spec.n_layers;
+  // Attention: scores QK^T and mixing AV, causal ≈ half of the full n² but
+  // we keep the paper's 4·n²·d convention (dense upper bound).
+  const double attn = 4.0 * n * n * spec.d_model * spec.n_layers;
+  // Final logits for the last position only (TTFT path).
+  const double logits = 2.0 * static_cast<double>(spec.d_model) * spec.vocab_size;
+  return linear + attn + logits;
+}
+
+double extend_flops(const ModelSpec& spec, int64_t past_tokens,
+                    int64_t new_tokens) {
+  const double u = static_cast<double>(new_tokens);
+  const double total = static_cast<double>(past_tokens) + u;
+  const double linear = u * per_token_layer_flops(spec) * spec.n_layers;
+  // Each new token attends over all past + new tokens.
+  const double attn = 4.0 * u * total * spec.d_model * spec.n_layers;
+  const double logits = 2.0 * static_cast<double>(spec.d_model) * spec.vocab_size;
+  return linear + attn + logits;
+}
+
+const std::vector<ModelSpec>& model_zoo() {
+  // Dimensions from the published model cards. n_kv_heads == n_heads (MHA)
+  // throughout because Table 2's numbers assume full multi-head KV (see
+  // EXPERIMENTS.md: Llama 70B at 2.5 MB/token only reproduces without GQA).
+  static const std::vector<ModelSpec> zoo = {
+      {"BERT", 12, 768, 12, 12, 64, 3072, 30522, false, 2},
+      {"Falcon 1B", 24, 2048, 32, 32, 64, 8192, 50304, false, 2},
+      {"Llama 7B", 32, 4096, 32, 32, 128, 11008, 32000, true, 2},
+      {"Llama 13B", 40, 5120, 40, 40, 128, 13824, 32000, true, 2},
+      {"MPT 30B", 48, 7168, 64, 64, 112, 28672, 50432, false, 2},
+      {"Falcon 40B", 60, 8192, 128, 128, 64, 32768, 65024, false, 2},
+      {"Llama 70B", 80, 8192, 64, 64, 128, 28672, 32000, true, 2},
+      {"Falcon 180B", 80, 14848, 232, 232, 64, 59392, 65024, false, 2},
+  };
+  return zoo;
+}
+
+const ModelSpec& find_spec(const std::string& name) {
+  for (const auto& s : model_zoo()) {
+    if (s.name == name) return s;
+  }
+  throw Error("unknown model spec: " + name);
+}
+
+}  // namespace pc

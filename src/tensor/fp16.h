@@ -1,0 +1,86 @@
+// Software IEEE-754 binary16 conversion, used for half-precision storage of
+// cached attention states (the paper's memory-overhead analysis in Table 2
+// assumes fp16 storage). Compute stays in fp32.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace pc {
+
+using f16 = uint16_t;
+
+// fp32 -> fp16 with round-to-nearest-even; overflow saturates to +/-inf.
+inline f16 float_to_half(float f) {
+  uint32_t x;
+  std::memcpy(&x, &f, sizeof(x));
+  const uint32_t sign = (x >> 16) & 0x8000u;
+  const int32_t exp = static_cast<int32_t>((x >> 23) & 0xffu) - 127 + 15;
+  uint32_t mant = x & 0x7fffffu;
+
+  if (((x >> 23) & 0xffu) == 0xffu) {  // inf / nan
+    return static_cast<f16>(sign | 0x7c00u | (mant ? 0x200u : 0u));
+  }
+  if (exp >= 31) {  // overflow -> inf
+    return static_cast<f16>(sign | 0x7c00u);
+  }
+  if (exp <= 0) {  // subnormal or zero
+    if (exp < -10) return static_cast<f16>(sign);
+    mant |= 0x800000u;
+    const int shift = 14 - exp;
+    uint32_t half_mant = mant >> shift;
+    // round-to-nearest-even on the dropped bits
+    const uint32_t rem = mant & ((1u << shift) - 1);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1u))) ++half_mant;
+    return static_cast<f16>(sign | half_mant);
+  }
+  uint32_t half = sign | (static_cast<uint32_t>(exp) << 10) | (mant >> 13);
+  const uint32_t rem = mant & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;
+  return static_cast<f16>(half);
+}
+
+inline float half_to_float(f16 h) {
+  const uint32_t sign = (static_cast<uint32_t>(h) & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1fu;
+  const uint32_t mant = h & 0x3ffu;
+  uint32_t x;
+  if (exp == 0) {
+    if (mant == 0) {
+      x = sign;
+    } else {  // subnormal: normalize
+      int e = -1;
+      uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      x = sign | (static_cast<uint32_t>(127 - 15 - e) << 23) |
+          ((m & 0x3ffu) << 13);
+    }
+  } else if (exp == 0x1f) {
+    x = sign | 0x7f800000u | (mant << 13);
+  } else {
+    x = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float f;
+  std::memcpy(&f, &x, sizeof(f));
+  return f;
+}
+
+inline std::vector<f16> to_half(std::span<const float> src) {
+  std::vector<f16> out(src.size());
+  for (size_t i = 0; i < src.size(); ++i) out[i] = float_to_half(src[i]);
+  return out;
+}
+
+inline std::vector<float> to_float(std::span<const f16> src) {
+  std::vector<float> out(src.size());
+  for (size_t i = 0; i < src.size(); ++i) out[i] = half_to_float(src[i]);
+  return out;
+}
+
+}  // namespace pc

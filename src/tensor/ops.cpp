@@ -1,0 +1,186 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/thread_pool.h"
+
+namespace pc {
+
+namespace {
+
+// Rows below this are not worth shipping to the pool.
+constexpr size_t kParallelRowThreshold = 8;
+
+void for_rows(size_t m, const std::function<void(size_t, size_t)>& fn) {
+  if (m < kParallelRowThreshold || ThreadPool::global().size() <= 1) {
+    fn(0, m);
+  } else {
+    ThreadPool::global().parallel_for(m, fn);
+  }
+}
+
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, size_t m, size_t k,
+          size_t n) {
+  for_rows(m, [&](size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      float* ci = c + i * n;
+      std::fill(ci, ci + n, 0.0f);
+      const float* ai = a + i * k;
+      for (size_t l = 0; l < k; ++l) {
+        const float av = ai[l];
+        if (av == 0.0f) continue;  // structured-sparse weights are common here
+        const float* bl = b + l * n;
+        for (size_t j = 0; j < n; ++j) ci[j] += av * bl[j];
+      }
+    }
+  });
+}
+
+void gemm_nt(const float* a, const float* b, float* c, size_t m, size_t k,
+             size_t n) {
+  for_rows(m, [&](size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      const float* ai = a + i * k;
+      float* ci = c + i * n;
+      // Process four output columns at a time to reuse the a-row in registers.
+      size_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        const float* b0 = b + (j + 0) * k;
+        const float* b1 = b + (j + 1) * k;
+        const float* b2 = b + (j + 2) * k;
+        const float* b3 = b + (j + 3) * k;
+        float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+        for (size_t l = 0; l < k; ++l) {
+          const float av = ai[l];
+          s0 += av * b0[l];
+          s1 += av * b1[l];
+          s2 += av * b2[l];
+          s3 += av * b3[l];
+        }
+        ci[j + 0] = s0;
+        ci[j + 1] = s1;
+        ci[j + 2] = s2;
+        ci[j + 3] = s3;
+      }
+      for (; j < n; ++j) ci[j] = dot(ai, b + j * k, k);
+    }
+  });
+}
+
+float dot(const float* a, const float* b, size_t n) {
+  float s = 0.0f;
+  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void axpy(float alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void softmax_inplace(float* row, size_t n) {
+  if (n == 0) return;
+  float mx = row[0];
+  for (size_t i = 1; i < n; ++i) mx = std::max(mx, row[i]);
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    row[i] = std::exp(row[i] - mx);
+    sum += row[i];
+  }
+  const float inv = 1.0f / sum;
+  for (size_t i = 0; i < n; ++i) row[i] *= inv;
+}
+
+void rmsnorm(const float* x, const float* w, float* out, size_t n, float eps) {
+  float ss = 0.0f;
+  for (size_t i = 0; i < n; ++i) ss += x[i] * x[i];
+  const float inv = 1.0f / std::sqrt(ss / static_cast<float>(n) + eps);
+  for (size_t i = 0; i < n; ++i) out[i] = x[i] * inv * w[i];
+}
+
+void layernorm(const float* x, const float* w, const float* b, float* out,
+               size_t n, float eps) {
+  float mean = 0.0f;
+  for (size_t i = 0; i < n; ++i) mean += x[i];
+  mean /= static_cast<float>(n);
+  float var = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float d = x[i] - mean;
+    var += d * d;
+  }
+  var /= static_cast<float>(n);
+  const float inv = 1.0f / std::sqrt(var + eps);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = (x[i] - mean) * inv * w[i] + (b ? b[i] : 0.0f);
+  }
+}
+
+void silu_inplace(float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = x[i] / (1.0f + std::exp(-x[i]));
+  }
+}
+
+void gelu_inplace(float* x, size_t n) {
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  for (size_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    x[i] = 0.5f * v *
+           (1.0f + std::tanh(kSqrt2OverPi * (v + 0.044715f * v * v * v)));
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  PC_CHECK_MSG(a.ndim() == 2 && b.ndim() == 2, "matmul needs 2-D tensors");
+  PC_CHECK_MSG(a.dim(1) == b.dim(0), "matmul inner-dim mismatch: "
+                                         << a.shape_str() << " x "
+                                         << b.shape_str());
+  Tensor out({a.dim(0), b.dim(1)});
+  gemm(a.data(), b.data(), out.data(), static_cast<size_t>(a.dim(0)),
+       static_cast<size_t>(a.dim(1)), static_cast<size_t>(b.dim(1)));
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b_t) {
+  PC_CHECK_MSG(a.ndim() == 2 && b_t.ndim() == 2, "matmul_nt needs 2-D tensors");
+  PC_CHECK_MSG(a.dim(1) == b_t.dim(1), "matmul_nt inner-dim mismatch: "
+                                           << a.shape_str() << " x "
+                                           << b_t.shape_str() << "^T");
+  Tensor out({a.dim(0), b_t.dim(0)});
+  gemm_nt(a.data(), b_t.data(), out.data(), static_cast<size_t>(a.dim(0)),
+          static_cast<size_t>(a.dim(1)), static_cast<size_t>(b_t.dim(0)));
+  return out;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  PC_CHECK_MSG(a.shape() == b.shape(), "add_inplace shape mismatch");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (size_t i = 0; i < a.numel(); ++i) pa[i] += pb[i];
+}
+
+void scale_inplace(Tensor& a, float s) {
+  for (float& x : a.span()) x *= s;
+}
+
+void mul_inplace(Tensor& a, const Tensor& b) {
+  PC_CHECK_MSG(a.shape() == b.shape(), "mul_inplace shape mismatch");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (size_t i = 0; i < a.numel(); ++i) pa[i] *= pb[i];
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  PC_CHECK_MSG(a.shape() == b.shape(), "max_abs_diff shape mismatch");
+  float mx = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (size_t i = 0; i < a.numel(); ++i) {
+    mx = std::max(mx, std::abs(pa[i] - pb[i]));
+  }
+  return mx;
+}
+
+}  // namespace pc

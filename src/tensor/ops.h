@@ -1,0 +1,67 @@
+// Numeric kernels used by the transformer engine.
+//
+// Two layers of API: raw pointer kernels (hot paths inside attention where
+// the head layout makes Tensor-shaped calls awkward) and Tensor-shaped
+// wrappers with full shape checking. Matmuls parallelize over output rows
+// via the global thread pool.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.h"
+
+namespace pc {
+
+// ---- raw kernels -----------------------------------------------------------
+
+// c[m,n] = a[m,k] * b[k,n]    (all row-major, c overwritten)
+void gemm(const float* a, const float* b, float* c, size_t m, size_t k,
+          size_t n);
+
+// c[m,n] = a[m,k] * b[n,k]^T  (b stored transposed: n rows of length k)
+void gemm_nt(const float* a, const float* b, float* c, size_t m, size_t k,
+             size_t n);
+
+float dot(const float* a, const float* b, size_t n);
+
+// y += alpha * x
+void axpy(float alpha, const float* x, float* y, size_t n);
+
+// Numerically stable in-place softmax over row[0..n).
+void softmax_inplace(float* row, size_t n);
+
+// out = x * w / rms(x)  (RMSNorm, Llama-style)
+void rmsnorm(const float* x, const float* w, float* out, size_t n, float eps);
+
+// out = (x - mean) / std * w + b  (LayerNorm; b may be nullptr)
+void layernorm(const float* x, const float* w, const float* b, float* out,
+               size_t n, float eps);
+
+// x *= sigmoid(x)
+void silu_inplace(float* x, size_t n);
+
+// tanh-approximation GELU
+void gelu_inplace(float* x, size_t n);
+
+// ---- Tensor wrappers -------------------------------------------------------
+
+// out[m,n] = a[m,k] * b[k,n]
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+// out[m,n] = a[m,k] * b_t[n,k]^T — the natural call for y = x * W^T with
+// weights stored [out_features, in_features].
+Tensor matmul_nt(const Tensor& a, const Tensor& b_t);
+
+// a += b (same shape)
+void add_inplace(Tensor& a, const Tensor& b);
+
+// a *= s
+void scale_inplace(Tensor& a, float s);
+
+// Elementwise a *= b (same shape)
+void mul_inplace(Tensor& a, const Tensor& b);
+
+// Max-abs difference between two same-shaped tensors (test helper).
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace pc

@@ -1,0 +1,153 @@
+#include "tokenizer/bpe.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace pc {
+
+namespace {
+
+std::string pair_key(const std::string& left, const std::string& right) {
+  return left + '\n' + right;
+}
+
+}  // namespace
+
+std::vector<std::string> BpeModel::word_symbols(std::string_view word) const {
+  // Boundary marker + one symbol per byte.
+  std::vector<std::string> symbols;
+  symbols.reserve(word.size() + 1);
+  symbols.emplace_back(kBoundary);
+  for (char c : word) symbols.emplace_back(1, c);
+  return symbols;
+}
+
+BpeModel BpeModel::train(std::string_view corpus, int n_merges) {
+  PC_CHECK_MSG(n_merges >= 0, "negative merge budget");
+  BpeModel model;
+
+  // Unique words with counts, each as a mutable symbol sequence.
+  std::map<std::string, int> word_counts;
+  for (const std::string& w : split_whitespace(corpus)) ++word_counts[w];
+
+  struct Word {
+    std::vector<std::string> symbols;
+    int count;
+  };
+  std::vector<Word> words;
+  words.reserve(word_counts.size());
+  for (const auto& [w, count] : word_counts) {
+    words.push_back({model.word_symbols(w), count});
+  }
+
+  for (int m = 0; m < n_merges; ++m) {
+    // Count adjacent pairs (weighted by word frequency).
+    std::map<std::pair<std::string, std::string>, long> pair_counts;
+    for (const Word& word : words) {
+      for (size_t i = 0; i + 1 < word.symbols.size(); ++i) {
+        pair_counts[{word.symbols[i], word.symbols[i + 1]}] += word.count;
+      }
+    }
+    // Best pair; std::map iteration makes ties deterministic.
+    std::pair<std::string, std::string> best;
+    long best_count = 0;
+    for (const auto& [pair, count] : pair_counts) {
+      if (count > best_count) {
+        best = pair;
+        best_count = count;
+      }
+    }
+    if (best_count < 2) break;  // nothing worth merging
+
+    const std::string merged = best.first + best.second;
+    model.ranks_.emplace(pair_key(best.first, best.second),
+                         static_cast<int>(model.merges_.size()));
+    model.merges_.push_back({best.first, best.second});
+
+    // Apply the merge to every word.
+    for (Word& word : words) {
+      std::vector<std::string> next;
+      next.reserve(word.symbols.size());
+      for (size_t i = 0; i < word.symbols.size(); ++i) {
+        if (i + 1 < word.symbols.size() && word.symbols[i] == best.first &&
+            word.symbols[i + 1] == best.second) {
+          next.push_back(merged);
+          ++i;
+        } else {
+          next.push_back(word.symbols[i]);
+        }
+      }
+      word.symbols = std::move(next);
+    }
+  }
+  return model;
+}
+
+std::vector<std::string> BpeModel::encode_pieces(
+    std::string_view text) const {
+  std::vector<std::string> out;
+  for (const std::string& w : split_whitespace(text)) {
+    std::vector<std::string> symbols = word_symbols(w);
+    // Repeatedly apply the lowest-ranked applicable merge.
+    for (;;) {
+      int best_rank = -1;
+      size_t best_at = 0;
+      for (size_t i = 0; i + 1 < symbols.size(); ++i) {
+        auto it = ranks_.find(pair_key(symbols[i], symbols[i + 1]));
+        if (it != ranks_.end() &&
+            (best_rank == -1 || it->second < best_rank)) {
+          best_rank = it->second;
+          best_at = i;
+        }
+      }
+      if (best_rank == -1) break;
+      symbols[best_at] += symbols[best_at + 1];
+      symbols.erase(symbols.begin() + static_cast<long>(best_at) + 1);
+    }
+    out.insert(out.end(), symbols.begin(), symbols.end());
+  }
+  return out;
+}
+
+std::vector<std::string> BpeModel::piece_inventory() const {
+  std::vector<std::string> pieces;
+  pieces.emplace_back(kBoundary);
+  for (int b = 0; b < 256; ++b) {
+    pieces.emplace_back(1, static_cast<char>(b));
+  }
+  for (const Merge& m : merges_) pieces.push_back(m.left + m.right);
+  return pieces;
+}
+
+BpeTokenizer::BpeTokenizer(BpeModel model)
+    : model_(std::move(model)),
+      vocab_(Vocab::from_pieces(model_.piece_inventory(),
+                                /*byte_fallback=*/false)) {}
+
+std::vector<TokenId> BpeTokenizer::encode(std::string_view text) const {
+  std::vector<TokenId> ids;
+  for (const std::string& piece : model_.encode_pieces(text)) {
+    const auto id = vocab_.find_piece(piece);
+    // Every byte is in the inventory, so pieces always resolve.
+    PC_CHECK_MSG(id.has_value(), "BPE piece missing from vocab");
+    ids.push_back(*id);
+  }
+  return ids;
+}
+
+std::string BpeTokenizer::decode(const std::vector<TokenId>& ids) const {
+  std::string out;
+  for (TokenId id : ids) {
+    if (Vocab::is_special(id)) continue;
+    out += vocab_.piece(id);
+  }
+  // Boundary markers become spaces; strip the leading one.
+  std::string with_spaces = replace_all(out, BpeModel::kBoundary, " ");
+  const std::string_view trimmed = trim(with_spaces);
+  return std::string(trimmed);
+}
+
+}  // namespace pc

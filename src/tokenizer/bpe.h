@@ -1,0 +1,69 @@
+// Byte-pair encoding: trainer and tokenizer.
+//
+// The models the paper runs use SentencePiece/BPE subword vocabularies; the
+// word-level tokenizer elsewhere in this repo is a simplification. This is
+// the real thing, self-contained: train() learns merge rules from a corpus
+// (greedy highest-frequency pair merging over whitespace-split words with a
+// word-boundary marker), and BpeTokenizer applies them to encode arbitrary
+// text — every byte is representable, frequent words collapse to single
+// tokens. Plugs into the engine through the TextTokenizer interface.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "tokenizer/tokenizer.h"
+
+namespace pc {
+
+class BpeModel {
+ public:
+  // Word-boundary marker prepended to each word (SentencePiece's U+2581).
+  static constexpr const char* kBoundary = "\xe2\x96\x81";
+
+  // Learns up to n_merges merge rules from the corpus. Stops early when no
+  // pair occurs at least twice.
+  static BpeModel train(std::string_view corpus, int n_merges);
+
+  int merge_count() const { return static_cast<int>(merges_.size()); }
+
+  // Splits text into subword piece strings (boundary-marked).
+  std::vector<std::string> encode_pieces(std::string_view text) const;
+
+  // The piece inventory: 256 single bytes + boundary + merged symbols.
+  std::vector<std::string> piece_inventory() const;
+
+ private:
+  struct Merge {
+    std::string left;
+    std::string right;
+  };
+
+  std::vector<std::string> word_symbols(std::string_view word) const;
+
+  std::vector<Merge> merges_;
+  // (left + '\n' + right) -> rank; lower rank merges first.
+  std::unordered_map<std::string, int> ranks_;
+};
+
+// TextTokenizer over a trained BPE model: owns the vocabulary built from
+// the model's piece inventory (closed: every byte is a piece, so there is
+// no <unk> fallback in practice).
+class BpeTokenizer : public TextTokenizer {
+ public:
+  explicit BpeTokenizer(BpeModel model);
+
+  const Vocab& vocab() const override { return vocab_; }
+  std::vector<TokenId> encode(std::string_view text) const override;
+  std::string decode(const std::vector<TokenId>& ids) const override;
+
+  const BpeModel& model() const { return model_; }
+
+ private:
+  BpeModel model_;
+  Vocab vocab_;
+};
+
+}  // namespace pc

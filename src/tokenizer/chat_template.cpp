@@ -1,0 +1,51 @@
+#include "tokenizer/chat_template.h"
+
+namespace pc {
+
+ChatTemplate::Wrapping ChatTemplate::wrap(ChatRole role) const {
+  switch (style_) {
+    case TemplateStyle::kPlain:
+      switch (role) {
+        case ChatRole::kSystem:
+          return {"system : ", "\n"};
+        case ChatRole::kUser:
+          return {"user : ", "\n"};
+        case ChatRole::kAssistant:
+          return {"assistant : ", "\n"};
+      }
+      break;
+    case TemplateStyle::kLlama2:
+      switch (role) {
+        case ChatRole::kSystem:
+          return {"<<SYS>> ", " <</SYS>> "};
+        case ChatRole::kUser:
+          return {"[INST] ", " [/INST] "};
+        case ChatRole::kAssistant:
+          return {"", " </s> "};
+      }
+      break;
+    case TemplateStyle::kChatML:
+      switch (role) {
+        case ChatRole::kSystem:
+          return {"<|im_start|> system\n", " <|im_end|>\n"};
+        case ChatRole::kUser:
+          return {"<|im_start|> user\n", " <|im_end|>\n"};
+        case ChatRole::kAssistant:
+          return {"<|im_start|> assistant\n", " <|im_end|>\n"};
+      }
+      break;
+    case TemplateStyle::kFalcon:
+      switch (role) {
+        case ChatRole::kSystem:
+          return {"System : ", "\n"};
+        case ChatRole::kUser:
+          return {"User : ", "\n"};
+        case ChatRole::kAssistant:
+          return {"Falcon : ", "\n"};
+      }
+      break;
+  }
+  return {"", ""};
+}
+
+}  // namespace pc

@@ -1,0 +1,48 @@
+// LLM-specific chat templates (paper §3.2.3).
+//
+// PML's <system>/<user>/<assistant> tags are model-agnostic; the PML layer
+// compiles them to the concrete conversation format of the target LLM
+// family. Because role tags may wrap prompt modules (not just text), each
+// role renders to a (prefix, suffix) pair that the layout engine places
+// around the tag's children.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace pc {
+
+enum class ChatRole { kSystem, kUser, kAssistant };
+
+enum class TemplateStyle {
+  kPlain,   // "role : text\n" — used by the synthetic models
+  kLlama2,  // [INST] <<SYS>>...<</SYS>> user [/INST] assistant </s>
+  kChatML,  // <|im_start|>role ... <|im_end|>  (MPT-style)
+  kFalcon,  // "System : ...\nUser : ...\nFalcon : ..."
+};
+
+class ChatTemplate {
+ public:
+  explicit ChatTemplate(TemplateStyle style) : style_(style) {}
+
+  TemplateStyle style() const { return style_; }
+
+  struct Wrapping {
+    std::string prefix;
+    std::string suffix;
+  };
+
+  // The text placed before and after a role section's content.
+  Wrapping wrap(ChatRole role) const;
+
+  // Convenience: prefix + text + suffix.
+  std::string render(ChatRole role, std::string_view text) const {
+    const Wrapping w = wrap(role);
+    return w.prefix + std::string(text) + w.suffix;
+  }
+
+ private:
+  TemplateStyle style_;
+};
+
+}  // namespace pc

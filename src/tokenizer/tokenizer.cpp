@@ -1,0 +1,110 @@
+#include "tokenizer/tokenizer.h"
+
+#include <cctype>
+
+namespace pc {
+
+namespace {
+
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+// Characters that form single-character pieces. ':' is word-internal when
+// surrounded by word chars? No: keep it simple and uniform — every
+// punctuation char is its own piece unless it is part of a word-with-colon
+// piece present in the vocab, which pre_tokenize cannot know. We therefore
+// treat a trailing ':' as part of the word only if directly attached
+// (e.g. "answer:"), matching the built-in vocabulary's pieces.
+bool is_punct(char c) {
+  return std::ispunct(static_cast<unsigned char>(c)) != 0;
+}
+
+bool is_word_char(char c) {
+  return !is_space(c) && !is_punct(c);
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenizer::pre_tokenize(std::string_view text) {
+  std::vector<std::string> pieces;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    if (is_space(text[i])) {
+      ++i;
+      continue;
+    }
+    if (is_word_char(text[i])) {
+      size_t j = i;
+      while (j < n && is_word_char(text[j])) ++j;
+      // Absorb a single trailing ':' into the word ("answer:", "city:")
+      // so key-like pieces stay single tokens.
+      if (j < n && text[j] == ':') ++j;
+      pieces.emplace_back(text.substr(i, j - i));
+      i = j;
+    } else {
+      pieces.emplace_back(1, text[i]);
+      ++i;
+    }
+  }
+  return pieces;
+}
+
+std::vector<TokenId> Tokenizer::encode(std::string_view text) const {
+  std::vector<TokenId> ids;
+  for (const auto& piece : pre_tokenize(text)) {
+    if (auto id = vocab_->find_piece(piece)) {
+      ids.push_back(*id);
+      continue;
+    }
+    // A word ending in ':' may only exist without the colon in the vocab.
+    if (piece.size() > 1 && piece.back() == ':') {
+      if (auto id = vocab_->find_piece(
+              std::string_view(piece).substr(0, piece.size() - 1))) {
+        ids.push_back(*id);
+        if (auto colon = vocab_->find_piece(":")) {
+          ids.push_back(*colon);
+        } else if (vocab_->has_byte_fallback()) {
+          ids.push_back(vocab_->byte_token(static_cast<uint8_t>(':')));
+        } else {
+          ids.push_back(Vocab::kUnk);
+        }
+        continue;
+      }
+    }
+    if (vocab_->has_byte_fallback()) {
+      for (unsigned char b : piece) ids.push_back(vocab_->byte_token(b));
+    } else {
+      ids.push_back(Vocab::kUnk);
+    }
+  }
+  return ids;
+}
+
+std::string Tokenizer::decode(const std::vector<TokenId>& ids) const {
+  std::string out;
+  bool prev_was_byte = false;
+  for (TokenId id : ids) {
+    if (Vocab::is_special(id)) continue;
+    if (vocab_->is_byte(id)) {
+      // Byte runs represent one original piece: separate the run from a
+      // preceding word with a space, but not byte-from-byte.
+      if (!out.empty() && !prev_was_byte) out += ' ';
+      out += static_cast<char>(vocab_->byte_value(id));
+      prev_was_byte = true;
+      continue;
+    }
+    const std::string& piece = vocab_->piece(id);
+    const bool attach =
+        piece.size() == 1 &&
+        std::ispunct(static_cast<unsigned char>(piece[0])) != 0;
+    if (!out.empty() && !attach) out += ' ';
+    out += piece;
+    prev_was_byte = false;
+  }
+  return out;
+}
+
+}  // namespace pc

@@ -1,0 +1,52 @@
+// Deterministic word-level tokenizer with byte fallback.
+//
+// encode() splits text into word and punctuation pieces, looks each piece up
+// in the vocabulary, and falls back to UTF-8 byte tokens for out-of-vocab
+// pieces, so every string round-trips exactly (modulo whitespace
+// normalization, which is also how SentencePiece behaves for the models in
+// the paper). decode() inverts this.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tokenizer/vocab.h"
+
+namespace pc {
+
+// Abstract tokenizer: the engine, PML layer, and sessions depend only on
+// this interface, so word-level and BPE tokenizers are interchangeable.
+class TextTokenizer {
+ public:
+  virtual ~TextTokenizer() = default;
+
+  virtual const Vocab& vocab() const = 0;
+  virtual std::vector<TokenId> encode(std::string_view text) const = 0;
+  virtual std::string decode(const std::vector<TokenId>& ids) const = 0;
+};
+
+class Tokenizer : public TextTokenizer {
+ public:
+  explicit Tokenizer(const Vocab& vocab) : vocab_(&vocab) {}
+
+  const Vocab& vocab() const override { return *vocab_; }
+
+  // Text -> token ids. Whitespace runs are collapsed (they separate pieces
+  // but produce no tokens); punctuation characters are individual pieces.
+  std::vector<TokenId> encode(std::string_view text) const override;
+
+  // Token ids -> text. Word pieces are joined with single spaces except that
+  // punctuation attaches to the preceding piece; byte-fallback runs decode
+  // to their raw bytes. Special tokens are skipped.
+  std::string decode(const std::vector<TokenId>& ids) const override;
+
+  // Splits text into the pieces encode() would look up (exposed for tests
+  // and for the PML layer, which needs token counts without ids).
+  static std::vector<std::string> pre_tokenize(std::string_view text);
+
+ private:
+  const Vocab* vocab_;
+};
+
+}  // namespace pc

@@ -1,0 +1,107 @@
+#include "tokenizer/vocab.h"
+
+#include <array>
+#include <cstdio>
+
+namespace pc {
+
+namespace {
+
+const char* kSpecialNames[Vocab::kNumSpecial] = {"<unk>", "<s>", "</s>",
+                                                 "<pad>"};
+
+// Compact built-in wordlist: common English words, domain words used by the
+// examples, digits, and punctuation. Kept sorted roughly by frequency class
+// for readability; order defines token ids, so do not reorder casually.
+const char* kBasicEnglishWords[] = {
+    // punctuation & symbols
+    ".", ",", ":", ";", "!", "?", "'", "\"", "-", "(", ")", "[", "]", "{",
+    "}", "/", "\\", "_", "=", "+", "*", "&", "%", "$", "#", "@", "<", ">",
+    "|", "~", "^",
+    // digits and small numbers
+    "0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "20",
+    "30", "50", "100", "1000", "five", "six", "seven", "eight", "nine",
+    "ten",
+    // function words
+    "the", "a", "an", "of", "to", "and", "in", "is", "it", "you", "that",
+    "he", "she", "was", "for", "on", "are", "as", "with", "his", "her",
+    "they", "at", "be", "this", "have", "from", "or", "one", "had", "by",
+    "word", "but", "not", "what", "all", "were", "we", "when", "your", "can",
+    "said", "there", "use", "each", "which", "do", "how", "their", "if",
+    "will", "up", "other", "about", "out", "many", "then", "them", "these",
+    "so", "some", "would", "make", "like", "him", "into", "time", "has",
+    "look", "two", "more", "write", "go", "see", "no", "way", "could",
+    "people", "my", "than", "first", "been", "call", "who", "its", "now",
+    "find", "long", "down", "day", "did", "get", "come", "made", "may",
+    "part", "over", "new", "sound", "take", "only", "little", "work", "know",
+    "place", "year", "live", "me", "back", "give", "most", "very", "after",
+    "thing", "our", "just", "name", "good", "sentence", "man", "think",
+    "say", "great", "where", "help", "through", "much", "before", "line",
+    "right", "too", "mean", "old", "any", "same", "tell", "boy", "follow",
+    "came", "want", "show", "also", "around", "form", "three", "small",
+    "set", "put", "end", "does", "another", "well", "large", "must", "big",
+    "even", "such", "because", "turn", "here", "why", "ask", "went", "men",
+    "read", "need", "land", "different", "home", "us", "move", "try", "kind",
+    "hand", "picture", "again", "change", "off", "play", "spell", "air",
+    "away", "animal", "house", "point", "page", "letter", "mother", "answer",
+    "found", "study", "still", "learn", "should", "world", "high", "every",
+    "near", "add", "food", "between", "own", "below", "country", "plant",
+    "last", "school", "father", "keep", "tree", "never", "start", "city",
+    "water", "fire", "wind", "stone",
+    "earth", "eye", "light", "thought", "head", "under", "story", "saw",
+    "left", "few", "while", "along", "might", "close", "something", "seem",
+    "next", "hard", "open", "example", "begin", "life", "always", "those",
+    "both", "paper", "together", "got", "group", "often", "run", "important",
+    "until", "children", "side", "feet", "car", "mile", "night", "walk",
+    "white", "sea", "began", "grow", "took", "river", "four", "carry",
+    "state", "once", "book", "hear", "stop", "without", "second", "later",
+    "miss", "idea", "enough", "eat", "face", "watch", "far", "real",
+    "almost", "let", "above", "girl", "sometimes", "mountain", "cut",
+    "young", "talk", "soon", "list", "song", "being", "leave", "family",
+    // domain words used by examples / workloads
+    "system", "message", "user", "assistant", "document", "context",
+    "question", "summary", "passage", "retrieve", "report", "meeting",
+    "news", "article", "wiki", "code", "source", "file", "class", "function",
+    "game", "player", "unit", "map", "plan", "trip", "travel", "days",
+    "miami", "maui", "beach", "surf", "spot", "highlight", "visit", "hotel",
+    "budget", "guide", "profile", "reader", "grade", "level", "proficiency",
+    "history", "style", "assessment", "learning", "student", "teacher",
+    "recommend", "suggest", "review", "score", "answer:", "question:",
+    "key", "value", "fact", "capital", "city:", "topic", "section",
+    "chapter", "law", "legal", "health", "medical", "record", "patient",
+    "model", "token", "cache", "prompt", "module", "schema", "attention",
+    "state", "memory", "gpu", "cpu", "latency", "server", "robot", "tool",
+};
+
+}  // namespace
+
+Vocab Vocab::from_pieces(const std::vector<std::string>& pieces,
+                         bool byte_fallback) {
+  Vocab v;
+  v.n_bytes_ = byte_fallback ? 256 : 0;
+  v.id_to_piece_.reserve(kNumSpecial + v.n_bytes_ + pieces.size());
+  for (const char* name : kSpecialNames) v.id_to_piece_.emplace_back(name);
+  for (int b = 0; b < v.n_bytes_; ++b) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "<0x%02X>", b);
+    v.id_to_piece_.emplace_back(buf);
+  }
+  for (const auto& p : pieces) {
+    PC_CHECK_MSG(!p.empty(), "empty vocab piece");
+    if (v.piece_to_id_.contains(p)) continue;  // dedup, keep first
+    v.piece_to_id_.emplace(p, static_cast<TokenId>(v.id_to_piece_.size()));
+    v.id_to_piece_.push_back(p);
+  }
+  return v;
+}
+
+const Vocab& Vocab::basic_english() {
+  static const Vocab v = [] {
+    std::vector<std::string> pieces;
+    for (const char* w : kBasicEnglishWords) pieces.emplace_back(w);
+    return from_pieces(pieces);
+  }();
+  return v;
+}
+
+}  // namespace pc

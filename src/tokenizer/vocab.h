@@ -1,0 +1,86 @@
+// Vocabulary: bidirectional token-string <-> id mapping with special tokens
+// and (optionally) byte-fallback entries, mirroring the structure of
+// SentencePiece-style vocabularies used by the LLMs in the paper (Llama2 /
+// MPT / Falcon) at a scale suitable for a from-scratch engine.
+//
+// Id layout:
+//   [0, n_special)                 special tokens (<unk>, <s>, </s>, <pad>)
+//   [n_special, n_special + B)     byte tokens <0x00>..<0xFF> (B = 256 or 0)
+//   [n_special + B, size)          word / punctuation pieces
+//
+// Closed vocabularies (byte_fallback = false) map out-of-vocab pieces to
+// <unk>; the hand-constructed induction model uses one (its embedding
+// dimensionality scales with vocab size).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+
+namespace pc {
+
+using TokenId = int32_t;
+
+class Vocab {
+ public:
+  // Canonical special-token ids, fixed across all vocabularies.
+  static constexpr TokenId kUnk = 0;
+  static constexpr TokenId kBos = 1;
+  static constexpr TokenId kEos = 2;
+  static constexpr TokenId kPad = 3;
+  static constexpr TokenId kNumSpecial = 4;
+
+  // Builds a vocabulary whose word pieces are exactly `pieces`
+  // (deduplicated, order preserved). Special tokens are implicit; byte
+  // tokens are included when byte_fallback is set.
+  static Vocab from_pieces(const std::vector<std::string>& pieces,
+                           bool byte_fallback = true);
+
+  // A small built-in English vocabulary (common words + punctuation) good
+  // enough for the synthetic workloads and examples.
+  static const Vocab& basic_english();
+
+  TokenId size() const { return static_cast<TokenId>(id_to_piece_.size()); }
+
+  bool has_byte_fallback() const { return n_bytes_ == 256; }
+  TokenId first_piece_id() const { return kNumSpecial + n_bytes_; }
+  TokenId piece_count() const { return size() - first_piece_id(); }
+
+  const std::string& piece(TokenId id) const {
+    PC_CHECK_MSG(id >= 0 && id < size(), "token id " << id << " out of range");
+    return id_to_piece_[static_cast<size_t>(id)];
+  }
+
+  // Looks up a word piece (not special/byte) by exact string.
+  std::optional<TokenId> find_piece(std::string_view piece) const {
+    auto it = piece_to_id_.find(std::string(piece));
+    if (it == piece_to_id_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  static bool is_special(TokenId id) { return id >= 0 && id < kNumSpecial; }
+
+  bool is_byte(TokenId id) const {
+    return id >= kNumSpecial && id < kNumSpecial + n_bytes_;
+  }
+  TokenId byte_token(uint8_t b) const {
+    PC_CHECK_MSG(has_byte_fallback(), "vocab has no byte fallback");
+    return kNumSpecial + b;
+  }
+  uint8_t byte_value(TokenId id) const {
+    PC_CHECK(is_byte(id));
+    return static_cast<uint8_t>(id - kNumSpecial);
+  }
+
+ private:
+  int n_bytes_ = 0;
+  std::vector<std::string> id_to_piece_;
+  std::unordered_map<std::string, TokenId> piece_to_id_;
+};
+
+}  // namespace pc

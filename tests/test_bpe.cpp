@@ -1,0 +1,99 @@
+// Tests for the BPE trainer/tokenizer, including end-to-end serving
+// through the engine via the TextTokenizer interface.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "model/model.h"
+#include "tokenizer/bpe.h"
+
+namespace pc {
+namespace {
+
+const char* kCorpus =
+    "the cache holds the prompt states and the prompt cache reuses the "
+    "states across prompts . the modular cache makes prompt reuse cheap "
+    "and the reuse makes the cache useful . prompt prompt prompt cache "
+    "cache cache the the the reuse reuse states states";
+
+TEST(Bpe, TrainingIsDeterministicAndBounded) {
+  const BpeModel a = BpeModel::train(kCorpus, 50);
+  const BpeModel b = BpeModel::train(kCorpus, 50);
+  EXPECT_EQ(a.merge_count(), b.merge_count());
+  EXPECT_LE(a.merge_count(), 50);
+  EXPECT_GT(a.merge_count(), 10);
+  EXPECT_EQ(a.encode_pieces("the prompt cache"),
+            b.encode_pieces("the prompt cache"));
+  // Zero-merge model degenerates to bytes + boundaries.
+  const BpeModel none = BpeModel::train(kCorpus, 0);
+  EXPECT_EQ(none.merge_count(), 0);
+  EXPECT_EQ(none.encode_pieces("ab").size(), 3u);  // boundary + 'a' + 'b'
+}
+
+TEST(Bpe, FrequentWordsCollapseToSingleTokens) {
+  const BpeModel model = BpeModel::train(kCorpus, 120);
+  for (const char* word : {"the", "cache", "prompt"}) {
+    const auto pieces = model.encode_pieces(word);
+    EXPECT_EQ(pieces.size(), 1u) << word;
+    EXPECT_EQ(pieces[0], std::string(BpeModel::kBoundary) + word);
+  }
+}
+
+TEST(Bpe, MergesReduceTokenCountMonotonically) {
+  const std::string text = "the prompt cache reuses the states";
+  size_t prev = SIZE_MAX;
+  for (int merges : {0, 10, 40, 120}) {
+    const BpeModel model = BpeModel::train(kCorpus, merges);
+    const size_t n = model.encode_pieces(text).size();
+    EXPECT_LE(n, prev) << merges;
+    prev = n;
+  }
+}
+
+TEST(Bpe, RoundTripsArbitraryText) {
+  const BpeTokenizer tok(BpeModel::train(kCorpus, 80));
+  for (const char* text :
+       {"the prompt cache", "completely unseen words zXq!",
+        "punctuation , and . marks", "the the the"}) {
+    EXPECT_EQ(tok.decode(tok.encode(text)), text) << text;
+  }
+}
+
+TEST(Bpe, UnseenBytesStillEncodable) {
+  const BpeTokenizer tok(BpeModel::train(kCorpus, 40));
+  const std::string weird = "caf\xc3\xa9 \x01\x7f";
+  EXPECT_EQ(tok.decode(tok.encode(weird)), weird);
+}
+
+TEST(Bpe, VocabularyLayout) {
+  const BpeTokenizer tok(BpeModel::train(kCorpus, 30));
+  // boundary + 256 bytes + merges, no byte-fallback block.
+  EXPECT_FALSE(tok.vocab().has_byte_fallback());
+  EXPECT_EQ(tok.vocab().piece_count(),
+            1 + 256 + tok.model().merge_count());
+}
+
+// End-to-end: the engine is tokenizer-agnostic — a schema tokenized by BPE
+// serves and matches its own baseline content exactly.
+TEST(Bpe, EngineServesWithBpeTokenizer) {
+  const BpeTokenizer tok(BpeModel::train(kCorpus, 80));
+  const Model model = Model::random(
+      ModelConfig::llama_tiny(tok.vocab().size(), 2048), 9);
+  PromptCacheEngine engine(model, tok);
+  engine.load_schema(R"(
+    <schema name="b">
+      <module name="doc">the prompt cache reuses the states across prompts</module>
+    </schema>)");
+  GenerateOptions opts;
+  opts.max_new_tokens = 3;
+  opts.stop_tokens.clear();
+  const ServeResult cached = engine.serve(
+      R"(<prompt schema="b"><doc/> the cache</prompt>)", opts);
+  const ServeResult baseline = engine.serve_baseline(
+      R"(<prompt schema="b"><doc/> the cache</prompt>)", opts);
+  // Single module + contiguous suffix: bitwise-equal paths, equal outputs.
+  EXPECT_EQ(cached.tokens, baseline.tokens);
+  EXPECT_GT(cached.ttft.cached_tokens, 0);
+}
+
+}  // namespace
+}  // namespace pc

@@ -1,0 +1,95 @@
+// Tests for the C embedding API: lifecycle, serving, error reporting, and
+// persistence — all through the extern "C" surface only.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "capi/prompt_cache_c.h"
+
+namespace {
+
+// Single module (no anonymous text): the cached and baseline paths are
+// bitwise-equal in this layout, so generated text must match exactly.
+constexpr const char* kSchema = R"(
+  <schema name="capi">
+    <module name="doc">the city has a famous market and a long river walk</module>
+  </schema>)";
+constexpr const char* kPrompt =
+    R"(<prompt schema="capi"><doc/> what should we see ?</prompt>)";
+
+TEST(CApi, LifecycleAndServe) {
+  pc_engine* engine = pc_engine_create(PC_MODEL_LLAMA_TINY, 42, 0);
+  ASSERT_NE(engine, nullptr) << pc_last_error();
+  ASSERT_EQ(pc_load_schema(engine, kSchema), 0) << pc_last_error();
+
+  pc_serve_result cached{};
+  ASSERT_EQ(pc_serve(engine, kPrompt, 6, &cached), 0) << pc_last_error();
+  EXPECT_NE(cached.text, nullptr);
+  EXPECT_GT(cached.cached_tokens, 0);
+  EXPECT_GT(cached.ttft_ms, 0.0);
+
+  pc_serve_result baseline{};
+  ASSERT_EQ(pc_serve_baseline(engine, kPrompt, 6, &baseline), 0);
+  EXPECT_EQ(baseline.cached_tokens, 0);
+  EXPECT_GT(baseline.uncached_tokens, cached.uncached_tokens);
+  // Single module + suffix: the two paths agree exactly.
+  EXPECT_STREQ(cached.text, baseline.text);
+
+  pc_string_free(cached.text);
+  pc_string_free(baseline.text);
+  pc_engine_destroy(engine);
+}
+
+TEST(CApi, EveryFamilyConstructs) {
+  for (pc_model_family family :
+       {PC_MODEL_LLAMA_TINY, PC_MODEL_MPT_TINY, PC_MODEL_FALCON_TINY,
+        PC_MODEL_GPT2_TINY}) {
+    pc_engine* engine = pc_engine_create(family, 7, /*zero_copy=*/1);
+    ASSERT_NE(engine, nullptr) << pc_last_error();
+    EXPECT_EQ(pc_load_schema(engine, kSchema), 0);
+    pc_serve_result r{};
+    EXPECT_EQ(pc_serve(engine, kPrompt, 2, &r), 0) << pc_last_error();
+    pc_string_free(r.text);
+    pc_engine_destroy(engine);
+  }
+}
+
+TEST(CApi, ErrorsAreReportedNotThrown) {
+  pc_engine* engine = pc_engine_create(PC_MODEL_LLAMA_TINY, 1, 0);
+  ASSERT_NE(engine, nullptr);
+
+  EXPECT_EQ(pc_load_schema(engine, "<not pml"), -1);
+  EXPECT_NE(std::string(pc_last_error()), "");
+
+  pc_serve_result r{};
+  EXPECT_EQ(pc_serve(engine, R"(<prompt schema="ghost">x</prompt>)", 4, &r),
+            -1);
+  EXPECT_NE(std::string(pc_last_error()).find("ghost"), std::string::npos);
+
+  EXPECT_EQ(pc_load_schema(nullptr, kSchema), -1);
+  EXPECT_EQ(pc_serve(engine, nullptr, 4, &r), -1);
+  EXPECT_EQ(pc_save_modules(engine, nullptr), -1);
+
+  // A successful call clears the error.
+  EXPECT_EQ(pc_load_schema(engine, kSchema), 0);
+  EXPECT_STREQ(pc_last_error(), "");
+  pc_engine_destroy(engine);
+}
+
+TEST(CApi, PersistenceRoundTrip) {
+  const std::string path = ::testing::TempDir() + "pc_capi_modules.bin";
+  {
+    pc_engine* engine = pc_engine_create(PC_MODEL_LLAMA_TINY, 42, 0);
+    ASSERT_EQ(pc_load_schema(engine, kSchema), 0);
+    EXPECT_EQ(pc_save_modules(engine, path.c_str()), 1);
+    pc_engine_destroy(engine);
+  }
+  pc_engine* engine = pc_engine_create(PC_MODEL_LLAMA_TINY, 42, 0);
+  EXPECT_EQ(pc_load_modules(engine, path.c_str()), 1);
+  EXPECT_EQ(pc_load_modules(engine, "/nonexistent/path"), -1);
+  pc_engine_destroy(engine);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Engine-level chat-template integration (paper §3.2.3): the same
+// role-tagged PML schema serves against every model family, compiled
+// through that family's conversation format.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "model/model.h"
+
+namespace pc {
+namespace {
+
+constexpr const char* kSchema = R"(
+  <schema name="chat">
+    <system>you are a helpful city guide</system>
+    <user>
+      here is the context
+      <module name="doc">the market is open every day and people like it</module>
+    </user>
+  </schema>)";
+
+constexpr const char* kPrompt =
+    R"(<prompt schema="chat"><doc/> what should we see ?</prompt>)";
+
+class ChatIntegrationTest : public ::testing::TestWithParam<ArchFamily> {
+ protected:
+  static ModelConfig config_for(ArchFamily family) {
+    const int v = Vocab::basic_english().size();
+    switch (family) {
+      case ArchFamily::kLlama:
+        return ModelConfig::llama_tiny(v, 512);
+      case ArchFamily::kMpt:
+        return ModelConfig::mpt_tiny(v, 512);
+      case ArchFamily::kFalcon:
+        return ModelConfig::falcon_tiny(v, 512);
+      case ArchFamily::kGpt2:
+        return ModelConfig::gpt2_tiny(v, 512);
+    }
+    return ModelConfig::llama_tiny(v, 512);
+  }
+};
+
+TEST_P(ChatIntegrationTest, RoleTaggedSchemaServesEndToEnd) {
+  const Model model = Model::random(config_for(GetParam()), 33);
+  const Tokenizer tokenizer(Vocab::basic_english());
+  PromptCacheEngine engine(model, tokenizer);
+
+  const pml::Schema& schema = engine.load_schema(kSchema);
+  // Role tags expanded into anonymous modules around the document.
+  EXPECT_GE(schema.anonymous_modules.size(), 2u);
+  const int doc = schema.find_module("doc");
+  ASSERT_NE(doc, -1);
+  // Some template text precedes the document module.
+  EXPECT_GT(schema.module(doc).start_pos, 0);
+
+  GenerateOptions opts;
+  opts.max_new_tokens = 4;
+  opts.stop_tokens.clear();
+  const ServeResult cached = engine.serve(kPrompt, opts);
+  const ServeResult baseline = engine.serve_baseline(kPrompt, opts);
+
+  // The template text is cached (anonymous modules always included).
+  EXPECT_GT(cached.ttft.cached_tokens,
+            schema.module(doc).own_token_count());
+  EXPECT_EQ(cached.prompt_tokens, baseline.prompt_tokens);
+  EXPECT_EQ(cached.tokens.size(), 4u);
+}
+
+TEST_P(ChatIntegrationTest, TemplateStyleFollowsModelFamily) {
+  const ModelConfig config = config_for(GetParam());
+  const ChatTemplate tmpl(config.chat_template);
+  const std::string rendered = tmpl.render(ChatRole::kUser, "X");
+  switch (GetParam()) {
+    case ArchFamily::kLlama:
+      EXPECT_NE(rendered.find("[INST]"), std::string::npos);
+      break;
+    case ArchFamily::kMpt:
+      EXPECT_NE(rendered.find("<|im_start|>"), std::string::npos);
+      break;
+    case ArchFamily::kFalcon:
+      EXPECT_NE(rendered.find("User"), std::string::npos);
+      break;
+    case ArchFamily::kGpt2:
+      EXPECT_NE(rendered.find("user"), std::string::npos);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ChatIntegrationTest,
+                         ::testing::Values(ArchFamily::kLlama,
+                                           ArchFamily::kMpt,
+                                           ArchFamily::kFalcon,
+                                           ArchFamily::kGpt2),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ArchFamily::kLlama: return "Llama";
+                             case ArchFamily::kMpt: return "Mpt";
+                             case ArchFamily::kFalcon: return "Falcon";
+                             case ArchFamily::kGpt2: return "Gpt2";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace pc

@@ -1,0 +1,161 @@
+// Unit tests for the common runtime: RNG, string utilities, thread pool,
+// and error macros.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace pc {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(13), 13u);
+  }
+  EXPECT_THROW(rng.next_below(0), ContractViolation);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, GaussHasRoughMoments) {
+  Rng rng(13);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_gauss();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(3);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(StringUtil, SplitSkipsEmptyPieces) {
+  EXPECT_EQ(split("a,,b,", ','), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(split("", ',').empty());
+}
+
+TEST(StringUtil, SplitWhitespaceHandlesMixed) {
+  EXPECT_EQ(split_whitespace("  a\tb\n c  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringUtil, TrimBothEnds) {
+  EXPECT_EQ(trim("  hi \n"), "hi");
+  EXPECT_EQ(trim("\t\n "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtil, JoinWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringUtil, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("module", "mod"));
+  EXPECT_FALSE(starts_with("mod", "module"));
+  EXPECT_TRUE(ends_with("prompt.pml", ".pml"));
+  EXPECT_FALSE(ends_with("x", "xyz"));
+}
+
+TEST(StringUtil, ReplaceAll) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("x", "", "y"), "x");
+}
+
+TEST(StringUtil, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(2.5 * 1024 * 1024 * 1024), "2.50 GiB");
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](size_t b, size_t) {
+                                   if (b == 0) throw Error("boom");
+                                 }),
+               Error);
+}
+
+TEST(ErrorMacros, CheckThrowsWithLocation) {
+  try {
+    PC_CHECK_MSG(1 == 2, "math broke: " << 42);
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("math broke: 42"),
+              std::string::npos);
+  }
+}
+
+TEST(ErrorMacros, CheckPassesSilently) {
+  EXPECT_NO_THROW(PC_CHECK(2 + 2 == 4));
+}
+
+}  // namespace
+}  // namespace pc

@@ -1,0 +1,93 @@
+// The engine's documented scaling contract: one engine per worker over a
+// shared const Model. Engines on different threads must serve concurrently
+// and correctly (the Model's forward pass is stateless; the global thread
+// pool's parallel_for is reentrant).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/engine.h"
+#include "eval/workload.h"
+#include "model/induction.h"
+
+namespace pc {
+namespace {
+
+TEST(Concurrency, OneEnginePerThreadServesCorrectly) {
+  AccuracyWorkload workload(7);
+  const Model model =
+      make_induction_model({workload.vocab().size(), 256});
+
+  constexpr int kThreads = 4;
+  constexpr int kServesPerThread = 6;
+  std::atomic<int> correct{0};
+  std::atomic<int> failures{0};
+
+  auto worker = [&](int tid) {
+    try {
+      PromptCacheEngine engine(model, workload.tokenizer());
+      engine.load_schema(R"(
+        <schema name="c">
+          <module name="d1">w00 w01 q05 a10 a11 . w02</module>
+          <module name="d2">w03 q06 a12 a13 . w04</module>
+        </schema>)");
+      GenerateOptions opts;
+      opts.max_new_tokens = 5;
+      opts.stop_tokens = {workload.stop_token()};
+      for (int i = 0; i < kServesPerThread; ++i) {
+        const bool first = (i + tid) % 2 == 0;
+        const ServeResult r = engine.serve(
+            first ? R"(<prompt schema="c"><d1/><d2/> question: q05</prompt>)"
+                  : R"(<prompt schema="c"><d1/><d2/> question: q06</prompt>)",
+            opts);
+        if (r.text == (first ? "a10 a11" : "a12 a13")) {
+          correct.fetch_add(1);
+        } else {
+          failures.fetch_add(1);
+        }
+      }
+    } catch (...) {
+      failures.fetch_add(1000);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker, t);
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(correct.load(), kThreads * kServesPerThread);
+}
+
+TEST(Concurrency, SharedModelForwardIsReentrant) {
+  const Model model =
+      Model::random(ModelConfig::llama_tiny(64, 128), 5);
+  const std::vector<TokenId> tokens = {1, 2, 3, 4, 5};
+  const std::vector<int> pos = {0, 1, 2, 3, 4};
+
+  // Reference result single-threaded.
+  KVCache ref_cache = model.make_cache();
+  const Tensor ref = model.forward(tokens, pos, ref_cache);
+
+  std::atomic<int> mismatches{0};
+  auto worker = [&] {
+    for (int i = 0; i < 8; ++i) {
+      KVCache cache = model.make_cache();
+      const Tensor out = model.forward(tokens, pos, cache);
+      for (int64_t j = 0; j < out.dim(1); ++j) {
+        if (out.at(0, j) != ref.at(0, j)) {
+          mismatches.fetch_add(1);
+          return;
+        }
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) threads.emplace_back(worker);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace pc

@@ -1,0 +1,112 @@
+// Tests for the GPU pipeline simulator: conservation, dominance, and
+// pipelining properties.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sys/gpu_sim.h"
+
+namespace pc {
+namespace {
+
+const ModelSpec& spec() { return find_spec("Llama 7B"); }
+
+TEST(GpuSim, SerialModeMatchesSumOfParts) {
+  const auto& hw = HardwareProfile::rtx4090();
+  const GpuSimResult r = simulate_cached_ttft(hw, spec(), 4000, 50,
+                                              ModuleLocation::kHostMemory,
+                                              /*overlap=*/false);
+  EXPECT_NEAR(r.ttft_s,
+              hw.kernel_launch_s + r.copy_busy_s + r.compute_busy_s +
+                  (r.ttft_s - hw.kernel_launch_s - r.copy_busy_s -
+                   r.compute_busy_s),  // logits tail
+              1e-12);
+  // Copy time matches the analytic transfer estimate (minus per-layer
+  // latency bookkeeping).
+  const double analytic =
+      estimate_memcpy_s(hw, spec().kv_bytes_per_token() * 4000,
+                        ModuleLocation::kHostMemory);
+  EXPECT_NEAR(r.copy_busy_s, analytic,
+              analytic * 0.05 + spec().n_layers * hw.host_link_latency_s);
+}
+
+TEST(GpuSim, OverlapNeverSlower) {
+  const auto& hw = HardwareProfile::rtx4090();
+  for (int64_t cached : {1000, 3000, 5000}) {
+    for (int64_t uncached : {1, 50, 400}) {
+      const double serial =
+          simulate_cached_ttft(hw, spec(), cached, uncached,
+                               ModuleLocation::kHostMemory, false)
+              .ttft_s;
+      const double pipelined =
+          simulate_cached_ttft(hw, spec(), cached, uncached,
+                               ModuleLocation::kHostMemory, true)
+              .ttft_s;
+      EXPECT_LE(pipelined, serial + 1e-12)
+          << cached << "/" << uncached;
+    }
+  }
+}
+
+TEST(GpuSim, PipelinedTtftBoundedByDominantResource) {
+  // With overlap, TTFT is at least the busier engine's total work, and at
+  // most serial execution; when copy dominates, TTFT approaches copy time.
+  const auto& hw = HardwareProfile::a40();
+  const GpuSimResult r = simulate_cached_ttft(hw, spec(), 5000, 10,
+                                              ModuleLocation::kHostMemory,
+                                              true);
+  EXPECT_GE(r.ttft_s, std::max(r.copy_busy_s, r.compute_busy_s));
+  // Copy-dominated: one layer's compute cannot be hidden (the last layer
+  // runs after its copy), but the rest overlaps.
+  EXPECT_LE(r.ttft_s, r.copy_busy_s + r.compute_busy_s + 1e-3);
+  EXPECT_GT(r.compute_stall_s, 0.0);
+}
+
+TEST(GpuSim, DeviceMemoryCopiesAreNearFree) {
+  const auto& hw = HardwareProfile::rtx4090();
+  const GpuSimResult host = simulate_cached_ttft(
+      hw, spec(), 5000, 50, ModuleLocation::kHostMemory, true);
+  const GpuSimResult device = simulate_cached_ttft(
+      hw, spec(), 5000, 50, ModuleLocation::kDeviceMemory, true);
+  EXPECT_LT(device.ttft_s, host.ttft_s);
+  EXPECT_LT(device.copy_busy_s, host.copy_busy_s / 20.0);
+}
+
+TEST(GpuSim, LayerFinishTimesAreMonotonic) {
+  const auto& hw = HardwareProfile::a100();
+  const GpuSimResult r = simulate_cached_ttft(hw, spec(), 2000, 100,
+                                              ModuleLocation::kHostMemory,
+                                              true);
+  ASSERT_EQ(static_cast<int>(r.layer_finish_s.size()), spec().n_layers);
+  for (size_t l = 1; l < r.layer_finish_s.size(); ++l) {
+    EXPECT_GT(r.layer_finish_s[l], r.layer_finish_s[l - 1]);
+  }
+  EXPECT_LE(r.layer_finish_s.back(), r.ttft_s);
+}
+
+TEST(GpuSim, PipeliningRecoversMostOfTheHostMemoryPenalty) {
+  // The practical claim: with copy/compute overlap, serving modules from
+  // host memory costs much less extra than the serial model suggests.
+  const auto& hw = HardwareProfile::rtx4090();
+  const double device = simulate_cached_ttft(
+      hw, spec(), 5000, 50, ModuleLocation::kDeviceMemory, true).ttft_s;
+  const double host_serial = simulate_cached_ttft(
+      hw, spec(), 5000, 50, ModuleLocation::kHostMemory, false).ttft_s;
+  const double host_pipelined = simulate_cached_ttft(
+      hw, spec(), 5000, 50, ModuleLocation::kHostMemory, true).ttft_s;
+  const double serial_penalty = host_serial - device;
+  const double pipelined_penalty = host_pipelined - device;
+  EXPECT_LT(pipelined_penalty, serial_penalty * 0.8);
+}
+
+TEST(GpuSim, ContractsEnforced) {
+  EXPECT_THROW(simulate_cached_ttft(HardwareProfile::intel_i9_13900k(),
+                                    spec(), 100, 10,
+                                    ModuleLocation::kHostMemory, true),
+               ContractViolation);
+  EXPECT_THROW(simulate_cached_ttft(HardwareProfile::rtx4090(), spec(), 100,
+                                    0, ModuleLocation::kHostMemory, true),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace pc

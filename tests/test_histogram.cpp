@@ -1,0 +1,105 @@
+// Unit tests for the latency histogram and its engine integration.
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "eval/workload.h"
+#include "model/induction.h"
+
+namespace pc {
+namespace {
+
+TEST(Histogram, EmptyIsZeroed) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile_seconds(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 0.0);
+}
+
+TEST(Histogram, MeanMinMaxExact) {
+  LatencyHistogram h;
+  h.record_ms(1.0);
+  h.record_ms(3.0);
+  h.record_ms(2.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.mean_seconds(), 2e-3, 1e-12);
+  EXPECT_NEAR(h.min_seconds(), 1e-3, 1e-12);
+  EXPECT_NEAR(h.max_seconds(), 3e-3, 1e-12);
+}
+
+TEST(Histogram, QuantilesWithinBucketError) {
+  // Geometric buckets at 2^(1/4): quantile error is bounded by ~19%.
+  LatencyHistogram h;
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double s = std::exp(rng.uniform(-9.0f, -2.0f));  // e^-9..e^-2 s
+    samples.push_back(s);
+    h.record_seconds(s);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double exact = samples[static_cast<size_t>(q * samples.size())];
+    const double est = h.quantile_seconds(q);
+    EXPECT_NEAR(est / exact, 1.0, 0.20) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantileIsMonotonic) {
+  LatencyHistogram h;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    h.record_ms(rng.uniform(0.01f, 100.0f));
+  }
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = h.quantile_seconds(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Histogram, ExtremesClampToBucketRange) {
+  LatencyHistogram h;
+  h.record_seconds(1e-9);   // below first bucket
+  h.record_seconds(1e6);    // above last bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GT(h.quantile_seconds(1.0), 0.0);
+  EXPECT_THROW(h.quantile_seconds(1.5), ContractViolation);
+}
+
+TEST(Histogram, SummaryMentionsPercentiles) {
+  LatencyHistogram h;
+  h.record_ms(5.0);
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("p50"), std::string::npos);
+  EXPECT_NE(s.find("p99"), std::string::npos);
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+}
+
+TEST(Histogram, EngineRecordsServeLatencies) {
+  AccuracyWorkload workload(7);
+  Model model = make_induction_model({workload.vocab().size(), 256});
+  PromptCacheEngine engine(model, workload.tokenizer());
+  engine.load_schema(R"(
+    <schema name="t"><module name="doc">w00 q05 a10 . w01</module></schema>)");
+  GenerateOptions opts;
+  opts.max_new_tokens = 2;
+  opts.stop_tokens = {workload.stop_token()};
+
+  const char* prompt = R"(<prompt schema="t"><doc/> question: q05</prompt>)";
+  for (int i = 0; i < 4; ++i) (void)engine.serve(prompt, opts);
+  (void)engine.serve_baseline(prompt, opts);
+
+  EXPECT_EQ(engine.cached_ttft_histogram().count(), 4u);
+  EXPECT_EQ(engine.baseline_ttft_histogram().count(), 1u);
+  EXPECT_GT(engine.cached_ttft_histogram().p50_ms(), 0.0);
+  // Cached TTFT should be well under baseline even at p99.
+  EXPECT_LT(engine.cached_ttft_histogram().p99_ms(),
+            engine.baseline_ttft_histogram().p50_ms());
+}
+
+}  // namespace
+}  // namespace pc

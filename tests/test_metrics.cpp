@@ -1,0 +1,68 @@
+// Unit tests for the scoring metrics against hand-computed values.
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace pc {
+namespace {
+
+TEST(Normalize, LowercasesAndStripsPunctuation) {
+  EXPECT_EQ(normalize_answer("The Answer, is: 42!"),
+            (std::vector<std::string>{"the", "answer", "is", "42"}));
+  EXPECT_TRUE(normalize_answer("  ...  ").empty());
+}
+
+TEST(F1, PerfectAndZero) {
+  EXPECT_DOUBLE_EQ(f1_score("paris", "Paris"), 1.0);
+  EXPECT_DOUBLE_EQ(f1_score("london", "paris"), 0.0);
+  EXPECT_DOUBLE_EQ(f1_score("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(f1_score("x", ""), 0.0);
+}
+
+TEST(F1, PartialOverlapHandComputed) {
+  // pred {a b c}, ref {b c d}: overlap 2, P=2/3, R=2/3, F1=2/3.
+  EXPECT_NEAR(f1_score("a b c", "b c d"), 2.0 / 3.0, 1e-9);
+  // pred {a a b}, ref {a b}: multiset overlap 2, P=2/3, R=1 -> 0.8.
+  EXPECT_NEAR(f1_score("a a b", "a b"), 0.8, 1e-9);
+}
+
+TEST(F1, OrderInsensitive) {
+  EXPECT_DOUBLE_EQ(f1_score("one two three", "three two one"), 1.0);
+}
+
+TEST(Lcs, HandComputedCases) {
+  EXPECT_EQ(lcs_length({"a", "b", "c", "d"}, {"b", "d"}), 2u);
+  EXPECT_EQ(lcs_length({"a", "b"}, {"c", "d"}), 0u);
+  EXPECT_EQ(lcs_length({}, {"a"}), 0u);
+  EXPECT_EQ(lcs_length({"x", "a", "y", "b", "z"}, {"a", "b"}), 2u);
+}
+
+TEST(RougeL, OrderSensitiveUnlikeF1) {
+  EXPECT_DOUBLE_EQ(rouge_l("one two three", "one two three"), 1.0);
+  // Reversed order: LCS = 1, P = R = 1/3.
+  EXPECT_NEAR(rouge_l("three two one", "one two three"), 1.0 / 3.0, 1e-9);
+  EXPECT_GT(f1_score("three two one", "one two three"),
+            rouge_l("three two one", "one two three"));
+}
+
+TEST(RougeL, PartialHandComputed) {
+  // pred "a x b", ref "a b": LCS=2, P=2/3, R=1 -> F=0.8.
+  EXPECT_NEAR(rouge_l("a x b", "a b"), 0.8, 1e-9);
+}
+
+TEST(SubstringMatch, FindsContiguousRuns) {
+  EXPECT_DOUBLE_EQ(substring_match("the answer is passage five ok",
+                                   "Passage Five"),
+                   1.0);
+  EXPECT_DOUBLE_EQ(substring_match("passage ok five", "passage five"), 0.0);
+  EXPECT_DOUBLE_EQ(substring_match("anything", ""), 1.0);
+  EXPECT_DOUBLE_EQ(substring_match("", "x"), 0.0);
+}
+
+TEST(ExactMatch, NormalizedEquality) {
+  EXPECT_DOUBLE_EQ(exact_match("A1 b2.", "a1 B2"), 1.0);
+  EXPECT_DOUBLE_EQ(exact_match("a1 b2 c3", "a1 b2"), 0.0);
+}
+
+}  // namespace
+}  // namespace pc

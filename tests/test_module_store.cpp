@@ -1,0 +1,204 @@
+// Unit tests for the two-tier module store: placement, LRU eviction,
+// pinning, tier promotion, and the engine's union-sibling prefetch.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/module_store.h"
+#include "eval/workload.h"
+#include "model/induction.h"
+
+namespace pc {
+namespace {
+
+EncodedModule make_module(int n_tokens) {
+  EncodedModule m;
+  m.precision = StorePrecision::kFp32;
+  m.n_tokens = n_tokens;
+  m.kv_dim = 8;
+  m.n_layers = 2;
+  KVCache kv(2, 8);
+  std::vector<int> pos(static_cast<size_t>(n_tokens));
+  for (int i = 0; i < n_tokens; ++i) pos[static_cast<size_t>(i)] = i;
+  kv.append_tokens(pos);
+  m.kv32 = std::move(kv);
+  m.text_row_ranges = {{0, n_tokens}};
+  return m;
+}
+
+size_t module_bytes(int n_tokens) { return make_module(n_tokens).payload_bytes(); }
+
+TEST(ModuleStore, PlacesDeviceFirstThenSpillsToHost) {
+  ModuleStore store(/*device=*/module_bytes(4), /*host=*/0);
+  store.insert("a", make_module(4));
+  ModuleLocation loc;
+  ASSERT_NE(store.find("a", &loc), nullptr);
+  EXPECT_EQ(loc, ModuleLocation::kDeviceMemory);
+
+  // Device is full but host has room: spill, don't evict — every module
+  // stays resident (§4.1).
+  store.insert("b", make_module(4));
+  ASSERT_NE(store.find("b", &loc), nullptr);
+  EXPECT_EQ(loc, ModuleLocation::kHostMemory);
+  EXPECT_NE(store.find("a"), nullptr);
+  EXPECT_EQ(store.stats().evictions, 0u);
+}
+
+TEST(ModuleStore, FindBumpsRecency) {
+  // No host tier: the store must evict within the device tier, and LRU
+  // order decides the victim.
+  ModuleStore store(module_bytes(4) * 2, /*host=*/1);
+  store.insert("a", make_module(4));
+  store.insert("b", make_module(4));
+  // Touch "a" so "b" becomes the LRU victim.
+  (void)store.find("a");
+  store.insert("c", make_module(4));
+  EXPECT_NE(store.find("a"), nullptr);
+  EXPECT_EQ(store.find("b"), nullptr);
+  EXPECT_EQ(store.stats().evictions, 1u);
+}
+
+TEST(ModuleStore, PinnedEntriesSurviveEviction) {
+  ModuleStore store(module_bytes(4) * 2, /*host=*/1);
+  store.insert("sys", make_module(4));
+  ASSERT_TRUE(store.pin("sys"));
+  EXPECT_TRUE(store.is_pinned("sys"));
+  store.insert("b", make_module(4));
+  store.insert("c", make_module(4));  // must evict b, not pinned sys
+  EXPECT_NE(store.find("sys"), nullptr);
+  EXPECT_EQ(store.find("b"), nullptr);
+  EXPECT_NE(store.find("c"), nullptr);
+
+  ASSERT_TRUE(store.unpin("sys"));
+  store.insert("d", make_module(4));
+  // Either sys or c got evicted; the store stays within capacity.
+  EXPECT_LE(store.usage(ModuleLocation::kDeviceMemory).used_bytes,
+            module_bytes(4) * 2);
+  EXPECT_FALSE(store.pin("ghost"));
+}
+
+TEST(ModuleStore, AllPinnedMeansInsertionFailsLoudly) {
+  ModuleStore store(module_bytes(4), 1);
+  store.insert("sys", make_module(4));
+  store.pin("sys");
+  EXPECT_THROW(store.insert("b", make_module(4)), CacheError);
+  EXPECT_NE(store.find("sys"), nullptr);
+}
+
+TEST(ModuleStore, PromoteMovesBetweenTiers) {
+  // Device fits one module; the second spills to host.
+  ModuleStore store(module_bytes(4), 0);
+  store.insert("hot", make_module(4));
+  store.insert("cold", make_module(4));
+  ModuleLocation loc;
+  ASSERT_NE(store.find("cold", &loc), nullptr);
+  EXPECT_EQ(loc, ModuleLocation::kHostMemory);
+
+  // Promoting cold displaces hot, which demotes to host (nothing is lost).
+  ASSERT_TRUE(store.promote("cold", ModuleLocation::kDeviceMemory));
+  ASSERT_NE(store.find("cold", &loc), nullptr);
+  EXPECT_EQ(loc, ModuleLocation::kDeviceMemory);
+  ASSERT_NE(store.find("hot", &loc), nullptr);
+  EXPECT_EQ(loc, ModuleLocation::kHostMemory);
+  EXPECT_EQ(store.stats().promotions, 1u);
+  EXPECT_EQ(store.stats().demotions, 1u);
+  EXPECT_EQ(store.stats().evictions, 0u);
+
+  // No-op promote succeeds without a new promotion.
+  ASSERT_TRUE(store.promote("cold", ModuleLocation::kDeviceMemory));
+  EXPECT_EQ(store.stats().promotions, 1u);
+  EXPECT_FALSE(store.promote("ghost", ModuleLocation::kDeviceMemory));
+}
+
+TEST(ModuleStore, PromoteRespectsPinsInTargetTier) {
+  ModuleStore store(module_bytes(4), 0);
+  store.insert("pinned", make_module(4));
+  store.pin("pinned");
+  store.insert("other", make_module(4));  // spills to host
+  EXPECT_FALSE(store.promote("other", ModuleLocation::kDeviceMemory));
+  ModuleLocation loc;
+  ASSERT_NE(store.find("pinned", &loc), nullptr);
+  EXPECT_EQ(loc, ModuleLocation::kDeviceMemory);
+}
+
+TEST(ModuleStore, ClearReleasesEverything) {
+  ModuleStore store(0, 0);
+  store.insert("a", make_module(4));
+  store.insert("b", make_module(8));
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.usage(ModuleLocation::kDeviceMemory).used_bytes, 0u);
+  EXPECT_EQ(store.usage(ModuleLocation::kHostMemory).used_bytes, 0u);
+}
+
+// Engine-level: union-sibling prefetch pulls alternatives into the device
+// tier after a serve that used one member.
+TEST(EnginePrefetch, UnionSiblingsArePromoted) {
+  AccuracyWorkload workload(7);
+  Model model = make_induction_model({workload.vocab().size(), 256});
+
+  const char* schema = R"(
+    <schema name="u">
+      <union>
+        <module name="p0">w00 q05 a10 . w01 w02 w03 w04 w05 w06</module>
+        <module name="p1">w07 q05 a11 . w08 w09 w10 w11 w12 w13</module>
+        <module name="p2">w14 q05 a12 . w15 w16 w17 w18 w19 w20</module>
+      </union>
+    </schema>)";
+
+  // Device tier fits ~one module, so the others start on the host.
+  const size_t one_module =
+      static_cast<size_t>(12) * model.kv_bytes_per_token();
+  EngineConfig cfg;
+  cfg.device_capacity_bytes = one_module;
+  cfg.prefetch_union_siblings = true;
+  PromptCacheEngine engine(model, workload.tokenizer(), cfg);
+  engine.load_schema(schema);
+
+  GenerateOptions opts;
+  opts.max_new_tokens = 2;
+  opts.stop_tokens = {workload.stop_token()};
+  (void)engine.serve(R"(<prompt schema="u"><p1/> question: q05</prompt>)",
+                     opts);
+  EXPECT_GT(engine.stats().sibling_prefetches, 0u);
+
+  // A sibling now sits in device memory, so serving it pays no host bytes.
+  const ServeResult r2 = engine.serve(
+      R"(<prompt schema="u"><p2/> question: q05</prompt>)", opts);
+  EXPECT_EQ(r2.ttft.bytes_from_host, 0u);
+}
+
+TEST(EnginePin, PinnedSystemModuleSurvivesPressure) {
+  AccuracyWorkload workload(7);
+  Model model = make_induction_model({workload.vocab().size(), 256});
+  const size_t one_module =
+      static_cast<size_t>(10) * model.kv_bytes_per_token();
+  EngineConfig cfg;
+  cfg.device_capacity_bytes = 2 * one_module;
+  cfg.host_capacity_bytes = 1;
+  cfg.eager_encode = false;
+  PromptCacheEngine engine(model, workload.tokenizer(), cfg);
+  engine.load_schema(R"(
+    <schema name="p">
+      <module name="sys">w00 w01 q05 a10 a11 . w02</module>
+      <module name="d1">w03 q06 a12 . w04 w05</module>
+      <module name="d2">w06 q07 a13 . w07 w08</module>
+    </schema>)");
+  engine.pin_module("p", "sys");
+
+  GenerateOptions opts;
+  opts.max_new_tokens = 3;
+  opts.stop_tokens = {workload.stop_token()};
+  (void)engine.serve(R"(<prompt schema="p"><sys/><d1/> question: q06</prompt>)",
+                     opts);
+  (void)engine.serve(R"(<prompt schema="p"><sys/><d2/> question: q07</prompt>)",
+                     opts);
+  // Through all the churn, the pinned system module was never re-encoded:
+  // encodes = sys + d1 + d2 + at most one thrash re-encode of d1/d2.
+  EXPECT_TRUE(engine.store().is_pinned("p::sys"));
+  const ServeResult r = engine.serve(
+      R"(<prompt schema="p"><sys/> question: q05</prompt>)", opts);
+  EXPECT_EQ(r.text, "a10 a11");
+}
+
+}  // namespace
+}  // namespace pc

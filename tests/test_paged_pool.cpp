@@ -1,0 +1,140 @@
+// Unit tests for the paged KV pool: allocation, reference-counted sharing,
+// copy-on-write, and the batch-sharing footprint accounting of paper §3.4.
+#include <gtest/gtest.h>
+
+#include "kv/paged_pool.h"
+
+namespace pc {
+namespace {
+
+TEST(PagedPool, AllocateAndRelease) {
+  PagedKVPool pool(16, 64);
+  EXPECT_EQ(pool.page_bytes(), 16u * 64u);
+  const PageId a = pool.allocate();
+  const PageId b = pool.allocate();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.live_pages(), 2);
+  pool.release(a);
+  EXPECT_EQ(pool.live_pages(), 1);
+  pool.release(b);
+  EXPECT_EQ(pool.live_pages(), 0);
+  EXPECT_EQ(pool.stats().pages_freed, 2u);
+}
+
+TEST(PagedPool, FreeListReusesIds) {
+  PagedKVPool pool(4, 8);
+  const PageId a = pool.allocate();
+  pool.release(a);
+  const PageId b = pool.allocate();
+  EXPECT_EQ(a, b);  // recycled
+  // Recycled pages come back zeroed.
+  EXPECT_FLOAT_EQ(pool.data(b)[0], 0.0f);
+}
+
+TEST(PagedPool, RetainReleaseRefcounting) {
+  PagedKVPool pool(4, 8);
+  const PageId p = pool.allocate();
+  pool.retain(p);
+  EXPECT_EQ(pool.refcount(p), 2);
+  pool.release(p);
+  EXPECT_EQ(pool.live_pages(), 1);  // still referenced
+  pool.release(p);
+  EXPECT_EQ(pool.live_pages(), 0);
+  EXPECT_THROW(pool.release(p), ContractViolation);  // double free
+}
+
+TEST(PagedPool, CopyOnWriteDuplicatesSharedPage) {
+  PagedKVPool pool(4, 8);
+  const PageId p = pool.allocate();
+  pool.data(p)[0] = 42.0f;
+  pool.retain(p);
+
+  const PageId w = pool.make_writable(p);
+  EXPECT_NE(w, p);
+  EXPECT_FLOAT_EQ(pool.data(w)[0], 42.0f);  // contents copied
+  EXPECT_EQ(pool.refcount(p), 1);
+  EXPECT_EQ(pool.stats().cow_copies, 1u);
+
+  // Exclusive pages are returned as-is.
+  EXPECT_EQ(pool.make_writable(w), w);
+  pool.release(p);
+  pool.release(w);
+}
+
+TEST(PagedSequence, AppendAllocatesByPageGranularity) {
+  PagedKVPool pool(8, 4);
+  PagedSequence seq(pool);
+  seq.append_tokens(3);
+  EXPECT_EQ(seq.pages().size(), 1u);
+  seq.append_tokens(5);  // fills the page exactly
+  EXPECT_EQ(seq.pages().size(), 1u);
+  seq.append_tokens(1);
+  EXPECT_EQ(seq.pages().size(), 2u);
+  EXPECT_EQ(seq.n_tokens(), 9);
+}
+
+// The §3.4 batch optimization: N sequences importing the same module share
+// its pages; memory grows with unique content, not batch size.
+TEST(PagedSequence, SharedModulePagesAreStoredOnce) {
+  PagedKVPool pool(8, 4);
+
+  // "Module": 24 tokens = 3 pages, encoded once.
+  PagedSequence module_seq(pool);
+  module_seq.append_tokens(24);
+  EXPECT_EQ(pool.live_pages(), 3);
+
+  // A batch of 5 sequences, each importing the module + 8 private tokens.
+  std::vector<PagedSequence> batch;
+  for (int i = 0; i < 5; ++i) {
+    PagedSequence s(pool);
+    s.append_shared(module_seq);
+    s.append_tokens(8);
+    batch.push_back(std::move(s));
+  }
+  // 3 shared module pages + 5 private pages.
+  EXPECT_EQ(pool.live_pages(), 3 + 5);
+  for (const auto& s : batch) EXPECT_EQ(s.n_tokens(), 32);
+
+  // Without sharing it would be 5 * (3 + 1) = 20 pages.
+  EXPECT_LT(pool.live_bytes(), 20u * pool.page_bytes());
+
+  batch.clear();
+  EXPECT_EQ(pool.live_pages(), 3);  // module survives its consumers
+}
+
+TEST(PagedSequence, WritingASharedTokenTriggersCow) {
+  PagedKVPool pool(4, 4);
+  PagedSequence module_seq(pool);
+  module_seq.append_tokens(4);
+
+  PagedSequence consumer(pool);
+  consumer.append_shared(module_seq);
+  const PageId shared = consumer.pages()[0];
+  EXPECT_EQ(pool.refcount(shared), 2);
+
+  consumer.make_token_writable(2);
+  EXPECT_NE(consumer.pages()[0], shared);
+  EXPECT_EQ(pool.refcount(shared), 1);
+  EXPECT_EQ(pool.stats().cow_copies, 1u);
+}
+
+TEST(PagedSequence, AppendSharedRequiresPageAlignment) {
+  PagedKVPool pool(8, 4);
+  PagedSequence src(pool);
+  src.append_tokens(8);
+  PagedSequence dst(pool);
+  dst.append_tokens(3);  // mid-page
+  EXPECT_THROW(dst.append_shared(src), ContractViolation);
+}
+
+TEST(PagedSequence, MoveTransfersOwnership) {
+  PagedKVPool pool(4, 4);
+  PagedSequence a(pool);
+  a.append_tokens(4);
+  PagedSequence b = std::move(a);
+  EXPECT_EQ(b.n_tokens(), 4);
+  EXPECT_EQ(pool.live_pages(), 1);
+}
+
+}  // namespace
+}  // namespace pc

@@ -1,0 +1,127 @@
+// Unit tests for positional encodings: RoPE lookup tables, ALiBi slopes,
+// and absolute-position tables — including the relative-position properties
+// Prompt Cache depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "pos/alibi.h"
+#include "pos/embedding_table.h"
+#include "pos/rope.h"
+#include "tensor/ops.h"
+
+namespace pc {
+namespace {
+
+TEST(Rope, PositionZeroIsIdentity) {
+  const RopeTable rope(8, 32);
+  std::vector<float> x = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto orig = x;
+  rope.apply(x.data(), 0);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(x[i], orig[i]);
+}
+
+TEST(Rope, RotationPreservesNorm) {
+  const RopeTable rope(16, 128);
+  Rng rng(1);
+  std::vector<float> x(16);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  float norm_before = 0;
+  for (float v : x) norm_before += v * v;
+  rope.apply(x.data(), 77);
+  float norm_after = 0;
+  for (float v : x) norm_after += v * v;
+  EXPECT_NEAR(norm_before, norm_after, 1e-4f);
+}
+
+// The defining RoPE property: <R(p)q, R(p')k> depends only on p - p'.
+// This is what makes cached (pre-rotated) keys reusable: queries at any
+// later position see the correct relative offset.
+TEST(Rope, InnerProductDependsOnlyOnRelativeOffset) {
+  const int d = 16;
+  const RopeTable rope(d, 512);
+  Rng rng(2);
+  std::vector<float> q(d), k(d);
+  for (auto& v : q) v = rng.uniform(-1, 1);
+  for (auto& v : k) v = rng.uniform(-1, 1);
+
+  auto rotated_dot = [&](int qp, int kp) {
+    auto qr = q;
+    auto kr = k;
+    rope.apply(qr.data(), qp);
+    rope.apply(kr.data(), kp);
+    return dot(qr.data(), kr.data(), d);
+  };
+
+  const float a = rotated_dot(10, 3);
+  const float b = rotated_dot(110, 103);
+  const float c = rotated_dot(402, 395);
+  EXPECT_NEAR(a, b, 1e-4f);
+  EXPECT_NEAR(a, c, 1e-4f);
+}
+
+TEST(Rope, RejectsOutOfRangePositionsAndOddDims) {
+  const RopeTable rope(8, 16);
+  std::vector<float> x(8, 1.0f);
+  EXPECT_THROW(rope.apply(x.data(), 16), ContractViolation);
+  EXPECT_THROW(rope.apply(x.data(), -1), ContractViolation);
+  EXPECT_THROW(RopeTable(7, 16), ContractViolation);
+}
+
+TEST(Alibi, PowerOfTwoSlopesAreGeometric) {
+  const auto slopes = Alibi::make_slopes(8);
+  ASSERT_EQ(slopes.size(), 8u);
+  EXPECT_NEAR(slopes[0], std::pow(2.0, -1.0), 1e-6);
+  for (size_t i = 1; i < slopes.size(); ++i) {
+    EXPECT_NEAR(slopes[i] / slopes[i - 1], slopes[0], 1e-5);
+  }
+}
+
+TEST(Alibi, NonPowerOfTwoHeadCount) {
+  const auto slopes = Alibi::make_slopes(6);
+  ASSERT_EQ(slopes.size(), 6u);
+  // First four follow the n=4 schedule, the rest interleave from n=8.
+  EXPECT_NEAR(slopes[0], std::pow(2.0, -2.0), 1e-6);
+  EXPECT_NEAR(slopes[4], std::pow(2.0, -1.0), 1e-6);
+  for (float s : slopes) {
+    EXPECT_GT(s, 0.0f);
+    EXPECT_LT(s, 1.0f);
+  }
+}
+
+TEST(Alibi, BiasIsLinearInDistance) {
+  const Alibi alibi(4);
+  EXPECT_FLOAT_EQ(alibi.bias(0, 10, 10), 0.0f);
+  const float d1 = alibi.bias(0, 10, 9);
+  const float d2 = alibi.bias(0, 10, 8);
+  EXPECT_LT(d1, 0.0f);
+  EXPECT_NEAR(d2, 2 * d1, 1e-6f);
+  // Relocation invariance: bias depends only on the difference.
+  EXPECT_FLOAT_EQ(alibi.bias(2, 100, 95), alibi.bias(2, 1005, 1000));
+}
+
+TEST(PositionTable, SinusoidalIsDeterministicAndBounded) {
+  const PositionTable t = PositionTable::sinusoidal(64, 32);
+  EXPECT_EQ(t.max_pos(), 64);
+  for (int p = 0; p < 64; ++p) {
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_LE(std::abs(t.row(p)[i]), 1.0f);
+    }
+  }
+  // Position 0: sin rows are 0, cos rows are 1.
+  EXPECT_FLOAT_EQ(t.row(0)[0], 0.0f);
+  EXPECT_FLOAT_EQ(t.row(0)[1], 1.0f);
+}
+
+TEST(PositionTable, LearnedIsSeededAndRangeChecked) {
+  Rng a(5), b(5);
+  const PositionTable ta = PositionTable::learned(16, 8, a);
+  const PositionTable tb = PositionTable::learned(16, 8, b);
+  EXPECT_EQ(max_abs_diff(ta.tensor(), tb.tensor()), 0.0f);
+  EXPECT_THROW(ta.row(16), ContractViolation);
+  EXPECT_THROW(ta.row(-1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace pc

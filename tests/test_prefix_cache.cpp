@@ -1,0 +1,118 @@
+// Tests for the prefix-cache baseline and its defining limitation: exact
+// reuse on literal prefixes, nothing on reordered content — the contrast
+// with Prompt Cache's modular reuse (§2.2).
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/prefix_cache.h"
+#include "eval/workload.h"
+#include "model/induction.h"
+
+namespace pc {
+namespace {
+
+class PrefixCacheTest : public ::testing::Test {
+ protected:
+  PrefixCacheTest()
+      : workload_(7),
+        model_(make_induction_model({workload_.vocab().size(), 384})) {}
+
+  std::vector<TokenId> encode(const std::string& text) {
+    return workload_.tokenizer().encode(text);
+  }
+
+  GenerateOptions answer_options() const {
+    GenerateOptions o;
+    o.max_new_tokens = 5;
+    o.stop_tokens = {workload_.stop_token()};
+    return o;
+  }
+
+  AccuracyWorkload workload_;
+  Model model_;
+};
+
+TEST_F(PrefixCacheTest, RepeatedPromptIsFullyReused) {
+  PrefixCacheEngine engine(model_, workload_.tokenizer());
+  const auto prompt = encode("w00 w01 q05 a10 a11 . w02 question: q05");
+
+  const auto first = engine.serve(prompt, answer_options());
+  EXPECT_EQ(first.reused_tokens, 0);
+  EXPECT_EQ(first.text, "a10 a11");
+
+  const auto second = engine.serve(prompt, answer_options());
+  EXPECT_EQ(second.reused_tokens, static_cast<int>(prompt.size()) - 1);
+  EXPECT_EQ(second.computed_tokens, 1);
+  EXPECT_EQ(second.text, first.text);
+  EXPECT_EQ(engine.stats().full_hits, 1u);
+}
+
+TEST_F(PrefixCacheTest, SharedPrefixPartiallyReused) {
+  PrefixCacheEngine engine(model_, workload_.tokenizer());
+  const auto a = encode("w00 w01 q05 a10 a11 . question: q05");
+  const auto b = encode("w00 w01 q05 a10 a11 . w02 w03 question: q05");
+  (void)engine.serve(a, answer_options());
+  const auto r = engine.serve(b, answer_options());
+  EXPECT_EQ(r.reused_tokens, 6);  // the common "w00 w01 q05 a10 a11 ."
+  EXPECT_EQ(r.text, "a10 a11");
+  EXPECT_EQ(engine.stats().partial_hits, 1u);
+}
+
+// The defining failure: the same documents in a different ORDER share no
+// prefix, so nothing is reused — while Prompt Cache reuses everything.
+TEST_F(PrefixCacheTest, ReorderedContentDefeatsPrefixReuseButNotPromptCache) {
+  const std::string doc_a = "w00 w01 q05 a10 a11 . w02";
+  const std::string doc_b = "w03 w04 q06 a12 a13 . w05";
+  const std::string question = "question: q06";
+
+  PrefixCacheEngine prefix(model_, workload_.tokenizer());
+  (void)prefix.serve(encode(doc_a + " " + doc_b + " " + question),
+                     answer_options());
+  const auto reordered =
+      prefix.serve(encode(doc_b + " " + doc_a + " " + question),
+                   answer_options());
+  EXPECT_EQ(reordered.reused_tokens, 0);
+  EXPECT_EQ(prefix.stats().misses, 2u);
+
+  PromptCacheEngine modular(model_, workload_.tokenizer());
+  modular.load_schema(R"(
+    <schema name="m">
+      <module name="da">w00 w01 q05 a10 a11 . w02</module>
+      <module name="db">w03 w04 q06 a12 a13 . w05</module>
+    </schema>)");
+  (void)modular.serve(R"(<prompt schema="m"><da/><db/> question: q06</prompt>)",
+                      answer_options());
+  const ServeResult r = modular.serve(
+      R"(<prompt schema="m"><db/><da/> question: q06</prompt>)",
+      answer_options());
+  // Every document token is reused regardless of import order.
+  EXPECT_EQ(r.ttft.cached_tokens, 14);
+  EXPECT_EQ(r.text, "a12 a13");
+}
+
+TEST_F(PrefixCacheTest, CapacityEvictsLru) {
+  const auto p1 = encode("w00 w01 w02 w03 question: q05");
+  const auto p2 = encode("w04 w05 w06 w07 question: q05");
+  const size_t one_entry = static_cast<size_t>(p1.size()) *
+                           static_cast<size_t>(2) *
+                           model_.config().n_layers * model_.config().kv_dim() *
+                           sizeof(float);
+  PrefixCacheEngine engine(model_, workload_.tokenizer(),
+                           one_entry + one_entry / 2);
+  (void)engine.serve(p1, answer_options());
+  (void)engine.serve(p2, answer_options());  // evicts p1
+  EXPECT_GT(engine.stats().evictions, 0u);
+  EXPECT_EQ(engine.longest_prefix(p1), 0);
+  EXPECT_GT(engine.longest_prefix(p2), 0);
+}
+
+TEST_F(PrefixCacheTest, ContractsEnforced) {
+  PrefixCacheEngine engine(model_, workload_.tokenizer());
+  EXPECT_THROW(engine.serve({}, answer_options()), ContractViolation);
+  std::vector<TokenId> too_long(
+      static_cast<size_t>(model_.config().max_pos) + 1, 5);
+  EXPECT_THROW(engine.serve(too_long, answer_options()), ContractViolation);
+}
+
+}  // namespace
+}  // namespace pc

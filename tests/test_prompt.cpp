@@ -1,0 +1,264 @@
+// Unit tests for prompt parsing and binding (§3.4): import resolution,
+// nesting, union exclusivity, argument budgets, uncached position
+// assignment, and baseline materialization.
+#include <gtest/gtest.h>
+
+#include "pml/prompt.h"
+#include "pml/prompt_builder.h"
+#include "tokenizer/tokenizer.h"
+
+namespace pc::pml {
+namespace {
+
+class PromptTest : public ::testing::Test {
+ protected:
+  PromptTest()
+      : tokenizer_(Vocab::basic_english()), plain_(TemplateStyle::kPlain) {}
+
+  Schema parse_schema(const std::string& pml) {
+    return Schema::parse(pml, tokenizer_, plain_);
+  }
+
+  PromptBinding bind(const Schema& s, const std::string& prompt) {
+    return bind_prompt(s, parse_prompt(prompt), tokenizer_);
+  }
+
+  int count(const std::string& text) {
+    return static_cast<int>(tokenizer_.encode(text).size());
+  }
+
+  std::string decode(const std::vector<TokenId>& ids) {
+    return tokenizer_.decode(ids);
+  }
+
+  Tokenizer tokenizer_;
+  ChatTemplate plain_;
+};
+
+TEST_F(PromptTest, ParsePromptStructure) {
+  const PromptAst ast = parse_prompt(R"(
+    <prompt schema="s">
+      <doc x="1">inner text<sub/></doc>
+      trailing question
+    </prompt>)");
+  EXPECT_EQ(ast.schema_name, "s");
+  ASSERT_EQ(ast.items.size(), 2u);
+  ASSERT_FALSE(ast.items[0].is_text());
+  const PromptImport& imp = *ast.items[0].import;
+  EXPECT_EQ(imp.module_name, "doc");
+  ASSERT_EQ(imp.args.size(), 1u);
+  EXPECT_EQ(imp.args[0].first, "x");
+  ASSERT_EQ(imp.children.size(), 2u);
+  EXPECT_TRUE(imp.children[0].is_text());
+  EXPECT_FALSE(imp.children[1].is_text());
+  EXPECT_TRUE(ast.items[1].is_text());
+}
+
+TEST_F(PromptTest, BindsImportsAndAnonymousModules) {
+  const Schema s = parse_schema(R"(
+    <schema name="s">
+      you are a helper
+      <module name="a">one two</module>
+      <module name="b">three four five</module>
+    </schema>)");
+  const PromptBinding binding =
+      bind(s, R"(<prompt schema="s"><b/><a/> what now ?</prompt>)");
+  // Anonymous first, then imports in prompt order.
+  ASSERT_EQ(binding.modules.size(), 3u);
+  EXPECT_TRUE(s.module(binding.modules[0]).anonymous);
+  EXPECT_EQ(s.module(binding.modules[1]).name, "b");
+  EXPECT_EQ(s.module(binding.modules[2]).name, "a");
+  EXPECT_EQ(binding.cached_token_count(),
+            count("you are a helper") + 2 + 3);
+}
+
+TEST_F(PromptTest, UncachedTextStartsAtPrecedingModuleEnd) {
+  const Schema s = parse_schema(R"(
+    <schema name="s">
+      <module name="a">one two three</module>
+      <module name="b">four five</module>
+    </schema>)");
+  const PromptBinding binding = bind(
+      s, R"(<prompt schema="s"><a/> so much <b/> the end</prompt>)");
+  ASSERT_EQ(binding.texts.size(), 2u);
+  // "so much" starts at a's end (3); "the end" after b's end (5).
+  EXPECT_EQ(binding.texts[0].start_pos, 3);
+  EXPECT_EQ(binding.texts[1].start_pos, 5);
+  EXPECT_EQ(binding.next_pos, 5 + count("the end"));
+}
+
+TEST_F(PromptTest, SkippedModuleLeavesAGap) {
+  const Schema s = parse_schema(R"(
+    <schema name="s">
+      <module name="a">one two three</module>
+      <module name="big">one two three four five six seven</module>
+      <module name="c">eight nine</module>
+    </schema>)");
+  const PromptBinding binding =
+      bind(s, R"(<prompt schema="s"><a/><c/> ask</prompt>)");
+  // c keeps its schema positions even though big was skipped.
+  const ModuleNode& c = s.module(s.find_module("c"));
+  EXPECT_EQ(c.start_pos, 10);
+  EXPECT_EQ(binding.texts[0].start_pos, c.end_pos);
+}
+
+TEST_F(PromptTest, UnionExclusivityEnforced) {
+  const Schema s = parse_schema(R"(
+    <schema name="s">
+      <union>
+        <module name="en">one</module>
+        <module name="fr">two</module>
+      </union>
+    </schema>)");
+  EXPECT_NO_THROW(bind(s, R"(<prompt schema="s"><en/></prompt>)"));
+  EXPECT_THROW(bind(s, R"(<prompt schema="s"><en/><fr/></prompt>)"),
+               SchemaError);
+}
+
+TEST_F(PromptTest, DuplicateImportRejected) {
+  const Schema s = parse_schema(
+      R"(<schema name="s"><module name="a">x</module></schema>)");
+  EXPECT_THROW(bind(s, R"(<prompt schema="s"><a/><a/></prompt>)"),
+               SchemaError);
+}
+
+TEST_F(PromptTest, NestingMustMatchSchema) {
+  const Schema s = parse_schema(R"(
+    <schema name="s">
+      <module name="outer">intro <module name="inner">body</module></module>
+      <module name="top">t</module>
+    </schema>)");
+  // inner at top level: rejected.
+  EXPECT_THROW(bind(s, R"(<prompt schema="s"><inner/></prompt>)"),
+               SchemaError);
+  // top inside outer: rejected.
+  EXPECT_THROW(bind(s, R"(<prompt schema="s"><outer><top/></outer></prompt>)"),
+               SchemaError);
+  // Correct nesting binds, and importing outer alone skips inner.
+  const PromptBinding with_inner =
+      bind(s, R"(<prompt schema="s"><outer><inner/></outer></prompt>)");
+  ASSERT_EQ(with_inner.modules.size(), 2u);
+  const PromptBinding without_inner =
+      bind(s, R"(<prompt schema="s"><outer/></prompt>)");
+  ASSERT_EQ(without_inner.modules.size(), 1u);
+  EXPECT_EQ(s.module(without_inner.modules[0]).name, "outer");
+}
+
+TEST_F(PromptTest, ArgumentsBindToPlaceholders) {
+  const Schema s = parse_schema(R"(
+    <schema name="s">
+      <module name="plan">go for <param name="days" len="3"/> days</module>
+    </schema>)");
+  const PromptBinding binding =
+      bind(s, R"(<prompt schema="s"><plan days="two"/> ok</prompt>)");
+  ASSERT_EQ(binding.args.size(), 1u);
+  EXPECT_EQ(binding.args[0].start_pos, count("go for"));
+  EXPECT_EQ(binding.args[0].tokens.size(), 1u);
+  EXPECT_EQ(binding.uncached_token_count(), 1 + count("ok"));
+}
+
+TEST_F(PromptTest, ArgumentErrors) {
+  const Schema s = parse_schema(R"(
+    <schema name="s">
+      <module name="plan">go <param name="days" len="2"/></module>
+    </schema>)");
+  EXPECT_THROW(bind(s, R"(<prompt schema="s"><plan bogus="x"/></prompt>)"),
+               SchemaError);  // unknown param
+  EXPECT_THROW(
+      bind(s, R"(<prompt schema="s"><plan days="one two three"/></prompt>)"),
+      SchemaError);  // over budget
+}
+
+TEST_F(PromptTest, SchemaNameMismatchAndUnknownModule) {
+  const Schema s = parse_schema(
+      R"(<schema name="real"><module name="a">x</module></schema>)");
+  EXPECT_THROW(bind(s, R"(<prompt schema="other"><a/></prompt>)"),
+               SchemaError);
+  EXPECT_THROW(bind(s, R"(<prompt schema="real"><ghost/></prompt>)"),
+               SchemaError);
+}
+
+TEST_F(PromptTest, BaselineMaterializesInLayoutOrderWithArgs) {
+  const Schema s = parse_schema(R"(
+    <schema name="s">
+      system text
+      <module name="a">first part</module>
+      <module name="plan">go for <param name="days" len="3"/> days</module>
+    </schema>)");
+  const PromptBinding binding = bind(
+      s,
+      R"(<prompt schema="s"><plan days="two"/><a/> final question</prompt>)");
+  EXPECT_EQ(decode(binding.baseline_tokens),
+            "system text first part go for two days final question");
+}
+
+TEST_F(PromptTest, BaselineOmitsUnsuppliedParamAndSkippedModules) {
+  const Schema s = parse_schema(R"(
+    <schema name="s">
+      <module name="a">alpha</module>
+      <module name="plan">go <param name="days" len="3"/> now</module>
+    </schema>)");
+  const PromptBinding binding =
+      bind(s, R"(<prompt schema="s"><plan/> q</prompt>)");
+  EXPECT_EQ(decode(binding.baseline_tokens), "go now q");
+}
+
+TEST_F(PromptTest, PromptBuilderProducesBindablePml) {
+  const Schema s = parse_schema(R"(
+    <schema name="s">
+      <module name="doc">text here</module>
+      <module name="plan">go <param name="days" len="3"/></module>
+    </schema>)");
+  PromptBuilder b("s");
+  b.import("doc");
+  b.import(ImportBuilder("plan").arg("days", "two"));
+  b.text("the question");
+  const PromptBinding binding = bind(s, b.str());
+  EXPECT_EQ(binding.modules.size(), 2u);
+  EXPECT_EQ(binding.args.size(), 1u);
+  ASSERT_EQ(binding.texts.size(), 1u);
+  EXPECT_EQ(decode(binding.texts[0].tokens), "the question");
+}
+
+TEST_F(PromptTest, OverlapAndBudgetWarningsAreAdvisory) {
+  const Schema s = parse_schema(R"(
+    <schema name="w">
+      <module name="a">one two</module>
+      <module name="b">three four five</module>
+      <module name="plan">go <param name="days" len="12"/></module>
+    </schema>)");
+
+  // Text between a and b longer than the (zero) gap: overlaps b.
+  const PromptBinding overlapping = bind(
+      s, R"(<prompt schema="w"><a/> so much more here <b/> end</prompt>)");
+  ASSERT_FALSE(overlapping.warnings.empty());
+  EXPECT_NE(overlapping.warnings[0].find("overlaps module 'b'"),
+            std::string::npos);
+
+  // A tiny argument in a large budget.
+  const PromptBinding wasteful =
+      bind(s, R"(<prompt schema="w"><plan days="two"/> q</prompt>)");
+  ASSERT_EQ(wasteful.warnings.size(), 1u);
+  EXPECT_NE(wasteful.warnings[0].find("budgeted positions"),
+            std::string::npos);
+
+  // A clean prompt produces none.
+  const PromptBinding clean =
+      bind(s, R"(<prompt schema="w"><a/><b/> the end</prompt>)");
+  EXPECT_TRUE(clean.warnings.empty());
+}
+
+TEST_F(PromptTest, AnonymousModulesCannotBeImported) {
+  const Schema s = parse_schema(R"(
+    <schema name="s">
+      preamble words
+      <module name="a">x</module>
+    </schema>)");
+  const std::string anon_name = s.module(s.anonymous_modules[0]).name;
+  EXPECT_THROW(
+      bind(s, "<prompt schema=\"s\"><" + anon_name + "/></prompt>"),
+      SchemaError);
+}
+
+}  // namespace
+}  // namespace pc::pml

@@ -1,0 +1,136 @@
+// Unit tests for the prompt-program -> PML compiler (§3.2.4): the builder's
+// output must parse back into the schema structure the program described.
+#include <gtest/gtest.h>
+
+#include "pml/prompt_program.h"
+#include "pml/schema.h"
+#include "tokenizer/tokenizer.h"
+
+namespace pc::pml {
+namespace {
+
+Schema parse_back(const std::string& pml) {
+  static const Tokenizer tok(Vocab::basic_english());
+  static const ChatTemplate tmpl(TemplateStyle::kPlain);
+  return Schema::parse(pml, tok, tmpl);
+}
+
+TEST(PromptProgram, TextBecomesAnonymousModule) {
+  PromptProgram prog("p");
+  prog.text("you are a helper");
+  const Schema s = parse_back(prog.compile());
+  EXPECT_EQ(s.name, "p");
+  ASSERT_EQ(s.anonymous_modules.size(), 1u);
+  EXPECT_EQ(s.module(s.anonymous_modules[0]).pieces[0].text,
+            "you are a helper");
+}
+
+TEST(PromptProgram, IfBlockBecomesModule) {
+  PromptProgram prog("p");
+  prog.if_block("frequent-flyer",
+                [](BlockBuilder& b) { b.text("mention the lounge"); });
+  const Schema s = parse_back(prog.compile());
+  const int mi = s.find_module("frequent-flyer");
+  ASSERT_NE(mi, -1);
+  EXPECT_EQ(s.module(mi).pieces[0].text, "mention the lounge");
+}
+
+TEST(PromptProgram, ChooseBecomesUnion) {
+  PromptProgram prog("p");
+  prog.choose({{"city-a", "go north"}, {"city-b", "go south"}});
+  const Schema s = parse_back(prog.compile());
+  ASSERT_EQ(s.unions.size(), 1u);
+  ASSERT_EQ(s.unions[0].members.size(), 2u);
+  const ModuleNode& a = s.module(s.find_module("city-a"));
+  const ModuleNode& b = s.module(s.find_module("city-b"));
+  EXPECT_EQ(a.union_id, 0);
+  EXPECT_EQ(a.start_pos, b.start_pos);
+}
+
+TEST(PromptProgram, ParamCarriesLen) {
+  PromptProgram prog("p");
+  prog.if_block("plan", [](BlockBuilder& b) {
+    b.text("a trip of");
+    b.param("duration", 5);
+    b.text("days");
+  });
+  const Schema s = parse_back(prog.compile());
+  const ModuleNode& m = s.module(s.find_module("plan"));
+  ASSERT_EQ(m.params.size(), 1u);
+  EXPECT_EQ(m.params[0].name, "duration");
+  EXPECT_EQ(m.params[0].max_len, 5);
+  EXPECT_THROW(PromptProgram("x").param("p", 0), ContractViolation);
+}
+
+TEST(PromptProgram, CallNestsModules) {
+  PromptProgram prog("p");
+  prog.if_block("outer", [](BlockBuilder& b) {
+    b.text("before");
+    b.call("inner", [](BlockBuilder& c) { c.text("nested"); });
+    b.text("after");
+  });
+  const Schema s = parse_back(prog.compile());
+  const int outer = s.find_module("outer");
+  const int inner = s.find_module("inner");
+  ASSERT_NE(inner, -1);
+  EXPECT_EQ(s.module(inner).parent, outer);
+}
+
+TEST(PromptProgram, ChooseBlocksSupportsStructuredCases) {
+  PromptProgram prog("p");
+  prog.choose_blocks({{"with-param",
+                       [](BlockBuilder& b) {
+                         b.text("stay");
+                         b.param("nights", 2);
+                       }},
+                      {"plain", [](BlockBuilder& b) { b.text("day trip"); }}});
+  const Schema s = parse_back(prog.compile());
+  const ModuleNode& wp = s.module(s.find_module("with-param"));
+  EXPECT_EQ(wp.params.size(), 1u);
+  EXPECT_EQ(wp.union_id, 0);
+}
+
+TEST(PromptProgram, RoleSectionsExpand) {
+  PromptProgram prog("p");
+  prog.role(ChatRole::kSystem, [](BlockBuilder& b) { b.text("rules"); });
+  const std::string pml = prog.compile();
+  EXPECT_NE(pml.find("<system>"), std::string::npos);
+  const Schema s = parse_back(pml);
+  // Expanded through kPlain: "system : rules".
+  std::string all;
+  for (int mi : s.anonymous_modules) {
+    for (const auto& piece : s.module(mi).pieces) all += piece.text + "|";
+  }
+  EXPECT_NE(all.find("rules"), std::string::npos);
+}
+
+TEST(PromptProgram, EscapesSpecialCharacters) {
+  PromptProgram prog("p");
+  prog.text("use < and > and & carefully");
+  const Schema s = parse_back(prog.compile());
+  EXPECT_EQ(s.module(s.anonymous_modules[0]).pieces[0].text,
+            "use < and > and & carefully");
+}
+
+TEST(PromptProgram, ComplexProgramRoundTrips) {
+  PromptProgram prog("travel");
+  prog.text("you are a travel agent");
+  prog.if_block("trip-plan", [](BlockBuilder& b) {
+    b.text("plan a trip of");
+    b.param("duration", 4);
+    b.text("days to");
+    b.choose({{"miami", "miami the beach city"},
+              {"maui", "maui the island"}});
+  });
+  const Schema s = parse_back(prog.compile());
+  EXPECT_NE(s.find_module("trip-plan"), -1);
+  EXPECT_NE(s.find_module("miami"), -1);
+  EXPECT_NE(s.find_module("maui"), -1);
+  EXPECT_EQ(s.module(s.find_module("miami")).parent,
+            s.find_module("trip-plan"));
+  EXPECT_EQ(s.unions.size(), 1u);
+  EXPECT_GT(s.total_positions, 10);
+}
+
+}  // namespace
+}  // namespace pc::pml

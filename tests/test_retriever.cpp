@@ -1,0 +1,99 @@
+// Unit tests for the BM25 retriever.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/retriever.h"
+
+namespace pc {
+namespace {
+
+Bm25Index small_index() {
+  Bm25Index index;
+  index.add_document("beach", "the beach city has surf and a warm sea");
+  index.add_document("mountain", "the mountain island has a long walk");
+  index.add_document("market", "the old market sells food and paper");
+  index.finalize();
+  return index;
+}
+
+TEST(Bm25, RanksLexicalOverlapFirst) {
+  const Bm25Index index = small_index();
+  const auto results = index.query("where can we surf near the sea", 3);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(index.document_name(results[0].doc), "beach");
+}
+
+TEST(Bm25, OmitsZeroOverlapDocuments) {
+  const Bm25Index index = small_index();
+  const auto results = index.query("surf", 3);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(index.document_name(results[0].doc), "beach");
+  EXPECT_TRUE(index.query("zebra quantum", 3).empty());
+}
+
+TEST(Bm25, TopKTruncates) {
+  const Bm25Index index = small_index();
+  // "the" appears in every document.
+  EXPECT_EQ(index.query("the", 2).size(), 2u);
+  EXPECT_EQ(index.query("the", 10).size(), 3u);
+}
+
+TEST(Bm25, IdfOrdering) {
+  const Bm25Index index = small_index();
+  // "the" (every doc) must have lower idf than "surf" (one doc).
+  EXPECT_LT(index.idf("the"), index.idf("surf"));
+  EXPECT_DOUBLE_EQ(index.idf("zebra"), 0.0);
+  // Hand check: N=3, df=1 -> ln(1 + 2.5/1.5).
+  EXPECT_NEAR(index.idf("surf"), std::log(1.0 + 2.5 / 1.5), 1e-12);
+  EXPECT_NEAR(index.idf("the"), std::log(1.0 + 0.5 / 3.5), 1e-12);
+}
+
+TEST(Bm25, RareTermsBeatCommonOnes) {
+  Bm25Index index;
+  index.add_document("common", "cat cat cat cat dog");
+  index.add_document("rare", "bird");
+  index.add_document("other1", "cat fish");
+  index.add_document("other2", "cat tree");
+  index.finalize();
+  // One rare term should outrank saturated common-term matches.
+  const auto results = index.query("bird cat", 4);
+  ASSERT_GE(results.size(), 2u);
+  EXPECT_EQ(index.document_name(results[0].doc), "rare");
+}
+
+TEST(Bm25, LengthNormalizationPrefersConciseDocs) {
+  Bm25Index index;
+  std::string longdoc = "surf";
+  for (int i = 0; i < 80; ++i) longdoc += " filler word here";
+  index.add_document("long", longdoc);
+  index.add_document("short", "surf report");
+  index.finalize();
+  const auto results = index.query("surf", 2);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(index.document_name(results[0].doc), "short");
+}
+
+TEST(Bm25, QueryIsCaseAndPunctuationInsensitive) {
+  const Bm25Index index = small_index();
+  const auto a = index.query("SURF!", 1);
+  const auto b = index.query("surf", 1);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].doc, b[0].doc);
+  EXPECT_DOUBLE_EQ(a[0].score, b[0].score);
+}
+
+TEST(Bm25, ContractsEnforced) {
+  Bm25Index index;
+  EXPECT_THROW(index.finalize(), ContractViolation);  // empty
+  index.add_document("a", "words here");
+  EXPECT_THROW(index.query("x", 1), ContractViolation);  // not finalized
+  index.finalize();
+  EXPECT_THROW(index.add_document("b", "late"), ContractViolation);
+  EXPECT_THROW(index.query("x", 0), ContractViolation);
+  EXPECT_THROW(Bm25Index(0.0, 0.5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace pc

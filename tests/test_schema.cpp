@@ -1,0 +1,232 @@
+// Unit tests for PML schema parsing and position-ID layout (§3.2/§3.3):
+// module extents, anonymous text, unions sharing start positions,
+// parameters, nesting, role-tag template expansion, and validation errors.
+#include <gtest/gtest.h>
+
+#include "pml/schema.h"
+#include "tokenizer/tokenizer.h"
+
+namespace pc::pml {
+namespace {
+
+class SchemaTest : public ::testing::Test {
+ protected:
+  SchemaTest()
+      : tokenizer_(Vocab::basic_english()),
+        plain_(TemplateStyle::kPlain) {}
+
+  Schema parse(const std::string& pml) {
+    return Schema::parse(pml, tokenizer_, plain_);
+  }
+
+  int count(const std::string& text) {
+    return static_cast<int>(tokenizer_.encode(text).size());
+  }
+
+  Tokenizer tokenizer_;
+  ChatTemplate plain_;
+};
+
+TEST_F(SchemaTest, ModulesGetSequentialExtents) {
+  const Schema s = parse(R"(
+    <schema name="s">
+      <module name="a">one two three</module>
+      <module name="b">four five</module>
+    </schema>)");
+  EXPECT_EQ(s.name, "s");
+  const ModuleNode& a = s.module(s.find_module("a"));
+  const ModuleNode& b = s.module(s.find_module("b"));
+  EXPECT_EQ(a.start_pos, 0);
+  EXPECT_EQ(a.end_pos, 3);
+  EXPECT_EQ(b.start_pos, 3);
+  EXPECT_EQ(b.end_pos, 5);
+  EXPECT_EQ(s.total_positions, 5);
+}
+
+TEST_F(SchemaTest, AnonymousTextBecomesAlwaysIncludedModule) {
+  const Schema s = parse(R"(
+    <schema name="s">
+      you are a helper
+      <module name="doc">the document</module>
+      answer well
+    </schema>)");
+  ASSERT_EQ(s.anonymous_modules.size(), 2u);
+  const ModuleNode& pre = s.module(s.anonymous_modules[0]);
+  EXPECT_TRUE(pre.anonymous);
+  EXPECT_EQ(pre.start_pos, 0);
+  EXPECT_EQ(pre.end_pos, count("you are a helper"));
+  // Anonymous modules cannot be found by a user-facing name.
+  EXPECT_EQ(s.find_module("doc"), s.anonymous_modules[0] + 1);
+}
+
+TEST_F(SchemaTest, UnionMembersShareStartAndTakeMaxExtent) {
+  const Schema s = parse(R"(
+    <schema name="s">
+      <module name="head">start here</module>
+      <union>
+        <module name="short">one</module>
+        <module name="long">one two three four</module>
+      </union>
+      <module name="tail">end</module>
+    </schema>)");
+  const ModuleNode& sh = s.module(s.find_module("short"));
+  const ModuleNode& lg = s.module(s.find_module("long"));
+  const ModuleNode& tail = s.module(s.find_module("tail"));
+  EXPECT_EQ(sh.start_pos, lg.start_pos);
+  EXPECT_EQ(sh.start_pos, 2);
+  EXPECT_EQ(lg.end_pos, 6);
+  EXPECT_EQ(sh.end_pos, 3);
+  // The union occupies the largest member's extent.
+  ASSERT_EQ(s.unions.size(), 1u);
+  EXPECT_EQ(s.unions[0].start_pos, 2);
+  EXPECT_EQ(s.unions[0].end_pos, 6);
+  EXPECT_EQ(tail.start_pos, 6);
+  EXPECT_EQ(sh.union_id, 0);
+  EXPECT_EQ(lg.union_id, 0);
+  EXPECT_EQ(tail.union_id, -1);
+}
+
+TEST_F(SchemaTest, ParamsOccupyMaxLenPositions) {
+  const Schema s = parse(R"(
+    <schema name="s">
+      <module name="m">plan a trip of <param name="duration" len="4"/> days</module>
+    </schema>)");
+  const ModuleNode& m = s.module(s.find_module("m"));
+  ASSERT_EQ(m.params.size(), 1u);
+  const int prefix = count("plan a trip of");
+  EXPECT_EQ(m.params[0].start_pos, prefix);
+  EXPECT_EQ(m.params[0].max_len, 4);
+  EXPECT_EQ(m.end_pos, prefix + 4 + count("days"));
+
+  // Own runs include an <unk> placeholder run.
+  const auto runs = s.module_own_runs(s.find_module("m"));
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_TRUE(runs[1].is_param);
+  EXPECT_EQ(runs[1].tokens.size(), 4u);
+  for (TokenId t : runs[1].tokens) EXPECT_EQ(t, Vocab::kUnk);
+}
+
+TEST_F(SchemaTest, NestedModulesAreChildrenWithOwnExtents) {
+  const Schema s = parse(R"(
+    <schema name="s">
+      <module name="outer">
+        intro text
+        <module name="inner">nested body</module>
+        outro
+      </module>
+    </schema>)");
+  const int outer_i = s.find_module("outer");
+  const int inner_i = s.find_module("inner");
+  const ModuleNode& outer = s.module(outer_i);
+  const ModuleNode& inner = s.module(inner_i);
+  EXPECT_EQ(inner.parent, outer_i);
+  ASSERT_EQ(outer.children.size(), 1u);
+  EXPECT_EQ(outer.children[0], inner_i);
+  // Inner sits between outer's own pieces.
+  EXPECT_EQ(inner.start_pos, count("intro text"));
+  EXPECT_EQ(outer.end_pos, inner.end_pos + count("outro"));
+  // Outer's own runs skip the nested content.
+  int own = 0;
+  for (const auto& run : s.module_own_runs(outer_i)) {
+    EXPECT_FALSE(run.is_param);
+    own += static_cast<int>(run.tokens.size());
+  }
+  EXPECT_EQ(own, count("intro text") + count("outro"));
+}
+
+TEST_F(SchemaTest, RoleTagsExpandThroughChatTemplate) {
+  const Schema plain = parse(R"(
+    <schema name="s"><system>be helpful</system></schema>)");
+  // kPlain renders "system : " prefix + body (the "\n" suffix trims away);
+  // each top-level text run becomes its own anonymous module.
+  ASSERT_EQ(plain.anonymous_modules.size(), 2u);
+  std::string joined;
+  for (int mi : plain.anonymous_modules) {
+    for (const auto& piece : plain.module(mi).pieces) {
+      joined += piece.text + " ";
+    }
+  }
+  EXPECT_NE(joined.find("system"), std::string::npos);
+  EXPECT_NE(joined.find("be helpful"), std::string::npos);
+
+  const ChatTemplate llama(TemplateStyle::kLlama2);
+  const Schema wrapped = Schema::parse(
+      R"(<schema name="s"><user><module name="doc">text</module></user></schema>)",
+      tokenizer_, llama);
+  // The [INST] prefix and [/INST] suffix become anonymous modules around doc.
+  EXPECT_EQ(wrapped.anonymous_modules.size(), 2u);
+  EXPECT_LT(wrapped.module(wrapped.anonymous_modules[0]).start_pos,
+            wrapped.module(wrapped.find_module("doc")).start_pos);
+}
+
+TEST_F(SchemaTest, ModuleExtentsNeverOverlapOutsideUnions) {
+  const Schema s = parse(R"(
+    <schema name="s">
+      lead
+      <module name="a">aa aa</module>
+      <union><module name="u1">x</module><module name="u2">y z</module></union>
+      <module name="b">bb</module>
+    </schema>)");
+  // Collect top-level extents; non-union siblings must be disjoint.
+  const ModuleNode& a = s.module(s.find_module("a"));
+  const ModuleNode& b = s.module(s.find_module("b"));
+  const ModuleNode& pre = s.module(s.anonymous_modules[0]);
+  EXPECT_LE(pre.end_pos, a.start_pos);
+  EXPECT_LE(s.unions[0].end_pos, b.start_pos);
+  EXPECT_LE(a.end_pos, s.unions[0].start_pos);
+}
+
+TEST_F(SchemaTest, ValidationErrors) {
+  EXPECT_THROW(parse(R"(<prompt schema="x"/>)"), ParseError);  // wrong root
+  EXPECT_THROW(parse(R"(<schema name="s">
+      <module name="a">x</module><module name="a">y</module>
+    </schema>)"),
+               ParseError);  // duplicate name
+  EXPECT_THROW(parse(R"(<schema name="s"><param name="p" len="3"/></schema>)"),
+               ParseError);  // top-level param
+  EXPECT_THROW(
+      parse(R"(<schema name="s"><module name="m"><param name="p" len="0"/></module></schema>)"),
+      ParseError);  // non-positive len
+  EXPECT_THROW(
+      parse(R"(<schema name="s"><module name="m"><param name="p" len="x"/></module></schema>)"),
+      ParseError);  // non-integer len
+  EXPECT_THROW(parse(R"(<schema name="s"><union>text</union></schema>)"),
+               ParseError);  // text in union
+  EXPECT_THROW(parse(R"(<schema name="s"><union></union></schema>)"),
+               ParseError);  // empty union
+  EXPECT_THROW(parse(R"(<schema name="s"><bogus/></schema>)"), ParseError);
+  EXPECT_THROW(parse(R"(<schema name="s"><module name="__x">t</module></schema>)"),
+               ParseError);  // reserved prefix
+}
+
+TEST_F(SchemaTest, DuplicateParamRejected) {
+  EXPECT_THROW(parse(R"(<schema name="s"><module name="m">
+      <param name="p" len="2"/><param name="p" len="3"/>
+    </module></schema>)"),
+               ParseError);
+}
+
+TEST_F(SchemaTest, UnionInsideModule) {
+  const Schema s = parse(R"(
+    <schema name="s">
+      <module name="outer">
+        pick one
+        <union>
+          <module name="m1">first choice</module>
+          <module name="m2">second</module>
+        </union>
+      </module>
+    </schema>)");
+  const int outer_i = s.find_module("outer");
+  const ModuleNode& m1 = s.module(s.find_module("m1"));
+  const ModuleNode& m2 = s.module(s.find_module("m2"));
+  EXPECT_EQ(m1.parent, outer_i);
+  EXPECT_EQ(m2.parent, outer_i);
+  EXPECT_EQ(m1.union_id, m2.union_id);
+  EXPECT_EQ(m1.start_pos, m2.start_pos);
+  EXPECT_EQ(s.module(outer_i).end_pos,
+            std::max(m1.end_pos, m2.end_pos));
+}
+
+}  // namespace
+}  // namespace pc::pml

@@ -1,0 +1,241 @@
+// Tests for module persistence: round trips at every storage precision,
+// serving from restored state without re-encoding, and loud failure on
+// corrupt input.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/serialize.h"
+#include "eval/workload.h"
+#include "model/induction.h"
+
+namespace pc {
+namespace {
+
+class SerializeTest : public ::testing::TestWithParam<StorePrecision> {
+ protected:
+  SerializeTest()
+      : workload_(7),
+        model_(make_induction_model({workload_.vocab().size(), 256})) {}
+
+  EngineConfig config() const {
+    EngineConfig cfg;
+    cfg.precision = GetParam();
+    return cfg;
+  }
+
+  GenerateOptions answer_options() const {
+    GenerateOptions o;
+    o.max_new_tokens = 6;
+    o.stop_tokens = {workload_.stop_token()};
+    return o;
+  }
+
+  std::string temp_path() const {
+    return ::testing::TempDir() + "pc_modules_" +
+           std::to_string(static_cast<int>(GetParam())) + ".bin";
+  }
+
+  static constexpr const char* kSchema = R"(
+    <schema name="s">
+      <module name="doc1">w00 w01 q05 a10 a11 . w02</module>
+      <module name="doc2">w03 q06 a12 a13 . w04</module>
+      <module name="plan">w05 <param name="x" len="3"/> w06</module>
+    </schema>)";
+  static constexpr const char* kPrompt =
+      R"(<prompt schema="s"><doc1/><doc2/> question: q06</prompt>)";
+
+  AccuracyWorkload workload_;
+  Model model_;
+};
+
+TEST_P(SerializeTest, SaveThenLoadServesWithoutReencoding) {
+  const std::string path = temp_path();
+  {
+    PromptCacheEngine writer(model_, workload_.tokenizer(), config());
+    writer.load_schema(kSchema);
+    EXPECT_EQ(writer.save_modules(path), 3u);
+  }
+
+  EngineConfig cfg = config();
+  cfg.eager_encode = false;
+  PromptCacheEngine reader(model_, workload_.tokenizer(), cfg);
+  reader.load_schema(kSchema);  // schema metadata only, no encoding
+  EXPECT_EQ(reader.stats().modules_encoded, 0u);
+  EXPECT_EQ(reader.load_modules(path), 3u);
+
+  const ServeResult r = reader.serve(kPrompt, answer_options());
+  EXPECT_EQ(r.text, "a12 a13");
+  EXPECT_EQ(reader.stats().modules_encoded, 0u)
+      << "serving must use the restored states, not re-encode";
+  std::remove(path.c_str());
+}
+
+TEST_P(SerializeTest, RestoredStatesAreBitwiseEquivalent) {
+  PromptCacheEngine writer(model_, workload_.tokenizer(), config());
+  writer.load_schema(kSchema);
+
+  std::stringstream stream;
+  write_store_header(stream);
+  size_t written = 0;
+  writer.store().for_each([&](const std::string& key,
+                              const EncodedModule& module, ModuleLocation) {
+    write_module_record(stream, key, module);
+    ++written;
+  });
+  ASSERT_EQ(written, 3u);
+
+  read_store_header(stream);
+  std::string key;
+  EncodedModule m;
+  size_t read_count = 0;
+  while (read_module_record(stream, &key, &m)) {
+    ++read_count;
+    ModuleLocation loc;
+    const EncodedModule* orig = writer.store().find(key, &loc);
+    ASSERT_NE(orig, nullptr) << key;
+    EXPECT_EQ(m.precision, orig->precision);
+    EXPECT_EQ(m.n_tokens, orig->n_tokens);
+    EXPECT_EQ(m.text_row_ranges, orig->text_row_ranges);
+    EXPECT_EQ(m.payload_bytes(), orig->payload_bytes());
+    if (m.precision == StorePrecision::kFp32) {
+      for (int l = 0; l < m.n_layers; ++l) {
+        for (int t = 0; t < m.n_tokens; ++t) {
+          for (int e = 0; e < m.kv_dim; ++e) {
+            ASSERT_EQ(m.kv32->k_row(l, t)[e], orig->kv32->k_row(l, t)[e]);
+            ASSERT_EQ(m.kv32->v_row(l, t)[e], orig->kv32->v_row(l, t)[e]);
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(read_count, 3u);
+}
+
+TEST_P(SerializeTest, CorruptionIsDetected) {
+  PromptCacheEngine writer(model_, workload_.tokenizer(), config());
+  writer.load_schema(kSchema);
+  const std::string path = temp_path();
+  writer.save_modules(path);
+
+  // Flip one payload byte near the end of the file.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<long>(f.tellg());
+    f.seekp(size - 32);
+    char c;
+    f.seekg(size - 32);
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x5a);
+    f.seekp(size - 32);
+    f.write(&c, 1);
+  }
+  PromptCacheEngine reader(model_, workload_.tokenizer(), config());
+  EXPECT_THROW(reader.load_modules(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST_P(SerializeTest, TruncationAndBadHeaderAreDetected) {
+  PromptCacheEngine writer(model_, workload_.tokenizer(), config());
+  writer.load_schema(kSchema);
+  const std::string path = temp_path();
+  writer.save_modules(path);
+
+  // Truncate the file in the middle of a record.
+  std::string contents;
+  {
+    std::ifstream f(path, std::ios::binary);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    contents = ss.str();
+  }
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(contents.data(), static_cast<long>(contents.size() / 2));
+  }
+  PromptCacheEngine reader(model_, workload_.tokenizer(), config());
+  EXPECT_THROW(reader.load_modules(path), Error);
+
+  // Garbage header.
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << "not a module store";
+  }
+  EXPECT_THROW(reader.load_modules(path), Error);
+  EXPECT_THROW(reader.load_modules(path + ".does-not-exist"), Error);
+  std::remove(path.c_str());
+}
+
+// Fuzz the snapshot: random single-byte corruptions anywhere in the file
+// must fail loudly (pc::Error) or — only when the flip lands outside every
+// checked field AND the checksum (practically impossible since the checksum
+// covers all payload bytes) — load cleanly. Never crash.
+TEST_P(SerializeTest, RandomCorruptionFailsLoudly) {
+  PromptCacheEngine writer(model_, workload_.tokenizer(), config());
+  writer.load_schema(kSchema);
+  const std::string path = temp_path();
+  writer.save_modules(path);
+
+  std::string contents;
+  {
+    std::ifstream f(path, std::ios::binary);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    contents = ss.str();
+  }
+
+  Rng rng(static_cast<uint64_t>(GetParam()) + 99);
+  int rejected = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    std::string mutated = contents;
+    const size_t at = rng.next_below(mutated.size());
+    mutated[at] = static_cast<char>(mutated[at] ^
+                                    (1u << rng.next_below(8)));
+    {
+      std::ofstream f(path, std::ios::binary | std::ios::trunc);
+      f.write(mutated.data(), static_cast<long>(mutated.size()));
+    }
+    PromptCacheEngine reader(model_, workload_.tokenizer(), config());
+    try {
+      (void)reader.load_modules(path);
+    } catch (const Error&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GE(rejected, 24);  // at most a bit flip in trailing slack survives
+  std::remove(path.c_str());
+}
+
+TEST_P(SerializeTest, GeometryMismatchRejected) {
+  PromptCacheEngine writer(model_, workload_.tokenizer(), config());
+  writer.load_schema(kSchema);
+  const std::string path = temp_path();
+  writer.save_modules(path);
+
+  // A model with different geometry must refuse the file.
+  Model other = make_induction_model({workload_.vocab().size(), 128});
+  PromptCacheEngine reader(other, workload_.tokenizer(), config());
+  EXPECT_THROW(reader.load_modules(path), Error);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrecisions, SerializeTest,
+                         ::testing::Values(StorePrecision::kFp32,
+                                           StorePrecision::kFp16,
+                                           StorePrecision::kQ8),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case StorePrecision::kFp32: return "Fp32";
+                             case StorePrecision::kFp16: return "Fp16";
+                             case StorePrecision::kQ8: return "Q8";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace pc

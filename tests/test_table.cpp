@@ -1,0 +1,42 @@
+// Unit tests for the table formatter used by the benchmark harnesses.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eval/table.h"
+
+namespace pc {
+namespace {
+
+TEST(Table, AlignsColumnsAndPadsShortRows) {
+  TablePrinter t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name"});  // short row: second cell empty
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("=== demo ==="), std::string::npos);
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| a           | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name |       |"), std::string::npos);
+}
+
+TEST(Table, NoHeaderNoTitleStillPrints) {
+  TablePrinter t;
+  t.add_row({"x", "y"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), "| x | y |\n");
+}
+
+TEST(Table, FormattingHelpers) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::fmt_ms(12.345), "12.35 ms");
+  EXPECT_EQ(TablePrinter::fmt_ms(2500.0), "2.50 s");
+  EXPECT_EQ(TablePrinter::fmt_times(12.34), "12.3x");
+}
+
+}  // namespace
+}  // namespace pc

@@ -1,0 +1,132 @@
+// Unit tests for vocabulary, tokenizer, and chat templates.
+#include <gtest/gtest.h>
+
+#include "tokenizer/chat_template.h"
+#include "tokenizer/tokenizer.h"
+#include "tokenizer/vocab.h"
+
+namespace pc {
+namespace {
+
+TEST(Vocab, LayoutWithByteFallback) {
+  const Vocab v = Vocab::from_pieces({"hello", "world"});
+  EXPECT_TRUE(v.has_byte_fallback());
+  EXPECT_EQ(v.first_piece_id(), Vocab::kNumSpecial + 256);
+  EXPECT_EQ(v.piece_count(), 2);
+  EXPECT_EQ(v.piece(Vocab::kUnk), "<unk>");
+  EXPECT_EQ(v.piece(Vocab::kBos), "<s>");
+  EXPECT_EQ(v.piece(v.byte_token('A')), "<0x41>");
+  EXPECT_EQ(*v.find_piece("hello"), v.first_piece_id());
+  EXPECT_FALSE(v.find_piece("missing").has_value());
+}
+
+TEST(Vocab, ClosedVocabHasNoByteBlock) {
+  const Vocab v = Vocab::from_pieces({"a", "b"}, /*byte_fallback=*/false);
+  EXPECT_FALSE(v.has_byte_fallback());
+  EXPECT_EQ(v.first_piece_id(), Vocab::kNumSpecial);
+  EXPECT_EQ(v.size(), Vocab::kNumSpecial + 2);
+  EXPECT_THROW(v.byte_token('A'), ContractViolation);
+}
+
+TEST(Vocab, DeduplicatesPieces) {
+  const Vocab v = Vocab::from_pieces({"x", "y", "x"}, false);
+  EXPECT_EQ(v.piece_count(), 2);
+}
+
+TEST(Vocab, BasicEnglishIsUsable) {
+  const Vocab& v = Vocab::basic_english();
+  EXPECT_TRUE(v.find_piece("the").has_value());
+  EXPECT_TRUE(v.find_piece(".").has_value());
+  EXPECT_GT(v.piece_count(), 300);
+}
+
+TEST(Tokenizer, PreTokenizeSplitsWordsAndPunct) {
+  const auto pieces = Tokenizer::pre_tokenize("Hello, world! ok");
+  EXPECT_EQ(pieces, (std::vector<std::string>{"Hello", ",", "world", "!",
+                                              "ok"}));
+}
+
+TEST(Tokenizer, PreTokenizeAbsorbsTrailingColon) {
+  const auto pieces = Tokenizer::pre_tokenize("question: q05");
+  EXPECT_EQ(pieces, (std::vector<std::string>{"question:", "q05"}));
+}
+
+TEST(Tokenizer, EncodeDecodeRoundTripInVocab) {
+  const Tokenizer tok(Vocab::basic_english());
+  const std::string text = "the cache can help people work";
+  EXPECT_EQ(tok.decode(tok.encode(text)), text);
+}
+
+TEST(Tokenizer, ByteFallbackRoundTripsUnknownWords) {
+  const Tokenizer tok(Vocab::basic_english());
+  const auto ids = tok.encode("the zyxq");
+  // "zyxq" must be encoded as 4 byte tokens.
+  ASSERT_EQ(ids.size(), 5u);
+  EXPECT_EQ(tok.decode(ids), "the zyxq");
+}
+
+TEST(Tokenizer, ClosedVocabMapsUnknownToUnk) {
+  const Vocab v = Vocab::from_pieces({"known"}, false);
+  const Tokenizer tok(v);
+  const auto ids = tok.encode("known mystery");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], v.first_piece_id());
+  EXPECT_EQ(ids[1], Vocab::kUnk);
+}
+
+TEST(Tokenizer, WhitespaceRunsCollapse) {
+  const Tokenizer tok(Vocab::basic_english());
+  EXPECT_EQ(tok.encode("a  \n\t b"), tok.encode("a b"));
+}
+
+TEST(Tokenizer, DecodeSkipsSpecialTokens) {
+  const Tokenizer tok(Vocab::basic_english());
+  std::vector<TokenId> ids = {Vocab::kBos};
+  const auto word_ids = tok.encode("help");
+  ids.insert(ids.end(), word_ids.begin(), word_ids.end());
+  ids.push_back(Vocab::kEos);
+  EXPECT_EQ(tok.decode(ids), "help");
+}
+
+TEST(Tokenizer, PunctuationAttachesOnDecode) {
+  const Tokenizer tok(Vocab::basic_english());
+  const std::string text = "go , then stop .";
+  EXPECT_EQ(tok.decode(tok.encode(text)), "go, then stop.");
+}
+
+TEST(ChatTemplate, PlainWrapsWithRoleLabels) {
+  const ChatTemplate t(TemplateStyle::kPlain);
+  EXPECT_EQ(t.render(ChatRole::kUser, "hi"), "user : hi\n");
+}
+
+TEST(ChatTemplate, Llama2UsesInstMarkers) {
+  const ChatTemplate t(TemplateStyle::kLlama2);
+  const auto w = t.wrap(ChatRole::kUser);
+  EXPECT_EQ(w.prefix, "[INST] ");
+  EXPECT_EQ(w.suffix, " [/INST] ");
+  EXPECT_EQ(t.wrap(ChatRole::kSystem).prefix, "<<SYS>> ");
+}
+
+TEST(ChatTemplate, ChatMLAndFalconStyles) {
+  const ChatTemplate chatml(TemplateStyle::kChatML);
+  EXPECT_NE(chatml.render(ChatRole::kAssistant, "x").find("<|im_start|>"),
+            std::string::npos);
+  const ChatTemplate falcon(TemplateStyle::kFalcon);
+  EXPECT_EQ(falcon.render(ChatRole::kAssistant, "x"), "Falcon : x\n");
+}
+
+TEST(ChatTemplate, RenderIsPrefixBodySuffix) {
+  for (TemplateStyle style :
+       {TemplateStyle::kPlain, TemplateStyle::kLlama2, TemplateStyle::kChatML,
+        TemplateStyle::kFalcon}) {
+    const ChatTemplate t(style);
+    for (ChatRole role :
+         {ChatRole::kSystem, ChatRole::kUser, ChatRole::kAssistant}) {
+      const auto w = t.wrap(role);
+      EXPECT_EQ(t.render(role, "BODY"), w.prefix + "BODY" + w.suffix);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pc

@@ -1,0 +1,178 @@
+// Tests for the synthetic workload generators, including end-to-end
+// retrieval through the engine: planted answers must be recovered by the
+// induction model, and straddling facts must differentiate baseline from
+// cached — the Table 1 mechanism.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/engine.h"
+#include "eval/metrics.h"
+#include "eval/workload.h"
+#include "model/induction.h"
+
+namespace pc {
+namespace {
+
+DatasetSpec find_dataset(const std::string& name) {
+  for (const auto& d : DatasetSpec::longbench8()) {
+    if (d.name == name) return d;
+  }
+  throw Error("no dataset " + name);
+}
+
+TEST(DatasetSpecs, EightDatasetsWithPaperMetrics) {
+  const auto& specs = DatasetSpec::longbench8();
+  ASSERT_EQ(specs.size(), 8u);
+  EXPECT_EQ(find_dataset("GovReport").metric, TaskMetric::kRougeL);
+  EXPECT_EQ(find_dataset("NarrativeQA").metric, TaskMetric::kF1);
+  EXPECT_EQ(find_dataset("PassageRet").metric, TaskMetric::kAccuracy);
+  // Passage retrieval is the straddle-heavy outlier; TriviaQA has the
+  // largest uncached question (paper §5.2.2).
+  EXPECT_GT(find_dataset("PassageRet").straddle_fraction, 0.3);
+  for (const auto& d : specs) {
+    EXPECT_LE(d.straddle_fraction, find_dataset("PassageRet").straddle_fraction);
+    EXPECT_LE(d.latency_question_tokens,
+              find_dataset("TriviaQA").latency_question_tokens);
+  }
+}
+
+TEST(DatasetSpecs, FullSuiteHas21UniqueDatasets) {
+  const auto& all = DatasetSpec::longbench21();
+  ASSERT_EQ(all.size(), 21u);
+  std::set<std::string> names;
+  for (const auto& d : all) names.insert(d.name);
+  EXPECT_EQ(names.size(), 21u);
+  // The figure subset is a prefix of the full suite.
+  for (size_t i = 0; i < DatasetSpec::longbench8().size(); ++i) {
+    EXPECT_EQ(all[i].name, DatasetSpec::longbench8()[i].name);
+  }
+}
+
+TEST(DatasetSpecs, FullSuiteFitsTheAccuracyBudget) {
+  AccuracyWorkload w(5);
+  for (const auto& spec : DatasetSpec::longbench21()) {
+    const AccuracySample s = w.make_sample(spec, 0);
+    EXPECT_LT(s.context_tokens + 16, AccuracyWorkload::kMaxSchemaPositions)
+        << spec.name;
+    EXPECT_FALSE(s.reference.empty()) << spec.name;
+  }
+}
+
+TEST(AccuracyWorkload, SamplesAreDeterministic) {
+  AccuracyWorkload w1(5), w2(5);
+  const DatasetSpec spec = find_dataset("2WikiMQA");
+  const AccuracySample a = w1.make_sample(spec, 3);
+  const AccuracySample b = w2.make_sample(spec, 3);
+  EXPECT_EQ(a.schema_pml, b.schema_pml);
+  EXPECT_EQ(a.prompt_pml, b.prompt_pml);
+  EXPECT_EQ(a.reference, b.reference);
+  const AccuracySample c = w1.make_sample(spec, 4);
+  EXPECT_NE(a.schema_pml, c.schema_pml);
+}
+
+TEST(AccuracyWorkload, SamplesFitThePositionBudget) {
+  AccuracyWorkload w(5);
+  for (const auto& spec : DatasetSpec::longbench8()) {
+    for (int i = 0; i < 3; ++i) {
+      const AccuracySample s = w.make_sample(spec, i);
+      EXPECT_LT(s.context_tokens + 16,
+                AccuracyWorkload::kMaxSchemaPositions)
+          << spec.name;
+      EXPECT_FALSE(s.reference.empty());
+      EXPECT_NE(s.question.find("question:"), std::string::npos);
+    }
+  }
+}
+
+TEST(AccuracyWorkload, ReferencesUseAnswerVocabulary) {
+  AccuracyWorkload w(5);
+  const AccuracySample s = w.make_sample(find_dataset("NarrativeQA"), 0);
+  for (const auto& tok : normalize_answer(s.reference)) {
+    EXPECT_EQ(tok[0], 'a') << "answer tokens come from the a## pool";
+  }
+}
+
+// End-to-end: the induction model must retrieve planted answers both with
+// and without Prompt Cache on a no-straddle dataset.
+TEST(AccuracyWorkload, PlantedAnswersAreRetrievable) {
+  AccuracyWorkload w(7);
+  Model model = make_induction_model(
+      {w.vocab().size(), AccuracyWorkload::kMaxSchemaPositions + 64});
+  DatasetSpec spec = find_dataset("GovReport");
+  spec.straddle_fraction = 0.0;
+  spec.collision_rate = 0.0;  // no planted ambiguity: retrieval must be exact
+
+  GenerateOptions opts;
+  opts.max_new_tokens = spec.answer_len + 2;
+  opts.stop_tokens = {w.stop_token()};
+
+  for (int i = 0; i < 2; ++i) {
+    const AccuracySample sample = w.make_sample(spec, i);
+    PromptCacheEngine engine(model, w.tokenizer());
+    engine.load_schema(sample.schema_pml);
+    const ServeResult cached = engine.serve(sample.prompt_pml, opts);
+    const ServeResult baseline =
+        engine.serve_baseline(sample.prompt_pml, opts);
+    EXPECT_EQ(cached.text, sample.reference) << sample.schema_pml;
+    EXPECT_EQ(baseline.text, sample.reference);
+  }
+}
+
+// Straddling facts: retrievable by the baseline, lost under caching.
+TEST(AccuracyWorkload, StraddledFactsSplitBaselineFromCached) {
+  AccuracyWorkload w(7);
+  Model model = make_induction_model(
+      {w.vocab().size(), AccuracyWorkload::kMaxSchemaPositions + 64});
+  DatasetSpec spec = find_dataset("PassageRet");
+  spec.straddle_fraction = 1.0;  // force the boundary case
+  spec.collision_rate = 0.0;     // isolate the straddle effect
+
+  GenerateOptions opts;
+  opts.max_new_tokens = spec.answer_len + 2;
+  opts.stop_tokens = {w.stop_token()};
+
+  double baseline_score = 0, cached_score = 0;
+  const int n = 3;
+  for (int i = 0; i < n; ++i) {
+    const AccuracySample sample = w.make_sample(spec, i);
+    PromptCacheEngine engine(model, w.tokenizer());
+    engine.load_schema(sample.schema_pml);
+    baseline_score +=
+        exact_match(engine.serve_baseline(sample.prompt_pml, opts).text,
+                    sample.reference);
+    cached_score += exact_match(engine.serve(sample.prompt_pml, opts).text,
+                                sample.reference);
+  }
+  EXPECT_EQ(baseline_score, n);
+  EXPECT_LT(cached_score, baseline_score);
+}
+
+TEST(LatencyWorkload, SamplesMatchDatasetShape) {
+  LatencyWorkload w(9);
+  const DatasetSpec spec = find_dataset("TriviaQA");
+  const LatencySample s = w.make_sample(spec, 0, /*scale=*/0.1);
+  EXPECT_GT(s.context_tokens, 100);
+  EXPECT_NEAR(s.question_tokens, spec.latency_question_tokens, 5);
+  // The PML is parseable against the built-in vocabulary.
+  EXPECT_NE(s.schema_pml.find("<module"), std::string::npos);
+  EXPECT_NE(s.prompt_pml.find("<prompt"), std::string::npos);
+}
+
+TEST(LatencyWorkload, SweepSampleHasExactTokenBudget) {
+  LatencyWorkload w(9);
+  const LatencySample s = w.make_sweep_sample(256, 4, "sweep");
+  EXPECT_EQ(s.context_tokens, 256);
+  EXPECT_EQ(s.question_tokens, 1);
+}
+
+TEST(LatencyWorkload, ScaleShrinksContexts) {
+  LatencyWorkload w(9);
+  const DatasetSpec spec = find_dataset("NarrativeQA");
+  const LatencySample full = w.make_sample(spec, 0, 1.0);
+  const LatencySample half = w.make_sample(spec, 1, 0.5);
+  EXPECT_GT(full.context_tokens, half.context_tokens * 1.7);
+}
+
+}  // namespace
+}  // namespace pc

@@ -1,0 +1,113 @@
+// Round-trip tests for the canonical PML writer: parse(write(parse(x)))
+// must reproduce the layout exactly.
+#include <gtest/gtest.h>
+
+#include "pml/prompt_program.h"
+#include "pml/writer.h"
+#include "tokenizer/tokenizer.h"
+
+namespace pc::pml {
+namespace {
+
+class WriterTest : public ::testing::Test {
+ protected:
+  WriterTest()
+      : tokenizer_(Vocab::basic_english()), plain_(TemplateStyle::kPlain) {}
+
+  Schema parse(const std::string& pml) {
+    return Schema::parse(pml, tokenizer_, plain_);
+  }
+
+  void expect_same_layout(const Schema& a, const Schema& b) {
+    EXPECT_EQ(a.name, b.name);
+    ASSERT_EQ(a.modules.size(), b.modules.size());
+    for (size_t i = 0; i < a.modules.size(); ++i) {
+      const ModuleNode& ma = a.modules[i];
+      const ModuleNode& mb = b.modules[i];
+      EXPECT_EQ(ma.name, mb.name);
+      EXPECT_EQ(ma.anonymous, mb.anonymous);
+      EXPECT_EQ(ma.parent, mb.parent);
+      EXPECT_EQ(ma.union_id, mb.union_id);
+      EXPECT_EQ(ma.start_pos, mb.start_pos);
+      EXPECT_EQ(ma.end_pos, mb.end_pos);
+      ASSERT_EQ(ma.params.size(), mb.params.size());
+      for (size_t p = 0; p < ma.params.size(); ++p) {
+        EXPECT_EQ(ma.params[p].name, mb.params[p].name);
+        EXPECT_EQ(ma.params[p].max_len, mb.params[p].max_len);
+        EXPECT_EQ(ma.params[p].start_pos, mb.params[p].start_pos);
+      }
+    }
+    ASSERT_EQ(a.unions.size(), b.unions.size());
+    for (size_t u = 0; u < a.unions.size(); ++u) {
+      EXPECT_EQ(a.unions[u].members, b.unions[u].members);
+      EXPECT_EQ(a.unions[u].start_pos, b.unions[u].start_pos);
+      EXPECT_EQ(a.unions[u].end_pos, b.unions[u].end_pos);
+    }
+    EXPECT_EQ(a.total_positions, b.total_positions);
+  }
+
+  Tokenizer tokenizer_;
+  ChatTemplate plain_;
+};
+
+TEST_F(WriterTest, SimpleSchemaRoundTrips) {
+  const Schema original = parse(R"(
+    <schema name="s">
+      you are a helper
+      <module name="doc">one two three</module>
+      <module name="tail">four five</module>
+    </schema>)");
+  const Schema rebuilt = parse(write_schema(original));
+  expect_same_layout(original, rebuilt);
+}
+
+TEST_F(WriterTest, ParamsUnionsAndNestingRoundTrip) {
+  const Schema original = parse(R"(
+    <schema name="complex">
+      lead text
+      <module name="outer">
+        intro
+        <param name="arg" len="4"/>
+        <module name="inner">nested body</module>
+        <union>
+          <module name="u1">first</module>
+          <module name="u2">second choice here</module>
+        </union>
+        outro
+      </module>
+      <union>
+        <module name="t1">top one</module>
+        <module name="t2">top two</module>
+      </union>
+    </schema>)");
+  const Schema rebuilt = parse(write_schema(original));
+  expect_same_layout(original, rebuilt);
+  // A second round trip is a fixed point.
+  EXPECT_EQ(write_schema(original), write_schema(rebuilt));
+}
+
+TEST_F(WriterTest, EscapedTextSurvives) {
+  const Schema original = parse(
+      "<schema name=\"esc\"><module name=\"m\">a &lt; b &amp; c</module>"
+      "</schema>");
+  const Schema rebuilt = parse(write_schema(original));
+  EXPECT_EQ(rebuilt.module(rebuilt.find_module("m")).pieces[0].text,
+            "a < b & c");
+  expect_same_layout(original, rebuilt);
+}
+
+TEST_F(WriterTest, CompiledPromptProgramRoundTrips) {
+  PromptProgram prog("travel");
+  prog.text("you are a travel agent");
+  prog.if_block("plan", [](BlockBuilder& b) {
+    b.text("a trip of");
+    b.param("days", 3);
+    b.choose({{"miami", "the beach"}, {"maui", "the island"}});
+  });
+  const Schema original = parse(prog.compile());
+  const Schema rebuilt = parse(write_schema(original));
+  expect_same_layout(original, rebuilt);
+}
+
+}  // namespace
+}  // namespace pc::pml

@@ -1,0 +1,130 @@
+// Unit tests for the minimal XML parser underlying PML.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pml/xml.h"
+
+namespace pc::pml {
+namespace {
+
+TEST(Xml, ParsesElementWithTextAndAttrs) {
+  const XmlNode n = parse_xml(R"(<module name="doc" x='1'>hello world</module>)");
+  EXPECT_EQ(n.tag, "module");
+  ASSERT_EQ(n.attrs.size(), 2u);
+  EXPECT_EQ(n.required_attr("name"), "doc");
+  EXPECT_EQ(*n.attr("x"), "1");
+  EXPECT_EQ(n.attr("missing"), nullptr);
+  EXPECT_EQ(n.direct_text(), "hello world");
+}
+
+TEST(Xml, ParsesNestedAndSelfClosing) {
+  const XmlNode n = parse_xml(R"(<a><b/><c k="v">t</c>tail</a>)");
+  ASSERT_EQ(n.children.size(), 3u);
+  EXPECT_EQ(n.children[0].tag, "b");
+  EXPECT_TRUE(n.children[0].children.empty());
+  EXPECT_EQ(n.children[1].tag, "c");
+  EXPECT_TRUE(n.children[2].is_text());
+  EXPECT_EQ(n.children[2].text, "tail");
+}
+
+TEST(Xml, HandlesCommentsAndEntities) {
+  const XmlNode n =
+      parse_xml("<a><!-- note --><b/>x &lt;tag&gt; &amp; &quot;q&apos;</a>");
+  ASSERT_EQ(n.children.size(), 2u);
+  EXPECT_EQ(n.children[1].text, "x <tag> & \"q'");
+}
+
+TEST(Xml, TracksLineNumbers) {
+  const XmlNode n = parse_xml("<a>\n  <b/>\n  <c/>\n</a>");
+  EXPECT_EQ(n.line, 1);
+  EXPECT_EQ(n.children[0].line, 2);
+  EXPECT_EQ(n.children[1].line, 3);
+}
+
+TEST(Xml, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse_xml("<a><b></a>"), ParseError);      // mismatched close
+  EXPECT_THROW(parse_xml("<a>"), ParseError);             // unterminated
+  EXPECT_THROW(parse_xml("<a/><b/>"), ParseError);        // two roots
+  EXPECT_THROW(parse_xml("<a x=1/>"), ParseError);        // unquoted attr
+  EXPECT_THROW(parse_xml("<a x=\"1\" x=\"2\"/>"), ParseError);  // dup attr
+  EXPECT_THROW(parse_xml("<a>&bogus;</a>"), ParseError);  // unknown entity
+  EXPECT_THROW(parse_xml("<a><!-- nope</a>"), ParseError);  // open comment
+  EXPECT_THROW(parse_xml("text only"), ParseError);
+}
+
+TEST(Xml, RequiredAttrThrowsWithTagName) {
+  const XmlNode n = parse_xml("<module/>");
+  try {
+    n.required_attr("name");
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("module"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("name"), std::string::npos);
+  }
+}
+
+TEST(Xml, EscapeHelpersRoundTripThroughParser) {
+  const std::string nasty = "a < b & c > d \"quoted\"";
+  const XmlNode n =
+      parse_xml("<t v=\"" + escape_attr(nasty) + "\">" + escape_text(nasty) +
+                "</t>");
+  EXPECT_EQ(*n.attr("v"), nasty);
+  EXPECT_EQ(n.direct_text(), nasty);
+}
+
+TEST(Xml, AttributeValuesMayContainEntities) {
+  const XmlNode n = parse_xml(R"(<t v="a&amp;b"/>)");
+  EXPECT_EQ(*n.attr("v"), "a&b");
+}
+
+// Robustness fuzz: random byte mutations of a valid document must either
+// parse or throw pc::ParseError — never crash, hang, or corrupt memory.
+TEST(XmlFuzz, MutatedDocumentsFailCleanly) {
+  const std::string base = R"(
+    <schema name="s">
+      text &amp; more
+      <module name="doc">body <param name="p" len="3"/> tail</module>
+      <union><module name="a">x</module><module name="b">y</module></union>
+    </schema>)";
+  pc::Rng rng(2024);
+  int parsed = 0;
+  int rejected = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string doc = base;
+    const int mutations = 1 + static_cast<int>(rng.next_below(4));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos = rng.next_below(doc.size());
+      switch (rng.next_below(3)) {
+        case 0:
+          doc[pos] = static_cast<char>(rng.next_below(256));
+          break;
+        case 1:
+          doc.erase(pos, 1 + rng.next_below(5));
+          break;
+        default:
+          doc.insert(pos, std::string(1 + rng.next_below(3),
+                                      static_cast<char>(
+                                          '!' + rng.next_below(90))));
+      }
+      if (doc.empty()) doc = "<a/>";
+    }
+    try {
+      (void)parse_xml(doc);
+      ++parsed;
+    } catch (const ParseError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(parsed + rejected, 500);
+  EXPECT_GT(rejected, 100);  // most mutations should be invalid
+}
+
+TEST(Xml, NamesAllowDashUnderscoreDot) {
+  const XmlNode n = parse_xml(R"(<trip-plan doc.v2="x" my_attr="y"/>)");
+  EXPECT_EQ(n.tag, "trip-plan");
+  EXPECT_TRUE(n.attr("doc.v2") != nullptr);
+  EXPECT_TRUE(n.attr("my_attr") != nullptr);
+}
+
+}  // namespace
+}  // namespace pc::pml

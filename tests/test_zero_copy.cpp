@@ -1,0 +1,178 @@
+// Tests for zero-copy serving: bitwise equivalence with the copy path,
+// memory-footprint semantics, tail-capacity contracts, pin lifetimes, and
+// precision restrictions.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/engine.h"
+#include "eval/workload.h"
+#include "kv/kv_view.h"
+#include "model/induction.h"
+#include "tensor/ops.h"
+
+namespace pc {
+namespace {
+
+class ZeroCopyTest : public ::testing::Test {
+ protected:
+  ZeroCopyTest()
+      : workload_(7),
+        model_(make_induction_model({workload_.vocab().size(), 256})) {}
+
+  GenerateOptions answer_options(int max_tokens = 6) const {
+    GenerateOptions o;
+    o.max_new_tokens = max_tokens;
+    o.stop_tokens = {workload_.stop_token()};
+    return o;
+  }
+
+  static constexpr const char* kSchema = R"(
+    <schema name="z">
+      <module name="doc1">w00 w01 q05 a10 a11 . w02</module>
+      <module name="doc2">w03 w04 q06 a12 a13 . w05</module>
+    </schema>)";
+  static constexpr const char* kPrompt =
+      R"(<prompt schema="z"><doc1/><doc2/> question: q06</prompt>)";
+
+  AccuracyWorkload workload_;
+  Model model_;
+};
+
+TEST_F(ZeroCopyTest, SegmentedCacheBasics) {
+  KVCache module(2, 4);
+  const std::vector<int> pos = {3, 4, 5};
+  module.append_tokens(pos);
+  module.k_row(1, 2)[0] = 42.0f;
+
+  SegmentedKVCache view(2, 4, /*tail_capacity=*/2);
+  view.append_borrowed(module, 0, 3);
+  EXPECT_EQ(view.size(), 3);
+  EXPECT_EQ(view.borrowed_tokens(), 3);
+  EXPECT_EQ(view.pos_id(2), 5);
+  // Borrowed rows alias the source — no copy happened.
+  EXPECT_EQ(view.k_row(1, 2), module.k_row(1, 2));
+  EXPECT_FLOAT_EQ(view.k_row(1, 2)[0], 42.0f);
+
+  const std::vector<int> tail_pos = {9};
+  const int first = view.append_tokens(tail_pos);
+  EXPECT_EQ(first, 3);
+  view.k_row_mut(0, 3)[1] = 7.0f;
+  EXPECT_FLOAT_EQ(view.k_row(0, 3)[1], 7.0f);
+  EXPECT_GT(view.owned_payload_bytes(), 0u);
+}
+
+TEST_F(ZeroCopyTest, ContractsAreEnforced) {
+  KVCache module(2, 4);
+  const std::vector<int> pos = {0, 1};
+  module.append_tokens(pos);
+
+  SegmentedKVCache view(2, 4, /*tail_capacity=*/1);
+  view.append_borrowed(module, 0, 2);
+  EXPECT_THROW(view.k_row_mut(0, 0), ContractViolation);  // borrowed row
+  const std::vector<int> one = {5};
+  view.append_tokens(one);
+  EXPECT_THROW(view.append_tokens(one), ContractViolation);  // tail overflow
+  // Borrow-after-own is rejected (pointer table ordering).
+  EXPECT_THROW(view.append_borrowed(module, 0, 1), ContractViolation);
+  // Geometry mismatch.
+  SegmentedKVCache bad(3, 4, 1);
+  EXPECT_THROW(bad.append_borrowed(module, 0, 1), ContractViolation);
+}
+
+TEST_F(ZeroCopyTest, ForwardMatchesContiguousCacheBitwise) {
+  // The same module + suffix computed through both cache representations
+  // must agree exactly.
+  const std::vector<TokenId> mod_tokens = {7, 8, 20, 30, 31, 9};
+  const std::vector<TokenId> suffix = {20};
+  std::vector<int> mod_pos(mod_tokens.size());
+  std::iota(mod_pos.begin(), mod_pos.end(), 0);
+  const std::vector<int> suf_pos = {static_cast<int>(mod_tokens.size())};
+
+  KVCache encoded = model_.make_cache();
+  (void)model_.forward(mod_tokens, mod_pos, encoded);
+
+  KVCache copy_cache = model_.make_cache();
+  copy_cache.append_copy(encoded);
+  const Tensor copy_logits = model_.forward(suffix, suf_pos, copy_cache);
+
+  SegmentedKVCache view(model_.config().n_layers, model_.config().kv_dim(),
+                        4);
+  view.append_borrowed(encoded, 0, encoded.size());
+  const Tensor view_logits = model_.forward(suffix, suf_pos, view);
+
+  EXPECT_EQ(max_abs_diff(copy_logits, view_logits), 0.0f);
+}
+
+TEST_F(ZeroCopyTest, ServeMatchesCopyPathExactly) {
+  PromptCacheEngine copy_engine(model_, workload_.tokenizer());
+  copy_engine.load_schema(kSchema);
+  const ServeResult copied = copy_engine.serve(kPrompt, answer_options());
+
+  EngineConfig cfg;
+  cfg.zero_copy = true;
+  PromptCacheEngine zc_engine(model_, workload_.tokenizer(), cfg);
+  zc_engine.load_schema(kSchema);
+  const ServeResult borrowed = zc_engine.serve(kPrompt, answer_options());
+
+  EXPECT_EQ(borrowed.tokens, copied.tokens);
+  EXPECT_EQ(borrowed.text, "a12 a13");
+  // Copy path moves bytes; zero-copy path moves none.
+  EXPECT_GT(copied.ttft.bytes_from_host + copied.ttft.bytes_from_device, 0u);
+  EXPECT_EQ(borrowed.ttft.bytes_from_host, 0u);
+  EXPECT_EQ(borrowed.ttft.bytes_from_device, 0u);
+  EXPECT_GT(borrowed.ttft.bytes_zero_copy, 0u);
+  EXPECT_EQ(borrowed.ttft.cached_tokens, copied.ttft.cached_tokens);
+}
+
+TEST_F(ZeroCopyTest, PinsAreReleasedAfterServe) {
+  EngineConfig cfg;
+  cfg.zero_copy = true;
+  PromptCacheEngine engine(model_, workload_.tokenizer(), cfg);
+  engine.load_schema(kSchema);
+  (void)engine.serve(kPrompt, answer_options());
+  EXPECT_FALSE(engine.store().is_pinned("z::doc1"));
+  EXPECT_FALSE(engine.store().is_pinned("z::doc2"));
+  // Repeat serves keep working (pin/unpin cycles are balanced).
+  const ServeResult again = engine.serve(kPrompt, answer_options());
+  EXPECT_EQ(again.text, "a12 a13");
+}
+
+TEST_F(ZeroCopyTest, ReducedPrecisionStoresAreRejected) {
+  EngineConfig cfg;
+  cfg.zero_copy = true;
+  cfg.precision = StorePrecision::kFp16;
+  PromptCacheEngine engine(model_, workload_.tokenizer(), cfg);
+  engine.load_schema(kSchema);
+  EXPECT_THROW(engine.serve(kPrompt, answer_options()), ContractViolation);
+  engine.release_borrowed_pins();
+}
+
+TEST_F(ZeroCopyTest, ManyRequestsShareOneModuleCopy) {
+  // The batch-sharing picture (§3.4/§6): N concurrent views over the same
+  // modules each own only their tail.
+  PromptCacheEngine engine(model_, workload_.tokenizer());
+  engine.load_schema(kSchema);
+  const pml::PromptBinding binding = engine.bind(kPrompt);
+
+  std::vector<SegmentedKVCache> views;
+  size_t owned_total = 0;
+  for (int i = 0; i < 8; ++i) {
+    views.emplace_back(model_.config().n_layers, model_.config().kv_dim(),
+                       16);
+    TtftBreakdown ttft;
+    (void)engine.assemble_and_prefill(binding, views.back(), &ttft);
+    owned_total += views.back().owned_payload_bytes();
+  }
+  engine.release_borrowed_pins();
+
+  // One contiguous copy of the same prompt for comparison.
+  KVCache copy = model_.make_cache();
+  TtftBreakdown ttft;
+  (void)engine.assemble_and_prefill(binding, copy, &ttft);
+  // 8 requests own less memory than 2 full copies would.
+  EXPECT_LT(owned_total, 2 * copy.payload_bytes());
+}
+
+}  // namespace
+}  // namespace pc

@@ -1,0 +1,164 @@
+// pml_lint — validate PML documents and inspect schema layouts.
+//
+//   pml_lint schema.pml               validate + print the layout table
+//   pml_lint schema.pml prompt.pml    additionally bind the prompt and
+//                                     print its serving plan
+//   pml_lint --template llama2 ...    expand role tags for a model family
+//   pml_lint --emit schema.pml        print the canonical (template-
+//                                     compiled) form of the schema
+//
+// Exit status: 0 valid, 1 validation error, 2 usage/IO error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "eval/table.h"
+#include "pml/prompt.h"
+#include "pml/schema.h"
+#include "pml/writer.h"
+#include "tokenizer/tokenizer.h"
+
+namespace {
+
+using namespace pc;
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw Error("cannot read '" + path + "'");
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+TemplateStyle parse_style(const std::string& name) {
+  if (name == "plain") return TemplateStyle::kPlain;
+  if (name == "llama2") return TemplateStyle::kLlama2;
+  if (name == "chatml") return TemplateStyle::kChatML;
+  if (name == "falcon") return TemplateStyle::kFalcon;
+  throw Error("unknown template style '" + name +
+              "' (plain|llama2|chatml|falcon)");
+}
+
+void print_schema(const pml::Schema& schema) {
+  std::cout << "schema '" << schema.name << "': " << schema.modules.size()
+            << " modules (" << schema.anonymous_modules.size()
+            << " anonymous), " << schema.unions.size() << " unions, "
+            << schema.total_positions << " positions\n";
+
+  TablePrinter table("module layout");
+  table.set_header({"module", "parent", "union", "positions", "own tokens",
+                    "params"});
+  for (size_t i = 0; i < schema.modules.size(); ++i) {
+    const pml::ModuleNode& m = schema.modules[i];
+    std::string params;
+    for (const auto& p : m.params) {
+      if (!params.empty()) params += ", ";
+      params += p.name + "(len=" + std::to_string(p.max_len) + ")";
+    }
+    table.add_row(
+        {m.name + (m.anonymous ? " (anon)" : ""),
+         m.parent == -1 ? "-" : schema.module(m.parent).name,
+         m.union_id == -1 ? "-" : std::to_string(m.union_id),
+         "[" + std::to_string(m.start_pos) + ", " +
+             std::to_string(m.end_pos) + ")",
+         std::to_string(m.own_token_count()), params.empty() ? "-" : params});
+  }
+  table.print(std::cout);
+}
+
+void print_binding(const pml::Schema& schema,
+                   const pml::PromptBinding& binding) {
+  std::cout << "\nserving plan: " << binding.modules.size()
+            << " cached modules (" << binding.cached_token_count()
+            << " tokens reused), " << binding.uncached_token_count()
+            << " tokens computed, generation resumes at position "
+            << binding.next_pos << "\n";
+  TablePrinter table("concatenation order");
+  table.set_header({"#", "module", "positions"});
+  for (size_t i = 0; i < binding.modules.size(); ++i) {
+    const pml::ModuleNode& m = schema.module(binding.modules[i]);
+    table.add_row({std::to_string(i), m.name,
+                   "[" + std::to_string(m.start_pos) + ", " +
+                       std::to_string(m.end_pos) + ")"});
+  }
+  table.print(std::cout);
+  if (!binding.args.empty()) {
+    TablePrinter args("arguments");
+    args.set_header({"module", "param", "tokens", "at position"});
+    for (const auto& a : binding.args) {
+      const pml::ModuleNode& m = schema.module(a.module_index);
+      args.add_row({m.name,
+                    m.params[static_cast<size_t>(a.param_index)].name,
+                    std::to_string(a.tokens.size()),
+                    std::to_string(a.start_pos)});
+    }
+    args.print(std::cout);
+  }
+  for (const std::string& w : binding.warnings) {
+    std::cout << "warning: " << w << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string schema_path;
+  std::string prompt_path;
+  TemplateStyle style = TemplateStyle::kPlain;
+  bool emit = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--emit") {
+      emit = true;
+    } else if (arg == "--template") {
+      if (i + 1 >= argc) {
+        std::cerr << "--template needs a value\n";
+        return 2;
+      }
+      try {
+        style = parse_style(argv[++i]);
+      } catch (const Error& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+      }
+    } else if (schema_path.empty()) {
+      schema_path = arg;
+    } else if (prompt_path.empty()) {
+      prompt_path = arg;
+    } else {
+      std::cerr << "too many arguments\n";
+      return 2;
+    }
+  }
+  if (schema_path.empty()) {
+    std::cerr << "usage: pml_lint [--template STYLE] schema.pml "
+                 "[prompt.pml]\n";
+    return 2;
+  }
+
+  const Tokenizer tokenizer(Vocab::basic_english());
+  const ChatTemplate chat_template(style);
+  try {
+    const pml::Schema schema = pml::Schema::parse(
+        read_file(schema_path), tokenizer, chat_template);
+    if (emit) {
+      std::cout << pml::write_schema(schema);
+      return 0;
+    }
+    print_schema(schema);
+    if (!prompt_path.empty()) {
+      const pml::PromptAst ast = pml::parse_prompt(read_file(prompt_path));
+      const pml::PromptBinding binding =
+          pml::bind_prompt(schema, ast, tokenizer);
+      print_binding(schema, binding);
+    }
+    std::cout << "\nOK\n";
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "INVALID: " << e.what() << "\n";
+    return 1;
+  }
+}
