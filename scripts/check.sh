@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Correctness gate: build and run the test suite under two configurations —
+#   1. Release (-O3, the shipping optimization level), and
+#   2. Debug with AddressSanitizer + UndefinedBehaviorSanitizer,
+# each in its own build directory so neither pollutes the default ./build.
+# The SIMD kernels and the lock-free-ish thread-pool chunk claiming are
+# exactly the kind of code asan/ubsan catches regressions in.
+#
+# Usage: scripts/check.sh          (both configs)
+#        scripts/check.sh release  (just Release)
+#        scripts/check.sh asan     (just sanitizers)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+want="${1:-all}"
+case "$want" in
+  all|release|asan) ;;
+  *) echo "usage: scripts/check.sh [all|release|asan]" >&2; exit 2 ;;
+esac
+
+run_config() {
+  local name="$1" build_dir="$2"; shift 2
+  echo "== [$name] configure + build ($build_dir)"
+  cmake -B "$build_dir" -S . "$@" >/dev/null
+  cmake --build "$build_dir" -j
+  echo "== [$name] ctest"
+  ctest --test-dir "$build_dir" --output-on-failure -j
+}
+
+if [ "$want" = "all" ] || [ "$want" = "release" ]; then
+  run_config release build-release -DCMAKE_BUILD_TYPE=Release
+fi
+
+if [ "$want" = "all" ] || [ "$want" = "asan" ]; then
+  run_config asan build-asan \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+fi
+
+echo "== check.sh OK ($want)"

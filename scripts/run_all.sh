@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
 # Full reproduction driver: build, test, run every example and every
 # benchmark, capturing outputs. PC_FULL=1 scales the benchmarks to
-# paper-sized contexts and sample counts.
+# paper-sized contexts and sample counts. PC_CHECK=1 additionally runs
+# scripts/check.sh (Release + asan/ubsan test passes) first.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${PC_CHECK:-0}" != "0" ]; then
+  echo "== opt-in sanitizer/Release gate (PC_CHECK=1)"
+  scripts/check.sh
+fi
 
 echo "== configure + build"
 cmake -B build -G Ninja

@@ -1,7 +1,6 @@
 #include "common/thread_pool.h"
 
-#include <atomic>
-#include <exception>
+#include <algorithm>
 
 namespace pc {
 
@@ -25,17 +24,50 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+ThreadPool::Job* ThreadPool::first_claimable_locked() {
+  size_t keep = 0;
+  Job* found = nullptr;
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    Job* j = jobs_[i];
+    if (j->next >= j->n_chunks) continue;  // exhausted: drop from the FIFO
+    jobs_[keep++] = j;
+    if (found == nullptr) found = j;
+  }
+  jobs_.resize(keep);
+  return found;
+}
+
+void ThreadPool::run_chunk(Job& job, size_t c) {
+  const size_t begin = c * job.chunk;
+  const size_t end = std::min(job.n, begin + job.chunk);
+  std::exception_ptr err = nullptr;
+  try {
+    if (begin < end) (*job.fn)(begin, end);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(job.done_mutex);
+    if (err && !job.error) job.error = err;
+    if (--job.unfinished == 0) job.done_cv.notify_all();
+  }
+}
+
 void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+    cv_.wait(lock, [this] {
+      return stop_ || first_claimable_locked() != nullptr;
+    });
+    Job* job = first_claimable_locked();
+    if (job == nullptr) {
+      if (stop_) return;
+      continue;
     }
-    task();
+    const size_t c = job->next++;  // claim under mutex_: keeps `job` alive
+    lock.unlock();
+    run_chunk(*job, c);
+    lock.lock();
   }
 }
 
@@ -48,45 +80,41 @@ void ThreadPool::parallel_for(size_t n,
     return;
   }
 
-  std::atomic<size_t> remaining{n_chunks - 1};
-  std::exception_ptr first_error = nullptr;
-  std::mutex error_mutex;
-  std::condition_variable done_cv;
-  std::mutex done_mutex;
+  Job job;
+  job.fn = &fn;
+  job.n = n;
+  job.chunk = (n + n_chunks - 1) / n_chunks;
+  job.n_chunks = n_chunks;
+  job.unfinished = n_chunks;
 
-  const size_t chunk = (n + n_chunks - 1) / n_chunks;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (size_t c = 1; c < n_chunks; ++c) {
-      const size_t begin = c * chunk;
-      const size_t end = std::min(n, begin + chunk);
-      tasks_.push([&, begin, end] {
-        try {
-          if (begin < end) fn(begin, end);
-        } catch (...) {
-          std::lock_guard<std::mutex> elock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-        if (remaining.fetch_sub(1) == 1) {
-          std::lock_guard<std::mutex> dlock(done_mutex);
-          done_cv.notify_all();
-        }
-      });
-    }
+    jobs_.push_back(&job);
   }
   cv_.notify_all();
 
-  // The caller runs the first chunk.
-  try {
-    fn(0, std::min(n, chunk));
-  } catch (...) {
-    std::lock_guard<std::mutex> elock(error_mutex);
-    if (!first_error) first_error = std::current_exception();
+  // The caller claims chunks of its own job until none remain (other
+  // workers may be claiming concurrently), then waits for stragglers.
+  for (;;) {
+    size_t c;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (job.next >= job.n_chunks) break;
+      c = job.next++;
+    }
+    run_chunk(job, c);
   }
-
-  std::unique_lock<std::mutex> dlock(done_mutex);
-  done_cv.wait(dlock, [&] { return remaining.load() == 0; });
-  if (first_error) std::rethrow_exception(first_error);
+  {
+    std::unique_lock<std::mutex> dlock(job.done_mutex);
+    job.done_cv.wait(dlock, [&job] { return job.unfinished == 0; });
+  }
+  {
+    // The job may still sit (exhausted) in the FIFO; remove it before the
+    // stack frame dies. Workers never dereference exhausted FIFO entries.
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.erase(std::remove(jobs_.begin(), jobs_.end(), &job), jobs_.end());
+  }
+  if (job.error) std::rethrow_exception(job.error);
 }
 
 ThreadPool& ThreadPool::global() {

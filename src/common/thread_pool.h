@@ -3,13 +3,22 @@
 // The tensor kernels use parallel_for to split row ranges across workers.
 // On single-core hosts the pool degrades gracefully: with one worker the
 // loop body runs inline on the calling thread with no queuing overhead.
+//
+// parallel_for publishes ONE stack-allocated job descriptor per call;
+// workers claim chunk indices from it under the pool mutex. Unlike the
+// obvious queue-of-std::function design, this performs zero heap
+// allocations per call and per chunk — matmul-sized calls arrive thousands
+// of times per forward pass, so the allocator traffic was measurable.
+// Multiple threads may call parallel_for concurrently (jobs form a small
+// FIFO of descriptors) and calls may nest: a blocked caller keeps claiming
+// chunks of its own job, never idling while work remains.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
@@ -35,10 +44,32 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  // One parallel_for invocation. Lives on the caller's stack; remains valid
+  // until every claimed chunk has finished (the caller blocks on done_cv
+  // before returning). Chunk claiming happens under the pool mutex, so a
+  // worker never touches a job it has not claimed a live chunk of.
+  struct Job {
+    const std::function<void(size_t, size_t)>* fn = nullptr;
+    size_t n = 0;         // total range
+    size_t chunk = 0;     // elements per chunk
+    size_t n_chunks = 0;  // total chunks
+    size_t next = 0;      // next unclaimed chunk (guarded by pool mutex_)
+
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    size_t unfinished = 0;  // chunks not yet completed (guarded by done_mutex)
+    std::exception_ptr error;  // first exception (guarded by done_mutex)
+  };
+
   void worker_loop();
+  // Scans the job FIFO for a job with unclaimed chunks, dropping exhausted
+  // entries. Caller must hold mutex_.
+  Job* first_claimable_locked();
+  // Runs chunk `c` of `job` and performs completion accounting.
+  static void run_chunk(Job& job, size_t c);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::vector<Job*> jobs_;  // FIFO of live jobs (guarded by mutex_)
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

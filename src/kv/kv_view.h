@@ -94,6 +94,15 @@ class SegmentedKVCache {
     return v_rows_[checked_layer(layer)][checked_token(token)];
   }
 
+  // Raw per-layer row-pointer tables (size() entries), for the gathered
+  // attention kernel: one bounds check per layer instead of one per row.
+  const float* const* k_row_table(int layer) const {
+    return k_rows_[checked_layer(layer)].data();
+  }
+  const float* const* v_row_table(int layer) const {
+    return v_rows_[checked_layer(layer)].data();
+  }
+
   // Writable access — owned tail rows only.
   float* k_row_mut(int layer, int token) {
     PC_CHECK_MSG(token >= borrowed_tokens_, "borrowed rows are read-only");

@@ -93,6 +93,27 @@ inline const float* kv_v_read(const SegmentedKVCache& c, int l, int t) {
   return c.v_row(l, t);
 }
 
+// Fused-attention dispatch over the two cache representations. KVCache rows
+// are dense [n_tokens, kv_dim], so one head's K column is a strided walk
+// from row 0 — the contiguous kernel. SegmentedKVCache rows live behind a
+// per-layer pointer table — the gathered kernel.
+inline void fused_attend(const KVCache& c, int layer, int k_off,
+                         const float* q, size_t d_head, size_t n_ctx,
+                         float scale, float slope, const float* rel_pos,
+                         const uint8_t* masked, float* scores, float* out) {
+  attn_fused_contig(q, c.k_row(layer, 0) + k_off, c.v_row(layer, 0) + k_off,
+                    static_cast<size_t>(c.kv_dim()), d_head, n_ctx, scale,
+                    slope, rel_pos, masked, scores, out);
+}
+inline void fused_attend(const SegmentedKVCache& c, int layer, int k_off,
+                         const float* q, size_t d_head, size_t n_ctx,
+                         float scale, float slope, const float* rel_pos,
+                         const uint8_t* masked, float* scores, float* out) {
+  attn_fused_gather(q, c.k_row_table(layer), c.v_row_table(layer),
+                    static_cast<size_t>(k_off), d_head, n_ctx, scale, slope,
+                    rel_pos, masked, scores, out);
+}
+
 }  // namespace
 
 template <typename CacheT>
@@ -106,6 +127,7 @@ void Model::attention(int layer, const Tensor& h,
   const int d_head = config_.d_head;
   const int n_heads = config_.n_heads;
   const int group = n_heads / config_.n_kv_heads;
+  const size_t kv_dim = static_cast<size_t>(config_.kv_dim());
 
   Tensor q = matmul_nt(h, lw.wq);   // [n_new, q_dim]
   Tensor kx = matmul_nt(h, lw.wk);  // [n_new, kv_dim]
@@ -126,64 +148,129 @@ void Model::attention(int layer, const Tensor& h,
   }
 
   // Publish the new keys/values into the cache (keys post-rotation, so the
-  // module stays valid if these rows are later copied elsewhere).
-  const size_t kv_bytes = static_cast<size_t>(config_.kv_dim()) * sizeof(float);
-  for (int i = 0; i < n_new; ++i) {
-    std::memcpy(kv_k_write(cache, layer, first_new + i), kx.row(i), kv_bytes);
-    std::memcpy(kv_v_write(cache, layer, first_new + i), vx.row(i), kv_bytes);
+  // module stays valid if these rows are later copied elsewhere). The
+  // appended rows are contiguous in both representations — KVCache layers
+  // are dense buffers and the segmented tail is a dense, pre-reserved
+  // KVCache — and kx/vx are row-major, so this is two memcpys per layer
+  // rather than two per token.
+  std::memcpy(kv_k_write(cache, layer, first_new), kx.data(),
+              static_cast<size_t>(n_new) * kv_dim * sizeof(float));
+  std::memcpy(kv_v_write(cache, layer, first_new), vx.data(),
+              static_cast<size_t>(n_new) * kv_dim * sizeof(float));
+
+  // Token i may attend to cache slots [0, first_new+i]. The block mask and
+  // the ALiBi relative-distance vector depend only on (i, j), so they are
+  // computed once per query row and shared by every head, not recomputed
+  // per head as the scalar path used to.
+  const int total_ctx = first_new + n_new;
+  const bool use_mask = !block_ids.empty() || !hidden_from_global.empty();
+  const size_t ctx_sz = static_cast<size_t>(total_ctx);
+
+  std::vector<int> k_pos;  // position id per cache slot (ALiBi only)
+  if (alibi_) {
+    k_pos.resize(ctx_sz);
+    for (int j = 0; j < total_ctx; ++j) k_pos[static_cast<size_t>(j)] =
+        cache.pos_id(j);
   }
 
-  // Score/mix per head. Token i may attend to cache slots [0, first_new+i].
-  auto head_work = [&](size_t head_begin, size_t head_end) {
-    std::vector<float> scores(static_cast<size_t>(first_new) +
-                              static_cast<size_t>(n_new));
-    for (size_t hd = head_begin; hd < head_end; ++hd) {
-      const int kv_head = static_cast<int>(hd) / group;
-      const int k_off = kv_head * d_head;
-      for (int i = 0; i < n_new; ++i) {
-        const float* qv = q.row(i) + hd * d_head;
-        const int ctx = first_new + i + 1;
-        const int my_block =
-            block_ids.empty() ? kGlobalBlock
-                              : block_ids[static_cast<size_t>(i)];
-        for (int j = 0; j < ctx; ++j) {
-          const bool masked =
-              my_block == kGlobalBlock
-                  ? (!hidden_from_global.empty() &&
-                     hidden_from_global[static_cast<size_t>(j)])
-                  : (!block_ids.empty() &&
-                     block_ids[static_cast<size_t>(j)] != my_block);
-          if (masked) {
-            scores[static_cast<size_t>(j)] =
-                -std::numeric_limits<float>::infinity();
-            continue;
-          }
-          float s = dot(qv, kv_k_read(cache, layer, j) + k_off,
-                        static_cast<size_t>(d_head)) *
-                    attn_scale_;
-          if (alibi_) {
-            s += alibi_->bias(static_cast<int>(hd),
-                              pos_ids[static_cast<size_t>(i)],
-                              cache.pos_id(j));
-          }
-          scores[static_cast<size_t>(j)] = s;
-        }
-        softmax_inplace(scores.data(), static_cast<size_t>(ctx));
-        float* dst = out.row(i) + hd * d_head;
-        std::fill(dst, dst + d_head, 0.0f);
-        for (int j = 0; j < ctx; ++j) {
-          const float w = scores[static_cast<size_t>(j)];
-          if (w == 0.0f) continue;
-          axpy(w, kv_v_read(cache, layer, j) + k_off, dst,
-               static_cast<size_t>(d_head));
-        }
-      }
+  // Fills mrow[0..ctx) for query row i (same predicate the scalar loop
+  // applied per (head, i, j)).
+  auto fill_mask_row = [&](int i, uint8_t* mrow, int ctx) {
+    const int my_block = block_ids.empty()
+                             ? kGlobalBlock
+                             : block_ids[static_cast<size_t>(i)];
+    for (int j = 0; j < ctx; ++j) {
+      const bool masked =
+          my_block == kGlobalBlock
+              ? (!hidden_from_global.empty() &&
+                 hidden_from_global[static_cast<size_t>(j)])
+              : (!block_ids.empty() &&
+                 block_ids[static_cast<size_t>(j)] != my_block);
+      mrow[j] = masked ? 1 : 0;
     }
   };
-  if (ThreadPool::global().size() > 1 && n_heads > 1) {
-    ThreadPool::global().parallel_for(static_cast<size_t>(n_heads), head_work);
+  // Fills rrow[j] = float(q_pos - k_pos_j); the kernel applies
+  // -slope * rrow[j], bit-identical to Alibi::bias().
+  auto fill_rel_row = [&](int i, float* rrow, int ctx) {
+    const int qp = pos_ids[static_cast<size_t>(i)];
+    for (int j = 0; j < ctx; ++j) {
+      rrow[j] = static_cast<float>(qp - k_pos[static_cast<size_t>(j)]);
+    }
+  };
+
+  // One attention head-row: q slice (hd, i) against slots [0, ctx).
+  auto attend_one = [&](int hd, int i, int ctx, const float* rel,
+                        const uint8_t* masked, float* scores) {
+    const int k_off = (hd / group) * d_head;
+    fused_attend(cache, layer, k_off, q.row(i) + hd * d_head,
+                 static_cast<size_t>(d_head), static_cast<size_t>(ctx),
+                 attn_scale_, alibi_ ? alibi_->slope(hd) : 0.0f, rel, masked,
+                 scores, out.row(i) + hd * d_head);
+  };
+
+  // Two schedules producing identical bits (the kernel inputs per (i, head)
+  // are the same): prefill parallelizes over query rows, so mask/rel rows
+  // are built once per row in-thread; decode-sized batches parallelize over
+  // heads and share small precomputed mask/rel matrices.
+  if (n_new >= 8) {
+    auto row_work = [&](size_t row_begin, size_t row_end) {
+      std::vector<float> scores(ctx_sz);
+      std::vector<uint8_t> mrow(use_mask ? ctx_sz : 0);
+      std::vector<float> rrow(alibi_ ? ctx_sz : 0);
+      for (size_t i = row_begin; i < row_end; ++i) {
+        const int ctx = first_new + static_cast<int>(i) + 1;
+        if (use_mask) fill_mask_row(static_cast<int>(i), mrow.data(), ctx);
+        if (alibi_) fill_rel_row(static_cast<int>(i), rrow.data(), ctx);
+        for (int hd = 0; hd < n_heads; ++hd) {
+          attend_one(hd, static_cast<int>(i), ctx,
+                     alibi_ ? rrow.data() : nullptr,
+                     use_mask ? mrow.data() : nullptr, scores.data());
+        }
+      }
+    };
+    if (ThreadPool::global().size() > 1) {
+      ThreadPool::global().parallel_for(static_cast<size_t>(n_new), row_work);
+    } else {
+      row_work(0, static_cast<size_t>(n_new));
+    }
   } else {
-    head_work(0, static_cast<size_t>(n_heads));
+    std::vector<uint8_t> mask_mat(use_mask ? static_cast<size_t>(n_new) *
+                                                 ctx_sz
+                                           : 0);
+    std::vector<float> rel_mat(alibi_ ? static_cast<size_t>(n_new) * ctx_sz
+                                      : 0);
+    for (int i = 0; i < n_new; ++i) {
+      const int ctx = first_new + i + 1;
+      if (use_mask) {
+        fill_mask_row(i, mask_mat.data() + static_cast<size_t>(i) * ctx_sz,
+                      ctx);
+      }
+      if (alibi_) {
+        fill_rel_row(i, rel_mat.data() + static_cast<size_t>(i) * ctx_sz,
+                     ctx);
+      }
+    }
+    auto head_work = [&](size_t head_begin, size_t head_end) {
+      std::vector<float> scores(ctx_sz);
+      for (size_t hd = head_begin; hd < head_end; ++hd) {
+        for (int i = 0; i < n_new; ++i) {
+          const int ctx = first_new + i + 1;
+          attend_one(static_cast<int>(hd), i, ctx,
+                     alibi_ ? rel_mat.data() + static_cast<size_t>(i) * ctx_sz
+                            : nullptr,
+                     use_mask
+                         ? mask_mat.data() + static_cast<size_t>(i) * ctx_sz
+                         : nullptr,
+                     scores.data());
+        }
+      }
+    };
+    if (ThreadPool::global().size() > 1 && n_heads > 1) {
+      ThreadPool::global().parallel_for(static_cast<size_t>(n_heads),
+                                        head_work);
+    } else {
+      head_work(0, static_cast<size_t>(n_heads));
+    }
   }
 }
 
@@ -376,33 +463,58 @@ TokenId Model::sample_token(const Tensor& logits,
   PC_CHECK(logits.ndim() == 2 && logits.dim(0) >= 1);
   const int64_t vocab = logits.dim(1);
   const float* row = logits.row(0);
+  const double inv_temp = 1.0 / options.temperature;
 
-  // Candidate set: all tokens, or the top_k by logit.
-  std::vector<int64_t> candidates(static_cast<size_t>(vocab));
-  for (int64_t i = 0; i < vocab; ++i) candidates[static_cast<size_t>(i)] = i;
   if (options.top_k > 0 && options.top_k < vocab) {
-    std::partial_sort(candidates.begin(),
-                      candidates.begin() + options.top_k, candidates.end(),
-                      [&](int64_t a, int64_t b) { return row[a] > row[b]; });
-    candidates.resize(static_cast<size_t>(options.top_k));
+    // Top-k: nth_element on a reused index scratch (no full-vocab sort, no
+    // per-token allocation once the scratch is warm), then a small sort of
+    // the k survivors for a canonical order.
+    const size_t k = static_cast<size_t>(options.top_k);
+    static thread_local std::vector<int32_t> candidates;
+    static thread_local std::vector<double> weights;
+    candidates.resize(static_cast<size_t>(vocab));
+    for (int64_t i = 0; i < vocab; ++i) {
+      candidates[static_cast<size_t>(i)] = static_cast<int32_t>(i);
+    }
+    const auto by_logit_desc = [&](int32_t a, int32_t b) {
+      return row[a] > row[b];
+    };
+    std::nth_element(candidates.begin(), candidates.begin() + options.top_k,
+                     candidates.end(), by_logit_desc);
+    std::sort(candidates.begin(), candidates.begin() + options.top_k,
+              by_logit_desc);
+
+    const float mx = row[candidates.front()];  // sorted: first is the max
+    weights.resize(k);
+    double total = 0;
+    for (size_t i = 0; i < k; ++i) {
+      weights[i] =
+          std::exp(static_cast<double>(row[candidates[i]] - mx) * inv_temp);
+      total += weights[i];
+    }
+    double u = rng.next_double() * total;
+    for (size_t i = 0; i < k; ++i) {
+      u -= weights[i];
+      if (u <= 0) return static_cast<TokenId>(candidates[i]);
+    }
+    return static_cast<TokenId>(candidates[k - 1]);
   }
 
-  // Softmax over candidates at the given temperature, then inverse-CDF.
-  float mx = row[candidates.front()];
-  for (int64_t c : candidates) mx = std::max(mx, row[c]);
+  // All-tokens path: no candidate vector at all — max, total, and the
+  // inverse-CDF walk are three passes over the logits row, recomputing the
+  // exp in the third (identical bits: same input, same function).
+  float mx = row[0];
+  for (int64_t i = 1; i < vocab; ++i) mx = std::max(mx, row[i]);
   double total = 0;
-  std::vector<double> weights(candidates.size());
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    weights[i] = std::exp(
-        static_cast<double>(row[candidates[i]] - mx) / options.temperature);
-    total += weights[i];
+  for (int64_t i = 0; i < vocab; ++i) {
+    total += std::exp(static_cast<double>(row[i] - mx) * inv_temp);
   }
   double u = rng.next_double() * total;
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    u -= weights[i];
-    if (u <= 0) return static_cast<TokenId>(candidates[i]);
+  for (int64_t i = 0; i < vocab; ++i) {
+    u -= std::exp(static_cast<double>(row[i] - mx) * inv_temp);
+    if (u <= 0) return static_cast<TokenId>(i);
   }
-  return static_cast<TokenId>(candidates.back());
+  return static_cast<TokenId>(vocab - 1);
 }
 
 namespace {

@@ -2,38 +2,59 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/thread_pool.h"
+#include "tensor/simd.h"
 
 namespace pc {
 
 namespace {
 
-// Rows below this are not worth shipping to the pool.
-constexpr size_t kParallelRowThreshold = 8;
+// Total elements-of-work below which a matmul is not worth shipping to the
+// pool: queue/wake latency (~microseconds) dwarfs the compute. The check is
+// work-size-aware (m*k*n), not row-count-aware, so a tall-skinny or decode
+// (m=1) matmul never pays pool latency.
+constexpr size_t kParallelWorkThreshold = size_t{1} << 18;
 
-void for_rows(size_t m, const std::function<void(size_t, size_t)>& fn) {
-  if (m < kParallelRowThreshold || ThreadPool::global().size() <= 1) {
+void for_rows(size_t m, size_t work_per_row,
+              const std::function<void(size_t, size_t)>& fn) {
+  if (m < 2 || m * work_per_row < kParallelWorkThreshold ||
+      ThreadPool::global().size() <= 1) {
     fn(0, m);
   } else {
     ThreadPool::global().parallel_for(m, fn);
   }
 }
 
+// Cache-blocking parameters. gemm streams B in l-blocks of KC rows so a
+// block (KC * n floats) stays resident across the rows of the worker's
+// range; gemm_nt walks B-column panels of NC rows so a panel (NC * k
+// floats) is reused across every A-row tile. Both are sized for a few
+// hundred KB — comfortably L2 on anything this runs on.
+constexpr size_t kGemmKC = 128;
+constexpr size_t kGemmNtNC = 64;
+
 }  // namespace
 
 void gemm(const float* a, const float* b, float* c, size_t m, size_t k,
           size_t n) {
-  for_rows(m, [&](size_t row_begin, size_t row_end) {
+  for_rows(m, k * n, [&](size_t row_begin, size_t row_end) {
     for (size_t i = row_begin; i < row_end; ++i) {
-      float* ci = c + i * n;
-      std::fill(ci, ci + n, 0.0f);
-      const float* ai = a + i * k;
-      for (size_t l = 0; l < k; ++l) {
-        const float av = ai[l];
-        if (av == 0.0f) continue;  // structured-sparse weights are common here
-        const float* bl = b + l * n;
-        for (size_t j = 0; j < n; ++j) ci[j] += av * bl[j];
+      std::fill(c + i * n, c + i * n + n, 0.0f);
+    }
+    // l-blocked broadcast-FMA: per output element the accumulation order
+    // over l is strictly sequential (store/reload between blocks is exact),
+    // so blocking never changes bits. No per-element zero-skip branch: the
+    // branch costs more than the multiply on any vector unit.
+    for (size_t lb = 0; lb < k; lb += kGemmKC) {
+      const size_t le = std::min(k, lb + kGemmKC);
+      for (size_t i = row_begin; i < row_end; ++i) {
+        const float* ai = a + i * k;
+        float* ci = c + i * n;
+        for (size_t l = lb; l < le; ++l) {
+          simd::axpy(ai[l], b + l * n, ci, n);
+        }
       }
     }
   });
@@ -41,61 +62,71 @@ void gemm(const float* a, const float* b, float* c, size_t m, size_t k,
 
 void gemm_nt(const float* a, const float* b, float* c, size_t m, size_t k,
              size_t n) {
-  for_rows(m, [&](size_t row_begin, size_t row_end) {
-    for (size_t i = row_begin; i < row_end; ++i) {
-      const float* ai = a + i * k;
-      float* ci = c + i * n;
-      // Process four output columns at a time to reuse the a-row in registers.
-      size_t j = 0;
-      for (; j + 4 <= n; j += 4) {
-        const float* b0 = b + (j + 0) * k;
-        const float* b1 = b + (j + 1) * k;
-        const float* b2 = b + (j + 2) * k;
-        const float* b3 = b + (j + 3) * k;
-        float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
-        for (size_t l = 0; l < k; ++l) {
-          const float av = ai[l];
-          s0 += av * b0[l];
-          s1 += av * b1[l];
-          s2 += av * b2[l];
-          s3 += av * b3[l];
+  for_rows(m, k * n, [&](size_t row_begin, size_t row_end) {
+    // Column panels of NC B-rows; within a panel, 2x4 register tiles (two
+    // A rows x four B rows) so every loaded vector is reused across the
+    // tile. Edge rows use the 1x4 tile and edge columns the plain dot —
+    // both share the 2x4 tile's per-(row, column) accumulation order, so
+    // the result for any output element is independent of m and of the
+    // blocking (see simd.h).
+    for (size_t jb = 0; jb < n; jb += kGemmNtNC) {
+      const size_t je = std::min(n, jb + kGemmNtNC);
+      size_t i = row_begin;
+      for (; i + 2 <= row_end; i += 2) {
+        const float* a0 = a + i * k;
+        const float* a1 = a0 + k;
+        float* c0 = c + i * n;
+        float* c1 = c0 + n;
+        size_t j = jb;
+        for (; j + 4 <= je; j += 4) {
+          simd::dot2x4(a0, a1, b + j * k, b + (j + 1) * k, b + (j + 2) * k,
+                       b + (j + 3) * k, k, c0 + j, c1 + j);
         }
-        ci[j + 0] = s0;
-        ci[j + 1] = s1;
-        ci[j + 2] = s2;
-        ci[j + 3] = s3;
+        for (; j < je; ++j) {
+          c0[j] = simd::dot(a0, b + j * k, k);
+          c1[j] = simd::dot(a1, b + j * k, k);
+        }
       }
-      for (; j < n; ++j) ci[j] = dot(ai, b + j * k, k);
+      for (; i < row_end; ++i) {
+        const float* ai = a + i * k;
+        float* ci = c + i * n;
+        size_t j = jb;
+        for (; j + 4 <= je; j += 4) {
+          simd::dot4(ai, b + j * k, b + (j + 1) * k, b + (j + 2) * k,
+                     b + (j + 3) * k, k, ci + j);
+        }
+        for (; j < je; ++j) ci[j] = simd::dot(ai, b + j * k, k);
+      }
     }
   });
 }
 
 float dot(const float* a, const float* b, size_t n) {
-  float s = 0.0f;
-  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
-  return s;
+  return simd::dot(a, b, n);
 }
 
 void axpy(float alpha, const float* x, float* y, size_t n) {
-  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  simd::axpy(alpha, x, y, n);
 }
 
 void softmax_inplace(float* row, size_t n) {
   if (n == 0) return;
-  float mx = row[0];
-  for (size_t i = 1; i < n; ++i) mx = std::max(mx, row[i]);
+  // Max via vector lanes (exact for float max); the exp-sum stays strictly
+  // sequential — lane-grouped accumulation would break the bitwise
+  // equivalence between masked and compacted contexts that
+  // docs/INTERNALS.md §2 proves (a masked slot must contribute an exact
+  // +0.0f at its sequence position, nothing else may move).
+  const float mx = simd::reduce_max(row, n);
   float sum = 0.0f;
   for (size_t i = 0; i < n; ++i) {
     row[i] = std::exp(row[i] - mx);
     sum += row[i];
   }
-  const float inv = 1.0f / sum;
-  for (size_t i = 0; i < n; ++i) row[i] *= inv;
+  simd::scale(row, 1.0f / sum, n);
 }
 
 void rmsnorm(const float* x, const float* w, float* out, size_t n, float eps) {
-  float ss = 0.0f;
-  for (size_t i = 0; i < n; ++i) ss += x[i] * x[i];
+  const float ss = simd::reduce_sumsq(x, n);
   const float inv = 1.0f / std::sqrt(ss / static_cast<float>(n) + eps);
   for (size_t i = 0; i < n; ++i) out[i] = x[i] * inv * w[i];
 }
@@ -132,6 +163,78 @@ void gelu_inplace(float* x, size_t n) {
   }
 }
 
+// ---- fused attention -------------------------------------------------------
+
+namespace {
+
+// Shared body of the two attention variants; KRow/VRow map a context slot
+// index to its d_head-long row. The score pass, the strictly sequential
+// exp-sum, and the in-order value mix together give the bitwise-equality
+// contract documented in ops.h.
+template <typename KRow, typename VRow>
+inline void attn_fused_impl(const float* q, KRow k_of, VRow v_of,
+                            size_t d_head, size_t n_ctx, float scale,
+                            float alibi_slope, const float* rel_pos,
+                            const uint8_t* masked, float* scores, float* out) {
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  if (n_ctx == 0) {
+    std::fill(out, out + d_head, 0.0f);
+    return;
+  }
+  for (size_t j = 0; j < n_ctx; ++j) {
+    if (masked != nullptr && masked[j] != 0) {
+      scores[j] = kNegInf;
+      continue;
+    }
+    float s = simd::dot(q, k_of(j), d_head) * scale;
+    if (rel_pos != nullptr) s += -alibi_slope * rel_pos[j];
+    scores[j] = s;
+  }
+  const float mx = simd::reduce_max(scores, n_ctx);
+  if (mx == kNegInf) {  // every slot masked: defined as the zero mix
+    std::fill(scores, scores + n_ctx, 0.0f);
+    std::fill(out, out + d_head, 0.0f);
+    return;
+  }
+  float sum = 0.0f;
+  for (size_t j = 0; j < n_ctx; ++j) {
+    scores[j] = std::exp(scores[j] - mx);  // masked: exp(-inf) == +0.0f
+    sum += scores[j];
+  }
+  simd::scale(scores, 1.0f / sum, n_ctx);
+  std::fill(out, out + d_head, 0.0f);
+  for (size_t j = 0; j < n_ctx; ++j) {
+    const float w = scores[j];
+    if (w == 0.0f) continue;  // masked or underflowed — identical either way
+    simd::axpy(w, v_of(j), out, d_head);
+  }
+}
+
+}  // namespace
+
+void attn_fused_contig(const float* q, const float* k, const float* v,
+                       size_t row_stride, size_t d_head, size_t n_ctx,
+                       float scale, float alibi_slope, const float* rel_pos,
+                       const uint8_t* masked, float* scores, float* out) {
+  attn_fused_impl(
+      q, [=](size_t j) { return k + j * row_stride; },
+      [=](size_t j) { return v + j * row_stride; }, d_head, n_ctx, scale,
+      alibi_slope, rel_pos, masked, scores, out);
+}
+
+void attn_fused_gather(const float* q, const float* const* k_rows,
+                       const float* const* v_rows, size_t head_off,
+                       size_t d_head, size_t n_ctx, float scale,
+                       float alibi_slope, const float* rel_pos,
+                       const uint8_t* masked, float* scores, float* out) {
+  attn_fused_impl(
+      q, [=](size_t j) { return k_rows[j] + head_off; },
+      [=](size_t j) { return v_rows[j] + head_off; }, d_head, n_ctx, scale,
+      alibi_slope, rel_pos, masked, scores, out);
+}
+
+// ---- Tensor wrappers -------------------------------------------------------
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
   PC_CHECK_MSG(a.ndim() == 2 && b.ndim() == 2, "matmul needs 2-D tensors");
   PC_CHECK_MSG(a.dim(1) == b.dim(0), "matmul inner-dim mismatch: "
@@ -154,22 +257,46 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b_t) {
   return out;
 }
 
+namespace {
+
+// Elementwise ops parallelize only when the tensor is large enough to
+// amortize pool wakeup; lane or chunk splitting is safe here because every
+// output element depends on its own inputs alone.
+constexpr size_t kElementwiseParallelThreshold = size_t{1} << 17;
+
+void for_span(size_t n, const std::function<void(size_t, size_t)>& fn) {
+  if (n < kElementwiseParallelThreshold || ThreadPool::global().size() <= 1) {
+    fn(0, n);
+  } else {
+    ThreadPool::global().parallel_for(n, fn);
+  }
+}
+
+}  // namespace
+
 void add_inplace(Tensor& a, const Tensor& b) {
   PC_CHECK_MSG(a.shape() == b.shape(), "add_inplace shape mismatch");
   float* pa = a.data();
   const float* pb = b.data();
-  for (size_t i = 0; i < a.numel(); ++i) pa[i] += pb[i];
+  for_span(a.numel(), [&](size_t begin, size_t end) {
+    simd::add(pa + begin, pb + begin, end - begin);
+  });
 }
 
 void scale_inplace(Tensor& a, float s) {
-  for (float& x : a.span()) x *= s;
+  float* pa = a.data();
+  for_span(a.numel(), [&](size_t begin, size_t end) {
+    simd::scale(pa + begin, s, end - begin);
+  });
 }
 
 void mul_inplace(Tensor& a, const Tensor& b) {
   PC_CHECK_MSG(a.shape() == b.shape(), "mul_inplace shape mismatch");
   float* pa = a.data();
   const float* pb = b.data();
-  for (size_t i = 0; i < a.numel(); ++i) pa[i] *= pb[i];
+  for_span(a.numel(), [&](size_t begin, size_t end) {
+    simd::mul(pa + begin, pb + begin, end - begin);
+  });
 }
 
 float max_abs_diff(const Tensor& a, const Tensor& b) {

@@ -3,10 +3,12 @@
 // Two layers of API: raw pointer kernels (hot paths inside attention where
 // the head layout makes Tensor-shaped calls awkward) and Tensor-shaped
 // wrappers with full shape checking. Matmuls parallelize over output rows
-// via the global thread pool.
+// via the global thread pool; the inner loops run through the vectorized
+// primitives in tensor/simd.h (AVX2/SSE2/NEON with a scalar fallback).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "tensor/tensor.h"
 
@@ -42,6 +44,47 @@ void silu_inplace(float* x, size_t n);
 
 // tanh-approximation GELU
 void gelu_inplace(float* x, size_t n);
+
+// ---- fused attention -------------------------------------------------------
+//
+// One query head against a cached context: scores = scale * q·K^T (+ ALiBi
+// bias, + mask), softmax, out = scores·V — fused so the scores never leave a
+// caller-provided scratch row and the value mix starts immediately.
+//
+// Contract (shared by both variants):
+//  * `q` points at the head's d_head query slice; `out` (d_head floats) is
+//    overwritten.
+//  * `masked`, when non-null, has n_ctx bytes; masked[j] != 0 forces score
+//    -inf for slot j. Masked slots contribute an exact 0.0f to the softmax
+//    sum (added in sequence order) and are skipped in the value mix, so the
+//    result is bitwise identical to running the same kernel over only the
+//    unmasked slots in the same order — the property docs/INTERNALS.md §2
+//    relies on.
+//  * `rel_pos`, when non-null, has n_ctx floats: rel_pos[j] = float(q_pos -
+//    k_pos_j). The kernel adds `-alibi_slope * rel_pos[j]` to score j,
+//    matching Alibi::bias() bit-for-bit. Pass nullptr for RoPE/learned
+//    models (alibi_slope is then ignored).
+//  * `scores` is caller scratch of at least n_ctx floats; on return it holds
+//    the softmax weights (tests use this; the engine just reuses it).
+//  * If every slot is masked the softmax is undefined; the kernel defines
+//    the result as all-zero output and all-zero weights. The engine never
+//    hits this (a token always attends to itself) but the kernel-level
+//    contract must totalize it.
+//
+// Contiguous variant: K/V token rows live at k[j*row_stride], v[j*row_stride]
+// (KVCache layout: row_stride == kv_dim, base pre-offset to the head).
+void attn_fused_contig(const float* q, const float* k, const float* v,
+                       size_t row_stride, size_t d_head, size_t n_ctx,
+                       float scale, float alibi_slope, const float* rel_pos,
+                       const uint8_t* masked, float* scores, float* out);
+
+// Gathered variant for SegmentedKVCache: token row j lives at
+// k_rows[j] + head_off (one pointer chase per row, dots still vectorized).
+void attn_fused_gather(const float* q, const float* const* k_rows,
+                       const float* const* v_rows, size_t head_off,
+                       size_t d_head, size_t n_ctx, float scale,
+                       float alibi_slope, const float* rel_pos,
+                       const uint8_t* masked, float* scores, float* out);
 
 // ---- Tensor wrappers -------------------------------------------------------
 

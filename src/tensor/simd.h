@@ -1,0 +1,440 @@
+// Portable vectorized primitives for the tensor kernels.
+//
+// One scalar implementation (written so the compiler can vectorize the
+// non-reduction loops) plus explicit intrinsic paths selected at compile
+// time: AVX2(+FMA) > SSE2 > NEON > scalar. The reduction kernels (dot,
+// reduce_*) cannot be auto-vectorized without -ffast-math because lane-wise
+// accumulation reorders float additions, so the intrinsic paths are where
+// all of the matmul/attention speedup comes from.
+//
+// Determinism contract (relied on by docs/INTERNALS.md and the bitwise
+// equality tests): every function here is a pure function of its inputs —
+// same pointers-contents and length always produce the same bits. Lane
+// accumulation order is fixed per build, never data- or alignment-dependent:
+// all loads are unaligned-safe and there is no runtime dispatch.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define PC_SIMD_AVX2 1
+#elif defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#include <emmintrin.h>
+#define PC_SIMD_SSE2 1
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#include <arm_neon.h>
+#define PC_SIMD_NEON 1
+#endif
+
+namespace pc::simd {
+
+// Name of the active instruction-set path (for bench/report banners).
+inline const char* isa_name() {
+#if defined(PC_SIMD_AVX2)
+  return "avx2";
+#elif defined(PC_SIMD_SSE2)
+  return "sse2";
+#elif defined(PC_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+// ---- dot --------------------------------------------------------------------
+
+// sum_i a[i]*b[i]. Four independent accumulator chains hide FMA latency.
+inline float dot(const float* a, const float* b, size_t n) {
+#if defined(PC_SIMD_AVX2)
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+#if defined(__FMA__)
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 16),
+                           _mm256_loadu_ps(b + i + 16), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 24),
+                           _mm256_loadu_ps(b + i + 24), acc3);
+#else
+    acc0 = _mm256_add_ps(
+        acc0, _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+    acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_loadu_ps(a + i + 8),
+                                             _mm256_loadu_ps(b + i + 8)));
+    acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(_mm256_loadu_ps(a + i + 16),
+                                             _mm256_loadu_ps(b + i + 16)));
+    acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(_mm256_loadu_ps(a + i + 24),
+                                             _mm256_loadu_ps(b + i + 24)));
+#endif
+  }
+  for (; i + 8 <= n; i += 8) {
+#if defined(__FMA__)
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+#else
+    acc0 = _mm256_add_ps(
+        acc0, _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+#endif
+  }
+  acc0 = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+  __m128 lo = _mm256_castps256_ps128(acc0);
+  __m128 hi = _mm256_extractf128_ps(acc0, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  float s = _mm_cvtss_f32(lo);
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+#elif defined(PC_SIMD_SSE2)
+  __m128 acc0 = _mm_setzero_ps();
+  __m128 acc1 = _mm_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm_add_ps(acc0,
+                      _mm_mul_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i)));
+    acc1 = _mm_add_ps(
+        acc1, _mm_mul_ps(_mm_loadu_ps(a + i + 4), _mm_loadu_ps(b + i + 4)));
+  }
+  acc0 = _mm_add_ps(acc0, acc1);
+  acc0 = _mm_add_ps(acc0, _mm_movehl_ps(acc0, acc0));
+  acc0 = _mm_add_ss(acc0, _mm_shuffle_ps(acc0, acc0, 1));
+  float s = _mm_cvtss_f32(acc0);
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+#elif defined(PC_SIMD_NEON)
+  float32x4_t acc0 = vdupq_n_f32(0.0f);
+  float32x4_t acc1 = vdupq_n_f32(0.0f);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = vmlaq_f32(acc0, vld1q_f32(a + i), vld1q_f32(b + i));
+    acc1 = vmlaq_f32(acc1, vld1q_f32(a + i + 4), vld1q_f32(b + i + 4));
+  }
+  acc0 = vaddq_f32(acc0, acc1);
+  float s = vaddvq_f32(acc0);
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+#else
+  float s = 0.0f;
+  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+#endif
+}
+
+// ---- matmul micro-kernels ---------------------------------------------------
+//
+// dot4 / dot2x4 are the register tiles of gemm_nt: one (or two) A rows
+// against four B rows, accumulators held in registers so each loaded vector
+// is reused across the tile. Per-column accumulation order is IDENTICAL
+// between the two (one 8-lane chain per (row, column), then a scalar tail),
+// so whether a row is computed by the 2x4 tile or the 1x4 edge tile cannot
+// change its bits — matmul results depend only on (a_row, b_col, k), never
+// on the batch size m. The scalar fallbacks preserve the same property by
+// delegating per column to dot().
+
+#if defined(PC_SIMD_AVX2)
+namespace detail {
+inline float hadd8(__m256 v) {
+  __m128 lo = _mm_add_ps(_mm256_castps256_ps128(v),
+                         _mm256_extractf128_ps(v, 1));
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  return _mm_cvtss_f32(lo);
+}
+#if defined(__FMA__)
+inline __m256 fma8(__m256 a, __m256 b, __m256 c) {
+  return _mm256_fmadd_ps(a, b, c);
+}
+#else
+inline __m256 fma8(__m256 a, __m256 b, __m256 c) {
+  return _mm256_add_ps(c, _mm256_mul_ps(a, b));
+}
+#endif
+}  // namespace detail
+#endif
+
+// out[c] = sum_l a[l] * bc[l] for the four B rows b0..b3.
+inline void dot4(const float* a, const float* b0, const float* b1,
+                 const float* b2, const float* b3, size_t n, float* out) {
+#if defined(PC_SIMD_AVX2)
+  __m256 c0 = _mm256_setzero_ps();
+  __m256 c1 = _mm256_setzero_ps();
+  __m256 c2 = _mm256_setzero_ps();
+  __m256 c3 = _mm256_setzero_ps();
+  size_t l = 0;
+  for (; l + 8 <= n; l += 8) {
+    const __m256 av = _mm256_loadu_ps(a + l);
+    c0 = detail::fma8(av, _mm256_loadu_ps(b0 + l), c0);
+    c1 = detail::fma8(av, _mm256_loadu_ps(b1 + l), c1);
+    c2 = detail::fma8(av, _mm256_loadu_ps(b2 + l), c2);
+    c3 = detail::fma8(av, _mm256_loadu_ps(b3 + l), c3);
+  }
+  float s0 = detail::hadd8(c0);
+  float s1 = detail::hadd8(c1);
+  float s2 = detail::hadd8(c2);
+  float s3 = detail::hadd8(c3);
+  for (; l < n; ++l) {
+    const float av = a[l];
+    s0 += av * b0[l];
+    s1 += av * b1[l];
+    s2 += av * b2[l];
+    s3 += av * b3[l];
+  }
+  out[0] = s0;
+  out[1] = s1;
+  out[2] = s2;
+  out[3] = s3;
+#else
+  // Scalar/SSE/NEON fallback: per-column dot keeps the order contract.
+  out[0] = dot(a, b0, n);
+  out[1] = dot(a, b1, n);
+  out[2] = dot(a, b2, n);
+  out[3] = dot(a, b3, n);
+#endif
+}
+
+// Two A rows against four B rows: out_r[c] = sum_l ar[l] * bc[l].
+inline void dot2x4(const float* a0, const float* a1, const float* b0,
+                   const float* b1, const float* b2, const float* b3, size_t n,
+                   float* out0, float* out1) {
+#if defined(PC_SIMD_AVX2)
+  __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+  __m256 c02 = _mm256_setzero_ps(), c03 = _mm256_setzero_ps();
+  __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+  __m256 c12 = _mm256_setzero_ps(), c13 = _mm256_setzero_ps();
+  size_t l = 0;
+  for (; l + 8 <= n; l += 8) {
+    const __m256 a0v = _mm256_loadu_ps(a0 + l);
+    const __m256 a1v = _mm256_loadu_ps(a1 + l);
+    const __m256 b0v = _mm256_loadu_ps(b0 + l);
+    const __m256 b1v = _mm256_loadu_ps(b1 + l);
+    const __m256 b2v = _mm256_loadu_ps(b2 + l);
+    const __m256 b3v = _mm256_loadu_ps(b3 + l);
+    c00 = detail::fma8(a0v, b0v, c00);
+    c01 = detail::fma8(a0v, b1v, c01);
+    c02 = detail::fma8(a0v, b2v, c02);
+    c03 = detail::fma8(a0v, b3v, c03);
+    c10 = detail::fma8(a1v, b0v, c10);
+    c11 = detail::fma8(a1v, b1v, c11);
+    c12 = detail::fma8(a1v, b2v, c12);
+    c13 = detail::fma8(a1v, b3v, c13);
+  }
+  float s00 = detail::hadd8(c00), s01 = detail::hadd8(c01);
+  float s02 = detail::hadd8(c02), s03 = detail::hadd8(c03);
+  float s10 = detail::hadd8(c10), s11 = detail::hadd8(c11);
+  float s12 = detail::hadd8(c12), s13 = detail::hadd8(c13);
+  for (; l < n; ++l) {
+    const float a0v = a0[l], a1v = a1[l];
+    s00 += a0v * b0[l];
+    s01 += a0v * b1[l];
+    s02 += a0v * b2[l];
+    s03 += a0v * b3[l];
+    s10 += a1v * b0[l];
+    s11 += a1v * b1[l];
+    s12 += a1v * b2[l];
+    s13 += a1v * b3[l];
+  }
+  out0[0] = s00;
+  out0[1] = s01;
+  out0[2] = s02;
+  out0[3] = s03;
+  out1[0] = s10;
+  out1[1] = s11;
+  out1[2] = s12;
+  out1[3] = s13;
+#else
+  dot4(a0, b0, b1, b2, b3, n, out0);
+  dot4(a1, b0, b1, b2, b3, n, out1);
+#endif
+}
+
+// ---- axpy / elementwise -----------------------------------------------------
+
+// y += alpha * x
+inline void axpy(float alpha, const float* x, float* y, size_t n) {
+#if defined(PC_SIMD_AVX2)
+  const __m256 va = _mm256_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+#if defined(__FMA__)
+    _mm256_storeu_ps(
+        y + i, _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i),
+                               _mm256_loadu_ps(y + i)));
+#else
+    _mm256_storeu_ps(y + i,
+                     _mm256_add_ps(_mm256_loadu_ps(y + i),
+                                   _mm256_mul_ps(va, _mm256_loadu_ps(x + i))));
+#endif
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+#elif defined(PC_SIMD_SSE2)
+  const __m128 va = _mm_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(y + i, _mm_add_ps(_mm_loadu_ps(y + i),
+                                    _mm_mul_ps(va, _mm_loadu_ps(x + i))));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+#elif defined(PC_SIMD_NEON)
+  const float32x4_t va = vdupq_n_f32(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(y + i, vmlaq_f32(vld1q_f32(y + i), va, vld1q_f32(x + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+#else
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+#endif
+}
+
+// y = alpha * x  (overwrite; the fused attention mix uses this for the
+// first value row so the output needs no pre-zeroing pass)
+inline void scale_store(float alpha, const float* x, float* y, size_t n) {
+#if defined(PC_SIMD_AVX2)
+  const __m256 va = _mm256_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_mul_ps(va, _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] = alpha * x[i];
+#elif defined(PC_SIMD_SSE2)
+  const __m128 va = _mm_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(y + i, _mm_mul_ps(va, _mm_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] = alpha * x[i];
+#elif defined(PC_SIMD_NEON)
+  const float32x4_t va = vdupq_n_f32(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(y + i, vmulq_f32(va, vld1q_f32(x + i)));
+  }
+  for (; i < n; ++i) y[i] = alpha * x[i];
+#else
+  for (size_t i = 0; i < n; ++i) y[i] = alpha * x[i];
+#endif
+}
+
+// a += b
+inline void add(float* a, const float* b, size_t n) {
+#if defined(PC_SIMD_AVX2)
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        a + i, _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) a[i] += b[i];
+#elif defined(PC_SIMD_SSE2)
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(a + i, _mm_add_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) a[i] += b[i];
+#elif defined(PC_SIMD_NEON)
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(a + i, vaddq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+  }
+  for (; i < n; ++i) a[i] += b[i];
+#else
+  for (size_t i = 0; i < n; ++i) a[i] += b[i];
+#endif
+}
+
+// a *= b (elementwise)
+inline void mul(float* a, const float* b, size_t n) {
+#if defined(PC_SIMD_AVX2)
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        a + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) a[i] *= b[i];
+#elif defined(PC_SIMD_SSE2)
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(a + i, _mm_mul_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) a[i] *= b[i];
+#elif defined(PC_SIMD_NEON)
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(a + i, vmulq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+  }
+  for (; i < n; ++i) a[i] *= b[i];
+#else
+  for (size_t i = 0; i < n; ++i) a[i] *= b[i];
+#endif
+}
+
+// a *= s
+inline void scale(float* a, float s, size_t n) {
+#if defined(PC_SIMD_AVX2)
+  const __m256 vs = _mm256_set1_ps(s);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(a + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), vs));
+  }
+  for (; i < n; ++i) a[i] *= s;
+#elif defined(PC_SIMD_SSE2)
+  const __m128 vs = _mm_set1_ps(s);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(a + i, _mm_mul_ps(_mm_loadu_ps(a + i), vs));
+  }
+  for (; i < n; ++i) a[i] *= s;
+#elif defined(PC_SIMD_NEON)
+  const float32x4_t vs = vdupq_n_f32(s);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(a + i, vmulq_f32(vld1q_f32(a + i), vs));
+  }
+  for (; i < n; ++i) a[i] *= s;
+#else
+  for (size_t i = 0; i < n; ++i) a[i] *= s;
+#endif
+}
+
+// ---- reductions -------------------------------------------------------------
+
+// max_i a[i] over a non-empty range. Exact regardless of lane grouping
+// (float max is associative and commutative), so safe on bitwise-pinned
+// paths like the softmax row max.
+inline float reduce_max(const float* a, size_t n) {
+#if defined(PC_SIMD_AVX2)
+  size_t i = 0;
+  float s = a[0];
+  if (n >= 8) {
+    __m256 m = _mm256_loadu_ps(a);
+    for (i = 8; i + 8 <= n; i += 8) {
+      m = _mm256_max_ps(m, _mm256_loadu_ps(a + i));
+    }
+    __m128 lo = _mm_max_ps(_mm256_castps256_ps128(m),
+                           _mm256_extractf128_ps(m, 1));
+    lo = _mm_max_ps(lo, _mm_movehl_ps(lo, lo));
+    lo = _mm_max_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+    s = _mm_cvtss_f32(lo);
+  }
+  for (; i < n; ++i) s = s > a[i] ? s : a[i];
+  return s;
+#else
+  float s = a[0];
+  for (size_t i = 1; i < n; ++i) s = s > a[i] ? s : a[i];
+  return s;
+#endif
+}
+
+// sum_i a[i]*a[i] (for RMSNorm). Lane-grouped accumulation — do NOT use on a
+// path that must be bitwise-stable under element re-indexing.
+inline float reduce_sumsq(const float* a, size_t n) {
+  return dot(a, a, n);
+}
+
+}  // namespace pc::simd

@@ -1,0 +1,456 @@
+// Golden-equivalence property tests for the vectorized/blocked/fused tensor
+// kernels: every kernel is checked against a naive scalar reference across
+// odd sizes, unaligned spans, and edge cases. Where the kernel contract
+// promises bitwise behaviour (elementwise ops, softmax, masked-vs-compacted
+// attention, m-independence of matmul rows) the tests assert exact equality,
+// not a tolerance.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "model/model.h"
+#include "tensor/ops.h"
+#include "tensor/simd.h"
+
+namespace pc {
+namespace {
+
+// Sizes chosen to hit every vector-width remainder path: 0, 1, sub-lane,
+// lane-exact, lane+1, multi-lane odd, and "big".
+const std::vector<size_t> kLengths = {0,  1,  2,  3,   5,   7,   8,  9,
+                                      15, 16, 17, 31,  32,  33,  63, 64,
+                                      65, 95, 100, 127, 128, 257, 1000};
+
+std::vector<float> random_vec(size_t n, uint64_t seed, float scale = 1.0f) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.uniform(-scale, scale);
+  return v;
+}
+
+// ---- scalar references (the seed implementations) ---------------------------
+
+float ref_dot(const float* a, const float* b, size_t n) {
+  float s = 0.0f;
+  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void ref_gemm_nt(const float* a, const float* b, float* c, size_t m, size_t k,
+                 size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      c[i * n + j] = ref_dot(a + i * k, b + j * k, k);
+    }
+  }
+}
+
+void ref_gemm(const float* a, const float* b, float* c, size_t m, size_t k,
+              size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      float s = 0.0f;
+      for (size_t l = 0; l < k; ++l) s += a[i * k + l] * b[l * n + j];
+      c[i * n + j] = s;
+    }
+  }
+}
+
+// Naive fused-attention reference with the exact semantics of ops.h:
+// -inf for masked, scalar two-pass softmax, in-order mix skipping zeros.
+void ref_attention(const float* q, const float* k, const float* v,
+                   size_t stride, size_t d_head, size_t n_ctx, float scale,
+                   float slope, const float* rel, const uint8_t* masked,
+                   float* out) {
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  std::vector<float> scores(n_ctx);
+  for (size_t j = 0; j < n_ctx; ++j) {
+    if (masked && masked[j]) {
+      scores[j] = kNegInf;
+      continue;
+    }
+    float s = ref_dot(q, k + j * stride, d_head) * scale;
+    if (rel) s += -slope * rel[j];
+    scores[j] = s;
+  }
+  std::fill(out, out + d_head, 0.0f);
+  if (n_ctx == 0) return;
+  float mx = scores[0];
+  for (size_t j = 1; j < n_ctx; ++j) mx = std::max(mx, scores[j]);
+  if (mx == kNegInf) return;  // all masked: zero mix by contract
+  float sum = 0.0f;
+  for (size_t j = 0; j < n_ctx; ++j) {
+    scores[j] = std::exp(scores[j] - mx);
+    sum += scores[j];
+  }
+  for (size_t j = 0; j < n_ctx; ++j) scores[j] /= sum;
+  for (size_t j = 0; j < n_ctx; ++j) {
+    if (scores[j] == 0.0f) continue;
+    for (size_t e = 0; e < d_head; ++e) out[e] += scores[j] * v[j * stride + e];
+  }
+}
+
+float max_abs_diff_span(const float* a, const float* b, size_t n) {
+  float mx = 0.0f;
+  for (size_t i = 0; i < n; ++i) mx = std::max(mx, std::abs(a[i] - b[i]));
+  return mx;
+}
+
+// ---- simd primitives vs scalar reference ------------------------------------
+
+TEST(SimdKernels, DotMatchesScalarAcrossSizesAndAlignments) {
+  for (size_t n : kLengths) {
+    // +1 so the offset view below stays in range.
+    const auto a = random_vec(n + 1, 11 + n, 0.5f);
+    const auto b = random_vec(n + 1, 13 + n, 0.5f);
+    EXPECT_LE(std::abs(simd::dot(a.data(), b.data(), n) -
+                       ref_dot(a.data(), b.data(), n)),
+              1e-5f)
+        << "n=" << n;
+    // Unaligned: vector data offset by one float from the allocation.
+    EXPECT_LE(std::abs(simd::dot(a.data() + 1, b.data() + 1, n) -
+                       ref_dot(a.data() + 1, b.data() + 1, n)),
+              1e-5f)
+        << "n=" << n << " unaligned";
+  }
+}
+
+TEST(SimdKernels, ElementwiseOpsAreBitExact) {
+  for (size_t n : kLengths) {
+    const auto x = random_vec(n + 1, 17 + n);
+    auto y_simd = random_vec(n + 1, 19 + n);
+    auto y_ref = y_simd;
+
+    simd::axpy(0.37f, x.data() + 1, y_simd.data() + 1, n);
+    for (size_t i = 0; i < n; ++i) y_ref[i + 1] += 0.37f * x[i + 1];
+    for (size_t i = 0; i < n + 1; ++i) ASSERT_EQ(y_simd[i], y_ref[i]) << i;
+
+    auto a_simd = random_vec(n, 23 + n);
+    auto a_ref = a_simd;
+    simd::add(a_simd.data(), x.data(), n);
+    for (size_t i = 0; i < n; ++i) a_ref[i] += x[i];
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(a_simd[i], a_ref[i]);
+
+    simd::mul(a_simd.data(), x.data(), n);
+    for (size_t i = 0; i < n; ++i) a_ref[i] *= x[i];
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(a_simd[i], a_ref[i]);
+
+    simd::scale(a_simd.data(), -1.7f, n);
+    for (size_t i = 0; i < n; ++i) a_ref[i] *= -1.7f;
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(a_simd[i], a_ref[i]);
+
+    simd::scale_store(2.5f, x.data(), a_simd.data(), n);
+    for (size_t i = 0; i < n; ++i) a_ref[i] = 2.5f * x[i];
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(a_simd[i], a_ref[i]);
+  }
+}
+
+TEST(SimdKernels, ReduceMaxIsExact) {
+  for (size_t n : kLengths) {
+    if (n == 0) continue;
+    auto v = random_vec(n, 29 + n, 10.0f);
+    float mx = v[0];
+    for (size_t i = 1; i < n; ++i) mx = std::max(mx, v[i]);
+    EXPECT_EQ(simd::reduce_max(v.data(), n), mx) << "n=" << n;
+    // -inf entries (masked attention scores) must not perturb the max.
+    if (n >= 3) {
+      v[n / 2] = -std::numeric_limits<float>::infinity();
+      float mx2 = v[0];
+      for (size_t i = 1; i < n; ++i) mx2 = std::max(mx2, v[i]);
+      EXPECT_EQ(simd::reduce_max(v.data(), n), mx2) << "n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernels, Dot4AndDot2x4MatchDotPerColumn) {
+  for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{33},
+                   size_t{100}, size_t{257}}) {
+    const auto a0 = random_vec(n, 101 + n, 0.5f);
+    const auto a1 = random_vec(n, 103 + n, 0.5f);
+    std::vector<std::vector<float>> b;
+    for (int c = 0; c < 4; ++c) b.push_back(random_vec(n, 200 + n + c, 0.5f));
+
+    float o4[4], o0[4], o1[4];
+    simd::dot4(a0.data(), b[0].data(), b[1].data(), b[2].data(), b[3].data(),
+               n, o4);
+    simd::dot2x4(a0.data(), a1.data(), b[0].data(), b[1].data(), b[2].data(),
+                 b[3].data(), n, o0, o1);
+    for (int c = 0; c < 4; ++c) {
+      // The m-independence contract: the 1x4 and 2x4 tiles accumulate each
+      // (row, column) in the same order, hence identical bits.
+      ASSERT_EQ(o4[c], o0[c]) << "n=" << n << " col=" << c;
+      EXPECT_LE(std::abs(o4[c] - ref_dot(a0.data(), b[c].data(), n)), 1e-5f);
+      EXPECT_LE(std::abs(o1[c] - ref_dot(a1.data(), b[c].data(), n)), 1e-5f);
+    }
+  }
+}
+
+// ---- gemm / gemm_nt ---------------------------------------------------------
+
+TEST(GemmKernels, GemmNtMatchesScalarReference) {
+  // (m, k, n) triples covering tile edges: odd everything, single row,
+  // single column, k below one vector, and a blocked-panel-sized case.
+  const std::vector<std::array<size_t, 3>> shapes = {
+      {1, 1, 1},  {1, 8, 4},   {2, 16, 8},  {3, 17, 5},   {4, 64, 12},
+      {5, 100, 7}, {7, 33, 9},  {1, 512, 3}, {8, 128, 130}, {9, 65, 67},
+      {16, 256, 96}};
+  for (const auto& s : shapes) {
+    const size_t m = s[0], k = s[1], n = s[2];
+    const float scale = 1.0f / std::sqrt(static_cast<float>(k));
+    const auto a = random_vec(m * k, 7 * k + n, scale);
+    const auto b = random_vec(n * k, 9 * k + m, scale);
+    std::vector<float> c(m * n), c_ref(m * n);
+    gemm_nt(a.data(), b.data(), c.data(), m, k, n);
+    ref_gemm_nt(a.data(), b.data(), c_ref.data(), m, k, n);
+    EXPECT_LE(max_abs_diff_span(c.data(), c_ref.data(), m * n), 1e-5f)
+        << "m=" << m << " k=" << k << " n=" << n;
+  }
+}
+
+TEST(GemmKernels, GemmMatchesScalarReference) {
+  const std::vector<std::array<size_t, 3>> shapes = {
+      {1, 1, 1},  {1, 8, 4},  {3, 17, 5},  {5, 100, 7},
+      {7, 33, 9}, {8, 130, 64}, {16, 200, 96}};
+  for (const auto& s : shapes) {
+    const size_t m = s[0], k = s[1], n = s[2];
+    const float scale = 1.0f / std::sqrt(static_cast<float>(k));
+    const auto a = random_vec(m * k, 3 * k + n, scale);
+    const auto b = random_vec(k * n, 5 * k + m, scale);
+    std::vector<float> c(m * n), c_ref(m * n);
+    gemm(a.data(), b.data(), c.data(), m, k, n);
+    ref_gemm(a.data(), b.data(), c_ref.data(), m, k, n);
+    EXPECT_LE(max_abs_diff_span(c.data(), c_ref.data(), m * n), 1e-5f)
+        << "m=" << m << " k=" << k << " n=" << n;
+  }
+}
+
+TEST(GemmKernels, RowResultIndependentOfBatchSize) {
+  // The incremental-equals-full bitwise property of the engine requires
+  // that row i of a matmul depend only on (a_row_i, B) — never on how many
+  // other rows were computed alongside it.
+  const size_t m = 5, k = 129, n = 37;
+  const auto a = random_vec(m * k, 71);
+  const auto b = random_vec(n * k, 73);
+  std::vector<float> full(m * n);
+  gemm_nt(a.data(), b.data(), full.data(), m, k, n);
+  for (size_t i = 0; i < m; ++i) {
+    std::vector<float> single(n);
+    gemm_nt(a.data() + i * k, b.data(), single.data(), 1, k, n);
+    for (size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(full[i * n + j], single[j]) << "row " << i << " col " << j;
+    }
+  }
+}
+
+// ---- softmax ---------------------------------------------------------------
+
+TEST(SoftmaxKernel, BitIdenticalToScalarReference) {
+  for (size_t n : kLengths) {
+    if (n == 0) continue;
+    auto row = random_vec(n, 31 + n, 4.0f);
+    auto ref = row;
+    softmax_inplace(row.data(), n);
+    // Scalar reference with the identical operation sequence.
+    float mx = ref[0];
+    for (size_t i = 1; i < n; ++i) mx = std::max(mx, ref[i]);
+    float sum = 0.0f;
+    for (size_t i = 0; i < n; ++i) {
+      ref[i] = std::exp(ref[i] - mx);
+      sum += ref[i];
+    }
+    const float inv = 1.0f / sum;
+    for (size_t i = 0; i < n; ++i) ref[i] *= inv;
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(row[i], ref[i]) << "n=" << n;
+  }
+}
+
+// ---- fused attention -------------------------------------------------------
+
+struct AttnCase {
+  size_t d_head;
+  size_t n_ctx;
+  size_t kv_dim;  // row stride; > d_head exercises the head offset
+};
+
+class FusedAttentionTest : public ::testing::TestWithParam<AttnCase> {};
+
+TEST_P(FusedAttentionTest, MatchesNaiveReference) {
+  const auto [d_head, n_ctx, kv_dim] = GetParam();
+  const size_t head_off = kv_dim - d_head;  // attend to the last head
+  const auto q = random_vec(d_head, 41 + n_ctx, 0.5f);
+  const auto k = random_vec(n_ctx * kv_dim + 1, 43 + n_ctx, 0.5f);
+  const auto v = random_vec(n_ctx * kv_dim + 1, 47 + n_ctx, 0.5f);
+  Rng rng(53 + n_ctx);
+  std::vector<uint8_t> masked(n_ctx);
+  for (auto& mv : masked) mv = rng.next_below(4) == 0 ? 1 : 0;
+  if (n_ctx > 0) masked[n_ctx - 1] = 0;  // keep at least one live slot
+  std::vector<float> rel(n_ctx);
+  for (size_t j = 0; j < n_ctx; ++j) {
+    rel[j] = static_cast<float>(static_cast<int>(n_ctx - j));
+  }
+
+  for (const bool use_mask : {false, true}) {
+    for (const bool use_alibi : {false, true}) {
+      std::vector<float> scores(n_ctx), out(d_head), out_ref(d_head);
+      attn_fused_contig(q.data(), k.data() + head_off, v.data() + head_off,
+                        kv_dim, d_head, n_ctx, 0.25f, 0.0625f,
+                        use_alibi ? rel.data() : nullptr,
+                        use_mask ? masked.data() : nullptr, scores.data(),
+                        out.data());
+      ref_attention(q.data(), k.data() + head_off, v.data() + head_off,
+                    kv_dim, d_head, n_ctx, 0.25f, 0.0625f,
+                    use_alibi ? rel.data() : nullptr,
+                    use_mask ? masked.data() : nullptr, out_ref.data());
+      EXPECT_LE(max_abs_diff_span(out.data(), out_ref.data(), d_head), 1e-5f)
+          << "d_head=" << d_head << " n_ctx=" << n_ctx
+          << " mask=" << use_mask << " alibi=" << use_alibi;
+    }
+  }
+}
+
+TEST_P(FusedAttentionTest, GatherVariantBitIdenticalToContiguous) {
+  const auto [d_head, n_ctx, kv_dim] = GetParam();
+  const auto q = random_vec(d_head, 61 + n_ctx, 0.5f);
+  const auto k = random_vec(n_ctx * kv_dim + 1, 67 + n_ctx, 0.5f);
+  const auto v = random_vec(n_ctx * kv_dim + 1, 71 + n_ctx, 0.5f);
+  std::vector<const float*> k_rows(n_ctx), v_rows(n_ctx);
+  for (size_t j = 0; j < n_ctx; ++j) {
+    k_rows[j] = k.data() + j * kv_dim;
+    v_rows[j] = v.data() + j * kv_dim;
+  }
+  std::vector<float> s1(n_ctx), s2(n_ctx), o1(d_head), o2(d_head);
+  attn_fused_contig(q.data(), k.data(), v.data(), kv_dim, d_head, n_ctx,
+                    0.125f, 0.0f, nullptr, nullptr, s1.data(), o1.data());
+  attn_fused_gather(q.data(), k_rows.data(), v_rows.data(), 0, d_head, n_ctx,
+                    0.125f, 0.0f, nullptr, nullptr, s2.data(), o2.data());
+  for (size_t e = 0; e < d_head; ++e) ASSERT_EQ(o1[e], o2[e]);
+  for (size_t j = 0; j < n_ctx; ++j) ASSERT_EQ(s1[j], s2[j]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FusedAttentionTest,
+    ::testing::Values(AttnCase{1, 1, 1}, AttnCase{3, 5, 3},
+                      AttnCase{8, 17, 16}, AttnCase{16, 33, 48},
+                      AttnCase{32, 100, 64}, AttnCase{64, 257, 128},
+                      AttnCase{128, 64, 128}));
+
+TEST(FusedAttention, MaskedSlotsBitIdenticalToCompactedContext) {
+  // The core INTERNALS §2 property at the kernel level: running over the
+  // full context with masked holes equals running over only the unmasked
+  // slots, bit for bit.
+  const size_t d_head = 32, n_ctx = 57, kv_dim = 64;
+  const auto q = random_vec(d_head, 81, 0.5f);
+  const auto k = random_vec(n_ctx * kv_dim, 83, 0.5f);
+  const auto v = random_vec(n_ctx * kv_dim, 87, 0.5f);
+  Rng rng(89);
+  std::vector<uint8_t> masked(n_ctx);
+  for (auto& mv : masked) mv = rng.next_below(3) == 0 ? 1 : 0;
+  masked[0] = 0;
+
+  std::vector<float> scores(n_ctx), out(d_head);
+  attn_fused_contig(q.data(), k.data(), v.data(), kv_dim, d_head, n_ctx,
+                    0.2f, 0.0f, nullptr, masked.data(), scores.data(),
+                    out.data());
+
+  // Compact the unmasked rows into a dense context.
+  std::vector<float> kc, vc;
+  std::vector<const float*> k_rows, v_rows;
+  for (size_t j = 0; j < n_ctx; ++j) {
+    if (masked[j]) continue;
+    k_rows.push_back(k.data() + j * kv_dim);
+    v_rows.push_back(v.data() + j * kv_dim);
+  }
+  std::vector<float> scores_c(k_rows.size()), out_c(d_head);
+  attn_fused_gather(q.data(), k_rows.data(), v_rows.data(), 0, d_head,
+                    k_rows.size(), 0.2f, 0.0f, nullptr, nullptr,
+                    scores_c.data(), out_c.data());
+  for (size_t e = 0; e < d_head; ++e) {
+    ASSERT_EQ(out[e], out_c[e]) << "elem " << e;
+  }
+}
+
+TEST(FusedAttention, AllMaskedRowYieldsZeros) {
+  const size_t d_head = 16, n_ctx = 23;
+  const auto q = random_vec(d_head, 91);
+  const auto k = random_vec(n_ctx * d_head, 93);
+  const auto v = random_vec(n_ctx * d_head, 97);
+  const std::vector<uint8_t> masked(n_ctx, 1);
+  std::vector<float> scores(n_ctx, 42.0f), out(d_head, 42.0f);
+  attn_fused_contig(q.data(), k.data(), v.data(), d_head, d_head, n_ctx,
+                    1.0f, 0.0f, nullptr, masked.data(), scores.data(),
+                    out.data());
+  for (float x : out) EXPECT_EQ(x, 0.0f);
+  for (float x : scores) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(FusedAttention, EmptyContextYieldsZeros) {
+  const size_t d_head = 8;
+  const auto q = random_vec(d_head, 99);
+  std::vector<float> out(d_head, 42.0f);
+  attn_fused_contig(q.data(), nullptr, nullptr, 0, d_head, 0, 1.0f, 0.0f,
+                    nullptr, nullptr, nullptr, out.data());
+  for (float x : out) EXPECT_EQ(x, 0.0f);
+}
+
+// ---- mask-hoist regression through the model --------------------------------
+
+// The block mask is computed once per query row and shared across heads.
+// This must leave blocked-mask attention bit-identical to the per-module
+// encoding path (which sees no mask at all) — the strongest invariant the
+// repo owns. RoPE (llama) covers the plain path, MPT covers the hoisted
+// ALiBi relative-position vector.
+TEST(MaskHoist, BlockedPrefillBitIdenticalToModuleConcat) {
+  for (const auto& config : {ModelConfig::llama_tiny(48, 128),
+                             ModelConfig::mpt_tiny(48, 128)}) {
+    const Model model = Model::random(config, 123);
+    Rng rng(7);
+    auto rand_tokens = [&](size_t n) {
+      std::vector<TokenId> t(n);
+      for (auto& x : t) x = static_cast<TokenId>(rng.next_below(48));
+      return t;
+    };
+    const auto mod1 = rand_tokens(11);
+    const auto mod2 = rand_tokens(9);
+    const auto suffix = rand_tokens(4);
+
+    auto iota_pos = [](size_t n, int start) {
+      std::vector<int> p(n);
+      std::iota(p.begin(), p.end(), start);
+      return p;
+    };
+
+    KVCache enc1 = model.make_cache();
+    (void)model.forward(mod1, iota_pos(11, 0), enc1);
+    KVCache enc2 = model.make_cache();
+    (void)model.forward(mod2, iota_pos(9, 11), enc2);
+    KVCache cached = model.make_cache();
+    cached.append_copy(enc1);
+    cached.append_copy(enc2);
+    const Tensor cached_logits =
+        model.forward(suffix, iota_pos(4, 20), cached);
+
+    std::vector<TokenId> all;
+    all.insert(all.end(), mod1.begin(), mod1.end());
+    all.insert(all.end(), mod2.begin(), mod2.end());
+    all.insert(all.end(), suffix.begin(), suffix.end());
+    std::vector<int> blocks;
+    blocks.insert(blocks.end(), 11, 1);
+    blocks.insert(blocks.end(), 9, 2);
+    blocks.insert(blocks.end(), 4, Model::kGlobalBlock);
+    KVCache reference = model.make_cache();
+    const Tensor ref_logits =
+        model.forward_blocked(all, iota_pos(24, 0), blocks, reference);
+
+    EXPECT_EQ(max_abs_diff(cached_logits, ref_logits), 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace pc
