@@ -1,0 +1,295 @@
+// Concurrent-serving throughput: shared SharedModuleStore vs per-worker
+// private ModuleStores, swept over worker counts. Prints tables and writes
+// BENCH_server.json (repo root when launched via scripts/run_all.sh).
+//
+// What the sweep shows:
+//   * encode-once: with the shared store, modules_encoded equals the number
+//     of distinct modules at every worker count; private stores pay
+//     N_workers x that (every worker encodes everything at startup);
+//   * footprint: shared resident module bytes stay flat as workers scale,
+//     private bytes grow linearly (the duplication is real memory);
+//   * throughput: requests/s grows with workers because per-request
+//     host-link stalls overlap across the pool.
+//
+// Honest-methodology note (matches device_model.h's substitution rule):
+// module compute runs fp32 on the CPU, and the host->device link is a
+// LinkModel — each request *actually sleeps* for the modeled transfer time
+// of its host-resident module bytes plus a fixed link latency, releasing
+// the core so transfers overlap like real DMA. The link latency is
+// auto-calibrated to ~11x the measured single-request serve time, so the
+// pool saturates beyond the largest swept worker count and scaling stays
+// visible even on a single-core host. PC_THREADS is pinned to 1 so kernel
+// parallelism does not multiply with worker-level parallelism.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "core/shared_module_store.h"
+#include "eval/table.h"
+#include "eval/workload.h"
+#include "model/induction.h"
+#include "sys/server.h"
+
+namespace {
+
+using namespace pc;
+
+constexpr int kModules = 10;
+
+std::string two(int i) {
+  char buf[4];
+  std::snprintf(buf, sizeof(buf), "%02d", i);
+  return buf;
+}
+
+// 10 fact modules: module i holds "q0i a{2i} a{2i+1} ." plus filler.
+std::string build_schema() {
+  std::ostringstream os;
+  os << "<schema name=\"facts\">\n";
+  for (int i = 0; i < kModules; ++i) {
+    os << "  <module name=\"d" << two(i) << "\">w" << two(i % 30) << " w"
+       << two((i + 7) % 30) << " q" << two(i) << " a" << two(2 * i) << " a"
+       << two(2 * i + 1) << " . w" << two((i + 13) % 30) << "</module>\n";
+  }
+  os << "</schema>";
+  return os.str();
+}
+
+// Each prompt imports 4 modules (the asked one plus three others) and asks
+// one question; 2 variants per asked module -> 20 distinct prompts.
+std::vector<std::string> build_prompts() {
+  std::vector<std::string> prompts;
+  for (int v = 0; v < 2; ++v) {
+    for (int i = 0; i < kModules; ++i) {
+      std::ostringstream os;
+      os << "<prompt schema=\"facts\">";
+      for (int j = 0; j < 4; ++j) {
+        os << "<d" << two((i + j * (v + 1)) % kModules) << "/>";
+      }
+      os << " question: q" << two(i) << "</prompt>";
+      prompts.push_back(os.str());
+    }
+  }
+  return prompts;
+}
+
+struct RunResult {
+  std::string mode;
+  int workers = 0;
+  int requests = 0;
+  ServerStats stats;
+};
+
+void print_results(const std::vector<RunResult>& runs) {
+  TablePrinter table("serving throughput: shared store vs private stores");
+  table.set_header({"store", "workers", "req/s", "ttft p50", "ttft p99",
+                    "encoded", "resident MB", "hit rate", "waits"});
+  for (const RunResult& r : runs) {
+    table.add_row(
+        {r.mode, std::to_string(r.workers),
+         TablePrinter::fmt(r.stats.throughput_rps, 1),
+         TablePrinter::fmt_ms(r.stats.ttft.p50_ms()),
+         TablePrinter::fmt_ms(r.stats.ttft.p99_ms()),
+         std::to_string(r.stats.modules_encoded),
+         TablePrinter::fmt(
+             static_cast<double>(r.stats.resident_module_bytes) / 1e6, 2),
+         TablePrinter::fmt(r.stats.store_hit_rate, 3),
+         std::to_string(r.stats.single_flight_waits)});
+  }
+  table.print(std::cout);
+}
+
+void write_json(const std::vector<RunResult>& runs, size_t distinct_modules,
+                size_t module_bytes, const LinkModel& link,
+                double calibrated_serve_ms) {
+  // Acceptance checks, evaluated over the sweep.
+  bool shared_encodes_equal_distinct = true;
+  bool private_encodes_are_n_times = true;
+  bool shared_resident_never_higher = true;   // <= private at every count
+  bool shared_resident_lower_when_scaled = true;  // < private for N >= 2
+  bool shared_throughput_increases = true;
+  double prev_shared_rps = 0;
+  for (const RunResult& r : runs) {
+    if (r.mode == "shared") {
+      if (r.stats.modules_encoded != distinct_modules) {
+        shared_encodes_equal_distinct = false;
+      }
+      if (r.stats.throughput_rps <= prev_shared_rps) {
+        shared_throughput_increases = false;
+      }
+      prev_shared_rps = r.stats.throughput_rps;
+      for (const RunResult& p : runs) {
+        if (p.mode != "private" || p.workers != r.workers) continue;
+        if (r.stats.resident_module_bytes > p.stats.resident_module_bytes) {
+          shared_resident_never_higher = false;
+        }
+        if (r.workers >= 2 && r.stats.resident_module_bytes >=
+                                  p.stats.resident_module_bytes) {
+          shared_resident_lower_when_scaled = false;
+        }
+      }
+    } else if (r.stats.modules_encoded !=
+               distinct_modules * static_cast<size_t>(r.workers)) {
+      private_encodes_are_n_times = false;
+    }
+  }
+
+  std::ofstream out("BENCH_server.json");
+  out << "{\n"
+      << "  \"distinct_modules\": " << distinct_modules << ",\n"
+      << "  \"module_bytes_total\": " << module_bytes << ",\n"
+      << "  \"calibrated_serve_ms\": "
+      << TablePrinter::fmt(calibrated_serve_ms, 3) << ",\n"
+      << "  \"link_model\": {\"latency_s\": " << link.latency_s
+      << ", \"bandwidth_bytes_per_s\": " << link.bandwidth_bytes_per_s
+      << "},\n"
+      << "  \"note\": \"host-link stalls are simulated sleeps (see "
+         "bench_server.cpp header); compute is measured fp32 CPU\",\n"
+      << "  \"configs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    const ServerStats& s = r.stats;
+    out << "    {\"store\": \"" << r.mode << "\", \"workers\": " << r.workers
+        << ", \"requests\": " << r.requests
+        << ", \"errors\": " << s.errors
+        << ", \"wall_ms\": " << TablePrinter::fmt(s.wall_ms, 1)
+        << ", \"throughput_rps\": " << TablePrinter::fmt(s.throughput_rps, 2)
+        << ", \"ttft_p50_ms\": " << TablePrinter::fmt(s.ttft.p50_ms(), 3)
+        << ", \"ttft_p99_ms\": " << TablePrinter::fmt(s.ttft.p99_ms(), 3)
+        << ", \"engine_ttft_p50_ms\": "
+        << TablePrinter::fmt(s.engine_ttft.p50_ms(), 3)
+        << ", \"modules_encoded\": " << s.modules_encoded
+        << ", \"thrash_reencodes\": " << s.thrash_reencodes
+        << ", \"store_hits\": " << s.store.hits
+        << ", \"store_misses\": " << s.store.misses
+        << ", \"store_hit_rate\": " << TablePrinter::fmt(s.store_hit_rate, 4)
+        << ", \"resident_module_bytes\": " << s.resident_module_bytes
+        << ", \"bytes_deduplicated\": " << s.bytes_deduplicated
+        << ", \"single_flight_waits\": " << s.single_flight_waits << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"checks\": {\n"
+      << "    \"shared_encodes_equal_distinct_modules\": "
+      << (shared_encodes_equal_distinct ? "true" : "false") << ",\n"
+      << "    \"private_encodes_are_workers_times_distinct\": "
+      << (private_encodes_are_n_times ? "true" : "false") << ",\n"
+      << "    \"shared_resident_never_higher_than_private\": "
+      << (shared_resident_never_higher ? "true" : "false") << ",\n"
+      << "    \"shared_resident_lower_when_scaled\": "
+      << (shared_resident_lower_when_scaled ? "true" : "false") << ",\n"
+      << "    \"shared_throughput_increases_with_workers\": "
+      << (shared_throughput_increases ? "true" : "false") << "\n"
+      << "  }\n}\n";
+  std::cout << "\nwrote BENCH_server.json\n";
+}
+
+}  // namespace
+
+int main() {
+  // Worker-level parallelism is the experiment; keep kernel-level
+  // parallelism out of it (must happen before the global pool first spins
+  // up inside the calibration serve).
+  setenv("PC_THREADS", "1", /*overwrite=*/0);
+
+  bench::print_banner(
+      "Concurrent serving — shared vs private module stores",
+      "simulated host link (sleeps), measured CPU compute; PC_FULL=1 for "
+      "more requests");
+
+  AccuracyWorkload workload(7);
+  const Model model = make_induction_model({workload.vocab().size(), 256});
+  const std::string schema = build_schema();
+  const std::vector<std::string> prompts = build_prompts();
+  GenerateOptions opts;
+  opts.max_new_tokens = 5;
+  opts.stop_tokens = {workload.stop_token()};
+
+  // Calibration pass: one private engine, measure mean serve compute and
+  // the distinct-module footprint.
+  double calibrated_serve_ms;
+  size_t module_bytes = 0;
+  size_t distinct_modules = 0;
+  {
+    PromptCacheEngine probe(model, workload.tokenizer());
+    probe.load_schema(schema);
+    WallTimer timer;
+    for (const std::string& p : prompts) (void)probe.serve(p, opts);
+    calibrated_serve_ms =
+        timer.elapsed_ms() / static_cast<double>(prompts.size());
+    probe.store().for_each(
+        [&](const std::string&, const EncodedModule& m, ModuleLocation) {
+          module_bytes += m.payload_bytes();
+          ++distinct_modules;
+        });
+  }
+
+  // Link latency ~11x serve compute: a pool saturates only past ~12
+  // workers, so 1 -> 8 stays in the linear-scaling regime; bandwidth adds a
+  // real cost per host-resident byte (private stores, with their device
+  // slice split N ways, keep more modules host-side and pay more here).
+  LinkModel link;
+  link.latency_s = 11.0 * calibrated_serve_ms / 1e3;
+  link.bandwidth_bytes_per_s = 8e9;
+
+  const int requests = bench::env_int("PC_REQUESTS",
+                                      bench::full_mode() ? 160 : 60);
+  const size_t device_capacity = module_bytes * 2 / 5;  // 40%: tier pressure
+
+  std::vector<RunResult> runs;
+  for (const char* mode : {"shared", "private"}) {
+    for (int workers : {1, 2, 4, 8}) {
+      ServerConfig cfg;
+      cfg.n_workers = workers;
+      cfg.queue_capacity = 16;
+      cfg.schemas = {schema};
+      cfg.link = link;
+
+      RunResult run;
+      run.mode = mode;
+      run.workers = workers;
+      run.requests = requests;
+      if (std::string(mode) == "shared") {
+        SharedModuleStore store(device_capacity, /*host=*/0);
+        Server server(model, workload.tokenizer(), store, cfg);
+        for (int i = 0; i < requests; ++i) {
+          server.submit(prompts[static_cast<size_t>(i) % prompts.size()],
+                        opts);
+        }
+        (void)server.drain();
+        run.stats = server.stats();
+      } else {
+        // Same total device budget, split across the private stores.
+        cfg.engine.device_capacity_bytes =
+            device_capacity / static_cast<size_t>(workers);
+        Server server(model, workload.tokenizer(), cfg);
+        for (int i = 0; i < requests; ++i) {
+          server.submit(prompts[static_cast<size_t>(i) % prompts.size()],
+                        opts);
+        }
+        (void)server.drain();
+        run.stats = server.stats();
+      }
+      if (run.stats.errors > 0) {
+        std::cout << "WARNING: " << run.stats.errors << " serve errors in "
+                  << mode << "/" << workers << "\n";
+      }
+      runs.push_back(std::move(run));
+    }
+  }
+
+  print_results(runs);
+  std::cout << "\ncalibrated serve compute: "
+            << TablePrinter::fmt_ms(calibrated_serve_ms)
+            << "/req, link stall: "
+            << TablePrinter::fmt_ms(link.latency_s * 1e3)
+            << " + bytes_from_host/8GBps\n";
+  write_json(runs, distinct_modules, module_bytes, link, calibrated_serve_ms);
+  return 0;
+}

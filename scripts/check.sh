@@ -9,13 +9,17 @@
 # Usage: scripts/check.sh          (both configs)
 #        scripts/check.sh release  (just Release)
 #        scripts/check.sh asan     (just sanitizers)
+#        scripts/check.sh tsan     (ThreadSanitizer — opt-in, not in `all`:
+#                                   TSan and ASan cannot share a process, and
+#                                   the shared-store/server tests are the
+#                                   code it targets)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 want="${1:-all}"
 case "$want" in
-  all|release|asan) ;;
-  *) echo "usage: scripts/check.sh [all|release|asan]" >&2; exit 2 ;;
+  all|release|asan|tsan) ;;
+  *) echo "usage: scripts/check.sh [all|release|asan|tsan]" >&2; exit 2 ;;
 esac
 
 run_config() {
@@ -36,6 +40,13 @@ if [ "$want" = "all" ] || [ "$want" = "asan" ]; then
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+fi
+
+if [ "$want" = "tsan" ]; then
+  run_config tsan build-tsan \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 fi
 
 echo "== check.sh OK ($want)"

@@ -57,6 +57,21 @@ class LatencyHistogram {
 
   void reset() { *this = LatencyHistogram(); }
 
+  // Folds another histogram into this one (identical bucket layout, so the
+  // merge is exact). Serving fleets keep one histogram per worker engine —
+  // recording stays unsynchronized and lock-free — and merge them on the
+  // stats path for fleet-level percentiles.
+  void merge(const LatencyHistogram& other) {
+    if (other.count_ == 0) return;
+    for (int b = 0; b < kBuckets; ++b) {
+      buckets_[static_cast<size_t>(b)] += other.buckets_[static_cast<size_t>(b)];
+    }
+    count_ += other.count_;
+    sum_seconds_ += other.sum_seconds_;
+    max_seconds_ = std::max(max_seconds_, other.max_seconds_);
+    min_seconds_ = std::min(min_seconds_, other.min_seconds_);
+  }
+
   // One-line summary for logs: "n=42 mean=1.2ms p50=1.1ms p99=3.0ms".
   std::string summary() const {
     char buf[160];

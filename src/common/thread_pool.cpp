@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace pc {
 
@@ -8,6 +9,17 @@ ThreadPool::ThreadPool(size_t n_threads) {
   if (n_threads == 0) {
     n_threads = std::thread::hardware_concurrency();
     if (n_threads == 0) n_threads = 1;
+    // PC_THREADS caps default-sized pools (including the global one). The
+    // serving stack runs one engine per worker thread; kernel-level
+    // parallel_for fanning out to all cores inside each of N workers would
+    // oversubscribe the machine, so bench_server pins PC_THREADS=1 while it
+    // sweeps worker counts. Values < 1 and non-numeric strings are ignored.
+    if (const char* cap_env = std::getenv("PC_THREADS")) {
+      const long cap = std::atol(cap_env);
+      if (cap > 0) {
+        n_threads = std::min(n_threads, static_cast<size_t>(cap));
+      }
+    }
   }
   // The calling thread participates in parallel_for, so spawn one fewer.
   for (size_t i = 1; i < n_threads; ++i) {

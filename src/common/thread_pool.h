@@ -26,7 +26,9 @@ namespace pc {
 
 class ThreadPool {
  public:
-  // n_threads == 0 selects std::thread::hardware_concurrency().
+  // n_threads == 0 selects std::thread::hardware_concurrency(), capped by
+  // the PC_THREADS environment variable when set (serving stacks use it to
+  // keep kernel parallelism × worker count within the machine).
   explicit ThreadPool(size_t n_threads = 0);
   ~ThreadPool();
 

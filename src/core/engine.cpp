@@ -59,6 +59,17 @@ PromptCacheEngine::PromptCacheEngine(const Model& model,
       config_(config),
       store_(config.device_capacity_bytes, config.host_capacity_bytes) {}
 
+PromptCacheEngine::PromptCacheEngine(const Model& model,
+                                     const TextTokenizer& tokenizer,
+                                     SharedModuleStore& shared_store,
+                                     EngineConfig config)
+    : model_(model),
+      tokenizer_(tokenizer),
+      chat_template_(model.config().chat_template),
+      config_(config),
+      store_(0, 0),
+      shared_(&shared_store) {}
+
 const pml::Schema& PromptCacheEngine::load_schema(
     std::string_view schema_pml) {
   pml::Schema schema = pml::Schema::parse(schema_pml, tokenizer_,
@@ -74,12 +85,15 @@ const pml::Schema& PromptCacheEngine::load_schema(
   // encoded state derived from the old version — module contents or
   // positions may have changed while the keys stay the same.
   if (const pml::Schema* old = find_schema(name)) {
+    const auto erase_key = [&](const std::string& key) {
+      shared_ != nullptr ? shared_->erase(key) : store_.erase(key);
+    };
     for (size_t mi = 0; mi < old->modules.size(); ++mi) {
-      store_.erase(module_key(*old, static_cast<int>(mi)));
+      erase_key(module_key(*old, static_cast<int>(mi)));
     }
     for (auto it = scaffolds_.begin(); it != scaffolds_.end();) {
       if (it->schema_name == name) {
-        store_.erase(it->key);
+        erase_key(it->key);
         it = scaffolds_.erase(it);
       } else {
         ++it;
@@ -200,10 +214,8 @@ EncodedModule PromptCacheEngine::finalize_encoding(
   return m;
 }
 
-void PromptCacheEngine::encode_module(const pml::Schema& schema, int mi) {
-  const std::string key = module_key(schema, mi);
-  if (store_.contains(key)) return;
-
+EncodedModule PromptCacheEngine::build_module_payload(const pml::Schema& schema,
+                                                      int mi) {
   const std::vector<pml::TokenRun> runs = schema.module_own_runs(mi);
   std::vector<TokenId> tokens;
   std::vector<int> pos_ids;
@@ -219,14 +231,11 @@ void PromptCacheEngine::encode_module(const pml::Schema& schema, int mi) {
     kv.reserve(static_cast<int>(tokens.size()));
     (void)model_.forward(tokens, pos_ids, kv);  // module-local attention
   }
-  store_.insert(key, finalize_encoding(std::move(kv), runs));
-  ++stats_.modules_encoded;
+  return finalize_encoding(std::move(kv), runs);
 }
 
-void PromptCacheEngine::encode_scaffold(const pml::Schema& schema,
-                                        const Scaffold& scaffold) {
-  if (store_.contains(scaffold.key)) return;
-
+EncodedModule PromptCacheEngine::build_scaffold_payload(
+    const pml::Schema& schema, const Scaffold& scaffold) {
   std::vector<pml::TokenRun> runs;
   for (int mi : scaffold.module_indices) {
     for (pml::TokenRun& run : schema.module_own_runs(mi)) {
@@ -247,7 +256,37 @@ void PromptCacheEngine::encode_scaffold(const pml::Schema& schema,
     kv.reserve(static_cast<int>(tokens.size()));
     (void)model_.forward(tokens, pos_ids, kv);  // shared attention span
   }
-  store_.insert(scaffold.key, finalize_encoding(std::move(kv), runs));
+  return finalize_encoding(std::move(kv), runs);
+}
+
+void PromptCacheEngine::encode_module(const pml::Schema& schema, int mi) {
+  const std::string key = module_key(schema, mi);
+  if (shared_ != nullptr) {
+    if (shared_->contains(key)) return;
+    bool encoded_here = false;
+    (void)shared_->ensure(
+        key, [&] { return build_module_payload(schema, mi); }, &encoded_here);
+    if (encoded_here) ++stats_.modules_encoded;
+    return;
+  }
+  if (store_.contains(key)) return;
+  store_.insert(key, build_module_payload(schema, mi));
+  ++stats_.modules_encoded;
+}
+
+void PromptCacheEngine::encode_scaffold(const pml::Schema& schema,
+                                        const Scaffold& scaffold) {
+  if (shared_ != nullptr) {
+    if (shared_->contains(scaffold.key)) return;
+    bool encoded_here = false;
+    (void)shared_->ensure(
+        scaffold.key, [&] { return build_scaffold_payload(schema, scaffold); },
+        &encoded_here);
+    if (encoded_here) ++stats_.scaffolds_encoded;
+    return;
+  }
+  if (store_.contains(scaffold.key)) return;
+  store_.insert(scaffold.key, build_scaffold_payload(schema, scaffold));
   ++stats_.scaffolds_encoded;
 }
 
@@ -361,7 +400,8 @@ void PromptCacheEngine::for_each_encoded(
     const pml::PromptBinding& binding,
     const std::function<void(const std::string& key,
                              const EncodedModule& module,
-                             ModuleLocation location)>& emit) {
+                             ModuleLocation location)>& emit,
+    bool borrow) {
   std::vector<bool> covered;
   const auto active = active_scaffolds(binding, &covered);
 
@@ -378,8 +418,9 @@ void PromptCacheEngine::for_each_encoded(
   };
 
   for (int mi : binding.modules) {
+    const bool is_scaffold = covered[static_cast<size_t>(mi)];
     std::string key;
-    if (covered[static_cast<size_t>(mi)]) {
+    if (is_scaffold) {
       const size_t si = scaffold_of(mi);
       if (scaffold_done[si]) continue;
       scaffold_done[si] = true;
@@ -387,12 +428,45 @@ void PromptCacheEngine::for_each_encoded(
     } else {
       key = module_key(*binding.schema, mi);
     }
+
+    if (shared_ != nullptr) {
+      // With `borrow` (zero-copy), lookup and pin are one atomic step and
+      // the ref outlives this loop, so rows the view borrows can neither
+      // dangle (ref) nor be evicted out from under other requests (pin).
+      SharedModuleStore::ModuleRef ref = shared_->find(key, borrow);
+      if (!ref) {
+        // Evicted since the ensure pass (cache thrash): re-encode — or,
+        // single-flight, adopt another worker's in-progress encode.
+        ++stats_.thrash_reencodes;
+        bool encoded_here = false;
+        ref = shared_->ensure(
+            key,
+            [&]() -> EncodedModule {
+              if (is_scaffold) {
+                return build_scaffold_payload(*binding.schema,
+                                              *active[scaffold_of(mi)]);
+              }
+              return build_module_payload(*binding.schema, mi);
+            },
+            &encoded_here, borrow);
+        if (encoded_here) {
+          is_scaffold ? ++stats_.scaffolds_encoded : ++stats_.modules_encoded;
+        }
+      }
+      if (borrow) {
+        borrowed_pins_.push_back(key);
+        borrowed_refs_.push_back(ref);
+      }
+      emit(key, *ref, ref.location());
+      continue;
+    }
+
     ModuleLocation loc = ModuleLocation::kHostMemory;
     const EncodedModule* encoded = store_.find(key, &loc);
     if (encoded == nullptr) {
       // Evicted since the ensure pass (cache thrash): re-encode inline.
       ++stats_.thrash_reencodes;
-      if (covered[static_cast<size_t>(mi)]) {
+      if (is_scaffold) {
         encode_scaffold(*binding.schema, *active[scaffold_of(mi)]);
       } else {
         encode_module(*binding.schema, mi);
@@ -446,30 +520,43 @@ Tensor PromptCacheEngine::assemble_and_prefill(
     const pml::PromptBinding& binding, SegmentedKVCache& view,
     TtftBreakdown* ttft) {
   WallTimer retrieve_timer;
-  for_each_encoded(binding, [&](const std::string& key,
-                                const EncodedModule& m, ModuleLocation) {
-    PC_CHECK_MSG(m.precision == StorePrecision::kFp32,
-                 "zero-copy serving requires kFp32 module storage (module '"
-                     << key << "' is stored at reduced precision)");
-    // Pin so later thrash re-encodes cannot evict rows this view borrowed.
-    if (!store_.is_pinned(key)) {
-      store_.pin(key);
-      borrowed_pins_.push_back(key);
-    }
-    for (const auto& [begin, end] : m.text_row_ranges) {
-      view.append_borrowed(*m.kv32, begin, end);
-      if (ttft != nullptr) {
-        ttft->cached_tokens += end - begin;
-        ttft->bytes_zero_copy +=
-            m.bytes_per_token() * static_cast<size_t>(end - begin);
-      }
-    }
-  });
+  for_each_encoded(
+      binding,
+      [&](const std::string& key, const EncodedModule& m, ModuleLocation) {
+        PC_CHECK_MSG(
+            m.precision == StorePrecision::kFp32,
+            "zero-copy serving requires kFp32 module storage (module '"
+                << key << "' is stored at reduced precision)");
+        // Pin so later thrash re-encodes cannot evict rows this view
+        // borrowed. Shared-store pinning already happened atomically inside
+        // for_each_encoded (borrow=true); only the private boolean-pin store
+        // needs the explicit dance here.
+        if (shared_ == nullptr && !store_.is_pinned(key)) {
+          store_.pin(key);
+          borrowed_pins_.push_back(key);
+        }
+        for (const auto& [begin, end] : m.text_row_ranges) {
+          view.append_borrowed(*m.kv32, begin, end);
+          if (ttft != nullptr) {
+            ttft->cached_tokens += end - begin;
+            ttft->bytes_zero_copy +=
+                m.bytes_per_token() * static_cast<size_t>(end - begin);
+          }
+        }
+      },
+      /*borrow=*/shared_ != nullptr);
   if (ttft != nullptr) ttft->retrieve_ms = retrieve_timer.elapsed_ms();
   return prefill_uncached(model_, binding, view, ttft);
 }
 
 void PromptCacheEngine::release_borrowed_pins() {
+  if (shared_ != nullptr) {
+    for (const std::string& key : borrowed_pins_) shared_->unpin(key);
+    borrowed_pins_.clear();
+    // Dropping the refs last: rows stay valid until every pin is returned.
+    borrowed_refs_.clear();
+    return;
+  }
   for (const std::string& key : borrowed_pins_) store_.unpin(key);
   borrowed_pins_.clear();
 }
@@ -519,18 +606,30 @@ ServeResult PromptCacheEngine::serve(std::string_view prompt_pml,
     // Off the latency path: warm the alternatives of every union member
     // this prompt used, so the next profile/locale/variant request finds
     // them already in device memory.
-    const uint64_t before = store_.stats().promotions;
+    // Private mode counts via the store's promotion delta; in shared mode
+    // that counter is fleet-global, so count this engine's own moves.
+    const uint64_t before =
+        shared_ != nullptr ? 0 : store_.stats().promotions;
+    uint64_t moved_here = 0;
     for (int mi : binding.modules) {
       const pml::ModuleNode& m = binding.schema->module(mi);
       if (m.union_id < 0) continue;
       for (int sibling :
            binding.schema->unions[static_cast<size_t>(m.union_id)].members) {
         if (sibling == mi) continue;
-        (void)store_.promote(module_key(*binding.schema, sibling),
-                             ModuleLocation::kDeviceMemory);
+        const std::string key = module_key(*binding.schema, sibling);
+        if (shared_ != nullptr) {
+          bool moved = false;
+          (void)shared_->promote(key, ModuleLocation::kDeviceMemory, &moved);
+          if (moved) ++moved_here;
+        } else {
+          (void)store_.promote(key, ModuleLocation::kDeviceMemory);
+        }
       }
     }
-    stats_.sibling_prefetches += store_.stats().promotions - before;
+    stats_.sibling_prefetches +=
+        shared_ != nullptr ? moved_here
+                           : store_.stats().promotions - before;
   }
   return result;
 }
@@ -544,7 +643,8 @@ void PromptCacheEngine::pin_module(const std::string& schema_name,
   PC_CHECK_MSG(mi != -1, "pin_module: unknown module '" << module_name
                                                         << "'");
   encode_module(*schema, mi);
-  PC_CHECK(store_.pin(module_key(*schema, mi)));
+  const std::string key = module_key(*schema, mi);
+  PC_CHECK(shared_ != nullptr ? shared_->pin(key) : store_.pin(key));
 }
 
 size_t PromptCacheEngine::save_modules(const std::string& path) const {
@@ -552,11 +652,12 @@ size_t PromptCacheEngine::save_modules(const std::string& path) const {
   if (!os) throw Error("cannot open '" + path + "' for writing");
   write_store_header(os);
   size_t count = 0;
-  store_.for_each([&](const std::string& key, const EncodedModule& module,
-                      ModuleLocation) {
+  const auto write_one = [&](const std::string& key,
+                             const EncodedModule& module, ModuleLocation) {
     write_module_record(os, key, module);
     ++count;
-  });
+  };
+  shared_ != nullptr ? shared_->for_each(write_one) : store_.for_each(write_one);
   os.flush();
   if (!os) throw Error("write failure persisting modules to '" + path + "'");
   return count;
@@ -575,7 +676,11 @@ size_t PromptCacheEngine::load_modules(const std::string& path) {
                  "persisted module '" << key
                                       << "' does not match this model's "
                                          "geometry");
-    store_.insert(key, std::move(module));
+    if (shared_ != nullptr) {
+      shared_->insert(key, std::move(module));
+    } else {
+      store_.insert(key, std::move(module));
+    }
     module = EncodedModule{};
     ++count;
   }

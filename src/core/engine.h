@@ -16,11 +16,23 @@
 // TTFT = step 2 + step 3 (+ the argmax); module encoding is offline and
 // reported separately.
 //
-// Threading contract: an engine is single-threaded — serve(), load_schema()
-// and the other mutating calls must not run concurrently (the module store,
-// stats, and histograms are unsynchronized). Scale out with one engine per
-// worker over a shared (const) Model, and share encoded modules between
-// processes via save_modules()/load_modules().
+// Threading contract: a single engine is single-threaded — serve(),
+// load_schema() and the other mutating calls must not run concurrently (the
+// per-engine stats and histograms are unsynchronized). Scale out with one
+// engine per worker thread over a shared (const) Model, in one of two
+// configurations:
+//
+//   * Private stores (the default constructor): each engine owns a
+//     ModuleStore. Workers are fully isolated but encode and hold every
+//     module once *per worker*; share encoded modules between processes via
+//     save_modules()/load_modules().
+//   * Shared store (the SharedModuleStore& constructor): N engines route
+//     find/insert/pin through one thread-safe store, so each module is
+//     encoded once fleet-wide (single-flight) and held once. Zero-copy
+//     views take reference-counted pins, so a request on one worker blocks
+//     eviction triggered by another; per-engine TTFT histograms merge()
+//     into fleet percentiles. This is the serving configuration — see
+//     src/sys/server.h for the queue + worker-pool frontend.
 #pragma once
 
 #include <map>
@@ -30,6 +42,7 @@
 
 #include "common/histogram.h"
 #include "core/module_store.h"
+#include "core/shared_module_store.h"
 #include "model/model.h"
 #include "pml/prompt.h"
 #include "pml/schema.h"
@@ -92,6 +105,13 @@ class PromptCacheEngine {
  public:
   PromptCacheEngine(const Model& model, const TextTokenizer& tokenizer,
                     EngineConfig config = {});
+
+  // Shared-store engine: encoded modules live in (and are served from)
+  // `shared_store`, which must outlive the engine; the EngineConfig
+  // capacity fields are ignored (the shared store was sized at
+  // construction). Many engines on different threads may share one store.
+  PromptCacheEngine(const Model& model, const TextTokenizer& tokenizer,
+                    SharedModuleStore& shared_store, EngineConfig config = {});
 
   // Parses, lays out, and (eagerly) encodes a schema. Returns it.
   const pml::Schema& load_schema(std::string_view schema_pml);
@@ -166,7 +186,14 @@ class PromptCacheEngine {
 
   const Model& model() const { return model_; }
   const TextTokenizer& tokenizer() const { return tokenizer_; }
-  ModuleStore& store() { return store_; }
+  // The private store; contract violation on a shared-store engine (its
+  // registry is the SharedModuleStore — use shared_store()).
+  ModuleStore& store() {
+    PC_CHECK_MSG(shared_ == nullptr,
+                 "engine uses a SharedModuleStore; query shared_store()");
+    return store_;
+  }
+  SharedModuleStore* shared_store() const { return shared_; }
   const EngineStats& stats() const { return stats_; }
 
   // Per-request TTFT distributions (serving telemetry).
@@ -191,14 +218,23 @@ class PromptCacheEngine {
 
   void encode_module(const pml::Schema& schema, int mi);
   void encode_scaffold(const pml::Schema& schema, const Scaffold& scaffold);
+  // The forward pass + packaging shared by both store configurations.
+  EncodedModule build_module_payload(const pml::Schema& schema, int mi);
+  EncodedModule build_scaffold_payload(const pml::Schema& schema,
+                                       const Scaffold& scaffold);
 
   // Resolves the encoded payload for every module/scaffold of a binding
   // (re-encoding evicted entries) and emits them in concatenation order.
+  // With `borrow` (zero-copy assembly over a shared store), each emitted
+  // module is pinned and its ref retained in borrowed_refs_ until
+  // release_borrowed_pins(), so rows stay valid and resident for the
+  // lifetime of the borrowing view.
   void for_each_encoded(
       const pml::PromptBinding& binding,
       const std::function<void(const std::string& key,
                                const EncodedModule& module,
-                               ModuleLocation location)>& emit);
+                               ModuleLocation location)>& emit,
+      bool borrow = false);
   EncodedModule finalize_encoding(KVCache kv,
                                   const std::vector<pml::TokenRun>& runs);
 
@@ -218,11 +254,15 @@ class PromptCacheEngine {
   EngineConfig config_;
   std::map<std::string, pml::Schema> schemas_;
   std::vector<Scaffold> scaffolds_;
-  ModuleStore store_;
+  ModuleStore store_;                  // unused when shared_ != nullptr
+  SharedModuleStore* shared_ = nullptr;
   EngineStats stats_;
   LatencyHistogram cached_ttft_;
   LatencyHistogram baseline_ttft_;
   std::vector<std::string> borrowed_pins_;
+  // Shared-store mode: refs held for live zero-copy views (see
+  // for_each_encoded's `borrow`); cleared by release_borrowed_pins().
+  std::vector<SharedModuleStore::ModuleRef> borrowed_refs_;
 };
 
 }  // namespace pc

@@ -1,0 +1,312 @@
+#include "core/shared_module_store.h"
+
+#include <algorithm>
+
+namespace pc {
+
+namespace {
+
+size_t split_capacity(size_t total, size_t n_shards, size_t shard_index) {
+  if (total == 0) return 0;  // unlimited stays unlimited per shard
+  const size_t base = total / n_shards;
+  // Distribute the remainder so shard capacities sum exactly to `total`.
+  const size_t extra = shard_index < total % n_shards ? 1 : 0;
+  // A zero-capacity shard would reject every module; keep at least 1 byte
+  // so "too small" surfaces as CacheError with the module's size in it.
+  return std::max<size_t>(base + extra, 1);
+}
+
+}  // namespace
+
+SharedModuleStore::SharedModuleStore(size_t device_capacity,
+                                     size_t host_capacity, size_t n_shards) {
+  PC_CHECK_MSG(n_shards > 0, "SharedModuleStore needs at least one shard");
+  shards_.reserve(n_shards);
+  for (size_t i = 0; i < n_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        split_capacity(host_capacity, n_shards, i),
+        split_capacity(device_capacity, n_shards, i)));
+  }
+}
+
+SharedModuleStore::ModuleRef SharedModuleStore::find(const std::string& key,
+                                                     bool and_pin) {
+  Shard& s = shard_for(key);
+  std::unique_lock lock(s.mutex);
+  auto it = s.entries.find(key);
+  if (it == s.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return {};
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  it->second.last_used = tick();
+  if (and_pin) ++it->second.pin_count;
+  return ModuleRef(it->second.module, it->second.location);
+}
+
+SharedModuleStore::ModuleRef SharedModuleStore::ensure(
+    const std::string& key, const std::function<EncodedModule()>& encode,
+    bool* encoded_here, bool and_pin) {
+  if (encoded_here != nullptr) *encoded_here = false;
+  Shard& s = shard_for(key);
+  for (;;) {
+    std::shared_ptr<Flight> flight;
+    {
+      std::unique_lock lock(s.mutex);
+      auto it = s.entries.find(key);
+      if (it != s.entries.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        it->second.last_used = tick();
+        if (and_pin) ++it->second.pin_count;
+        return ModuleRef(it->second.module, it->second.location);
+      }
+      auto fit = s.in_flight.find(key);
+      if (fit == s.in_flight.end()) {
+        // This caller is the leader for the key.
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        flight = std::make_shared<Flight>();
+        s.in_flight.emplace(key, flight);
+        break;
+      }
+      flight = fit->second;
+      single_flight_waits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Wait for the leader, then re-check the entry table. A failed leader
+    // leaves no entry; the loop makes one waiter the next leader.
+    std::unique_lock fl(flight->mutex);
+    flight->cv.wait(fl, [&] { return flight->done; });
+  }
+
+  // Leader path: the forward pass runs with no store locks held, so other
+  // shard keys (and other shards) stay fully available meanwhile.
+  std::shared_ptr<const EncodedModule> payload;
+  ModuleLocation loc;
+  try {
+    payload = std::make_shared<const EncodedModule>(encode());
+    std::unique_lock lock(s.mutex);
+    loc = place_locked(s, key, payload, /*pins=*/and_pin ? 1 : 0);
+  } catch (...) {
+    finish_flight(s, key);
+    throw;
+  }
+  finish_flight(s, key);
+  if (encoded_here != nullptr) *encoded_here = true;
+  // The ref is built from the leader's own payload pointer: valid even if
+  // the entry was already evicted again by a racing insert.
+  return ModuleRef(std::move(payload), loc);
+}
+
+void SharedModuleStore::finish_flight(Shard& s, const std::string& key) {
+  std::shared_ptr<Flight> flight;
+  {
+    std::unique_lock lock(s.mutex);
+    auto it = s.in_flight.find(key);
+    PC_CHECK_MSG(it != s.in_flight.end(), "single-flight entry vanished");
+    flight = std::move(it->second);
+    s.in_flight.erase(it);
+  }
+  {
+    std::lock_guard fl(flight->mutex);
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+}
+
+void SharedModuleStore::insert(const std::string& key, EncodedModule module) {
+  Shard& s = shard_for(key);
+  auto payload = std::make_shared<const EncodedModule>(std::move(module));
+  std::unique_lock lock(s.mutex);
+  (void)place_locked(s, key, std::move(payload), /*pins=*/0);
+}
+
+ModuleLocation SharedModuleStore::place_locked(
+    Shard& s, const std::string& key,
+    std::shared_ptr<const EncodedModule> module, int pins) {
+  // Replace semantics: free the old entry first, carrying its pin count
+  // over (live borrowers keep the old payload alive through their refs).
+  auto old = s.entries.find(key);
+  if (old != s.entries.end()) {
+    pins += old->second.pin_count;
+    erase_locked(s, old);
+  }
+
+  const size_t bytes = module->payload_bytes();
+  ModuleLocation loc;
+  if (s.tiers.can_fit(ModuleLocation::kDeviceMemory, bytes)) {
+    loc = ModuleLocation::kDeviceMemory;
+  } else if (s.tiers.can_fit(ModuleLocation::kHostMemory, bytes)) {
+    loc = ModuleLocation::kHostMemory;
+  } else if (make_room_locked(s, ModuleLocation::kDeviceMemory, bytes)) {
+    loc = ModuleLocation::kDeviceMemory;
+  } else if (make_room_locked(s, ModuleLocation::kHostMemory, bytes)) {
+    loc = ModuleLocation::kHostMemory;
+  } else {
+    throw CacheError("module '" + key + "' (" + std::to_string(bytes) +
+                     " bytes) does not fit in any memory tier shard");
+  }
+  s.tiers.charge(loc, bytes);
+  s.entries.emplace(key, Entry{std::move(module), loc, pins, tick()});
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  return loc;
+}
+
+bool SharedModuleStore::make_room_locked(Shard& s, ModuleLocation loc,
+                                         size_t bytes) {
+  const TierUsage& u = s.tiers.usage(loc);
+  if (u.capacity_bytes != 0 && bytes > u.capacity_bytes) return false;
+  while (!s.tiers.can_fit(loc, bytes)) {
+    // Victim: the coldest unpinned entry resident in this tier.
+    auto victim = s.entries.end();
+    for (auto it = s.entries.begin(); it != s.entries.end(); ++it) {
+      if (it->second.location != loc || it->second.pin_count > 0) continue;
+      if (victim == s.entries.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == s.entries.end()) return false;  // nothing evictable left
+
+    // Device victims demote to host when it has room (encoded states are
+    // expensive to recompute and host is the abundant tier, §4.1).
+    const size_t vbytes = victim->second.module->payload_bytes();
+    if (loc == ModuleLocation::kDeviceMemory &&
+        s.tiers.can_fit(ModuleLocation::kHostMemory, vbytes)) {
+      s.tiers.credit(loc, vbytes);
+      s.tiers.charge(ModuleLocation::kHostMemory, vbytes);
+      victim->second.location = ModuleLocation::kHostMemory;
+      demotions_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      erase_locked(s, victim);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return true;
+}
+
+void SharedModuleStore::erase_locked(
+    Shard& s, std::unordered_map<std::string, Entry>::iterator it) {
+  s.tiers.credit(it->second.location, it->second.module->payload_bytes());
+  s.entries.erase(it);
+}
+
+bool SharedModuleStore::contains(const std::string& key) const {
+  const Shard& s = shard_for(key);
+  std::shared_lock lock(s.mutex);
+  return s.entries.contains(key);
+}
+
+bool SharedModuleStore::pin(const std::string& key) {
+  Shard& s = shard_for(key);
+  std::unique_lock lock(s.mutex);
+  auto it = s.entries.find(key);
+  if (it == s.entries.end()) return false;
+  ++it->second.pin_count;
+  return true;
+}
+
+bool SharedModuleStore::unpin(const std::string& key) {
+  Shard& s = shard_for(key);
+  std::unique_lock lock(s.mutex);
+  auto it = s.entries.find(key);
+  if (it == s.entries.end() || it->second.pin_count == 0) return false;
+  --it->second.pin_count;
+  return true;
+}
+
+bool SharedModuleStore::is_pinned(const std::string& key) const {
+  return pin_count(key) > 0;
+}
+
+int SharedModuleStore::pin_count(const std::string& key) const {
+  const Shard& s = shard_for(key);
+  std::shared_lock lock(s.mutex);
+  auto it = s.entries.find(key);
+  return it == s.entries.end() ? 0 : it->second.pin_count;
+}
+
+bool SharedModuleStore::promote(const std::string& key, ModuleLocation target,
+                                bool* moved) {
+  if (moved != nullptr) *moved = false;
+  Shard& s = shard_for(key);
+  std::unique_lock lock(s.mutex);
+  auto it = s.entries.find(key);
+  if (it == s.entries.end()) return false;
+  Entry& e = it->second;
+  if (e.location == target) return true;
+  const size_t bytes = e.module->payload_bytes();
+  // make_room may evict entries but never this one (it is in the other
+  // tier, and pinned entries are skipped anyway).
+  if (!make_room_locked(s, target, bytes)) return false;
+  s.tiers.credit(e.location, bytes);
+  s.tiers.charge(target, bytes);
+  e.location = target;
+  promotions_.fetch_add(1, std::memory_order_relaxed);
+  if (moved != nullptr) *moved = true;
+  return true;
+}
+
+void SharedModuleStore::erase(const std::string& key) {
+  Shard& s = shard_for(key);
+  std::unique_lock lock(s.mutex);
+  auto it = s.entries.find(key);
+  if (it != s.entries.end()) erase_locked(s, it);
+}
+
+void SharedModuleStore::clear() {
+  for (auto& shard : shards_) {
+    std::unique_lock lock(shard->mutex);
+    while (!shard->entries.empty()) {
+      erase_locked(*shard, shard->entries.begin());
+    }
+  }
+}
+
+void SharedModuleStore::for_each(
+    const std::function<void(const std::string& key,
+                             const EncodedModule& module,
+                             ModuleLocation location)>& fn) const {
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    for (const auto& [key, entry] : shard->entries) {
+      fn(key, *entry.module, entry.location);
+    }
+  }
+}
+
+size_t SharedModuleStore::size() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    n += shard->entries.size();
+  }
+  return n;
+}
+
+TierUsage SharedModuleStore::usage(ModuleLocation loc) const {
+  TierUsage total;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    const TierUsage& u = shard->tiers.usage(loc);
+    total.capacity_bytes += u.capacity_bytes;
+    total.used_bytes += u.used_bytes;
+  }
+  return total;
+}
+
+size_t SharedModuleStore::resident_bytes() const {
+  return usage(ModuleLocation::kDeviceMemory).used_bytes +
+         usage(ModuleLocation::kHostMemory).used_bytes;
+}
+
+ModuleStoreStats SharedModuleStore::stats() const {
+  ModuleStoreStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.insertions = insertions_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.demotions = demotions_.load(std::memory_order_relaxed);
+  out.promotions = promotions_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace pc

@@ -1,0 +1,216 @@
+// Thread-safe shared module store for concurrent serving.
+//
+// The private ModuleStore gives each engine its own registry, so N workers
+// encode and hold every module N times — forfeiting exactly the reuse the
+// paper's TTFT claim rests on (§3.4, §5). SharedModuleStore is the shared,
+// concurrent counterpart: N engines over one store hold each encoded module
+// once, and a module encoded by any worker is a hit for all of them.
+//
+// Concurrency design:
+//
+//   * Striped locking. Entries are partitioned into shards by key hash;
+//     each shard has its own std::shared_mutex. Mutations (insert, evict,
+//     pin, recency updates) take the shard lock exclusively; const queries
+//     (contains, is_pinned, for_each) take it shared. Capacities are split
+//     evenly across shards, so eviction decisions are shard-local and never
+//     serialize the whole store.
+//
+//   * Shared-ownership reads. Lookups return a ModuleRef — a
+//     shared_ptr-backed handle acquired under the shard lock — instead of a
+//     raw pointer. The expensive part of a hit (memcpying module rows into
+//     a request cache) runs entirely outside any lock, and a ref keeps its
+//     payload alive even if another worker evicts or replaces the entry
+//     mid-copy. Zero-copy SegmentedKVCache views hold their refs for the
+//     whole request, so borrowed rows can never dangle.
+//
+//   * Reference-counted pins. pin()/unpin() count references instead of
+//     setting a flag: two requests borrowing the same module on different
+//     workers each take a pin, and the entry stays ineligible for eviction
+//     until the *last* borrower releases. (Refs make eviction safe; pins
+//     make it not happen — keeping hot modules resident and the footprint
+//     accounting honest.)
+//
+//   * Single-flight encoding. ensure() runs the encode callback at most
+//     once per missing key across all threads: the first caller becomes the
+//     leader and encodes outside all locks while later callers block on a
+//     per-key flight; they wake holding a ref to the leader's result. A
+//     failed leader wakes the waiters and the next caller retries.
+//
+// Stats are plain atomics (see snapshot()); the hit/miss/insert/evict
+// semantics mirror ModuleStoreStats so existing telemetry carries over.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/encoded_module.h"
+#include "core/module_store.h"
+#include "sys/memory_tier.h"
+
+namespace pc {
+
+class SharedModuleStore {
+ public:
+  static constexpr size_t kDefaultShards = 8;
+
+  // Capacities in bytes, split evenly across shards; 0 means unlimited.
+  // A single module larger than capacity / n_shards cannot be stored in a
+  // capacity-limited tier — size shard counts to the workload.
+  SharedModuleStore(size_t device_capacity, size_t host_capacity,
+                    size_t n_shards = kDefaultShards);
+
+  SharedModuleStore(const SharedModuleStore&) = delete;
+  SharedModuleStore& operator=(const SharedModuleStore&) = delete;
+
+  // A pinned-by-ownership read handle: dereferencing is lock-free and the
+  // payload outlives concurrent eviction/replacement of the entry.
+  class ModuleRef {
+   public:
+    ModuleRef() = default;
+    ModuleRef(std::shared_ptr<const EncodedModule> module, ModuleLocation loc)
+        : module_(std::move(module)), location_(loc) {}
+
+    explicit operator bool() const { return module_ != nullptr; }
+    const EncodedModule& operator*() const { return *module_; }
+    const EncodedModule* operator->() const { return module_.get(); }
+    const EncodedModule* get() const { return module_.get(); }
+    ModuleLocation location() const { return location_; }
+    void reset() { module_.reset(); }
+
+   private:
+    std::shared_ptr<const EncodedModule> module_;
+    ModuleLocation location_ = ModuleLocation::kHostMemory;
+  };
+
+  // Looks up a module and bumps its recency; empty ref on miss. With
+  // and_pin, the lookup and the pin are one atomic step (no window where
+  // another worker can evict between them).
+  ModuleRef find(const std::string& key, bool and_pin = false);
+
+  // Single-flight lookup-or-encode: returns a ref to the resident module,
+  // running `encode` (outside all store locks) only if this caller is the
+  // first to need a missing key. `encoded_here` (if non-null) reports
+  // whether this call ran the encode — the caller's "I paid the forward
+  // pass" signal for its own stats. Propagates exceptions from `encode`;
+  // waiters behind a failed leader retry (one becomes the next leader).
+  ModuleRef ensure(const std::string& key,
+                   const std::function<EncodedModule()>& encode,
+                   bool* encoded_here = nullptr, bool and_pin = false);
+
+  // Inserts (or replaces) a module, placing it device-first and evicting
+  // unpinned LRU entries as needed. A replaced entry keeps its pin count
+  // (live borrowers hold refs to the old payload, which stays valid).
+  // Throws pc::CacheError when the module fits in neither tier.
+  void insert(const std::string& key, EncodedModule module);
+
+  bool contains(const std::string& key) const;
+
+  // Reference-counted pins: the entry is not evictable while the count is
+  // positive. pin() returns false if the key is absent; unpin() returns
+  // false if absent or not pinned (the count never goes negative).
+  bool pin(const std::string& key);
+  bool unpin(const std::string& key);
+  bool is_pinned(const std::string& key) const;  // pin count > 0
+  int pin_count(const std::string& key) const;   // 0 if absent
+
+  // Moves an entry to `target`, evicting unpinned LRU entries there as
+  // needed; false when absent or it cannot fit. `moved` (if non-null)
+  // reports whether a transfer actually happened (false for already-there).
+  bool promote(const std::string& key, ModuleLocation target,
+               bool* moved = nullptr);
+
+  // Administrative removal (schema reload): erases the entry even if
+  // pinned — live borrowers stay safe through their refs, and their later
+  // unpin simply returns false. Contrast eviction, which respects pins.
+  void erase(const std::string& key);
+  void clear();
+
+  // Visits a weakly-consistent snapshot of resident entries (entries
+  // inserted or evicted concurrently may or may not be seen). The callback
+  // runs under a shared shard lock and must not call back into the store.
+  void for_each(const std::function<void(const std::string& key,
+                                         const EncodedModule& module,
+                                         ModuleLocation location)>& fn) const;
+
+  size_t size() const;
+  size_t n_shards() const { return shards_.size(); }
+
+  // Summed usage across shards for `loc`, and total resident payload.
+  TierUsage usage(ModuleLocation loc) const;
+  size_t resident_bytes() const;
+
+  // Consistent-enough snapshot of the atomic counters (individual fields
+  // are exact; cross-field invariants can be momentarily off mid-update).
+  ModuleStoreStats stats() const;
+  // Callers that blocked on another thread's in-flight encode — each one is
+  // a duplicate forward pass single-flight saved.
+  uint64_t single_flight_waits() const {
+    return single_flight_waits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const EncodedModule> module;
+    ModuleLocation location = ModuleLocation::kHostMemory;
+    int pin_count = 0;
+    uint64_t last_used = 0;  // global clock stamp; smallest = coldest
+  };
+
+  // One single-flight encode in progress for a key.
+  struct Flight {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;  // leader finished (successfully or not)
+  };
+
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<std::string, Entry> entries;
+    std::unordered_map<std::string, std::shared_ptr<Flight>> in_flight;
+    TierAllocator tiers;
+
+    Shard(size_t host_capacity, size_t device_capacity)
+        : tiers(host_capacity, device_capacity) {}
+  };
+
+  Shard& shard_for(const std::string& key) {
+    return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+  const Shard& shard_for(const std::string& key) const {
+    return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  uint64_t tick() { return clock_.fetch_add(1, std::memory_order_relaxed); }
+
+  // All *_locked helpers require the shard's exclusive lock.
+  bool make_room_locked(Shard& s, ModuleLocation loc, size_t bytes);
+  void erase_locked(Shard& s,
+                    std::unordered_map<std::string, Entry>::iterator it);
+  // Places the payload (device-first), preserving `pins` from a replaced
+  // entry. Returns the chosen tier; throws CacheError when nothing fits.
+  ModuleLocation place_locked(Shard& s, const std::string& key,
+                              std::shared_ptr<const EncodedModule> module,
+                              int pins);
+  void finish_flight(Shard& s, const std::string& key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> clock_{1};
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> demotions_{0};
+  std::atomic<uint64_t> promotions_{0};
+  std::atomic<uint64_t> single_flight_waits_{0};
+};
+
+}  // namespace pc

@@ -65,9 +65,7 @@ class PagedKVPool {
     }
   }
 
-  int refcount(PageId id) const {
-    return const_cast<PagedKVPool*>(this)->page(id).refcount;
-  }
+  int refcount(PageId id) const { return page(id).refcount; }
 
   // Write access with copy-on-write: if the page is shared, a private copy
   // is made and its id returned; otherwise the same id is returned.
@@ -84,9 +82,7 @@ class PagedKVPool {
   }
 
   float* data(PageId id) { return page(id).data.data(); }
-  const float* data(PageId id) const {
-    return const_cast<PagedKVPool*>(this)->page(id).data.data();
-  }
+  const float* data(PageId id) const { return page(id).data.data(); }
 
   // Number of live (referenced) pages and their total payload.
   int live_pages() const {
@@ -113,6 +109,11 @@ class PagedKVPool {
   }
 
   Page& page(PageId id) {
+    PC_CHECK_MSG(id >= 0 && static_cast<size_t>(id) < pages_.size(),
+                 "bad page id " << id);
+    return pages_[static_cast<size_t>(id)];
+  }
+  const Page& page(PageId id) const {
     PC_CHECK_MSG(id >= 0 && static_cast<size_t>(id) < pages_.size(),
                  "bad page id " << id);
     return pages_[static_cast<size_t>(id)];

@@ -1,0 +1,225 @@
+#include "sys/server.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace pc {
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+Server::Server(const Model& model, const TextTokenizer& tokenizer,
+               SharedModuleStore& shared_store, ServerConfig config)
+    : model_(model),
+      tokenizer_(tokenizer),
+      shared_(&shared_store),
+      config_(std::move(config)) {
+  start();
+}
+
+Server::Server(const Model& model, const TextTokenizer& tokenizer,
+               ServerConfig config)
+    : model_(model), tokenizer_(tokenizer), config_(std::move(config)) {
+  start();
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  PC_CHECK_MSG(config_.n_workers > 0, "Server needs at least one worker");
+  PC_CHECK_MSG(config_.queue_capacity > 0, "Server queue capacity must be > 0");
+  workers_.reserve(static_cast<size_t>(config_.n_workers));
+  for (int i = 0; i < config_.n_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (int i = 0; i < config_.n_workers; ++i) {
+    workers_[static_cast<size_t>(i)]->thread =
+        std::thread([this, i] { worker_loop(i); });
+  }
+  // Wait until every worker has built its engine and loaded the schemas:
+  // serving wall time then measures serving, not startup. (Schema loads
+  // race on purpose — with a shared store they exercise single-flight.)
+  std::unique_lock lock(mutex_);
+  cv_ready_.wait(lock, [&] { return workers_ready_ == config_.n_workers; });
+}
+
+uint64_t Server::submit(std::string prompt, const GenerateOptions& options,
+                        double deadline_ms) {
+  std::unique_lock lock(mutex_);
+  PC_CHECK_MSG(!stop_, "submit() on a stopped Server");
+  cv_not_full_.wait(lock,
+                    [&] { return queue_.size() < config_.queue_capacity; });
+  const uint64_t id = submitted_++;
+  if (!clock_started_) {
+    clock_started_ = true;
+    first_submit_ = std::chrono::steady_clock::now();
+  }
+  queue_.push_back(Item{id, std::move(prompt), options,
+                        deadline_ms > 0 ? deadline_ms
+                                        : config_.default_deadline_ms,
+                        std::chrono::steady_clock::now()});
+  lock.unlock();
+  cv_not_empty_.notify_one();
+  return id;
+}
+
+std::vector<ServerResponse> Server::drain() {
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [&] { return completed_ == submitted_; });
+  std::vector<ServerResponse> out = std::move(responses_);
+  responses_.clear();
+  lock.unlock();
+  std::sort(out.begin(), out.end(),
+            [](const ServerResponse& a, const ServerResponse& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+void Server::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_not_empty_.notify_all();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void Server::worker_loop(int index) {
+  Worker& self = *workers_[static_cast<size_t>(index)];
+  self.engine =
+      shared_ != nullptr
+          ? std::make_unique<PromptCacheEngine>(model_, tokenizer_, *shared_,
+                                                config_.engine)
+          : std::make_unique<PromptCacheEngine>(model_, tokenizer_,
+                                                config_.engine);
+  for (const std::string& pml : config_.schemas) {
+    self.engine->load_schema(pml);
+  }
+  {
+    std::lock_guard lock(mutex_);
+    ++workers_ready_;
+  }
+  cv_ready_.notify_all();
+
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock lock(mutex_);
+      cv_not_empty_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to serve
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    cv_not_full_.notify_one();
+
+    const auto dequeued = std::chrono::steady_clock::now();
+    ServerResponse resp;
+    resp.id = item.id;
+    resp.worker = index;
+    resp.queue_ms = ms_between(item.enqueued, dequeued);
+    try {
+      resp.result = self.engine->serve(item.prompt, item.options);
+      // Simulated host-link transfer for this request's host-resident
+      // module bytes (see LinkModel in server.h). The sleep yields the
+      // core, so transfers overlap across workers like real DMA.
+      const double stall_s =
+          config_.link.stall_s(resp.result.ttft.bytes_from_host);
+      if (stall_s > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(stall_s));
+        resp.stall_ms = stall_s * 1e3;
+      }
+      resp.ttft_ms =
+          resp.queue_ms + resp.stall_ms + resp.result.ttft.total_ms();
+    } catch (const std::exception& e) {
+      resp.error = e.what();
+      self.engine->release_borrowed_pins();  // drop pins of a failed serve
+    }
+    const auto done = std::chrono::steady_clock::now();
+    resp.service_ms = ms_between(dequeued, done);
+    if (item.deadline_ms > 0) {
+      resp.deadline_met = resp.queue_ms + resp.service_ms <= item.deadline_ms;
+    }
+
+    {
+      std::lock_guard lock(mutex_);
+      if (!resp.error.empty()) {
+        ++errors_;
+      } else {
+        e2e_ttft_.record_ms(resp.ttft_ms);
+      }
+      if (!resp.deadline_met) ++deadline_misses_;
+      responses_.push_back(std::move(resp));
+      ++completed_;
+      last_complete_ = done;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  out.n_workers = config_.n_workers;
+  out.shared_store = shared_ != nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    out.submitted = submitted_;
+    out.completed = completed_;
+    out.errors = errors_;
+    out.deadline_misses = deadline_misses_;
+    out.ttft = e2e_ttft_;
+    if (clock_started_ && completed_ > 0) {
+      out.wall_ms = ms_between(first_submit_, last_complete_);
+    }
+  }
+  if (out.wall_ms > 0) {
+    out.throughput_rps =
+        static_cast<double>(out.completed) / (out.wall_ms / 1e3);
+  }
+
+  for (const auto& w : workers_) {
+    if (w->engine == nullptr) continue;  // worker still constructing
+    const EngineStats& es = w->engine->stats();
+    out.modules_encoded += es.modules_encoded;
+    out.scaffolds_encoded += es.scaffolds_encoded;
+    out.thrash_reencodes += es.thrash_reencodes;
+    out.engine_ttft.merge(w->engine->cached_ttft_histogram());
+    if (shared_ == nullptr) {
+      const ModuleStoreStats& ss = w->engine->store().stats();
+      out.store.hits += ss.hits;
+      out.store.misses += ss.misses;
+      out.store.insertions += ss.insertions;
+      out.store.evictions += ss.evictions;
+      out.store.demotions += ss.demotions;
+      out.store.promotions += ss.promotions;
+      out.resident_module_bytes +=
+          w->engine->store().usage(ModuleLocation::kDeviceMemory).used_bytes +
+          w->engine->store().usage(ModuleLocation::kHostMemory).used_bytes;
+    }
+  }
+  if (shared_ != nullptr) {
+    out.store = shared_->stats();
+    out.resident_module_bytes = shared_->resident_bytes();
+    out.bytes_deduplicated =
+        out.resident_module_bytes *
+        static_cast<size_t>(std::max(0, config_.n_workers - 1));
+    out.single_flight_waits = shared_->single_flight_waits();
+  }
+  const double lookups =
+      static_cast<double>(out.store.hits + out.store.misses);
+  if (lookups > 0) {
+    out.store_hit_rate = static_cast<double>(out.store.hits) / lookups;
+  }
+  return out;
+}
+
+}  // namespace pc

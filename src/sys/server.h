@@ -1,0 +1,192 @@
+// Concurrent serving frontend: a bounded request queue feeding a pool of
+// worker threads, one PromptCacheEngine per worker over one shared (const)
+// Model. Two store configurations (see src/core/engine.h):
+//
+//   * shared:  all workers route through one SharedModuleStore — each module
+//     is encoded once fleet-wide (single-flight) and held once.
+//   * private: each worker owns a ModuleStore sized by ServerConfig::engine —
+//     the scale-out baseline the shared store is measured against.
+//
+// Request lifecycle: submit() enqueues (blocking while the queue is at
+// capacity — admission control instead of unbounded memory); a worker pops,
+// serves, applies the simulated host-link stall (below), and records a
+// ServerResponse. drain() blocks until every submitted request completed and
+// returns the responses in submission order. stats() aggregates per-worker
+// engine counters and histograms (LatencyHistogram::merge) with the store's
+// — call it only while the server is idle (after drain()).
+//
+// Host-link model. This repo substitutes analytic models for hardware it
+// doesn't have (see device_model.h): kernels run fp32 on CPU and device
+// behavior is modeled, not executed. LinkModel extends that substitution to
+// serving concurrency: each request sleeps for the time a real host->device
+// link would spend moving that request's host-resident module bytes
+// (latency + bytes/bandwidth). The sleep releases the core, so stalls
+// overlap across workers exactly as DMA transfers overlap with compute —
+// which is what makes a worker pool scale even when the compute itself is
+// serialized on few cores. With LinkModel{} (all zeros) no stall is applied.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "core/engine.h"
+#include "core/shared_module_store.h"
+#include "model/model.h"
+
+namespace pc {
+
+// Simulated host<->device interconnect (0-valued fields contribute nothing).
+struct LinkModel {
+  double bandwidth_bytes_per_s = 0;  // host-link throughput; 0 = infinite
+  double latency_s = 0;              // fixed per-request transfer setup cost
+
+  double stall_s(size_t bytes_from_host) const {
+    double s = latency_s;
+    if (bandwidth_bytes_per_s > 0) {
+      s += static_cast<double>(bytes_from_host) / bandwidth_bytes_per_s;
+    }
+    return s;
+  }
+};
+
+struct ServerConfig {
+  int n_workers = 4;
+  size_t queue_capacity = 64;    // submit() blocks when full
+  EngineConfig engine;           // per-worker engine config
+  std::vector<std::string> schemas;  // PML loaded by every worker at startup
+  double default_deadline_ms = 0;    // 0 = no deadline accounting
+  LinkModel link;
+};
+
+struct ServerResponse {
+  uint64_t id = 0;    // submission order
+  int worker = -1;    // worker that served it
+  ServeResult result;
+  double queue_ms = 0;    // submit -> dequeue
+  double stall_ms = 0;    // simulated host-link transfer (LinkModel)
+  double service_ms = 0;  // dequeue -> done (serve + stall)
+  double ttft_ms = 0;     // end-to-end: queue + stall + engine TTFT
+  bool deadline_met = true;
+  std::string error;  // non-empty when serve() threw; result is empty then
+};
+
+struct ServerStats {
+  int n_workers = 0;
+  bool shared_store = false;
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+  uint64_t deadline_misses = 0;
+
+  double wall_ms = 0;        // first submit -> last completion
+  double throughput_rps = 0;  // completed / wall
+
+  LatencyHistogram ttft;         // end-to-end (queue + stall + engine TTFT)
+  LatencyHistogram engine_ttft;  // merged per-engine cached-serve TTFT
+
+  // Summed per-worker engine counters.
+  uint64_t modules_encoded = 0;
+  uint64_t scaffolds_encoded = 0;
+  uint64_t thrash_reencodes = 0;
+
+  // Store-level: the shared store's snapshot, or the sum over private
+  // stores. hit_rate = hits / (hits + misses).
+  ModuleStoreStats store;
+  double store_hit_rate = 0;
+  size_t resident_module_bytes = 0;
+  // Bytes N private workers would hold that the shared store holds once:
+  // resident_bytes * (n_workers - 1). Zero in private mode (nothing is
+  // deduplicated — the duplication is real and shows up in
+  // resident_module_bytes instead).
+  size_t bytes_deduplicated = 0;
+  uint64_t single_flight_waits = 0;  // encodes avoided by single-flight
+};
+
+class Server {
+ public:
+  // Shared-store serving: all workers encode into / serve from
+  // `shared_store`, which must outlive the server.
+  Server(const Model& model, const TextTokenizer& tokenizer,
+         SharedModuleStore& shared_store, ServerConfig config);
+
+  // Private-store serving: each worker owns a ModuleStore sized by
+  // config.engine (the N-times-everything baseline).
+  Server(const Model& model, const TextTokenizer& tokenizer,
+         ServerConfig config);
+
+  // Joins the pool (requests still queued are served first, as stop()).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Enqueues a request; blocks while the queue is at capacity. Returns the
+  // request id (== submission index). deadline_ms 0 uses the config default.
+  uint64_t submit(std::string prompt, const GenerateOptions& options = {},
+                  double deadline_ms = 0);
+
+  // Blocks until every submitted request has completed, then returns the
+  // responses sorted by id (and clears the internal buffer).
+  std::vector<ServerResponse> drain();
+
+  // Stops accepting work and joins the workers after the queue empties.
+  // Idempotent; the destructor calls it.
+  void stop();
+
+  // Aggregate view. Only valid while idle (between drain() and the next
+  // submit) — per-engine counters are unsynchronized during serving.
+  ServerStats stats() const;
+
+  int n_workers() const { return config_.n_workers; }
+
+ private:
+  struct Item {
+    uint64_t id = 0;
+    std::string prompt;
+    GenerateOptions options;
+    double deadline_ms = 0;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  struct Worker {
+    std::thread thread;
+    std::unique_ptr<PromptCacheEngine> engine;  // built on `thread`
+  };
+
+  void start();
+  void worker_loop(int index);
+
+  const Model& model_;
+  const TextTokenizer& tokenizer_;
+  SharedModuleStore* shared_ = nullptr;  // null => private stores
+  ServerConfig config_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_not_empty_;
+  std::condition_variable cv_not_full_;
+  std::condition_variable cv_done_;
+  std::condition_variable cv_ready_;
+  std::deque<Item> queue_;
+  std::vector<ServerResponse> responses_;
+  LatencyHistogram e2e_ttft_;  // survives drain() clearing responses_
+  uint64_t submitted_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t errors_ = 0;
+  uint64_t deadline_misses_ = 0;
+  int workers_ready_ = 0;
+  bool stop_ = false;
+  bool clock_started_ = false;
+  std::chrono::steady_clock::time_point first_submit_;
+  std::chrono::steady_clock::time_point last_complete_;
+};
+
+}  // namespace pc
