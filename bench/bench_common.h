@@ -13,6 +13,15 @@
 
 #include "eval/table.h"
 #include "eval/workload.h"
+#include "obs/trace.h"
+
+// Stamped by bench/CMakeLists.txt; fall back for non-bench includers.
+#ifndef PC_GIT_SHA
+#define PC_GIT_SHA "unknown"
+#endif
+#ifndef PC_BUILD_TYPE
+#define PC_BUILD_TYPE "unknown"
+#endif
 
 namespace pc::bench {
 
@@ -52,6 +61,28 @@ inline void print_banner(const std::string& what, const std::string& note) {
             << "# " << what << "\n";
   if (!note.empty()) std::cout << "# " << note << "\n";
   std::cout << "############################################################\n";
+}
+
+// Provenance block for BENCH_*.json: which commit/build/config produced the
+// numbers, so the bench trajectory stays comparable across PRs. `indent` is
+// the number of spaces before the closing key lines (the caller's JSON
+// nesting depth).
+inline std::string provenance_json(int indent = 2) {
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  const std::string inner(static_cast<size_t>(indent) + 2, ' ');
+  const char* threads = std::getenv("PC_THREADS");
+  std::string out = "{\n";
+  out += inner + "\"git_sha\": \"" + PC_GIT_SHA + "\",\n";
+  out += inner + "\"build_type\": \"" + PC_BUILD_TYPE + "\",\n";
+  out += inner + "\"pc_threads\": \"" +
+         (threads != nullptr ? threads : "unset") + "\",\n";
+  out += inner + "\"obs_enabled\": ";
+  out += (PC_OBS_ENABLED ? "true" : "false");
+  out += ",\n";
+  out += inner + "\"tracing\": ";
+  out += (obs::tracing_enabled() ? "true" : "false");
+  out += "\n" + pad + "}";
+  return out;
 }
 
 }  // namespace pc::bench

@@ -237,7 +237,8 @@ void bench_ttft() {
 
 void write_json(double gemm_nt_required_speedup) {
   std::ofstream out("BENCH_kernels.json");
-  out << "{\n  \"isa\": \"" << simd::isa_name() << "\",\n"
+  out << "{\n  \"provenance\": " << bench::provenance_json() << ",\n"
+      << "  \"isa\": \"" << simd::isa_name() << "\",\n"
       << "  \"gemm_nt_64_512_512_speedup\": "
       << TablePrinter::fmt(gemm_nt_required_speedup, 2) << ",\n"
       << "  \"results\": [\n";

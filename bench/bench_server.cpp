@@ -35,6 +35,8 @@
 #include "eval/table.h"
 #include "eval/workload.h"
 #include "model/induction.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "sys/server.h"
 
 namespace {
@@ -143,6 +145,7 @@ void write_json(const std::vector<RunResult>& runs, size_t distinct_modules,
 
   std::ofstream out("BENCH_server.json");
   out << "{\n"
+      << "  \"provenance\": " << bench::provenance_json() << ",\n"
       << "  \"distinct_modules\": " << distinct_modules << ",\n"
       << "  \"module_bytes_total\": " << module_bytes << ",\n"
       << "  \"calibrated_serve_ms\": "
@@ -192,11 +195,19 @@ void write_json(const std::vector<RunResult>& runs, size_t distinct_modules,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   // Worker-level parallelism is the experiment; keep kernel-level
   // parallelism out of it (must happen before the global pool first spins
   // up inside the calibration serve).
   setenv("PC_THREADS", "1", /*overwrite=*/0);
+
+  // --obs-summary prints the span/metric table after the sweep; setting
+  // PC_TRACE=<path> (or any non-empty value, default bench_server_trace.json)
+  // additionally exports a Perfetto trace of the whole run.
+  bool obs_summary = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--obs-summary") obs_summary = true;
+  }
 
   bench::print_banner(
       "Concurrent serving — shared vs private module stores",
@@ -291,5 +302,15 @@ int main() {
             << TablePrinter::fmt_ms(link.latency_s * 1e3)
             << " + bytes_from_host/8GBps\n";
   write_json(runs, distinct_modules, module_bytes, link, calibrated_serve_ms);
+
+  if (const char* trace = std::getenv("PC_TRACE");
+      trace != nullptr && *trace != '\0') {
+    const std::string path =
+        trace[0] == '1' && trace[1] == '\0' ? "bench_server_trace.json" : trace;
+    if (obs::write_perfetto_trace(path)) {
+      std::cout << "wrote " << path << " (load in ui.perfetto.dev)\n";
+    }
+  }
+  if (obs_summary) obs::print_summary(std::cout);
   return 0;
 }

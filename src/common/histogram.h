@@ -2,8 +2,11 @@
 //
 // The engine records per-request TTFT into these so long-running serving
 // processes can report p50/p90/p99 without retaining per-request samples.
-// Buckets grow geometrically (factor 2^(1/4) ≈ 19% per bucket) from 1 µs to
-// ~4.6 hours, giving <10% quantile error at constant memory.
+// Buckets grow geometrically from a configurable floor; the default layout
+// (factor 2^(1/4) ≈ 19% per bucket from 1 µs) spans ~4.6 hours with <10%
+// quantile error at constant memory. The observability registry
+// (src/obs/metrics.h) wraps this class for its histogram instrument, so
+// every latency metric in the process shares one quantile semantics.
 #pragma once
 
 #include <array>
@@ -19,11 +22,25 @@ class LatencyHistogram {
  public:
   static constexpr int kBuckets = 136;  // 1e-6 s * 2^(135/4) ≈ 1.5e4 s
 
+  // Default layout: 1 µs floor, 4 buckets per doubling.
+  LatencyHistogram() = default;
+
+  // Custom layout: `min_seconds` floor (bucket 0 holds everything at or
+  // below it), `buckets_per_doubling` geometric resolution. The bucket
+  // COUNT is fixed (kBuckets); the layout controls floor and growth rate.
+  LatencyHistogram(double min_seconds, int buckets_per_doubling)
+      : min_seconds_(min_seconds),
+        per_doubling_(buckets_per_doubling) {
+    PC_CHECK_MSG(min_seconds > 0.0, "histogram floor must be positive");
+    PC_CHECK_MSG(buckets_per_doubling >= 1,
+                 "histogram needs at least one bucket per doubling");
+  }
+
   void record_seconds(double seconds) {
     ++count_;
     sum_seconds_ += seconds;
     max_seconds_ = std::max(max_seconds_, seconds);
-    min_seconds_ = std::min(min_seconds_, seconds);
+    min_seconds_seen_ = std::min(min_seconds_seen_, seconds);
     ++buckets_[static_cast<size_t>(bucket_for(seconds))];
   }
 
@@ -35,7 +52,16 @@ class LatencyHistogram {
     return count_ == 0 ? 0.0 : sum_seconds_ / static_cast<double>(count_);
   }
   double max_seconds() const { return count_ == 0 ? 0.0 : max_seconds_; }
-  double min_seconds() const { return count_ == 0 ? 0.0 : min_seconds_; }
+  double min_seconds() const { return count_ == 0 ? 0.0 : min_seconds_seen_; }
+
+  // The bucket layout (floor, buckets per doubling). Two histograms with
+  // equal layouts merge exactly.
+  double bucket_floor_seconds() const { return min_seconds_; }
+  int buckets_per_doubling() const { return per_doubling_; }
+  bool same_layout(const LatencyHistogram& other) const {
+    return min_seconds_ == other.min_seconds_ &&
+           per_doubling_ == other.per_doubling_;
+  }
 
   // Quantile in [0, 1]; returns the upper edge of the bucket containing it.
   double quantile_seconds(double q) const {
@@ -55,21 +81,41 @@ class LatencyHistogram {
   double p90_ms() const { return quantile_seconds(0.90) * 1e3; }
   double p99_ms() const { return quantile_seconds(0.99) * 1e3; }
 
-  void reset() { *this = LatencyHistogram(); }
+  // Clears the samples; the bucket layout is preserved.
+  void reset() {
+    buckets_.fill(0);
+    count_ = 0;
+    sum_seconds_ = 0.0;
+    max_seconds_ = 0.0;
+    min_seconds_seen_ = 1e300;
+  }
 
-  // Folds another histogram into this one (identical bucket layout, so the
-  // merge is exact). Serving fleets keep one histogram per worker engine —
-  // recording stays unsynchronized and lock-free — and merge them on the
-  // stats path for fleet-level percentiles.
+  // Folds another histogram into this one. Identical layouts merge
+  // bucket-for-bucket (exact — serving fleets keep one histogram per worker
+  // engine, recording stays unsynchronized and lock-free, and the stats
+  // path merges them into fleet percentiles). Differing layouts REBUCKET:
+  // each of the other's occupied buckets is folded in at its upper edge, so
+  // counts/sums/extrema stay exact and quantiles keep this histogram's
+  // bucket-width error bound instead of silently misaligning bins.
   void merge(const LatencyHistogram& other) {
     if (other.count_ == 0) return;
-    for (int b = 0; b < kBuckets; ++b) {
-      buckets_[static_cast<size_t>(b)] += other.buckets_[static_cast<size_t>(b)];
+    if (same_layout(other)) {
+      for (int b = 0; b < kBuckets; ++b) {
+        buckets_[static_cast<size_t>(b)] +=
+            other.buckets_[static_cast<size_t>(b)];
+      }
+    } else {
+      for (int b = 0; b < kBuckets; ++b) {
+        const uint64_t n = other.buckets_[static_cast<size_t>(b)];
+        if (n == 0) continue;
+        buckets_[static_cast<size_t>(bucket_for(other.bucket_upper_edge(b)))] +=
+            n;
+      }
     }
     count_ += other.count_;
     sum_seconds_ += other.sum_seconds_;
     max_seconds_ = std::max(max_seconds_, other.max_seconds_);
-    min_seconds_ = std::min(min_seconds_, other.min_seconds_);
+    min_seconds_seen_ = std::min(min_seconds_seen_, other.min_seconds_seen_);
   }
 
   // One-line summary for logs: "n=42 mean=1.2ms p50=1.1ms p99=3.0ms".
@@ -85,23 +131,28 @@ class LatencyHistogram {
   }
 
  private:
-  static int bucket_for(double seconds) {
-    if (seconds <= 1e-6) return 0;
-    const int b =
-        static_cast<int>(std::floor(4.0 * std::log2(seconds / 1e-6))) + 1;
+  int bucket_for(double seconds) const {
+    if (seconds <= min_seconds_) return 0;
+    const int b = static_cast<int>(std::floor(
+                      static_cast<double>(per_doubling_) *
+                      std::log2(seconds / min_seconds_))) +
+                  1;
     return std::min(std::max(b, 0), kBuckets - 1);
   }
 
-  static double bucket_upper_edge(int bucket) {
-    if (bucket <= 0) return 1e-6;
-    return 1e-6 * std::pow(2.0, static_cast<double>(bucket) / 4.0);
+  double bucket_upper_edge(int bucket) const {
+    if (bucket <= 0) return min_seconds_;
+    return min_seconds_ * std::pow(2.0, static_cast<double>(bucket) /
+                                            static_cast<double>(per_doubling_));
   }
 
+  double min_seconds_ = 1e-6;  // bucket-0 upper edge (layout floor)
+  int per_doubling_ = 4;       // buckets per doubling of latency
   std::array<uint64_t, kBuckets> buckets_ = {};
   uint64_t count_ = 0;
   double sum_seconds_ = 0.0;
   double max_seconds_ = 0.0;
-  double min_seconds_ = 1e300;
+  double min_seconds_seen_ = 1e300;
 };
 
 }  // namespace pc

@@ -1,12 +1,50 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/clock.h"
 
 namespace pc {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+// Initial level from PC_LOG_LEVEL: a name ("debug", "info", "warn",
+// "error", any case-insensitive prefix works via the first letter) or the
+// numeric 0-3. Unset or unparsable falls back to warn.
+int level_from_env() {
+  const char* v = std::getenv("PC_LOG_LEVEL");
+  if (v == nullptr || *v == '\0') return static_cast<int>(LogLevel::kWarn);
+  switch (v[0]) {
+    case 'd':
+    case 'D':
+      return static_cast<int>(LogLevel::kDebug);
+    case 'i':
+    case 'I':
+      return static_cast<int>(LogLevel::kInfo);
+    case 'w':
+    case 'W':
+      return static_cast<int>(LogLevel::kWarn);
+    case 'e':
+    case 'E':
+      return static_cast<int>(LogLevel::kError);
+    default:
+      break;
+  }
+  if (v[0] >= '0' && v[0] <= '3' && v[1] == '\0') return v[0] - '0';
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+std::atomic<int> g_level{level_from_env()};
 std::mutex g_mutex;
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
 }  // namespace
 
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
@@ -15,10 +53,17 @@ void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 namespace detail {
 
-void write_log_line(LogLevel level, const std::string& line) {
-  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+void write_log_line(LogLevel level, const char* file, int line,
+                    const std::string& message) {
+  static const char* kNames[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
+  // Same monotonic epoch as trace spans: log lines and exported spans
+  // share one time axis.
+  char prefix[96];
+  std::snprintf(prefix, sizeof(prefix), "[%11.6fs] [%s] %s:%d] ",
+                obs::now_seconds(), kNames[static_cast<int>(level)],
+                basename_of(file), line);
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[" << kNames[static_cast<int>(level)] << "] " << line << "\n";
+  std::cerr << prefix << message << "\n";
 }
 
 }  // namespace detail

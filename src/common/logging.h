@@ -1,4 +1,14 @@
 // Minimal leveled logger. Single translation-unit state, thread-safe writes.
+//
+// Lines carry the source location and a monotonic timestamp on the same
+// epoch clock as trace spans (src/obs/clock.h), so log output and an
+// exported trace line up on one time axis:
+//
+//   [   1.042315s] [INFO ] server.cpp:97] worker pool ready
+//
+// The initial level comes from the PC_LOG_LEVEL environment variable
+// ("debug" | "info" | "warn" | "error", or the numeric 0-3), defaulting to
+// warn; set_log_level() overrides at runtime.
 #pragma once
 
 #include <iostream>
@@ -16,12 +26,14 @@ void set_log_level(LogLevel level);
 
 namespace detail {
 
-void write_log_line(LogLevel level, const std::string& line);
+void write_log_line(LogLevel level, const char* file, int line,
+                    const std::string& message);
 
 class LogMessage {
  public:
-  LogMessage(LogLevel level) : level_(level) {}
-  ~LogMessage() { write_log_line(level_, os_.str()); }
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { write_log_line(level_, file_, line_, os_.str()); }
   LogMessage(const LogMessage&) = delete;
   LogMessage& operator=(const LogMessage&) = delete;
 
@@ -33,6 +45,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream os_;
 };
 
@@ -42,7 +56,7 @@ class LogMessage {
 #define PC_LOG(level)                                  \
   if (static_cast<int>(::pc::log_level()) <=           \
       static_cast<int>(::pc::LogLevel::level))         \
-  ::pc::detail::LogMessage(::pc::LogLevel::level)
+  ::pc::detail::LogMessage(::pc::LogLevel::level, __FILE__, __LINE__)
 
 #define PC_LOG_DEBUG PC_LOG(kDebug)
 #define PC_LOG_INFO PC_LOG(kInfo)

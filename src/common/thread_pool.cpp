@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string>
+
+#include "obs/trace.h"
 
 namespace pc {
 
@@ -23,7 +26,12 @@ ThreadPool::ThreadPool(size_t n_threads) {
   }
   // The calling thread participates in parallel_for, so spawn one fewer.
   for (size_t i = 1; i < n_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      // Label the lane in exported traces so parallel_for fan-out is
+      // attributable to a specific pool thread.
+      obs::set_thread_name("pool" + std::to_string(i));
+      worker_loop();
+    });
   }
 }
 
@@ -54,7 +62,11 @@ void ThreadPool::run_chunk(Job& job, size_t c) {
   const size_t end = std::min(job.n, begin + job.chunk);
   std::exception_ptr err = nullptr;
   try {
-    if (begin < end) (*job.fn)(begin, end);
+    if (begin < end) {
+      PC_SPAN("pool_chunk", {"begin", static_cast<int64_t>(begin)},
+              {"n", static_cast<int64_t>(end - begin)});
+      (*job.fn)(begin, end);
+    }
   } catch (...) {
     err = std::current_exception();
   }

@@ -6,9 +6,29 @@
 
 #include "common/timer.h"
 #include "core/serialize.h"
+#include "obs/trace.h"
 #include "tensor/fp16.h"
 
 namespace pc {
+
+EngineCells::EngineCells() {
+  auto& reg = obs::MetricsRegistry::global();
+  serves = reg.counter("pc_engine_serves_total", "cached serve() calls");
+  baseline_serves = reg.counter("pc_engine_baseline_serves_total",
+                                "KV-cache baseline serves");
+  modules_encoded =
+      reg.counter("pc_engine_modules_encoded_total", "module forward passes");
+  scaffolds_encoded = reg.counter("pc_engine_scaffolds_encoded_total",
+                                  "joint scaffold forward passes");
+  thrash_reencodes = reg.counter("pc_engine_thrash_reencodes_total",
+                                 "cache misses inside the TTFT window");
+  sibling_prefetches = reg.counter("pc_engine_sibling_prefetches_total",
+                                   "union siblings promoted to device");
+  cached_ttft = reg.histogram("pc_engine_ttft_cached_seconds",
+                              "TTFT of cached serves");
+  baseline_ttft = reg.histogram("pc_engine_ttft_baseline_seconds",
+                                "TTFT of baseline serves");
+}
 
 namespace {
 
@@ -216,6 +236,8 @@ EncodedModule PromptCacheEngine::finalize_encoding(
 
 EncodedModule PromptCacheEngine::build_module_payload(const pml::Schema& schema,
                                                       int mi) {
+  PC_SPAN("encode_module",
+          {"tokens", static_cast<int64_t>(schema.module(mi).own_token_count())});
   const std::vector<pml::TokenRun> runs = schema.module_own_runs(mi);
   std::vector<TokenId> tokens;
   std::vector<int> pos_ids;
@@ -236,6 +258,8 @@ EncodedModule PromptCacheEngine::build_module_payload(const pml::Schema& schema,
 
 EncodedModule PromptCacheEngine::build_scaffold_payload(
     const pml::Schema& schema, const Scaffold& scaffold) {
+  PC_SPAN("encode_scaffold",
+          {"modules", static_cast<int64_t>(scaffold.module_indices.size())});
   std::vector<pml::TokenRun> runs;
   for (int mi : scaffold.module_indices) {
     for (pml::TokenRun& run : schema.module_own_runs(mi)) {
@@ -266,12 +290,12 @@ void PromptCacheEngine::encode_module(const pml::Schema& schema, int mi) {
     bool encoded_here = false;
     (void)shared_->ensure(
         key, [&] { return build_module_payload(schema, mi); }, &encoded_here);
-    if (encoded_here) ++stats_.modules_encoded;
+    if (encoded_here) cells_.modules_encoded.inc();
     return;
   }
   if (store_.contains(key)) return;
   store_.insert(key, build_module_payload(schema, mi));
-  ++stats_.modules_encoded;
+  cells_.modules_encoded.inc();
 }
 
 void PromptCacheEngine::encode_scaffold(const pml::Schema& schema,
@@ -282,12 +306,12 @@ void PromptCacheEngine::encode_scaffold(const pml::Schema& schema,
     (void)shared_->ensure(
         scaffold.key, [&] { return build_scaffold_payload(schema, scaffold); },
         &encoded_here);
-    if (encoded_here) ++stats_.scaffolds_encoded;
+    if (encoded_here) cells_.scaffolds_encoded.inc();
     return;
   }
   if (store_.contains(scaffold.key)) return;
   store_.insert(scaffold.key, build_scaffold_payload(schema, scaffold));
-  ++stats_.scaffolds_encoded;
+  cells_.scaffolds_encoded.inc();
 }
 
 pml::PromptBinding PromptCacheEngine::bind(std::string_view prompt_pml) const {
@@ -326,6 +350,8 @@ PromptCacheEngine::active_scaffolds(const pml::PromptBinding& binding,
 }
 
 double PromptCacheEngine::ensure_encoded(const pml::PromptBinding& binding) {
+  PC_SPAN("ensure_encoded",
+          {"modules", static_cast<int64_t>(binding.modules.size())});
   WallTimer timer;
   std::vector<bool> covered;
   const auto active = active_scaffolds(binding, &covered);
@@ -437,7 +463,7 @@ void PromptCacheEngine::for_each_encoded(
       if (!ref) {
         // Evicted since the ensure pass (cache thrash): re-encode — or,
         // single-flight, adopt another worker's in-progress encode.
-        ++stats_.thrash_reencodes;
+        cells_.thrash_reencodes.inc();
         bool encoded_here = false;
         ref = shared_->ensure(
             key,
@@ -450,7 +476,8 @@ void PromptCacheEngine::for_each_encoded(
             },
             &encoded_here, borrow);
         if (encoded_here) {
-          is_scaffold ? ++stats_.scaffolds_encoded : ++stats_.modules_encoded;
+          (is_scaffold ? cells_.scaffolds_encoded : cells_.modules_encoded)
+              .inc();
         }
       }
       if (borrow) {
@@ -465,7 +492,7 @@ void PromptCacheEngine::for_each_encoded(
     const EncodedModule* encoded = store_.find(key, &loc);
     if (encoded == nullptr) {
       // Evicted since the ensure pass (cache thrash): re-encode inline.
-      ++stats_.thrash_reencodes;
+      cells_.thrash_reencodes.inc();
       if (is_scaffold) {
         encode_scaffold(*binding.schema, *active[scaffold_of(mi)]);
       } else {
@@ -492,6 +519,7 @@ Tensor prefill_uncached(const Model& model, const pml::PromptBinding& binding,
     stream.tokens.push_back(Vocab::kBos);
     stream.pos_ids.push_back(binding.next_pos);
   }
+  PC_SPAN("prefill", {"tokens", static_cast<int64_t>(stream.tokens.size())});
   Tensor logits = model.forward(stream.tokens, stream.pos_ids, cache);
   if (ttft != nullptr) {
     ttft->uncached_ms = uncached_timer.elapsed_ms();
@@ -506,12 +534,16 @@ Tensor PromptCacheEngine::assemble_and_prefill(
     const pml::PromptBinding& binding, KVCache& sequence_cache,
     TtftBreakdown* ttft) {
   WallTimer retrieve_timer;
-  sequence_cache.reserve(binding.cached_token_count() +
-                         binding.uncached_token_count() + 64);
-  for_each_encoded(binding, [&](const std::string&, const EncodedModule& m,
-                                ModuleLocation loc) {
-    append_text_rows(m, loc, sequence_cache, ttft);
-  });
+  {
+    PC_SPAN("kv_concat",
+            {"modules", static_cast<int64_t>(binding.modules.size())});
+    sequence_cache.reserve(binding.cached_token_count() +
+                           binding.uncached_token_count() + 64);
+    for_each_encoded(binding, [&](const std::string&, const EncodedModule& m,
+                                  ModuleLocation loc) {
+      append_text_rows(m, loc, sequence_cache, ttft);
+    });
+  }
   if (ttft != nullptr) ttft->retrieve_ms = retrieve_timer.elapsed_ms();
   return prefill_uncached(model_, binding, sequence_cache, ttft);
 }
@@ -520,31 +552,36 @@ Tensor PromptCacheEngine::assemble_and_prefill(
     const pml::PromptBinding& binding, SegmentedKVCache& view,
     TtftBreakdown* ttft) {
   WallTimer retrieve_timer;
-  for_each_encoded(
-      binding,
-      [&](const std::string& key, const EncodedModule& m, ModuleLocation) {
-        PC_CHECK_MSG(
-            m.precision == StorePrecision::kFp32,
-            "zero-copy serving requires kFp32 module storage (module '"
-                << key << "' is stored at reduced precision)");
-        // Pin so later thrash re-encodes cannot evict rows this view
-        // borrowed. Shared-store pinning already happened atomically inside
-        // for_each_encoded (borrow=true); only the private boolean-pin store
-        // needs the explicit dance here.
-        if (shared_ == nullptr && !store_.is_pinned(key)) {
-          store_.pin(key);
-          borrowed_pins_.push_back(key);
-        }
-        for (const auto& [begin, end] : m.text_row_ranges) {
-          view.append_borrowed(*m.kv32, begin, end);
-          if (ttft != nullptr) {
-            ttft->cached_tokens += end - begin;
-            ttft->bytes_zero_copy +=
-                m.bytes_per_token() * static_cast<size_t>(end - begin);
+  {
+    PC_SPAN("kv_concat",
+            {"modules", static_cast<int64_t>(binding.modules.size())},
+            {"zero_copy", 1});
+    for_each_encoded(
+        binding,
+        [&](const std::string& key, const EncodedModule& m, ModuleLocation) {
+          PC_CHECK_MSG(
+              m.precision == StorePrecision::kFp32,
+              "zero-copy serving requires kFp32 module storage (module '"
+                  << key << "' is stored at reduced precision)");
+          // Pin so later thrash re-encodes cannot evict rows this view
+          // borrowed. Shared-store pinning already happened atomically inside
+          // for_each_encoded (borrow=true); only the private boolean-pin
+          // store needs the explicit dance here.
+          if (shared_ == nullptr && !store_.is_pinned(key)) {
+            store_.pin(key);
+            borrowed_pins_.push_back(key);
           }
-        }
-      },
-      /*borrow=*/shared_ != nullptr);
+          for (const auto& [begin, end] : m.text_row_ranges) {
+            view.append_borrowed(*m.kv32, begin, end);
+            if (ttft != nullptr) {
+              ttft->cached_tokens += end - begin;
+              ttft->bytes_zero_copy +=
+                  m.bytes_per_token() * static_cast<size_t>(end - begin);
+            }
+          }
+        },
+        /*borrow=*/shared_ != nullptr);
+  }
   if (ttft != nullptr) ttft->retrieve_ms = retrieve_timer.elapsed_ms();
   return prefill_uncached(model_, binding, view, ttft);
 }
@@ -563,8 +600,12 @@ void PromptCacheEngine::release_borrowed_pins() {
 
 ServeResult PromptCacheEngine::serve(std::string_view prompt_pml,
                                      const GenerateOptions& options) {
-  ++stats_.serves;
-  const pml::PromptBinding binding = bind(prompt_pml);
+  cells_.serves.inc();
+  PC_SPAN("serve", {"zero_copy", config_.zero_copy ? 1 : 0});
+  const pml::PromptBinding binding = [&] {
+    PC_SPAN("tokenize_bind");
+    return bind(prompt_pml);
+  }();
 
   ServeResult result;
   result.encode_ms = ensure_encoded(binding);
@@ -582,7 +623,10 @@ ServeResult PromptCacheEngine::serve(std::string_view prompt_pml,
                           tail_capacity);
     const Tensor logits = assemble_and_prefill(binding, view, &result.ttft);
     decode_timer.reset();
-    Model::GenerateOutput gen = model_.generate(logits, gen_start, view, options);
+    Model::GenerateOutput gen = [&] {
+      PC_SPAN("decode");
+      return model_.generate(logits, gen_start, view, options);
+    }();
     result.tokens = std::move(gen.tokens);
     result.finish_reason = gen.finish_reason;
     release_borrowed_pins();
@@ -591,8 +635,10 @@ ServeResult PromptCacheEngine::serve(std::string_view prompt_pml,
     const Tensor logits =
         assemble_and_prefill(binding, sequence_cache, &result.ttft);
     decode_timer.reset();
-    Model::GenerateOutput gen =
-        model_.generate(logits, gen_start, sequence_cache, options);
+    Model::GenerateOutput gen = [&] {
+      PC_SPAN("decode");
+      return model_.generate(logits, gen_start, sequence_cache, options);
+    }();
     result.tokens = std::move(gen.tokens);
     result.finish_reason = gen.finish_reason;
   }
@@ -600,7 +646,7 @@ ServeResult PromptCacheEngine::serve(std::string_view prompt_pml,
       result.ttft.cached_tokens + result.ttft.uncached_tokens;
   result.decode_ms = decode_timer.elapsed_ms();
   result.text = tokenizer_.decode(result.tokens);
-  cached_ttft_.record_ms(result.ttft.total_ms());
+  cells_.cached_ttft.record_ms(result.ttft.total_ms());
 
   if (config_.prefetch_union_siblings) {
     // Off the latency path: warm the alternatives of every union member
@@ -627,9 +673,9 @@ ServeResult PromptCacheEngine::serve(std::string_view prompt_pml,
         }
       }
     }
-    stats_.sibling_prefetches +=
+    cells_.sibling_prefetches.inc(
         shared_ != nullptr ? moved_here
-                           : store_.stats().promotions - before;
+                           : store_.stats().promotions - before);
   }
   return result;
 }
@@ -743,8 +789,12 @@ std::vector<ServeResult> PromptCacheEngine::serve_batch(
 
 ServeResult PromptCacheEngine::serve_baseline(std::string_view prompt_pml,
                                               const GenerateOptions& options) {
-  ++stats_.baseline_serves;
-  const pml::PromptBinding binding = bind(prompt_pml);
+  cells_.baseline_serves.inc();
+  PC_SPAN("serve_baseline");
+  const pml::PromptBinding binding = [&] {
+    PC_SPAN("tokenize_bind");
+    return bind(prompt_pml);
+  }();
 
   ServeResult result;
   const std::vector<TokenId>& tokens = binding.baseline_tokens;
@@ -759,19 +809,25 @@ ServeResult PromptCacheEngine::serve_baseline(std::string_view prompt_pml,
                          options.max_new_tokens);
 
   WallTimer prefill_timer;
-  const Tensor logits = model_.forward(tokens, pos_ids, sequence_cache);
+  const Tensor logits = [&] {
+    PC_SPAN("prefill", {"tokens", static_cast<int64_t>(tokens.size())});
+    return model_.forward(tokens, pos_ids, sequence_cache);
+  }();
   result.ttft.uncached_ms = prefill_timer.elapsed_ms();
   result.ttft.uncached_tokens = static_cast<int>(tokens.size());
   result.prompt_tokens = static_cast<int>(tokens.size());
 
   WallTimer decode_timer;
-  Model::GenerateOutput gen = model_.generate(
-      logits, static_cast<int>(tokens.size()), sequence_cache, options);
+  Model::GenerateOutput gen = [&] {
+    PC_SPAN("decode");
+    return model_.generate(logits, static_cast<int>(tokens.size()),
+                           sequence_cache, options);
+  }();
   result.tokens = std::move(gen.tokens);
   result.finish_reason = gen.finish_reason;
   result.decode_ms = decode_timer.elapsed_ms();
   result.text = tokenizer_.decode(result.tokens);
-  baseline_ttft_.record_ms(result.ttft.total_ms());
+  cells_.baseline_ttft.record_ms(result.ttft.total_ms());
   return result;
 }
 

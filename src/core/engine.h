@@ -92,6 +92,10 @@ struct ServeResult {
   int prompt_tokens = 0;
 };
 
+// Snapshot view of one engine's counters. Backed by the observability
+// registry (obs/metrics.h): every engine owns cells in the pc_engine_*
+// metric families, so a Prometheus scrape aggregates the worker fleet while
+// stats() keeps the per-engine view this struct always provided.
 struct EngineStats {
   uint64_t serves = 0;
   uint64_t baseline_serves = 0;
@@ -99,6 +103,31 @@ struct EngineStats {
   uint64_t scaffolds_encoded = 0;
   uint64_t thrash_reencodes = 0;  // cache misses inside the TTFT window
   uint64_t sibling_prefetches = 0;
+};
+
+// The registry cells behind EngineStats plus the TTFT histograms.
+struct EngineCells {
+  EngineCells();
+
+  obs::Counter serves;
+  obs::Counter baseline_serves;
+  obs::Counter modules_encoded;
+  obs::Counter scaffolds_encoded;
+  obs::Counter thrash_reencodes;
+  obs::Counter sibling_prefetches;
+  obs::Histogram cached_ttft;    // pc_engine_ttft_cached_seconds
+  obs::Histogram baseline_ttft;  // pc_engine_ttft_baseline_seconds
+
+  EngineStats snapshot() const {
+    EngineStats out;
+    out.serves = serves.value();
+    out.baseline_serves = baseline_serves.value();
+    out.modules_encoded = modules_encoded.value();
+    out.scaffolds_encoded = scaffolds_encoded.value();
+    out.thrash_reencodes = thrash_reencodes.value();
+    out.sibling_prefetches = sibling_prefetches.value();
+    return out;
+  }
 };
 
 class PromptCacheEngine {
@@ -194,14 +223,17 @@ class PromptCacheEngine {
     return store_;
   }
   SharedModuleStore* shared_store() const { return shared_; }
-  const EngineStats& stats() const { return stats_; }
+  // Counter snapshot (a view over this engine's registry cells).
+  EngineStats stats() const { return cells_.snapshot(); }
 
-  // Per-request TTFT distributions (serving telemetry).
-  const LatencyHistogram& cached_ttft_histogram() const {
-    return cached_ttft_;
+  // Per-request TTFT distributions (serving telemetry). Snapshots of this
+  // engine's histogram cells; merge() per-worker snapshots for fleet
+  // percentiles.
+  LatencyHistogram cached_ttft_histogram() const {
+    return cells_.cached_ttft.snapshot();
   }
-  const LatencyHistogram& baseline_ttft_histogram() const {
-    return baseline_ttft_;
+  LatencyHistogram baseline_ttft_histogram() const {
+    return cells_.baseline_ttft.snapshot();
   }
 
  private:
@@ -256,9 +288,7 @@ class PromptCacheEngine {
   std::vector<Scaffold> scaffolds_;
   ModuleStore store_;                  // unused when shared_ != nullptr
   SharedModuleStore* shared_ = nullptr;
-  EngineStats stats_;
-  LatencyHistogram cached_ttft_;
-  LatencyHistogram baseline_ttft_;
+  EngineCells cells_;
   std::vector<std::string> borrowed_pins_;
   // Shared-store mode: refs held for live zero-copy views (see
   // for_each_encoded's `borrow`); cleared by release_borrowed_pins().

@@ -4,14 +4,32 @@
 
 namespace pc {
 
+ModuleStoreCells::ModuleStoreCells() {
+  auto& reg = obs::MetricsRegistry::global();
+  hits = reg.counter("pc_store_hits_total", "module store lookup hits");
+  misses = reg.counter("pc_store_misses_total", "module store lookup misses");
+  insertions =
+      reg.counter("pc_store_insertions_total", "modules inserted into store");
+  evictions = reg.counter("pc_store_evictions_total",
+                          "modules dropped entirely (re-encode on next use)");
+  demotions = reg.counter("pc_store_demotions_total",
+                          "modules moved device -> host to make room");
+  promotions = reg.counter("pc_store_promotions_total",
+                           "modules moved host -> device (prefetch/warm-up)");
+  resident_bytes =
+      reg.gauge("pc_store_resident_bytes", "encoded bytes resident, all tiers");
+  pinned_entries =
+      reg.gauge("pc_store_pinned_entries", "entries exempt from eviction");
+}
+
 const EncodedModule* ModuleStore::find(const std::string& key,
                                        ModuleLocation* location) {
   auto it = entries_.find(key);
   if (it == entries_.end()) {
-    ++stats_.misses;
+    cells_.misses.inc();
     return nullptr;
   }
-  ++stats_.hits;
+  cells_.hits.inc();
   touch(it->second, key);
   if (location != nullptr) *location = it->second.location;
   return &it->second.module;
@@ -51,10 +69,10 @@ bool ModuleStore::make_room(ModuleLocation loc, size_t bytes) {
       tiers_.credit(loc, vbytes);
       tiers_.charge(other, vbytes);
       ve.location = other;
-      ++stats_.demotions;
+      cells_.demotions.inc();
     } else {
       erase(victim);
-      ++stats_.evictions;
+      cells_.evictions.inc();
     }
   }
   return true;
@@ -63,6 +81,7 @@ bool ModuleStore::make_room(ModuleLocation loc, size_t bytes) {
 bool ModuleStore::pin(const std::string& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return false;
+  if (!it->second.pinned) cells_.pinned_entries.add(1);
   it->second.pinned = true;
   return true;
 }
@@ -70,6 +89,7 @@ bool ModuleStore::pin(const std::string& key) {
 bool ModuleStore::unpin(const std::string& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return false;
+  if (it->second.pinned) cells_.pinned_entries.sub(1);
   it->second.pinned = false;
   return true;
 }
@@ -90,7 +110,8 @@ bool ModuleStore::promote(const std::string& key, ModuleLocation target) {
   tiers_.credit(e.location, bytes);
   tiers_.charge(target, bytes);
   e.location = target;
-  ++stats_.promotions;
+  cells_.promotions.inc();
+  sync_resident_gauge();
   return true;
 }
 
@@ -119,15 +140,24 @@ void ModuleStore::insert(const std::string& key, EncodedModule module) {
   lru_.push_front(key);
   Entry e{std::move(module), loc, /*pinned=*/false, lru_.begin()};
   entries_.emplace(key, std::move(e));
-  ++stats_.insertions;
+  cells_.insertions.inc();
+  sync_resident_gauge();
 }
 
 void ModuleStore::erase(const std::string& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return;
   tiers_.credit(it->second.location, it->second.module.payload_bytes());
+  if (it->second.pinned) cells_.pinned_entries.sub(1);
   lru_.erase(it->second.lru_it);
   entries_.erase(it);
+  sync_resident_gauge();
+}
+
+void ModuleStore::sync_resident_gauge() {
+  cells_.resident_bytes.set(static_cast<int64_t>(
+      tiers_.usage(ModuleLocation::kDeviceMemory).used_bytes +
+      tiers_.usage(ModuleLocation::kHostMemory).used_bytes));
 }
 
 void ModuleStore::clear() {

@@ -15,10 +15,16 @@
 #include <unordered_map>
 
 #include "core/encoded_module.h"
+#include "obs/metrics.h"
 #include "sys/memory_tier.h"
 
 namespace pc {
 
+// Snapshot view of one store's counters. Backed by the observability
+// registry (obs/metrics.h): every store — private or shared — owns cells
+// in the pc_store_* metric families, so a Prometheus scrape sees the whole
+// process's cache behavior under one naming scheme while stats() keeps the
+// per-instance view this struct always provided.
 struct ModuleStoreStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -26,6 +32,32 @@ struct ModuleStoreStats {
   uint64_t evictions = 0;   // dropped entirely (re-encode on next use)
   uint64_t demotions = 0;   // moved device -> host to make room
   uint64_t promotions = 0;  // moved host -> device (prefetch / warm-up)
+};
+
+// The registry cells behind ModuleStoreStats; shared by both store
+// implementations so the metric names stay identical.
+struct ModuleStoreCells {
+  ModuleStoreCells();
+
+  obs::Counter hits;
+  obs::Counter misses;
+  obs::Counter insertions;
+  obs::Counter evictions;
+  obs::Counter demotions;
+  obs::Counter promotions;
+  obs::Gauge resident_bytes;   // pc_store_resident_bytes
+  obs::Gauge pinned_entries;   // pc_store_pinned_entries
+
+  ModuleStoreStats snapshot() const {
+    ModuleStoreStats out;
+    out.hits = hits.value();
+    out.misses = misses.value();
+    out.insertions = insertions.value();
+    out.evictions = evictions.value();
+    out.demotions = demotions.value();
+    out.promotions = promotions.value();
+    return out;
+  }
 };
 
 class ModuleStore {
@@ -74,7 +106,8 @@ class ModuleStore {
   }
 
   size_t size() const { return entries_.size(); }
-  const ModuleStoreStats& stats() const { return stats_; }
+  // Counter snapshot (a view over this store's registry cells).
+  ModuleStoreStats stats() const { return cells_.snapshot(); }
   const TierUsage& usage(ModuleLocation loc) const { return tiers_.usage(loc); }
 
  private:
@@ -90,11 +123,13 @@ class ModuleStore {
   bool make_room(ModuleLocation loc, size_t bytes);
 
   void touch(Entry& e, const std::string& key);
+  // Refreshes the resident-bytes gauge from the tier allocator.
+  void sync_resident_gauge();
 
   TierAllocator tiers_;
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  // most-recently-used first
-  ModuleStoreStats stats_;
+  ModuleStoreCells cells_;
 };
 
 }  // namespace pc

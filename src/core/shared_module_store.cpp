@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace pc {
 
 namespace {
@@ -19,7 +21,10 @@ size_t split_capacity(size_t total, size_t n_shards, size_t shard_index) {
 }  // namespace
 
 SharedModuleStore::SharedModuleStore(size_t device_capacity,
-                                     size_t host_capacity, size_t n_shards) {
+                                     size_t host_capacity, size_t n_shards)
+    : single_flight_waits_(obs::MetricsRegistry::global().counter(
+          "pc_store_single_flight_waits_total",
+          "callers that blocked on another thread's in-flight encode")) {
   PC_CHECK_MSG(n_shards > 0, "SharedModuleStore needs at least one shard");
   shards_.reserve(n_shards);
   for (size_t i = 0; i < n_shards; ++i) {
@@ -35,12 +40,12 @@ SharedModuleStore::ModuleRef SharedModuleStore::find(const std::string& key,
   std::unique_lock lock(s.mutex);
   auto it = s.entries.find(key);
   if (it == s.entries.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    cells_.misses.inc();
     return {};
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  cells_.hits.inc();
   it->second.last_used = tick();
-  if (and_pin) ++it->second.pin_count;
+  if (and_pin && ++it->second.pin_count == 1) cells_.pinned_entries.add(1);
   return ModuleRef(it->second.module, it->second.location);
 }
 
@@ -55,24 +60,27 @@ SharedModuleStore::ModuleRef SharedModuleStore::ensure(
       std::unique_lock lock(s.mutex);
       auto it = s.entries.find(key);
       if (it != s.entries.end()) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
+        cells_.hits.inc();
         it->second.last_used = tick();
-        if (and_pin) ++it->second.pin_count;
+        if (and_pin && ++it->second.pin_count == 1) {
+          cells_.pinned_entries.add(1);
+        }
         return ModuleRef(it->second.module, it->second.location);
       }
       auto fit = s.in_flight.find(key);
       if (fit == s.in_flight.end()) {
         // This caller is the leader for the key.
-        misses_.fetch_add(1, std::memory_order_relaxed);
+        cells_.misses.inc();
         flight = std::make_shared<Flight>();
         s.in_flight.emplace(key, flight);
         break;
       }
       flight = fit->second;
-      single_flight_waits_.fetch_add(1, std::memory_order_relaxed);
+      single_flight_waits_.inc();
     }
     // Wait for the leader, then re-check the entry table. A failed leader
     // leaves no entry; the loop makes one waiter the next leader.
+    PC_SPAN("single_flight_wait");
     std::unique_lock fl(flight->mutex);
     flight->cv.wait(fl, [&] { return flight->done; });
   }
@@ -146,7 +154,9 @@ ModuleLocation SharedModuleStore::place_locked(
   }
   s.tiers.charge(loc, bytes);
   s.entries.emplace(key, Entry{std::move(module), loc, pins, tick()});
-  insertions_.fetch_add(1, std::memory_order_relaxed);
+  cells_.insertions.inc();
+  cells_.resident_bytes.add(static_cast<int64_t>(bytes));
+  if (pins > 0) cells_.pinned_entries.add(1);
   return loc;
 }
 
@@ -174,10 +184,10 @@ bool SharedModuleStore::make_room_locked(Shard& s, ModuleLocation loc,
       s.tiers.credit(loc, vbytes);
       s.tiers.charge(ModuleLocation::kHostMemory, vbytes);
       victim->second.location = ModuleLocation::kHostMemory;
-      demotions_.fetch_add(1, std::memory_order_relaxed);
+      cells_.demotions.inc();
     } else {
       erase_locked(s, victim);
-      evictions_.fetch_add(1, std::memory_order_relaxed);
+      cells_.evictions.inc();
     }
   }
   return true;
@@ -186,6 +196,9 @@ bool SharedModuleStore::make_room_locked(Shard& s, ModuleLocation loc,
 void SharedModuleStore::erase_locked(
     Shard& s, std::unordered_map<std::string, Entry>::iterator it) {
   s.tiers.credit(it->second.location, it->second.module->payload_bytes());
+  cells_.resident_bytes.sub(
+      static_cast<int64_t>(it->second.module->payload_bytes()));
+  if (it->second.pin_count > 0) cells_.pinned_entries.sub(1);
   s.entries.erase(it);
 }
 
@@ -200,7 +213,7 @@ bool SharedModuleStore::pin(const std::string& key) {
   std::unique_lock lock(s.mutex);
   auto it = s.entries.find(key);
   if (it == s.entries.end()) return false;
-  ++it->second.pin_count;
+  if (++it->second.pin_count == 1) cells_.pinned_entries.add(1);
   return true;
 }
 
@@ -209,7 +222,7 @@ bool SharedModuleStore::unpin(const std::string& key) {
   std::unique_lock lock(s.mutex);
   auto it = s.entries.find(key);
   if (it == s.entries.end() || it->second.pin_count == 0) return false;
-  --it->second.pin_count;
+  if (--it->second.pin_count == 0) cells_.pinned_entries.sub(1);
   return true;
 }
 
@@ -240,7 +253,7 @@ bool SharedModuleStore::promote(const std::string& key, ModuleLocation target,
   s.tiers.credit(e.location, bytes);
   s.tiers.charge(target, bytes);
   e.location = target;
-  promotions_.fetch_add(1, std::memory_order_relaxed);
+  cells_.promotions.inc();
   if (moved != nullptr) *moved = true;
   return true;
 }
@@ -296,17 +309,6 @@ TierUsage SharedModuleStore::usage(ModuleLocation loc) const {
 size_t SharedModuleStore::resident_bytes() const {
   return usage(ModuleLocation::kDeviceMemory).used_bytes +
          usage(ModuleLocation::kHostMemory).used_bytes;
-}
-
-ModuleStoreStats SharedModuleStore::stats() const {
-  ModuleStoreStats out;
-  out.hits = hits_.load(std::memory_order_relaxed);
-  out.misses = misses_.load(std::memory_order_relaxed);
-  out.insertions = insertions_.load(std::memory_order_relaxed);
-  out.evictions = evictions_.load(std::memory_order_relaxed);
-  out.demotions = demotions_.load(std::memory_order_relaxed);
-  out.promotions = promotions_.load(std::memory_order_relaxed);
-  return out;
 }
 
 }  // namespace pc

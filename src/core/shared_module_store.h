@@ -36,8 +36,10 @@
 //     per-key flight; they wake holding a ref to the leader's result. A
 //     failed leader wakes the waiters and the next caller retries.
 //
-// Stats are plain atomics (see snapshot()); the hit/miss/insert/evict
-// semantics mirror ModuleStoreStats so existing telemetry carries over.
+// Stats live in registry cells (obs/metrics.h) shared with the private
+// store's metric families — one pc_store_* naming scheme covers both — and
+// the hit/miss/insert/evict semantics mirror ModuleStoreStats so existing
+// telemetry carries over.
 #pragma once
 
 #include <atomic>
@@ -147,14 +149,12 @@ class SharedModuleStore {
   TierUsage usage(ModuleLocation loc) const;
   size_t resident_bytes() const;
 
-  // Consistent-enough snapshot of the atomic counters (individual fields
-  // are exact; cross-field invariants can be momentarily off mid-update).
-  ModuleStoreStats stats() const;
+  // Consistent-enough snapshot of the counter cells (individual fields are
+  // exact; cross-field invariants can be momentarily off mid-update).
+  ModuleStoreStats stats() const { return cells_.snapshot(); }
   // Callers that blocked on another thread's in-flight encode — each one is
   // a duplicate forward pass single-flight saved.
-  uint64_t single_flight_waits() const {
-    return single_flight_waits_.load(std::memory_order_relaxed);
-  }
+  uint64_t single_flight_waits() const { return single_flight_waits_.value(); }
 
  private:
   struct Entry {
@@ -204,13 +204,8 @@ class SharedModuleStore {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> clock_{1};
 
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> insertions_{0};
-  std::atomic<uint64_t> evictions_{0};
-  std::atomic<uint64_t> demotions_{0};
-  std::atomic<uint64_t> promotions_{0};
-  std::atomic<uint64_t> single_flight_waits_{0};
+  ModuleStoreCells cells_;
+  obs::Counter single_flight_waits_;  // pc_store_single_flight_waits_total
 };
 
 }  // namespace pc

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace pc {
@@ -570,6 +571,7 @@ Model::GenerateOutput Model::generate_impl(
       out.finish_reason = FinishReason::kPositionBudget;
       break;
     }
+    PC_SPAN("decode_token", {"pos", pos});
     const TokenId input = next;
     const Tensor logits = forward({&input, 1}, {&pos, 1}, cache);
     next = sample_token(logits, options, rng);

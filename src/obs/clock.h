@@ -1,0 +1,43 @@
+// The observability epoch clock: one monotonic timebase shared by spans,
+// metrics, and log lines, expressed as nanoseconds since the first use in
+// this process. A single clock is what makes a trace coherent — a span on a
+// pool thread and a log line on a server worker land on the same axis, so
+// "the stall happened during the encode" is readable straight off the
+// timestamps instead of reconstructed from per-subsystem deltas.
+//
+// This header must stay dependency-free (std only): pc_obs sits below
+// pc_common in the link order so the logger can share the clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace pc::obs {
+
+namespace detail {
+inline std::chrono::steady_clock::time_point process_epoch() {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return t0;
+}
+}  // namespace detail
+
+// Nanoseconds since the process epoch (monotonic, thread-safe).
+inline uint64_t now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - detail::process_epoch())
+          .count());
+}
+
+// Microseconds since the process epoch as a double (Perfetto's native unit).
+inline double now_us() { return static_cast<double>(now_ns()) / 1e3; }
+
+// Seconds since the process epoch (log-line timestamps).
+inline double now_seconds() { return static_cast<double>(now_ns()) / 1e9; }
+
+// Forces the epoch to be taken now (call early in main so timestamps start
+// near zero; harmless if something else already touched the clock).
+inline void init_clock() { (void)detail::process_epoch(); }
+
+}  // namespace pc::obs

@@ -1,0 +1,222 @@
+// Minimal JSON reader used by tools/trace_report and the tracer tests to
+// load the Perfetto files this repo writes. Recursive descent over the
+// whole document into an owning tree; supports the full JSON grammar
+// except \uXXXX escapes beyond Latin-1 (copied through verbatim). Not a
+// general-purpose parser — inputs are traces we produced or small configs.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace pc::obs {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  // Object member access; null-kind reference if absent.
+  const JsonValue& operator[](const std::string& key) const {
+    static const JsonValue null_value;
+    auto it = object.find(key);
+    return it == object.end() ? null_value : it->second;
+  }
+
+  double as_number(double fallback = 0) const {
+    return kind == Kind::kNumber ? number : fallback;
+  }
+  const std::string& as_string() const { return string; }
+};
+
+class JsonReader {
+ public:
+  // Parses a complete document; throws pc::Error on malformed input or
+  // trailing garbage.
+  static JsonValue parse(const std::string& text) {
+    JsonReader r(text);
+    JsonValue v = r.parse_value();
+    r.skip_ws();
+    PC_CHECK_MSG(r.pos_ == r.text_.size(),
+                 "trailing characters after JSON document at offset "
+                     << r.pos_);
+    return v;
+  }
+
+ private:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    PC_CHECK_MSG(pos_ < text_.size(), "unexpected end of JSON input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    PC_CHECK_MSG(peek() == c, "expected '" << c << "' at offset " << pos_
+                                           << ", got '" << peek() << "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    JsonValue v;
+    switch (peek()) {
+      case '{': {
+        v.kind = JsonValue::Kind::kObject;
+        ++pos_;
+        skip_ws();
+        if (peek() == '}') {
+          ++pos_;
+          return v;
+        }
+        for (;;) {
+          skip_ws();
+          std::string key = parse_string_body();
+          skip_ws();
+          expect(':');
+          v.object.emplace(std::move(key), parse_value());
+          skip_ws();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect('}');
+          return v;
+        }
+      }
+      case '[': {
+        v.kind = JsonValue::Kind::kArray;
+        ++pos_;
+        skip_ws();
+        if (peek() == ']') {
+          ++pos_;
+          return v;
+        }
+        for (;;) {
+          v.array.push_back(parse_value());
+          skip_ws();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect(']');
+          return v;
+        }
+      }
+      case '"':
+        v.kind = JsonValue::Kind::kString;
+        v.string = parse_string_body();
+        return v;
+      case 't':
+        PC_CHECK_MSG(consume_literal("true"), "bad literal at " << pos_);
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        PC_CHECK_MSG(consume_literal("false"), "bad literal at " << pos_);
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = false;
+        return v;
+      case 'n':
+        PC_CHECK_MSG(consume_literal("null"), "bad literal at " << pos_);
+        v.kind = JsonValue::Kind::kNull;
+        return v;
+      default: {
+        const size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E')) {
+          ++pos_;
+        }
+        PC_CHECK_MSG(pos_ > start, "unexpected character '"
+                                       << text_[start] << "' at offset "
+                                       << start);
+        v.kind = JsonValue::Kind::kNumber;
+        v.number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                               nullptr);
+        return v;
+      }
+    }
+  }
+
+  std::string parse_string_body() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      PC_CHECK_MSG(pos_ < text_.size(), "unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      PC_CHECK_MSG(pos_ < text_.size(), "unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          PC_CHECK_MSG(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          const unsigned long code =
+              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          // Latin-1 subset decodes exactly; anything wider passes through
+          // as '?' (trace names are ASCII).
+          out.push_back(code < 256 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          out.push_back(e);  // \" \\ \/ and friends
+      }
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace pc::obs

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/logging.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+
 namespace pc {
 
 namespace {
@@ -34,6 +38,15 @@ Server::~Server() { stop(); }
 void Server::start() {
   PC_CHECK_MSG(config_.n_workers > 0, "Server needs at least one worker");
   PC_CHECK_MSG(config_.queue_capacity > 0, "Server queue capacity must be > 0");
+  auto& reg = obs::MetricsRegistry::global();
+  submitted_ = reg.counter("pc_server_submitted_total", "requests submitted");
+  completed_ = reg.counter("pc_server_completed_total", "requests completed");
+  errors_ = reg.counter("pc_server_errors_total", "requests whose serve threw");
+  deadline_misses_ =
+      reg.counter("pc_server_deadline_misses_total", "deadline overruns");
+  queue_depth_ = reg.gauge("pc_server_queue_depth", "requests waiting");
+  e2e_ttft_ = reg.histogram("pc_server_ttft_seconds",
+                            "end-to-end TTFT: queue + stall + engine");
   workers_.reserve(static_cast<size_t>(config_.n_workers));
   for (int i = 0; i < config_.n_workers; ++i) {
     workers_.push_back(std::make_unique<Worker>());
@@ -47,6 +60,10 @@ void Server::start() {
   // race on purpose — with a shared store they exercise single-flight.)
   std::unique_lock lock(mutex_);
   cv_ready_.wait(lock, [&] { return workers_ready_ == config_.n_workers; });
+  lock.unlock();
+  PC_LOG_INFO << "server worker pool ready: " << config_.n_workers
+              << " workers, "
+              << (shared_ != nullptr ? "shared" : "private") << " store";
 }
 
 uint64_t Server::submit(std::string prompt, const GenerateOptions& options,
@@ -55,7 +72,8 @@ uint64_t Server::submit(std::string prompt, const GenerateOptions& options,
   PC_CHECK_MSG(!stop_, "submit() on a stopped Server");
   cv_not_full_.wait(lock,
                     [&] { return queue_.size() < config_.queue_capacity; });
-  const uint64_t id = submitted_++;
+  const uint64_t id = submitted_.value();
+  submitted_.inc();
   if (!clock_started_) {
     clock_started_ = true;
     first_submit_ = std::chrono::steady_clock::now();
@@ -64,6 +82,7 @@ uint64_t Server::submit(std::string prompt, const GenerateOptions& options,
                         deadline_ms > 0 ? deadline_ms
                                         : config_.default_deadline_ms,
                         std::chrono::steady_clock::now()});
+  queue_depth_.add(1);
   lock.unlock();
   cv_not_empty_.notify_one();
   return id;
@@ -71,7 +90,7 @@ uint64_t Server::submit(std::string prompt, const GenerateOptions& options,
 
 std::vector<ServerResponse> Server::drain() {
   std::unique_lock lock(mutex_);
-  cv_done_.wait(lock, [&] { return completed_ == submitted_; });
+  cv_done_.wait(lock, [&] { return completed_.value() == submitted_.value(); });
   std::vector<ServerResponse> out = std::move(responses_);
   responses_.clear();
   lock.unlock();
@@ -95,6 +114,7 @@ void Server::stop() {
 }
 
 void Server::worker_loop(int index) {
+  obs::set_thread_name("worker" + std::to_string(index));
   Worker& self = *workers_[static_cast<size_t>(index)];
   self.engine =
       shared_ != nullptr
@@ -119,6 +139,7 @@ void Server::worker_loop(int index) {
       if (queue_.empty()) return;  // stop_ set and nothing left to serve
       item = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_.sub(1);
     }
     cv_not_full_.notify_one();
 
@@ -127,6 +148,11 @@ void Server::worker_loop(int index) {
     resp.id = item.id;
     resp.worker = index;
     resp.queue_ms = ms_between(item.enqueued, dequeued);
+    // Queue wait rides as an arg (not a sub-span): a retroactive wait span
+    // would overlap the previous request on this lane and break nesting.
+    PC_SPAN_NAMED(request_span, "serve_request",
+                  {"request", static_cast<int64_t>(item.id)},
+                  {"queue_us", static_cast<int64_t>(resp.queue_ms * 1e3)});
     try {
       resp.result = self.engine->serve(item.prompt, item.options);
       // Simulated host-link transfer for this request's host-resident
@@ -135,6 +161,9 @@ void Server::worker_loop(int index) {
       const double stall_s =
           config_.link.stall_s(resp.result.ttft.bytes_from_host);
       if (stall_s > 0) {
+        PC_SPAN("link_stall",
+                {"bytes", static_cast<int64_t>(
+                              resp.result.ttft.bytes_from_host)});
         std::this_thread::sleep_for(std::chrono::duration<double>(stall_s));
         resp.stall_ms = stall_s * 1e3;
       }
@@ -153,13 +182,13 @@ void Server::worker_loop(int index) {
     {
       std::lock_guard lock(mutex_);
       if (!resp.error.empty()) {
-        ++errors_;
+        errors_.inc();
       } else {
         e2e_ttft_.record_ms(resp.ttft_ms);
       }
-      if (!resp.deadline_met) ++deadline_misses_;
+      if (!resp.deadline_met) deadline_misses_.inc();
       responses_.push_back(std::move(resp));
-      ++completed_;
+      completed_.inc();
       last_complete_ = done;
     }
     cv_done_.notify_all();
@@ -172,12 +201,12 @@ ServerStats Server::stats() const {
   out.shared_store = shared_ != nullptr;
   {
     std::lock_guard lock(mutex_);
-    out.submitted = submitted_;
-    out.completed = completed_;
-    out.errors = errors_;
-    out.deadline_misses = deadline_misses_;
-    out.ttft = e2e_ttft_;
-    if (clock_started_ && completed_ > 0) {
+    out.submitted = submitted_.value();
+    out.completed = completed_.value();
+    out.errors = errors_.value();
+    out.deadline_misses = deadline_misses_.value();
+    out.ttft = e2e_ttft_.snapshot();
+    if (clock_started_ && out.completed > 0) {
       out.wall_ms = ms_between(first_submit_, last_complete_);
     }
   }
@@ -188,13 +217,13 @@ ServerStats Server::stats() const {
 
   for (const auto& w : workers_) {
     if (w->engine == nullptr) continue;  // worker still constructing
-    const EngineStats& es = w->engine->stats();
+    const EngineStats es = w->engine->stats();
     out.modules_encoded += es.modules_encoded;
     out.scaffolds_encoded += es.scaffolds_encoded;
     out.thrash_reencodes += es.thrash_reencodes;
     out.engine_ttft.merge(w->engine->cached_ttft_histogram());
     if (shared_ == nullptr) {
-      const ModuleStoreStats& ss = w->engine->store().stats();
+      const ModuleStoreStats ss = w->engine->store().stats();
       out.store.hits += ss.hits;
       out.store.misses += ss.misses;
       out.store.insertions += ss.insertions;
@@ -220,6 +249,14 @@ ServerStats Server::stats() const {
     out.store_hit_rate = static_cast<double>(out.store.hits) / lookups;
   }
   return out;
+}
+
+std::string Server::metrics_prometheus() const {
+  return obs::prometheus_text();
+}
+
+bool Server::write_trace_json(const std::string& path) const {
+  return obs::write_perfetto_trace(path);
 }
 
 }  // namespace pc

@@ -39,6 +39,7 @@
 #include "core/engine.h"
 #include "core/shared_module_store.h"
 #include "model/model.h"
+#include "obs/metrics.h"
 
 namespace pc {
 
@@ -144,6 +145,13 @@ class Server {
   // submit) — per-engine counters are unsynchronized during serving.
   ServerStats stats() const;
 
+  // Observability exports (obs/export.h): the process-wide Prometheus text
+  // dump (engine + store + server families under the pc_* naming scheme),
+  // and the collected span trace as Perfetto JSON. Call while idle (after
+  // drain()) for exact traces.
+  std::string metrics_prometheus() const;
+  bool write_trace_json(const std::string& path) const;
+
   int n_workers() const { return config_.n_workers; }
 
  private:
@@ -177,11 +185,15 @@ class Server {
   std::condition_variable cv_ready_;
   std::deque<Item> queue_;
   std::vector<ServerResponse> responses_;
-  LatencyHistogram e2e_ttft_;  // survives drain() clearing responses_
-  uint64_t submitted_ = 0;
-  uint64_t completed_ = 0;
-  uint64_t errors_ = 0;
-  uint64_t deadline_misses_ = 0;
+  // Registry cells (pc_server_*). The cells are atomic, but every mutation
+  // happens under mutex_, so reads under the lock (drain's completed ==
+  // submitted predicate) are exact.
+  obs::Counter submitted_;         // pc_server_submitted_total
+  obs::Counter completed_;         // pc_server_completed_total
+  obs::Counter errors_;            // pc_server_errors_total
+  obs::Counter deadline_misses_;   // pc_server_deadline_misses_total
+  obs::Gauge queue_depth_;         // pc_server_queue_depth
+  obs::Histogram e2e_ttft_;        // pc_server_ttft_seconds; survives drain()
   int workers_ready_ = 0;
   bool stop_ = false;
   bool clock_started_ = false;

@@ -70,6 +70,101 @@ TEST(Histogram, ExtremesClampToBucketRange) {
   EXPECT_THROW(h.quantile_seconds(1.5), ContractViolation);
 }
 
+TEST(Histogram, EmptyPercentilesAreZero) {
+  LatencyHistogram h;
+  EXPECT_DOUBLE_EQ(h.p50_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99_ms(), 0.0);
+}
+
+TEST(Histogram, SingleSamplePercentilesCoincide) {
+  LatencyHistogram h;
+  h.record_ms(3.0);
+  // Every quantile lands in the one occupied bucket, so p50 == p99 and
+  // both are that bucket's upper edge: >= the sample, within one bucket
+  // width (2^(1/4) ≈ 19%) above it.
+  EXPECT_DOUBLE_EQ(h.p50_ms(), h.p99_ms());
+  EXPECT_GE(h.p50_ms(), 3.0);
+  EXPECT_LE(h.p50_ms(), 3.0 * 1.20);
+}
+
+TEST(Histogram, MergeSameLayoutIsExact) {
+  LatencyHistogram a, b, combined;
+  for (double ms : {1.0, 4.0, 9.0}) {
+    a.record_ms(ms);
+    combined.record_ms(ms);
+  }
+  for (double ms : {2.0, 16.0}) {
+    b.record_ms(ms);
+    combined.record_ms(ms);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.sum_seconds(), combined.sum_seconds());
+  EXPECT_DOUBLE_EQ(a.min_seconds(), combined.min_seconds());
+  EXPECT_DOUBLE_EQ(a.max_seconds(), combined.max_seconds());
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.quantile_seconds(q), combined.quantile_seconds(q));
+  }
+}
+
+TEST(Histogram, MergeEmptyIsNoop) {
+  LatencyHistogram a;
+  a.record_ms(5.0);
+  const double p50_before = a.p50_ms();
+  LatencyHistogram empty(/*min_seconds=*/1e-3, /*buckets_per_doubling=*/1);
+  a.merge(empty);  // differing layout, but empty: must change nothing
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.p50_ms(), p50_before);
+}
+
+TEST(Histogram, MergeDifferingLayoutRebuckets) {
+  // Coarse source layout: floor 1 ms, one bucket per doubling. A 10 ms
+  // sample occupies the bucket whose upper edge is 16 ms.
+  LatencyHistogram coarse(/*min_seconds=*/1e-3, /*buckets_per_doubling=*/1);
+  coarse.record_seconds(0.010);
+
+  LatencyHistogram fine;  // default layout: 1 µs floor, 2^(1/4) buckets
+  fine.record_seconds(0.001);
+  fine.merge(coarse);
+
+  EXPECT_FALSE(fine.same_layout(coarse));
+  // Counts/sums/extrema merge exactly regardless of layout.
+  EXPECT_EQ(fine.count(), 2u);
+  EXPECT_NEAR(fine.sum_seconds(), 0.011, 1e-12);
+  EXPECT_NEAR(fine.max_seconds(), 0.010, 1e-12);
+  EXPECT_NEAR(fine.min_seconds(), 0.001, 1e-12);
+  // The rebucketed sample is folded in at its source bucket's upper edge
+  // (16 ms), then lands in the destination bucket covering that value:
+  // p100 within one fine bucket (19%) above 16 ms.
+  const double p100 = fine.quantile_seconds(1.0);
+  EXPECT_GE(p100, 0.016);
+  EXPECT_LE(p100, 0.016 * 1.20);
+}
+
+TEST(Histogram, MergeManySamplesAcrossLayoutsKeepsQuantileBound) {
+  LatencyHistogram coarse(/*min_seconds=*/1e-4, /*buckets_per_doubling=*/2);
+  LatencyHistogram fine;
+  Rng rng(11);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    const double s = std::exp(rng.uniform(-8.0f, -3.0f));
+    samples.push_back(s);
+    coarse.record_seconds(s);
+  }
+  fine.merge(coarse);
+  EXPECT_EQ(fine.count(), coarse.count());
+  std::sort(samples.begin(), samples.end());
+  // Rebucketing rounds each sample up by at most one coarse bucket
+  // (2^(1/2) ≈ 41%) and the fine read adds one fine bucket (19%), so the
+  // estimate stays within [exact, exact * 1.7].
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double exact = samples[static_cast<size_t>(q * samples.size())];
+    const double est = fine.quantile_seconds(q);
+    EXPECT_GE(est / exact, 0.95) << "q=" << q;
+    EXPECT_LE(est / exact, 1.75) << "q=" << q;
+  }
+}
+
 TEST(Histogram, SummaryMentionsPercentiles) {
   LatencyHistogram h;
   h.record_ms(5.0);

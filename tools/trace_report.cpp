@@ -1,0 +1,257 @@
+// trace_report: offline latency breakdown from a Perfetto trace written by
+// obs::write_perfetto_trace (bench_obs, bench_server with PC_TRACE=1, or
+// Server::write_trace_json).
+//
+// Prints per-span aggregates plus a Fig-3-style per-request breakdown:
+// each serve span on each lane is decomposed into its direct stage
+// children (tokenize_bind, ensure_encoded, kv_concat, prefill, decode),
+// with the encode/single-flight detail nested under ensure_encoded and the
+// queue wait taken from the serve_request "queue_us" arg. Exits nonzero on
+// usage errors or malformed input so CI can use it as a smoke check.
+//
+// Usage: trace_report <trace.json>
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/json_reader.h"
+
+namespace {
+
+using pc::obs::JsonReader;
+using pc::obs::JsonValue;
+
+struct Event {
+  std::string name;
+  double ts_us = 0;
+  double dur_us = 0;
+  std::map<std::string, double> args;
+};
+
+struct Lane {
+  std::string name;
+  uint64_t dropped = 0;
+  std::vector<Event> events;
+};
+
+// Stages attributed directly against a serve span. Disjoint by
+// construction: each is a distinct phase of PromptCacheEngine::serve, and
+// encode_module / single_flight_wait (which nest inside ensure_encoded)
+// are reported as detail lines instead to avoid double counting.
+const char* const kStages[] = {"tokenize_bind", "ensure_encoded", "kv_concat",
+                               "prefill", "decode"};
+
+struct Agg {
+  uint64_t count = 0;
+  double total_us = 0;
+  double max_us = 0;
+
+  void add(double us) {
+    ++count;
+    total_us += us;
+    max_us = std::max(max_us, us);
+  }
+  double mean_us() const {
+    return count == 0 ? 0 : total_us / static_cast<double>(count);
+  }
+};
+
+bool contains(const Event& outer, const Event& inner) {
+  return &outer != &inner && inner.ts_us >= outer.ts_us &&
+         inner.ts_us + inner.dur_us <= outer.ts_us + outer.dur_us;
+}
+
+std::map<int64_t, Lane> load_lanes(const JsonValue& root) {
+  std::map<int64_t, Lane> lanes;
+  const JsonValue& events = root["traceEvents"];
+  PC_CHECK_MSG(events.is_array(), "trace has no traceEvents array");
+  for (const JsonValue& e : events.array) {
+    if (!e.is_object()) continue;
+    const int64_t tid = static_cast<int64_t>(e["tid"].as_number(-1));
+    Lane& lane = lanes[tid];
+    const std::string& ph = e["ph"].as_string();
+    const std::string& name = e["name"].as_string();
+    if (ph == "M") {
+      if (name == "thread_name") lane.name = e["args"]["name"].as_string();
+    } else if (ph == "i") {
+      if (name == "ring_dropped_events") {
+        lane.dropped +=
+            static_cast<uint64_t>(e["args"]["dropped"].as_number(0));
+      }
+    } else if (ph == "X") {
+      Event ev;
+      ev.name = name;
+      ev.ts_us = e["ts"].as_number(0);
+      ev.dur_us = e["dur"].as_number(0);
+      for (const auto& [key, value] : e["args"].object) {
+        ev.args[key] = value.as_number(0);
+      }
+      lane.events.push_back(std::move(ev));
+    }
+  }
+  for (auto& [tid, lane] : lanes) {
+    (void)tid;
+    std::sort(lane.events.begin(), lane.events.end(),
+              [](const Event& a, const Event& b) {
+                return a.ts_us != b.ts_us ? a.ts_us < b.ts_us
+                                          : a.dur_us > b.dur_us;
+              });
+  }
+  return lanes;
+}
+
+void print_table_row(const std::string& label, const Agg& a,
+                     double share_base_us, int indent = 0) {
+  if (a.count == 0) return;
+  char line[160];
+  const std::string name(std::string(static_cast<size_t>(indent), ' ') +
+                         label);
+  std::snprintf(line, sizeof(line),
+                "  %-26s %8" PRIu64 " %11.3f %11.4f %8.1f%%\n", name.c_str(),
+                a.count, a.total_us / 1e3, a.mean_us() / 1e3,
+                share_base_us > 0 ? 100.0 * a.total_us / share_base_us : 0.0);
+  std::cout << line;
+}
+
+int report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "trace_report: cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const JsonValue root = JsonReader::parse(buf.str());
+  const std::map<int64_t, Lane> lanes = load_lanes(root);
+
+  size_t total_events = 0;
+  uint64_t dropped = 0;
+  int worker_lanes = 0;
+  for (const auto& [tid, lane] : lanes) {
+    (void)tid;
+    total_events += lane.events.size();
+    dropped += lane.dropped;
+    if (!lane.events.empty() && lane.name.rfind("worker", 0) == 0) {
+      ++worker_lanes;
+    }
+  }
+  std::cout << "trace: " << path << "\n"
+            << "lanes: " << lanes.size() << " (" << worker_lanes
+            << " worker), events: " << total_events
+            << ", dropped: " << dropped << "\n";
+
+  // Per-span aggregates across all lanes.
+  std::map<std::string, Agg> by_name;
+  for (const auto& [tid, lane] : lanes) {
+    (void)tid;
+    for (const Event& e : lane.events) by_name[e.name].add(e.dur_us);
+  }
+  std::cout << "\n== span aggregates ==\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "  %-26s %8s %11s %11s %11s\n", "span",
+                "count", "total ms", "mean ms", "max ms");
+  std::cout << line;
+  for (const auto& [name, a] : by_name) {
+    std::snprintf(line, sizeof(line),
+                  "  %-26s %8" PRIu64 " %11.3f %11.4f %11.3f\n", name.c_str(),
+                  a.count, a.total_us / 1e3, a.mean_us() / 1e3,
+                  a.max_us / 1e3);
+    std::cout << line;
+  }
+
+  // Fig-3-style breakdown: decompose every serve / serve_baseline span
+  // into its stage children, per lane (spans nest strictly per thread).
+  Agg serve_total, other;
+  std::map<std::string, Agg> stage_agg;
+  Agg encode_detail, single_flight_detail, queue_wait, link_stall;
+  for (const auto& [tid, lane] : lanes) {
+    (void)tid;
+    for (const Event& outer : lane.events) {
+      if (outer.name == "serve_request") {
+        const auto q = outer.args.find("queue_us");
+        if (q != outer.args.end()) queue_wait.add(q->second);
+        continue;
+      }
+      if (outer.name == "link_stall") {
+        link_stall.add(outer.dur_us);
+        continue;
+      }
+      if (outer.name != "serve" && outer.name != "serve_baseline") continue;
+      serve_total.add(outer.dur_us);
+      double attributed_us = 0;
+      for (const Event& child : lane.events) {
+        if (!contains(outer, child)) continue;
+        for (const char* stage : kStages) {
+          if (child.name == stage) {
+            stage_agg[stage].add(child.dur_us);
+            attributed_us += child.dur_us;
+            break;
+          }
+        }
+        if (child.name == "encode_module" || child.name == "encode_scaffold") {
+          encode_detail.add(child.dur_us);
+        } else if (child.name == "single_flight_wait") {
+          single_flight_detail.add(child.dur_us);
+        }
+      }
+      other.add(std::max(0.0, outer.dur_us - attributed_us));
+    }
+  }
+
+  std::cout << "\n== request breakdown (Fig. 3 style) ==\n";
+  if (serve_total.count == 0) {
+    std::cout << "  (no serve spans in trace)\n";
+    return 0;
+  }
+  std::snprintf(line, sizeof(line), "  %-26s %8s %11s %11s %9s\n", "stage",
+                "count", "total ms", "mean ms", "share");
+  std::cout << line;
+  for (const char* stage : kStages) {
+    print_table_row(stage, stage_agg[stage], serve_total.total_us);
+    if (std::string(stage) == "ensure_encoded") {
+      print_table_row("encode payloads", encode_detail, serve_total.total_us,
+                      2);
+      print_table_row("single-flight wait", single_flight_detail,
+                      serve_total.total_us, 2);
+    }
+  }
+  print_table_row("(unattributed)", other, serve_total.total_us);
+  print_table_row("serve total", serve_total, serve_total.total_us);
+  if (queue_wait.count > 0 || link_stall.count > 0) {
+    std::cout << "\n== outside serve ==\n";
+    std::snprintf(line, sizeof(line), "  %-26s %8s %11s %11s\n", "stage",
+                  "count", "total ms", "mean ms");
+    std::cout << line;
+    const auto row = [&](const char* label, const Agg& a) {
+      if (a.count == 0) return;
+      std::snprintf(line, sizeof(line), "  %-26s %8" PRIu64 " %11.3f %11.4f\n",
+                    label, a.count, a.total_us / 1e3, a.mean_us() / 1e3);
+      std::cout << line;
+    };
+    row("queue wait", queue_wait);
+    row("link_stall", link_stall);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: trace_report <trace.json>\n";
+    return 2;
+  }
+  try {
+    return report(argv[1]);
+  } catch (const pc::Error& e) {
+    std::cerr << "trace_report: " << e.what() << "\n";
+    return 1;
+  }
+}
