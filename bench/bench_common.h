@@ -14,6 +14,7 @@
 #include "eval/table.h"
 #include "eval/workload.h"
 #include "obs/trace.h"
+#include "sys/fault.h"
 
 // Stamped by bench/CMakeLists.txt; fall back for non-bench includers.
 #ifndef PC_GIT_SHA
@@ -81,7 +82,11 @@ inline std::string provenance_json(int indent = 2) {
   out += ",\n";
   out += inner + "\"tracing\": ";
   out += (obs::tracing_enabled() ? "true" : "false");
-  out += "\n" + pad + "}";
+  out += ",\n";
+  // Active fault-injection spec ("" when disabled): numbers produced under
+  // injected faults must say so.
+  out += inner + "\"pc_faults\": \"" + FaultInjector::global().spec() + "\"\n";
+  out += pad + "}";
   return out;
 }
 

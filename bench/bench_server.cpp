@@ -20,6 +20,13 @@
 // pool saturates beyond the largest swept worker count and scaling stays
 // visible even on a single-core host. PC_THREADS is pinned to 1 so kernel
 // parallelism does not multiply with worker-level parallelism.
+//
+// After the store sweep, a fault-rate sweep (0% / 5% / 20% injected
+// encode+link+evict faults, sys/fault.h) measures availability under
+// degradation: every fault either retries successfully or degrades to a
+// full-prefill serve, so availability (served / submitted) should hold at
+// 1.0 while the degraded fraction grows with the fault rate. Results land
+// in BENCH_server.json under "fault_sweep".
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -37,6 +44,7 @@
 #include "model/induction.h"
 #include "obs/export.h"
 #include "obs/trace.h"
+#include "sys/fault.h"
 #include "sys/server.h"
 
 namespace {
@@ -89,6 +97,22 @@ struct RunResult {
   ServerStats stats;
 };
 
+struct FaultRunResult {
+  double rate = 0;
+  std::string spec;  // "" for the clean reference run
+  int workers = 0;
+  int requests = 0;
+  uint64_t injected = 0;
+  ServerStats stats;
+
+  double availability() const {
+    return stats.submitted == 0
+               ? 1.0
+               : static_cast<double>(stats.completed) /
+                     static_cast<double>(stats.submitted);
+  }
+};
+
 void print_results(const std::vector<RunResult>& runs) {
   TablePrinter table("serving throughput: shared store vs private stores");
   table.set_header({"store", "workers", "req/s", "ttft p50", "ttft p99",
@@ -108,7 +132,25 @@ void print_results(const std::vector<RunResult>& runs) {
   table.print(std::cout);
 }
 
-void write_json(const std::vector<RunResult>& runs, size_t distinct_modules,
+void print_fault_results(const std::vector<FaultRunResult>& runs) {
+  TablePrinter table("availability under injected faults (encode+link+evict)");
+  table.set_header({"fault rate", "injected", "ok", "degraded", "retries",
+                    "availability", "ttft p50", "degraded p50"});
+  for (const FaultRunResult& r : runs) {
+    table.add_row(
+        {TablePrinter::fmt(r.rate, 2), std::to_string(r.injected),
+         std::to_string(r.stats.completed - r.stats.degraded),
+         std::to_string(r.stats.degraded), std::to_string(r.stats.retries),
+         TablePrinter::fmt(r.availability(), 3),
+         TablePrinter::fmt_ms(r.stats.ttft.p50_ms()),
+         TablePrinter::fmt_ms(r.stats.degraded_ttft.p50_ms())});
+  }
+  table.print(std::cout);
+}
+
+void write_json(const std::vector<RunResult>& runs,
+                const std::vector<FaultRunResult>& fault_runs,
+                size_t distinct_modules,
                 size_t module_bytes, const LinkModel& link,
                 double calibrated_serve_ms) {
   // Acceptance checks, evaluated over the sweep.
@@ -161,7 +203,7 @@ void write_json(const std::vector<RunResult>& runs, size_t distinct_modules,
     const ServerStats& s = r.stats;
     out << "    {\"store\": \"" << r.mode << "\", \"workers\": " << r.workers
         << ", \"requests\": " << r.requests
-        << ", \"errors\": " << s.errors
+        << ", \"failed\": " << s.failed
         << ", \"wall_ms\": " << TablePrinter::fmt(s.wall_ms, 1)
         << ", \"throughput_rps\": " << TablePrinter::fmt(s.throughput_rps, 2)
         << ", \"ttft_p50_ms\": " << TablePrinter::fmt(s.ttft.p50_ms(), 3)
@@ -178,6 +220,39 @@ void write_json(const std::vector<RunResult>& runs, size_t distinct_modules,
         << ", \"single_flight_waits\": " << s.single_flight_waits << "}"
         << (i + 1 < runs.size() ? "," : "") << "\n";
   }
+  // Fault-sweep acceptance: degradable faults (encode/link/evict) must not
+  // cost availability — every request is still served, some degraded.
+  bool fault_availability_full = true;
+  bool degraded_grows_with_rate = true;
+  uint64_t prev_degraded = 0;
+  for (const FaultRunResult& r : fault_runs) {
+    if (r.availability() < 1.0) fault_availability_full = false;
+    if (r.stats.degraded < prev_degraded) degraded_grows_with_rate = false;
+    prev_degraded = r.stats.degraded;
+  }
+
+  out << "  ],\n  \"fault_sweep\": [\n";
+  for (size_t i = 0; i < fault_runs.size(); ++i) {
+    const FaultRunResult& r = fault_runs[i];
+    const ServerStats& s = r.stats;
+    out << "    {\"fault_rate\": " << TablePrinter::fmt(r.rate, 2)
+        << ", \"fault_spec\": \"" << r.spec << "\""
+        << ", \"workers\": " << r.workers
+        << ", \"requests\": " << r.requests
+        << ", \"injected\": " << r.injected
+        << ", \"submitted\": " << s.submitted
+        << ", \"ok\": " << (s.completed - s.degraded)
+        << ", \"degraded\": " << s.degraded
+        << ", \"retries\": " << s.retries
+        << ", \"shed\": " << s.shed
+        << ", \"timeouts\": " << s.timeouts
+        << ", \"failed\": " << s.failed
+        << ", \"availability\": " << TablePrinter::fmt(r.availability(), 4)
+        << ", \"ttft_p50_ms\": " << TablePrinter::fmt(s.ttft.p50_ms(), 3)
+        << ", \"degraded_ttft_p50_ms\": "
+        << TablePrinter::fmt(s.degraded_ttft.p50_ms(), 3) << "}"
+        << (i + 1 < fault_runs.size() ? "," : "") << "\n";
+  }
   out << "  ],\n  \"checks\": {\n"
       << "    \"shared_encodes_equal_distinct_modules\": "
       << (shared_encodes_equal_distinct ? "true" : "false") << ",\n"
@@ -188,7 +263,11 @@ void write_json(const std::vector<RunResult>& runs, size_t distinct_modules,
       << "    \"shared_resident_lower_when_scaled\": "
       << (shared_resident_lower_when_scaled ? "true" : "false") << ",\n"
       << "    \"shared_throughput_increases_with_workers\": "
-      << (shared_throughput_increases ? "true" : "false") << "\n"
+      << (shared_throughput_increases ? "true" : "false") << ",\n"
+      << "    \"fault_availability_is_full\": "
+      << (fault_availability_full ? "true" : "false") << ",\n"
+      << "    \"degraded_count_monotone_in_fault_rate\": "
+      << (degraded_grows_with_rate ? "true" : "false") << "\n"
       << "  }\n}\n";
   std::cout << "\nwrote BENCH_server.json\n";
 }
@@ -287,9 +366,9 @@ int main(int argc, char** argv) {
         (void)server.drain();
         run.stats = server.stats();
       }
-      if (run.stats.errors > 0) {
-        std::cout << "WARNING: " << run.stats.errors << " serve errors in "
-                  << mode << "/" << workers << "\n";
+      if (run.stats.failed > 0) {
+        std::cout << "WARNING: " << run.stats.failed
+                  << " failed serves in " << mode << "/" << workers << "\n";
       }
       runs.push_back(std::move(run));
     }
@@ -301,7 +380,48 @@ int main(int argc, char** argv) {
             << "/req, link stall: "
             << TablePrinter::fmt_ms(link.latency_s * 1e3)
             << " + bytes_from_host/8GBps\n";
-  write_json(runs, distinct_modules, module_bytes, link, calibrated_serve_ms);
+
+  // Fault-rate sweep: availability under injected degradable faults. The
+  // injector spec active during the main sweep (usually "") is restored
+  // afterwards so provenance_json records what produced the main numbers.
+  const std::string main_spec = FaultInjector::global().spec();
+  std::vector<FaultRunResult> fault_runs;
+  for (const double rate : {0.0, 0.05, 0.20}) {
+    FaultRunResult run;
+    run.rate = rate;
+    run.workers = 4;
+    run.requests = requests;
+    if (rate > 0) {
+      std::ostringstream spec;
+      spec << "seed=42,encode=" << rate << ",link=" << rate << ",evict="
+           << rate;
+      run.spec = spec.str();
+    }
+    FaultInjector::global().configure(run.spec);
+    const uint64_t injected_before = FaultInjector::global().injected_total();
+    {
+      ServerConfig cfg;
+      cfg.n_workers = run.workers;
+      cfg.queue_capacity = 16;
+      cfg.schemas = {schema};
+      cfg.link = link;
+      SharedModuleStore store(device_capacity, /*host=*/0);
+      Server server(model, workload.tokenizer(), store, cfg);
+      for (int i = 0; i < requests; ++i) {
+        server.submit(prompts[static_cast<size_t>(i) % prompts.size()], opts);
+      }
+      (void)server.drain();
+      run.stats = server.stats();
+    }
+    run.injected = FaultInjector::global().injected_total() - injected_before;
+    fault_runs.push_back(std::move(run));
+  }
+  FaultInjector::global().configure(main_spec);
+  std::cout << "\n";
+  print_fault_results(fault_runs);
+
+  write_json(runs, fault_runs, distinct_modules, module_bytes, link,
+             calibrated_serve_ms);
 
   if (const char* trace = std::getenv("PC_TRACE");
       trace != nullptr && *trace != '\0') {

@@ -90,24 +90,32 @@ int pc_load_schema(pc_engine* engine, const char* schema_pml) {
 
 namespace {
 
+void fill_result(pc_serve_result* out, const pc::ServeResult& r,
+                 pc_serve_status status) {
+  out->text = dup_string(r.text);
+  out->ttft_ms = r.ttft.total_ms();
+  out->retrieve_ms = r.ttft.retrieve_ms;
+  out->cached_tokens = r.ttft.cached_tokens;
+  out->uncached_tokens = r.ttft.uncached_tokens;
+  out->status = status;
+}
+
 int serve_impl(pc_engine* engine, const char* prompt_pml, int max_new_tokens,
                pc_serve_result* out, bool baseline) {
   if (engine == nullptr || prompt_pml == nullptr || out == nullptr) {
     g_last_error = "null argument";
     return -1;
   }
-  return guarded([&] {
+  const int rc = guarded([&] {
     pc::GenerateOptions options;
     options.max_new_tokens = max_new_tokens;
     const pc::ServeResult r =
         baseline ? engine->engine.serve_baseline(prompt_pml, options)
                  : engine->engine.serve(prompt_pml, options);
-    out->text = dup_string(r.text);
-    out->ttft_ms = r.ttft.total_ms();
-    out->retrieve_ms = r.ttft.retrieve_ms;
-    out->cached_tokens = r.ttft.cached_tokens;
-    out->uncached_tokens = r.ttft.uncached_tokens;
+    fill_result(out, r, PC_SERVE_OK);
   });
+  if (rc != 0) out->status = PC_SERVE_FAILED;
+  return rc;
 }
 
 }  // namespace
@@ -120,6 +128,46 @@ int pc_serve(pc_engine* engine, const char* prompt_pml, int max_new_tokens,
 int pc_serve_baseline(pc_engine* engine, const char* prompt_pml,
                       int max_new_tokens, pc_serve_result* out) {
   return serve_impl(engine, prompt_pml, max_new_tokens, out, true);
+}
+
+int pc_serve_deadline(pc_engine* engine, const char* prompt_pml,
+                      int max_new_tokens, double deadline_ms,
+                      pc_serve_result* out) {
+  if (engine == nullptr || prompt_pml == nullptr || out == nullptr) {
+    g_last_error = "null argument";
+    return -1;
+  }
+  out->status = PC_SERVE_FAILED;
+  return guarded([&] {
+    pc::GenerateOptions options;
+    options.max_new_tokens = max_new_tokens;
+    if (deadline_ms > 0) {
+      options.cancel = pc::CancellationToken::after_ms(deadline_ms);
+    }
+    try {
+      const pc::ServeResult r = engine->engine.serve(prompt_pml, options);
+      fill_result(out, r, PC_SERVE_OK);
+      return;
+    } catch (const pc::CancelledError&) {
+      engine->engine.release_borrowed_pins();
+      out->status = PC_SERVE_TIMEOUT;
+      throw;
+    } catch (const pc::TransientError&) {
+      engine->engine.release_borrowed_pins();
+    } catch (const pc::CacheError&) {
+      engine->engine.release_borrowed_pins();
+    }
+    // Degrade: re-serve as one full blocked prefill — identical text,
+    // degraded TTFT (see PromptCacheEngine::serve_full_prefill).
+    try {
+      const pc::ServeResult r =
+          engine->engine.serve_full_prefill(prompt_pml, options);
+      fill_result(out, r, PC_SERVE_DEGRADED);
+    } catch (const pc::CancelledError&) {
+      out->status = PC_SERVE_TIMEOUT;
+      throw;
+    }
+  });
 }
 
 long pc_save_modules(pc_engine* engine, const char* path) {
@@ -141,6 +189,23 @@ long pc_load_modules(pc_engine* engine, const char* path) {
   long count = -1;
   const int rc = guarded(
       [&] { count = static_cast<long>(engine->engine.load_modules(path)); });
+  return rc == 0 ? count : -1;
+}
+
+long pc_load_modules_recover(pc_engine* engine, const char* path,
+                             long* skipped) {
+  if (engine == nullptr || path == nullptr) {
+    g_last_error = "null argument";
+    return -1;
+  }
+  long count = -1;
+  const int rc = guarded([&] {
+    const pc::PromptCacheEngine::LoadReport report =
+        engine->engine.load_modules(path,
+                                    pc::PromptCacheEngine::LoadPolicy::kSkipCorrupt);
+    count = static_cast<long>(report.loaded);
+    if (skipped != nullptr) *skipped = static_cast<long>(report.skipped);
+  });
   return rc == 0 ? count : -1;
 }
 

@@ -19,12 +19,23 @@ extern "C" {
 
 typedef struct pc_engine pc_engine;
 
+/* Outcome taxonomy for a serve call (mirrors pc::ServeStatus). Statuses
+ * PC_SERVE_OK and PC_SERVE_DEGRADED return generated text; the others do
+ * not (the serve functions return -1 and pc_last_error() has the cause). */
+typedef enum pc_serve_status {
+  PC_SERVE_OK = 0,       /* served from the cache path */
+  PC_SERVE_DEGRADED = 1, /* full-prefill fallback: same text, slower TTFT */
+  PC_SERVE_TIMEOUT = 2,  /* deadline expired mid-service */
+  PC_SERVE_FAILED = 3,   /* non-transient, non-degradable error */
+} pc_serve_status;
+
 typedef struct pc_serve_result {
   char* text;           /* generated text (caller frees via pc_string_free) */
   double ttft_ms;       /* retrieve + uncached compute */
   double retrieve_ms;   /* module memcpy share */
   int cached_tokens;    /* tokens restored from cache */
   int uncached_tokens;  /* tokens computed at serve time */
+  int status;           /* pc_serve_status for this serve */
 } pc_serve_result;
 
 /* Model families for the demo engine. */
@@ -55,9 +66,25 @@ int pc_serve(pc_engine* engine, const char* prompt_pml, int max_new_tokens,
 int pc_serve_baseline(pc_engine* engine, const char* prompt_pml,
                       int max_new_tokens, pc_serve_result* out);
 
+/* Fault-tolerant serve. deadline_ms > 0 enforces a wall-clock deadline
+ * (checked before every module encode and decoded token); 0 disables it.
+ * Transient cache failures degrade to a full blocked prefill — identical
+ * text, slower TTFT, out->status == PC_SERVE_DEGRADED. Returns 0 when text
+ * was produced (PC_SERVE_OK or PC_SERVE_DEGRADED), -1 otherwise with
+ * out->status set to PC_SERVE_TIMEOUT or PC_SERVE_FAILED. */
+int pc_serve_deadline(pc_engine* engine, const char* prompt_pml,
+                      int max_new_tokens, double deadline_ms,
+                      pc_serve_result* out);
+
 /* Module persistence. Return the number of records, or -1 on failure. */
 long pc_save_modules(pc_engine* engine, const char* path);
 long pc_load_modules(pc_engine* engine, const char* path);
+
+/* Like pc_load_modules, but skips corrupt or truncated records instead of
+ * failing the whole load. Returns the number of records loaded (and stores
+ * the number skipped into *skipped when non-NULL), or -1 on failure. */
+long pc_load_modules_recover(pc_engine* engine, const char* path,
+                             long* skipped);
 
 /* Thread-local message for the most recent failure ("" if none). The
  * returned pointer is valid until the next API call on this thread. */

@@ -46,6 +46,21 @@ class CacheError : public Error {
   explicit CacheError(const std::string& what) : Error(what) {}
 };
 
+// A failure that is expected to succeed if retried: an injected fault, a
+// lost host-link transfer, a single-flight encode whose leader died. The
+// server retries these with backoff before degrading to full prefill.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
+// A request abandoned on purpose: its deadline passed or its cancellation
+// token fired mid-serve. Not retryable — the work is no longer wanted.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 
 [[noreturn]] inline void raise_contract_violation(const char* expr,

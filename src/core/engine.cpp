@@ -7,6 +7,7 @@
 #include "common/timer.h"
 #include "core/serialize.h"
 #include "obs/trace.h"
+#include "sys/fault.h"
 #include "tensor/fp16.h"
 
 namespace pc {
@@ -24,10 +25,14 @@ EngineCells::EngineCells() {
                                  "cache misses inside the TTFT window");
   sibling_prefetches = reg.counter("pc_engine_sibling_prefetches_total",
                                    "union siblings promoted to device");
+  degraded_serves = reg.counter("pc_engine_degraded_serves_total",
+                                "full-prefill fallback serves");
   cached_ttft = reg.histogram("pc_engine_ttft_cached_seconds",
                               "TTFT of cached serves");
   baseline_ttft = reg.histogram("pc_engine_ttft_baseline_seconds",
                                 "TTFT of baseline serves");
+  degraded_ttft = reg.histogram("pc_engine_ttft_degraded_seconds",
+                                "TTFT of full-prefill fallback serves");
 }
 
 namespace {
@@ -236,6 +241,10 @@ EncodedModule PromptCacheEngine::finalize_encoding(
 
 EncodedModule PromptCacheEngine::build_module_payload(const pml::Schema& schema,
                                                       int mi) {
+  if (FaultInjector::global().should_fail(FaultPoint::kEncode)) {
+    throw TransientError("injected fault: encode of module '" +
+                         schema.module(mi).name + "' failed");
+  }
   PC_SPAN("encode_module",
           {"tokens", static_cast<int64_t>(schema.module(mi).own_token_count())});
   const std::vector<pml::TokenRun> runs = schema.module_own_runs(mi);
@@ -258,6 +267,10 @@ EncodedModule PromptCacheEngine::build_module_payload(const pml::Schema& schema,
 
 EncodedModule PromptCacheEngine::build_scaffold_payload(
     const pml::Schema& schema, const Scaffold& scaffold) {
+  if (FaultInjector::global().should_fail(FaultPoint::kEncode)) {
+    throw TransientError("injected fault: encode of scaffold '" +
+                         scaffold.key + "' failed");
+  }
   PC_SPAN("encode_scaffold",
           {"modules", static_cast<int64_t>(scaffold.module_indices.size())});
   std::vector<pml::TokenRun> runs;
@@ -349,15 +362,28 @@ PromptCacheEngine::active_scaffolds(const pml::PromptBinding& binding,
   return active;
 }
 
-double PromptCacheEngine::ensure_encoded(const pml::PromptBinding& binding) {
+double PromptCacheEngine::ensure_encoded(const pml::PromptBinding& binding,
+                                         const CancellationToken& cancel) {
   PC_SPAN("ensure_encoded",
           {"modules", static_cast<int64_t>(binding.modules.size())});
   WallTimer timer;
+  const auto check_cancel = [&] {
+    if (cancel.expired()) {
+      throw CancelledError(
+          "ensure_encoded: deadline expired before module encode");
+    }
+  };
   std::vector<bool> covered;
   const auto active = active_scaffolds(binding, &covered);
-  for (const Scaffold* s : active) encode_scaffold(*binding.schema, *s);
+  for (const Scaffold* s : active) {
+    check_cancel();
+    encode_scaffold(*binding.schema, *s);
+  }
   for (int mi : binding.modules) {
-    if (!covered[static_cast<size_t>(mi)]) encode_module(*binding.schema, mi);
+    if (!covered[static_cast<size_t>(mi)]) {
+      check_cancel();
+      encode_module(*binding.schema, mi);
+    }
   }
   return timer.elapsed_ms();
 }
@@ -608,7 +634,7 @@ ServeResult PromptCacheEngine::serve(std::string_view prompt_pml,
   }();
 
   ServeResult result;
-  result.encode_ms = ensure_encoded(binding);
+  result.encode_ms = ensure_encoded(binding, options.cancel);
 
   // The kickoff token (fully cached prompt) occupies next_pos itself.
   const bool kickoff = binding.args.empty() && binding.texts.empty();
@@ -627,9 +653,12 @@ ServeResult PromptCacheEngine::serve(std::string_view prompt_pml,
       PC_SPAN("decode");
       return model_.generate(logits, gen_start, view, options);
     }();
+    release_borrowed_pins();
+    if (gen.finish_reason == FinishReason::kCancelled) {
+      throw CancelledError("serve: deadline expired mid-decode");
+    }
     result.tokens = std::move(gen.tokens);
     result.finish_reason = gen.finish_reason;
-    release_borrowed_pins();
   } else {
     KVCache sequence_cache = model_.make_cache();
     const Tensor logits =
@@ -639,6 +668,9 @@ ServeResult PromptCacheEngine::serve(std::string_view prompt_pml,
       PC_SPAN("decode");
       return model_.generate(logits, gen_start, sequence_cache, options);
     }();
+    if (gen.finish_reason == FinishReason::kCancelled) {
+      throw CancelledError("serve: deadline expired mid-decode");
+    }
     result.tokens = std::move(gen.tokens);
     result.finish_reason = gen.finish_reason;
   }
@@ -680,6 +712,139 @@ ServeResult PromptCacheEngine::serve(std::string_view prompt_pml,
   return result;
 }
 
+ServeResult PromptCacheEngine::serve_full_prefill(
+    std::string_view prompt_pml, const GenerateOptions& options) {
+  cells_.degraded_serves.inc();
+  PC_SPAN("serve_degraded");
+  const pml::PromptBinding binding = [&] {
+    PC_SPAN("tokenize_bind");
+    return bind(prompt_pml);
+  }();
+  if (options.cancel.expired()) {
+    throw CancelledError("serve_full_prefill: deadline expired before prefill");
+  }
+
+  // Rebuild, in one forward pass and without touching the module store, the
+  // exact attention pattern that per-module encoding + concatenation
+  // realizes (§3.1): each module — or jointly-encoded scaffold — is one
+  // block, parameter-placeholder rows are attended inside their block but
+  // hidden from global rows, and the uncached stream attends globally. The
+  // blocks are emitted in for_each_encoded's concatenation order, so the
+  // rows kept below land in the sequence cache exactly where
+  // append_text_rows would have put them.
+  std::vector<TokenId> tokens;
+  std::vector<int> pos_ids;
+  std::vector<int> block_ids;
+  std::vector<uint8_t> hidden;
+  std::vector<std::pair<int, int>> keep;  // non-placeholder row ranges
+  int block = 0;
+
+  const auto emit_rows = [&](std::span<const TokenId> toks, int start_pos,
+                             int block_id, bool is_hidden) {
+    const int begin = static_cast<int>(tokens.size());
+    for (size_t i = 0; i < toks.size(); ++i) {
+      tokens.push_back(toks[i]);
+      pos_ids.push_back(start_pos + static_cast<int>(i));
+      block_ids.push_back(block_id);
+      hidden.push_back(is_hidden ? 1 : 0);
+    }
+    const int end = static_cast<int>(tokens.size());
+    if (!is_hidden && end > begin) {
+      if (!keep.empty() && keep.back().second == begin) {
+        keep.back().second = end;
+      } else {
+        keep.emplace_back(begin, end);
+      }
+    }
+  };
+  const auto emit_module = [&](int mi) {
+    for (const pml::TokenRun& run : binding.schema->module_own_runs(mi)) {
+      emit_rows(run.tokens, run.start_pos, block, run.is_param);
+    }
+  };
+
+  std::vector<bool> covered;
+  const auto active = active_scaffolds(binding, &covered);
+  std::vector<bool> scaffold_done(active.size(), false);
+  for (int mi : binding.modules) {
+    if (covered[static_cast<size_t>(mi)]) {
+      size_t si = 0;
+      while (si < active.size()) {
+        const auto& members = active[si]->module_indices;
+        if (std::find(members.begin(), members.end(), mi) != members.end()) {
+          break;
+        }
+        ++si;
+      }
+      if (scaffold_done[si]) continue;
+      scaffold_done[si] = true;
+      ++block;  // scaffold members share one attention block
+      for (int mj : active[si]->module_indices) emit_module(mj);
+    } else {
+      ++block;
+      emit_module(mi);
+    }
+  }
+
+  UncachedStream stream = collect_uncached(binding);
+  const bool kickoff = stream.tokens.empty();
+  if (kickoff) {
+    // Same kickoff rule as serve(): a fully cached prompt still needs one
+    // computed position to produce logits.
+    stream.tokens.push_back(Vocab::kBos);
+    stream.pos_ids.push_back(binding.next_pos);
+  }
+  for (size_t i = 0; i < stream.tokens.size(); ++i) {
+    emit_rows({&stream.tokens[i], 1}, stream.pos_ids[i], Model::kGlobalBlock,
+              false);
+  }
+
+  ServeResult result;
+  result.degraded = true;
+  const int n = static_cast<int>(tokens.size());
+  std::unique_ptr<bool[]> hidden_arr(new bool[static_cast<size_t>(n)]);
+  for (int i = 0; i < n; ++i) {
+    hidden_arr[static_cast<size_t>(i)] = hidden[static_cast<size_t>(i)] != 0;
+  }
+
+  WallTimer prefill_timer;
+  KVCache scratch = model_.make_cache();
+  scratch.reserve(n);
+  const Tensor logits = [&] {
+    PC_SPAN("prefill", {"tokens", static_cast<int64_t>(n)});
+    return model_.forward_blocked(
+        tokens, pos_ids, block_ids, scratch, false,
+        std::span<const bool>(hidden_arr.get(), static_cast<size_t>(n)));
+  }();
+
+  // Decode continues from a fresh sequence cache holding exactly the rows
+  // the cached path would have assembled (placeholder rows dropped).
+  KVCache sequence_cache = model_.make_cache();
+  int kept_rows = 0;
+  for (const auto& [b, e] : keep) kept_rows += e - b;
+  sequence_cache.reserve(kept_rows + options.max_new_tokens + 1);
+  for (const auto& [b, e] : keep) sequence_cache.append_range(scratch, b, e);
+  result.ttft.uncached_ms = prefill_timer.elapsed_ms();
+  result.ttft.uncached_tokens = n;  // everything was recomputed
+
+  const int gen_start = binding.next_pos + (kickoff ? 1 : 0);
+  WallTimer decode_timer;
+  Model::GenerateOutput gen = [&] {
+    PC_SPAN("decode");
+    return model_.generate(logits, gen_start, sequence_cache, options);
+  }();
+  if (gen.finish_reason == FinishReason::kCancelled) {
+    throw CancelledError("serve_full_prefill: deadline expired mid-decode");
+  }
+  result.tokens = std::move(gen.tokens);
+  result.finish_reason = gen.finish_reason;
+  result.prompt_tokens = n;
+  result.decode_ms = decode_timer.elapsed_ms();
+  result.text = tokenizer_.decode(result.tokens);
+  cells_.degraded_ttft.record_ms(result.ttft.total_ms());
+  return result;
+}
+
 void PromptCacheEngine::pin_module(const std::string& schema_name,
                                    const std::string& module_name) {
   const pml::Schema* schema = find_schema(schema_name);
@@ -710,27 +875,54 @@ size_t PromptCacheEngine::save_modules(const std::string& path) const {
 }
 
 size_t PromptCacheEngine::load_modules(const std::string& path) {
+  return load_modules(path, LoadPolicy::kStrict).loaded;
+}
+
+PromptCacheEngine::LoadReport PromptCacheEngine::load_modules(
+    const std::string& path, LoadPolicy policy) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw Error("cannot open '" + path + "' for reading");
-  read_store_header(is);
-  size_t count = 0;
+  LoadReport report;
+  try {
+    read_store_header(is);
+  } catch (const Error&) {
+    if (policy == LoadPolicy::kStrict) throw;
+    // Header corrupt: resync on the first record tag and salvage the rest.
+    ++report.skipped;
+    if (!resync_to_next_record(is)) return report;
+  }
   std::string key;
   EncodedModule module;
-  while (read_module_record(is, &key, &module)) {
-    PC_CHECK_MSG(module.kv_dim == model_.config().kv_dim() &&
-                     module.n_layers == model_.config().n_layers,
-                 "persisted module '" << key
-                                      << "' does not match this model's "
-                                         "geometry");
+  for (;;) {
+    bool have = false;
+    try {
+      have = read_module_record(is, &key, &module);
+      if (have) {
+        PC_CHECK_MSG(module.kv_dim == model_.config().kv_dim() &&
+                         module.n_layers == model_.config().n_layers,
+                     "persisted module '" << key
+                                          << "' does not match this model's "
+                                             "geometry");
+      }
+    } catch (const Error&) {
+      if (policy == LoadPolicy::kStrict) throw;
+      // A skipped record is merely a cache miss: the module is re-encoded
+      // lazily the first time a prompt imports it.
+      ++report.skipped;
+      module = EncodedModule{};
+      if (!resync_to_next_record(is)) break;
+      continue;
+    }
+    if (!have) break;
     if (shared_ != nullptr) {
       shared_->insert(key, std::move(module));
     } else {
       store_.insert(key, std::move(module));
     }
     module = EncodedModule{};
-    ++count;
+    ++report.loaded;
   }
-  return count;
+  return report;
 }
 
 std::vector<ServeResult> PromptCacheEngine::serve_batch(

@@ -90,6 +90,9 @@ struct ServeResult {
   double encode_ms = 0;  // offline module encoding triggered by this call
   double decode_ms = 0;  // autoregressive steps after the first token
   int prompt_tokens = 0;
+  // True when this result came from serve_full_prefill (the degradation
+  // path): identical tokens, no cache reuse, degraded TTFT.
+  bool degraded = false;
 };
 
 // Snapshot view of one engine's counters. Backed by the observability
@@ -99,6 +102,7 @@ struct ServeResult {
 struct EngineStats {
   uint64_t serves = 0;
   uint64_t baseline_serves = 0;
+  uint64_t degraded_serves = 0;   // full-prefill fallbacks (fault recovery)
   uint64_t modules_encoded = 0;
   uint64_t scaffolds_encoded = 0;
   uint64_t thrash_reencodes = 0;  // cache misses inside the TTFT window
@@ -111,17 +115,20 @@ struct EngineCells {
 
   obs::Counter serves;
   obs::Counter baseline_serves;
+  obs::Counter degraded_serves;
   obs::Counter modules_encoded;
   obs::Counter scaffolds_encoded;
   obs::Counter thrash_reencodes;
   obs::Counter sibling_prefetches;
   obs::Histogram cached_ttft;    // pc_engine_ttft_cached_seconds
   obs::Histogram baseline_ttft;  // pc_engine_ttft_baseline_seconds
+  obs::Histogram degraded_ttft;  // pc_engine_ttft_degraded_seconds
 
   EngineStats snapshot() const {
     EngineStats out;
     out.serves = serves.value();
     out.baseline_serves = baseline_serves.value();
+    out.degraded_serves = degraded_serves.value();
     out.modules_encoded = modules_encoded.value();
     out.scaffolds_encoded = scaffolds_encoded.value();
     out.thrash_reencodes = thrash_reencodes.value();
@@ -165,6 +172,15 @@ class PromptCacheEngine {
   ServeResult serve_baseline(std::string_view prompt_pml,
                              const GenerateOptions& options = {});
 
+  // Degradation path: serves the prompt WITHOUT touching the module store —
+  // one blocked prefill (Model::forward_blocked) reproduces the exact
+  // attention pattern of per-module encoding + concatenation, so the tokens
+  // are bitwise-identical to serve()'s while the TTFT pays the full
+  // forward pass. The server falls back to this when a module cannot be
+  // obtained (encode fault, corrupt record, thrash under pin pressure).
+  ServeResult serve_full_prefill(std::string_view prompt_pml,
+                                 const GenerateOptions& options = {});
+
   // Serves a batch of prompts and accounts for module sharing across them
   // (§3.4): modules imported by several requests are stored (and, under
   // zero_copy, referenced) once. shared_module_bytes counts each distinct
@@ -199,7 +215,10 @@ class PromptCacheEngine {
   void release_borrowed_pins();
 
   // Ensures every module used by `binding` is encoded; returns ms spent.
-  double ensure_encoded(const pml::PromptBinding& binding);
+  // `cancel` is polled before each module/scaffold encode: an expired token
+  // throws pc::CancelledError instead of starting the next forward pass.
+  double ensure_encoded(const pml::PromptBinding& binding,
+                        const CancellationToken& cancel = {});
 
   // Persists every resident encoded module (and scaffold) to `path`, and
   // restores them on a fresh engine so serving can resume without
@@ -207,6 +226,17 @@ class PromptCacheEngine {
   // pc::Error on I/O or corruption.
   size_t save_modules(const std::string& path) const;
   size_t load_modules(const std::string& path);
+
+  // Recovery policy for load_modules: kStrict is the all-or-nothing
+  // behavior above; kSkipCorrupt skips corrupt or truncated records
+  // (resyncing on the record tag) and loads the rest — a missing module is
+  // merely a cache miss, re-encoded lazily at serve time.
+  enum class LoadPolicy { kStrict, kSkipCorrupt };
+  struct LoadReport {
+    size_t loaded = 0;
+    size_t skipped = 0;  // corrupt/truncated records passed over
+  };
+  LoadReport load_modules(const std::string& path, LoadPolicy policy);
 
   // Pins a module's encoded states so the store never evicts them
   // (encodes first if needed). Throws if the schema/module is unknown.

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "sys/fault.h"
 
 namespace pc {
 
@@ -285,11 +286,32 @@ bool read_module_record(std::istream& is, std::string* key,
   const uint64_t computed = r.hash();
   uint64_t stored = 0;
   is.read(reinterpret_cast<char*>(&stored), sizeof(stored));
-  if (!is || stored != computed) {
+  if (!is || stored != computed ||
+      FaultInjector::global().should_fail(FaultPoint::kCorrupt)) {
     throw Error("module deserialization: checksum mismatch");
   }
   *out = std::move(m);
   return true;
+}
+
+bool resync_to_next_record(std::istream& is) {
+  is.clear();  // a truncated read leaves failbit set
+  // kRecordTag little-endian on the wire: "PDCM".
+  constexpr unsigned char kPattern[4] = {0x50, 0x44, 0x43, 0x4d};
+  size_t matched = 0;
+  for (int c = is.get(); c != std::char_traits<char>::eof(); c = is.get()) {
+    const auto b = static_cast<unsigned char>(c);
+    if (b == kPattern[matched]) {
+      if (++matched == sizeof(kPattern)) {
+        is.seekg(-static_cast<std::streamoff>(sizeof(kPattern)),
+                 std::ios::cur);
+        return true;
+      }
+    } else {
+      matched = (b == kPattern[0]) ? 1 : 0;
+    }
+  }
+  return false;
 }
 
 }  // namespace pc

@@ -24,6 +24,13 @@ void write_module_record(std::ostream& os, const std::string& key,
 bool read_module_record(std::istream& is, std::string* key,
                         EncodedModule* module);
 
+// Recovery: clears the stream's error state and scans forward to the next
+// record-tag boundary, so a reader can skip a corrupt or truncated record
+// and resume. Returns false when end-of-stream is reached first. The
+// resynced record is still checksum-verified by read_module_record, so a
+// false tag match inside corrupt payload bytes cannot load bad state.
+bool resync_to_next_record(std::istream& is);
+
 // File header handling: call before the first record on each side.
 void write_store_header(std::ostream& os);
 void read_store_header(std::istream& is);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.h"
+#include "sys/fault.h"
 
 namespace pc {
 
@@ -39,6 +40,16 @@ SharedModuleStore::ModuleRef SharedModuleStore::find(const std::string& key,
   Shard& s = shard_for(key);
   std::unique_lock lock(s.mutex);
   auto it = s.entries.find(key);
+  // Injected store pressure: spuriously evict the (unpinned) entry so the
+  // caller takes the thrash-reencode path. Pinned entries are exempt, as
+  // in real eviction. The fault poll runs last so no draw is consumed when
+  // there is nothing to evict.
+  if (it != s.entries.end() && it->second.pin_count == 0 &&
+      FaultInjector::global().should_fail(FaultPoint::kEvict)) {
+    erase_locked(s, it);
+    cells_.evictions.inc();
+    it = s.entries.end();
+  }
   if (it == s.entries.end()) {
     cells_.misses.inc();
     return {};

@@ -571,6 +571,10 @@ Model::GenerateOutput Model::generate_impl(
       out.finish_reason = FinishReason::kPositionBudget;
       break;
     }
+    if (options.cancel.expired()) {
+      out.finish_reason = FinishReason::kCancelled;
+      break;
+    }
     PC_SPAN("decode_token", {"pos", pos});
     const TokenId input = next;
     const Tensor logits = forward({&input, 1}, {&pos, 1}, cache);

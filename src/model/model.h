@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "common/cancel.h"
 #include "kv/kv_cache.h"
 #include "kv/kv_view.h"
 #include "model/config.h"
@@ -35,6 +36,7 @@ enum class FinishReason {
   kStopSequence,   // generated tail matched a stop sequence
   kLength,         // hit max_new_tokens
   kPositionBudget, // ran out of position IDs (model max_pos)
+  kCancelled,      // the options' cancellation token expired mid-decode
 };
 
 struct GenerateOptions {
@@ -51,6 +53,9 @@ struct GenerateOptions {
   float temperature = 0.0f;
   int top_k = 0;  // 0 = no truncation
   uint64_t seed = 0x5eedULL;
+  // Polled before each decode step; generation stops with kCancelled when
+  // it expires. The default token never expires (a null-pointer test).
+  CancellationToken cancel;
 };
 
 class Model {

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <sstream>
 
 #include "common/logging.h"
 #include "obs/export.h"
 #include "obs/trace.h"
+#include "sys/fault.h"
 
 namespace pc {
 
@@ -16,7 +18,38 @@ double ms_between(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
+void sleep_ms(double ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+// Deterministic jitter in [0.5, 1.5) from (request id, attempt) — workers
+// retrying the same key desynchronize without a shared RNG.
+double jitter_factor(uint64_t id, int attempt) {
+  uint64_t x = id * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(attempt) +
+               0xd1b54a32d192ed03ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return 0.5 + static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
 }  // namespace
+
+const char* to_string(ServeStatus s) {
+  switch (s) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kDegraded:
+      return "degraded";
+    case ServeStatus::kTimeout:
+      return "timeout";
+    case ServeStatus::kShed:
+      return "shed";
+    case ServeStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
 
 Server::Server(const Model& model, const TextTokenizer& tokenizer,
                SharedModuleStore& shared_store, ServerConfig config)
@@ -38,15 +71,29 @@ Server::~Server() { stop(); }
 void Server::start() {
   PC_CHECK_MSG(config_.n_workers > 0, "Server needs at least one worker");
   PC_CHECK_MSG(config_.queue_capacity > 0, "Server queue capacity must be > 0");
+  PC_CHECK_MSG(config_.retry.max_retries >= 0,
+               "RetryPolicy::max_retries must be >= 0");
   auto& reg = obs::MetricsRegistry::global();
   submitted_ = reg.counter("pc_server_submitted_total", "requests submitted");
-  completed_ = reg.counter("pc_server_completed_total", "requests completed");
-  errors_ = reg.counter("pc_server_errors_total", "requests whose serve threw");
+  completed_ = reg.counter("pc_server_completed_total",
+                           "requests served (ok + degraded)");
+  degraded_ = reg.counter("pc_server_degraded_total",
+                          "requests served by full-prefill fallback");
+  shed_ = reg.counter("pc_server_shed_total",
+                      "requests rejected before service");
+  timeouts_ = reg.counter("pc_server_timeouts_total",
+                          "requests cancelled past their deadline");
+  failed_ = reg.counter("pc_server_failed_total",
+                        "requests whose serve threw non-transiently");
+  retries_ = reg.counter("pc_server_retries_total",
+                         "transient-fault serve retries");
   deadline_misses_ =
       reg.counter("pc_server_deadline_misses_total", "deadline overruns");
   queue_depth_ = reg.gauge("pc_server_queue_depth", "requests waiting");
   e2e_ttft_ = reg.histogram("pc_server_ttft_seconds",
                             "end-to-end TTFT: queue + stall + engine");
+  degraded_ttft_ = reg.histogram("pc_server_ttft_degraded_seconds",
+                                 "end-to-end TTFT of degraded serves");
   workers_.reserve(static_cast<size_t>(config_.n_workers));
   for (int i = 0; i < config_.n_workers; ++i) {
     workers_.push_back(std::make_unique<Worker>());
@@ -70,18 +117,62 @@ uint64_t Server::submit(std::string prompt, const GenerateOptions& options,
                         double deadline_ms) {
   std::unique_lock lock(mutex_);
   PC_CHECK_MSG(!stop_, "submit() on a stopped Server");
-  cv_not_full_.wait(lock,
-                    [&] { return queue_.size() < config_.queue_capacity; });
+  cv_not_full_.wait(lock, [&] {
+    return stop_ || queue_.size() < config_.queue_capacity;
+  });
+  // stop() may have run while we were blocked on a full queue: no worker
+  // will ever pop for us again, so unblock the caller with an error
+  // instead of deadlocking (or silently dropping the request).
+  if (stop_) {
+    throw Error("submit() aborted: Server stopped while the queue was full");
+  }
   const uint64_t id = submitted_.value();
   submitted_.inc();
+  const auto enqueued = std::chrono::steady_clock::now();
   if (!clock_started_) {
     clock_started_ = true;
-    first_submit_ = std::chrono::steady_clock::now();
+    first_submit_ = enqueued;
   }
-  queue_.push_back(Item{id, std::move(prompt), options,
-                        deadline_ms > 0 ? deadline_ms
-                                        : config_.default_deadline_ms,
-                        std::chrono::steady_clock::now()});
+  const double deadline =
+      deadline_ms > 0 ? deadline_ms : config_.default_deadline_ms;
+
+  // Load shedding: when the backlog alone makes the deadline unmeetable
+  // (estimated queue wait from the served-request EWMA), reject at submit —
+  // an immediate kShed response — rather than let the request queue up and
+  // time out after burning a worker.
+  if (deadline > 0 && service_ewma_ms_ > 0 && !queue_.empty()) {
+    const double est_wait_ms =
+        service_ewma_ms_ * (static_cast<double>(queue_.size()) /
+                            static_cast<double>(config_.n_workers));
+    if (est_wait_ms > deadline) {
+      ServerResponse resp;
+      resp.id = id;
+      resp.status = ServeStatus::kShed;
+      resp.deadline_met = false;
+      std::ostringstream os;
+      os << "shed at submit: estimated queue wait " << est_wait_ms
+         << " ms exceeds the " << deadline << " ms deadline";
+      resp.detail = os.str();
+      record_locked(std::move(resp), enqueued);
+      lock.unlock();
+      cv_done_.notify_all();
+      return id;
+    }
+  }
+
+  Item item;
+  item.id = id;
+  item.prompt = std::move(prompt);
+  item.options = options;
+  item.deadline_ms = deadline;
+  item.enqueued = enqueued;
+  if (deadline > 0) {
+    item.token = CancellationToken::with_deadline(
+        enqueued + std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double, std::milli>(deadline)));
+  }
+  queue_.push_back(std::move(item));
   queue_depth_.add(1);
   lock.unlock();
   cv_not_empty_.notify_one();
@@ -90,7 +181,7 @@ uint64_t Server::submit(std::string prompt, const GenerateOptions& options,
 
 std::vector<ServerResponse> Server::drain() {
   std::unique_lock lock(mutex_);
-  cv_done_.wait(lock, [&] { return completed_.value() == submitted_.value(); });
+  cv_done_.wait(lock, [&] { return done_ == submitted_.value(); });
   std::vector<ServerResponse> out = std::move(responses_);
   responses_.clear();
   lock.unlock();
@@ -108,9 +199,47 @@ void Server::stop() {
     stop_ = true;
   }
   cv_not_empty_.notify_all();
+  // Submitters blocked on a full queue must wake and observe stop_ (they
+  // throw) — without this they would sleep forever once the workers exit.
+  cv_not_full_.notify_all();
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
+}
+
+void Server::record_locked(ServerResponse&& resp,
+                           std::chrono::steady_clock::time_point when) {
+  switch (resp.status) {
+    case ServeStatus::kOk:
+      completed_.inc();
+      e2e_ttft_.record_ms(resp.ttft_ms);
+      break;
+    case ServeStatus::kDegraded:
+      completed_.inc();
+      degraded_.inc();
+      degraded_ttft_.record_ms(resp.ttft_ms);
+      break;
+    case ServeStatus::kTimeout:
+      timeouts_.inc();
+      break;
+    case ServeStatus::kShed:
+      shed_.inc();
+      break;
+    case ServeStatus::kFailed:
+      failed_.inc();
+      break;
+  }
+  if (!resp.deadline_met) deadline_misses_.inc();
+  if (is_served(resp.status)) {
+    // Served-request EWMA: the backlog predictor behind submit-time
+    // shedding.
+    service_ewma_ms_ = service_ewma_ms_ <= 0
+                           ? resp.service_ms
+                           : 0.8 * service_ewma_ms_ + 0.2 * resp.service_ms;
+  }
+  responses_.push_back(std::move(resp));
+  ++done_;
+  last_complete_ = when;
 }
 
 void Server::worker_loop(int index) {
@@ -123,13 +252,25 @@ void Server::worker_loop(int index) {
           : std::make_unique<PromptCacheEngine>(model_, tokenizer_,
                                                 config_.engine);
   for (const std::string& pml : config_.schemas) {
-    self.engine->load_schema(pml);
+    try {
+      self.engine->load_schema(pml);
+    } catch (const TransientError& e) {
+      // An injected fault hit the eager-encode pass. The schema itself is
+      // registered before encoding starts, so the missing modules are
+      // re-encoded lazily by the first request that imports them.
+      PC_LOG_WARN << "worker " << index
+                  << ": eager encode failed at startup (" << e.what()
+                  << "); modules will encode lazily";
+    }
   }
   {
     std::lock_guard lock(mutex_);
     ++workers_ready_;
   }
   cv_ready_.notify_all();
+
+  FaultInjector& faults = FaultInjector::global();
+  const RetryPolicy& retry = config_.retry;
 
   for (;;) {
     Item item;
@@ -148,48 +289,152 @@ void Server::worker_loop(int index) {
     resp.id = item.id;
     resp.worker = index;
     resp.queue_ms = ms_between(item.enqueued, dequeued);
+
+    // Deadline blown while queued: shed before any service work.
+    if (item.token.expired()) {
+      resp.status = ServeStatus::kShed;
+      resp.detail = "shed at dequeue: deadline expired while queued";
+      resp.deadline_met = false;
+      resp.service_ms = 0;
+      {
+        std::lock_guard lock(mutex_);
+        record_locked(std::move(resp), dequeued);
+      }
+      cv_done_.notify_all();
+      continue;
+    }
+
     // Queue wait rides as an arg (not a sub-span): a retroactive wait span
     // would overlap the previous request on this lane and break nesting.
     PC_SPAN_NAMED(request_span, "serve_request",
                   {"request", static_cast<int64_t>(item.id)},
                   {"queue_us", static_cast<int64_t>(resp.queue_ms * 1e3)});
-    try {
-      resp.result = self.engine->serve(item.prompt, item.options);
+
+    // Injected straggler: the worker freezes before serving.
+    if (faults.should_fail(FaultPoint::kStall)) {
+      const double stall = faults.stall_ms(FaultPoint::kStall);
+      PC_SPAN("fault_stall", {"ms", static_cast<int64_t>(stall)});
+      sleep_ms(stall);
+    }
+
+    GenerateOptions options = item.options;
+    options.cancel = item.token;
+
+    const auto backoff = [&](int attempt) {
+      double ms = retry.backoff_base_ms *
+                  static_cast<double>(1ULL << std::min(attempt, 20));
+      ms = std::min(ms, retry.backoff_max_ms);
+      sleep_ms(ms * jitter_factor(item.id, attempt));
+    };
+
+    ServeStatus status = ServeStatus::kOk;
+    // Fall back to full prefill: the cache layer could not produce the
+    // modules, but the request is still answerable — bitwise-identically —
+    // by recomputing everything (see serve_full_prefill).
+    const auto degrade = [&](const std::string& why) {
+      try {
+        PC_SPAN("serve_degraded",
+                {"request", static_cast<int64_t>(item.id)});
+        resp.result = self.engine->serve_full_prefill(item.prompt, options);
+        status = ServeStatus::kDegraded;
+        resp.detail = why;
+      } catch (const CancelledError& e) {
+        status = ServeStatus::kTimeout;
+        resp.detail = e.what();
+      } catch (const std::exception& e) {
+        status = ServeStatus::kFailed;
+        resp.detail = e.what();
+      }
+    };
+
+    for (int attempt = 0;; ++attempt) {
+      try {
+        resp.result = self.engine->serve(item.prompt, options);
+        status = ServeStatus::kOk;
+        break;
+      } catch (const CancelledError& e) {
+        self.engine->release_borrowed_pins();
+        status = ServeStatus::kTimeout;
+        resp.detail = e.what();
+        break;
+      } catch (const TransientError& e) {
+        self.engine->release_borrowed_pins();
+        if (attempt < retry.max_retries) {
+          ++resp.retries;
+          retries_.inc();
+          PC_SPAN("serve_retry", {"attempt", attempt + 1});
+          backoff(attempt);
+          continue;
+        }
+        degrade(e.what());
+        break;
+      } catch (const CacheError& e) {
+        // Structural, not transient (the module fits in neither tier under
+        // current pin pressure): retrying cannot help, degrade directly.
+        self.engine->release_borrowed_pins();
+        degrade(e.what());
+        break;
+      } catch (const std::exception& e) {
+        self.engine->release_borrowed_pins();
+        status = ServeStatus::kFailed;
+        resp.detail = e.what();
+        break;
+      }
+    }
+
+    if (status == ServeStatus::kOk) {
       // Simulated host-link transfer for this request's host-resident
       // module bytes (see LinkModel in server.h). The sleep yields the
-      // core, so transfers overlap across workers like real DMA.
+      // core, so transfers overlap across workers like real DMA. An
+      // injected link fault loses the transfer: the worker re-sends it,
+      // and after max_retries degrades to local recompute (a degraded
+      // serve moves no module bytes).
       const double stall_s =
           config_.link.stall_s(resp.result.ttft.bytes_from_host);
       if (stall_s > 0) {
-        PC_SPAN("link_stall",
-                {"bytes", static_cast<int64_t>(
-                              resp.result.ttft.bytes_from_host)});
-        std::this_thread::sleep_for(std::chrono::duration<double>(stall_s));
-        resp.stall_ms = stall_s * 1e3;
+        for (int attempt = 0;; ++attempt) {
+          {
+            PC_SPAN("link_stall",
+                    {"bytes", static_cast<int64_t>(
+                                  resp.result.ttft.bytes_from_host)});
+            sleep_ms(stall_s * 1e3);
+            resp.stall_ms += stall_s * 1e3;
+          }
+          if (!faults.should_fail(FaultPoint::kLink)) break;
+          if (attempt < retry.max_retries) {
+            ++resp.retries;
+            retries_.inc();
+            PC_SPAN("serve_retry", {"attempt", attempt + 1});
+            backoff(attempt);
+            continue;
+          }
+          degrade("injected fault: host-link transfer lost");
+          break;
+        }
       }
-      resp.ttft_ms =
-          resp.queue_ms + resp.stall_ms + resp.result.ttft.total_ms();
-    } catch (const std::exception& e) {
-      resp.error = e.what();
-      self.engine->release_borrowed_pins();  // drop pins of a failed serve
     }
+
     const auto done = std::chrono::steady_clock::now();
     resp.service_ms = ms_between(dequeued, done);
-    if (item.deadline_ms > 0) {
-      resp.deadline_met = resp.queue_ms + resp.service_ms <= item.deadline_ms;
+    // Deadline enforcement at completion: a serve that finished past its
+    // deadline is a timeout even if no cancellation point fired — the
+    // caller is gone. This keeps deadline_met consistent with the status:
+    // is_served(status) implies deadline_met.
+    if (is_served(status) && item.token.expired()) {
+      status = ServeStatus::kTimeout;
+      resp.detail = "deadline expired during service";
     }
+    resp.deadline_met = item.deadline_ms <= 0 || !item.token.expired();
+    if (is_served(status)) {
+      resp.ttft_ms =
+          resp.queue_ms + resp.stall_ms + resp.result.ttft.total_ms();
+    }
+    resp.status = status;
+    if (!is_served(status)) resp.result = ServeResult{};
 
     {
       std::lock_guard lock(mutex_);
-      if (!resp.error.empty()) {
-        errors_.inc();
-      } else {
-        e2e_ttft_.record_ms(resp.ttft_ms);
-      }
-      if (!resp.deadline_met) deadline_misses_.inc();
-      responses_.push_back(std::move(resp));
-      completed_.inc();
-      last_complete_ = done;
+      record_locked(std::move(resp), done);
     }
     cv_done_.notify_all();
   }
@@ -203,10 +448,15 @@ ServerStats Server::stats() const {
     std::lock_guard lock(mutex_);
     out.submitted = submitted_.value();
     out.completed = completed_.value();
-    out.errors = errors_.value();
+    out.degraded = degraded_.value();
+    out.shed = shed_.value();
+    out.timeouts = timeouts_.value();
+    out.failed = failed_.value();
+    out.retries = retries_.value();
     out.deadline_misses = deadline_misses_.value();
     out.ttft = e2e_ttft_.snapshot();
-    if (clock_started_ && out.completed > 0) {
+    out.degraded_ttft = degraded_ttft_.snapshot();
+    if (clock_started_ && done_ > 0) {
       out.wall_ms = ms_between(first_submit_, last_complete_);
     }
   }

@@ -24,6 +24,30 @@
 // overlap across workers exactly as DMA transfers overlap with compute —
 // which is what makes a worker pool scale even when the compute itself is
 // serialized on few cores. With LinkModel{} (all zeros) no stall is applied.
+//
+// Fault tolerance (docs/INTERNALS.md §9). Every response carries a typed
+// ServeStatus instead of a stringly error:
+//
+//   kOk        served from the cache path.
+//   kDegraded  the cache layer misbehaved (encode fault, corrupt record,
+//              thrash, dead link) and retries were exhausted; the request
+//              was re-served by a full blocked prefill
+//              (PromptCacheEngine::serve_full_prefill) — bitwise-identical
+//              tokens, degraded TTFT. Cached attention states are a latency
+//              optimization, never a correctness requirement.
+//   kTimeout   the request's deadline expired mid-service; its cancellation
+//              token aborted encode/decode and the partial work was
+//              discarded.
+//   kShed      the request never reached an engine: its deadline expired
+//              while queued, or submit() predicted (from the service-time
+//              EWMA) that the backlog made the deadline unmeetable.
+//   kFailed    serve threw a non-transient, non-degradable error.
+//
+// Transient faults (pc::TransientError) are retried with exponential
+// backoff + deterministic jitter up to RetryPolicy::max_retries before
+// degrading. Accounting is exact: every submitted id is eventually recorded
+// with exactly one status, and
+//   completed (ok+degraded) + shed + timeouts + failed == submitted.
 #pragma once
 
 #include <condition_variable>
@@ -35,6 +59,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/histogram.h"
 #include "core/engine.h"
 #include "core/shared_module_store.h"
@@ -57,40 +82,74 @@ struct LinkModel {
   }
 };
 
+// Outcome taxonomy for a served request (see the header comment).
+enum class ServeStatus {
+  kOk = 0,
+  kDegraded,  // full-prefill fallback: same tokens, degraded TTFT
+  kTimeout,   // deadline expired mid-service; work was cancelled
+  kShed,      // rejected before service (queued past deadline / backlog)
+  kFailed,    // non-transient error
+};
+
+const char* to_string(ServeStatus s);
+
+// True for the statuses that return generated tokens to the caller.
+inline bool is_served(ServeStatus s) {
+  return s == ServeStatus::kOk || s == ServeStatus::kDegraded;
+}
+
+// Bounded retry for transient faults (pc::TransientError): attempt
+// `1 + max_retries` serves, sleeping backoff_base_ms * 2^attempt (capped at
+// backoff_max_ms, scaled by a deterministic jitter in [0.5, 1.5)) between
+// attempts. When retries are exhausted the worker degrades to full prefill.
+struct RetryPolicy {
+  int max_retries = 2;
+  double backoff_base_ms = 0.5;
+  double backoff_max_ms = 20.0;
+};
+
 struct ServerConfig {
   int n_workers = 4;
   size_t queue_capacity = 64;    // submit() blocks when full
   EngineConfig engine;           // per-worker engine config
   std::vector<std::string> schemas;  // PML loaded by every worker at startup
-  double default_deadline_ms = 0;    // 0 = no deadline accounting
+  double default_deadline_ms = 0;    // 0 = no deadline enforcement
   LinkModel link;
+  RetryPolicy retry;
 };
 
 struct ServerResponse {
   uint64_t id = 0;    // submission order
-  int worker = -1;    // worker that served it
-  ServeResult result;
+  int worker = -1;    // worker that served it (-1 when shed at submit)
+  ServeStatus status = ServeStatus::kOk;
+  ServeResult result;     // meaningful iff is_served(status)
   double queue_ms = 0;    // submit -> dequeue
   double stall_ms = 0;    // simulated host-link transfer (LinkModel)
   double service_ms = 0;  // dequeue -> done (serve + stall)
   double ttft_ms = 0;     // end-to-end: queue + stall + engine TTFT
+  int retries = 0;        // transient-fault retries spent on this request
   bool deadline_met = true;
-  std::string error;  // non-empty when serve() threw; result is empty then
+  std::string detail;  // human-readable cause for non-kOk statuses
 };
 
 struct ServerStats {
   int n_workers = 0;
   bool shared_store = false;
   uint64_t submitted = 0;
-  uint64_t completed = 0;
-  uint64_t errors = 0;
+  uint64_t completed = 0;  // served requests: ok + degraded
+  uint64_t degraded = 0;   // full-prefill fallbacks (subset of completed)
+  uint64_t shed = 0;
+  uint64_t timeouts = 0;
+  uint64_t failed = 0;
+  uint64_t retries = 0;    // transient-fault retries across all requests
   uint64_t deadline_misses = 0;
 
   double wall_ms = 0;        // first submit -> last completion
   double throughput_rps = 0;  // completed / wall
 
-  LatencyHistogram ttft;         // end-to-end (queue + stall + engine TTFT)
-  LatencyHistogram engine_ttft;  // merged per-engine cached-serve TTFT
+  LatencyHistogram ttft;          // end-to-end, kOk serves
+  LatencyHistogram degraded_ttft; // end-to-end, kDegraded serves
+  LatencyHistogram engine_ttft;   // merged per-engine cached-serve TTFT
 
   // Summed per-worker engine counters.
   uint64_t modules_encoded = 0;
@@ -130,11 +189,15 @@ class Server {
 
   // Enqueues a request; blocks while the queue is at capacity. Returns the
   // request id (== submission index). deadline_ms 0 uses the config default.
+  // Throws pc::Error if the server is (or becomes, while blocked) stopped.
+  // With a deadline, the request may be shed immediately (recorded as
+  // kShed, id still returned) when the backlog makes it unmeetable.
   uint64_t submit(std::string prompt, const GenerateOptions& options = {},
                   double deadline_ms = 0);
 
-  // Blocks until every submitted request has completed, then returns the
-  // responses sorted by id (and clears the internal buffer).
+  // Blocks until every submitted request has been recorded (served, shed,
+  // timed out, or failed), then returns the responses sorted by id (and
+  // clears the internal buffer).
   std::vector<ServerResponse> drain();
 
   // Stops accepting work and joins the workers after the queue empties.
@@ -161,6 +224,7 @@ class Server {
     GenerateOptions options;
     double deadline_ms = 0;
     std::chrono::steady_clock::time_point enqueued;
+    CancellationToken token;  // armed iff deadline_ms > 0
   };
 
   struct Worker {
@@ -170,6 +234,10 @@ class Server {
 
   void start();
   void worker_loop(int index);
+  // Books a finished response (any status) under mutex_; the caller
+  // notifies cv_done_ after releasing the lock.
+  void record_locked(ServerResponse&& resp,
+                     std::chrono::steady_clock::time_point when);
 
   const Model& model_;
   const TextTokenizer& tokenizer_;
@@ -189,11 +257,18 @@ class Server {
   // happens under mutex_, so reads under the lock (drain's completed ==
   // submitted predicate) are exact.
   obs::Counter submitted_;         // pc_server_submitted_total
-  obs::Counter completed_;         // pc_server_completed_total
-  obs::Counter errors_;            // pc_server_errors_total
+  obs::Counter completed_;         // pc_server_completed_total (ok+degraded)
+  obs::Counter degraded_;          // pc_server_degraded_total
+  obs::Counter shed_;              // pc_server_shed_total
+  obs::Counter timeouts_;          // pc_server_timeouts_total
+  obs::Counter failed_;            // pc_server_failed_total
+  obs::Counter retries_;           // pc_server_retries_total
   obs::Counter deadline_misses_;   // pc_server_deadline_misses_total
   obs::Gauge queue_depth_;         // pc_server_queue_depth
   obs::Histogram e2e_ttft_;        // pc_server_ttft_seconds; survives drain()
+  obs::Histogram degraded_ttft_;   // pc_server_ttft_degraded_seconds
+  uint64_t done_ = 0;        // responses recorded, any status (drain gate)
+  double service_ewma_ms_ = 0;  // served-request EWMA; drives shedding
   int workers_ready_ = 0;
   bool stop_ = false;
   bool clock_started_ = false;

@@ -92,4 +92,50 @@ TEST(CApi, PersistenceRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(CApi, DeadlineServeReportsStatus) {
+  pc_engine* engine = pc_engine_create(PC_MODEL_LLAMA_TINY, 42, 0);
+  ASSERT_NE(engine, nullptr) << pc_last_error();
+  ASSERT_EQ(pc_load_schema(engine, kSchema), 0);
+
+  // A generous deadline serves normally, identical to pc_serve.
+  pc_serve_result plain{};
+  ASSERT_EQ(pc_serve(engine, kPrompt, 6, &plain), 0);
+  pc_serve_result timed{};
+  ASSERT_EQ(pc_serve_deadline(engine, kPrompt, 6, /*deadline_ms=*/60000,
+                              &timed),
+            0)
+      << pc_last_error();
+  EXPECT_EQ(timed.status, PC_SERVE_OK);
+  EXPECT_STREQ(timed.text, plain.text);
+
+  // deadline_ms = 0 disables enforcement entirely.
+  pc_serve_result open{};
+  ASSERT_EQ(pc_serve_deadline(engine, kPrompt, 6, 0, &open), 0);
+  EXPECT_EQ(open.status, PC_SERVE_OK);
+
+  pc_string_free(plain.text);
+  pc_string_free(timed.text);
+  pc_string_free(open.text);
+  pc_engine_destroy(engine);
+}
+
+TEST(CApi, RecoveryLoadSkipsCorruptRecords) {
+  const std::string path = ::testing::TempDir() + "pc_capi_recover.bin";
+  {
+    pc_engine* engine = pc_engine_create(PC_MODEL_LLAMA_TINY, 42, 0);
+    ASSERT_EQ(pc_load_schema(engine, kSchema), 0);
+    ASSERT_EQ(pc_save_modules(engine, path.c_str()), 1);
+    pc_engine_destroy(engine);
+  }
+  // Clean file: everything loads, nothing skipped.
+  pc_engine* engine = pc_engine_create(PC_MODEL_LLAMA_TINY, 42, 0);
+  long skipped = -1;
+  EXPECT_EQ(pc_load_modules_recover(engine, path.c_str(), &skipped), 1);
+  EXPECT_EQ(skipped, 0);
+  EXPECT_EQ(pc_load_modules_recover(engine, "/nonexistent/path", &skipped),
+            -1);
+  pc_engine_destroy(engine);
+  std::remove(path.c_str());
+}
+
 }  // namespace

@@ -211,6 +211,95 @@ TEST_P(SerializeTest, RandomCorruptionFailsLoudly) {
   std::remove(path.c_str());
 }
 
+// Recovery policy (LoadPolicy::kSkipCorrupt): a flipped bit in one record
+// must cost exactly that record — the loader resyncs on the next record
+// tag, loads the rest, and the skipped module is re-encoded lazily.
+TEST_P(SerializeTest, RecoveryPolicySkipsBitFlippedRecord) {
+  PromptCacheEngine writer(model_, workload_.tokenizer(), config());
+  writer.load_schema(kSchema);
+  const std::string path = temp_path();
+  ASSERT_EQ(writer.save_modules(path), 3u);
+
+  // Corrupt the first record's checksum: locate the second record tag
+  // ("PDCM" on the wire) and flip a byte just before it.
+  std::string contents;
+  {
+    std::ifstream f(path, std::ios::binary);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    contents = ss.str();
+  }
+  const size_t first = contents.find("PDCM");
+  ASSERT_NE(first, std::string::npos);
+  const size_t second = contents.find("PDCM", first + 4);
+  ASSERT_NE(second, std::string::npos);
+  contents[second - 4] = static_cast<char>(contents[second - 4] ^ 0x5a);
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(contents.data(), static_cast<long>(contents.size()));
+  }
+
+  EngineConfig cfg = config();
+  cfg.eager_encode = false;
+  {
+    PromptCacheEngine strict(model_, workload_.tokenizer(), cfg);
+    strict.load_schema(kSchema);
+    EXPECT_THROW(strict.load_modules(path), Error);
+  }
+
+  PromptCacheEngine reader(model_, workload_.tokenizer(), cfg);
+  reader.load_schema(kSchema);
+  const PromptCacheEngine::LoadReport report =
+      reader.load_modules(path, PromptCacheEngine::LoadPolicy::kSkipCorrupt);
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_EQ(report.loaded, 2u);
+
+  // The missing module is a cache miss, not an outage: serving re-encodes
+  // it and the answer matches a fully fresh engine.
+  PromptCacheEngine reference(model_, workload_.tokenizer(), config());
+  reference.load_schema(kSchema);
+  EXPECT_EQ(reader.serve(kPrompt, answer_options()).tokens,
+            reference.serve(kPrompt, answer_options()).tokens);
+  std::remove(path.c_str());
+}
+
+TEST_P(SerializeTest, RecoveryPolicySalvagesTruncatedFile) {
+  PromptCacheEngine writer(model_, workload_.tokenizer(), config());
+  writer.load_schema(kSchema);
+  const std::string path = temp_path();
+  ASSERT_EQ(writer.save_modules(path), 3u);
+
+  std::string contents;
+  {
+    std::ifstream f(path, std::ios::binary);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    contents = ss.str();
+  }
+  // Cut mid-file: the record under the cut is lost, everything before it
+  // must still load.
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(contents.data(), static_cast<long>(contents.size() / 2));
+  }
+
+  EngineConfig cfg = config();
+  cfg.eager_encode = false;
+  PromptCacheEngine reader(model_, workload_.tokenizer(), cfg);
+  reader.load_schema(kSchema);
+  const PromptCacheEngine::LoadReport report =
+      reader.load_modules(path, PromptCacheEngine::LoadPolicy::kSkipCorrupt);
+  EXPECT_GE(report.loaded, 1u);
+  EXPECT_LE(report.loaded, 2u);
+  EXPECT_GE(report.skipped, 1u);
+
+  PromptCacheEngine reference(model_, workload_.tokenizer(), config());
+  reference.load_schema(kSchema);
+  EXPECT_EQ(reader.serve(kPrompt, answer_options()).tokens,
+            reference.serve(kPrompt, answer_options()).tokens);
+  std::remove(path.c_str());
+}
+
 TEST_P(SerializeTest, GeometryMismatchRejected) {
   PromptCacheEngine writer(model_, workload_.tokenizer(), config());
   writer.load_schema(kSchema);

@@ -379,7 +379,7 @@ TEST(SharedStoreServing, ServerServesDrainsAndAggregates) {
   for (int i = 0; i < kRequests; ++i) {
     const ServerResponse& r = responses[static_cast<size_t>(i)];
     EXPECT_EQ(r.id, static_cast<uint64_t>(i));  // sorted by submission
-    EXPECT_TRUE(r.error.empty()) << r.error;
+    EXPECT_EQ(r.status, ServeStatus::kOk) << r.detail;
     EXPECT_EQ(r.result.tokens,
               reference.serve(kAsks[i % std::size(kAsks)].prompt, opts).tokens);
     EXPECT_GE(r.stall_ms, 1.0);  // the link latency was applied
@@ -388,7 +388,7 @@ TEST(SharedStoreServing, ServerServesDrainsAndAggregates) {
 
   const ServerStats stats = server.stats();
   EXPECT_EQ(stats.completed, static_cast<uint64_t>(kRequests));
-  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.failed, 0u);
   EXPECT_EQ(stats.deadline_misses, 0u);
   EXPECT_TRUE(stats.shared_store);
   EXPECT_GT(stats.throughput_rps, 0.0);
@@ -415,7 +415,7 @@ TEST(SharedStoreServing, PrivateStoreServerEncodesPerWorker) {
   }
   const std::vector<ServerResponse> responses = server.drain();
   for (const ServerResponse& r : responses) {
-    EXPECT_TRUE(r.error.empty()) << r.error;
+    EXPECT_EQ(r.status, ServeStatus::kOk) << r.detail;
   }
 
   const ServerStats stats = server.stats();
