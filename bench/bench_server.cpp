@@ -90,6 +90,22 @@ std::vector<std::string> build_prompts() {
   return prompts;
 }
 
+// Shared-module traffic for the batching sweep: every request imports the
+// same four modules, so co-resident requests share their paged KV. The
+// contrast workload is build_prompts(), whose module sets spread over all
+// ten modules ("private": each in-flight request needs mostly its own
+// renditions resident).
+std::vector<std::string> build_shared_prompts() {
+  std::vector<std::string> prompts;
+  for (int i = 0; i < 4; ++i) {
+    std::ostringstream os;
+    os << "<prompt schema=\"facts\"><d00/><d01/><d02/><d03/> question: q"
+       << two(i) << "</prompt>";
+    prompts.push_back(os.str());
+  }
+  return prompts;
+}
+
 struct RunResult {
   std::string mode;
   int workers = 0;
@@ -97,9 +113,17 @@ struct RunResult {
   ServerStats stats;
 };
 
+struct BatchRunResult {
+  std::string traffic;  // "shared" or "private" module reuse across requests
+  int max_batch = 0;
+  int requests = 0;
+  ServerStats stats;
+};
+
 struct FaultRunResult {
   double rate = 0;
   std::string spec;  // "" for the clean reference run
+  std::string mode = "pool";  // "pool" (worker pool) or "batch"
   int workers = 0;
   int requests = 0;
   uint64_t injected = 0;
@@ -132,13 +156,33 @@ void print_results(const std::vector<RunResult>& runs) {
   table.print(std::cout);
 }
 
+void print_batch_results(const std::vector<BatchRunResult>& runs) {
+  TablePrinter table(
+      "continuous batching: shared vs private module traffic (paged KV)");
+  table.set_header({"traffic", "batch", "req/s", "ttft p50", "iters",
+                    "kv peak KB", "module KB", "cow"});
+  for (const BatchRunResult& r : runs) {
+    table.add_row(
+        {r.traffic, std::to_string(r.max_batch),
+         TablePrinter::fmt(r.stats.throughput_rps, 1),
+         TablePrinter::fmt_ms(r.stats.ttft.p50_ms()),
+         std::to_string(r.stats.batch_iterations),
+         TablePrinter::fmt(static_cast<double>(r.stats.kv_peak_bytes) / 1e3,
+                           1),
+         TablePrinter::fmt(static_cast<double>(r.stats.kv_module_bytes) / 1e3,
+                           1),
+         std::to_string(r.stats.kv_cow_copies)});
+  }
+  table.print(std::cout);
+}
+
 void print_fault_results(const std::vector<FaultRunResult>& runs) {
   TablePrinter table("availability under injected faults (encode+link+evict)");
-  table.set_header({"fault rate", "injected", "ok", "degraded", "retries",
-                    "availability", "ttft p50", "degraded p50"});
+  table.set_header({"mode", "fault rate", "injected", "ok", "degraded",
+                    "retries", "availability", "ttft p50", "degraded p50"});
   for (const FaultRunResult& r : runs) {
     table.add_row(
-        {TablePrinter::fmt(r.rate, 2), std::to_string(r.injected),
+        {r.mode, TablePrinter::fmt(r.rate, 2), std::to_string(r.injected),
          std::to_string(r.stats.completed - r.stats.degraded),
          std::to_string(r.stats.degraded), std::to_string(r.stats.retries),
          TablePrinter::fmt(r.availability(), 3),
@@ -149,6 +193,7 @@ void print_fault_results(const std::vector<FaultRunResult>& runs) {
 }
 
 void write_json(const std::vector<RunResult>& runs,
+                const std::vector<BatchRunResult>& batch_runs,
                 const std::vector<FaultRunResult>& fault_runs,
                 size_t distinct_modules,
                 size_t module_bytes, const LinkModel& link,
@@ -220,6 +265,55 @@ void write_json(const std::vector<RunResult>& runs,
         << ", \"single_flight_waits\": " << s.single_flight_waits << "}"
         << (i + 1 < runs.size() ? "," : "") << "\n";
   }
+  // Batching acceptance: at 8-way concurrency the iteration loop must beat
+  // its own single-request pacing by >= 1.5x, and shared-module traffic
+  // must hold a measurably smaller peak paged-KV footprint than
+  // private-module traffic (§3.4).
+  double batching_speedup_at_8 = 0;
+  bool shared_kv_peak_below_private = true;
+  bool shared_kv_modules_below_private = true;
+  {
+    double rps1 = 0, rps8 = 0;
+    for (const BatchRunResult& r : batch_runs) {
+      if (r.traffic != "shared") continue;
+      if (r.max_batch == 1) rps1 = r.stats.throughput_rps;
+      if (r.max_batch == 8) rps8 = r.stats.throughput_rps;
+    }
+    if (rps1 > 0) batching_speedup_at_8 = rps8 / rps1;
+    for (const BatchRunResult& s : batch_runs) {
+      if (s.traffic != "shared") continue;
+      for (const BatchRunResult& p : batch_runs) {
+        if (p.traffic != "private" || p.max_batch != s.max_batch) continue;
+        if (s.stats.kv_peak_bytes >= p.stats.kv_peak_bytes) {
+          shared_kv_peak_below_private = false;
+        }
+        if (s.stats.kv_module_bytes >= p.stats.kv_module_bytes) {
+          shared_kv_modules_below_private = false;
+        }
+      }
+    }
+  }
+
+  out << "  ],\n  \"batching\": [\n";
+  for (size_t i = 0; i < batch_runs.size(); ++i) {
+    const BatchRunResult& r = batch_runs[i];
+    const ServerStats& s = r.stats;
+    out << "    {\"traffic\": \"" << r.traffic << "\""
+        << ", \"max_batch\": " << r.max_batch
+        << ", \"requests\": " << r.requests
+        << ", \"failed\": " << s.failed
+        << ", \"wall_ms\": " << TablePrinter::fmt(s.wall_ms, 1)
+        << ", \"throughput_rps\": " << TablePrinter::fmt(s.throughput_rps, 2)
+        << ", \"ttft_p50_ms\": " << TablePrinter::fmt(s.ttft.p50_ms(), 3)
+        << ", \"ttft_p99_ms\": " << TablePrinter::fmt(s.ttft.p99_ms(), 3)
+        << ", \"batch_iterations\": " << s.batch_iterations
+        << ", \"batch_tokens\": " << s.batch_tokens
+        << ", \"kv_peak_bytes\": " << s.kv_peak_bytes
+        << ", \"kv_module_bytes\": " << s.kv_module_bytes
+        << ", \"kv_cow_copies\": " << s.kv_cow_copies << "}"
+        << (i + 1 < batch_runs.size() ? "," : "") << "\n";
+  }
+
   // Fault-sweep acceptance: degradable faults (encode/link/evict) must not
   // cost availability — every request is still served, some degraded.
   bool fault_availability_full = true;
@@ -227,6 +321,7 @@ void write_json(const std::vector<RunResult>& runs,
   uint64_t prev_degraded = 0;
   for (const FaultRunResult& r : fault_runs) {
     if (r.availability() < 1.0) fault_availability_full = false;
+    if (r.mode != "pool") continue;  // monotonicity is a per-mode property
     if (r.stats.degraded < prev_degraded) degraded_grows_with_rate = false;
     prev_degraded = r.stats.degraded;
   }
@@ -237,6 +332,7 @@ void write_json(const std::vector<RunResult>& runs,
     const ServerStats& s = r.stats;
     out << "    {\"fault_rate\": " << TablePrinter::fmt(r.rate, 2)
         << ", \"fault_spec\": \"" << r.spec << "\""
+        << ", \"mode\": \"" << r.mode << "\""
         << ", \"workers\": " << r.workers
         << ", \"requests\": " << r.requests
         << ", \"injected\": " << r.injected
@@ -264,6 +360,14 @@ void write_json(const std::vector<RunResult>& runs,
       << (shared_resident_lower_when_scaled ? "true" : "false") << ",\n"
       << "    \"shared_throughput_increases_with_workers\": "
       << (shared_throughput_increases ? "true" : "false") << ",\n"
+      << "    \"batching_speedup_at_8\": "
+      << TablePrinter::fmt(batching_speedup_at_8, 2) << ",\n"
+      << "    \"batching_speedup_at_8_ge_1p5\": "
+      << (batching_speedup_at_8 >= 1.5 ? "true" : "false") << ",\n"
+      << "    \"batching_shared_kv_peak_below_private\": "
+      << (shared_kv_peak_below_private ? "true" : "false") << ",\n"
+      << "    \"batching_shared_kv_modules_below_private\": "
+      << (shared_kv_modules_below_private ? "true" : "false") << ",\n"
       << "    \"fault_availability_is_full\": "
       << (fault_availability_full ? "true" : "false") << ",\n"
       << "    \"degraded_count_monotone_in_fault_rate\": "
@@ -379,7 +483,47 @@ int main(int argc, char** argv) {
             << TablePrinter::fmt_ms(calibrated_serve_ms)
             << "/req, link stall: "
             << TablePrinter::fmt_ms(link.latency_s * 1e3)
-            << " + bytes_from_host/8GBps\n";
+            << " + bytes_from_host/8GBps\n\n";
+
+  // Continuous-batching sweep: one iteration loop, 1..8 in-flight requests,
+  // paged KV. "shared" traffic reuses the same four modules across every
+  // request (co-resident requests share pages, §3.4); "private" traffic is
+  // the main sweep's prompt mix, whose module sets spread over the whole
+  // schema so each in-flight request needs mostly its own renditions.
+  const std::vector<std::string> shared_prompts = build_shared_prompts();
+  std::vector<BatchRunResult> batch_runs;
+  for (const char* traffic : {"shared", "private"}) {
+    const std::vector<std::string>& mix =
+        std::string(traffic) == "shared" ? shared_prompts : prompts;
+    for (int max_batch : {1, 2, 4, 8}) {
+      ServerConfig cfg;
+      cfg.batching = true;
+      cfg.batch.max_batch = max_batch;
+      cfg.queue_capacity = 16;
+      cfg.schemas = {schema};
+      cfg.link = link;
+
+      BatchRunResult run;
+      run.traffic = traffic;
+      run.max_batch = max_batch;
+      run.requests = requests;
+      {
+        Server server(model, workload.tokenizer(), cfg);
+        for (int i = 0; i < requests; ++i) {
+          server.submit(mix[static_cast<size_t>(i) % mix.size()], opts);
+        }
+        (void)server.drain();
+        run.stats = server.stats();
+      }
+      if (run.stats.failed > 0) {
+        std::cout << "WARNING: " << run.stats.failed
+                  << " failed serves in batching/" << traffic << "/"
+                  << max_batch << "\n";
+      }
+      batch_runs.push_back(std::move(run));
+    }
+  }
+  print_batch_results(batch_runs);
 
   // Fault-rate sweep: availability under injected degradable faults. The
   // injector spec active during the main sweep (usually "") is restored
@@ -416,12 +560,42 @@ int main(int argc, char** argv) {
     run.injected = FaultInjector::global().injected_total() - injected_before;
     fault_runs.push_back(std::move(run));
   }
+
+  // Same chaos, batching mode: the iteration loop must hold availability
+  // 1.0 under the highest swept fault rate too.
+  {
+    FaultRunResult run;
+    run.rate = 0.20;
+    run.mode = "batch";
+    run.workers = 4;  // max_batch: 4 in-flight requests
+    run.requests = requests;
+    run.spec = "seed=43,encode=0.2,link=0.2,evict=0.2";
+    FaultInjector::global().configure(run.spec);
+    const uint64_t injected_before = FaultInjector::global().injected_total();
+    {
+      ServerConfig cfg;
+      cfg.batching = true;
+      cfg.batch.max_batch = run.workers;
+      cfg.queue_capacity = 16;
+      cfg.schemas = {schema};
+      cfg.link = link;
+      SharedModuleStore store(device_capacity, /*host=*/0);
+      Server server(model, workload.tokenizer(), store, cfg);
+      for (int i = 0; i < requests; ++i) {
+        server.submit(prompts[static_cast<size_t>(i) % prompts.size()], opts);
+      }
+      (void)server.drain();
+      run.stats = server.stats();
+    }
+    run.injected = FaultInjector::global().injected_total() - injected_before;
+    fault_runs.push_back(std::move(run));
+  }
   FaultInjector::global().configure(main_spec);
   std::cout << "\n";
   print_fault_results(fault_runs);
 
-  write_json(runs, fault_runs, distinct_modules, module_bytes, link,
-             calibrated_serve_ms);
+  write_json(runs, batch_runs, fault_runs, distinct_modules, module_bytes,
+             link, calibrated_serve_ms);
 
   if (const char* trace = std::getenv("PC_TRACE");
       trace != nullptr && *trace != '\0') {

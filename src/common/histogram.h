@@ -64,9 +64,13 @@ class LatencyHistogram {
   }
 
   // Quantile in [0, 1]; returns the upper edge of the bucket containing it.
+  // q == 0 returns the exact observed minimum: rank would be ceil(0) == 0,
+  // so the bucket walk below would report the first occupied bucket's upper
+  // edge instead of the minimum.
   double quantile_seconds(double q) const {
     PC_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile out of range");
     if (count_ == 0) return 0.0;
+    if (q == 0.0) return min_seconds();
     const uint64_t rank = static_cast<uint64_t>(
         std::ceil(q * static_cast<double>(count_)));
     uint64_t seen = 0;

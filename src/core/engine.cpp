@@ -35,17 +35,6 @@ EngineCells::EngineCells() {
                                 "TTFT of full-prefill fallback serves");
 }
 
-namespace {
-
-// The uncached token stream of a binding: parameter arguments and free
-// texts, ordered by their assigned position IDs (layout order) so later
-// segments causally see earlier ones, matching the baseline's reading
-// order.
-struct UncachedStream {
-  std::vector<TokenId> tokens;
-  std::vector<int> pos_ids;
-};
-
 UncachedStream collect_uncached(const pml::PromptBinding& binding) {
   struct Seg {
     int start;
@@ -72,8 +61,6 @@ UncachedStream collect_uncached(const pml::PromptBinding& binding) {
   }
   return out;
 }
-
-}  // namespace
 
 PromptCacheEngine::PromptCacheEngine(const Model& model,
                                      const TextTokenizer& tokenizer,

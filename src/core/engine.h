@@ -70,6 +70,18 @@ struct EngineConfig {
   int zero_copy_tail_slack = 8;
 };
 
+// The uncached token stream of a binding: parameter arguments and free
+// texts, ordered by their assigned position IDs (layout order) so later
+// segments causally see earlier ones, matching the baseline's reading
+// order. Used by serve()'s prefill and by the batch scheduler's chunked
+// prefill (sys/batch.h).
+struct UncachedStream {
+  std::vector<TokenId> tokens;
+  std::vector<int> pos_ids;
+};
+
+UncachedStream collect_uncached(const pml::PromptBinding& binding);
+
 struct TtftBreakdown {
   double retrieve_ms = 0;  // module state concatenation (memcpy)
   double uncached_ms = 0;  // forward pass over uncached tokens + first argmax
@@ -266,6 +278,22 @@ class PromptCacheEngine {
     return cells_.baseline_ttft.snapshot();
   }
 
+  // Resolves the encoded payload for every module/scaffold of a binding
+  // (re-encoding evicted entries) and emits them in concatenation order.
+  // With `borrow` (zero-copy assembly over a shared store), each emitted
+  // module is pinned and its ref retained in borrowed_refs_ until
+  // release_borrowed_pins(), so rows stay valid and resident for the
+  // lifetime of the borrowing view. Public for the batch scheduler
+  // (sys/batch.h), which materializes emitted modules into shared KV pages
+  // during the emit callback (the ref keeps rows valid for that long even
+  // without borrow).
+  void for_each_encoded(
+      const pml::PromptBinding& binding,
+      const std::function<void(const std::string& key,
+                               const EncodedModule& module,
+                               ModuleLocation location)>& emit,
+      bool borrow = false);
+
  private:
   struct Scaffold {
     std::string schema_name;
@@ -285,18 +313,6 @@ class PromptCacheEngine {
   EncodedModule build_scaffold_payload(const pml::Schema& schema,
                                        const Scaffold& scaffold);
 
-  // Resolves the encoded payload for every module/scaffold of a binding
-  // (re-encoding evicted entries) and emits them in concatenation order.
-  // With `borrow` (zero-copy assembly over a shared store), each emitted
-  // module is pinned and its ref retained in borrowed_refs_ until
-  // release_borrowed_pins(), so rows stay valid and resident for the
-  // lifetime of the borrowing view.
-  void for_each_encoded(
-      const pml::PromptBinding& binding,
-      const std::function<void(const std::string& key,
-                               const EncodedModule& module,
-                               ModuleLocation location)>& emit,
-      bool borrow = false);
   EncodedModule finalize_encoding(KVCache kv,
                                   const std::vector<pml::TokenRun>& runs);
 

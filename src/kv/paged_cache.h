@@ -1,0 +1,274 @@
+// Paged composite KV cache — the compute-side view onto PagedKVPool.
+//
+// This is what connects the §3.4 batch-inference memory optimization to the
+// forward pass: a request's cache is an ordered list of pool pages plus
+// per-layer row-pointer tables (one pointer per logical token, like
+// SegmentedKVCache), so the gathered attention kernel reads it directly and
+// tokens need not be page-aligned.
+//
+// Ownership model (docs/INTERNALS.md §10):
+//   * Imported modules are materialized once into a packed PagedKVCache
+//     (append_copy) held by the batch scheduler's registry. Requests attach
+//     them with append_shared: full pages are shared by reference
+//     (refcount++, zero copy), and a trailing partially-filled page is
+//     copy-on-write duplicated so the request's suffix keeps filling its
+//     free slots without touching the module.
+//   * Uncached prompt tokens and decode tokens land in private pages
+//     (append_tokens); only rows appended after the last append_shared are
+//     writable (shared/COW-borrowed module rows are read-only).
+//
+// Page layout: token-major, layer-interleaved. A token's slot holds its K
+// and V rows for every layer back to back:
+//   k_row(layer, slot) = page + slot * (2 * n_layers * kv_dim)
+//                             + layer * (2 * kv_dim)
+//   v_row(layer, slot) = k_row(layer, slot) + kv_dim
+// so one token's full KV payload is bytes_per_token contiguous floats and
+// page_bytes/bytes_per_token matches the pool's accounting exactly.
+//
+// Pointer stability: page payloads are stable heap buffers (the pool's page
+// *table* may grow, the payloads never move), so published row pointers
+// stay valid for the cache's lifetime.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "kv/kv_cache.h"
+#include "kv/paged_pool.h"
+
+namespace pc {
+
+class PagedKVCache {
+ public:
+  PagedKVCache(PagedKVPool& pool, int n_layers, int kv_dim)
+      : pool_(&pool), n_layers_(n_layers), kv_dim_(kv_dim) {
+    PC_CHECK(n_layers > 0 && kv_dim > 0);
+    PC_CHECK_MSG(pool.page_bytes() ==
+                     static_cast<size_t>(pool.page_tokens()) * token_stride() *
+                         sizeof(float),
+                 "pool page geometry does not match 2 * n_layers * kv_dim "
+                 "floats per token");
+    k_rows_.resize(static_cast<size_t>(n_layers));
+    v_rows_.resize(static_cast<size_t>(n_layers));
+  }
+
+  PagedKVCache(const PagedKVCache&) = delete;
+  PagedKVCache& operator=(const PagedKVCache&) = delete;
+  PagedKVCache(PagedKVCache&& other) noexcept
+      : pool_(other.pool_),
+        n_layers_(other.n_layers_),
+        kv_dim_(other.kv_dim_),
+        pages_(std::move(other.pages_)),
+        shared_pages_(other.shared_pages_),
+        writable_from_(other.writable_from_),
+        packed_(other.packed_),
+        tail_page_(other.tail_page_),
+        tail_used_(other.tail_used_),
+        pos_ids_(std::move(other.pos_ids_)),
+        k_rows_(std::move(other.k_rows_)),
+        v_rows_(std::move(other.v_rows_)) {
+    other.pages_.clear();
+    other.tail_page_ = kInvalidPage;
+  }
+
+  PagedKVCache& operator=(PagedKVCache&& other) noexcept {
+    if (this != &other) {
+      for (PageId id : pages_) pool_->release(id);
+      pool_ = other.pool_;
+      n_layers_ = other.n_layers_;
+      kv_dim_ = other.kv_dim_;
+      pages_ = std::move(other.pages_);
+      shared_pages_ = other.shared_pages_;
+      writable_from_ = other.writable_from_;
+      packed_ = other.packed_;
+      tail_page_ = other.tail_page_;
+      tail_used_ = other.tail_used_;
+      pos_ids_ = std::move(other.pos_ids_);
+      k_rows_ = std::move(other.k_rows_);
+      v_rows_ = std::move(other.v_rows_);
+      other.pages_.clear();
+      other.tail_page_ = kInvalidPage;
+    }
+    return *this;
+  }
+
+  ~PagedKVCache() {
+    for (PageId id : pages_) pool_->release(id);
+  }
+
+  int n_layers() const { return n_layers_; }
+  int kv_dim() const { return kv_dim_; }
+  int size() const { return static_cast<int>(pos_ids_.size()); }
+  bool empty() const { return pos_ids_.empty(); }
+  int pos_id(int token) const {
+    return pos_ids_[checked_token(token)];
+  }
+
+  // Materializes rows [begin, end) of a dense cache into private pages —
+  // how the scheduler builds a module's paged rendition from its encoded
+  // (fp32) attention states.
+  void append_copy(const KVCache& src, int begin, int end) {
+    PC_CHECK_MSG(src.n_layers() == n_layers_ && src.kv_dim() == kv_dim_,
+                 "paged append_copy geometry mismatch");
+    PC_CHECK(begin >= 0 && begin <= end && end <= src.size());
+    const size_t row_bytes = static_cast<size_t>(kv_dim_) * sizeof(float);
+    for (int t = begin; t < end; ++t) {
+      const int p = src.pos_id(t);
+      const int idx = append_tokens(std::span<const int>(&p, 1));
+      for (int l = 0; l < n_layers_; ++l) {
+        std::memcpy(k_row_mut(l, idx), src.k_row(l, t), row_bytes);
+        std::memcpy(v_row_mut(l, idx), src.v_row(l, t), row_bytes);
+      }
+    }
+  }
+
+  // Attaches another paged cache's tokens (§3.4 sharing): full pages by
+  // reference, the trailing partial page (if any) as a COW duplicate whose
+  // free slots become this cache's tail. The source must be packed — built
+  // solely by append_copy/append_tokens, so token t lives in page t / P —
+  // which module renditions are by construction. The attached rows are
+  // read-only here.
+  void append_shared(const PagedKVCache& src) {
+    PC_CHECK_MSG(src.pool_ == pool_, "append_shared across pools");
+    PC_CHECK_MSG(src.n_layers_ == n_layers_ && src.kv_dim_ == kv_dim_,
+                 "paged append_shared geometry mismatch");
+    PC_CHECK_MSG(src.packed_,
+                 "append_shared source must be packed (a module rendition, "
+                 "not a composite request cache)");
+    packed_ = false;  // our pages now carry interior slack
+    const int per_page = pool_->page_tokens();
+    const int full = src.size() / per_page;
+    const int rem = src.size() % per_page;
+    for (int pi = 0; pi < full; ++pi) {
+      const PageId id = src.pages_[static_cast<size_t>(pi)];
+      pool_->retain(id);
+      pages_.push_back(id);
+      ++shared_pages_;
+      publish_rows(id, 0, per_page, src.pos_ids_.data() + pi * per_page);
+    }
+    // Any previous private tail is closed (its free slots become padding
+    // that no row table entry points at — wasted slots, never garbage rows).
+    tail_page_ = kInvalidPage;
+    tail_used_ = 0;
+    if (rem > 0) {
+      const PageId id = src.pages_[static_cast<size_t>(full)];
+      pool_->retain(id);
+      // src still holds the page, so refcount >= 2 and make_writable always
+      // duplicates — consuming the retain above and returning a private
+      // copy this cache's suffix continues filling.
+      const PageId mine = pool_->make_writable(id);
+      pages_.push_back(mine);
+      publish_rows(mine, 0, rem, src.pos_ids_.data() + full * per_page);
+      tail_page_ = mine;
+      tail_used_ = rem;
+    }
+    writable_from_ = size();
+  }
+
+  // Appends writable token slots (uncached prompt / decode rows) into the
+  // private tail, allocating fresh zero-filled pages as needed. Returns the
+  // index of the first new token.
+  int append_tokens(std::span<const int> new_pos_ids) {
+    const int first = size();
+    for (const int p : new_pos_ids) {
+      if (tail_page_ == kInvalidPage || tail_used_ == pool_->page_tokens()) {
+        tail_page_ = pool_->allocate();
+        pages_.push_back(tail_page_);
+        tail_used_ = 0;
+      }
+      publish_rows(tail_page_, tail_used_, 1, &p);
+      ++tail_used_;
+    }
+    return first;
+  }
+
+  const float* k_row(int layer, int token) const {
+    return k_rows_[checked_layer(layer)][checked_token(token)];
+  }
+  const float* v_row(int layer, int token) const {
+    return v_rows_[checked_layer(layer)][checked_token(token)];
+  }
+
+  // Raw per-layer row-pointer tables (size() entries) for the gathered
+  // attention kernel.
+  const float* const* k_row_table(int layer) const {
+    return k_rows_[checked_layer(layer)].data();
+  }
+  const float* const* v_row_table(int layer) const {
+    return v_rows_[checked_layer(layer)].data();
+  }
+
+  // Writable access — private rows only. Rows at or past writable_from_
+  // live in pages this cache exclusively owns (fresh allocations or its COW
+  // tail), so the const_cast is the cheap path to the same storage the
+  // table already points at.
+  float* k_row_mut(int layer, int token) {
+    PC_CHECK_MSG(token >= writable_from_, "shared module rows are read-only");
+    return const_cast<float*>(k_rows_[checked_layer(layer)]
+                                     [checked_token(token)]);
+  }
+  float* v_row_mut(int layer, int token) {
+    PC_CHECK_MSG(token >= writable_from_, "shared module rows are read-only");
+    return const_cast<float*>(v_rows_[checked_layer(layer)]
+                                     [checked_token(token)]);
+  }
+
+  // Footprint accounting. Shared pages are attached by reference (held
+  // once pool-wide however many requests attach them); owned pages — COW
+  // duplicates and private tails — are this cache's own footprint.
+  int n_pages() const { return static_cast<int>(pages_.size()); }
+  int shared_pages() const { return shared_pages_; }
+  int owned_pages() const {
+    return static_cast<int>(pages_.size()) - shared_pages_;
+  }
+  size_t owned_bytes() const {
+    return static_cast<size_t>(owned_pages()) * pool_->page_bytes();
+  }
+
+ private:
+  size_t token_stride() const {
+    return static_cast<size_t>(2) * n_layers_ * kv_dim_;
+  }
+
+  // Appends pointers for `n` consecutive slots of `id` starting at
+  // `first_slot` to every layer's row table, plus their position ids.
+  void publish_rows(PageId id, int first_slot, int n, const int* pos) {
+    const float* base = pool_->data(id);
+    for (int l = 0; l < n_layers_; ++l) {
+      auto& kt = k_rows_[static_cast<size_t>(l)];
+      auto& vt = v_rows_[static_cast<size_t>(l)];
+      for (int s = first_slot; s < first_slot + n; ++s) {
+        const float* k = base + static_cast<size_t>(s) * token_stride() +
+                         static_cast<size_t>(l) * 2 * kv_dim_;
+        kt.push_back(k);
+        vt.push_back(k + kv_dim_);
+      }
+    }
+    pos_ids_.insert(pos_ids_.end(), pos, pos + n);
+  }
+
+  size_t checked_layer(int layer) const {
+    PC_CHECK_MSG(layer >= 0 && layer < n_layers_, "layer out of range");
+    return static_cast<size_t>(layer);
+  }
+  size_t checked_token(int token) const {
+    PC_CHECK_MSG(token >= 0 && token < size(),
+                 "token " << token << " out of range " << size());
+    return static_cast<size_t>(token);
+  }
+
+  PagedKVPool* pool_;
+  int n_layers_;
+  int kv_dim_;
+  std::vector<PageId> pages_;  // in token order; released on destruction
+  int shared_pages_ = 0;
+  int writable_from_ = 0;  // first row k_row_mut may touch
+  bool packed_ = true;     // token t in page t / page_tokens (no slack)
+  PageId tail_page_ = kInvalidPage;  // private page with free slots
+  int tail_used_ = 0;
+  std::vector<int> pos_ids_;
+  std::vector<std::vector<const float*>> k_rows_;  // [layer][token]
+  std::vector<std::vector<const float*>> v_rows_;
+};
+
+}  // namespace pc

@@ -4,12 +4,14 @@
 // prompts in a batch import the same prompt module, a paged allocator
 // (PagedAttention, Kwon et al. 2023) lets them share *pointers* to the same
 // attention-state pages instead of duplicating them. This module implements
-// the allocator and the sharing accounting so the ablation benchmark can
-// quantify the footprint reduction; it is storage-level and intentionally
-// independent of the compute path.
+// the allocator and the sharing accounting; PagedKVCache (kv/paged_cache.h)
+// is the compute-side view that the batched serve path (sys/batch.h) runs
+// attention over.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <vector>
 
 #include "common/error.h"
@@ -20,7 +22,8 @@ using PageId = int32_t;
 constexpr PageId kInvalidPage = -1;
 
 struct PagedPoolStats {
-  uint64_t pages_allocated = 0;  // cumulative allocations
+  uint64_t pages_allocated = 0;  // cumulative allocations (both kinds)
+  uint64_t uninitialized_allocations = 0;  // subset skipping the zero-fill
   uint64_t pages_freed = 0;
   uint64_t cow_copies = 0;  // copy-on-write page duplications
 };
@@ -37,20 +40,13 @@ class PagedKVPool {
   int page_tokens() const { return page_tokens_; }
   size_t page_bytes() const { return bytes_per_token_ * page_tokens_; }
 
-  PageId allocate() {
-    PageId id;
-    if (!free_list_.empty()) {
-      id = free_list_.back();
-      free_list_.pop_back();
-      pages_[static_cast<size_t>(id)].refcount = 1;
-      pages_[static_cast<size_t>(id)].data.assign(page_floats(), 0.0f);
-    } else {
-      id = static_cast<PageId>(pages_.size());
-      pages_.push_back(Page{std::vector<float>(page_floats(), 0.0f), 1});
-    }
-    ++stats_.pages_allocated;
-    return id;
-  }
+  // Fresh zero-filled page (decode tails start from defined contents).
+  PageId allocate() { return allocate_impl(/*zero=*/true); }
+
+  // Uninitialized payload, for callers that overwrite the entire page
+  // before reading it — the copy-on-write duplication below, which would
+  // otherwise pay a redundant full-page zero-fill per copy.
+  PageId allocate_uninitialized() { return allocate_impl(/*zero=*/false); }
 
   void retain(PageId id) { ++page(id).refcount; }
 
@@ -58,8 +54,7 @@ class PagedKVPool {
     Page& p = page(id);
     PC_CHECK_MSG(p.refcount > 0, "release of dead page " << id);
     if (--p.refcount == 0) {
-      p.data.clear();
-      p.data.shrink_to_fit();
+      p.data.reset();
       free_list_.push_back(id);
       ++stats_.pages_freed;
     }
@@ -71,18 +66,18 @@ class PagedKVPool {
   // is made and its id returned; otherwise the same id is returned.
   PageId make_writable(PageId id) {
     if (page(id).refcount == 1) return id;
-    // Copy the payload before allocate(): growing pages_ invalidates
+    const PageId fresh = allocate_uninitialized();
+    // Re-fetch both pages after the allocation: growing pages_ invalidates
     // references into it.
-    std::vector<float> payload = page(id).data;
-    const PageId fresh = allocate();
-    page(fresh).data = std::move(payload);
+    std::memcpy(page(fresh).data.get(), page(id).data.get(),
+                page_floats() * sizeof(float));
     ++stats_.cow_copies;
     release(id);
     return fresh;
   }
 
-  float* data(PageId id) { return page(id).data.data(); }
-  const float* data(PageId id) const { return page(id).data.data(); }
+  float* data(PageId id) { return page(id).data.get(); }
+  const float* data(PageId id) const { return page(id).data.get(); }
 
   // Number of live (referenced) pages and their total payload.
   int live_pages() const {
@@ -100,12 +95,29 @@ class PagedKVPool {
 
  private:
   struct Page {
-    std::vector<float> data;
+    std::unique_ptr<float[]> data;
     int refcount = 0;
   };
 
   size_t page_floats() const {
     return page_bytes() / sizeof(float) + (page_bytes() % sizeof(float) != 0);
+  }
+
+  PageId allocate_impl(bool zero) {
+    PageId id;
+    if (!free_list_.empty()) {
+      id = free_list_.back();
+      free_list_.pop_back();
+    } else {
+      id = static_cast<PageId>(pages_.size());
+      pages_.push_back(Page{});
+    }
+    Page& p = pages_[static_cast<size_t>(id)];
+    p.refcount = 1;
+    p.data.reset(zero ? new float[page_floats()]() : new float[page_floats()]);
+    ++stats_.pages_allocated;
+    if (!zero) ++stats_.uninitialized_allocations;
+    return id;
   }
 
   Page& page(PageId id) {

@@ -275,6 +275,89 @@ void Model::attention(int layer, const Tensor& h,
   }
 }
 
+// Per-sequence attention of a batched step. The dense projections were
+// computed over the concatenated rows; here every query row r (sequence s,
+// chunk-local index i) attends to its own cache's slots [0, first_new+i] via
+// the gathered kernel — the same kernel, context, and inputs it would see in
+// a sequential forward over that sequence alone, so the output bits match.
+void Model::attention_batch(int layer, const Tensor& h,
+                            std::span<const BatchSeq> seqs,
+                            const std::vector<int>& first_new,
+                            const std::vector<int>& row_seq,
+                            const std::vector<int>& row_idx,
+                            std::span<const int> pos_ids, Tensor& out) const {
+  const auto& lw = weights_.layers[static_cast<size_t>(layer)];
+  const int total = static_cast<int>(h.dim(0));
+  const int d_head = config_.d_head;
+  const int n_heads = config_.n_heads;
+  const int group = n_heads / config_.n_kv_heads;
+  const size_t kv_dim = static_cast<size_t>(config_.kv_dim());
+
+  Tensor q = matmul_nt(h, lw.wq);   // [total, q_dim]
+  Tensor kx = matmul_nt(h, lw.wk);  // [total, kv_dim]
+  Tensor vx = matmul_nt(h, lw.wv);  // [total, kv_dim]
+
+  if (rope_) {
+    for (int r = 0; r < total; ++r) {
+      const int pos = pos_ids[static_cast<size_t>(r)];
+      float* qr = q.row(r);
+      for (int hd = 0; hd < n_heads; ++hd) rope_->apply(qr + hd * d_head, pos);
+      float* kr = kx.row(r);
+      for (int hd = 0; hd < config_.n_kv_heads; ++hd) {
+        rope_->apply(kr + hd * d_head, pos);
+      }
+    }
+  }
+
+  // Publish each row's keys/values into its sequence's page slot. Unlike
+  // the dense caches, page rows are layer-interleaved, so this is one
+  // memcpy per (row, layer) rather than one per layer.
+  size_t max_ctx = 0;
+  for (int r = 0; r < total; ++r) {
+    const int s = row_seq[static_cast<size_t>(r)];
+    const int t = first_new[static_cast<size_t>(s)] +
+                  row_idx[static_cast<size_t>(r)];
+    PagedKVCache& cache = *seqs[static_cast<size_t>(s)].cache;
+    std::memcpy(cache.k_row_mut(layer, t), kx.row(r),
+                kv_dim * sizeof(float));
+    std::memcpy(cache.v_row_mut(layer, t), vx.row(r),
+                kv_dim * sizeof(float));
+    max_ctx = std::max(max_ctx, static_cast<size_t>(t) + 1);
+  }
+
+  auto row_work = [&](size_t row_begin, size_t row_end) {
+    std::vector<float> scores(max_ctx);
+    std::vector<float> rrow(alibi_ ? max_ctx : 0);
+    for (size_t r = row_begin; r < row_end; ++r) {
+      const int s = row_seq[r];
+      const PagedKVCache& cache = *seqs[static_cast<size_t>(s)].cache;
+      const int ctx = first_new[static_cast<size_t>(s)] + row_idx[r] + 1;
+      if (alibi_) {
+        const int qp = pos_ids[r];
+        for (int j = 0; j < ctx; ++j) {
+          rrow[static_cast<size_t>(j)] =
+              static_cast<float>(qp - cache.pos_id(j));
+        }
+      }
+      for (int hd = 0; hd < n_heads; ++hd) {
+        attn_fused_gather(
+            q.row(static_cast<int64_t>(r)) + hd * d_head,
+            cache.k_row_table(layer), cache.v_row_table(layer),
+            static_cast<size_t>((hd / group) * d_head),
+            static_cast<size_t>(d_head), static_cast<size_t>(ctx),
+            attn_scale_, alibi_ ? alibi_->slope(hd) : 0.0f,
+            alibi_ ? rrow.data() : nullptr, nullptr, scores.data(),
+            out.row(static_cast<int64_t>(r)) + hd * d_head);
+      }
+    }
+  };
+  if (ThreadPool::global().size() > 1 && total > 1) {
+    ThreadPool::global().parallel_for(static_cast<size_t>(total), row_work);
+  } else {
+    row_work(0, static_cast<size_t>(total));
+  }
+}
+
 void Model::mlp(int layer, const Tensor& h, Tensor& out) const {
   const auto& lw = weights_.layers[static_cast<size_t>(layer)];
   Tensor up = matmul_nt(h, lw.w_up);  // [n, d_ff]
@@ -391,6 +474,104 @@ Tensor Model::forward_impl(std::span<const TokenId> tokens,
   return matmul_nt(final_in, weights_.lm_head);
 }
 
+Tensor Model::forward_batch(std::span<const BatchSeq> seqs) const {
+  PC_CHECK_MSG(!seqs.empty(), "forward_batch: empty batch");
+  const int n_seqs = static_cast<int>(seqs.size());
+  int total = 0;
+  for (int s = 0; s < n_seqs; ++s) {
+    const BatchSeq& seq = seqs[static_cast<size_t>(s)];
+    PC_CHECK_MSG(seq.cache != nullptr, "forward_batch: sequence without cache");
+    PC_CHECK_MSG(seq.tokens.size() == seq.pos_ids.size(),
+                 "forward_batch: tokens/pos_ids length mismatch");
+    PC_CHECK_MSG(!seq.tokens.empty(), "forward_batch: empty sequence");
+    PC_CHECK_MSG(seq.cache->n_layers() == config_.n_layers &&
+                     seq.cache->kv_dim() == config_.kv_dim(),
+                 "forward_batch: cache geometry mismatch");
+    for (int p : seq.pos_ids) {
+      PC_CHECK_MSG(p >= 0 && p < config_.max_pos,
+                   "position id " << p << " outside max_pos "
+                                  << config_.max_pos);
+    }
+    for (int t = 0; t < s; ++t) {
+      PC_CHECK_MSG(seqs[static_cast<size_t>(t)].cache != seq.cache,
+                   "forward_batch: sequences must have distinct caches");
+    }
+    total += static_cast<int>(seq.tokens.size());
+  }
+  PC_SPAN("forward_batch", {"seqs", static_cast<int64_t>(n_seqs)},
+          {"tokens", static_cast<int64_t>(total)});
+
+  // Flatten: dense row-wise stages run once over every sequence's rows.
+  const int d = config_.d_model;
+  std::vector<TokenId> tokens;
+  std::vector<int> pos;
+  std::vector<int> row_seq(static_cast<size_t>(total));
+  std::vector<int> row_idx(static_cast<size_t>(total));
+  std::vector<int> row_off(static_cast<size_t>(n_seqs));
+  std::vector<int> first_new(static_cast<size_t>(n_seqs));
+  tokens.reserve(static_cast<size_t>(total));
+  pos.reserve(static_cast<size_t>(total));
+  int r = 0;
+  for (int s = 0; s < n_seqs; ++s) {
+    const BatchSeq& seq = seqs[static_cast<size_t>(s)];
+    row_off[static_cast<size_t>(s)] = r;
+    first_new[static_cast<size_t>(s)] = seq.cache->append_tokens(seq.pos_ids);
+    for (size_t i = 0; i < seq.tokens.size(); ++i) {
+      tokens.push_back(seq.tokens[i]);
+      pos.push_back(seq.pos_ids[i]);
+      row_seq[static_cast<size_t>(r)] = s;
+      row_idx[static_cast<size_t>(r)] = static_cast<int>(i);
+      ++r;
+    }
+  }
+
+  Tensor x({total, d});
+  embed(tokens, pos, x);
+
+  Tensor h({total, d});
+  Tensor attn_out({total, config_.q_dim()});
+  for (int l = 0; l < config_.n_layers; ++l) {
+    const auto& lw = weights_.layers[static_cast<size_t>(l)];
+    apply_norm(lw.norm1_w, lw.norm1_b, x, h);
+    attention_batch(l, h, seqs, first_new, row_seq, row_idx, pos, attn_out);
+    Tensor attn_proj = matmul_nt(attn_out, lw.wo);  // [total, d_model]
+
+    if (config_.parallel_block) {
+      add_inplace(x, attn_proj);
+      if (config_.use_mlp) {
+        Tensor mlp_out;
+        mlp(l, h, mlp_out);
+        add_inplace(x, mlp_out);
+      }
+    } else {
+      add_inplace(x, attn_proj);
+      if (config_.use_mlp) {
+        apply_norm(lw.norm2_w, lw.norm2_b, x, h);
+        Tensor mlp_out;
+        mlp(l, h, mlp_out);
+        add_inplace(x, mlp_out);
+      }
+    }
+  }
+
+  // One logits row per sequence: its last new token.
+  Tensor final_in({n_seqs, d});
+  for (int s = 0; s < n_seqs; ++s) {
+    const int last = row_off[static_cast<size_t>(s)] +
+                     static_cast<int>(seqs[static_cast<size_t>(s)]
+                                          .tokens.size()) -
+                     1;
+    std::memcpy(final_in.row(s), x.row(last),
+                static_cast<size_t>(d) * sizeof(float));
+  }
+  if (config_.final_norm && config_.norm != NormKind::kNone) {
+    Tensor normed({n_seqs, d});
+    apply_norm(weights_.final_norm_w, weights_.final_norm_b, final_in, normed);
+    return matmul_nt(normed, weights_.lm_head);
+  }
+  return matmul_nt(final_in, weights_.lm_head);
+}
+
 TokenId Model::argmax(const Tensor& logits, int64_t row) {
   PC_CHECK(logits.ndim() == 2 && row < logits.dim(0));
   const float* p = logits.row(row);
@@ -460,10 +641,16 @@ double Model::continuation_logprob(const Tensor& last_logits,
 
 TokenId Model::sample_token(const Tensor& logits,
                             const GenerateOptions& options, Rng& rng) {
-  if (options.temperature <= 0.0f) return argmax(logits);
-  PC_CHECK(logits.ndim() == 2 && logits.dim(0) >= 1);
+  return sample_token(logits, 0, options, rng);
+}
+
+TokenId Model::sample_token(const Tensor& logits, int64_t row_index,
+                            const GenerateOptions& options, Rng& rng) {
+  if (options.temperature <= 0.0f) return argmax(logits, row_index);
+  PC_CHECK(logits.ndim() == 2 && row_index >= 0 &&
+           row_index < logits.dim(0));
   const int64_t vocab = logits.dim(1);
-  const float* row = logits.row(0);
+  const float* row = logits.row(row_index);
   const double inv_temp = 1.0 / options.temperature;
 
   if (options.top_k > 0 && options.top_k < vocab) {

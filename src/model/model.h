@@ -23,6 +23,7 @@
 #include "common/cancel.h"
 #include "kv/kv_cache.h"
 #include "kv/kv_view.h"
+#include "kv/paged_cache.h"
 #include "model/config.h"
 #include "model/weights.h"
 #include "pos/alibi.h"
@@ -87,6 +88,26 @@ class Model {
                  std::span<const int> pos_ids, SegmentedKVCache& cache,
                  bool return_all_logits = false) const;
 
+  // One sequence of a batched step: `tokens` are the new tokens this
+  // iteration (a prefill chunk or a single decode token) at `pos_ids`,
+  // appended to `cache`.
+  struct BatchSeq {
+    std::span<const TokenId> tokens;
+    std::span<const int> pos_ids;
+    PagedKVCache* cache = nullptr;
+  };
+
+  // Batched step over independent sequences (continuous batching, see
+  // sys/batch.h): the dense row-wise work — embeddings, norms, QKV/output
+  // projections, MLP — runs once over the concatenated rows of every
+  // sequence, while attention stays per-sequence (each row attends only to
+  // its own cache, causally within its chunk). Every per-row computation is
+  // bitwise identical to running the sequences through forward()
+  // one at a time — the foundation of the batched == sequential token
+  // equality the serve path guarantees. Returns [n_seqs, vocab] logits for
+  // each sequence's last new token. Caches must be distinct.
+  Tensor forward_batch(std::span<const BatchSeq> seqs) const;
+
   // Reference path: one prefill over the whole prompt with a block-diagonal
   // attention mask. Token i may attend to token j (j <= i) iff they share a
   // block id, or block_ids[i] == kGlobalBlock (attends to everything). This
@@ -138,6 +159,11 @@ class Model {
   static TokenId sample_token(const Tensor& logits,
                               const GenerateOptions& options, Rng& rng);
 
+  // Row-addressed variant for batched logits ([n_seqs, vocab]): identical
+  // bits to sampling from that sequence's own [1, vocab] logits.
+  static TokenId sample_token(const Tensor& logits, int64_t row,
+                              const GenerateOptions& options, Rng& rng);
+
   // Sum of per-token log-probabilities (natural log) of `continuation`
   // under the model, given `last_logits` (the logits after the context) and
   // a cache holding that context. Appends the continuation to the cache.
@@ -173,6 +199,12 @@ class Model {
                  std::span<const int> block_ids,
                  std::span<const bool> hidden_from_global, int first_new,
                  CacheT& cache, Tensor& out) const;
+  void attention_batch(int layer, const Tensor& h,
+                       std::span<const BatchSeq> seqs,
+                       const std::vector<int>& first_new,
+                       const std::vector<int>& row_seq,
+                       const std::vector<int>& row_idx,
+                       std::span<const int> pos_ids, Tensor& out) const;
   template <typename CacheT>
   GenerateOutput generate_impl(const Tensor& last_logits, int next_pos,
                                CacheT& cache,

@@ -1,0 +1,70 @@
+// Serving-layer vocabulary shared by the worker-pool frontend
+// (sys/server.h) and the continuous-batching scheduler (sys/batch.h):
+// the request outcome taxonomy, the response record, the simulated
+// host-link model, and the transient-fault retry policy. Split out so the
+// scheduler can speak the same types without depending on the Server.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/engine.h"
+
+namespace pc {
+
+// Simulated host<->device interconnect (0-valued fields contribute nothing).
+struct LinkModel {
+  double bandwidth_bytes_per_s = 0;  // host-link throughput; 0 = infinite
+  double latency_s = 0;              // fixed per-request transfer setup cost
+
+  double stall_s(size_t bytes_from_host) const {
+    double s = latency_s;
+    if (bandwidth_bytes_per_s > 0) {
+      s += static_cast<double>(bytes_from_host) / bandwidth_bytes_per_s;
+    }
+    return s;
+  }
+};
+
+// Outcome taxonomy for a served request (see sys/server.h for the full
+// lifecycle description).
+enum class ServeStatus {
+  kOk = 0,
+  kDegraded,  // full-prefill fallback: same tokens, degraded TTFT
+  kTimeout,   // deadline expired mid-service; work was cancelled
+  kShed,      // rejected before service (queued past deadline / backlog)
+  kFailed,    // non-transient error
+};
+
+const char* to_string(ServeStatus s);
+
+// True for the statuses that return generated tokens to the caller.
+inline bool is_served(ServeStatus s) {
+  return s == ServeStatus::kOk || s == ServeStatus::kDegraded;
+}
+
+// Bounded retry for transient faults (pc::TransientError): attempt
+// `1 + max_retries` serves, sleeping backoff_base_ms * 2^attempt (capped at
+// backoff_max_ms, scaled by a deterministic jitter in [0.5, 1.5)) between
+// attempts. When retries are exhausted the server degrades to full prefill.
+struct RetryPolicy {
+  int max_retries = 2;
+  double backoff_base_ms = 0.5;
+  double backoff_max_ms = 20.0;
+};
+
+struct ServerResponse {
+  uint64_t id = 0;    // submission order
+  int worker = -1;    // worker that served it (-1 when shed at submit)
+  ServeStatus status = ServeStatus::kOk;
+  ServeResult result;     // meaningful iff is_served(status)
+  double queue_ms = 0;    // submit -> dequeue
+  double stall_ms = 0;    // simulated host-link transfer (LinkModel)
+  double service_ms = 0;  // dequeue -> done (serve + stall)
+  double ttft_ms = 0;     // end-to-end: queue + stall + engine TTFT
+  int retries = 0;        // transient-fault retries spent on this request
+  bool deadline_met = true;
+  std::string detail;  // human-readable cause for non-kOk statuses
+};
+
+}  // namespace pc

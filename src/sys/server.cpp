@@ -69,10 +69,13 @@ Server::Server(const Model& model, const TextTokenizer& tokenizer,
 Server::~Server() { stop(); }
 
 void Server::start() {
-  PC_CHECK_MSG(config_.n_workers > 0, "Server needs at least one worker");
+  PC_CHECK_MSG(config_.batching || config_.n_workers > 0,
+               "Server needs at least one worker");
   PC_CHECK_MSG(config_.queue_capacity > 0, "Server queue capacity must be > 0");
   PC_CHECK_MSG(config_.retry.max_retries >= 0,
                "RetryPolicy::max_retries must be >= 0");
+  PC_CHECK_MSG(!config_.batching || config_.batch.max_batch > 0,
+               "BatchConfig::max_batch must be > 0");
   auto& reg = obs::MetricsRegistry::global();
   submitted_ = reg.counter("pc_server_submitted_total", "requests submitted");
   completed_ = reg.counter("pc_server_completed_total",
@@ -94,6 +97,18 @@ void Server::start() {
                             "end-to-end TTFT: queue + stall + engine");
   degraded_ttft_ = reg.histogram("pc_server_ttft_degraded_seconds",
                                  "end-to-end TTFT of degraded serves");
+  if (config_.batching) {
+    // One batch lane instead of a worker pool: a single thread owns the
+    // scheduler and serves up to batch.max_batch requests per iteration.
+    batch_thread_ = std::thread([this] { batch_loop(); });
+    std::unique_lock lock(mutex_);
+    cv_ready_.wait(lock, [&] { return workers_ready_ == 1; });
+    lock.unlock();
+    PC_LOG_INFO << "server batch loop ready: max_batch "
+                << config_.batch.max_batch << ", "
+                << (shared_ != nullptr ? "shared" : "private") << " store";
+    return;
+  }
   workers_.reserve(static_cast<size_t>(config_.n_workers));
   for (int i = 0; i < config_.n_workers; ++i) {
     workers_.push_back(std::make_unique<Worker>());
@@ -139,11 +154,15 @@ uint64_t Server::submit(std::string prompt, const GenerateOptions& options,
   // Load shedding: when the backlog alone makes the deadline unmeetable
   // (estimated queue wait from the served-request EWMA), reject at submit —
   // an immediate kShed response — rather than let the request queue up and
-  // time out after burning a worker.
-  if (deadline > 0 && service_ewma_ms_ > 0 && !queue_.empty()) {
+  // time out after burning a worker. The backlog counts requests already in
+  // service, not just the queue: with the queue momentarily empty but every
+  // lane busy, a new request still waits a full service time.
+  const uint64_t backlog = queue_.size() + in_service_;
+  const double parallelism = static_cast<double>(
+      config_.batching ? config_.batch.max_batch : config_.n_workers);
+  if (deadline > 0 && service_ewma_ms_ > 0 && backlog > 0) {
     const double est_wait_ms =
-        service_ewma_ms_ * (static_cast<double>(queue_.size()) /
-                            static_cast<double>(config_.n_workers));
+        service_ewma_ms_ * (static_cast<double>(backlog) / parallelism);
     if (est_wait_ms > deadline) {
       ServerResponse resp;
       resp.id = id;
@@ -205,10 +224,17 @@ void Server::stop() {
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
+  if (batch_thread_.joinable()) batch_thread_.join();
 }
 
 void Server::record_locked(ServerResponse&& resp,
                            std::chrono::steady_clock::time_point when) {
+  // Anything that was dequeued (worker >= 0) counted as in service;
+  // submit-time sheds (worker == -1) never did.
+  if (resp.worker >= 0) {
+    PC_CHECK_MSG(in_service_ > 0, "in-service accounting underflow");
+    --in_service_;
+  }
   switch (resp.status) {
     case ServeStatus::kOk:
       completed_.inc();
@@ -281,6 +307,7 @@ void Server::worker_loop(int index) {
       item = std::move(queue_.front());
       queue_.pop_front();
       queue_depth_.sub(1);
+      ++in_service_;
     }
     cv_not_full_.notify_one();
 
@@ -440,9 +467,71 @@ void Server::worker_loop(int index) {
   }
 }
 
+void Server::batch_loop() {
+  obs::set_thread_name("batcher");
+  BatchScheduler::Options opts;
+  opts.engine = config_.engine;
+  opts.schemas = config_.schemas;
+  opts.batch = config_.batch;
+  opts.link = config_.link;
+  opts.retry = config_.retry;
+  scheduler_ = std::make_unique<BatchScheduler>(
+      model_, tokenizer_, shared_, std::move(opts),
+      [this](ServerResponse&& resp) {
+        const auto now = std::chrono::steady_clock::now();
+        {
+          std::lock_guard lock(mutex_);
+          // Workers count retries as they happen; the scheduler reports
+          // them per response.
+          if (resp.retries > 0) {
+            retries_.inc(static_cast<uint64_t>(resp.retries));
+          }
+          record_locked(std::move(resp), now);
+        }
+        cv_done_.notify_all();
+      });
+  {
+    std::lock_guard lock(mutex_);
+    ++workers_ready_;
+  }
+  cv_ready_.notify_all();
+
+  for (;;) {
+    // Admit as many queued requests as the batch has slots for; block only
+    // when there is nothing to do at all.
+    std::vector<BatchScheduler::Request> admits;
+    {
+      std::unique_lock lock(mutex_);
+      if (scheduler_->idle()) {
+        cv_not_empty_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      }
+      if (stop_ && queue_.empty() && scheduler_->idle()) return;
+      while (!queue_.empty() &&
+             scheduler_->active_requests() + static_cast<int>(admits.size()) <
+                 config_.batch.max_batch) {
+        Item item = std::move(queue_.front());
+        queue_.pop_front();
+        queue_depth_.sub(1);
+        ++in_service_;
+        BatchScheduler::Request req;
+        req.id = item.id;
+        req.prompt = std::move(item.prompt);
+        req.options = item.options;
+        req.deadline_ms = item.deadline_ms;
+        req.enqueued = item.enqueued;
+        req.token = item.token;
+        admits.push_back(std::move(req));
+      }
+    }
+    if (!admits.empty()) cv_not_full_.notify_all();
+    for (auto& r : admits) scheduler_->admit(std::move(r));
+    scheduler_->step();
+  }
+}
+
 ServerStats Server::stats() const {
   ServerStats out;
-  out.n_workers = config_.n_workers;
+  out.n_workers = config_.batching ? 1 : config_.n_workers;
   out.shared_store = shared_ != nullptr;
   {
     std::lock_guard lock(mutex_);
@@ -465,6 +554,34 @@ ServerStats Server::stats() const {
         static_cast<double>(out.completed) / (out.wall_ms / 1e3);
   }
 
+  if (config_.batching && scheduler_ != nullptr) {
+    out.batching = true;
+    out.batch_iterations = scheduler_->iterations();
+    out.batch_tokens = scheduler_->batched_tokens();
+    const BatchKVStats kv = scheduler_->kv_stats();
+    out.kv_live_bytes = kv.live_bytes;
+    out.kv_peak_bytes = kv.peak_live_bytes;
+    out.kv_module_bytes = kv.module_bytes;
+    out.kv_cow_copies = kv.cow_copies;
+    PromptCacheEngine& engine = scheduler_->engine();
+    const EngineStats es = engine.stats();
+    out.modules_encoded += es.modules_encoded;
+    out.scaffolds_encoded += es.scaffolds_encoded;
+    out.thrash_reencodes += es.thrash_reencodes;
+    out.engine_ttft.merge(scheduler_->ttft_histogram());
+    if (shared_ == nullptr) {
+      const ModuleStoreStats ss = engine.store().stats();
+      out.store.hits += ss.hits;
+      out.store.misses += ss.misses;
+      out.store.insertions += ss.insertions;
+      out.store.evictions += ss.evictions;
+      out.store.demotions += ss.demotions;
+      out.store.promotions += ss.promotions;
+      out.resident_module_bytes +=
+          engine.store().usage(ModuleLocation::kDeviceMemory).used_bytes +
+          engine.store().usage(ModuleLocation::kHostMemory).used_bytes;
+    }
+  }
   for (const auto& w : workers_) {
     if (w->engine == nullptr) continue;  // worker still constructing
     const EngineStats es = w->engine->stats();
@@ -490,7 +607,8 @@ ServerStats Server::stats() const {
     out.resident_module_bytes = shared_->resident_bytes();
     out.bytes_deduplicated =
         out.resident_module_bytes *
-        static_cast<size_t>(std::max(0, config_.n_workers - 1));
+        static_cast<size_t>(
+            config_.batching ? 0 : std::max(0, config_.n_workers - 1));
     out.single_flight_waits = shared_->single_flight_waits();
   }
   const double lookups =

@@ -65,48 +65,10 @@
 #include "core/shared_module_store.h"
 #include "model/model.h"
 #include "obs/metrics.h"
+#include "sys/batch.h"
+#include "sys/serve_types.h"
 
 namespace pc {
-
-// Simulated host<->device interconnect (0-valued fields contribute nothing).
-struct LinkModel {
-  double bandwidth_bytes_per_s = 0;  // host-link throughput; 0 = infinite
-  double latency_s = 0;              // fixed per-request transfer setup cost
-
-  double stall_s(size_t bytes_from_host) const {
-    double s = latency_s;
-    if (bandwidth_bytes_per_s > 0) {
-      s += static_cast<double>(bytes_from_host) / bandwidth_bytes_per_s;
-    }
-    return s;
-  }
-};
-
-// Outcome taxonomy for a served request (see the header comment).
-enum class ServeStatus {
-  kOk = 0,
-  kDegraded,  // full-prefill fallback: same tokens, degraded TTFT
-  kTimeout,   // deadline expired mid-service; work was cancelled
-  kShed,      // rejected before service (queued past deadline / backlog)
-  kFailed,    // non-transient error
-};
-
-const char* to_string(ServeStatus s);
-
-// True for the statuses that return generated tokens to the caller.
-inline bool is_served(ServeStatus s) {
-  return s == ServeStatus::kOk || s == ServeStatus::kDegraded;
-}
-
-// Bounded retry for transient faults (pc::TransientError): attempt
-// `1 + max_retries` serves, sleeping backoff_base_ms * 2^attempt (capped at
-// backoff_max_ms, scaled by a deterministic jitter in [0.5, 1.5)) between
-// attempts. When retries are exhausted the worker degrades to full prefill.
-struct RetryPolicy {
-  int max_retries = 2;
-  double backoff_base_ms = 0.5;
-  double backoff_max_ms = 20.0;
-};
 
 struct ServerConfig {
   int n_workers = 4;
@@ -116,20 +78,13 @@ struct ServerConfig {
   double default_deadline_ms = 0;    // 0 = no deadline enforcement
   LinkModel link;
   RetryPolicy retry;
-};
-
-struct ServerResponse {
-  uint64_t id = 0;    // submission order
-  int worker = -1;    // worker that served it (-1 when shed at submit)
-  ServeStatus status = ServeStatus::kOk;
-  ServeResult result;     // meaningful iff is_served(status)
-  double queue_ms = 0;    // submit -> dequeue
-  double stall_ms = 0;    // simulated host-link transfer (LinkModel)
-  double service_ms = 0;  // dequeue -> done (serve + stall)
-  double ttft_ms = 0;     // end-to-end: queue + stall + engine TTFT
-  int retries = 0;        // transient-fault retries spent on this request
-  bool deadline_met = true;
-  std::string detail;  // human-readable cause for non-kOk statuses
+  // Continuous-batching mode (sys/batch.h): instead of n_workers threads
+  // each serving one request end to end, a single batch loop serves up to
+  // batch.max_batch requests per forward step with paged KV sharing across
+  // them. Identical request semantics: same ServeStatus taxonomy, same
+  // deadline/retry/degradation behavior, bitwise-identical tokens.
+  bool batching = false;
+  BatchConfig batch;
 };
 
 struct ServerStats {
@@ -158,6 +113,16 @@ struct ServerStats {
 
   // Store-level: the shared store's snapshot, or the sum over private
   // stores. hit_rate = hits / (hits + misses).
+  // Batching mode (ServerConfig::batching): iteration-loop and paged-KV
+  // telemetry. Zero in worker-pool mode.
+  bool batching = false;
+  uint64_t batch_iterations = 0;
+  uint64_t batch_tokens = 0;
+  size_t kv_live_bytes = 0;
+  size_t kv_peak_bytes = 0;
+  size_t kv_module_bytes = 0;  // held once however many requests share them
+  uint64_t kv_cow_copies = 0;
+
   ModuleStoreStats store;
   double store_hit_rate = 0;
   size_t resident_module_bytes = 0;
@@ -234,6 +199,7 @@ class Server {
 
   void start();
   void worker_loop(int index);
+  void batch_loop();
   // Books a finished response (any status) under mutex_; the caller
   // notifies cv_done_ after releasing the lock.
   void record_locked(ServerResponse&& resp,
@@ -245,6 +211,10 @@ class Server {
   ServerConfig config_;
 
   std::vector<std::unique_ptr<Worker>> workers_;
+  // Batching mode: the scheduler and its loop thread (workers_ stays
+  // empty). Built on batch_thread_; read from stats() only while idle.
+  std::unique_ptr<BatchScheduler> scheduler_;
+  std::thread batch_thread_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_not_empty_;
@@ -268,6 +238,11 @@ class Server {
   obs::Histogram e2e_ttft_;        // pc_server_ttft_seconds; survives drain()
   obs::Histogram degraded_ttft_;   // pc_server_ttft_degraded_seconds
   uint64_t done_ = 0;        // responses recorded, any status (drain gate)
+  // Requests dequeued but not yet recorded. Submit-time shedding estimates
+  // the backlog from queue_.size() + in_service_ — counting only the queue
+  // understates the wait whenever workers (or the batch loop) are busy,
+  // which admitted doomed requests under full load.
+  uint64_t in_service_ = 0;
   double service_ewma_ms_ = 0;  // served-request EWMA; drives shedding
   int workers_ready_ = 0;
   bool stop_ = false;

@@ -61,6 +61,35 @@ TEST(Histogram, QuantileIsMonotonic) {
   }
 }
 
+TEST(Histogram, QuantileZeroIsExactMinimum) {
+  // Regression: q=0 used to be bucketized like any other quantile,
+  // returning the first occupied bucket's upper edge (up to 19% above the
+  // smallest sample). The minimum is tracked exactly — return it.
+  LatencyHistogram h;
+  h.record_ms(1.0);
+  h.record_ms(100.0);
+  EXPECT_DOUBLE_EQ(h.quantile_seconds(0.0), 1e-3);
+  EXPECT_DOUBLE_EQ(h.quantile_seconds(0.0), h.min_seconds());
+  // Still zero when empty, and still monotonic against q>0 reads.
+  EXPECT_DOUBLE_EQ(LatencyHistogram().quantile_seconds(0.0), 0.0);
+  EXPECT_LE(h.quantile_seconds(0.0), h.quantile_seconds(0.01));
+}
+
+TEST(Histogram, QuantileZeroSurvivesMergeAcrossLayouts) {
+  LatencyHistogram coarse(/*min_seconds=*/1e-3, /*buckets_per_doubling=*/1);
+  coarse.record_seconds(0.25);
+  LatencyHistogram fine;  // default layout
+  fine.record_seconds(0.004);
+  fine.merge(coarse);  // differing layouts: counts rebucket, extrema exact
+  EXPECT_DOUBLE_EQ(fine.quantile_seconds(0.0), 0.004);
+
+  // Merge in the other direction: the smaller minimum wins.
+  LatencyHistogram fine2;
+  fine2.record_seconds(0.0005);
+  fine2.merge(coarse);
+  EXPECT_DOUBLE_EQ(fine2.quantile_seconds(0.0), 0.0005);
+}
+
 TEST(Histogram, ExtremesClampToBucketRange) {
   LatencyHistogram h;
   h.record_seconds(1e-9);   // below first bucket

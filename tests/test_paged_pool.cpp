@@ -2,6 +2,8 @@
 // copy-on-write, and the batch-sharing footprint accounting of paper §3.4.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "kv/paged_pool.h"
 
 namespace pc {
@@ -58,6 +60,44 @@ TEST(PagedPool, CopyOnWriteDuplicatesSharedPage) {
   // Exclusive pages are returned as-is.
   EXPECT_EQ(pool.make_writable(w), w);
   pool.release(p);
+  pool.release(w);
+}
+
+TEST(PagedPool, CowCopyIsBitwiseIdentical) {
+  // The COW path allocates its destination uninitialized and must overwrite
+  // every float of it: the duplicate is bitwise-equal to the source page.
+  PagedKVPool pool(16, 64);
+  const size_t floats = pool.page_bytes() / sizeof(float);
+  const PageId p = pool.allocate();
+  for (size_t i = 0; i < floats; ++i) {
+    pool.data(p)[i] = 0.5f + 0.25f * static_cast<float>(i % 97);
+  }
+  pool.retain(p);
+  const PageId w = pool.make_writable(p);
+  ASSERT_NE(w, p);
+  EXPECT_EQ(std::memcmp(pool.data(w), pool.data(p), pool.page_bytes()), 0);
+  pool.release(p);
+  pool.release(w);
+}
+
+TEST(PagedPool, UninitializedAllocationsCountedOnlyForCow) {
+  PagedKVPool pool(8, 32);
+  const PageId a = pool.allocate();
+  const PageId b = pool.allocate();
+  // Fresh pages stay on the zero-filling path...
+  EXPECT_EQ(pool.stats().uninitialized_allocations, 0u);
+  const size_t floats = pool.page_bytes() / sizeof(float);
+  for (size_t i = 0; i < floats; ++i) {
+    EXPECT_EQ(pool.data(a)[i], 0.0f) << i;
+  }
+  // ...while COW duplication skips the redundant zero-fill.
+  pool.retain(b);
+  const PageId w = pool.make_writable(b);
+  EXPECT_EQ(pool.stats().uninitialized_allocations, 1u);
+  EXPECT_EQ(pool.stats().cow_copies, 1u);
+  EXPECT_EQ(pool.stats().pages_allocated, 3u);
+  pool.release(a);
+  pool.release(b);
   pool.release(w);
 }
 
