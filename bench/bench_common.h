@@ -83,6 +83,12 @@ inline std::string provenance_json(int indent = 2) {
   out += inner + "\"tracing\": ";
   out += (obs::tracing_enabled() ? "true" : "false");
   out += ",\n";
+  // Module storage format the process defaults to (PC_KV_FORMAT): q8
+  // numbers are not comparable to fp32 numbers, so the JSON must say which
+  // one produced them.
+  const char* kv_format = std::getenv("PC_KV_FORMAT");
+  out += inner + "\"pc_kv_format\": \"" +
+         (kv_format != nullptr ? kv_format : "fp32") + "\",\n";
   // Active fault-injection spec ("" when disabled): numbers produced under
   // injected faults must say so.
   out += inner + "\"pc_faults\": \"" + FaultInjector::global().spec() + "\"\n";

@@ -20,6 +20,7 @@
 #include "bench/bench_common.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "kv/quant.h"
 #include "model/model.h"
 #include "tensor/ops.h"
 #include "tensor/simd.h"
@@ -205,6 +206,67 @@ void bench_attention() {
   table.print(std::cout);
 }
 
+// Decode-style attention over a quantized (Q8_0) context: one query head
+// against ctx cached rows held as int8 + per-row scale. Compares the naive
+// retrieval strategy — dequantize every K/V row to fp32, then run the fp32
+// fused kernel — against attn_fused_q8_gather, which scores q·k in the int8
+// domain and mixes V straight from int8 (no fp32 materialization of the
+// cached rows). The dequantize cost recurs every step on a decode path, so
+// this is the per-token contrast. Returns whether the int8 kernel wins at
+// ctx=1024 (the PR's acceptance bound: int8 fused must beat
+// dequantize-then-fp32 at ctx >= 1K).
+bool bench_q8_attention() {
+  TablePrinter table("q8 attention, one head (d_head=64, int8 context)");
+  table.set_header({"ctx", "dequant+fp32", "int8 fused", "speedup"});
+  const size_t d_head = 64, kv_dim = 128, head_off = 64;
+  std::vector<size_t> ctxs = {256, 1024, 2048};
+  if (bench::full_mode()) ctxs.push_back(4096);
+  bool beats_at_1k = false;
+  for (size_t ctx : ctxs) {
+    const auto kf = random_vec(ctx * kv_dim, 17 + ctx);
+    const auto vf = random_vec(ctx * kv_dim, 19 + ctx);
+    const auto q = random_vec(d_head, 23 + ctx);
+    std::vector<int8_t> k8(ctx * kv_dim), v8(ctx * kv_dim);
+    std::vector<float> k_scales(ctx), v_scales(ctx);
+    quantize_rows(kf.data(), static_cast<int>(ctx), static_cast<int>(kv_dim),
+                  k8.data(), k_scales.data());
+    quantize_rows(vf.data(), static_cast<int>(ctx), static_cast<int>(kv_dim),
+                  v8.data(), v_scales.data());
+    std::vector<const int8_t*> k8_rows(ctx), v8_rows(ctx);
+    std::vector<const float*> k_rows(ctx, nullptr), v_rows(ctx, nullptr);
+    for (size_t j = 0; j < ctx; ++j) {
+      k8_rows[j] = k8.data() + j * kv_dim;
+      v8_rows[j] = v8.data() + j * kv_dim;
+    }
+    std::vector<float> scores(ctx), out(d_head);
+    std::vector<float> k_dq(ctx * kv_dim), v_dq(ctx * kv_dim);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(d_head));
+    const double s = time_ms([&] {
+      for (size_t j = 0; j < ctx; ++j) {
+        simd::dequant_store(k8.data() + j * kv_dim, k_scales[j],
+                            k_dq.data() + j * kv_dim, kv_dim);
+        simd::dequant_store(v8.data() + j * kv_dim, v_scales[j],
+                            v_dq.data() + j * kv_dim, kv_dim);
+      }
+      attn_fused_contig(q.data(), k_dq.data() + head_off,
+                        v_dq.data() + head_off, kv_dim, d_head, ctx, scale,
+                        0.0f, nullptr, nullptr, scores.data(), out.data());
+      g_sink = out[0];
+    });
+    const double w = time_ms([&] {
+      attn_fused_q8_gather(q.data(), k8_rows.data(), v8_rows.data(),
+                           k_scales.data(), v_scales.data(), k_rows.data(),
+                           v_rows.data(), head_off, d_head, ctx, scale, 0.0f,
+                           nullptr, nullptr, scores.data(), out.data());
+      g_sink = out[0];
+    });
+    record(table, "attn_q8", "ctx=" + std::to_string(ctx), s, w);
+    if (ctx == 1024) beats_at_1k = w < s;
+  }
+  table.print(std::cout);
+  return beats_at_1k;
+}
+
 void bench_ttft() {
   // End-to-end: full prefill + first-token logits on the tiny llama config.
   // This exercises every kernel the PR touched (gemm, gemm_nt via attention
@@ -235,12 +297,14 @@ void bench_ttft() {
   table.print(std::cout);
 }
 
-void write_json(double gemm_nt_required_speedup) {
+void write_json(double gemm_nt_required_speedup, bool q8_beats_at_1k) {
   std::ofstream out("BENCH_kernels.json");
   out << "{\n  \"provenance\": " << bench::provenance_json() << ",\n"
       << "  \"isa\": \"" << simd::isa_name() << "\",\n"
       << "  \"gemm_nt_64_512_512_speedup\": "
       << TablePrinter::fmt(gemm_nt_required_speedup, 2) << ",\n"
+      << "  \"attn_q8_int8_beats_dequant_at_ctx1024\": "
+      << (q8_beats_at_1k ? "true" : "false") << ",\n"
       << "  \"results\": [\n";
   for (size_t i = 0; i < g_json.size(); ++i) {
     const auto& r = g_json[i];
@@ -271,8 +335,9 @@ int main() {
   bench_dot();
   const double required = bench_gemm_nt();
   bench_attention();
+  const bool q8_beats_at_1k = bench_q8_attention();
   bench_ttft();
-  write_json(required);
+  write_json(required, q8_beats_at_1k);
   std::cout << "gemm_nt (m=64,k=512,n=512) speedup: "
             << TablePrinter::fmt_times(required) << "\n";
   return 0;

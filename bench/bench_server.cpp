@@ -113,6 +113,18 @@ struct RunResult {
   ServerStats stats;
 };
 
+// One row of the module-storage-format comparison (fp32 vs q8): resident
+// footprint of the encoded module set, the modeled host-link time to move
+// it once, and measured serve time over both retrieval paths.
+struct KvFormatResult {
+  std::string format;                // "fp32" or "q8"
+  size_t module_resident_bytes = 0;  // encoded module set, resident payload
+  double link_transfer_ms = 0;       // modeled: the whole set crossing the link
+  double copy_serve_ms = 0;          // mean serve, memcpy/dequantize path
+  double zero_copy_serve_ms = 0;     // mean serve, in-place (int8 for q8) path
+  uint64_t dequant_rows = 0;         // rows dequantized by the copy path
+};
+
 struct BatchRunResult {
   std::string traffic;  // "shared" or "private" module reuse across requests
   int max_batch = 0;
@@ -156,6 +168,23 @@ void print_results(const std::vector<RunResult>& runs) {
   table.print(std::cout);
 }
 
+void print_kv_format_results(const std::vector<KvFormatResult>& runs) {
+  TablePrinter table("module storage format: fp32 vs q8 (Q8_0) residency");
+  table.set_header({"format", "resident KB", "link ms", "copy serve",
+                    "zero-copy serve", "dequant rows"});
+  for (const KvFormatResult& r : runs) {
+    table.add_row(
+        {r.format,
+         TablePrinter::fmt(static_cast<double>(r.module_resident_bytes) / 1e3,
+                           1),
+         TablePrinter::fmt_ms(r.link_transfer_ms),
+         TablePrinter::fmt_ms(r.copy_serve_ms),
+         TablePrinter::fmt_ms(r.zero_copy_serve_ms),
+         std::to_string(r.dequant_rows)});
+  }
+  table.print(std::cout);
+}
+
 void print_batch_results(const std::vector<BatchRunResult>& runs) {
   TablePrinter table(
       "continuous batching: shared vs private module traffic (paged KV)");
@@ -195,6 +224,7 @@ void print_fault_results(const std::vector<FaultRunResult>& runs) {
 void write_json(const std::vector<RunResult>& runs,
                 const std::vector<BatchRunResult>& batch_runs,
                 const std::vector<FaultRunResult>& fault_runs,
+                const std::vector<KvFormatResult>& kv_format_runs,
                 size_t distinct_modules,
                 size_t module_bytes, const LinkModel& link,
                 double calibrated_serve_ms) {
@@ -326,6 +356,32 @@ void write_json(const std::vector<RunResult>& runs,
     prev_degraded = r.stats.degraded;
   }
 
+  // Format acceptance: q8 module storage must shrink the resident module
+  // set to <= 30% of fp32 (Q8_0 is ~25% payload plus per-row scales), and
+  // its modeled link transfer must shrink accordingly.
+  size_t fp32_resident = 0, q8_resident = 0;
+  for (const KvFormatResult& r : kv_format_runs) {
+    if (r.format == "fp32") fp32_resident = r.module_resident_bytes;
+    if (r.format == "q8") q8_resident = r.module_resident_bytes;
+  }
+  const bool q8_resident_le_30pct =
+      fp32_resident > 0 &&
+      static_cast<double>(q8_resident) <= 0.30 * static_cast<double>(fp32_resident);
+
+  out << "  ],\n  \"kv_format\": [\n";
+  for (size_t i = 0; i < kv_format_runs.size(); ++i) {
+    const KvFormatResult& r = kv_format_runs[i];
+    out << "    {\"format\": \"" << r.format << "\""
+        << ", \"module_resident_bytes\": " << r.module_resident_bytes
+        << ", \"link_transfer_ms\": "
+        << TablePrinter::fmt(r.link_transfer_ms, 3)
+        << ", \"copy_serve_ms\": " << TablePrinter::fmt(r.copy_serve_ms, 3)
+        << ", \"zero_copy_serve_ms\": "
+        << TablePrinter::fmt(r.zero_copy_serve_ms, 3)
+        << ", \"dequant_rows\": " << r.dequant_rows << "}"
+        << (i + 1 < kv_format_runs.size() ? "," : "") << "\n";
+  }
+
   out << "  ],\n  \"fault_sweep\": [\n";
   for (size_t i = 0; i < fault_runs.size(); ++i) {
     const FaultRunResult& r = fault_runs[i];
@@ -368,6 +424,8 @@ void write_json(const std::vector<RunResult>& runs,
       << (shared_kv_peak_below_private ? "true" : "false") << ",\n"
       << "    \"batching_shared_kv_modules_below_private\": "
       << (shared_kv_modules_below_private ? "true" : "false") << ",\n"
+      << "    \"kv_format_q8_resident_le_30pct_of_fp32\": "
+      << (q8_resident_le_30pct ? "true" : "false") << ",\n"
       << "    \"fault_availability_is_full\": "
       << (fault_availability_full ? "true" : "false") << ",\n"
       << "    \"degraded_count_monotone_in_fault_rate\": "
@@ -485,6 +543,49 @@ int main(int argc, char** argv) {
             << TablePrinter::fmt_ms(link.latency_s * 1e3)
             << " + bytes_from_host/8GBps\n\n";
 
+  // Module-storage-format comparison: the same schema and prompt mix under
+  // fp32 and q8 (Q8_0) module storage. Measures the resident footprint of
+  // the encoded module set, the modeled host-link time to move it once
+  // (transfer is charged on stored — i.e. quantized — bytes), and mean
+  // serve time on both retrieval paths: the memcpy path (which dequantizes
+  // q8 rows on read, counted by pc_store_dequant_rows_total) and the
+  // zero-copy path (which scores q8 rows in the int8 domain, dequantizing
+  // nothing).
+  std::vector<KvFormatResult> kv_format_runs;
+  for (const char* fmt : {"fp32", "q8"}) {
+    KvFormatResult run;
+    run.format = fmt;
+    EngineConfig ecfg;
+    ecfg.precision = std::string(fmt) == "q8" ? StorePrecision::kQ8
+                                              : StorePrecision::kFp32;
+    {
+      PromptCacheEngine copy_engine(model, workload.tokenizer(), ecfg);
+      copy_engine.load_schema(schema);
+      WallTimer timer;
+      for (const std::string& p : prompts) (void)copy_engine.serve(p, opts);
+      run.copy_serve_ms =
+          timer.elapsed_ms() / static_cast<double>(prompts.size());
+      copy_engine.store().for_each(
+          [&](const std::string&, const EncodedModule& m, ModuleLocation) {
+            run.module_resident_bytes += m.payload_bytes();
+          });
+      run.dequant_rows = copy_engine.store().dequant_rows();
+    }
+    {
+      ecfg.zero_copy = true;
+      PromptCacheEngine zc_engine(model, workload.tokenizer(), ecfg);
+      zc_engine.load_schema(schema);
+      WallTimer timer;
+      for (const std::string& p : prompts) (void)zc_engine.serve(p, opts);
+      run.zero_copy_serve_ms =
+          timer.elapsed_ms() / static_cast<double>(prompts.size());
+    }
+    run.link_transfer_ms = link.stall_s(run.module_resident_bytes) * 1e3;
+    kv_format_runs.push_back(std::move(run));
+  }
+  print_kv_format_results(kv_format_runs);
+  std::cout << "\n";
+
   // Continuous-batching sweep: one iteration loop, 1..8 in-flight requests,
   // paged KV. "shared" traffic reuses the same four modules across every
   // request (co-resident requests share pages, §3.4); "private" traffic is
@@ -594,8 +695,8 @@ int main(int argc, char** argv) {
   std::cout << "\n";
   print_fault_results(fault_runs);
 
-  write_json(runs, batch_runs, fault_runs, distinct_modules, module_bytes,
-             link, calibrated_serve_ms);
+  write_json(runs, batch_runs, fault_runs, kv_format_runs, distinct_modules,
+             module_bytes, link, calibrated_serve_ms);
 
   if (const char* trace = std::getenv("PC_TRACE");
       trace != nullptr && *trace != '\0') {

@@ -1,8 +1,10 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <set>
+#include <string_view>
 
 #include "common/timer.h"
 #include "core/serialize.h"
@@ -11,6 +13,17 @@
 #include "tensor/fp16.h"
 
 namespace pc {
+
+StorePrecision default_store_precision() {
+  const char* fmt = std::getenv("PC_KV_FORMAT");
+  if (fmt == nullptr) return StorePrecision::kFp32;
+  const std::string_view v(fmt);
+  if (v == "q8") return StorePrecision::kQ8;
+  if (v == "fp16") return StorePrecision::kFp16;
+  PC_CHECK_MSG(v.empty() || v == "fp32",
+               "PC_KV_FORMAT must be q8, fp16, or fp32 (got '" << fmt << "')");
+  return StorePrecision::kFp32;
+}
 
 EngineCells::EngineCells() {
   auto& reg = obs::MetricsRegistry::global();
@@ -155,6 +168,40 @@ void PromptCacheEngine::add_scaffold(const std::string& schema_name,
   scaffolds_.push_back(std::move(s));
 }
 
+namespace {
+
+// Re-encodes an fp32 payload as Q8_0 in place (finalize_encoding's kQ8
+// packaging, also applied to legacy fp32 records loaded into a quantized
+// store). Rows are contiguous in the cache's layer buffer, so each layer
+// quantizes in one vectorized sweep.
+void quantize_module_in_place(EncodedModule& m) {
+  PC_CHECK_MSG(m.precision == StorePrecision::kFp32 && m.kv32.has_value(),
+               "quantize_module_in_place needs an fp32 payload");
+  const KVCache& kv = *m.kv32;
+  m.pos_ids = kv.pos_ids();
+  m.kv8_layers.resize(static_cast<size_t>(kv.n_layers()));
+  const int width = kv.kv_dim();
+  const size_t elems =
+      static_cast<size_t>(kv.size()) * static_cast<size_t>(width);
+  for (int l = 0; l < kv.n_layers(); ++l) {
+    Q8Layer& layer = m.kv8_layers[static_cast<size_t>(l)];
+    layer.k.resize(elems);
+    layer.v.resize(elems);
+    layer.k_scales.resize(static_cast<size_t>(kv.size()));
+    layer.v_scales.resize(static_cast<size_t>(kv.size()));
+    if (kv.size() > 0) {
+      quantize_rows(kv.k_row(l, 0), kv.size(), width, layer.k.data(),
+                    layer.k_scales.data());
+      quantize_rows(kv.v_row(l, 0), kv.size(), width, layer.v.data(),
+                    layer.v_scales.data());
+    }
+  }
+  m.kv32.reset();
+  m.precision = StorePrecision::kQ8;
+}
+
+}  // namespace
+
 EncodedModule PromptCacheEngine::finalize_encoding(
     KVCache kv, const std::vector<pml::TokenRun>& runs) {
   EncodedModule m;
@@ -201,25 +248,9 @@ EncodedModule PromptCacheEngine::finalize_encoding(
       return m;
     }
     case StorePrecision::kQ8: {
-      m.pos_ids = kv.pos_ids();
-      m.kv8_layers.resize(static_cast<size_t>(kv.n_layers()));
-      const int width = kv.kv_dim();
-      const size_t elems =
-          static_cast<size_t>(kv.size()) * static_cast<size_t>(width);
-      for (int l = 0; l < kv.n_layers(); ++l) {
-        Q8Layer& layer = m.kv8_layers[static_cast<size_t>(l)];
-        layer.k.resize(elems);
-        layer.v.resize(elems);
-        layer.k_scales.resize(static_cast<size_t>(kv.size()));
-        layer.v_scales.resize(static_cast<size_t>(kv.size()));
-        // Rows are contiguous in the cache's layer buffer.
-        if (kv.size() > 0) {
-          quantize_rows(kv.k_row(l, 0), kv.size(), width, layer.k.data(),
-                        layer.k_scales.data());
-          quantize_rows(kv.v_row(l, 0), kv.size(), width, layer.v.data(),
-                        layer.v_scales.data());
-        }
-      }
+      m.precision = StorePrecision::kFp32;
+      m.kv32 = std::move(kv);
+      quantize_module_in_place(m);
       return m;
     }
   }
@@ -378,7 +409,7 @@ double PromptCacheEngine::ensure_encoded(const pml::PromptBinding& binding,
 void PromptCacheEngine::append_text_rows(const EncodedModule& module,
                                          ModuleLocation loc,
                                          KVCache& sequence_cache,
-                                         TtftBreakdown* ttft) const {
+                                         TtftBreakdown* ttft) {
   const size_t row_elems = static_cast<size_t>(module.kv_dim);
   for (const auto& [begin, end] : module.text_row_ranges) {
     switch (module.precision) {
@@ -419,6 +450,13 @@ void PromptCacheEngine::append_text_rows(const EncodedModule& module,
                            sequence_cache.v_row(l, first + (t - begin)));
           }
         }
+        // The copy path pays a dequantize per K and V row; the zero-copy
+        // and paged paths keep module rows int8 and never reach here.
+        const uint64_t rows = static_cast<uint64_t>(2) *
+                              static_cast<uint64_t>(module.n_layers) *
+                              static_cast<uint64_t>(end - begin);
+        shared_ != nullptr ? shared_->note_dequant_rows(rows)
+                           : store_.note_dequant_rows(rows);
         break;
       }
     }
@@ -573,9 +611,12 @@ Tensor PromptCacheEngine::assemble_and_prefill(
         binding,
         [&](const std::string& key, const EncodedModule& m, ModuleLocation) {
           PC_CHECK_MSG(
-              m.precision == StorePrecision::kFp32,
-              "zero-copy serving requires kFp32 module storage (module '"
-                  << key << "' is stored at reduced precision)");
+              m.precision == StorePrecision::kFp32 ||
+                  m.precision == StorePrecision::kQ8,
+              "zero-copy serving requires kFp32 or kQ8 module storage "
+              "(module '"
+                  << key << "' is stored as fp16, which has no in-place "
+                  << "attention kernel)");
           // Pin so later thrash re-encodes cannot evict rows this view
           // borrowed. Shared-store pinning already happened atomically inside
           // for_each_encoded (borrow=true); only the private boolean-pin
@@ -585,7 +626,14 @@ Tensor PromptCacheEngine::assemble_and_prefill(
             borrowed_pins_.push_back(key);
           }
           for (const auto& [begin, end] : m.text_row_ranges) {
-            view.append_borrowed(*m.kv32, begin, end);
+            if (m.precision == StorePrecision::kQ8) {
+              // Q8 rows are borrowed as int8 + scale; attention scores them
+              // in the int8 domain (attn_fused_q8_gather), so nothing is
+              // dequantized, copied, or converted on this path.
+              view.append_borrowed_q8(m.kv8_layers, m.pos_ids, begin, end);
+            } else {
+              view.append_borrowed(*m.kv32, begin, end);
+            }
             if (ttft != nullptr) {
               ttft->cached_tokens += end - begin;
               ttft->bytes_zero_copy +=
@@ -901,6 +949,14 @@ PromptCacheEngine::LoadReport PromptCacheEngine::load_modules(
       continue;
     }
     if (!have) break;
+    // A legacy fp32 record loaded into a quantized engine is re-encoded as
+    // Q8_0 on the way in, so the store never holds mixed-format payloads
+    // and downstream paths (zero-copy borrow, paged sharing, footprint
+    // accounting) see the engine's configured format.
+    if (config_.precision == StorePrecision::kQ8 &&
+        module.precision == StorePrecision::kFp32) {
+      quantize_module_in_place(module);
+    }
     if (shared_ != nullptr) {
       shared_->insert(key, std::move(module));
     } else {

@@ -49,12 +49,22 @@
 
 namespace pc {
 
+// Process default for EngineConfig::precision, from the PC_KV_FORMAT
+// environment variable: "q8" selects Q8_0 module storage, "fp16" half
+// floats, "fp32" (or unset) the engine's native states. Read on every call
+// so tests can flip the variable between engine constructions. Throws
+// pc::Error on an unrecognized value.
+StorePrecision default_store_precision();
+
 struct EngineConfig {
   size_t device_capacity_bytes = 0;  // 0 = unlimited (simulated GPU HBM tier)
   size_t host_capacity_bytes = 0;    // 0 = unlimited (host DRAM tier)
   // Module storage precision (§5.5): fp16 halves and int8 quarters the
-  // resident footprint, converting back to fp32 during retrieval.
-  StorePrecision precision = StorePrecision::kFp32;
+  // resident footprint. fp16 converts back to fp32 during retrieval; q8
+  // modules stay int8 end-to-end on the zero-copy and paged serve paths
+  // (attention scores them in the int8 domain) and dequantize on read only
+  // on the copy path.
+  StorePrecision precision = default_store_precision();
   bool eager_encode = true;  // encode all modules at schema load
   // Union-sibling prefetch (§3.2.3): after serving a prompt that used a
   // union member, promote the member's siblings into device memory — the
@@ -63,7 +73,8 @@ struct EngineConfig {
   // Zero-copy serving (§6 direction: share attention states across
   // requests): the per-request cache borrows module rows from the store
   // instead of copying them; only uncached/generated rows are owned.
-  // Requires kFp32 precision (borrowed rows are read in place).
+  // Requires kFp32 or kQ8 precision (borrowed rows are read in place; q8
+  // rows are scored in the int8 domain, never materialized as fp32).
   bool zero_copy = false;
   // Owned-tail headroom for zero-copy serving beyond the request's
   // max_new_tokens (kickoff token, rounding).
@@ -317,9 +328,10 @@ class PromptCacheEngine {
                                   const std::vector<pml::TokenRun>& runs);
 
   // Appends an encoded payload's text rows to the sequence cache, tallying
-  // transfer bytes by tier.
+  // transfer bytes by tier (and dequantized rows in the store's telemetry —
+  // hence non-const).
   void append_text_rows(const EncodedModule& module, ModuleLocation loc,
-                        KVCache& sequence_cache, TtftBreakdown* ttft) const;
+                        KVCache& sequence_cache, TtftBreakdown* ttft);
 
   // Scaffolds covering a binding (all members imported), plus the set of
   // module indices they cover.

@@ -16,8 +16,15 @@ ModuleStoreCells::ModuleStoreCells() {
                           "modules moved device -> host to make room");
   promotions = reg.counter("pc_store_promotions_total",
                            "modules moved host -> device (prefetch/warm-up)");
+  dequant_rows = reg.counter("pc_store_dequant_rows_total",
+                             "module rows dequantized int8 -> fp32 on read");
   resident_bytes =
       reg.gauge("pc_store_resident_bytes", "encoded bytes resident, all tiers");
+  resident_bytes_fp32 = reg.gauge(
+      "pc_store_resident_bytes_fp32",
+      "resident bytes in unquantized (fp32/fp16) module payloads");
+  resident_bytes_q8 = reg.gauge("pc_store_resident_bytes_q8",
+                                "resident bytes in Q8_0 module payloads");
   pinned_entries =
       reg.gauge("pc_store_pinned_entries", "entries exempt from eviction");
 }
@@ -118,6 +125,7 @@ bool ModuleStore::promote(const std::string& key, ModuleLocation target) {
 void ModuleStore::insert(const std::string& key, EncodedModule module) {
   erase(key);  // replace semantics
   const size_t bytes = module.payload_bytes();
+  const bool q8 = module.precision == StorePrecision::kQ8;
 
   // Placement: free device space, then free host space (spilling keeps
   // every module resident, paper §4.1), and only then evict — device tier
@@ -136,6 +144,7 @@ void ModuleStore::insert(const std::string& key, EncodedModule module) {
                      " bytes) does not fit in any memory tier");
   }
   tiers_.charge(loc, bytes);
+  (q8 ? resident_q8_bytes_ : resident_fp32_bytes_) += bytes;
 
   lru_.push_front(key);
   Entry e{std::move(module), loc, /*pinned=*/false, lru_.begin()};
@@ -147,7 +156,11 @@ void ModuleStore::insert(const std::string& key, EncodedModule module) {
 void ModuleStore::erase(const std::string& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return;
-  tiers_.credit(it->second.location, it->second.module.payload_bytes());
+  const size_t bytes = it->second.module.payload_bytes();
+  tiers_.credit(it->second.location, bytes);
+  (it->second.module.precision == StorePrecision::kQ8 ? resident_q8_bytes_
+                                                      : resident_fp32_bytes_) -=
+      bytes;
   if (it->second.pinned) cells_.pinned_entries.sub(1);
   lru_.erase(it->second.lru_it);
   entries_.erase(it);
@@ -158,6 +171,8 @@ void ModuleStore::sync_resident_gauge() {
   cells_.resident_bytes.set(static_cast<int64_t>(
       tiers_.usage(ModuleLocation::kDeviceMemory).used_bytes +
       tiers_.usage(ModuleLocation::kHostMemory).used_bytes));
+  cells_.resident_bytes_fp32.set(static_cast<int64_t>(resident_fp32_bytes_));
+  cells_.resident_bytes_q8.set(static_cast<int64_t>(resident_q8_bytes_));
 }
 
 void ModuleStore::clear() {

@@ -45,7 +45,15 @@ struct ModuleStoreCells {
   obs::Counter evictions;
   obs::Counter demotions;
   obs::Counter promotions;
+  // Rows converted int8 -> fp32 at retrieval time (the copy path's
+  // dequantize-on-read; the zero-copy/paged paths never dequantize modules
+  // and so never bump this).
+  obs::Counter dequant_rows;   // pc_store_dequant_rows_total
   obs::Gauge resident_bytes;   // pc_store_resident_bytes
+  // resident_bytes split by payload format: q8 counts Q8_0 modules,
+  // fp32 counts everything unquantized (fp32 and fp16 payloads).
+  obs::Gauge resident_bytes_fp32;  // pc_store_resident_bytes_fp32
+  obs::Gauge resident_bytes_q8;    // pc_store_resident_bytes_q8
   obs::Gauge pinned_entries;   // pc_store_pinned_entries
 
   ModuleStoreStats snapshot() const {
@@ -110,6 +118,15 @@ class ModuleStore {
   ModuleStoreStats stats() const { return cells_.snapshot(); }
   const TierUsage& usage(ModuleLocation loc) const { return tiers_.usage(loc); }
 
+  // Telemetry hook for retrieval paths that dequantize module rows into a
+  // request cache (engine append_text_rows): n rows converted int8 -> fp32.
+  void note_dequant_rows(uint64_t n) { cells_.dequant_rows.inc(n); }
+  uint64_t dequant_rows() const { return cells_.dequant_rows.value(); }
+  // Resident payload split by format (mirrors the pc_store_resident_bytes_*
+  // gauges; q8 = Q8_0 modules, fp32 = unquantized fp32/fp16 payloads).
+  size_t resident_bytes_q8() const { return resident_q8_bytes_; }
+  size_t resident_bytes_fp32() const { return resident_fp32_bytes_; }
+
  private:
   struct Entry {
     EncodedModule module;
@@ -130,6 +147,10 @@ class ModuleStore {
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  // most-recently-used first
   ModuleStoreCells cells_;
+  // Running by-format payload totals behind the split gauges (the tier
+  // allocator tracks placement, not format).
+  size_t resident_fp32_bytes_ = 0;
+  size_t resident_q8_bytes_ = 0;
 };
 
 }  // namespace pc

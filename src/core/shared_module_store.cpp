@@ -164,9 +164,12 @@ ModuleLocation SharedModuleStore::place_locked(
                      " bytes) does not fit in any memory tier shard");
   }
   s.tiers.charge(loc, bytes);
+  const bool q8 = module->precision == StorePrecision::kQ8;
   s.entries.emplace(key, Entry{std::move(module), loc, pins, tick()});
   cells_.insertions.inc();
   cells_.resident_bytes.add(static_cast<int64_t>(bytes));
+  (q8 ? cells_.resident_bytes_q8 : cells_.resident_bytes_fp32)
+      .add(static_cast<int64_t>(bytes));
   if (pins > 0) cells_.pinned_entries.add(1);
   return loc;
 }
@@ -206,9 +209,13 @@ bool SharedModuleStore::make_room_locked(Shard& s, ModuleLocation loc,
 
 void SharedModuleStore::erase_locked(
     Shard& s, std::unordered_map<std::string, Entry>::iterator it) {
-  s.tiers.credit(it->second.location, it->second.module->payload_bytes());
-  cells_.resident_bytes.sub(
-      static_cast<int64_t>(it->second.module->payload_bytes()));
+  const size_t bytes = it->second.module->payload_bytes();
+  s.tiers.credit(it->second.location, bytes);
+  cells_.resident_bytes.sub(static_cast<int64_t>(bytes));
+  (it->second.module->precision == StorePrecision::kQ8
+       ? cells_.resident_bytes_q8
+       : cells_.resident_bytes_fp32)
+      .sub(static_cast<int64_t>(bytes));
   if (it->second.pin_count > 0) cells_.pinned_entries.sub(1);
   s.entries.erase(it);
 }

@@ -152,6 +152,18 @@ class SharedModuleStore {
   // Consistent-enough snapshot of the counter cells (individual fields are
   // exact; cross-field invariants can be momentarily off mid-update).
   ModuleStoreStats stats() const { return cells_.snapshot(); }
+  // Telemetry hook for retrieval paths that dequantize module rows into a
+  // request cache (engine append_text_rows): n rows converted int8 -> fp32.
+  void note_dequant_rows(uint64_t n) { cells_.dequant_rows.inc(n); }
+  uint64_t dequant_rows() const { return cells_.dequant_rows.value(); }
+  // Resident payload split by format (mirrors the pc_store_resident_bytes_*
+  // gauges; q8 = Q8_0 modules, fp32 = unquantized fp32/fp16 payloads).
+  size_t resident_bytes_q8() const {
+    return static_cast<size_t>(cells_.resident_bytes_q8.value());
+  }
+  size_t resident_bytes_fp32() const {
+    return static_cast<size_t>(cells_.resident_bytes_fp32.value());
+  }
   // Callers that blocked on another thread's in-flight encode — each one is
   // a duplicate forward pass single-flight saved.
   uint64_t single_flight_waits() const { return single_flight_waits_.value(); }

@@ -19,10 +19,12 @@
 // borrowed modules in the store for the duration of a request.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "kv/kv_cache.h"
+#include "kv/quant.h"
 
 namespace pc {
 
@@ -65,6 +67,47 @@ class SegmentedKVCache {
       }
     }
     for (int t = begin; t < end; ++t) pos_ids_.push_back(src.pos_id(t));
+    if (has_q8_) push_null_q8(static_cast<size_t>(end - begin));
+    borrowed_tokens_ += end - begin;
+  }
+
+  // Borrows tokens [begin, end) of a module's Q8_0 payload by reference —
+  // the quantized analog of append_borrowed. The int8 rows and their scales
+  // stay exactly where the module store holds them (zero copy, no
+  // dequantization); attention over these slots runs in the int8 domain via
+  // attn_fused_q8_gather. `layers` must outlive the view, like any borrowed
+  // source.
+  void append_borrowed_q8(const std::vector<Q8Layer>& layers,
+                          std::span<const int> src_pos, int begin, int end) {
+    PC_CHECK_MSG(static_cast<int>(layers.size()) == n_layers_,
+                 "borrowed q8 segment layer-count mismatch");
+    PC_CHECK(begin >= 0 && begin <= end &&
+             end <= static_cast<int>(src_pos.size()));
+    PC_CHECK_MSG(tail_.size() == 0,
+                 "segments must be borrowed before any owned appends");
+    enable_q8();
+    for (int l = 0; l < n_layers_; ++l) {
+      const Q8Layer& src = layers[static_cast<size_t>(l)];
+      auto& kt = k8_rows_[static_cast<size_t>(l)];
+      auto& vt = v8_rows_[static_cast<size_t>(l)];
+      auto& ks = k_scales_[static_cast<size_t>(l)];
+      auto& vs = v_scales_[static_cast<size_t>(l)];
+      for (int t = begin; t < end; ++t) {
+        kt.push_back(src.k.data() + static_cast<size_t>(t) * kv_dim_);
+        vt.push_back(src.v.data() + static_cast<size_t>(t) * kv_dim_);
+        ks.push_back(src.k_scales[static_cast<size_t>(t)]);
+        vs.push_back(src.v_scales[static_cast<size_t>(t)]);
+      }
+      k_rows_[static_cast<size_t>(l)].insert(
+          k_rows_[static_cast<size_t>(l)].end(),
+          static_cast<size_t>(end - begin), nullptr);
+      v_rows_[static_cast<size_t>(l)].insert(
+          v_rows_[static_cast<size_t>(l)].end(),
+          static_cast<size_t>(end - begin), nullptr);
+    }
+    for (int t = begin; t < end; ++t) {
+      pos_ids_.push_back(src_pos[static_cast<size_t>(t)]);
+    }
     borrowed_tokens_ += end - begin;
   }
 
@@ -84,6 +127,7 @@ class SegmentedKVCache {
       }
       pos_ids_.push_back(new_pos_ids[i]);
     }
+    if (has_q8_) push_null_q8(new_pos_ids.size());
     return size() - static_cast<int>(new_pos_ids.size());
   }
 
@@ -96,11 +140,33 @@ class SegmentedKVCache {
 
   // Raw per-layer row-pointer tables (size() entries), for the gathered
   // attention kernel: one bounds check per layer instead of one per row.
+  // When has_q8(), entries for quantized tokens are null here and live in
+  // the q8 tables below.
   const float* const* k_row_table(int layer) const {
     return k_rows_[checked_layer(layer)].data();
   }
   const float* const* v_row_table(int layer) const {
     return v_rows_[checked_layer(layer)].data();
+  }
+
+  // Whether any borrowed row is quantized; if so attention must use
+  // attn_fused_q8_gather with the four tables below.
+  bool has_q8() const { return has_q8_; }
+  const int8_t* const* k8_row_table(int layer) const {
+    PC_CHECK_MSG(has_q8_, "no q8 rows in this view");
+    return k8_rows_[checked_layer(layer)].data();
+  }
+  const int8_t* const* v8_row_table(int layer) const {
+    PC_CHECK_MSG(has_q8_, "no q8 rows in this view");
+    return v8_rows_[checked_layer(layer)].data();
+  }
+  const float* k_scale_table(int layer) const {
+    PC_CHECK_MSG(has_q8_, "no q8 rows in this view");
+    return k_scales_[checked_layer(layer)].data();
+  }
+  const float* v_scale_table(int layer) const {
+    PC_CHECK_MSG(has_q8_, "no q8 rows in this view");
+    return v_scales_[checked_layer(layer)].data();
   }
 
   // Writable access — owned tail rows only.
@@ -132,13 +198,51 @@ class SegmentedKVCache {
     return static_cast<size_t>(token);
   }
 
+  // Creates the q8 tables and backfills null/0 entries for every token
+  // already published, so all tables stay index-aligned.
+  void enable_q8() {
+    if (has_q8_) return;
+    has_q8_ = true;
+    const size_t n = pos_ids_.size();
+    k8_rows_.assign(static_cast<size_t>(n_layers_), {});
+    v8_rows_.assign(static_cast<size_t>(n_layers_), {});
+    k_scales_.assign(static_cast<size_t>(n_layers_), {});
+    v_scales_.assign(static_cast<size_t>(n_layers_), {});
+    for (int l = 0; l < n_layers_; ++l) {
+      k8_rows_[static_cast<size_t>(l)].assign(n, nullptr);
+      v8_rows_[static_cast<size_t>(l)].assign(n, nullptr);
+      k_scales_[static_cast<size_t>(l)].assign(n, 0.0f);
+      v_scales_[static_cast<size_t>(l)].assign(n, 0.0f);
+    }
+  }
+
+  void push_null_q8(size_t n) {
+    for (int l = 0; l < n_layers_; ++l) {
+      k8_rows_[static_cast<size_t>(l)].insert(
+          k8_rows_[static_cast<size_t>(l)].end(), n, nullptr);
+      v8_rows_[static_cast<size_t>(l)].insert(
+          v8_rows_[static_cast<size_t>(l)].end(), n, nullptr);
+      k_scales_[static_cast<size_t>(l)].insert(
+          k_scales_[static_cast<size_t>(l)].end(), n, 0.0f);
+      v_scales_[static_cast<size_t>(l)].insert(
+          v_scales_[static_cast<size_t>(l)].end(), n, 0.0f);
+    }
+  }
+
   int n_layers_;
   int kv_dim_;
   int tail_capacity_;
   int borrowed_tokens_ = 0;
+  bool has_q8_ = false;
   KVCache tail_;
   std::vector<std::vector<const float*>> k_rows_;  // [layer][token]
   std::vector<std::vector<const float*>> v_rows_;
+  // Mixed-format tables, index-aligned with the fp32 tables when has_q8_:
+  // exactly one of k_rows_[l][t] / k8_rows_[l][t] is non-null per token.
+  std::vector<std::vector<const int8_t*>> k8_rows_;
+  std::vector<std::vector<const int8_t*>> v8_rows_;
+  std::vector<std::vector<float>> k_scales_;  // [layer][token], 0 for fp32
+  std::vector<std::vector<float>> v_scales_;
   std::vector<int> pos_ids_;
 };
 

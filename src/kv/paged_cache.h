@@ -35,6 +35,7 @@
 
 #include "kv/kv_cache.h"
 #include "kv/paged_pool.h"
+#include "kv/quant.h"
 
 namespace pc {
 
@@ -64,9 +65,15 @@ class PagedKVCache {
         packed_(other.packed_),
         tail_page_(other.tail_page_),
         tail_used_(other.tail_used_),
+        tail_q8_(other.tail_q8_),
+        has_q8_(other.has_q8_),
         pos_ids_(std::move(other.pos_ids_)),
         k_rows_(std::move(other.k_rows_)),
-        v_rows_(std::move(other.v_rows_)) {
+        v_rows_(std::move(other.v_rows_)),
+        k8_rows_(std::move(other.k8_rows_)),
+        v8_rows_(std::move(other.v8_rows_)),
+        k_scales_(std::move(other.k_scales_)),
+        v_scales_(std::move(other.v_scales_)) {
     other.pages_.clear();
     other.tail_page_ = kInvalidPage;
   }
@@ -83,9 +90,15 @@ class PagedKVCache {
       packed_ = other.packed_;
       tail_page_ = other.tail_page_;
       tail_used_ = other.tail_used_;
+      tail_q8_ = other.tail_q8_;
+      has_q8_ = other.has_q8_;
       pos_ids_ = std::move(other.pos_ids_);
       k_rows_ = std::move(other.k_rows_);
       v_rows_ = std::move(other.v_rows_);
+      k8_rows_ = std::move(other.k8_rows_);
+      v8_rows_ = std::move(other.v8_rows_);
+      k_scales_ = std::move(other.k_scales_);
+      v_scales_ = std::move(other.v_scales_);
       other.pages_.clear();
       other.tail_page_ = kInvalidPage;
     }
@@ -122,12 +135,65 @@ class PagedKVCache {
     }
   }
 
+  // Materializes tokens [begin, end) of a module's Q8_0 payload into
+  // quantized pages — the int8 analog of append_copy. The copied rows stay
+  // int8 in memory (one memcpy per K/V row plus the scale pair); they are
+  // immutable once published, so a q8 rendition is shared entirely by
+  // reference and never COW'd.
+  void append_copy_q8(const std::vector<Q8Layer>& layers,
+                      std::span<const int> src_pos, int begin, int end) {
+    PC_CHECK_MSG(static_cast<int>(layers.size()) == n_layers_,
+                 "paged append_copy_q8 layer-count mismatch");
+    PC_CHECK(begin >= 0 && begin <= end &&
+             end <= static_cast<int>(src_pos.size()));
+    PC_CHECK_MSG(pool_->page_bytes_q8() ==
+                     static_cast<size_t>(pool_->page_tokens()) *
+                         q8_layout().stride(),
+                 "pool q8 page geometry does not match Q8TokenLayout");
+    enable_q8();
+    const Q8TokenLayout layout = q8_layout();
+    for (int t = begin; t < end; ++t) {
+      if (tail_page_ == kInvalidPage || !tail_q8_ ||
+          tail_used_ == pool_->page_tokens()) {
+        // Abandoning a partially-filled fp32 tail leaves interior slack.
+        if (tail_page_ != kInvalidPage && !tail_q8_ &&
+            tail_used_ < pool_->page_tokens()) {
+          packed_ = false;
+        }
+        tail_page_ = pool_->allocate_q8();
+        pages_.push_back(tail_page_);
+        tail_q8_ = true;
+        tail_used_ = 0;
+      }
+      int8_t* slot = pool_->data_q8(tail_page_) +
+                     static_cast<size_t>(tail_used_) * layout.stride();
+      float* sc = layout.scales(slot);
+      for (int l = 0; l < n_layers_; ++l) {
+        const Q8Layer& src = layers[static_cast<size_t>(l)];
+        std::memcpy(slot + layout.k_off(l),
+                    src.k.data() + static_cast<size_t>(t) * kv_dim_,
+                    static_cast<size_t>(kv_dim_));
+        std::memcpy(slot + layout.v_off(l),
+                    src.v.data() + static_cast<size_t>(t) * kv_dim_,
+                    static_cast<size_t>(kv_dim_));
+        sc[layout.k_scale_idx(l)] = src.k_scales[static_cast<size_t>(t)];
+        sc[layout.v_scale_idx(l)] = src.v_scales[static_cast<size_t>(t)];
+      }
+      const int p = src_pos[static_cast<size_t>(t)];
+      publish_q8_rows(tail_page_, tail_used_, 1, &p);
+      ++tail_used_;
+    }
+  }
+
   // Attaches another paged cache's tokens (§3.4 sharing): full pages by
-  // reference, the trailing partial page (if any) as a COW duplicate whose
-  // free slots become this cache's tail. The source must be packed — built
-  // solely by append_copy/append_tokens, so token t lives in page t / P —
-  // which module renditions are by construction. The attached rows are
-  // read-only here.
+  // reference; a trailing partial fp32 page becomes a COW duplicate whose
+  // free slots become this cache's tail. A trailing partial *q8* page is
+  // attached read-only instead (q8 pages are immutable — no COW exists for
+  // them); its free slots are wasted padding and the next private append
+  // starts a fresh fp32 page. The source must be packed — built solely by
+  // append_copy/append_copy_q8/append_tokens, so token t lives in page
+  // t / P — which module renditions are by construction. The attached rows
+  // are read-only here.
   void append_shared(const PagedKVCache& src) {
     PC_CHECK_MSG(src.pool_ == pool_, "append_shared across pools");
     PC_CHECK_MSG(src.n_layers_ == n_layers_ && src.kv_dim_ == kv_dim_,
@@ -139,42 +205,64 @@ class PagedKVCache {
     const int per_page = pool_->page_tokens();
     const int full = src.size() / per_page;
     const int rem = src.size() % per_page;
-    for (int pi = 0; pi < full; ++pi) {
+    const auto attach = [&](int pi, int n_slots) {
       const PageId id = src.pages_[static_cast<size_t>(pi)];
       pool_->retain(id);
       pages_.push_back(id);
       ++shared_pages_;
-      publish_rows(id, 0, per_page, src.pos_ids_.data() + pi * per_page);
-    }
+      const int* pos = src.pos_ids_.data() + pi * per_page;
+      if (pool_->is_q8(id)) {
+        publish_q8_rows(id, 0, n_slots, pos);
+      } else {
+        publish_rows(id, 0, n_slots, pos);
+      }
+    };
+    for (int pi = 0; pi < full; ++pi) attach(pi, per_page);
     // Any previous private tail is closed (its free slots become padding
     // that no row table entry points at — wasted slots, never garbage rows).
     tail_page_ = kInvalidPage;
     tail_used_ = 0;
+    tail_q8_ = false;
     if (rem > 0) {
       const PageId id = src.pages_[static_cast<size_t>(full)];
-      pool_->retain(id);
-      // src still holds the page, so refcount >= 2 and make_writable always
-      // duplicates — consuming the retain above and returning a private
-      // copy this cache's suffix continues filling.
-      const PageId mine = pool_->make_writable(id);
-      pages_.push_back(mine);
-      publish_rows(mine, 0, rem, src.pos_ids_.data() + full * per_page);
-      tail_page_ = mine;
-      tail_used_ = rem;
+      if (pool_->is_q8(id)) {
+        // Read-only attach; slack stays unused and the tail stays closed.
+        attach(full, rem);
+      } else {
+        pool_->retain(id);
+        // src still holds the page, so refcount >= 2 and make_writable
+        // always duplicates — consuming the retain above and returning a
+        // private copy this cache's suffix continues filling.
+        const PageId mine = pool_->make_writable(id);
+        pages_.push_back(mine);
+        publish_rows(mine, 0, rem, src.pos_ids_.data() + full * per_page);
+        tail_page_ = mine;
+        tail_used_ = rem;
+      }
     }
     writable_from_ = size();
   }
 
   // Appends writable token slots (uncached prompt / decode rows) into the
   // private tail, allocating fresh zero-filled pages as needed. Returns the
-  // index of the first new token.
+  // index of the first new token. Private rows are always fp32 — the decode
+  // tail is written token by token, which is exactly the case quantization
+  // would thrash on — so a q8 tail (only possible mid-rendition) closes and
+  // a fresh fp32 page starts.
   int append_tokens(std::span<const int> new_pos_ids) {
     const int first = size();
     for (const int p : new_pos_ids) {
-      if (tail_page_ == kInvalidPage || tail_used_ == pool_->page_tokens()) {
+      if (tail_page_ == kInvalidPage || tail_q8_ ||
+          tail_used_ == pool_->page_tokens()) {
+        // Abandoning a partially-filled q8 tail leaves interior slack.
+        if (tail_page_ != kInvalidPage && tail_q8_ &&
+            tail_used_ < pool_->page_tokens()) {
+          packed_ = false;
+        }
         tail_page_ = pool_->allocate();
         pages_.push_back(tail_page_);
         tail_used_ = 0;
+        tail_q8_ = false;
       }
       publish_rows(tail_page_, tail_used_, 1, &p);
       ++tail_used_;
@@ -190,7 +278,8 @@ class PagedKVCache {
   }
 
   // Raw per-layer row-pointer tables (size() entries) for the gathered
-  // attention kernel.
+  // attention kernel. When has_q8(), entries for quantized tokens are null
+  // here and live in the q8 tables below instead.
   const float* const* k_row_table(int layer) const {
     return k_rows_[checked_layer(layer)].data();
   }
@@ -198,19 +287,42 @@ class PagedKVCache {
     return v_rows_[checked_layer(layer)].data();
   }
 
-  // Writable access — private rows only. Rows at or past writable_from_
-  // live in pages this cache exclusively owns (fresh allocations or its COW
-  // tail), so the const_cast is the cheap path to the same storage the
-  // table already points at.
+  // Whether any token row is quantized; if so the attention caller must use
+  // attn_fused_q8_gather with the four tables below (null/0 entries mark
+  // fp32 tokens).
+  bool has_q8() const { return has_q8_; }
+  const int8_t* const* k8_row_table(int layer) const {
+    PC_CHECK_MSG(has_q8_, "no q8 rows in this cache");
+    return k8_rows_[checked_layer(layer)].data();
+  }
+  const int8_t* const* v8_row_table(int layer) const {
+    PC_CHECK_MSG(has_q8_, "no q8 rows in this cache");
+    return v8_rows_[checked_layer(layer)].data();
+  }
+  const float* k_scale_table(int layer) const {
+    PC_CHECK_MSG(has_q8_, "no q8 rows in this cache");
+    return k_scales_[checked_layer(layer)].data();
+  }
+  const float* v_scale_table(int layer) const {
+    PC_CHECK_MSG(has_q8_, "no q8 rows in this cache");
+    return v_scales_[checked_layer(layer)].data();
+  }
+
+  // Writable access — private fp32 rows only. Rows at or past
+  // writable_from_ live in pages this cache exclusively owns (fresh
+  // allocations or its COW tail), so the const_cast is the cheap path to
+  // the same storage the table already points at.
   float* k_row_mut(int layer, int token) {
     PC_CHECK_MSG(token >= writable_from_, "shared module rows are read-only");
-    return const_cast<float*>(k_rows_[checked_layer(layer)]
-                                     [checked_token(token)]);
+    const float* row = k_rows_[checked_layer(layer)][checked_token(token)];
+    PC_CHECK_MSG(row != nullptr, "q8 rows are read-only");
+    return const_cast<float*>(row);
   }
   float* v_row_mut(int layer, int token) {
     PC_CHECK_MSG(token >= writable_from_, "shared module rows are read-only");
-    return const_cast<float*>(v_rows_[checked_layer(layer)]
-                                     [checked_token(token)]);
+    const float* row = v_rows_[checked_layer(layer)][checked_token(token)];
+    PC_CHECK_MSG(row != nullptr, "q8 rows are read-only");
+    return const_cast<float*>(row);
   }
 
   // Footprint accounting. Shared pages are attached by reference (held
@@ -222,12 +334,43 @@ class PagedKVCache {
     return static_cast<int>(pages_.size()) - shared_pages_;
   }
   size_t owned_bytes() const {
+    // Owned pages (COW duplicates, private tails) are always fp32: q8 pages
+    // exist only as shared module renditions.
     return static_cast<size_t>(owned_pages()) * pool_->page_bytes();
+  }
+
+  // Total payload across this cache's page table, kind-aware (q8 pages
+  // contribute their quantized size). Shared pages are counted once here
+  // however many caches also reference them.
+  size_t total_page_bytes() const {
+    size_t b = 0;
+    for (PageId id : pages_) b += pool_->page_bytes(id);
+    return b;
   }
 
  private:
   size_t token_stride() const {
     return static_cast<size_t>(2) * n_layers_ * kv_dim_;
+  }
+  Q8TokenLayout q8_layout() const { return Q8TokenLayout{n_layers_, kv_dim_}; }
+
+  // Switches the cache into mixed-format mode: the q8 tables are created
+  // and backfilled with null/0 entries for every already-published fp32
+  // token, so all tables stay index-aligned with pos_ids_.
+  void enable_q8() {
+    if (has_q8_) return;
+    has_q8_ = true;
+    const size_t n = pos_ids_.size();
+    k8_rows_.assign(static_cast<size_t>(n_layers_), {});
+    v8_rows_.assign(static_cast<size_t>(n_layers_), {});
+    k_scales_.assign(static_cast<size_t>(n_layers_), {});
+    v_scales_.assign(static_cast<size_t>(n_layers_), {});
+    for (int l = 0; l < n_layers_; ++l) {
+      k8_rows_[static_cast<size_t>(l)].assign(n, nullptr);
+      v8_rows_[static_cast<size_t>(l)].assign(n, nullptr);
+      k_scales_[static_cast<size_t>(l)].assign(n, 0.0f);
+      v_scales_[static_cast<size_t>(l)].assign(n, 0.0f);
+    }
   }
 
   // Appends pointers for `n` consecutive slots of `id` starting at
@@ -243,6 +386,49 @@ class PagedKVCache {
         kt.push_back(k);
         vt.push_back(k + kv_dim_);
       }
+      if (has_q8_) {  // keep the q8 tables index-aligned
+        k8_rows_[static_cast<size_t>(l)].insert(
+            k8_rows_[static_cast<size_t>(l)].end(), static_cast<size_t>(n),
+            nullptr);
+        v8_rows_[static_cast<size_t>(l)].insert(
+            v8_rows_[static_cast<size_t>(l)].end(), static_cast<size_t>(n),
+            nullptr);
+        k_scales_[static_cast<size_t>(l)].insert(
+            k_scales_[static_cast<size_t>(l)].end(), static_cast<size_t>(n),
+            0.0f);
+        v_scales_[static_cast<size_t>(l)].insert(
+            v_scales_[static_cast<size_t>(l)].end(), static_cast<size_t>(n),
+            0.0f);
+      }
+    }
+    pos_ids_.insert(pos_ids_.end(), pos, pos + n);
+  }
+
+  // q8 counterpart of publish_rows: publishes int8 row pointers and their
+  // per-row scales, with null entries in the fp32 tables.
+  void publish_q8_rows(PageId id, int first_slot, int n, const int* pos) {
+    enable_q8();
+    const Q8TokenLayout layout = q8_layout();
+    const int8_t* base = pool_->data_q8(id);
+    for (int l = 0; l < n_layers_; ++l) {
+      auto& kt = k8_rows_[static_cast<size_t>(l)];
+      auto& vt = v8_rows_[static_cast<size_t>(l)];
+      auto& ks = k_scales_[static_cast<size_t>(l)];
+      auto& vs = v_scales_[static_cast<size_t>(l)];
+      for (int s = first_slot; s < first_slot + n; ++s) {
+        const int8_t* slot = base + static_cast<size_t>(s) * layout.stride();
+        kt.push_back(slot + layout.k_off(l));
+        vt.push_back(slot + layout.v_off(l));
+        const float* sc = layout.scales(slot);
+        ks.push_back(sc[layout.k_scale_idx(l)]);
+        vs.push_back(sc[layout.v_scale_idx(l)]);
+      }
+      k_rows_[static_cast<size_t>(l)].insert(
+          k_rows_[static_cast<size_t>(l)].end(), static_cast<size_t>(n),
+          nullptr);
+      v_rows_[static_cast<size_t>(l)].insert(
+          v_rows_[static_cast<size_t>(l)].end(), static_cast<size_t>(n),
+          nullptr);
     }
     pos_ids_.insert(pos_ids_.end(), pos, pos + n);
   }
@@ -266,9 +452,17 @@ class PagedKVCache {
   bool packed_ = true;     // token t in page t / page_tokens (no slack)
   PageId tail_page_ = kInvalidPage;  // private page with free slots
   int tail_used_ = 0;
+  bool tail_q8_ = false;  // tail page kind (q8 only mid-rendition build)
+  bool has_q8_ = false;
   std::vector<int> pos_ids_;
   std::vector<std::vector<const float*>> k_rows_;  // [layer][token]
   std::vector<std::vector<const float*>> v_rows_;
+  // Mixed-format tables, index-aligned with the fp32 tables when has_q8_:
+  // exactly one of k_rows_[l][t] / k8_rows_[l][t] is non-null per token.
+  std::vector<std::vector<const int8_t*>> k8_rows_;
+  std::vector<std::vector<const int8_t*>> v8_rows_;
+  std::vector<std::vector<float>> k_scales_;  // [layer][token], 0 for fp32
+  std::vector<std::vector<float>> v_scales_;
 };
 
 }  // namespace pc

@@ -32,21 +32,44 @@ class PagedKVPool {
  public:
   // page_tokens: tokens per page; bytes_per_token: full per-token KV payload
   // across all layers (2 * n_layers * kv_dim * dtype_size).
-  PagedKVPool(int page_tokens, size_t bytes_per_token)
-      : page_tokens_(page_tokens), bytes_per_token_(bytes_per_token) {
+  // q8_bytes_per_token (optional): per-token payload of the quantized page
+  // kind (Q8TokenLayout::stride()); 0 disables q8 pages.
+  PagedKVPool(int page_tokens, size_t bytes_per_token,
+              size_t q8_bytes_per_token = 0)
+      : page_tokens_(page_tokens),
+        bytes_per_token_(bytes_per_token),
+        q8_bytes_per_token_(q8_bytes_per_token) {
     PC_CHECK(page_tokens > 0 && bytes_per_token > 0);
   }
 
   int page_tokens() const { return page_tokens_; }
   size_t page_bytes() const { return bytes_per_token_ * page_tokens_; }
+  size_t page_bytes_q8() const { return q8_bytes_per_token_ * page_tokens_; }
+
+  // Payload bytes of a specific page (kind-aware).
+  size_t page_bytes(PageId id) const {
+    return page(id).q8 ? page_bytes_q8() : page_bytes();
+  }
+  bool is_q8(PageId id) const { return page(id).q8; }
 
   // Fresh zero-filled page (decode tails start from defined contents).
-  PageId allocate() { return allocate_impl(/*zero=*/true); }
+  PageId allocate() { return allocate_impl(/*zero=*/true, /*q8=*/false); }
 
   // Uninitialized payload, for callers that overwrite the entire page
   // before reading it — the copy-on-write duplication below, which would
   // otherwise pay a redundant full-page zero-fill per copy.
-  PageId allocate_uninitialized() { return allocate_impl(/*zero=*/false); }
+  PageId allocate_uninitialized() {
+    return allocate_impl(/*zero=*/false, /*q8=*/false);
+  }
+
+  // Fresh zero-filled quantized page (~4x smaller payload). Q8 pages hold
+  // immutable module rows: they are shared by reference, never COW'd and
+  // never written after materialization.
+  PageId allocate_q8() {
+    PC_CHECK_MSG(q8_bytes_per_token_ > 0,
+                 "pool was constructed without a q8 page kind");
+    return allocate_impl(/*zero=*/true, /*q8=*/true);
+  }
 
   void retain(PageId id) { ++page(id).refcount; }
 
@@ -63,23 +86,47 @@ class PagedKVPool {
   int refcount(PageId id) const { return page(id).refcount; }
 
   // Write access with copy-on-write: if the page is shared, a private copy
-  // is made and its id returned; otherwise the same id is returned.
+  // is made and its id returned; otherwise the same id is returned. fp32
+  // pages only — q8 pages are immutable by contract, so no caller may ask
+  // for write access to one.
   PageId make_writable(PageId id) {
+    PC_CHECK_MSG(!page(id).q8, "q8 pages are read-only (no COW)");
     if (page(id).refcount == 1) return id;
     const PageId fresh = allocate_uninitialized();
     // Re-fetch both pages after the allocation: growing pages_ invalidates
     // references into it.
     std::memcpy(page(fresh).data.get(), page(id).data.get(),
-                page_floats() * sizeof(float));
+                page_floats(/*q8=*/false) * sizeof(float));
     ++stats_.cow_copies;
     release(id);
     return fresh;
   }
 
-  float* data(PageId id) { return page(id).data.get(); }
-  const float* data(PageId id) const { return page(id).data.get(); }
+  float* data(PageId id) {
+    Page& p = page(id);
+    PC_CHECK_MSG(!p.q8, "fp32 access to a q8 page");
+    return p.data.get();
+  }
+  const float* data(PageId id) const {
+    const Page& p = page(id);
+    PC_CHECK_MSG(!p.q8, "fp32 access to a q8 page");
+    return p.data.get();
+  }
 
-  // Number of live (referenced) pages and their total payload.
+  // Byte view of a quantized page's payload (Q8TokenLayout slots).
+  int8_t* data_q8(PageId id) {
+    Page& p = page(id);
+    PC_CHECK_MSG(p.q8, "q8 access to an fp32 page");
+    return reinterpret_cast<int8_t*>(p.data.get());
+  }
+  const int8_t* data_q8(PageId id) const {
+    const Page& p = page(id);
+    PC_CHECK_MSG(p.q8, "q8 access to an fp32 page");
+    return reinterpret_cast<const int8_t*>(p.data.get());
+  }
+
+  // Number of live (referenced) pages and their total payload (kind-aware:
+  // a q8 page contributes its ~4x smaller quantized payload).
   int live_pages() const {
     int n = 0;
     for (const auto& p : pages_) {
@@ -88,22 +135,28 @@ class PagedKVPool {
     return n;
   }
   size_t live_bytes() const {
-    return static_cast<size_t>(live_pages()) * page_bytes();
+    size_t b = 0;
+    for (const auto& p : pages_) {
+      if (p.refcount > 0) b += p.q8 ? page_bytes_q8() : page_bytes();
+    }
+    return b;
   }
 
   const PagedPoolStats& stats() const { return stats_; }
 
  private:
   struct Page {
-    std::unique_ptr<float[]> data;
-    int refcount = 0;
+    std::unique_ptr<float[]> data;  // q8 payload stored as raw float-aligned
+    int refcount = 0;               // bytes (Q8TokenLayout needs 4-byte base)
+    bool q8 = false;
   };
 
-  size_t page_floats() const {
-    return page_bytes() / sizeof(float) + (page_bytes() % sizeof(float) != 0);
+  size_t page_floats(bool q8) const {
+    const size_t bytes = q8 ? page_bytes_q8() : page_bytes();
+    return bytes / sizeof(float) + (bytes % sizeof(float) != 0);
   }
 
-  PageId allocate_impl(bool zero) {
+  PageId allocate_impl(bool zero, bool q8) {
     PageId id;
     if (!free_list_.empty()) {
       id = free_list_.back();
@@ -114,7 +167,9 @@ class PagedKVPool {
     }
     Page& p = pages_[static_cast<size_t>(id)];
     p.refcount = 1;
-    p.data.reset(zero ? new float[page_floats()]() : new float[page_floats()]);
+    p.q8 = q8;
+    const size_t floats = page_floats(q8);
+    p.data.reset(zero ? new float[floats]() : new float[floats]);
     ++stats_.pages_allocated;
     if (!zero) ++stats_.uninitialized_allocations;
     return id;
@@ -133,6 +188,7 @@ class PagedKVPool {
 
   int page_tokens_;
   size_t bytes_per_token_;
+  size_t q8_bytes_per_token_;
   std::vector<Page> pages_;
   std::vector<PageId> free_list_;
   PagedPoolStats stats_;

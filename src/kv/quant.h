@@ -13,13 +13,17 @@
 #include <vector>
 
 #include "common/error.h"
+#include "tensor/simd.h"
 
 namespace pc {
 
-// Quantizes n_rows rows of `width` floats. dst must hold n_rows*width
-// int8s; scales must hold n_rows floats.
-inline void quantize_rows(const float* src, int n_rows, int width,
-                          int8_t* dst, float* scales) {
+// Scalar reference for quantize_rows. The vectorized path below must stay
+// bit-identical to this (the golden-equivalence test in test_kernels.cpp
+// compares them on every build): max/abs are element-pure, the multiply/
+// round/clamp sequence is per-element IEEE, and the default
+// round-to-nearest-even mode matches _mm256_cvtps_epi32.
+inline void quantize_rows_scalar(const float* src, int n_rows, int width,
+                                 int8_t* dst, float* scales) {
   PC_CHECK(n_rows >= 0 && width > 0);
   for (int r = 0; r < n_rows; ++r) {
     const float* row = src + static_cast<size_t>(r) * width;
@@ -38,11 +42,27 @@ inline void quantize_rows(const float* src, int n_rows, int width,
   }
 }
 
+// Quantizes n_rows rows of `width` floats. dst must hold n_rows*width
+// int8s; scales must hold n_rows floats. Vectorized max-abs scan and
+// round/clamp via tensor/simd.h; output bits match quantize_rows_scalar.
+inline void quantize_rows(const float* src, int n_rows, int width,
+                          int8_t* dst, float* scales) {
+  PC_CHECK(n_rows >= 0 && width > 0);
+  for (int r = 0; r < n_rows; ++r) {
+    const float* row = src + static_cast<size_t>(r) * width;
+    const float max_abs =
+        simd::reduce_max_abs(row, static_cast<size_t>(width));
+    const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+    simd::quantize_i8(row, 1.0f / scale,
+                      dst + static_cast<size_t>(r) * width,
+                      static_cast<size_t>(width));
+    scales[r] = scale;
+  }
+}
+
 inline void dequantize_row(const int8_t* src, float scale, int width,
                            float* dst) {
-  for (int i = 0; i < width; ++i) {
-    dst[i] = static_cast<float>(src[i]) * scale;
-  }
+  simd::dequant_store(src, scale, dst, static_cast<size_t>(width));
 }
 
 // Convenience container for one layer's quantized K/V payload.
@@ -51,6 +71,40 @@ struct Q8Layer {
   std::vector<int8_t> v;
   std::vector<float> k_scales; // [n_tokens]
   std::vector<float> v_scales;
+};
+
+// Byte layout of one token's quantized KV slot inside a q8 page (the paged
+// analog of the fp32 token-major layout in kv/paged_cache.h): per layer the
+// K then V int8 rows back to back, the int8 region padded to a float
+// boundary, then one (k_scale, v_scale) float pair per layer. The base of
+// every slot is 4-byte aligned because the stride itself is.
+struct Q8TokenLayout {
+  int n_layers = 0;
+  int kv_dim = 0;
+
+  size_t int8_bytes() const {
+    return static_cast<size_t>(2) * n_layers * kv_dim;
+  }
+  size_t padded_int8_bytes() const { return (int8_bytes() + 3) & ~size_t{3}; }
+  size_t stride() const {
+    return padded_int8_bytes() +
+           static_cast<size_t>(2) * n_layers * sizeof(float);
+  }
+  size_t k_off(int layer) const {
+    return static_cast<size_t>(layer) * 2 * kv_dim;
+  }
+  size_t v_off(int layer) const { return k_off(layer) + kv_dim; }
+  // Offsets of the scale pair, in floats from the (aligned) scale region.
+  size_t k_scale_idx(int layer) const {
+    return static_cast<size_t>(layer) * 2;
+  }
+  size_t v_scale_idx(int layer) const { return k_scale_idx(layer) + 1; }
+  float* scales(int8_t* slot_base) const {
+    return reinterpret_cast<float*>(slot_base + padded_int8_bytes());
+  }
+  const float* scales(const int8_t* slot_base) const {
+    return reinterpret_cast<const float*>(slot_base + padded_int8_bytes());
+  }
 };
 
 }  // namespace pc

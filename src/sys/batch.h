@@ -83,7 +83,11 @@ struct BatchKVStats {
 class BatchScheduler {
  public:
   struct Options {
-    EngineConfig engine;  // precision must be kFp32 (pages are read fp32)
+    // precision must be kFp32 or kQ8: fp32 module pages are read in place
+    // by the gathered attention kernel; q8 module pages stay int8 and are
+    // scored in the int8 domain (attn_fused_q8_gather). fp16 has no
+    // in-place kernel.
+    EngineConfig engine;
     std::vector<std::string> schemas;  // PML loaded at construction
     BatchConfig batch;
     LinkModel link;

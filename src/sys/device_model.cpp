@@ -110,11 +110,15 @@ double estimate_memcpy_s(const HardwareProfile& hw, size_t bytes,
 TtftEstimate estimate_cached_ttft(const HardwareProfile& hw,
                                   const ModelSpec& spec, int64_t cached_tokens,
                                   int64_t uncached_tokens,
-                                  ModuleLocation location) {
+                                  ModuleLocation location,
+                                  size_t bytes_per_cached_token) {
   PC_CHECK(cached_tokens >= 0 && uncached_tokens >= 0);
+  if (bytes_per_cached_token == 0) {
+    bytes_per_cached_token = spec.kv_bytes_per_token();
+  }
   TtftEstimate e;
   e.transfer_s = estimate_memcpy_s(
-      hw, spec.kv_bytes_per_token() * static_cast<size_t>(cached_tokens),
+      hw, bytes_per_cached_token * static_cast<size_t>(cached_tokens),
       location);
   // Even a fully cached prompt computes at least one position (the token
   // whose logits become the first output).

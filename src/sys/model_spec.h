@@ -35,6 +35,15 @@ struct ModelSpec {
     return static_cast<size_t>(2) * n_layers * kv_dim() * dtype_bytes;
   }
 
+  // Per-token KV bytes when modules are held quantized (Q8_0, §5.5/§6
+  // compression direction): one int8 per element plus one fp32 scale per
+  // row (K and V) per layer. This is what crosses the host link when the
+  // store precision is q8 — transfer cost is charged on quantized bytes.
+  size_t kv_bytes_per_token_q8() const {
+    return static_cast<size_t>(2) * n_layers * kv_dim() * sizeof(int8_t) +
+           static_cast<size_t>(2) * n_layers * sizeof(float);
+  }
+
   // Approximate parameter count (embeddings + per-layer mats), for context.
   double approx_params() const {
     const double attn = static_cast<double>(d_model) *

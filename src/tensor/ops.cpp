@@ -233,6 +233,67 @@ void attn_fused_gather(const float* q, const float* const* k_rows,
       alibi_slope, rel_pos, masked, scores, out);
 }
 
+void attn_fused_q8_gather(const float* q, const int8_t* const* k8_rows,
+                          const int8_t* const* v8_rows, const float* k_scales,
+                          const float* v_scales, const float* const* k_rows,
+                          const float* const* v_rows, size_t head_off,
+                          size_t d_head, size_t n_ctx, float scale,
+                          float alibi_slope, const float* rel_pos,
+                          const uint8_t* masked, float* scores, float* out) {
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  constexpr size_t kMaxDHead = 1024;
+  PC_CHECK_MSG(d_head <= kMaxDHead, "attn_fused_q8_gather: d_head too large");
+  if (n_ctx == 0) {
+    std::fill(out, out + d_head, 0.0f);
+    return;
+  }
+  // Quantize the query head slice once; its error is shared by every q8
+  // score of this call, so relative score order within the module is driven
+  // by the per-row K scales alone.
+  int8_t q8[kMaxDHead];
+  const float q_max = simd::reduce_max_abs(q, d_head);
+  const float q_scale = q_max > 0.0f ? q_max / 127.0f : 1.0f;
+  simd::quantize_i8(q, 1.0f / q_scale, q8, d_head);
+  const float fix = scale * q_scale;  // per-slot fixup is fix * k_scales[j]
+  for (size_t j = 0; j < n_ctx; ++j) {
+    if (masked != nullptr && masked[j] != 0) {
+      scores[j] = kNegInf;
+      continue;
+    }
+    float s;
+    if (k8_rows[j] != nullptr) {
+      const int32_t d = simd::dot_i8(q8, k8_rows[j] + head_off, d_head);
+      s = static_cast<float>(d) * (fix * k_scales[j]);
+    } else {
+      s = simd::dot(q, k_rows[j] + head_off, d_head) * scale;
+    }
+    if (rel_pos != nullptr) s += -alibi_slope * rel_pos[j];
+    scores[j] = s;
+  }
+  const float mx = simd::reduce_max(scores, n_ctx);
+  if (mx == kNegInf) {
+    std::fill(scores, scores + n_ctx, 0.0f);
+    std::fill(out, out + d_head, 0.0f);
+    return;
+  }
+  float sum = 0.0f;
+  for (size_t j = 0; j < n_ctx; ++j) {
+    scores[j] = std::exp(scores[j] - mx);
+    sum += scores[j];
+  }
+  simd::scale(scores, 1.0f / sum, n_ctx);
+  std::fill(out, out + d_head, 0.0f);
+  for (size_t j = 0; j < n_ctx; ++j) {
+    const float w = scores[j];
+    if (w == 0.0f) continue;
+    if (v8_rows[j] != nullptr) {
+      simd::axpy_i8(w * v_scales[j], v8_rows[j] + head_off, out, d_head);
+    } else {
+      simd::axpy(w, v_rows[j] + head_off, out, d_head);
+    }
+  }
+}
+
 // ---- Tensor wrappers -------------------------------------------------------
 
 Tensor matmul(const Tensor& a, const Tensor& b) {

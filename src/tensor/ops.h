@@ -86,6 +86,30 @@ void attn_fused_gather(const float* q, const float* const* k_rows,
                        float alibi_slope, const float* rel_pos,
                        const uint8_t* masked, float* scores, float* out);
 
+// Mixed-format gathered variant for quantized (Q8_0) module rows. Slot j is
+// quantized when k8_rows[j] != nullptr: its K/V rows are int8 at
+// k8_rows[j] + head_off / v8_rows[j] + head_off with per-row scales
+// k_scales[j] / v_scales[j] (scales cover the full kv_dim row, so any
+// head's d_head subslice uses the same scale). Otherwise the slot is fp32
+// and reads k_rows[j] + head_off / v_rows[j] + head_off as in
+// attn_fused_gather. All five tables have n_ctx entries; entries of the
+// other format may be null.
+//
+// q is quantized once per call (symmetric, max-abs/127) and scores for q8
+// slots are computed entirely in the int8 domain:
+//   score_j = float(sum_i q8[i] * k8[j][i]) * (scale * q_scale * k_scales[j])
+// so no fp32 K/V row is ever materialized for quantized slots. The softmax
+// and mix structure (sequence-order exp-sum, in-order value mix, all-masked
+// => zeros) is identical to the fp32 kernels, so the masking contract above
+// carries over. d_head must be <= 1024 (query quantization scratch).
+void attn_fused_q8_gather(const float* q, const int8_t* const* k8_rows,
+                          const int8_t* const* v8_rows, const float* k_scales,
+                          const float* v_scales, const float* const* k_rows,
+                          const float* const* v_rows, size_t head_off,
+                          size_t d_head, size_t n_ctx, float scale,
+                          float alibi_slope, const float* rel_pos,
+                          const uint8_t* masked, float* scores, float* out);
+
 // ---- Tensor wrappers -------------------------------------------------------
 
 // out[m,n] = a[m,k] * b[k,n]

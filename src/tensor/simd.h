@@ -14,7 +14,9 @@
 // all loads are unaligned-safe and there is no runtime dispatch.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
 
 #if defined(__AVX2__)
 #include <immintrin.h>
@@ -435,6 +437,201 @@ inline float reduce_max(const float* a, size_t n) {
 // path that must be bitwise-stable under element re-indexing.
 inline float reduce_sumsq(const float* a, size_t n) {
   return dot(a, a, n);
+}
+
+// max_i |a[i]| over [0, n); returns 0 for an empty range. Exact regardless
+// of lane grouping (abs/max are element-pure), so the vectorized Q8_0
+// max-abs scan produces the same scale as the scalar one, bit for bit.
+inline float reduce_max_abs(const float* a, size_t n) {
+#if defined(PC_SIMD_AVX2)
+  size_t i = 0;
+  float s = 0.0f;
+  if (n >= 8) {
+    const __m256 sign_mask = _mm256_set1_ps(-0.0f);
+    __m256 m = _mm256_setzero_ps();
+    for (; i + 8 <= n; i += 8) {
+      m = _mm256_max_ps(m, _mm256_andnot_ps(sign_mask, _mm256_loadu_ps(a + i)));
+    }
+    __m128 lo = _mm_max_ps(_mm256_castps256_ps128(m),
+                           _mm256_extractf128_ps(m, 1));
+    lo = _mm_max_ps(lo, _mm_movehl_ps(lo, lo));
+    lo = _mm_max_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+    s = _mm_cvtss_f32(lo);
+  }
+  for (; i < n; ++i) {
+    const float v = a[i] < 0.0f ? -a[i] : a[i];
+    s = s > v ? s : v;
+  }
+  return s;
+#else
+  float s = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float v = a[i] < 0.0f ? -a[i] : a[i];
+    s = s > v ? s : v;
+  }
+  return s;
+#endif
+}
+
+// ---- int8 (Q8_0) primitives -------------------------------------------------
+//
+// The quantized-KV compute path stores rows as int8 with one float scale per
+// row; scores are taken directly in the int8 domain and fixed up with
+// (q_scale * k_scale) afterwards. Integer accumulation is exact, so unlike
+// the float reductions these are bitwise-stable under any lane grouping.
+//
+// Precondition everywhere: int8 inputs lie in [-127, 127] (the Q8_0
+// quantizer clamps to that range). -128 is excluded so |a[i]| fits int8 and
+// the AVX2 maddubs pair-sums (≤ 2 * 127 * 127) cannot saturate int16.
+
+// sum_i a[i]*b[i] as int32. Exact for n up to ~128K at |x| ≤ 127.
+inline int32_t dot_i8(const int8_t* a, const int8_t* b, size_t n) {
+#if defined(PC_SIMD_AVX2)
+  __m256i acc = _mm256_setzero_si256();
+  const __m256i ones = _mm256_set1_epi16(1);
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    // maddubs needs one unsigned operand: |a| is representable (no -128 by
+    // precondition) and moving a's sign onto b keeps the product a[i]*b[i].
+    const __m256i abs_a = _mm256_sign_epi8(va, va);
+    const __m256i sgn_b = _mm256_sign_epi8(vb, va);
+    const __m256i prod16 = _mm256_maddubs_epi16(abs_a, sgn_b);
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(prod16, ones));
+  }
+  __m128i lo = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                             _mm256_extracti128_si256(acc, 1));
+  lo = _mm_add_epi32(lo, _mm_shuffle_epi32(lo, 0x4e));
+  lo = _mm_add_epi32(lo, _mm_shuffle_epi32(lo, 0xb1));
+  int32_t s = _mm_cvtsi128_si32(lo);
+  for (; i < n; ++i) {
+    s += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return s;
+#elif defined(PC_SIMD_SSE2)
+  __m128i acc = _mm_setzero_si128();
+  const __m128i zero = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    // Sign-extend int8 lanes to int16 (unpack into the high byte, then
+    // arithmetic shift right) — plain SSE2, no SSSE3 maddubs needed.
+    const __m128i a_lo = _mm_srai_epi16(_mm_unpacklo_epi8(zero, va), 8);
+    const __m128i a_hi = _mm_srai_epi16(_mm_unpackhi_epi8(zero, va), 8);
+    const __m128i b_lo = _mm_srai_epi16(_mm_unpacklo_epi8(zero, vb), 8);
+    const __m128i b_hi = _mm_srai_epi16(_mm_unpackhi_epi8(zero, vb), 8);
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(a_lo, b_lo));
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(a_hi, b_hi));
+  }
+  acc = _mm_add_epi32(acc, _mm_shuffle_epi32(acc, 0x4e));
+  acc = _mm_add_epi32(acc, _mm_shuffle_epi32(acc, 0xb1));
+  int32_t s = _mm_cvtsi128_si32(acc);
+  for (; i < n; ++i) {
+    s += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return s;
+#elif defined(PC_SIMD_NEON)
+  int32x4_t acc = vdupq_n_s32(0);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const int8x16_t va = vld1q_s8(a + i);
+    const int8x16_t vb = vld1q_s8(b + i);
+    const int16x8_t p_lo = vmull_s8(vget_low_s8(va), vget_low_s8(vb));
+    const int16x8_t p_hi = vmull_s8(vget_high_s8(va), vget_high_s8(vb));
+    acc = vpadalq_s16(acc, p_lo);
+    acc = vpadalq_s16(acc, p_hi);
+  }
+  int32_t s = vaddvq_s32(acc);
+  for (; i < n; ++i) {
+    s += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return s;
+#else
+  int32_t s = 0;
+  for (size_t i = 0; i < n; ++i) {
+    s += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return s;
+#endif
+}
+
+// y[i] = clamp(nearbyint(x[i] * inv_scale), -127, 127) as int8. Bitwise
+// identical to the scalar loop: per-lane multiply/round/convert are the same
+// IEEE operations, and clamping before the round is equivalent to clamping
+// after it (rounding is monotonic; both orders land on the same int8).
+// Assumes the default round-to-nearest-even FP environment, as nearbyint
+// does.
+inline void quantize_i8(const float* x, float inv_scale, int8_t* y, size_t n) {
+#if defined(PC_SIMD_AVX2)
+  const __m256 vinv = _mm256_set1_ps(inv_scale);
+  const __m256 vmin = _mm256_set1_ps(-127.0f);
+  const __m256 vmax = _mm256_set1_ps(127.0f);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 v = _mm256_mul_ps(_mm256_loadu_ps(x + i), vinv);
+    v = _mm256_min_ps(_mm256_max_ps(v, vmin), vmax);
+    const __m256i i32 = _mm256_cvtps_epi32(v);  // rounds to nearest even
+    const __m128i i16 = _mm_packs_epi32(_mm256_castsi256_si128(i32),
+                                        _mm256_extracti128_si256(i32, 1));
+    const __m128i i8 = _mm_packs_epi16(i16, i16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(y + i), i8);
+  }
+  for (; i < n; ++i) {
+    float q = x[i] * inv_scale;
+    q = q < -127.0f ? -127.0f : (q > 127.0f ? 127.0f : q);
+    y[i] = static_cast<int8_t>(static_cast<int32_t>(
+        std::nearbyintf(q)));
+  }
+#else
+  for (size_t i = 0; i < n; ++i) {
+    float q = x[i] * inv_scale;
+    q = q < -127.0f ? -127.0f : (q > 127.0f ? 127.0f : q);
+    q = std::nearbyintf(q);
+    y[i] = static_cast<int8_t>(static_cast<int32_t>(q));
+  }
+#endif
+}
+
+// y[i] = scale * float(x[i])  (Q8_0 row dequantization, overwrite)
+inline void dequant_store(const int8_t* x, float scale, float* y, size_t n) {
+#if defined(PC_SIMD_AVX2)
+  const __m256 vs = _mm256_set1_ps(scale);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i bytes =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(x + i));
+    const __m256 vals = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(bytes));
+    _mm256_storeu_ps(y + i, _mm256_mul_ps(vs, vals));
+  }
+  for (; i < n; ++i) y[i] = scale * static_cast<float>(x[i]);
+#else
+  for (size_t i = 0; i < n; ++i) y[i] = scale * static_cast<float>(x[i]);
+#endif
+}
+
+// y[i] += alpha * float(x[i]) — the value-mix step of the q8 attention
+// kernel (alpha folds the softmax weight and the row's V scale together).
+inline void axpy_i8(float alpha, const int8_t* x, float* y, size_t n) {
+#if defined(PC_SIMD_AVX2)
+  const __m256 va = _mm256_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i bytes =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(x + i));
+    const __m256 vals = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(bytes));
+    _mm256_storeu_ps(y + i,
+                     detail::fma8(va, vals, _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * static_cast<float>(x[i]);
+#else
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * static_cast<float>(x[i]);
+#endif
 }
 
 }  // namespace pc::simd

@@ -223,6 +223,56 @@ TEST_F(BatchServeTest, BatchedMatchesSequentialBitwise) {
   }
 }
 
+TEST_F(BatchServeTest, Q8BatchedMatchesSequentialQ8Bitwise) {
+  // Quantized module pages: shared renditions stay int8 in the paged pool
+  // and decode tails stay fp32. Tokens must be bitwise-identical to a
+  // sequential q8 engine, and — the retrieval gate — identical to the fp32
+  // sequential reference (induction retrieval survives Q8_0).
+  constexpr int kRequests = 12;
+  std::vector<std::string> prompts;
+  std::vector<GenerateOptions> options;
+  for (int i = 0; i < kRequests; ++i) {
+    prompts.push_back(kPrompts[static_cast<size_t>(i) % kNumPrompts]);
+    options.push_back(ask_options(workload_));
+  }
+  const auto fp32_expected = reference_tokens(prompts, options);
+
+  EngineConfig q8_cfg;
+  q8_cfg.precision = StorePrecision::kQ8;
+  PromptCacheEngine sequential(model_, workload_.tokenizer(), q8_cfg);
+  sequential.load_schema(kSchema);
+  std::vector<std::vector<TokenId>> q8_expected;
+  for (int i = 0; i < kRequests; ++i) {
+    q8_expected.push_back(
+        sequential.serve(prompts[static_cast<size_t>(i)],
+                         options[static_cast<size_t>(i)]).tokens);
+  }
+
+  for (int max_batch : {1, 4}) {
+    ServerConfig cfg;
+    cfg.batching = true;
+    cfg.batch.max_batch = max_batch;
+    cfg.engine.precision = StorePrecision::kQ8;
+    cfg.schemas = {kSchema};
+    Server server(model_, workload_.tokenizer(), cfg);
+    for (int i = 0; i < kRequests; ++i) {
+      server.submit(prompts[static_cast<size_t>(i)],
+                    options[static_cast<size_t>(i)]);
+    }
+    const auto responses = server.drain();
+    ASSERT_EQ(responses.size(), static_cast<size_t>(kRequests));
+    for (int i = 0; i < kRequests; ++i) {
+      const ServerResponse& r = responses[static_cast<size_t>(i)];
+      EXPECT_EQ(r.status, ServeStatus::kOk)
+          << "batch " << max_batch << " id " << r.id << ": " << r.detail;
+      EXPECT_EQ(r.result.tokens, q8_expected[static_cast<size_t>(i)])
+          << "batch " << max_batch << " id " << r.id;
+      EXPECT_EQ(r.result.tokens, fp32_expected[static_cast<size_t>(i)])
+          << "q8 retrieval must stay exact; batch " << max_batch;
+    }
+  }
+}
+
 TEST_F(BatchServeTest, BatchedSamplingMatchesSequentialBitwise) {
   // Seeded stochastic decoding: the per-request Rng must advance exactly as
   // in generate_impl, whatever else is in the batch.
@@ -320,6 +370,10 @@ TEST_F(BatchServeTest, SharedModulesReduceKvFootprint) {
     ServerConfig cfg;
     cfg.batching = true;
     cfg.batch.max_batch = kRequests;
+    // COW-tail accounting is fp32-specific: q8 module pages are immutable,
+    // so partial tails are copied rather than attached copy-on-write. Pin
+    // fp32 here; the q8 paged path is covered by Q8BatchedMatchesSequential.
+    cfg.engine.precision = StorePrecision::kFp32;
     cfg.schemas = {schema};
     Server server(model_, workload_.tokenizer(), cfg);
     for (int i = 0; i < kRequests; ++i) {

@@ -70,19 +70,24 @@ TEST_F(EngineTest, CachedOutputMatchesBaselineOnSameContent) {
 // baseline, because module positions start at 0 and the suffix is
 // contiguous — there is no masking difference with only one block.
 TEST_F(EngineTest, SingleModuleCachedEqualsBaselineBitwise) {
-  engine_.load_schema(R"(
+  // Bitwise fp32 regression guard: pinned to fp32 so the equality holds
+  // even when the suite runs with PC_KV_FORMAT=q8.
+  EngineConfig fp32;
+  fp32.precision = StorePrecision::kFp32;
+  PromptCacheEngine engine(model_, workload_.tokenizer(), fp32);
+  engine.load_schema(R"(
     <schema name="one">
       <module name="doc">w00 w01 q05 a10 a11 . w02 w03 w04</module>
     </schema>)");
   const std::string prompt =
       R"(<prompt schema="one"><doc/> question: q05</prompt>)";
 
-  const pml::PromptBinding binding = engine_.bind(prompt);
+  const pml::PromptBinding binding = engine.bind(prompt);
 
   KVCache cached_seq = model_.make_cache();
   TtftBreakdown ttft;
   const Tensor cached_logits =
-      engine_.assemble_and_prefill(binding, cached_seq, &ttft);
+      engine.assemble_and_prefill(binding, cached_seq, &ttft);
 
   // Baseline prefill of the same tokens.
   std::vector<int> pos(binding.baseline_tokens.size());
@@ -107,7 +112,12 @@ TEST_F(EngineTest, SingleModuleCachedEqualsBaselineBitwise) {
 // Multi-module: cached inference equals a single blocked prefill with a
 // block-diagonal mask over the modules — bitwise.
 TEST_F(EngineTest, MultiModuleCachedEqualsBlockedPrefillBitwise) {
-  engine_.load_schema(R"(
+  // Bitwise fp32 regression guard: pinned to fp32 so the equality holds
+  // even when the suite runs with PC_KV_FORMAT=q8.
+  EngineConfig fp32;
+  fp32.precision = StorePrecision::kFp32;
+  PromptCacheEngine engine(model_, workload_.tokenizer(), fp32);
+  engine.load_schema(R"(
     <schema name="s">
       <module name="doc1">w00 w01 q05 a10 a11 . w02</module>
       <module name="doc2">w04 w05 q06 a12 a13 . w06</module>
@@ -115,11 +125,11 @@ TEST_F(EngineTest, MultiModuleCachedEqualsBlockedPrefillBitwise) {
     </schema>)");
   const std::string prompt =
       R"(<prompt schema="s"><doc1/><doc2/><doc3/> question: q07</prompt>)";
-  const pml::PromptBinding binding = engine_.bind(prompt);
+  const pml::PromptBinding binding = engine.bind(prompt);
 
   KVCache cached_seq = model_.make_cache();
   const Tensor cached_logits =
-      engine_.assemble_and_prefill(binding, cached_seq, nullptr);
+      engine.assemble_and_prefill(binding, cached_seq, nullptr);
 
   // Reference: flatten modules + suffix with block ids and layout positions.
   std::vector<TokenId> tokens;
@@ -317,6 +327,9 @@ TEST_F(EngineTest, EvictionThrashStillServesCorrectly) {
   const size_t one_module = static_cast<size_t>(8) *
                             model_.kv_bytes_per_token();
   EngineConfig cfg;
+  // Capacity math assumes fp32 module bytes; pin the precision so a q8
+  // default (PC_KV_FORMAT=q8) doesn't make everything fit.
+  cfg.precision = StorePrecision::kFp32;
   cfg.device_capacity_bytes = one_module;
   cfg.host_capacity_bytes = 1;
   PromptCacheEngine engine(model_, workload_.tokenizer(), cfg);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "kv/quant.h"
 #include "model/model.h"
 #include "tensor/ops.h"
 #include "tensor/simd.h"
@@ -396,6 +397,340 @@ TEST(FusedAttention, EmptyContextYieldsZeros) {
   std::vector<float> out(d_head, 42.0f);
   attn_fused_contig(q.data(), nullptr, nullptr, 0, d_head, 0, 1.0f, 0.0f,
                     nullptr, nullptr, nullptr, out.data());
+  for (float x : out) EXPECT_EQ(x, 0.0f);
+}
+
+// ---- Q8_0 quantization + int8 primitives ------------------------------------
+
+int32_t ref_dot_i8(const int8_t* a, const int8_t* b, size_t n) {
+  int32_t s = 0;
+  for (size_t i = 0; i < n; ++i) {
+    s += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return s;
+}
+
+std::vector<int8_t> random_i8(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int8_t> v(n);
+  // Q8_0 precondition: values in [-127, 127], never -128.
+  for (auto& x : v) x = static_cast<int8_t>(rng.next_below(255)) - 127;
+  return v;
+}
+
+TEST(Q8Kernels, QuantizeRowsBitIdenticalToScalarGolden) {
+  for (size_t width : kLengths) {
+    if (width == 0) continue;
+    const int n_rows = 4;
+    auto src = random_vec(n_rows * width, 300 + width, 3.0f);
+    // Row 1: all zeros (scale must fall back to 1.0). Row 2: one huge
+    // outlier so every other element quantizes to 0. Row 3: the negative
+    // extreme must land on -127, never saturate to -128.
+    std::fill(src.begin() + width, src.begin() + 2 * width, 0.0f);
+    src[2 * width] = 1000.0f;
+    src[3 * width] = -8.0f;
+    std::vector<int8_t> q_vec(n_rows * width), q_ref(n_rows * width);
+    std::vector<float> s_vec(n_rows), s_ref(n_rows);
+    quantize_rows(src.data(), n_rows, static_cast<int>(width), q_vec.data(),
+                  s_vec.data());
+    quantize_rows_scalar(src.data(), n_rows, static_cast<int>(width),
+                         q_ref.data(), s_ref.data());
+    for (int r = 0; r < n_rows; ++r) {
+      ASSERT_EQ(s_vec[r], s_ref[r]) << "width=" << width << " row=" << r;
+    }
+    for (size_t i = 0; i < q_vec.size(); ++i) {
+      ASSERT_EQ(q_vec[i], q_ref[i]) << "width=" << width << " elem=" << i;
+      ASSERT_GE(q_vec[i], -127) << "Q8_0 must never produce -128";
+    }
+    EXPECT_EQ(s_vec[1], 1.0f) << "all-zero row scale fallback";
+  }
+}
+
+TEST(Q8Kernels, QuantizeRoundTripErrorBoundedByHalfStep) {
+  const size_t width = 100;
+  const int n_rows = 8;
+  const auto src = random_vec(n_rows * width, 411, 2.0f);
+  std::vector<int8_t> q(n_rows * width);
+  std::vector<float> scales(n_rows);
+  quantize_rows(src.data(), n_rows, static_cast<int>(width), q.data(),
+                scales.data());
+  std::vector<float> back(width);
+  for (int r = 0; r < n_rows; ++r) {
+    dequantize_row(q.data() + r * width, scales[r], static_cast<int>(width),
+                   back.data());
+    for (size_t i = 0; i < width; ++i) {
+      EXPECT_LE(std::abs(back[i] - src[r * width + i]),
+                0.5f * scales[r] + 1e-6f)
+          << "row=" << r << " elem=" << i;
+    }
+  }
+}
+
+TEST(Q8Kernels, DotI8MatchesScalarAcrossSizes) {
+  for (size_t n : kLengths) {
+    const auto a = random_i8(n, 500 + n);
+    const auto b = random_i8(n, 600 + n);
+    EXPECT_EQ(simd::dot_i8(a.data(), b.data(), n),
+              ref_dot_i8(a.data(), b.data(), n))
+        << "n=" << n;
+  }
+  // Extreme magnitudes: +-127 everywhere is the worst case for the AVX2
+  // maddubs pair-sum (2*127*127 must not saturate int16).
+  for (size_t n : {size_t{32}, size_t{1000}}) {
+    std::vector<int8_t> hi(n, 127), lo(n, -127);
+    EXPECT_EQ(simd::dot_i8(hi.data(), hi.data(), n),
+              static_cast<int32_t>(n) * 127 * 127);
+    EXPECT_EQ(simd::dot_i8(hi.data(), lo.data(), n),
+              -static_cast<int32_t>(n) * 127 * 127);
+    EXPECT_EQ(simd::dot_i8(lo.data(), lo.data(), n),
+              static_cast<int32_t>(n) * 127 * 127);
+  }
+}
+
+TEST(Q8Kernels, DequantAndAxpyI8MatchScalar) {
+  for (size_t n : kLengths) {
+    const auto x = random_i8(n, 700 + n);
+    std::vector<float> y_simd(n), y_ref(n);
+    simd::dequant_store(x.data(), 0.031f, y_simd.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      y_ref[i] = 0.031f * static_cast<float>(x[i]);
+    }
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(y_simd[i], y_ref[i]) << i;
+
+    auto acc_simd = random_vec(n, 800 + n);
+    auto acc_ref = acc_simd;
+    simd::axpy_i8(0.57f, x.data(), acc_simd.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      acc_ref[i] += 0.57f * static_cast<float>(x[i]);
+    }
+    // fma8 may contract the multiply-add; allow half-ulp-of-product slack.
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_LE(std::abs(acc_simd[i] - acc_ref[i]), 1e-4f) << i;
+    }
+  }
+}
+
+// ---- q8 fused attention ------------------------------------------------------
+
+// Exact mirror of attn_fused_q8_gather with the integer dot taken scalar
+// (integer accumulation is order-independent, so this is still a bitwise
+// reference) and every float step using the same simd primitives in the
+// same order.
+void ref_q8_attention(const float* q, const int8_t* const* k8_rows,
+                      const int8_t* const* v8_rows, const float* k_scales,
+                      const float* v_scales, const float* const* k_rows,
+                      const float* const* v_rows, size_t head_off,
+                      size_t d_head, size_t n_ctx, float scale, float slope,
+                      const float* rel, const uint8_t* masked, float* scores,
+                      float* out) {
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  if (n_ctx == 0) {
+    std::fill(out, out + d_head, 0.0f);
+    return;
+  }
+  std::vector<int8_t> q8(d_head);
+  const float q_max = simd::reduce_max_abs(q, d_head);
+  const float q_scale = q_max > 0.0f ? q_max / 127.0f : 1.0f;
+  simd::quantize_i8(q, 1.0f / q_scale, q8.data(), d_head);
+  const float fix = scale * q_scale;
+  for (size_t j = 0; j < n_ctx; ++j) {
+    if (masked != nullptr && masked[j] != 0) {
+      scores[j] = kNegInf;
+      continue;
+    }
+    float s;
+    if (k8_rows[j] != nullptr) {
+      const int32_t d = ref_dot_i8(q8.data(), k8_rows[j] + head_off, d_head);
+      s = static_cast<float>(d) * (fix * k_scales[j]);
+    } else {
+      s = simd::dot(q, k_rows[j] + head_off, d_head) * scale;
+    }
+    if (rel != nullptr) s += -slope * rel[j];
+    scores[j] = s;
+  }
+  const float mx = simd::reduce_max(scores, n_ctx);
+  if (mx == kNegInf) {
+    std::fill(scores, scores + n_ctx, 0.0f);
+    std::fill(out, out + d_head, 0.0f);
+    return;
+  }
+  float sum = 0.0f;
+  for (size_t j = 0; j < n_ctx; ++j) {
+    scores[j] = std::exp(scores[j] - mx);
+    sum += scores[j];
+  }
+  simd::scale(scores, 1.0f / sum, n_ctx);
+  std::fill(out, out + d_head, 0.0f);
+  for (size_t j = 0; j < n_ctx; ++j) {
+    const float w = scores[j];
+    if (w == 0.0f) continue;
+    if (v8_rows[j] != nullptr) {
+      simd::axpy_i8(w * v_scales[j], v8_rows[j] + head_off, out, d_head);
+    } else {
+      simd::axpy(w, v_rows[j] + head_off, out, d_head);
+    }
+  }
+}
+
+TEST_P(FusedAttentionTest, Q8GatherAllFp32SlotsBitIdenticalToGather) {
+  // With every slot fp32 the q8 kernel must follow the exact operation
+  // sequence of attn_fused_gather — the fp32 regression guard that lets the
+  // mixed kernel serve as the only segmented attention path.
+  const auto [d_head, n_ctx, kv_dim] = GetParam();
+  const size_t head_off = kv_dim - d_head;
+  const auto q = random_vec(d_head, 911 + n_ctx, 0.5f);
+  const auto k = random_vec(n_ctx * kv_dim + 1, 913 + n_ctx, 0.5f);
+  const auto v = random_vec(n_ctx * kv_dim + 1, 917 + n_ctx, 0.5f);
+  std::vector<const float*> k_rows(n_ctx), v_rows(n_ctx);
+  for (size_t j = 0; j < n_ctx; ++j) {
+    k_rows[j] = k.data() + j * kv_dim;
+    v_rows[j] = v.data() + j * kv_dim;
+  }
+  const std::vector<const int8_t*> null8(n_ctx, nullptr);
+  const std::vector<float> no_scales(n_ctx, 0.0f);
+  std::vector<float> s1(n_ctx), s2(n_ctx), o1(d_head), o2(d_head);
+  attn_fused_gather(q.data(), k_rows.data(), v_rows.data(), head_off, d_head,
+                    n_ctx, 0.125f, 0.0f, nullptr, nullptr, s1.data(),
+                    o1.data());
+  attn_fused_q8_gather(q.data(), null8.data(), null8.data(),
+                       no_scales.data(), no_scales.data(), k_rows.data(),
+                       v_rows.data(), head_off, d_head, n_ctx, 0.125f, 0.0f,
+                       nullptr, nullptr, s2.data(), o2.data());
+  for (size_t j = 0; j < n_ctx; ++j) ASSERT_EQ(s1[j], s2[j]) << "slot " << j;
+  for (size_t e = 0; e < d_head; ++e) ASSERT_EQ(o1[e], o2[e]) << "elem " << e;
+}
+
+TEST_P(FusedAttentionTest, Q8GatherMixedFormatMatchesMirrorReference) {
+  // Alternate q8 and fp32 slots (the paged layout: shared module pages
+  // quantized, private decode tail fp32) under mask and ALiBi variants.
+  const auto [d_head, n_ctx, kv_dim] = GetParam();
+  const size_t head_off = kv_dim - d_head;
+  const auto q = random_vec(d_head, 921 + n_ctx, 0.5f);
+  const auto k = random_vec(n_ctx * kv_dim + 1, 923 + n_ctx, 0.5f);
+  const auto v = random_vec(n_ctx * kv_dim + 1, 927 + n_ctx, 0.5f);
+  std::vector<int8_t> k8(n_ctx * kv_dim), v8(n_ctx * kv_dim);
+  std::vector<float> ks(n_ctx), vs(n_ctx);
+  if (n_ctx > 0) {
+    quantize_rows(k.data(), static_cast<int>(n_ctx), static_cast<int>(kv_dim),
+                  k8.data(), ks.data());
+    quantize_rows(v.data(), static_cast<int>(n_ctx), static_cast<int>(kv_dim),
+                  v8.data(), vs.data());
+  }
+  std::vector<const float*> k_rows(n_ctx, nullptr), v_rows(n_ctx, nullptr);
+  std::vector<const int8_t*> k8_rows(n_ctx, nullptr), v8_rows(n_ctx, nullptr);
+  for (size_t j = 0; j < n_ctx; ++j) {
+    if (j % 2 == 0) {
+      k8_rows[j] = k8.data() + j * kv_dim;
+      v8_rows[j] = v8.data() + j * kv_dim;
+    } else {
+      k_rows[j] = k.data() + j * kv_dim;
+      v_rows[j] = v.data() + j * kv_dim;
+    }
+  }
+  Rng rng(929 + n_ctx);
+  std::vector<uint8_t> masked(n_ctx);
+  for (auto& mv : masked) mv = rng.next_below(4) == 0 ? 1 : 0;
+  if (n_ctx > 0) masked[n_ctx - 1] = 0;
+  std::vector<float> rel(n_ctx);
+  for (size_t j = 0; j < n_ctx; ++j) {
+    rel[j] = static_cast<float>(static_cast<int>(n_ctx - j));
+  }
+  for (const bool use_mask : {false, true}) {
+    for (const bool use_alibi : {false, true}) {
+      std::vector<float> s1(n_ctx), s2(n_ctx), o1(d_head), o2(d_head);
+      attn_fused_q8_gather(q.data(), k8_rows.data(), v8_rows.data(),
+                           ks.data(), vs.data(), k_rows.data(), v_rows.data(),
+                           head_off, d_head, n_ctx, 0.25f, 0.0625f,
+                           use_alibi ? rel.data() : nullptr,
+                           use_mask ? masked.data() : nullptr, s1.data(),
+                           o1.data());
+      ref_q8_attention(q.data(), k8_rows.data(), v8_rows.data(), ks.data(),
+                       vs.data(), k_rows.data(), v_rows.data(), head_off,
+                       d_head, n_ctx, 0.25f, 0.0625f,
+                       use_alibi ? rel.data() : nullptr,
+                       use_mask ? masked.data() : nullptr, s2.data(),
+                       o2.data());
+      for (size_t j = 0; j < n_ctx; ++j) {
+        ASSERT_EQ(s1[j], s2[j])
+            << "slot " << j << " mask=" << use_mask << " alibi=" << use_alibi;
+      }
+      for (size_t e = 0; e < d_head; ++e) {
+        ASSERT_EQ(o1[e], o2[e])
+            << "elem " << e << " mask=" << use_mask << " alibi=" << use_alibi;
+      }
+    }
+  }
+}
+
+TEST_P(FusedAttentionTest, Q8GatherCloseToFp32Attention) {
+  // All slots quantized: the int8-domain result must track the fp32 result
+  // on the original rows within the Q8_0 error budget.
+  const auto [d_head, n_ctx, kv_dim] = GetParam();
+  if (n_ctx == 0) return;
+  const size_t head_off = kv_dim - d_head;
+  const auto q = random_vec(d_head, 941 + n_ctx, 0.5f);
+  const auto k = random_vec(n_ctx * kv_dim + 1, 943 + n_ctx, 0.5f);
+  const auto v = random_vec(n_ctx * kv_dim + 1, 947 + n_ctx, 0.5f);
+  std::vector<int8_t> k8(n_ctx * kv_dim), v8(n_ctx * kv_dim);
+  std::vector<float> ks(n_ctx), vs(n_ctx);
+  quantize_rows(k.data(), static_cast<int>(n_ctx), static_cast<int>(kv_dim),
+                k8.data(), ks.data());
+  quantize_rows(v.data(), static_cast<int>(n_ctx), static_cast<int>(kv_dim),
+                v8.data(), vs.data());
+  std::vector<const float*> k_rows(n_ctx), v_rows(n_ctx);
+  std::vector<const int8_t*> k8_rows(n_ctx), v8_rows(n_ctx);
+  for (size_t j = 0; j < n_ctx; ++j) {
+    k_rows[j] = k.data() + j * kv_dim;
+    v_rows[j] = v.data() + j * kv_dim;
+    k8_rows[j] = k8.data() + j * kv_dim;
+    v8_rows[j] = v8.data() + j * kv_dim;
+  }
+  const std::vector<const float*> null32(n_ctx, nullptr);
+  std::vector<float> s_q8(n_ctx), s_fp(n_ctx), o_q8(d_head), o_fp(d_head);
+  attn_fused_q8_gather(q.data(), k8_rows.data(), v8_rows.data(), ks.data(),
+                       vs.data(), null32.data(), null32.data(), head_off,
+                       d_head, n_ctx, 0.25f, 0.0f, nullptr, nullptr,
+                       s_q8.data(), o_q8.data());
+  attn_fused_gather(q.data(), k_rows.data(), v_rows.data(), head_off, d_head,
+                    n_ctx, 0.25f, 0.0f, nullptr, nullptr, s_fp.data(),
+                    o_fp.data());
+  EXPECT_LE(max_abs_diff_span(o_q8.data(), o_fp.data(), d_head), 0.05f)
+      << "d_head=" << d_head << " n_ctx=" << n_ctx;
+}
+
+TEST(FusedAttention, Q8AllMaskedYieldsZeros) {
+  const size_t d_head = 16, n_ctx = 23;
+  const auto q = random_vec(d_head, 951);
+  const auto k = random_vec(n_ctx * d_head, 953);
+  std::vector<int8_t> k8(n_ctx * d_head), v8(n_ctx * d_head);
+  std::vector<float> ks(n_ctx), vs(n_ctx);
+  quantize_rows(k.data(), static_cast<int>(n_ctx), static_cast<int>(d_head),
+                k8.data(), ks.data());
+  quantize_rows(k.data(), static_cast<int>(n_ctx), static_cast<int>(d_head),
+                v8.data(), vs.data());
+  std::vector<const int8_t*> k8_rows(n_ctx), v8_rows(n_ctx);
+  for (size_t j = 0; j < n_ctx; ++j) {
+    k8_rows[j] = k8.data() + j * d_head;
+    v8_rows[j] = v8.data() + j * d_head;
+  }
+  const std::vector<const float*> null32(n_ctx, nullptr);
+  const std::vector<uint8_t> masked(n_ctx, 1);
+  std::vector<float> scores(n_ctx, 42.0f), out(d_head, 42.0f);
+  attn_fused_q8_gather(q.data(), k8_rows.data(), v8_rows.data(), ks.data(),
+                       vs.data(), null32.data(), null32.data(), 0, d_head,
+                       n_ctx, 1.0f, 0.0f, nullptr, masked.data(),
+                       scores.data(), out.data());
+  for (float x : out) EXPECT_EQ(x, 0.0f);
+  for (float x : scores) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(FusedAttention, Q8EmptyContextYieldsZeros) {
+  const size_t d_head = 8;
+  const auto q = random_vec(d_head, 961);
+  std::vector<float> out(d_head, 42.0f);
+  attn_fused_q8_gather(q.data(), nullptr, nullptr, nullptr, nullptr, nullptr,
+                       nullptr, 0, d_head, 0, 1.0f, 0.0f, nullptr, nullptr,
+                       nullptr, out.data());
   for (float x : out) EXPECT_EQ(x, 0.0f);
 }
 

@@ -149,6 +149,9 @@ TEST(EnginePrefetch, UnionSiblingsArePromoted) {
   const size_t one_module =
       static_cast<size_t>(12) * model.kv_bytes_per_token();
   EngineConfig cfg;
+  // Capacity math assumes fp32 module bytes; pin the precision so a q8
+  // default (PC_KV_FORMAT=q8) doesn't fit every sibling on-device.
+  cfg.precision = StorePrecision::kFp32;
   cfg.device_capacity_bytes = one_module;
   cfg.prefetch_union_siblings = true;
   PromptCacheEngine engine(model, workload.tokenizer(), cfg);

@@ -259,7 +259,11 @@ TEST_P(PropertyTest, CachedEqualsBlockedPrefill) {
   CaseGenerator gen(GetParam());
   const GeneratedCase c = gen.generate();
 
-  PromptCacheEngine engine(model_, tokenizer_);
+  // Bitwise fp32 regression guard: must stay fp32 even when the suite runs
+  // with PC_KV_FORMAT=q8 (quantized retrieval is covered by its own tests).
+  EngineConfig fp32;
+  fp32.precision = StorePrecision::kFp32;
+  PromptCacheEngine engine(model_, tokenizer_, fp32);
   engine.load_schema(c.schema_pml);
   const pml::PromptBinding binding = engine.bind(c.prompt_pml);
 

@@ -111,6 +111,17 @@ TEST_P(SerializeTest, RestoredStatesAreBitwiseEquivalent) {
           }
         }
       }
+    } else if (m.precision == StorePrecision::kQ8) {
+      // Quantized records restore the exact int8 payload and per-row
+      // scales — the int8-domain attention path then reproduces the
+      // pre-save scores bit for bit.
+      ASSERT_EQ(m.kv8_layers.size(), orig->kv8_layers.size());
+      for (size_t l = 0; l < m.kv8_layers.size(); ++l) {
+        EXPECT_EQ(m.kv8_layers[l].k, orig->kv8_layers[l].k) << "layer " << l;
+        EXPECT_EQ(m.kv8_layers[l].v, orig->kv8_layers[l].v) << "layer " << l;
+        EXPECT_EQ(m.kv8_layers[l].k_scales, orig->kv8_layers[l].k_scales);
+        EXPECT_EQ(m.kv8_layers[l].v_scales, orig->kv8_layers[l].v_scales);
+      }
     }
   }
   EXPECT_EQ(read_count, 3u);
@@ -297,6 +308,60 @@ TEST_P(SerializeTest, RecoveryPolicySalvagesTruncatedFile) {
   reference.load_schema(kSchema);
   EXPECT_EQ(reader.serve(kPrompt, answer_options()).tokens,
             reference.serve(kPrompt, answer_options()).tokens);
+  std::remove(path.c_str());
+}
+
+// A snapshot written by an fp32 deployment must load into a quantized
+// (PC_KV_FORMAT=q8) engine: records are converted to Q8_0 at load time, the
+// store holds only int8 payloads, and serving works without re-encoding.
+TEST(SerializeUpgrade, LegacyFp32SnapshotLoadsIntoQ8Engine) {
+  AccuracyWorkload workload(7);
+  Model model = make_induction_model({workload.vocab().size(), 256});
+  constexpr const char* kSchema = R"(
+    <schema name="s">
+      <module name="doc1">w00 w01 q05 a10 a11 . w02</module>
+      <module name="doc2">w03 q06 a12 a13 . w04</module>
+    </schema>)";
+  constexpr const char* kPrompt =
+      R"(<prompt schema="s"><doc1/><doc2/> question: q06</prompt>)";
+  GenerateOptions opts;
+  opts.max_new_tokens = 6;
+  opts.stop_tokens = {workload.stop_token()};
+
+  const std::string path = ::testing::TempDir() + "pc_modules_legacy.bin";
+  {
+    EngineConfig fp32_cfg;
+    fp32_cfg.precision = StorePrecision::kFp32;
+    PromptCacheEngine writer(model, workload.tokenizer(), fp32_cfg);
+    writer.load_schema(kSchema);
+    ASSERT_EQ(writer.save_modules(path), 2u);
+  }
+
+  EngineConfig q8_cfg;
+  q8_cfg.precision = StorePrecision::kQ8;
+  q8_cfg.eager_encode = false;
+  PromptCacheEngine reader(model, workload.tokenizer(), q8_cfg);
+  reader.load_schema(kSchema);
+  EXPECT_EQ(reader.load_modules(path), 2u);
+  EXPECT_EQ(reader.stats().modules_encoded, 0u);
+
+  // Every restored module was upgraded to the engine's resident format.
+  size_t seen = 0;
+  reader.store().for_each([&](const std::string&, const EncodedModule& m,
+                              ModuleLocation) {
+    ++seen;
+    EXPECT_EQ(m.precision, StorePrecision::kQ8);
+    EXPECT_FALSE(m.kv32.has_value()) << "no fp32 payload may stay resident";
+    EXPECT_FALSE(m.kv8_layers.empty());
+  });
+  EXPECT_EQ(seen, 2u);
+  EXPECT_GT(reader.store().resident_bytes_q8(), 0u);
+  EXPECT_EQ(reader.store().resident_bytes_fp32(), 0u);
+
+  const ServeResult r = reader.serve(kPrompt, opts);
+  EXPECT_EQ(r.text, "a12 a13");
+  EXPECT_EQ(reader.stats().modules_encoded, 0u)
+      << "conversion must not trigger re-encoding";
   std::remove(path.c_str());
 }
 

@@ -148,6 +148,52 @@ TEST_F(ZeroCopyTest, ReducedPrecisionStoresAreRejected) {
   engine.release_borrowed_pins();
 }
 
+TEST_F(ZeroCopyTest, Q8ZeroCopyServesExactRetrievalWithoutDequant) {
+  // Quantized modules are borrowed in place and scored in the int8 domain:
+  // retrieval stays exact (the induction gate) and the dequant-on-read
+  // counter stays at zero — no fp32 materialization on the hot path.
+  EngineConfig q8;
+  q8.precision = StorePrecision::kQ8;
+  PromptCacheEngine copy_engine(model_, workload_.tokenizer(), q8);
+  copy_engine.load_schema(kSchema);
+  const ServeResult copied = copy_engine.serve(kPrompt, answer_options());
+  EXPECT_EQ(copied.text, "a12 a13");
+  // The copy path materializes fp32 rows from the q8 payload — and counts
+  // every one of them.
+  EXPECT_GT(copy_engine.store().dequant_rows(), 0u);
+
+  EngineConfig zc = q8;
+  zc.zero_copy = true;
+  PromptCacheEngine zc_engine(model_, workload_.tokenizer(), zc);
+  zc_engine.load_schema(kSchema);
+  const ServeResult borrowed = zc_engine.serve(kPrompt, answer_options());
+  EXPECT_EQ(borrowed.text, "a12 a13");
+  EXPECT_EQ(borrowed.tokens, copied.tokens);
+  EXPECT_GT(borrowed.ttft.bytes_zero_copy, 0u);
+  EXPECT_EQ(borrowed.ttft.bytes_from_host, 0u);
+  EXPECT_EQ(zc_engine.store().dequant_rows(), 0u)
+      << "zero-copy q8 serving must never dequantize";
+}
+
+TEST_F(ZeroCopyTest, Q8StoreResidencyIsTrackedByFormat) {
+  EngineConfig q8;
+  q8.precision = StorePrecision::kQ8;
+  PromptCacheEngine engine(model_, workload_.tokenizer(), q8);
+  engine.load_schema(kSchema);
+  EXPECT_GT(engine.store().resident_bytes_q8(), 0u);
+  EXPECT_EQ(engine.store().resident_bytes_fp32(), 0u);
+
+  EngineConfig fp32;
+  fp32.precision = StorePrecision::kFp32;
+  PromptCacheEngine fp_engine(model_, workload_.tokenizer(), fp32);
+  fp_engine.load_schema(kSchema);
+  EXPECT_EQ(fp_engine.store().resident_bytes_q8(), 0u);
+  EXPECT_GT(fp_engine.store().resident_bytes_fp32(), 0u);
+  // Q8_0 is a quarter of fp32 plus two scales per token-layer.
+  EXPECT_LT(engine.store().resident_bytes_q8(),
+            fp_engine.store().resident_bytes_fp32() * 3 / 10);
+}
+
 TEST_F(ZeroCopyTest, ManyRequestsShareOneModuleCopy) {
   // The batch-sharing picture (§3.4/§6): N concurrent views over the same
   // modules each own only their tail.
