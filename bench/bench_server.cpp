@@ -113,15 +113,15 @@ struct RunResult {
   ServerStats stats;
 };
 
-// One row of the module-storage-format comparison (fp32 vs q8): resident
+// One row of the module-storage-format comparison (fp32/q8/q4): resident
 // footprint of the encoded module set, the modeled host-link time to move
 // it once, and measured serve time over both retrieval paths.
 struct KvFormatResult {
-  std::string format;                // "fp32" or "q8"
+  std::string format;                // "fp32", "q8", or "q4"
   size_t module_resident_bytes = 0;  // encoded module set, resident payload
   double link_transfer_ms = 0;       // modeled: the whole set crossing the link
   double copy_serve_ms = 0;          // mean serve, memcpy/dequantize path
-  double zero_copy_serve_ms = 0;     // mean serve, in-place (int8 for q8) path
+  double zero_copy_serve_ms = 0;     // mean serve, in-place (int8/int4) path
   uint64_t dequant_rows = 0;         // rows dequantized by the copy path
 };
 
@@ -169,7 +169,7 @@ void print_results(const std::vector<RunResult>& runs) {
 }
 
 void print_kv_format_results(const std::vector<KvFormatResult>& runs) {
-  TablePrinter table("module storage format: fp32 vs q8 (Q8_0) residency");
+  TablePrinter table("module storage format: fp32 vs q8 (Q8_0) vs q4 (Q4_0)");
   table.set_header({"format", "resident KB", "link ms", "copy serve",
                     "zero-copy serve", "dequant rows"});
   for (const KvFormatResult& r : runs) {
@@ -358,15 +358,22 @@ void write_json(const std::vector<RunResult>& runs,
 
   // Format acceptance: q8 module storage must shrink the resident module
   // set to <= 30% of fp32 (Q8_0 is ~25% payload plus per-row scales), and
-  // its modeled link transfer must shrink accordingly.
-  size_t fp32_resident = 0, q8_resident = 0;
+  // q4 to <= 16% (Q4_0 is 12.5% payload plus one fp32 scale per 32-value
+  // block; exactly 20 bytes per block vs 128 fp32 bytes, so the bound holds
+  // with a little margin for final-block padding when kv_dim is not a
+  // multiple of 32).
+  size_t fp32_resident = 0, q8_resident = 0, q4_resident = 0;
   for (const KvFormatResult& r : kv_format_runs) {
     if (r.format == "fp32") fp32_resident = r.module_resident_bytes;
     if (r.format == "q8") q8_resident = r.module_resident_bytes;
+    if (r.format == "q4") q4_resident = r.module_resident_bytes;
   }
   const bool q8_resident_le_30pct =
       fp32_resident > 0 &&
       static_cast<double>(q8_resident) <= 0.30 * static_cast<double>(fp32_resident);
+  const bool q4_resident_le_16pct =
+      fp32_resident > 0 &&
+      static_cast<double>(q4_resident) <= 0.16 * static_cast<double>(fp32_resident);
 
   out << "  ],\n  \"kv_format\": [\n";
   for (size_t i = 0; i < kv_format_runs.size(); ++i) {
@@ -426,6 +433,8 @@ void write_json(const std::vector<RunResult>& runs,
       << (shared_kv_modules_below_private ? "true" : "false") << ",\n"
       << "    \"kv_format_q8_resident_le_30pct_of_fp32\": "
       << (q8_resident_le_30pct ? "true" : "false") << ",\n"
+      << "    \"kv_format_q4_resident_le_16pct_of_fp32\": "
+      << (q4_resident_le_16pct ? "true" : "false") << ",\n"
       << "    \"fault_availability_is_full\": "
       << (fault_availability_full ? "true" : "false") << ",\n"
       << "    \"degraded_count_monotone_in_fault_rate\": "
@@ -544,20 +553,21 @@ int main(int argc, char** argv) {
             << " + bytes_from_host/8GBps\n\n";
 
   // Module-storage-format comparison: the same schema and prompt mix under
-  // fp32 and q8 (Q8_0) module storage. Measures the resident footprint of
-  // the encoded module set, the modeled host-link time to move it once
-  // (transfer is charged on stored — i.e. quantized — bytes), and mean
-  // serve time on both retrieval paths: the memcpy path (which dequantizes
-  // q8 rows on read, counted by pc_store_dequant_rows_total) and the
-  // zero-copy path (which scores q8 rows in the int8 domain, dequantizing
-  // nothing).
+  // fp32, q8 (Q8_0), and q4 (Q4_0) module storage. Measures the resident
+  // footprint of the encoded module set, the modeled host-link time to move
+  // it once (transfer is charged on stored — i.e. quantized — bytes), and
+  // mean serve time on both retrieval paths: the memcpy path (which
+  // dequantizes quantized rows on read, counted by
+  // pc_store_dequant_rows_total) and the zero-copy path (which scores
+  // quantized rows in the integer domain, dequantizing nothing).
   std::vector<KvFormatResult> kv_format_runs;
-  for (const char* fmt : {"fp32", "q8"}) {
+  for (const char* fmt : {"fp32", "q8", "q4"}) {
     KvFormatResult run;
     run.format = fmt;
     EngineConfig ecfg;
-    ecfg.precision = std::string(fmt) == "q8" ? StorePrecision::kQ8
-                                              : StorePrecision::kFp32;
+    ecfg.precision = std::string(fmt) == "q8"   ? StorePrecision::kQ8
+                     : std::string(fmt) == "q4" ? StorePrecision::kQ4
+                                                : StorePrecision::kFp32;
     {
       PromptCacheEngine copy_engine(model, workload.tokenizer(), ecfg);
       copy_engine.load_schema(schema);

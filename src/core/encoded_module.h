@@ -18,7 +18,7 @@
 
 namespace pc {
 
-enum class StorePrecision { kFp32, kFp16, kQ8 };
+enum class StorePrecision { kFp32, kFp16, kQ8, kQ4 };
 
 struct EncodedModule {
   // Exactly one payload is held, matching `precision`.
@@ -30,8 +30,9 @@ struct EncodedModule {
   };
   std::vector<F16Layer> kv16_layers;  // [n_layers][n_tokens * kv_dim]
   std::vector<Q8Layer> kv8_layers;    // [n_layers]
+  std::vector<Q4Layer> kv4_layers;    // [n_layers]
 
-  std::vector<int> pos_ids;  // used with fp16/q8 payloads
+  std::vector<int> pos_ids;  // used with fp16/q8/q4 payloads
 
   StorePrecision precision = StorePrecision::kFp32;
   int n_tokens = 0;
@@ -67,6 +68,12 @@ struct EncodedModule {
         // int8 payload + one fp32 scale per row (K and V) per layer.
         return kv_elems * sizeof(int8_t) +
                static_cast<size_t>(2) * n_layers * sizeof(float);
+      case StorePrecision::kQ4:
+        // Packed nibbles + one fp32 scale per 32-value block (K and V rows)
+        // per layer.
+        return static_cast<size_t>(2) * n_layers * q4_row_bytes(kv_dim) +
+               static_cast<size_t>(2) * n_layers * q4_blocks(kv_dim) *
+                   sizeof(float);
     }
     return 0;
   }

@@ -6,6 +6,7 @@
 #include <set>
 #include <string_view>
 
+#include "common/logging.h"
 #include "common/timer.h"
 #include "core/serialize.h"
 #include "obs/trace.h"
@@ -18,10 +19,12 @@ StorePrecision default_store_precision() {
   const char* fmt = std::getenv("PC_KV_FORMAT");
   if (fmt == nullptr) return StorePrecision::kFp32;
   const std::string_view v(fmt);
+  if (v == "q4") return StorePrecision::kQ4;
   if (v == "q8") return StorePrecision::kQ8;
   if (v == "fp16") return StorePrecision::kFp16;
   PC_CHECK_MSG(v.empty() || v == "fp32",
-               "PC_KV_FORMAT must be q8, fp16, or fp32 (got '" << fmt << "')");
+               "PC_KV_FORMAT must be q4, q8, fp16, or fp32 (got '" << fmt
+                                                                   << "')");
   return StorePrecision::kFp32;
 }
 
@@ -75,13 +78,38 @@ UncachedStream collect_uncached(const pml::PromptBinding& binding) {
   return out;
 }
 
+namespace {
+
+// Q4_0 attention requires every head's K/V slice to start on a 32-value
+// block boundary (head_off % 32 == 0): that holds when d_head is a multiple
+// of kQ4BlockSize, or when the model has a single KV head (head_off is then
+// always 0). A model outside that geometry falls back to Q8_0 at engine
+// construction instead of failing inside the attention kernel at serve
+// time. Every preset model (sys/model_spec.h) satisfies the constraint, so
+// this is a safety net for custom configs.
+EngineConfig resolve_precision(const Model& model, EngineConfig config) {
+  if (config.precision == StorePrecision::kQ4 &&
+      model.config().d_head % kQ4BlockSize != 0 &&
+      model.config().n_kv_heads != 1) {
+    PC_LOG_WARN << "q4 module storage needs d_head % 32 == 0 or a single "
+                   "KV head (d_head="
+                << model.config().d_head
+                << ", n_kv_heads=" << model.config().n_kv_heads
+                << "); falling back to q8";
+    config.precision = StorePrecision::kQ8;
+  }
+  return config;
+}
+
+}  // namespace
+
 PromptCacheEngine::PromptCacheEngine(const Model& model,
                                      const TextTokenizer& tokenizer,
                                      EngineConfig config)
     : model_(model),
       tokenizer_(tokenizer),
       chat_template_(model.config().chat_template),
-      config_(config),
+      config_(resolve_precision(model, config)),
       store_(config.device_capacity_bytes, config.host_capacity_bytes) {}
 
 PromptCacheEngine::PromptCacheEngine(const Model& model,
@@ -91,7 +119,7 @@ PromptCacheEngine::PromptCacheEngine(const Model& model,
     : model_(model),
       tokenizer_(tokenizer),
       chat_template_(model.config().chat_template),
-      config_(config),
+      config_(resolve_precision(model, config)),
       store_(0, 0),
       shared_(&shared_store) {}
 
@@ -200,6 +228,36 @@ void quantize_module_in_place(EncodedModule& m) {
   m.precision = StorePrecision::kQ8;
 }
 
+// Q4_0 sibling of quantize_module_in_place: re-encodes an fp32 payload as
+// blocked 4-bit (finalize_encoding's kQ4 packaging, also applied to legacy
+// fp32 records loaded into a q4 store).
+void quantize_module_q4_in_place(EncodedModule& m) {
+  PC_CHECK_MSG(m.precision == StorePrecision::kFp32 && m.kv32.has_value(),
+               "quantize_module_q4_in_place needs an fp32 payload");
+  const KVCache& kv = *m.kv32;
+  m.pos_ids = kv.pos_ids();
+  m.kv4_layers.resize(static_cast<size_t>(kv.n_layers()));
+  const int width = kv.kv_dim();
+  const size_t row_bytes = q4_row_bytes(width);
+  const size_t blocks = static_cast<size_t>(q4_blocks(width));
+  const size_t n_tokens = static_cast<size_t>(kv.size());
+  for (int l = 0; l < kv.n_layers(); ++l) {
+    Q4Layer& layer = m.kv4_layers[static_cast<size_t>(l)];
+    layer.k.resize(n_tokens * row_bytes);
+    layer.v.resize(n_tokens * row_bytes);
+    layer.k_scales.resize(n_tokens * blocks);
+    layer.v_scales.resize(n_tokens * blocks);
+    if (kv.size() > 0) {
+      quantize_rows_q4(kv.k_row(l, 0), kv.size(), width, layer.k.data(),
+                       layer.k_scales.data());
+      quantize_rows_q4(kv.v_row(l, 0), kv.size(), width, layer.v.data(),
+                       layer.v_scales.data());
+    }
+  }
+  m.kv32.reset();
+  m.precision = StorePrecision::kQ4;
+}
+
 }  // namespace
 
 EncodedModule PromptCacheEngine::finalize_encoding(
@@ -251,6 +309,12 @@ EncodedModule PromptCacheEngine::finalize_encoding(
       m.precision = StorePrecision::kFp32;
       m.kv32 = std::move(kv);
       quantize_module_in_place(m);
+      return m;
+    }
+    case StorePrecision::kQ4: {
+      m.precision = StorePrecision::kFp32;
+      m.kv32 = std::move(kv);
+      quantize_module_q4_in_place(m);
       return m;
     }
   }
@@ -459,6 +523,32 @@ void PromptCacheEngine::append_text_rows(const EncodedModule& module,
                            : store_.note_dequant_rows(rows);
         break;
       }
+      case StorePrecision::kQ4: {
+        const int first = sequence_cache.append_tokens(std::span<const int>(
+            module.pos_ids.data() + begin, static_cast<size_t>(end - begin)));
+        const size_t row_bytes = q4_row_bytes(module.kv_dim);
+        const size_t blocks = static_cast<size_t>(q4_blocks(module.kv_dim));
+        for (int l = 0; l < module.n_layers; ++l) {
+          const Q4Layer& layer = module.kv4_layers[static_cast<size_t>(l)];
+          for (int t = begin; t < end; ++t) {
+            const size_t off = static_cast<size_t>(t) * row_bytes;
+            const size_t soff = static_cast<size_t>(t) * blocks;
+            dequantize_row_q4(layer.k.data() + off,
+                              layer.k_scales.data() + soff, module.kv_dim,
+                              sequence_cache.k_row(l, first + (t - begin)));
+            dequantize_row_q4(layer.v.data() + off,
+                              layer.v_scales.data() + soff, module.kv_dim,
+                              sequence_cache.v_row(l, first + (t - begin)));
+          }
+        }
+        // Same accounting as q8: only the copy path ever dequantizes.
+        const uint64_t rows = static_cast<uint64_t>(2) *
+                              static_cast<uint64_t>(module.n_layers) *
+                              static_cast<uint64_t>(end - begin);
+        shared_ != nullptr ? shared_->note_dequant_rows(rows)
+                           : store_.note_dequant_rows(rows);
+        break;
+      }
     }
     if (ttft != nullptr) {
       const size_t bytes =
@@ -612,8 +702,9 @@ Tensor PromptCacheEngine::assemble_and_prefill(
         [&](const std::string& key, const EncodedModule& m, ModuleLocation) {
           PC_CHECK_MSG(
               m.precision == StorePrecision::kFp32 ||
-                  m.precision == StorePrecision::kQ8,
-              "zero-copy serving requires kFp32 or kQ8 module storage "
+                  m.precision == StorePrecision::kQ8 ||
+                  m.precision == StorePrecision::kQ4,
+              "zero-copy serving requires kFp32, kQ8, or kQ4 module storage "
               "(module '"
                   << key << "' is stored as fp16, which has no in-place "
                   << "attention kernel)");
@@ -631,6 +722,11 @@ Tensor PromptCacheEngine::assemble_and_prefill(
               // in the int8 domain (attn_fused_q8_gather), so nothing is
               // dequantized, copied, or converted on this path.
               view.append_borrowed_q8(m.kv8_layers, m.pos_ids, begin, end);
+            } else if (m.precision == StorePrecision::kQ4) {
+              // Q4 rows are borrowed as packed nibbles + per-block scales;
+              // attention scores them block-wise in the integer domain
+              // (attn_fused_q4_gather) — nothing dequantized here either.
+              view.append_borrowed_q4(m.kv4_layers, m.pos_ids, begin, end);
             } else {
               view.append_borrowed(*m.kv32, begin, end);
             }
@@ -949,13 +1045,16 @@ PromptCacheEngine::LoadReport PromptCacheEngine::load_modules(
       continue;
     }
     if (!have) break;
-    // A legacy fp32 record loaded into a quantized engine is re-encoded as
-    // Q8_0 on the way in, so the store never holds mixed-format payloads
-    // and downstream paths (zero-copy borrow, paged sharing, footprint
-    // accounting) see the engine's configured format.
+    // A legacy fp32 record loaded into a quantized engine is re-encoded in
+    // the engine's format on the way in, so the store never holds
+    // mixed-format payloads and downstream paths (zero-copy borrow, paged
+    // sharing, footprint accounting) see the engine's configured format.
     if (config_.precision == StorePrecision::kQ8 &&
         module.precision == StorePrecision::kFp32) {
       quantize_module_in_place(module);
+    } else if (config_.precision == StorePrecision::kQ4 &&
+               module.precision == StorePrecision::kFp32) {
+      quantize_module_q4_in_place(module);
     }
     if (shared_ != nullptr) {
       shared_->insert(key, std::move(module));

@@ -50,20 +50,23 @@
 namespace pc {
 
 // Process default for EngineConfig::precision, from the PC_KV_FORMAT
-// environment variable: "q8" selects Q8_0 module storage, "fp16" half
-// floats, "fp32" (or unset) the engine's native states. Read on every call
-// so tests can flip the variable between engine constructions. Throws
-// pc::Error on an unrecognized value.
+// environment variable: "q4" selects Q4_0 (blocked 4-bit) module storage,
+// "q8" Q8_0, "fp16" half floats, "fp32" (or unset) the engine's native
+// states. Read on every call so tests can flip the variable between engine
+// constructions. Throws pc::Error on an unrecognized value.
 StorePrecision default_store_precision();
 
 struct EngineConfig {
   size_t device_capacity_bytes = 0;  // 0 = unlimited (simulated GPU HBM tier)
   size_t host_capacity_bytes = 0;    // 0 = unlimited (host DRAM tier)
-  // Module storage precision (§5.5): fp16 halves and int8 quarters the
-  // resident footprint. fp16 converts back to fp32 during retrieval; q8
-  // modules stay int8 end-to-end on the zero-copy and paged serve paths
-  // (attention scores them in the int8 domain) and dequantize on read only
-  // on the copy path.
+  // Module storage precision (§5.5): fp16 halves, int8 quarters, and
+  // blocked 4-bit (q4) roughly eighths the resident footprint. fp16
+  // converts back to fp32 during retrieval; q8/q4 modules stay quantized
+  // end-to-end on the zero-copy and paged serve paths (attention scores
+  // them in the integer domain) and dequantize on read only on the copy
+  // path. A q4 engine on a model whose head geometry the q4 kernel cannot
+  // serve (d_head not a multiple of 32 with several KV heads) falls back
+  // to q8 at construction.
   StorePrecision precision = default_store_precision();
   bool eager_encode = true;  // encode all modules at schema load
   // Union-sibling prefetch (§3.2.3): after serving a prompt that used a
@@ -73,8 +76,9 @@ struct EngineConfig {
   // Zero-copy serving (§6 direction: share attention states across
   // requests): the per-request cache borrows module rows from the store
   // instead of copying them; only uncached/generated rows are owned.
-  // Requires kFp32 or kQ8 precision (borrowed rows are read in place; q8
-  // rows are scored in the int8 domain, never materialized as fp32).
+  // Requires kFp32, kQ8, or kQ4 precision (borrowed rows are read in
+  // place; quantized rows are scored in the integer domain, never
+  // materialized as fp32).
   bool zero_copy = false;
   // Owned-tail headroom for zero-copy serving beyond the request's
   // max_new_tokens (kickoff token, rounding).

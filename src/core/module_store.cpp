@@ -25,6 +25,8 @@ ModuleStoreCells::ModuleStoreCells() {
       "resident bytes in unquantized (fp32/fp16) module payloads");
   resident_bytes_q8 = reg.gauge("pc_store_resident_bytes_q8",
                                 "resident bytes in Q8_0 module payloads");
+  resident_bytes_q4 = reg.gauge("pc_store_resident_bytes_q4",
+                                "resident bytes in Q4_0 module payloads");
   pinned_entries =
       reg.gauge("pc_store_pinned_entries", "entries exempt from eviction");
 }
@@ -125,7 +127,9 @@ bool ModuleStore::promote(const std::string& key, ModuleLocation target) {
 void ModuleStore::insert(const std::string& key, EncodedModule module) {
   erase(key);  // replace semantics
   const size_t bytes = module.payload_bytes();
-  const bool q8 = module.precision == StorePrecision::kQ8;
+  size_t* bucket = &resident_fp32_bytes_;
+  if (module.precision == StorePrecision::kQ8) bucket = &resident_q8_bytes_;
+  if (module.precision == StorePrecision::kQ4) bucket = &resident_q4_bytes_;
 
   // Placement: free device space, then free host space (spilling keeps
   // every module resident, paper §4.1), and only then evict — device tier
@@ -144,7 +148,7 @@ void ModuleStore::insert(const std::string& key, EncodedModule module) {
                      " bytes) does not fit in any memory tier");
   }
   tiers_.charge(loc, bytes);
-  (q8 ? resident_q8_bytes_ : resident_fp32_bytes_) += bytes;
+  *bucket += bytes;
 
   lru_.push_front(key);
   Entry e{std::move(module), loc, /*pinned=*/false, lru_.begin()};
@@ -158,9 +162,17 @@ void ModuleStore::erase(const std::string& key) {
   if (it == entries_.end()) return;
   const size_t bytes = it->second.module.payload_bytes();
   tiers_.credit(it->second.location, bytes);
-  (it->second.module.precision == StorePrecision::kQ8 ? resident_q8_bytes_
-                                                      : resident_fp32_bytes_) -=
-      bytes;
+  switch (it->second.module.precision) {
+    case StorePrecision::kQ8:
+      resident_q8_bytes_ -= bytes;
+      break;
+    case StorePrecision::kQ4:
+      resident_q4_bytes_ -= bytes;
+      break;
+    default:
+      resident_fp32_bytes_ -= bytes;
+      break;
+  }
   if (it->second.pinned) cells_.pinned_entries.sub(1);
   lru_.erase(it->second.lru_it);
   entries_.erase(it);
@@ -173,6 +185,7 @@ void ModuleStore::sync_resident_gauge() {
       tiers_.usage(ModuleLocation::kHostMemory).used_bytes));
   cells_.resident_bytes_fp32.set(static_cast<int64_t>(resident_fp32_bytes_));
   cells_.resident_bytes_q8.set(static_cast<int64_t>(resident_q8_bytes_));
+  cells_.resident_bytes_q4.set(static_cast<int64_t>(resident_q4_bytes_));
 }
 
 void ModuleStore::clear() {

@@ -45,15 +45,17 @@ struct ModuleStoreCells {
   obs::Counter evictions;
   obs::Counter demotions;
   obs::Counter promotions;
-  // Rows converted int8 -> fp32 at retrieval time (the copy path's
-  // dequantize-on-read; the zero-copy/paged paths never dequantize modules
-  // and so never bump this).
+  // Rows converted from a quantized payload (q8 or q4) to fp32 at
+  // retrieval time (the copy path's dequantize-on-read; the zero-copy/paged
+  // paths never dequantize modules and so never bump this).
   obs::Counter dequant_rows;   // pc_store_dequant_rows_total
   obs::Gauge resident_bytes;   // pc_store_resident_bytes
-  // resident_bytes split by payload format: q8 counts Q8_0 modules,
-  // fp32 counts everything unquantized (fp32 and fp16 payloads).
+  // resident_bytes split by payload format: q8 counts Q8_0 modules, q4
+  // counts Q4_0 modules, fp32 counts everything unquantized (fp32 and fp16
+  // payloads).
   obs::Gauge resident_bytes_fp32;  // pc_store_resident_bytes_fp32
   obs::Gauge resident_bytes_q8;    // pc_store_resident_bytes_q8
+  obs::Gauge resident_bytes_q4;    // pc_store_resident_bytes_q4
   obs::Gauge pinned_entries;   // pc_store_pinned_entries
 
   ModuleStoreStats snapshot() const {
@@ -123,8 +125,9 @@ class ModuleStore {
   void note_dequant_rows(uint64_t n) { cells_.dequant_rows.inc(n); }
   uint64_t dequant_rows() const { return cells_.dequant_rows.value(); }
   // Resident payload split by format (mirrors the pc_store_resident_bytes_*
-  // gauges; q8 = Q8_0 modules, fp32 = unquantized fp32/fp16 payloads).
+  // gauges; q8 = Q8_0, q4 = Q4_0, fp32 = unquantized fp32/fp16 payloads).
   size_t resident_bytes_q8() const { return resident_q8_bytes_; }
+  size_t resident_bytes_q4() const { return resident_q4_bytes_; }
   size_t resident_bytes_fp32() const { return resident_fp32_bytes_; }
 
  private:
@@ -151,6 +154,7 @@ class ModuleStore {
   // allocator tracks placement, not format).
   size_t resident_fp32_bytes_ = 0;
   size_t resident_q8_bytes_ = 0;
+  size_t resident_q4_bytes_ = 0;
 };
 
 }  // namespace pc

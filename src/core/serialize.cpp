@@ -185,6 +185,15 @@ void write_module_record(std::ostream& os, const std::string& key,
         w.vec(layer.v_scales);
       }
       break;
+    case StorePrecision::kQ4:
+      w.vec(m.pos_ids);
+      for (const auto& layer : m.kv4_layers) {
+        w.vec(layer.k);
+        w.vec(layer.v);
+        w.vec(layer.k_scales);
+        w.vec(layer.v_scales);
+      }
+      break;
   }
 
   const uint64_t checksum = w.hash();
@@ -208,7 +217,8 @@ bool read_module_record(std::istream& is, std::string* key,
   m.precision = static_cast<StorePrecision>(r.pod<uint8_t>());
   if (m.precision != StorePrecision::kFp32 &&
       m.precision != StorePrecision::kFp16 &&
-      m.precision != StorePrecision::kQ8) {
+      m.precision != StorePrecision::kQ8 &&
+      m.precision != StorePrecision::kQ4) {
     throw Error("module deserialization: unknown precision");
   }
   m.n_tokens = r.pod<int32_t>();
@@ -281,6 +291,27 @@ bool read_module_record(std::istream& is, std::string* key,
         }
       }
       break;
+    case StorePrecision::kQ4: {
+      m.pos_ids = r.vec<int>();
+      const size_t packed_bytes =
+          q4_row_bytes(m.kv_dim) * static_cast<size_t>(m.n_tokens);
+      const size_t scale_elems = static_cast<size_t>(q4_blocks(m.kv_dim)) *
+                                 static_cast<size_t>(m.n_tokens);
+      m.kv4_layers.resize(static_cast<size_t>(m.n_layers));
+      for (auto& layer : m.kv4_layers) {
+        layer.k = r.vec<uint8_t>();
+        layer.v = r.vec<uint8_t>();
+        layer.k_scales = r.vec<float>();
+        layer.v_scales = r.vec<float>();
+        if (layer.k.size() != packed_bytes ||
+            layer.v.size() != packed_bytes ||
+            layer.k_scales.size() != scale_elems ||
+            layer.v_scales.size() != scale_elems) {
+          throw Error("module deserialization: q4 payload size mismatch");
+        }
+      }
+      break;
+    }
   }
 
   const uint64_t computed = r.hash();

@@ -164,12 +164,16 @@ ModuleLocation SharedModuleStore::place_locked(
                      " bytes) does not fit in any memory tier shard");
   }
   s.tiers.charge(loc, bytes);
-  const bool q8 = module->precision == StorePrecision::kQ8;
+  obs::Gauge* format_gauge = &cells_.resident_bytes_fp32;
+  if (module->precision == StorePrecision::kQ8) {
+    format_gauge = &cells_.resident_bytes_q8;
+  } else if (module->precision == StorePrecision::kQ4) {
+    format_gauge = &cells_.resident_bytes_q4;
+  }
   s.entries.emplace(key, Entry{std::move(module), loc, pins, tick()});
   cells_.insertions.inc();
   cells_.resident_bytes.add(static_cast<int64_t>(bytes));
-  (q8 ? cells_.resident_bytes_q8 : cells_.resident_bytes_fp32)
-      .add(static_cast<int64_t>(bytes));
+  format_gauge->add(static_cast<int64_t>(bytes));
   if (pins > 0) cells_.pinned_entries.add(1);
   return loc;
 }
@@ -212,10 +216,13 @@ void SharedModuleStore::erase_locked(
   const size_t bytes = it->second.module->payload_bytes();
   s.tiers.credit(it->second.location, bytes);
   cells_.resident_bytes.sub(static_cast<int64_t>(bytes));
-  (it->second.module->precision == StorePrecision::kQ8
-       ? cells_.resident_bytes_q8
-       : cells_.resident_bytes_fp32)
-      .sub(static_cast<int64_t>(bytes));
+  obs::Gauge* format_gauge = &cells_.resident_bytes_fp32;
+  if (it->second.module->precision == StorePrecision::kQ8) {
+    format_gauge = &cells_.resident_bytes_q8;
+  } else if (it->second.module->precision == StorePrecision::kQ4) {
+    format_gauge = &cells_.resident_bytes_q4;
+  }
+  format_gauge->sub(static_cast<int64_t>(bytes));
   if (it->second.pin_count > 0) cells_.pinned_entries.sub(1);
   s.entries.erase(it);
 }

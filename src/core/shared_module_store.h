@@ -157,9 +157,13 @@ class SharedModuleStore {
   void note_dequant_rows(uint64_t n) { cells_.dequant_rows.inc(n); }
   uint64_t dequant_rows() const { return cells_.dequant_rows.value(); }
   // Resident payload split by format (mirrors the pc_store_resident_bytes_*
-  // gauges; q8 = Q8_0 modules, fp32 = unquantized fp32/fp16 payloads).
+  // gauges; q8 = Q8_0 modules, q4 = Q4_0 modules, fp32 = unquantized
+  // fp32/fp16 payloads).
   size_t resident_bytes_q8() const {
     return static_cast<size_t>(cells_.resident_bytes_q8.value());
+  }
+  size_t resident_bytes_q4() const {
+    return static_cast<size_t>(cells_.resident_bytes_q4.value());
   }
   size_t resident_bytes_fp32() const {
     return static_cast<size_t>(cells_.resident_bytes_fp32.value());

@@ -68,6 +68,7 @@ class SegmentedKVCache {
     }
     for (int t = begin; t < end; ++t) pos_ids_.push_back(src.pos_id(t));
     if (has_q8_) push_null_q8(static_cast<size_t>(end - begin));
+    if (has_q4_) push_null_q4(static_cast<size_t>(end - begin));
     borrowed_tokens_ += end - begin;
   }
 
@@ -108,6 +109,49 @@ class SegmentedKVCache {
     for (int t = begin; t < end; ++t) {
       pos_ids_.push_back(src_pos[static_cast<size_t>(t)]);
     }
+    if (has_q4_) push_null_q4(static_cast<size_t>(end - begin));
+    borrowed_tokens_ += end - begin;
+  }
+
+  // Borrows tokens [begin, end) of a module's Q4_0 payload by reference —
+  // one format below append_borrowed_q8. The packed nibble rows and their
+  // per-block scale arrays stay exactly where the module store holds them
+  // (zero copy, no dequantization); attention over these slots runs in the
+  // int4 domain via attn_fused_q4_gather. `layers` must outlive the view.
+  void append_borrowed_q4(const std::vector<Q4Layer>& layers,
+                          std::span<const int> src_pos, int begin, int end) {
+    PC_CHECK_MSG(static_cast<int>(layers.size()) == n_layers_,
+                 "borrowed q4 segment layer-count mismatch");
+    PC_CHECK(begin >= 0 && begin <= end &&
+             end <= static_cast<int>(src_pos.size()));
+    PC_CHECK_MSG(tail_.size() == 0,
+                 "segments must be borrowed before any owned appends");
+    enable_q4();
+    const size_t row_bytes = q4_row_bytes(kv_dim_);
+    const size_t blocks = static_cast<size_t>(q4_blocks(kv_dim_));
+    for (int l = 0; l < n_layers_; ++l) {
+      const Q4Layer& src = layers[static_cast<size_t>(l)];
+      auto& kt = k4_rows_[static_cast<size_t>(l)];
+      auto& vt = v4_rows_[static_cast<size_t>(l)];
+      auto& ks = k4_scales_[static_cast<size_t>(l)];
+      auto& vs = v4_scales_[static_cast<size_t>(l)];
+      for (int t = begin; t < end; ++t) {
+        kt.push_back(src.k.data() + static_cast<size_t>(t) * row_bytes);
+        vt.push_back(src.v.data() + static_cast<size_t>(t) * row_bytes);
+        ks.push_back(src.k_scales.data() + static_cast<size_t>(t) * blocks);
+        vs.push_back(src.v_scales.data() + static_cast<size_t>(t) * blocks);
+      }
+      k_rows_[static_cast<size_t>(l)].insert(
+          k_rows_[static_cast<size_t>(l)].end(),
+          static_cast<size_t>(end - begin), nullptr);
+      v_rows_[static_cast<size_t>(l)].insert(
+          v_rows_[static_cast<size_t>(l)].end(),
+          static_cast<size_t>(end - begin), nullptr);
+    }
+    for (int t = begin; t < end; ++t) {
+      pos_ids_.push_back(src_pos[static_cast<size_t>(t)]);
+    }
+    if (has_q8_) push_null_q8(static_cast<size_t>(end - begin));
     borrowed_tokens_ += end - begin;
   }
 
@@ -128,6 +172,7 @@ class SegmentedKVCache {
       pos_ids_.push_back(new_pos_ids[i]);
     }
     if (has_q8_) push_null_q8(new_pos_ids.size());
+    if (has_q4_) push_null_q4(new_pos_ids.size());
     return size() - static_cast<int>(new_pos_ids.size());
   }
 
@@ -167,6 +212,27 @@ class SegmentedKVCache {
   const float* v_scale_table(int layer) const {
     PC_CHECK_MSG(has_q8_, "no q8 rows in this view");
     return v_scales_[checked_layer(layer)].data();
+  }
+
+  // Whether any borrowed row is Q4_0; if so attention must use
+  // attn_fused_q4_gather with the four tables below. Unlike q8, the scale
+  // tables hold POINTERS (each row has a per-block scale array).
+  bool has_q4() const { return has_q4_; }
+  const uint8_t* const* k4_row_table(int layer) const {
+    PC_CHECK_MSG(has_q4_, "no q4 rows in this view");
+    return k4_rows_[checked_layer(layer)].data();
+  }
+  const uint8_t* const* v4_row_table(int layer) const {
+    PC_CHECK_MSG(has_q4_, "no q4 rows in this view");
+    return v4_rows_[checked_layer(layer)].data();
+  }
+  const float* const* k4_scale_table(int layer) const {
+    PC_CHECK_MSG(has_q4_, "no q4 rows in this view");
+    return k4_scales_[checked_layer(layer)].data();
+  }
+  const float* const* v4_scale_table(int layer) const {
+    PC_CHECK_MSG(has_q4_, "no q4 rows in this view");
+    return v4_scales_[checked_layer(layer)].data();
   }
 
   // Writable access — owned tail rows only.
@@ -229,20 +295,56 @@ class SegmentedKVCache {
     }
   }
 
+  // q4 analog of enable_q8/push_null_q8.
+  void enable_q4() {
+    if (has_q4_) return;
+    has_q4_ = true;
+    const size_t n = pos_ids_.size();
+    k4_rows_.assign(static_cast<size_t>(n_layers_), {});
+    v4_rows_.assign(static_cast<size_t>(n_layers_), {});
+    k4_scales_.assign(static_cast<size_t>(n_layers_), {});
+    v4_scales_.assign(static_cast<size_t>(n_layers_), {});
+    for (int l = 0; l < n_layers_; ++l) {
+      k4_rows_[static_cast<size_t>(l)].assign(n, nullptr);
+      v4_rows_[static_cast<size_t>(l)].assign(n, nullptr);
+      k4_scales_[static_cast<size_t>(l)].assign(n, nullptr);
+      v4_scales_[static_cast<size_t>(l)].assign(n, nullptr);
+    }
+  }
+
+  void push_null_q4(size_t n) {
+    for (int l = 0; l < n_layers_; ++l) {
+      k4_rows_[static_cast<size_t>(l)].insert(
+          k4_rows_[static_cast<size_t>(l)].end(), n, nullptr);
+      v4_rows_[static_cast<size_t>(l)].insert(
+          v4_rows_[static_cast<size_t>(l)].end(), n, nullptr);
+      k4_scales_[static_cast<size_t>(l)].insert(
+          k4_scales_[static_cast<size_t>(l)].end(), n, nullptr);
+      v4_scales_[static_cast<size_t>(l)].insert(
+          v4_scales_[static_cast<size_t>(l)].end(), n, nullptr);
+    }
+  }
+
   int n_layers_;
   int kv_dim_;
   int tail_capacity_;
   int borrowed_tokens_ = 0;
   bool has_q8_ = false;
+  bool has_q4_ = false;
   KVCache tail_;
   std::vector<std::vector<const float*>> k_rows_;  // [layer][token]
   std::vector<std::vector<const float*>> v_rows_;
-  // Mixed-format tables, index-aligned with the fp32 tables when has_q8_:
-  // exactly one of k_rows_[l][t] / k8_rows_[l][t] is non-null per token.
+  // Mixed-format tables, index-aligned with the fp32 tables when enabled:
+  // exactly one of k_rows_[l][t] / k8_rows_[l][t] / k4_rows_[l][t] is
+  // non-null per token.
   std::vector<std::vector<const int8_t*>> k8_rows_;
   std::vector<std::vector<const int8_t*>> v8_rows_;
   std::vector<std::vector<float>> k_scales_;  // [layer][token], 0 for fp32
   std::vector<std::vector<float>> v_scales_;
+  std::vector<std::vector<const uint8_t*>> k4_rows_;   // packed Q4_0 rows
+  std::vector<std::vector<const uint8_t*>> v4_rows_;
+  std::vector<std::vector<const float*>> k4_scales_;   // per-block arrays
+  std::vector<std::vector<const float*>> v4_scales_;
   std::vector<int> pos_ids_;
 };
 

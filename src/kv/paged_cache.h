@@ -65,15 +65,20 @@ class PagedKVCache {
         packed_(other.packed_),
         tail_page_(other.tail_page_),
         tail_used_(other.tail_used_),
-        tail_q8_(other.tail_q8_),
+        tail_kind_(other.tail_kind_),
         has_q8_(other.has_q8_),
+        has_q4_(other.has_q4_),
         pos_ids_(std::move(other.pos_ids_)),
         k_rows_(std::move(other.k_rows_)),
         v_rows_(std::move(other.v_rows_)),
         k8_rows_(std::move(other.k8_rows_)),
         v8_rows_(std::move(other.v8_rows_)),
         k_scales_(std::move(other.k_scales_)),
-        v_scales_(std::move(other.v_scales_)) {
+        v_scales_(std::move(other.v_scales_)),
+        k4_rows_(std::move(other.k4_rows_)),
+        v4_rows_(std::move(other.v4_rows_)),
+        k4_scales_(std::move(other.k4_scales_)),
+        v4_scales_(std::move(other.v4_scales_)) {
     other.pages_.clear();
     other.tail_page_ = kInvalidPage;
   }
@@ -90,8 +95,9 @@ class PagedKVCache {
       packed_ = other.packed_;
       tail_page_ = other.tail_page_;
       tail_used_ = other.tail_used_;
-      tail_q8_ = other.tail_q8_;
+      tail_kind_ = other.tail_kind_;
       has_q8_ = other.has_q8_;
+      has_q4_ = other.has_q4_;
       pos_ids_ = std::move(other.pos_ids_);
       k_rows_ = std::move(other.k_rows_);
       v_rows_ = std::move(other.v_rows_);
@@ -99,6 +105,10 @@ class PagedKVCache {
       v8_rows_ = std::move(other.v8_rows_);
       k_scales_ = std::move(other.k_scales_);
       v_scales_ = std::move(other.v_scales_);
+      k4_rows_ = std::move(other.k4_rows_);
+      v4_rows_ = std::move(other.v4_rows_);
+      k4_scales_ = std::move(other.k4_scales_);
+      v4_scales_ = std::move(other.v4_scales_);
       other.pages_.clear();
       other.tail_page_ = kInvalidPage;
     }
@@ -153,16 +163,19 @@ class PagedKVCache {
     enable_q8();
     const Q8TokenLayout layout = q8_layout();
     for (int t = begin; t < end; ++t) {
-      if (tail_page_ == kInvalidPage || !tail_q8_ ||
+      if (tail_page_ == kInvalidPage ||
+          tail_kind_ != PagedKVPool::Kind::kQ8 ||
           tail_used_ == pool_->page_tokens()) {
-        // Abandoning a partially-filled fp32 tail leaves interior slack.
-        if (tail_page_ != kInvalidPage && !tail_q8_ &&
+        // Abandoning a partially-filled tail of another kind leaves
+        // interior slack.
+        if (tail_page_ != kInvalidPage &&
+            tail_kind_ != PagedKVPool::Kind::kQ8 &&
             tail_used_ < pool_->page_tokens()) {
           packed_ = false;
         }
         tail_page_ = pool_->allocate_q8();
         pages_.push_back(tail_page_);
-        tail_q8_ = true;
+        tail_kind_ = PagedKVPool::Kind::kQ8;
         tail_used_ = 0;
       }
       int8_t* slot = pool_->data_q8(tail_page_) +
@@ -185,13 +198,71 @@ class PagedKVCache {
     }
   }
 
+  // Materializes tokens [begin, end) of a module's Q4_0 payload into q4
+  // pages — the sub-byte analog of append_copy_q8. Each token's slot copies
+  // the per-layer packed nibble rows plus their per-block scale arrays
+  // (Q4TokenLayout). Same immutability contract as q8 renditions.
+  void append_copy_q4(const std::vector<Q4Layer>& layers,
+                      std::span<const int> src_pos, int begin, int end) {
+    PC_CHECK_MSG(static_cast<int>(layers.size()) == n_layers_,
+                 "paged append_copy_q4 layer-count mismatch");
+    PC_CHECK(begin >= 0 && begin <= end &&
+             end <= static_cast<int>(src_pos.size()));
+    PC_CHECK_MSG(pool_->page_bytes_q4() ==
+                     static_cast<size_t>(pool_->page_tokens()) *
+                         q4_layout().stride(),
+                 "pool q4 page geometry does not match Q4TokenLayout");
+    enable_q4();
+    const Q4TokenLayout layout = q4_layout();
+    const size_t row_bytes = layout.row_bytes();
+    const size_t blocks = static_cast<size_t>(layout.blocks());
+    for (int t = begin; t < end; ++t) {
+      if (tail_page_ == kInvalidPage ||
+          tail_kind_ != PagedKVPool::Kind::kQ4 ||
+          tail_used_ == pool_->page_tokens()) {
+        if (tail_page_ != kInvalidPage &&
+            tail_kind_ != PagedKVPool::Kind::kQ4 &&
+            tail_used_ < pool_->page_tokens()) {
+          packed_ = false;
+        }
+        tail_page_ = pool_->allocate_q4();
+        pages_.push_back(tail_page_);
+        tail_kind_ = PagedKVPool::Kind::kQ4;
+        tail_used_ = 0;
+      }
+      uint8_t* slot = pool_->data_q4(tail_page_) +
+                      static_cast<size_t>(tail_used_) * layout.stride();
+      float* sc = layout.scales(slot);
+      for (int l = 0; l < n_layers_; ++l) {
+        const Q4Layer& src = layers[static_cast<size_t>(l)];
+        std::memcpy(slot + layout.k_off(l),
+                    src.k.data() + static_cast<size_t>(t) * row_bytes,
+                    row_bytes);
+        std::memcpy(slot + layout.v_off(l),
+                    src.v.data() + static_cast<size_t>(t) * row_bytes,
+                    row_bytes);
+        std::memcpy(sc + layout.k_scale_idx(l),
+                    src.k_scales.data() + static_cast<size_t>(t) * blocks,
+                    blocks * sizeof(float));
+        std::memcpy(sc + layout.v_scale_idx(l),
+                    src.v_scales.data() + static_cast<size_t>(t) * blocks,
+                    blocks * sizeof(float));
+      }
+      const int p = src_pos[static_cast<size_t>(t)];
+      publish_q4_rows(tail_page_, tail_used_, 1, &p);
+      ++tail_used_;
+    }
+  }
+
   // Attaches another paged cache's tokens (§3.4 sharing): full pages by
   // reference; a trailing partial fp32 page becomes a COW duplicate whose
-  // free slots become this cache's tail. A trailing partial *q8* page is
-  // attached read-only instead (q8 pages are immutable — no COW exists for
-  // them); its free slots are wasted padding and the next private append
-  // starts a fresh fp32 page. The source must be packed — built solely by
-  // append_copy/append_copy_q8/append_tokens, so token t lives in page
+  // free slots become this cache's tail. A trailing partial *quantized*
+  // page (q8 or q4) is attached read-only instead (quantized pages are
+  // immutable — no COW exists for them); its free slots are wasted padding
+  // and the next private append starts a fresh fp32 page. The source must
+  // be packed — built solely by
+  // append_copy/append_copy_q8/append_copy_q4/append_tokens, so token t
+  // lives in page
   // t / P — which module renditions are by construction. The attached rows
   // are read-only here.
   void append_shared(const PagedKVCache& src) {
@@ -213,6 +284,8 @@ class PagedKVCache {
       const int* pos = src.pos_ids_.data() + pi * per_page;
       if (pool_->is_q8(id)) {
         publish_q8_rows(id, 0, n_slots, pos);
+      } else if (pool_->is_q4(id)) {
+        publish_q4_rows(id, 0, n_slots, pos);
       } else {
         publish_rows(id, 0, n_slots, pos);
       }
@@ -222,10 +295,10 @@ class PagedKVCache {
     // that no row table entry points at — wasted slots, never garbage rows).
     tail_page_ = kInvalidPage;
     tail_used_ = 0;
-    tail_q8_ = false;
+    tail_kind_ = PagedKVPool::Kind::kFp32;
     if (rem > 0) {
       const PageId id = src.pages_[static_cast<size_t>(full)];
-      if (pool_->is_q8(id)) {
+      if (pool_->is_q8(id) || pool_->is_q4(id)) {
         // Read-only attach; slack stays unused and the tail stays closed.
         attach(full, rem);
       } else {
@@ -247,22 +320,25 @@ class PagedKVCache {
   // private tail, allocating fresh zero-filled pages as needed. Returns the
   // index of the first new token. Private rows are always fp32 — the decode
   // tail is written token by token, which is exactly the case quantization
-  // would thrash on — so a q8 tail (only possible mid-rendition) closes and
-  // a fresh fp32 page starts.
+  // would thrash on — so a quantized tail (only possible mid-rendition)
+  // closes and a fresh fp32 page starts.
   int append_tokens(std::span<const int> new_pos_ids) {
     const int first = size();
     for (const int p : new_pos_ids) {
-      if (tail_page_ == kInvalidPage || tail_q8_ ||
+      if (tail_page_ == kInvalidPage ||
+          tail_kind_ != PagedKVPool::Kind::kFp32 ||
           tail_used_ == pool_->page_tokens()) {
-        // Abandoning a partially-filled q8 tail leaves interior slack.
-        if (tail_page_ != kInvalidPage && tail_q8_ &&
+        // Abandoning a partially-filled quantized tail leaves interior
+        // slack.
+        if (tail_page_ != kInvalidPage &&
+            tail_kind_ != PagedKVPool::Kind::kFp32 &&
             tail_used_ < pool_->page_tokens()) {
           packed_ = false;
         }
         tail_page_ = pool_->allocate();
         pages_.push_back(tail_page_);
         tail_used_ = 0;
-        tail_q8_ = false;
+        tail_kind_ = PagedKVPool::Kind::kFp32;
       }
       publish_rows(tail_page_, tail_used_, 1, &p);
       ++tail_used_;
@@ -308,6 +384,27 @@ class PagedKVCache {
     return v_scales_[checked_layer(layer)].data();
   }
 
+  // Whether any token row is Q4_0; if so the attention caller must use
+  // attn_fused_q4_gather with the four tables below (null entries mark
+  // other-format tokens). Scale tables hold POINTERS to per-block arrays.
+  bool has_q4() const { return has_q4_; }
+  const uint8_t* const* k4_row_table(int layer) const {
+    PC_CHECK_MSG(has_q4_, "no q4 rows in this cache");
+    return k4_rows_[checked_layer(layer)].data();
+  }
+  const uint8_t* const* v4_row_table(int layer) const {
+    PC_CHECK_MSG(has_q4_, "no q4 rows in this cache");
+    return v4_rows_[checked_layer(layer)].data();
+  }
+  const float* const* k4_scale_table(int layer) const {
+    PC_CHECK_MSG(has_q4_, "no q4 rows in this cache");
+    return k4_scales_[checked_layer(layer)].data();
+  }
+  const float* const* v4_scale_table(int layer) const {
+    PC_CHECK_MSG(has_q4_, "no q4 rows in this cache");
+    return v4_scales_[checked_layer(layer)].data();
+  }
+
   // Writable access — private fp32 rows only. Rows at or past
   // writable_from_ live in pages this cache exclusively owns (fresh
   // allocations or its COW tail), so the const_cast is the cheap path to
@@ -315,13 +412,13 @@ class PagedKVCache {
   float* k_row_mut(int layer, int token) {
     PC_CHECK_MSG(token >= writable_from_, "shared module rows are read-only");
     const float* row = k_rows_[checked_layer(layer)][checked_token(token)];
-    PC_CHECK_MSG(row != nullptr, "q8 rows are read-only");
+    PC_CHECK_MSG(row != nullptr, "quantized rows are read-only");
     return const_cast<float*>(row);
   }
   float* v_row_mut(int layer, int token) {
     PC_CHECK_MSG(token >= writable_from_, "shared module rows are read-only");
     const float* row = v_rows_[checked_layer(layer)][checked_token(token)];
-    PC_CHECK_MSG(row != nullptr, "q8 rows are read-only");
+    PC_CHECK_MSG(row != nullptr, "quantized rows are read-only");
     return const_cast<float*>(row);
   }
 
@@ -334,8 +431,8 @@ class PagedKVCache {
     return static_cast<int>(pages_.size()) - shared_pages_;
   }
   size_t owned_bytes() const {
-    // Owned pages (COW duplicates, private tails) are always fp32: q8 pages
-    // exist only as shared module renditions.
+    // Owned pages (COW duplicates, private tails) are always fp32:
+    // quantized pages exist only as shared module renditions.
     return static_cast<size_t>(owned_pages()) * pool_->page_bytes();
   }
 
@@ -353,6 +450,7 @@ class PagedKVCache {
     return static_cast<size_t>(2) * n_layers_ * kv_dim_;
   }
   Q8TokenLayout q8_layout() const { return Q8TokenLayout{n_layers_, kv_dim_}; }
+  Q4TokenLayout q4_layout() const { return Q4TokenLayout{n_layers_, kv_dim_}; }
 
   // Switches the cache into mixed-format mode: the q8 tables are created
   // and backfilled with null/0 entries for every already-published fp32
@@ -371,6 +469,34 @@ class PagedKVCache {
       k_scales_[static_cast<size_t>(l)].assign(n, 0.0f);
       v_scales_[static_cast<size_t>(l)].assign(n, 0.0f);
     }
+  }
+
+  // q4 analog of enable_q8.
+  void enable_q4() {
+    if (has_q4_) return;
+    has_q4_ = true;
+    const size_t n = pos_ids_.size();
+    k4_rows_.assign(static_cast<size_t>(n_layers_), {});
+    v4_rows_.assign(static_cast<size_t>(n_layers_), {});
+    k4_scales_.assign(static_cast<size_t>(n_layers_), {});
+    v4_scales_.assign(static_cast<size_t>(n_layers_), {});
+    for (int l = 0; l < n_layers_; ++l) {
+      k4_rows_[static_cast<size_t>(l)].assign(n, nullptr);
+      v4_rows_[static_cast<size_t>(l)].assign(n, nullptr);
+      k4_scales_[static_cast<size_t>(l)].assign(n, nullptr);
+      v4_scales_[static_cast<size_t>(l)].assign(n, nullptr);
+    }
+  }
+
+  void pad_q4_tables(int layer, size_t n) {
+    k4_rows_[static_cast<size_t>(layer)].insert(
+        k4_rows_[static_cast<size_t>(layer)].end(), n, nullptr);
+    v4_rows_[static_cast<size_t>(layer)].insert(
+        v4_rows_[static_cast<size_t>(layer)].end(), n, nullptr);
+    k4_scales_[static_cast<size_t>(layer)].insert(
+        k4_scales_[static_cast<size_t>(layer)].end(), n, nullptr);
+    v4_scales_[static_cast<size_t>(layer)].insert(
+        v4_scales_[static_cast<size_t>(layer)].end(), n, nullptr);
   }
 
   // Appends pointers for `n` consecutive slots of `id` starting at
@@ -400,6 +526,7 @@ class PagedKVCache {
             v_scales_[static_cast<size_t>(l)].end(), static_cast<size_t>(n),
             0.0f);
       }
+      if (has_q4_) pad_q4_tables(l, static_cast<size_t>(n));
     }
     pos_ids_.insert(pos_ids_.end(), pos, pos + n);
   }
@@ -429,6 +556,51 @@ class PagedKVCache {
       v_rows_[static_cast<size_t>(l)].insert(
           v_rows_[static_cast<size_t>(l)].end(), static_cast<size_t>(n),
           nullptr);
+      if (has_q4_) pad_q4_tables(l, static_cast<size_t>(n));
+    }
+    pos_ids_.insert(pos_ids_.end(), pos, pos + n);
+  }
+
+  // q4 counterpart of publish_rows: publishes packed-nibble row pointers
+  // and per-block scale-array pointers, with null entries in the fp32 (and
+  // any q8) tables.
+  void publish_q4_rows(PageId id, int first_slot, int n, const int* pos) {
+    enable_q4();
+    const Q4TokenLayout layout = q4_layout();
+    const uint8_t* base = pool_->data_q4(id);
+    for (int l = 0; l < n_layers_; ++l) {
+      auto& kt = k4_rows_[static_cast<size_t>(l)];
+      auto& vt = v4_rows_[static_cast<size_t>(l)];
+      auto& ks = k4_scales_[static_cast<size_t>(l)];
+      auto& vs = v4_scales_[static_cast<size_t>(l)];
+      for (int s = first_slot; s < first_slot + n; ++s) {
+        const uint8_t* slot = base + static_cast<size_t>(s) * layout.stride();
+        kt.push_back(slot + layout.k_off(l));
+        vt.push_back(slot + layout.v_off(l));
+        const float* sc = layout.scales(slot);
+        ks.push_back(sc + layout.k_scale_idx(l));
+        vs.push_back(sc + layout.v_scale_idx(l));
+      }
+      k_rows_[static_cast<size_t>(l)].insert(
+          k_rows_[static_cast<size_t>(l)].end(), static_cast<size_t>(n),
+          nullptr);
+      v_rows_[static_cast<size_t>(l)].insert(
+          v_rows_[static_cast<size_t>(l)].end(), static_cast<size_t>(n),
+          nullptr);
+      if (has_q8_) {
+        k8_rows_[static_cast<size_t>(l)].insert(
+            k8_rows_[static_cast<size_t>(l)].end(), static_cast<size_t>(n),
+            nullptr);
+        v8_rows_[static_cast<size_t>(l)].insert(
+            v8_rows_[static_cast<size_t>(l)].end(), static_cast<size_t>(n),
+            nullptr);
+        k_scales_[static_cast<size_t>(l)].insert(
+            k_scales_[static_cast<size_t>(l)].end(), static_cast<size_t>(n),
+            0.0f);
+        v_scales_[static_cast<size_t>(l)].insert(
+            v_scales_[static_cast<size_t>(l)].end(), static_cast<size_t>(n),
+            0.0f);
+      }
     }
     pos_ids_.insert(pos_ids_.end(), pos, pos + n);
   }
@@ -452,17 +624,24 @@ class PagedKVCache {
   bool packed_ = true;     // token t in page t / page_tokens (no slack)
   PageId tail_page_ = kInvalidPage;  // private page with free slots
   int tail_used_ = 0;
-  bool tail_q8_ = false;  // tail page kind (q8 only mid-rendition build)
+  // Tail page kind (quantized only mid-rendition build).
+  PagedKVPool::Kind tail_kind_ = PagedKVPool::Kind::kFp32;
   bool has_q8_ = false;
+  bool has_q4_ = false;
   std::vector<int> pos_ids_;
   std::vector<std::vector<const float*>> k_rows_;  // [layer][token]
   std::vector<std::vector<const float*>> v_rows_;
-  // Mixed-format tables, index-aligned with the fp32 tables when has_q8_:
-  // exactly one of k_rows_[l][t] / k8_rows_[l][t] is non-null per token.
+  // Mixed-format tables, index-aligned with the fp32 tables when enabled:
+  // exactly one of k_rows_[l][t] / k8_rows_[l][t] / k4_rows_[l][t] is
+  // non-null per token.
   std::vector<std::vector<const int8_t*>> k8_rows_;
   std::vector<std::vector<const int8_t*>> v8_rows_;
   std::vector<std::vector<float>> k_scales_;  // [layer][token], 0 for fp32
   std::vector<std::vector<float>> v_scales_;
+  std::vector<std::vector<const uint8_t*>> k4_rows_;  // packed Q4_0 rows
+  std::vector<std::vector<const uint8_t*>> v4_rows_;
+  std::vector<std::vector<const float*>> k4_scales_;  // per-block arrays
+  std::vector<std::vector<const float*>> v4_scales_;
 };
 
 }  // namespace pc

@@ -30,36 +30,43 @@ struct PagedPoolStats {
 
 class PagedKVPool {
  public:
+  // Page kinds: fp32 (writable decode/COW pages) and the immutable
+  // quantized module kinds.
+  enum class Kind { kFp32, kQ8, kQ4 };
+
   // page_tokens: tokens per page; bytes_per_token: full per-token KV payload
   // across all layers (2 * n_layers * kv_dim * dtype_size).
-  // q8_bytes_per_token (optional): per-token payload of the quantized page
-  // kind (Q8TokenLayout::stride()); 0 disables q8 pages.
+  // q8_bytes_per_token (optional): per-token payload of the Q8_0 page kind
+  // (Q8TokenLayout::stride()); 0 disables q8 pages. q4_bytes_per_token
+  // (optional): per-token payload of the Q4_0 page kind
+  // (Q4TokenLayout::stride()); 0 disables q4 pages.
   PagedKVPool(int page_tokens, size_t bytes_per_token,
-              size_t q8_bytes_per_token = 0)
+              size_t q8_bytes_per_token = 0, size_t q4_bytes_per_token = 0)
       : page_tokens_(page_tokens),
         bytes_per_token_(bytes_per_token),
-        q8_bytes_per_token_(q8_bytes_per_token) {
+        q8_bytes_per_token_(q8_bytes_per_token),
+        q4_bytes_per_token_(q4_bytes_per_token) {
     PC_CHECK(page_tokens > 0 && bytes_per_token > 0);
   }
 
   int page_tokens() const { return page_tokens_; }
   size_t page_bytes() const { return bytes_per_token_ * page_tokens_; }
   size_t page_bytes_q8() const { return q8_bytes_per_token_ * page_tokens_; }
+  size_t page_bytes_q4() const { return q4_bytes_per_token_ * page_tokens_; }
 
   // Payload bytes of a specific page (kind-aware).
-  size_t page_bytes(PageId id) const {
-    return page(id).q8 ? page_bytes_q8() : page_bytes();
-  }
-  bool is_q8(PageId id) const { return page(id).q8; }
+  size_t page_bytes(PageId id) const { return kind_bytes(page(id).kind); }
+  bool is_q8(PageId id) const { return page(id).kind == Kind::kQ8; }
+  bool is_q4(PageId id) const { return page(id).kind == Kind::kQ4; }
 
   // Fresh zero-filled page (decode tails start from defined contents).
-  PageId allocate() { return allocate_impl(/*zero=*/true, /*q8=*/false); }
+  PageId allocate() { return allocate_impl(/*zero=*/true, Kind::kFp32); }
 
   // Uninitialized payload, for callers that overwrite the entire page
   // before reading it — the copy-on-write duplication below, which would
   // otherwise pay a redundant full-page zero-fill per copy.
   PageId allocate_uninitialized() {
-    return allocate_impl(/*zero=*/false, /*q8=*/false);
+    return allocate_impl(/*zero=*/false, Kind::kFp32);
   }
 
   // Fresh zero-filled quantized page (~4x smaller payload). Q8 pages hold
@@ -68,7 +75,15 @@ class PagedKVPool {
   PageId allocate_q8() {
     PC_CHECK_MSG(q8_bytes_per_token_ > 0,
                  "pool was constructed without a q8 page kind");
-    return allocate_impl(/*zero=*/true, /*q8=*/true);
+    return allocate_impl(/*zero=*/true, Kind::kQ8);
+  }
+
+  // Fresh zero-filled Q4_0 page (~8x smaller payload). Same immutability
+  // contract as q8 pages.
+  PageId allocate_q4() {
+    PC_CHECK_MSG(q4_bytes_per_token_ > 0,
+                 "pool was constructed without a q4 page kind");
+    return allocate_impl(/*zero=*/true, Kind::kQ4);
   }
 
   void retain(PageId id) { ++page(id).refcount; }
@@ -87,16 +102,17 @@ class PagedKVPool {
 
   // Write access with copy-on-write: if the page is shared, a private copy
   // is made and its id returned; otherwise the same id is returned. fp32
-  // pages only — q8 pages are immutable by contract, so no caller may ask
-  // for write access to one.
+  // pages only — quantized pages are immutable by contract, so no caller
+  // may ask for write access to one.
   PageId make_writable(PageId id) {
-    PC_CHECK_MSG(!page(id).q8, "q8 pages are read-only (no COW)");
+    PC_CHECK_MSG(page(id).kind == Kind::kFp32,
+                 "quantized pages are read-only (no COW)");
     if (page(id).refcount == 1) return id;
     const PageId fresh = allocate_uninitialized();
     // Re-fetch both pages after the allocation: growing pages_ invalidates
     // references into it.
     std::memcpy(page(fresh).data.get(), page(id).data.get(),
-                page_floats(/*q8=*/false) * sizeof(float));
+                page_floats(Kind::kFp32) * sizeof(float));
     ++stats_.cow_copies;
     release(id);
     return fresh;
@@ -104,29 +120,41 @@ class PagedKVPool {
 
   float* data(PageId id) {
     Page& p = page(id);
-    PC_CHECK_MSG(!p.q8, "fp32 access to a q8 page");
+    PC_CHECK_MSG(p.kind == Kind::kFp32, "fp32 access to a quantized page");
     return p.data.get();
   }
   const float* data(PageId id) const {
     const Page& p = page(id);
-    PC_CHECK_MSG(!p.q8, "fp32 access to a q8 page");
+    PC_CHECK_MSG(p.kind == Kind::kFp32, "fp32 access to a quantized page");
     return p.data.get();
   }
 
-  // Byte view of a quantized page's payload (Q8TokenLayout slots).
+  // Byte view of a Q8_0 page's payload (Q8TokenLayout slots).
   int8_t* data_q8(PageId id) {
     Page& p = page(id);
-    PC_CHECK_MSG(p.q8, "q8 access to an fp32 page");
+    PC_CHECK_MSG(p.kind == Kind::kQ8, "q8 access to a non-q8 page");
     return reinterpret_cast<int8_t*>(p.data.get());
   }
   const int8_t* data_q8(PageId id) const {
     const Page& p = page(id);
-    PC_CHECK_MSG(p.q8, "q8 access to an fp32 page");
+    PC_CHECK_MSG(p.kind == Kind::kQ8, "q8 access to a non-q8 page");
     return reinterpret_cast<const int8_t*>(p.data.get());
   }
 
+  // Byte view of a Q4_0 page's payload (Q4TokenLayout slots).
+  uint8_t* data_q4(PageId id) {
+    Page& p = page(id);
+    PC_CHECK_MSG(p.kind == Kind::kQ4, "q4 access to a non-q4 page");
+    return reinterpret_cast<uint8_t*>(p.data.get());
+  }
+  const uint8_t* data_q4(PageId id) const {
+    const Page& p = page(id);
+    PC_CHECK_MSG(p.kind == Kind::kQ4, "q4 access to a non-q4 page");
+    return reinterpret_cast<const uint8_t*>(p.data.get());
+  }
+
   // Number of live (referenced) pages and their total payload (kind-aware:
-  // a q8 page contributes its ~4x smaller quantized payload).
+  // a quantized page contributes its smaller payload).
   int live_pages() const {
     int n = 0;
     for (const auto& p : pages_) {
@@ -137,7 +165,7 @@ class PagedKVPool {
   size_t live_bytes() const {
     size_t b = 0;
     for (const auto& p : pages_) {
-      if (p.refcount > 0) b += p.q8 ? page_bytes_q8() : page_bytes();
+      if (p.refcount > 0) b += kind_bytes(p.kind);
     }
     return b;
   }
@@ -146,17 +174,26 @@ class PagedKVPool {
 
  private:
   struct Page {
-    std::unique_ptr<float[]> data;  // q8 payload stored as raw float-aligned
-    int refcount = 0;               // bytes (Q8TokenLayout needs 4-byte base)
-    bool q8 = false;
+    std::unique_ptr<float[]> data;  // quantized payloads stored as raw
+    int refcount = 0;               // float-aligned bytes (the token layouts
+    Kind kind = Kind::kFp32;        // need a 4-byte-aligned base)
   };
 
-  size_t page_floats(bool q8) const {
-    const size_t bytes = q8 ? page_bytes_q8() : page_bytes();
+  size_t kind_bytes(Kind kind) const {
+    switch (kind) {
+      case Kind::kQ8: return page_bytes_q8();
+      case Kind::kQ4: return page_bytes_q4();
+      case Kind::kFp32: break;
+    }
+    return page_bytes();
+  }
+
+  size_t page_floats(Kind kind) const {
+    const size_t bytes = kind_bytes(kind);
     return bytes / sizeof(float) + (bytes % sizeof(float) != 0);
   }
 
-  PageId allocate_impl(bool zero, bool q8) {
+  PageId allocate_impl(bool zero, Kind kind) {
     PageId id;
     if (!free_list_.empty()) {
       id = free_list_.back();
@@ -167,8 +204,8 @@ class PagedKVPool {
     }
     Page& p = pages_[static_cast<size_t>(id)];
     p.refcount = 1;
-    p.q8 = q8;
-    const size_t floats = page_floats(q8);
+    p.kind = kind;
+    const size_t floats = page_floats(kind);
     p.data.reset(zero ? new float[floats]() : new float[floats]);
     ++stats_.pages_allocated;
     if (!zero) ++stats_.uninitialized_allocations;
@@ -189,6 +226,7 @@ class PagedKVPool {
   int page_tokens_;
   size_t bytes_per_token_;
   size_t q8_bytes_per_token_;
+  size_t q4_bytes_per_token_;
   std::vector<Page> pages_;
   std::vector<PageId> free_list_;
   PagedPoolStats stats_;

@@ -7,7 +7,11 @@ Model make_induction_model(const InductionModelOptions& opt) {
                "induction model needs vocab_size and max_pos");
   const int v = opt.vocab_size;
   const int p = opt.max_pos;
-  const int d = 3 * v + p;
+  // The construction needs 3*v + p dims; round the width up to the Q4_0
+  // block size (32, kv/quant.h) so blocked sub-byte formats store KV rows
+  // without partial-block padding waste. The extra dims carry zero weights
+  // everywhere and do not perturb the retrieval circuit.
+  const int d = (3 * v + p + 31) / 32 * 32;
   const int tok0 = 0;
   const int pos0 = v;
   const int prev0 = v + p;

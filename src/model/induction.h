@@ -48,7 +48,8 @@ struct InductionModelOptions {
   float beta2 = 24.0f; // induction head sharpness
 };
 
-// d_model chosen by the construction: 3 * vocab_size + max_pos.
+// d_model chosen by the construction: 3 * vocab_size + max_pos, rounded up
+// to the Q4_0 block size (32) so blocked KV formats pack without waste.
 Model make_induction_model(const InductionModelOptions& options);
 
 }  // namespace pc

@@ -110,6 +110,18 @@ inline void fused_attend(const SegmentedKVCache& c, int layer, int k_off,
                          const float* q, size_t d_head, size_t n_ctx,
                          float scale, float slope, const float* rel_pos,
                          const uint8_t* masked, float* scores, float* out) {
+  // At most one quantized format appears per view (a store holds one
+  // precision), so the dispatch below never mixes q4 and q8 slots.
+  if (c.has_q4()) {
+    // Q4_0 borrowed segments: module rows are scored block-wise in the
+    // integer domain (no fp32 materialization); the owned tail reads fp32.
+    attn_fused_q4_gather(q, c.k4_row_table(layer), c.v4_row_table(layer),
+                         c.k4_scale_table(layer), c.v4_scale_table(layer),
+                         c.k_row_table(layer), c.v_row_table(layer),
+                         static_cast<size_t>(k_off), d_head, n_ctx, scale,
+                         slope, rel_pos, masked, scores, out);
+    return;
+  }
   if (c.has_q8()) {
     // Quantized borrowed segments: module rows are scored in the int8
     // domain (no fp32 materialization); the owned tail reads fp32.
@@ -350,6 +362,22 @@ void Model::attention_batch(int layer, const Tensor& h,
         }
       }
       for (int hd = 0; hd < n_heads; ++hd) {
+        if (cache.has_q4()) {
+          // Shared q4 module pages are scored block-wise in the integer
+          // domain; only the request's private fp32 tail takes the fp32
+          // path per slot.
+          attn_fused_q4_gather(
+              q.row(static_cast<int64_t>(r)) + hd * d_head,
+              cache.k4_row_table(layer), cache.v4_row_table(layer),
+              cache.k4_scale_table(layer), cache.v4_scale_table(layer),
+              cache.k_row_table(layer), cache.v_row_table(layer),
+              static_cast<size_t>((hd / group) * d_head),
+              static_cast<size_t>(d_head), static_cast<size_t>(ctx),
+              attn_scale_, alibi_ ? alibi_->slope(hd) : 0.0f,
+              alibi_ ? rrow.data() : nullptr, nullptr, scores.data(),
+              out.row(static_cast<int64_t>(r)) + hd * d_head);
+          continue;
+        }
         if (cache.has_q8()) {
           // Shared q8 module pages are scored in the int8 domain; only the
           // request's private fp32 tail takes the fp32 path per slot.

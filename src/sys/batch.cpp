@@ -60,6 +60,8 @@ BatchScheduler::BatchScheduler(const Model& model,
       on_complete_(std::move(on_complete)),
       pool_(options_.batch.page_tokens, model.kv_bytes_per_token(),
             Q8TokenLayout{model.config().n_layers, model.config().kv_dim()}
+                .stride(),
+            Q4TokenLayout{model.config().n_layers, model.config().kv_dim()}
                 .stride()) {
   PC_CHECK_MSG(options_.batch.max_batch > 0, "BatchConfig::max_batch must be > 0");
   PC_CHECK_MSG(options_.batch.chunk_tokens > 0,
@@ -67,10 +69,11 @@ BatchScheduler::BatchScheduler(const Model& model,
   PC_CHECK_MSG(options_.batch.page_tokens > 0,
                "BatchConfig::page_tokens must be > 0");
   PC_CHECK_MSG(options_.engine.precision == StorePrecision::kFp32 ||
-                   options_.engine.precision == StorePrecision::kQ8,
-               "batched serving requires kFp32 or kQ8 module storage (pages "
-               "are read in place by the gathered attention kernels; fp16 "
-               "has no in-place kernel)");
+                   options_.engine.precision == StorePrecision::kQ8 ||
+                   options_.engine.precision == StorePrecision::kQ4,
+               "batched serving requires kFp32, kQ8, or kQ4 module storage "
+               "(pages are read in place by the gathered attention kernels; "
+               "fp16 has no in-place kernel)");
   PC_CHECK_MSG(on_complete_ != nullptr,
                "BatchScheduler needs a completion callback");
   engine_ = shared != nullptr
@@ -130,20 +133,24 @@ void BatchScheduler::assemble_paged(const pml::PromptBinding& binding,
         if (it == paged_modules_.end()) {
           PC_CHECK_MSG((m.precision == StorePrecision::kFp32 &&
                         m.kv32.has_value()) ||
-                           m.precision == StorePrecision::kQ8,
-                       "batched serving requires kFp32 or kQ8 module "
+                           m.precision == StorePrecision::kQ8 ||
+                           m.precision == StorePrecision::kQ4,
+                       "batched serving requires kFp32, kQ8, or kQ4 module "
                        "storage (module '" << key << "' is stored as fp16, "
                        "which has no in-place attention kernel)");
           // First import fleet-wide: materialize the module's text rows
           // into a packed paged rendition. The bytes cross a tier link
-          // once; every later importer attaches the same pages. Q8 modules
-          // land in quantized pages (~4x smaller) that importers score in
-          // the int8 domain — never dequantized.
+          // once; every later importer attaches the same pages. Quantized
+          // modules land in quantized pages (~4x smaller for q8, ~8x for
+          // q4) that importers score in the integer domain — never
+          // dequantized.
           PagedKVCache rendition(pool_, model_.config().n_layers,
                                  model_.config().kv_dim());
           for (const auto& [begin, end] : m.text_row_ranges) {
             if (m.precision == StorePrecision::kQ8) {
               rendition.append_copy_q8(m.kv8_layers, m.pos_ids, begin, end);
+            } else if (m.precision == StorePrecision::kQ4) {
+              rendition.append_copy_q4(m.kv4_layers, m.pos_ids, begin, end);
             } else {
               rendition.append_copy(*m.kv32, begin, end);
             }
@@ -515,7 +522,7 @@ bool BatchScheduler::step() {
 size_t BatchScheduler::module_bytes() const {
   size_t bytes = 0;
   for (const auto& [key, cache] : paged_modules_) {
-    bytes += cache.total_page_bytes();  // kind-aware: q8 pages are ~4x smaller
+    bytes += cache.total_page_bytes();  // kind-aware: q8/q4 pages are smaller
   }
   return bytes;
 }

@@ -83,10 +83,10 @@ struct BatchKVStats {
 class BatchScheduler {
  public:
   struct Options {
-    // precision must be kFp32 or kQ8: fp32 module pages are read in place
-    // by the gathered attention kernel; q8 module pages stay int8 and are
-    // scored in the int8 domain (attn_fused_q8_gather). fp16 has no
-    // in-place kernel.
+    // precision must be kFp32, kQ8, or kQ4: fp32 module pages are read in
+    // place by the gathered attention kernel; quantized module pages stay
+    // quantized and are scored in the integer domain (attn_fused_q8_gather
+    // / attn_fused_q4_gather). fp16 has no in-place kernel.
     EngineConfig engine;
     std::vector<std::string> schemas;  // PML loaded at construction
     BatchConfig batch;

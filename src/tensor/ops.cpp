@@ -294,6 +294,87 @@ void attn_fused_q8_gather(const float* q, const int8_t* const* k8_rows,
   }
 }
 
+void attn_fused_q4_gather(const float* q, const uint8_t* const* k4_rows,
+                          const uint8_t* const* v4_rows,
+                          const float* const* k4_scales,
+                          const float* const* v4_scales,
+                          const float* const* k_rows,
+                          const float* const* v_rows, size_t head_off,
+                          size_t d_head, size_t n_ctx, float scale,
+                          float alibi_slope, const float* rel_pos,
+                          const uint8_t* masked, float* scores, float* out) {
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  constexpr size_t kMaxDHead = 1024;
+  PC_CHECK_MSG(d_head <= kMaxDHead, "attn_fused_q4_gather: d_head too large");
+  PC_CHECK_MSG(head_off % 32 == 0,
+               "attn_fused_q4_gather: head_off must be 32-aligned (Q4_0 "
+               "blocks); models with d_head % 32 != 0 and n_kv_heads > 1 "
+               "cannot serve q4");
+  if (n_ctx == 0) {
+    std::fill(out, out + d_head, 0.0f);
+    return;
+  }
+  // Quantize the query head slice once (same scheme as the q8 kernel) and
+  // zero-pad it to a whole number of blocks: padded query lanes multiply
+  // whatever nibbles sit past d_head, contributing exactly 0 to both the
+  // nibble products and the block sums, so a head slice ending mid-block
+  // stays exact.
+  const size_t n_blocks = (d_head + 31) / 32;
+  const size_t blk_off = head_off / 32;       // block index of the slice
+  const size_t byte_off = blk_off * 16;       // packed bytes per block
+  int8_t q8[kMaxDHead + 32];
+  const float q_max = simd::reduce_max_abs(q, d_head);
+  const float q_scale = q_max > 0.0f ? q_max / 127.0f : 1.0f;
+  simd::quantize_i8(q, 1.0f / q_scale, q8, d_head);
+  std::fill(q8 + d_head, q8 + n_blocks * 32, static_cast<int8_t>(0));
+  int32_t q_sums[(kMaxDHead + 31) / 32 + 1];
+  for (size_t b = 0; b < n_blocks; ++b) {
+    int32_t s = 0;
+    for (size_t i = 0; i < 32; ++i) s += q8[b * 32 + i];
+    q_sums[b] = s;
+  }
+  const float fix = scale * q_scale;
+  for (size_t j = 0; j < n_ctx; ++j) {
+    if (masked != nullptr && masked[j] != 0) {
+      scores[j] = kNegInf;
+      continue;
+    }
+    float s;
+    if (k4_rows[j] != nullptr) {
+      s = simd::dot_i4i8(q8, k4_rows[j] + byte_off, k4_scales[j] + blk_off,
+                         q_sums, n_blocks) *
+          fix;
+    } else {
+      s = simd::dot(q, k_rows[j] + head_off, d_head) * scale;
+    }
+    if (rel_pos != nullptr) s += -alibi_slope * rel_pos[j];
+    scores[j] = s;
+  }
+  const float mx = simd::reduce_max(scores, n_ctx);
+  if (mx == kNegInf) {
+    std::fill(scores, scores + n_ctx, 0.0f);
+    std::fill(out, out + d_head, 0.0f);
+    return;
+  }
+  float sum = 0.0f;
+  for (size_t j = 0; j < n_ctx; ++j) {
+    scores[j] = std::exp(scores[j] - mx);
+    sum += scores[j];
+  }
+  simd::scale(scores, 1.0f / sum, n_ctx);
+  std::fill(out, out + d_head, 0.0f);
+  for (size_t j = 0; j < n_ctx; ++j) {
+    const float w = scores[j];
+    if (w == 0.0f) continue;
+    if (v4_rows[j] != nullptr) {
+      simd::axpy_i4(w, v4_rows[j] + byte_off, v4_scales[j] + blk_off, out,
+                    d_head);
+    } else {
+      simd::axpy(w, v_rows[j] + head_off, out, d_head);
+    }
+  }
+}
+
 // ---- Tensor wrappers -------------------------------------------------------
 
 Tensor matmul(const Tensor& a, const Tensor& b) {

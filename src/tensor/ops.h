@@ -110,6 +110,33 @@ void attn_fused_q8_gather(const float* q, const int8_t* const* k8_rows,
                           float alibi_slope, const float* rel_pos,
                           const uint8_t* masked, float* scores, float* out);
 
+// Mixed-format gathered variant for Q4_0 module rows — the sibling of
+// attn_fused_q8_gather one format down. Slot j is quantized when
+// k4_rows[j] != nullptr: its K/V rows are packed nibbles (kv/quant.h Q4_0
+// layout, 16 bytes per 32-value block) and k4_scales[j] / v4_scales[j]
+// point at the row's per-block fp32 scale arrays (POINTER tables — q4
+// scales are per block, not per row like q8). Otherwise the slot is fp32
+// and reads k_rows[j] + head_off / v_rows[j] + head_off. All seven tables
+// have n_ctx entries; entries of the other format may be null.
+//
+// q is quantized to int8 once per call and q4 slots score block-wise in the
+// integer domain (simd::dot_i4i8; per-block scale fixup, strictly
+// sequential float block accumulation). head_off must be a multiple of 32
+// so the head slice starts on a block boundary; a head slice that ends
+// mid-block is exact anyway because the query padding is zero. Softmax and
+// mix structure are identical to the fp32 kernels, so the masking contract
+// and the all-fp32-tables bitwise-equality property carry over. d_head must
+// be <= 1024.
+void attn_fused_q4_gather(const float* q, const uint8_t* const* k4_rows,
+                          const uint8_t* const* v4_rows,
+                          const float* const* k4_scales,
+                          const float* const* v4_scales,
+                          const float* const* k_rows,
+                          const float* const* v_rows, size_t head_off,
+                          size_t d_head, size_t n_ctx, float scale,
+                          float alibi_slope, const float* rel_pos,
+                          const uint8_t* masked, float* scores, float* out);
+
 // ---- Tensor wrappers -------------------------------------------------------
 
 // out[m,n] = a[m,k] * b[k,n]

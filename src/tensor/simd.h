@@ -634,4 +634,319 @@ inline void axpy_i8(float alpha, const int8_t* x, float* y, size_t n) {
 #endif
 }
 
+// ---- int4 (Q4_0) primitives -------------------------------------------------
+//
+// Q4_0 packs values in blocks of 32: stored nibbles are q+8 in [0,15]
+// (element j in the low nibble of byte j, element j+16 in the high nibble),
+// one float scale per block. Scores against an int8 query decompose per
+// block as
+//
+//   sum_i q8[i]*q4[i] = sum_i q8[i]*(nib[i]-8) = p_b - 8*qsum_b
+//
+// with p_b = sum_i q8[i]*nib[i] (unsigned-nibble times signed-int8, the
+// exact shape maddubs computes without saturating: pair sums are at most
+// 2*15*127 = 3810) and qsum_b the query block sum, computed once per call.
+// The integer parts are exact, and the per-block float accumulation below is
+// strictly sequential, so every ISA path is bitwise-identical to scalar.
+
+// The signed extremum of a block: the element with the largest |x|, keeping
+// its sign (first occurrence wins between equal magnitudes — the fixed
+// sequential scan IS the determinism contract; the Q4_0 scale is
+// extremum/-8 so the extreme value quantizes exactly to level -8 or +7).
+inline float signed_extremum(const float* a, size_t n) {
+  float amax = 0.0f;
+  float aabs = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float v = a[i] < 0.0f ? -a[i] : a[i];
+    if (v > aabs) {
+      aabs = v;
+      amax = a[i];
+    }
+  }
+  return amax;
+}
+
+// Packs n <= 32 floats into Q4_0 nibbles (16 output bytes): nibble =
+// clamp(nearbyint(x * inv_scale), -8, 7) + 8, missing tail elements pad
+// with 8 (the quantized zero). The multiply/round/clamp runs vectorized on
+// AVX2 and is bitwise-identical to the scalar path (same argument as
+// quantize_i8: rounding is monotonic and _mm256_cvtps_epi32 rounds to
+// nearest even exactly like nearbyint); the nibble interleave is exact
+// integer work either way.
+inline void quantize_i4(const float* x, float inv_scale, size_t n,
+                        uint8_t* out) {
+  int32_t q[32];
+#if defined(PC_SIMD_AVX2)
+  if (n == 32) {
+    const __m256 vinv = _mm256_set1_ps(inv_scale);
+    const __m256 vmin = _mm256_set1_ps(-8.0f);
+    const __m256 vmax = _mm256_set1_ps(7.0f);
+    for (size_t i = 0; i < 32; i += 8) {
+      __m256 v = _mm256_mul_ps(_mm256_loadu_ps(x + i), vinv);
+      v = _mm256_min_ps(_mm256_max_ps(v, vmin), vmax);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(q + i),
+                          _mm256_cvtps_epi32(v));
+    }
+  } else
+#endif
+  {
+    for (size_t i = 0; i < n; ++i) {
+      float v = x[i] * inv_scale;
+      v = v < -8.0f ? -8.0f : (v > 7.0f ? 7.0f : v);
+      q[i] = static_cast<int32_t>(std::nearbyintf(v));
+    }
+    for (size_t i = n; i < 32; ++i) q[i] = 0;
+  }
+  for (size_t j = 0; j < 16; ++j) {
+    out[j] = static_cast<uint8_t>((q[j] + 8) | ((q[j + 16] + 8) << 4));
+  }
+}
+
+// Scores one Q4_0 row against an int8 query:
+//   sum_b block_scales[b] * float(p_b - 8 * q_sums[b])
+// q8 must be zero-padded to n_blocks*32 elements; q_sums[b] is the int sum
+// of query block b (precompute once per query). The float block
+// accumulation is strictly sequential on every path.
+inline float dot_i4i8(const int8_t* q8, const uint8_t* packed,
+                      const float* block_scales, const int32_t* q_sums,
+                      size_t n_blocks) {
+  float s = 0.0f;
+#if defined(PC_SIMD_AVX2)
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i ones = _mm256_set1_epi16(1);
+  for (size_t b = 0; b < n_blocks; ++b) {
+    const __m128i bytes = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(packed + b * 16));
+    // Element order [0..15 | 16..31]: low nibbles then high nibbles.
+    const __m256i nib = _mm256_and_si256(
+        _mm256_set_m128i(_mm_srli_epi16(bytes, 4), bytes), low_mask);
+    const __m256i q = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(q8 + b * 32));
+    const __m256i prod16 = _mm256_maddubs_epi16(nib, q);
+    const __m256i acc = _mm256_madd_epi16(prod16, ones);
+    __m128i lo = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                               _mm256_extracti128_si256(acc, 1));
+    lo = _mm_add_epi32(lo, _mm_shuffle_epi32(lo, 0x4e));
+    lo = _mm_add_epi32(lo, _mm_shuffle_epi32(lo, 0xb1));
+    const int32_t p = _mm_cvtsi128_si32(lo);
+    s += block_scales[b] * static_cast<float>(p - 8 * q_sums[b]);
+  }
+#elif defined(PC_SIMD_SSE2)
+  const __m128i low_mask = _mm_set1_epi8(0x0f);
+  const __m128i zero = _mm_setzero_si128();
+  for (size_t b = 0; b < n_blocks; ++b) {
+    const __m128i bytes = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(packed + b * 16));
+    const __m128i lo_nib = _mm_and_si128(bytes, low_mask);
+    const __m128i hi_nib = _mm_and_si128(_mm_srli_epi16(bytes, 4), low_mask);
+    const __m128i q_lo = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(q8 + b * 32));
+    const __m128i q_hi = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(q8 + b * 32 + 16));
+    // Nibbles are unsigned [0,15]: zero-extend; query sign-extends.
+    __m128i acc = _mm_madd_epi16(
+        _mm_unpacklo_epi8(lo_nib, zero),
+        _mm_srai_epi16(_mm_unpacklo_epi8(zero, q_lo), 8));
+    acc = _mm_add_epi32(
+        acc, _mm_madd_epi16(_mm_unpackhi_epi8(lo_nib, zero),
+                            _mm_srai_epi16(_mm_unpackhi_epi8(zero, q_lo), 8)));
+    acc = _mm_add_epi32(
+        acc, _mm_madd_epi16(_mm_unpacklo_epi8(hi_nib, zero),
+                            _mm_srai_epi16(_mm_unpacklo_epi8(zero, q_hi), 8)));
+    acc = _mm_add_epi32(
+        acc, _mm_madd_epi16(_mm_unpackhi_epi8(hi_nib, zero),
+                            _mm_srai_epi16(_mm_unpackhi_epi8(zero, q_hi), 8)));
+    acc = _mm_add_epi32(acc, _mm_shuffle_epi32(acc, 0x4e));
+    acc = _mm_add_epi32(acc, _mm_shuffle_epi32(acc, 0xb1));
+    const int32_t p = _mm_cvtsi128_si32(acc);
+    s += block_scales[b] * static_cast<float>(p - 8 * q_sums[b]);
+  }
+#elif defined(PC_SIMD_NEON)
+  const uint8x16_t low_mask = vdupq_n_u8(0x0f);
+  for (size_t b = 0; b < n_blocks; ++b) {
+    const uint8x16_t bytes = vld1q_u8(packed + b * 16);
+    const int8x16_t lo_nib =
+        vreinterpretq_s8_u8(vandq_u8(bytes, low_mask));
+    const int8x16_t hi_nib =
+        vreinterpretq_s8_u8(vshrq_n_u8(bytes, 4));
+    const int8x16_t q_lo = vld1q_s8(q8 + b * 32);
+    const int8x16_t q_hi = vld1q_s8(q8 + b * 32 + 16);
+    int32x4_t acc = vdupq_n_s32(0);
+    acc = vpadalq_s16(acc, vmull_s8(vget_low_s8(lo_nib), vget_low_s8(q_lo)));
+    acc = vpadalq_s16(acc, vmull_s8(vget_high_s8(lo_nib), vget_high_s8(q_lo)));
+    acc = vpadalq_s16(acc, vmull_s8(vget_low_s8(hi_nib), vget_low_s8(q_hi)));
+    acc = vpadalq_s16(acc, vmull_s8(vget_high_s8(hi_nib), vget_high_s8(q_hi)));
+    const int32_t p = vaddvq_s32(acc);
+    s += block_scales[b] * static_cast<float>(p - 8 * q_sums[b]);
+  }
+#else
+  for (size_t b = 0; b < n_blocks; ++b) {
+    int32_t p = 0;
+    for (size_t j = 0; j < 16; ++j) {
+      const uint8_t byte = packed[b * 16 + j];
+      p += static_cast<int32_t>(q8[b * 32 + j]) * (byte & 0x0f);
+      p += static_cast<int32_t>(q8[b * 32 + 16 + j]) * (byte >> 4);
+    }
+    s += block_scales[b] * static_cast<float>(p - 8 * q_sums[b]);
+  }
+#endif
+  return s;
+}
+
+// y[i] = scale * (nibble_i - 8) for one block's n <= 32 values (overwrite).
+inline void dequant_store_i4(const uint8_t* packed, float scale, float* y,
+                             size_t n) {
+#if defined(PC_SIMD_AVX2)
+  if (n == 32) {
+    const __m256 vs = _mm256_set1_ps(scale);
+    const __m128i low_mask = _mm_set1_epi8(0x0f);
+    const __m128i bias = _mm_set1_epi8(8);
+    const __m128i bytes =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(packed));
+    const __m128i lo =
+        _mm_sub_epi8(_mm_and_si128(bytes, low_mask), bias);
+    const __m128i hi = _mm_sub_epi8(
+        _mm_and_si128(_mm_srli_epi16(bytes, 4), low_mask), bias);
+    const __m128i halves[2] = {lo, hi};
+    for (int h = 0; h < 2; ++h) {
+      const __m128i v = halves[h];
+      const __m256 f0 = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(v));
+      const __m256 f1 = _mm256_cvtepi32_ps(
+          _mm256_cvtepi8_epi32(_mm_srli_si128(v, 8)));
+      _mm256_storeu_ps(y + h * 16, _mm256_mul_ps(vs, f0));
+      _mm256_storeu_ps(y + h * 16 + 8, _mm256_mul_ps(vs, f1));
+    }
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t byte = packed[i & 15];
+    const int nib = i < 16 ? (byte & 0x0f) : (byte >> 4);
+    y[i] = scale * static_cast<float>(nib - 8);
+  }
+}
+
+// y[i] += w * block_scales[b] * (nibble_i - 8) over a row of n values — the
+// value-mix step of the q4 attention kernel (w is the softmax weight; the
+// per-block V scale folds in here). Uses fused multiply-add on AVX2 like
+// axpy_i8, so the kernel tests compare against fp32 mixing with a small
+// tolerance rather than bitwise.
+inline void axpy_i4(float w, const uint8_t* packed, const float* block_scales,
+                    float* y, size_t n) {
+  const size_t n_blocks = (n + 31) / 32;
+  for (size_t b = 0; b < n_blocks; ++b) {
+    const float alpha = w * block_scales[b];
+    const size_t base = b * 32;
+    const size_t count = n - base < 32 ? n - base : 32;
+#if defined(PC_SIMD_AVX2)
+    if (count == 32) {
+      const __m256 va = _mm256_set1_ps(alpha);
+      const __m128i low_mask = _mm_set1_epi8(0x0f);
+      const __m128i bias = _mm_set1_epi8(8);
+      const __m128i bytes = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(packed + b * 16));
+      const __m128i lo =
+          _mm_sub_epi8(_mm_and_si128(bytes, low_mask), bias);
+      const __m128i hi = _mm_sub_epi8(
+          _mm_and_si128(_mm_srli_epi16(bytes, 4), low_mask), bias);
+      const __m128i halves[2] = {lo, hi};
+      for (int h = 0; h < 2; ++h) {
+        const __m128i v = halves[h];
+        const __m256 f0 = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(v));
+        const __m256 f1 = _mm256_cvtepi32_ps(
+            _mm256_cvtepi8_epi32(_mm_srli_si128(v, 8)));
+        float* yb = y + base + static_cast<size_t>(h) * 16;
+        _mm256_storeu_ps(yb, detail::fma8(va, f0, _mm256_loadu_ps(yb)));
+        _mm256_storeu_ps(yb + 8,
+                         detail::fma8(va, f1, _mm256_loadu_ps(yb + 8)));
+      }
+      continue;
+    }
+#endif
+    for (size_t i = 0; i < count; ++i) {
+      const uint8_t byte = packed[b * 16 + (i & 15)];
+      const int nib = i < 16 ? (byte & 0x0f) : (byte >> 4);
+      y[base + i] += alpha * static_cast<float>(nib - 8);
+    }
+  }
+}
+
+// ---- NoMAD-style LUT scoring ------------------------------------------------
+//
+// NoMAD-Attention's observation: when keys are sub-byte codes, q·k needs no
+// multiplies at all — quantize the query per block to int4, precompute the
+// 16 possible per-dimension products q4_d * (code - 8) into an int8 table,
+// and score 16 keys at once with byte shuffles (`pshufb` applies one
+// 16-entry LUT to 16 lanes in a single instruction). Products lie in
+// [-8*7, -8*-8] = [-56, 64], so every entry fits int8 exactly, and a
+// 32-dim block accumulates at most 32*64 = 2048 into int16 — no
+// saturation anywhere, which keeps the path bit-exact vs scalar.
+//
+// Layout contract: keys are transposed into code-major 16-key tiles
+// (nomad_transpose_tile16) so one 16-byte load yields byte position p of 16
+// consecutive keys — the in-register analog of NoMAD's key-centric store.
+// The fused serving kernel keeps the row-major dot_i4i8 path (pages store
+// rows); the LUT path is benched standalone in bench_kernels (`attn_q4`).
+
+// tile[p*16 + r] = rows[r][p] for 16 packed bytes per block and n_rows <=
+// 16 keys (absent rows pad with 0x88, the quantized-zero byte).
+inline void nomad_transpose_tile16(const uint8_t* const* rows, size_t n_rows,
+                                   size_t n_blocks, uint8_t* tile) {
+  const size_t n_bytes = n_blocks * 16;
+  for (size_t p = 0; p < n_bytes; ++p) {
+    for (size_t r = 0; r < 16; ++r) {
+      tile[p * 16 + r] = r < n_rows ? rows[r][p] : 0x88;
+    }
+  }
+}
+
+// Builds one block's shuffle tables from its int4 query values (q4 in
+// [-8,7], 32 values): luts[(2*j+0)*16 + v] = q4[j] * (v-8) (low nibble of
+// byte j), luts[(2*j+1)*16 + v] = q4[j+16] * (v-8) (high nibble). 32 tables
+// of 16 int8 entries per block.
+inline void nomad_build_block_luts(const int32_t* q4, int8_t* luts) {
+  for (int j = 0; j < 16; ++j) {
+    for (int v = 0; v < 16; ++v) {
+      luts[(2 * j + 0) * 16 + v] = static_cast<int8_t>(q4[j] * (v - 8));
+      luts[(2 * j + 1) * 16 + v] = static_cast<int8_t>(q4[j + 16] * (v - 8));
+    }
+  }
+}
+
+// Scores 16 keys against one query block without a single multiply-add:
+// out16[r] += sum_j lut_lo_j[lo_nib(tile_j[r])] + lut_hi_j[hi_nib(tile_j[r])]
+// where tile points at this block's 16 code-major byte rows. The caller
+// applies the per-key block-scale fixup in float afterwards.
+inline void nomad_score_block16(const uint8_t* tile, const int8_t* luts,
+                                int16_t* out16) {
+#if defined(PC_SIMD_AVX2)
+  const __m128i low_mask = _mm_set1_epi8(0x0f);
+  __m256i acc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(out16));
+  for (int j = 0; j < 16; ++j) {
+    const __m128i codes =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(tile + j * 16));
+    const __m128i lut_lo = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(luts + (2 * j + 0) * 16));
+    const __m128i lut_hi = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(luts + (2 * j + 1) * 16));
+    const __m128i lo = _mm_and_si128(codes, low_mask);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi16(codes, 4), low_mask);
+    const __m128i c_lo = _mm_shuffle_epi8(lut_lo, lo);   // the LUT step:
+    const __m128i c_hi = _mm_shuffle_epi8(lut_hi, hi);   // no multiplies
+    acc = _mm256_add_epi16(acc, _mm256_cvtepi8_epi16(c_lo));
+    acc = _mm256_add_epi16(acc, _mm256_cvtepi8_epi16(c_hi));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out16), acc);
+#else
+  for (int j = 0; j < 16; ++j) {
+    for (int r = 0; r < 16; ++r) {
+      const uint8_t code = tile[j * 16 + r];
+      out16[r] = static_cast<int16_t>(
+          out16[r] + luts[(2 * j + 0) * 16 + (code & 0x0f)] +
+          luts[(2 * j + 1) * 16 + (code >> 4)]);
+    }
+  }
+#endif
+}
+
 }  // namespace pc::simd

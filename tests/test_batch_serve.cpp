@@ -273,6 +273,57 @@ TEST_F(BatchServeTest, Q8BatchedMatchesSequentialQ8Bitwise) {
   }
 }
 
+TEST_F(BatchServeTest, Q4BatchedMatchesSequentialQ4Bitwise) {
+  // Sub-byte module pages: shared renditions stay packed Q4_0 nibbles in
+  // the paged pool and decode tails stay fp32. Tokens must be bitwise-
+  // identical to a sequential q4 engine, and — the retrieval gate —
+  // identical to the fp32 sequential reference (induction retrieval
+  // survives Q4_0).
+  constexpr int kRequests = 12;
+  std::vector<std::string> prompts;
+  std::vector<GenerateOptions> options;
+  for (int i = 0; i < kRequests; ++i) {
+    prompts.push_back(kPrompts[static_cast<size_t>(i) % kNumPrompts]);
+    options.push_back(ask_options(workload_));
+  }
+  const auto fp32_expected = reference_tokens(prompts, options);
+
+  EngineConfig q4_cfg;
+  q4_cfg.precision = StorePrecision::kQ4;
+  PromptCacheEngine sequential(model_, workload_.tokenizer(), q4_cfg);
+  sequential.load_schema(kSchema);
+  std::vector<std::vector<TokenId>> q4_expected;
+  for (int i = 0; i < kRequests; ++i) {
+    q4_expected.push_back(
+        sequential.serve(prompts[static_cast<size_t>(i)],
+                         options[static_cast<size_t>(i)]).tokens);
+  }
+
+  for (int max_batch : {1, 4}) {
+    ServerConfig cfg;
+    cfg.batching = true;
+    cfg.batch.max_batch = max_batch;
+    cfg.engine.precision = StorePrecision::kQ4;
+    cfg.schemas = {kSchema};
+    Server server(model_, workload_.tokenizer(), cfg);
+    for (int i = 0; i < kRequests; ++i) {
+      server.submit(prompts[static_cast<size_t>(i)],
+                    options[static_cast<size_t>(i)]);
+    }
+    const auto responses = server.drain();
+    ASSERT_EQ(responses.size(), static_cast<size_t>(kRequests));
+    for (int i = 0; i < kRequests; ++i) {
+      const ServerResponse& r = responses[static_cast<size_t>(i)];
+      EXPECT_EQ(r.status, ServeStatus::kOk)
+          << "batch " << max_batch << " id " << r.id << ": " << r.detail;
+      EXPECT_EQ(r.result.tokens, q4_expected[static_cast<size_t>(i)])
+          << "batch " << max_batch << " id " << r.id;
+      EXPECT_EQ(r.result.tokens, fp32_expected[static_cast<size_t>(i)])
+          << "q4 retrieval must stay exact; batch " << max_batch;
+    }
+  }
+}
+
 TEST_F(BatchServeTest, BatchedSamplingMatchesSequentialBitwise) {
   // Seeded stochastic decoding: the per-request Rng must advance exactly as
   // in generate_impl, whatever else is in the batch.

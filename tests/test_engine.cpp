@@ -368,12 +368,14 @@ TEST_P(EnginePrecisionTest, ReducedPrecisionStoragePreservesRetrieval) {
 INSTANTIATE_TEST_SUITE_P(AllPrecisions, EnginePrecisionTest,
                          ::testing::Values(StorePrecision::kFp32,
                                            StorePrecision::kFp16,
-                                           StorePrecision::kQ8),
+                                           StorePrecision::kQ8,
+                                           StorePrecision::kQ4),
                          [](const auto& info) {
                            switch (info.param) {
                              case StorePrecision::kFp32: return "Fp32";
                              case StorePrecision::kFp16: return "Fp16";
                              case StorePrecision::kQ8: return "Q8";
+                             case StorePrecision::kQ4: return "Q4";
                            }
                            return "Unknown";
                          });
@@ -383,11 +385,12 @@ TEST_F(EngineTest, PrecisionFootprintOrdering) {
     <schema name="fp">
       <module name="doc">w00 w01 q05 a10 a11 . w02 w03 w04 w05</module>
     </schema>)";
-  size_t bytes[3];
+  size_t bytes[4];
   const StorePrecision precisions[] = {StorePrecision::kFp32,
                                        StorePrecision::kFp16,
-                                       StorePrecision::kQ8};
-  for (int i = 0; i < 3; ++i) {
+                                       StorePrecision::kQ8,
+                                       StorePrecision::kQ4};
+  for (int i = 0; i < 4; ++i) {
     EngineConfig cfg;
     cfg.precision = precisions[i];
     PromptCacheEngine engine(model_, workload_.tokenizer(), cfg);
@@ -397,6 +400,8 @@ TEST_F(EngineTest, PrecisionFootprintOrdering) {
   EXPECT_EQ(bytes[1], bytes[0] / 2);       // fp16 halves fp32
   EXPECT_LT(bytes[2], bytes[1] * 2 / 3);   // q8 well below fp16
   EXPECT_GT(bytes[2], bytes[0] / 5);       // but not free (scales)
+  EXPECT_LT(bytes[3], bytes[2] * 3 / 4);   // q4 well below q8
+  EXPECT_GT(bytes[3], bytes[0] / 8);       // but above pure 4-bit (scales)
 }
 
 // Runtime module updates (§1: "or even update some prompt modules during

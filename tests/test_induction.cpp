@@ -201,7 +201,9 @@ INSTANTIATE_TEST_SUITE_P(Sharpness, InductionBetaSweep,
 
 TEST(Induction, DimensionsFollowConstruction) {
   const Model model = make_model();
-  EXPECT_EQ(model.config().d_model, 3 * kVocab + kMaxPos);
+  // 3V + P rounded up to the Q4_0 block size (32) so blocked KV formats
+  // pack without partial-block waste.
+  EXPECT_EQ(model.config().d_model, (3 * kVocab + kMaxPos + 31) / 32 * 32);
   EXPECT_EQ(model.config().n_layers, 2);
   EXPECT_FALSE(model.config().use_mlp);
 }

@@ -734,6 +734,456 @@ TEST(FusedAttention, Q8EmptyContextYieldsZeros) {
   for (float x : out) EXPECT_EQ(x, 0.0f);
 }
 
+// ---- Q4_0 quantization + int4 primitives ------------------------------------
+
+// Scalar mirror of simd::dot_i4i8 (the integer part is exact and the float
+// block accumulation is strictly sequential on every ISA path, so this is a
+// bitwise reference).
+float ref_dot_i4i8(const int8_t* q8, const uint8_t* packed,
+                   const float* block_scales, const int32_t* q_sums,
+                   size_t n_blocks) {
+  float s = 0.0f;
+  for (size_t b = 0; b < n_blocks; ++b) {
+    int32_t p = 0;
+    for (size_t j = 0; j < 16; ++j) {
+      const uint8_t byte = packed[b * 16 + j];
+      p += static_cast<int32_t>(q8[b * 32 + j]) * (byte & 0x0f);
+      p += static_cast<int32_t>(q8[b * 32 + 16 + j]) * (byte >> 4);
+    }
+    s += block_scales[b] * static_cast<float>(p - 8 * q_sums[b]);
+  }
+  return s;
+}
+
+TEST(Q4Kernels, QuantizeRowsQ4BitIdenticalToScalarGolden) {
+  for (size_t width : kLengths) {
+    if (width == 0) continue;
+    const int n_rows = 4;
+    const int blocks = q4_blocks(static_cast<int>(width));
+    const size_t row_bytes = q4_row_bytes(static_cast<int>(width));
+    auto src = random_vec(n_rows * width, 1300 + width, 3.0f);
+    // Row 1: all zeros (every block scale must fall back to 1.0). Row 2:
+    // one huge outlier so the rest of its block quantizes to 0. Row 3: the
+    // negative extreme must land exactly on quant level -8 (nibble 0).
+    std::fill(src.begin() + width, src.begin() + 2 * width, 0.0f);
+    src[2 * width] = 1000.0f;
+    src[3 * width] = -8.0f;
+    std::vector<uint8_t> p_vec(n_rows * row_bytes), p_ref(n_rows * row_bytes);
+    std::vector<float> s_vec(n_rows * blocks), s_ref(n_rows * blocks);
+    quantize_rows_q4(src.data(), n_rows, static_cast<int>(width),
+                     p_vec.data(), s_vec.data());
+    quantize_rows_q4_scalar(src.data(), n_rows, static_cast<int>(width),
+                            p_ref.data(), s_ref.data());
+    for (size_t i = 0; i < s_vec.size(); ++i) {
+      ASSERT_EQ(s_vec[i], s_ref[i]) << "width=" << width << " block=" << i;
+    }
+    for (size_t i = 0; i < p_vec.size(); ++i) {
+      ASSERT_EQ(p_vec[i], p_ref[i]) << "width=" << width << " byte=" << i;
+    }
+    for (int b = 0; b < blocks; ++b) {
+      EXPECT_EQ(s_vec[blocks + b], 1.0f) << "all-zero block scale fallback";
+    }
+    EXPECT_EQ(p_ref[3 * row_bytes] & 0x0f, 0)
+        << "negative extremum must quantize to level -8 (nibble 0)";
+  }
+}
+
+TEST(Q4Kernels, QuantizeRoundTripErrorBoundedByOneStep) {
+  const size_t width = 100;  // 4 blocks, the last one partial
+  const int n_rows = 8;
+  const int blocks = q4_blocks(static_cast<int>(width));
+  const size_t row_bytes = q4_row_bytes(static_cast<int>(width));
+  const auto src = random_vec(n_rows * width, 1411, 2.0f);
+  std::vector<uint8_t> packed(n_rows * row_bytes);
+  std::vector<float> scales(n_rows * blocks);
+  quantize_rows_q4(src.data(), n_rows, static_cast<int>(width), packed.data(),
+                   scales.data());
+  std::vector<float> back(width);
+  for (int r = 0; r < n_rows; ++r) {
+    dequantize_row_q4(packed.data() + r * row_bytes,
+                      scales.data() + r * blocks, static_cast<int>(width),
+                      back.data());
+    for (size_t i = 0; i < width; ++i) {
+      // The Q4_0 level grid is asymmetric (scale * [-8, 7] with scale =
+      // extremum / -8): values opposite the block extremum can clamp at
+      // level 7 and land up to one full step away, so the bound is a step,
+      // not the half-step of symmetric q8.
+      const float step = std::abs(scales[r * blocks + i / kQ4BlockSize]);
+      EXPECT_LE(std::abs(back[i] - src[r * width + i]), step + 1e-6f)
+          << "row=" << r << " elem=" << i;
+    }
+  }
+}
+
+TEST(Q4Kernels, DotI4I8BitIdenticalToScalarReference) {
+  Rng rng(1500);
+  for (const size_t n_blocks : {size_t{1}, size_t{2}, size_t{4}, size_t{9}}) {
+    const size_t n = n_blocks * 32;
+    std::vector<uint8_t> packed(n_blocks * 16);
+    for (auto& b : packed) b = static_cast<uint8_t>(rng.next_below(256));
+    std::vector<int8_t> q8(n);
+    for (auto& x : q8) x = static_cast<int8_t>(rng.next_below(255)) - 127;
+    std::vector<float> scales(n_blocks);
+    for (auto& s : scales) s = rng.uniform(-0.1f, 0.1f);
+    std::vector<int32_t> q_sums(n_blocks);
+    for (size_t b = 0; b < n_blocks; ++b) {
+      int32_t s = 0;
+      for (size_t i = 0; i < 32; ++i) s += q8[b * 32 + i];
+      q_sums[b] = s;
+    }
+    EXPECT_EQ(simd::dot_i4i8(q8.data(), packed.data(), scales.data(),
+                             q_sums.data(), n_blocks),
+              ref_dot_i4i8(q8.data(), packed.data(), scales.data(),
+                           q_sums.data(), n_blocks))
+        << "n_blocks=" << n_blocks;
+  }
+  // Worst-case magnitudes for the maddubs pair sums: nibble 15 against
+  // query +-127 everywhere (2*15*127 = 3810 must not saturate int16).
+  const size_t n_blocks = 4;
+  std::vector<uint8_t> all_hi(n_blocks * 16, 0xff);
+  std::vector<int8_t> q_hi(n_blocks * 32, 127), q_lo(n_blocks * 32, -127);
+  const std::vector<float> unit(n_blocks, 1.0f);
+  std::vector<int32_t> sums_hi(n_blocks, 32 * 127), sums_lo(n_blocks,
+                                                            -32 * 127);
+  EXPECT_EQ(simd::dot_i4i8(q_hi.data(), all_hi.data(), unit.data(),
+                           sums_hi.data(), n_blocks),
+            ref_dot_i4i8(q_hi.data(), all_hi.data(), unit.data(),
+                         sums_hi.data(), n_blocks));
+  EXPECT_EQ(simd::dot_i4i8(q_lo.data(), all_hi.data(), unit.data(),
+                           sums_lo.data(), n_blocks),
+            ref_dot_i4i8(q_lo.data(), all_hi.data(), unit.data(),
+                         sums_lo.data(), n_blocks));
+}
+
+TEST(Q4Kernels, DequantStoreI4MatchesScalar) {
+  Rng rng(1600);
+  for (const size_t n : {size_t{1}, size_t{7}, size_t{16}, size_t{17},
+                         size_t{31}, size_t{32}}) {
+    std::vector<uint8_t> packed(16);
+    for (auto& b : packed) b = static_cast<uint8_t>(rng.next_below(256));
+    const float scale = 0.043f;
+    std::vector<float> y_simd(n), y_ref(n);
+    simd::dequant_store_i4(packed.data(), scale, y_simd.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      const uint8_t byte = packed[i & 15];
+      const int nib = i < 16 ? (byte & 0x0f) : (byte >> 4);
+      y_ref[i] = scale * static_cast<float>(nib - 8);
+    }
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(y_simd[i], y_ref[i]) << i;
+  }
+}
+
+TEST(Q4Kernels, NomadLutScoringBitIdenticalToIntegerDot) {
+  // The multiply-add-free path: per-dimension 16-entry LUTs applied by byte
+  // shuffle must reproduce the integer block score sum_j q4[j]*(nib_j - 8)
+  // exactly — entries fit int8 ([-56, 64]) and a block accumulates at most
+  // 2048 into int16, so there is no saturation anywhere.
+  Rng rng(1700);
+  const size_t n_blocks = 2;  // 64-dim head
+  const size_t n_keys = 16;
+  std::vector<uint8_t> packed(n_keys * n_blocks * 16);
+  for (auto& b : packed) b = static_cast<uint8_t>(rng.next_below(256));
+  std::vector<const uint8_t*> rows(n_keys);
+  for (size_t r = 0; r < n_keys; ++r) {
+    rows[r] = packed.data() + r * n_blocks * 16;
+  }
+  std::vector<int32_t> q4(n_blocks * 32);
+  for (auto& x : q4) x = static_cast<int32_t>(rng.next_below(16)) - 8;
+
+  // LUT path: code-major tile, per-block shuffle tables, int16 accumulate.
+  std::vector<uint8_t> tile(n_blocks * 16 * 16);
+  simd::nomad_transpose_tile16(rows.data(), n_keys, n_blocks, tile.data());
+  std::array<int16_t, 16> out16{};
+  for (size_t b = 0; b < n_blocks; ++b) {
+    int8_t luts[32 * 16];
+    simd::nomad_build_block_luts(q4.data() + b * 32, luts);
+    simd::nomad_score_block16(tile.data() + b * 16 * 16, luts, out16.data());
+  }
+
+  for (size_t r = 0; r < n_keys; ++r) {
+    int32_t want = 0;
+    for (size_t b = 0; b < n_blocks; ++b) {
+      for (size_t j = 0; j < 16; ++j) {
+        const uint8_t byte = rows[r][b * 16 + j];
+        want += q4[b * 32 + j] * ((byte & 0x0f) - 8);
+        want += q4[b * 32 + 16 + j] * ((byte >> 4) - 8);
+      }
+    }
+    EXPECT_EQ(out16[r], want) << "key " << r;
+  }
+
+  // Short tiles pad with 0x88 (quantized zero): scores of absent keys are
+  // exactly -sum(q4)*0 per dim... i.e. 0 contribution per padded dim.
+  std::array<int16_t, 16> pad16{};
+  std::vector<uint8_t> tile_short(n_blocks * 16 * 16);
+  simd::nomad_transpose_tile16(rows.data(), 3, n_blocks, tile_short.data());
+  for (size_t b = 0; b < n_blocks; ++b) {
+    int8_t luts[32 * 16];
+    simd::nomad_build_block_luts(q4.data() + b * 32, luts);
+    simd::nomad_score_block16(tile_short.data() + b * 16 * 16, luts,
+                              pad16.data());
+  }
+  for (size_t r = 0; r < 3; ++r) EXPECT_EQ(pad16[r], out16[r]);
+  for (size_t r = 3; r < 16; ++r) EXPECT_EQ(pad16[r], 0) << "padded key " << r;
+}
+
+// ---- q4 fused attention ------------------------------------------------------
+
+// Exact mirror of attn_fused_q4_gather with the integer block dot taken
+// scalar; every float step uses the same simd primitives in the same order,
+// so the comparison is bitwise.
+void ref_q4_attention(const float* q, const uint8_t* const* k4_rows,
+                      const uint8_t* const* v4_rows,
+                      const float* const* k4_scales,
+                      const float* const* v4_scales,
+                      const float* const* k_rows, const float* const* v_rows,
+                      size_t head_off, size_t d_head, size_t n_ctx,
+                      float scale, float slope, const float* rel,
+                      const uint8_t* masked, float* scores, float* out) {
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  if (n_ctx == 0) {
+    std::fill(out, out + d_head, 0.0f);
+    return;
+  }
+  const size_t n_blocks = (d_head + 31) / 32;
+  const size_t blk_off = head_off / 32;
+  const size_t byte_off = blk_off * 16;
+  std::vector<int8_t> q8(n_blocks * 32, 0);
+  const float q_max = simd::reduce_max_abs(q, d_head);
+  const float q_scale = q_max > 0.0f ? q_max / 127.0f : 1.0f;
+  simd::quantize_i8(q, 1.0f / q_scale, q8.data(), d_head);
+  std::vector<int32_t> q_sums(n_blocks);
+  for (size_t b = 0; b < n_blocks; ++b) {
+    int32_t s = 0;
+    for (size_t i = 0; i < 32; ++i) s += q8[b * 32 + i];
+    q_sums[b] = s;
+  }
+  const float fix = scale * q_scale;
+  for (size_t j = 0; j < n_ctx; ++j) {
+    if (masked != nullptr && masked[j] != 0) {
+      scores[j] = kNegInf;
+      continue;
+    }
+    float s;
+    if (k4_rows[j] != nullptr) {
+      s = ref_dot_i4i8(q8.data(), k4_rows[j] + byte_off,
+                       k4_scales[j] + blk_off, q_sums.data(), n_blocks) *
+          fix;
+    } else {
+      s = simd::dot(q, k_rows[j] + head_off, d_head) * scale;
+    }
+    if (rel != nullptr) s += -slope * rel[j];
+    scores[j] = s;
+  }
+  const float mx = simd::reduce_max(scores, n_ctx);
+  if (mx == kNegInf) {
+    std::fill(scores, scores + n_ctx, 0.0f);
+    std::fill(out, out + d_head, 0.0f);
+    return;
+  }
+  float sum = 0.0f;
+  for (size_t j = 0; j < n_ctx; ++j) {
+    scores[j] = std::exp(scores[j] - mx);
+    sum += scores[j];
+  }
+  simd::scale(scores, 1.0f / sum, n_ctx);
+  std::fill(out, out + d_head, 0.0f);
+  for (size_t j = 0; j < n_ctx; ++j) {
+    const float w = scores[j];
+    if (w == 0.0f) continue;
+    if (v4_rows[j] != nullptr) {
+      simd::axpy_i4(w, v4_rows[j] + byte_off, v4_scales[j] + blk_off, out,
+                    d_head);
+    } else {
+      simd::axpy(w, v_rows[j] + head_off, out, d_head);
+    }
+  }
+}
+
+// Helper bundle: n_ctx rows of width kv_dim quantized to Q4_0, with the
+// per-row pointer tables the gather kernel consumes.
+struct Q4Rows {
+  std::vector<uint8_t> packed;
+  std::vector<float> scales;
+  std::vector<const uint8_t*> rows;
+  std::vector<const float*> row_scales;
+
+  Q4Rows(const float* src, size_t n_ctx, size_t kv_dim) {
+    const int blocks = q4_blocks(static_cast<int>(kv_dim));
+    const size_t row_bytes = q4_row_bytes(static_cast<int>(kv_dim));
+    packed.resize(n_ctx * row_bytes);
+    scales.resize(n_ctx * blocks);
+    if (n_ctx > 0) {
+      quantize_rows_q4(src, static_cast<int>(n_ctx),
+                       static_cast<int>(kv_dim), packed.data(),
+                       scales.data());
+    }
+    rows.resize(n_ctx);
+    row_scales.resize(n_ctx);
+    for (size_t j = 0; j < n_ctx; ++j) {
+      rows[j] = packed.data() + j * row_bytes;
+      row_scales[j] = scales.data() + j * blocks;
+    }
+  }
+};
+
+// The q4 kernel requires a 32-aligned head offset (whole Q4_0 blocks), so
+// its shape set fixes head_off = kv_dim - d_head to multiples of 32 —
+// including d_head values that end mid-block (16, 33).
+class Q4FusedAttentionTest : public ::testing::TestWithParam<AttnCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Q4FusedAttentionTest,
+    ::testing::Values(AttnCase{32, 1, 32}, AttnCase{16, 23, 16},
+                      AttnCase{33, 29, 33}, AttnCase{32, 100, 64},
+                      AttnCase{64, 257, 128}, AttnCase{128, 64, 128}));
+
+TEST_P(Q4FusedAttentionTest, AllFp32SlotsBitIdenticalToGather) {
+  // With every slot fp32 the q4 kernel must follow the exact operation
+  // sequence of attn_fused_gather — the regression guard that makes the q4
+  // path safe as a view's only attention kernel.
+  const auto [d_head, n_ctx, kv_dim] = GetParam();
+  const size_t head_off = kv_dim - d_head;
+  const auto q = random_vec(d_head, 1811 + n_ctx, 0.5f);
+  const auto k = random_vec(n_ctx * kv_dim + 1, 1813 + n_ctx, 0.5f);
+  const auto v = random_vec(n_ctx * kv_dim + 1, 1817 + n_ctx, 0.5f);
+  std::vector<const float*> k_rows(n_ctx), v_rows(n_ctx);
+  for (size_t j = 0; j < n_ctx; ++j) {
+    k_rows[j] = k.data() + j * kv_dim;
+    v_rows[j] = v.data() + j * kv_dim;
+  }
+  const std::vector<const uint8_t*> null4(n_ctx, nullptr);
+  const std::vector<const float*> null_sc(n_ctx, nullptr);
+  std::vector<float> s1(n_ctx), s2(n_ctx), o1(d_head), o2(d_head);
+  attn_fused_gather(q.data(), k_rows.data(), v_rows.data(), head_off, d_head,
+                    n_ctx, 0.125f, 0.0f, nullptr, nullptr, s1.data(),
+                    o1.data());
+  attn_fused_q4_gather(q.data(), null4.data(), null4.data(), null_sc.data(),
+                       null_sc.data(), k_rows.data(), v_rows.data(), head_off,
+                       d_head, n_ctx, 0.125f, 0.0f, nullptr, nullptr,
+                       s2.data(), o2.data());
+  for (size_t j = 0; j < n_ctx; ++j) ASSERT_EQ(s1[j], s2[j]) << "slot " << j;
+  for (size_t e = 0; e < d_head; ++e) ASSERT_EQ(o1[e], o2[e]) << "elem " << e;
+}
+
+TEST_P(Q4FusedAttentionTest, MixedFormatMatchesMirrorReference) {
+  // Alternate q4 and fp32 slots (the paged layout: shared module pages
+  // quantized, private decode tail fp32) under mask and ALiBi variants.
+  const auto [d_head, n_ctx, kv_dim] = GetParam();
+  const size_t head_off = kv_dim - d_head;
+  const auto q = random_vec(d_head, 1821 + n_ctx, 0.5f);
+  const auto k = random_vec(n_ctx * kv_dim + 1, 1823 + n_ctx, 0.5f);
+  const auto v = random_vec(n_ctx * kv_dim + 1, 1827 + n_ctx, 0.5f);
+  const Q4Rows k4(k.data(), n_ctx, kv_dim);
+  const Q4Rows v4(v.data(), n_ctx, kv_dim);
+  std::vector<const float*> k_rows(n_ctx, nullptr), v_rows(n_ctx, nullptr);
+  std::vector<const uint8_t*> k4_rows(n_ctx, nullptr), v4_rows(n_ctx, nullptr);
+  std::vector<const float*> k4_sc(n_ctx, nullptr), v4_sc(n_ctx, nullptr);
+  for (size_t j = 0; j < n_ctx; ++j) {
+    if (j % 2 == 0) {
+      k4_rows[j] = k4.rows[j];
+      v4_rows[j] = v4.rows[j];
+      k4_sc[j] = k4.row_scales[j];
+      v4_sc[j] = v4.row_scales[j];
+    } else {
+      k_rows[j] = k.data() + j * kv_dim;
+      v_rows[j] = v.data() + j * kv_dim;
+    }
+  }
+  Rng rng(1829 + n_ctx);
+  std::vector<uint8_t> masked(n_ctx);
+  for (auto& mv : masked) mv = rng.next_below(4) == 0 ? 1 : 0;
+  if (n_ctx > 0) masked[n_ctx - 1] = 0;
+  std::vector<float> rel(n_ctx);
+  for (size_t j = 0; j < n_ctx; ++j) {
+    rel[j] = static_cast<float>(static_cast<int>(n_ctx - j));
+  }
+  for (const bool use_mask : {false, true}) {
+    for (const bool use_alibi : {false, true}) {
+      std::vector<float> s1(n_ctx), s2(n_ctx), o1(d_head), o2(d_head);
+      attn_fused_q4_gather(q.data(), k4_rows.data(), v4_rows.data(),
+                           k4_sc.data(), v4_sc.data(), k_rows.data(),
+                           v_rows.data(), head_off, d_head, n_ctx, 0.25f,
+                           0.0625f, use_alibi ? rel.data() : nullptr,
+                           use_mask ? masked.data() : nullptr, s1.data(),
+                           o1.data());
+      ref_q4_attention(q.data(), k4_rows.data(), v4_rows.data(), k4_sc.data(),
+                       v4_sc.data(), k_rows.data(), v_rows.data(), head_off,
+                       d_head, n_ctx, 0.25f, 0.0625f,
+                       use_alibi ? rel.data() : nullptr,
+                       use_mask ? masked.data() : nullptr, s2.data(),
+                       o2.data());
+      for (size_t j = 0; j < n_ctx; ++j) {
+        ASSERT_EQ(s1[j], s2[j])
+            << "slot " << j << " mask=" << use_mask << " alibi=" << use_alibi;
+      }
+      for (size_t e = 0; e < d_head; ++e) {
+        ASSERT_EQ(o1[e], o2[e])
+            << "elem " << e << " mask=" << use_mask << " alibi=" << use_alibi;
+      }
+    }
+  }
+}
+
+TEST_P(Q4FusedAttentionTest, CloseToFp32Attention) {
+  // All slots quantized: the int4-domain result must track the fp32 result
+  // on the original rows within the Q4_0 error budget (coarser than q8 —
+  // 4-bit levels, but the per-block scales keep the error bounded).
+  const auto [d_head, n_ctx, kv_dim] = GetParam();
+  if (n_ctx == 0) return;
+  const size_t head_off = kv_dim - d_head;
+  const auto q = random_vec(d_head, 1841 + n_ctx, 0.5f);
+  const auto k = random_vec(n_ctx * kv_dim + 1, 1843 + n_ctx, 0.5f);
+  const auto v = random_vec(n_ctx * kv_dim + 1, 1847 + n_ctx, 0.5f);
+  const Q4Rows k4(k.data(), n_ctx, kv_dim);
+  const Q4Rows v4(v.data(), n_ctx, kv_dim);
+  std::vector<const float*> k_rows(n_ctx), v_rows(n_ctx);
+  for (size_t j = 0; j < n_ctx; ++j) {
+    k_rows[j] = k.data() + j * kv_dim;
+    v_rows[j] = v.data() + j * kv_dim;
+  }
+  const std::vector<const float*> null32(n_ctx, nullptr);
+  std::vector<float> s_q4(n_ctx), s_fp(n_ctx), o_q4(d_head), o_fp(d_head);
+  attn_fused_q4_gather(q.data(), k4.rows.data(), v4.rows.data(),
+                       k4.row_scales.data(), v4.row_scales.data(),
+                       null32.data(), null32.data(), head_off, d_head, n_ctx,
+                       0.25f, 0.0f, nullptr, nullptr, s_q4.data(),
+                       o_q4.data());
+  attn_fused_gather(q.data(), k_rows.data(), v_rows.data(), head_off, d_head,
+                    n_ctx, 0.25f, 0.0f, nullptr, nullptr, s_fp.data(),
+                    o_fp.data());
+  EXPECT_LE(max_abs_diff_span(o_q4.data(), o_fp.data(), d_head), 0.15f)
+      << "d_head=" << d_head << " n_ctx=" << n_ctx;
+}
+
+TEST(FusedAttention, Q4AllMaskedYieldsZeros) {
+  const size_t d_head = 32, n_ctx = 23;
+  const auto q = random_vec(d_head, 1851);
+  const auto k = random_vec(n_ctx * d_head, 1853);
+  const Q4Rows k4(k.data(), n_ctx, d_head);
+  const Q4Rows v4(k.data(), n_ctx, d_head);
+  const std::vector<const float*> null32(n_ctx, nullptr);
+  const std::vector<uint8_t> masked(n_ctx, 1);
+  std::vector<float> scores(n_ctx, 42.0f), out(d_head, 42.0f);
+  attn_fused_q4_gather(q.data(), k4.rows.data(), v4.rows.data(),
+                       k4.row_scales.data(), v4.row_scales.data(),
+                       null32.data(), null32.data(), 0, d_head, n_ctx, 1.0f,
+                       0.0f, nullptr, masked.data(), scores.data(),
+                       out.data());
+  for (float x : out) EXPECT_EQ(x, 0.0f);
+  for (float x : scores) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(FusedAttention, Q4EmptyContextYieldsZeros) {
+  const size_t d_head = 32;
+  const auto q = random_vec(d_head, 1861);
+  std::vector<float> out(d_head, 42.0f);
+  attn_fused_q4_gather(q.data(), nullptr, nullptr, nullptr, nullptr, nullptr,
+                       nullptr, 0, d_head, 0, 1.0f, 0.0f, nullptr, nullptr,
+                       nullptr, out.data());
+  for (float x : out) EXPECT_EQ(x, 0.0f);
+}
+
 // ---- mask-hoist regression through the model --------------------------------
 
 // The block mask is computed once per query row and shared across heads.

@@ -122,6 +122,15 @@ TEST_P(SerializeTest, RestoredStatesAreBitwiseEquivalent) {
         EXPECT_EQ(m.kv8_layers[l].k_scales, orig->kv8_layers[l].k_scales);
         EXPECT_EQ(m.kv8_layers[l].v_scales, orig->kv8_layers[l].v_scales);
       }
+    } else if (m.precision == StorePrecision::kQ4) {
+      // Q4_0 records restore the exact packed nibbles and per-block scales.
+      ASSERT_EQ(m.kv4_layers.size(), orig->kv4_layers.size());
+      for (size_t l = 0; l < m.kv4_layers.size(); ++l) {
+        EXPECT_EQ(m.kv4_layers[l].k, orig->kv4_layers[l].k) << "layer " << l;
+        EXPECT_EQ(m.kv4_layers[l].v, orig->kv4_layers[l].v) << "layer " << l;
+        EXPECT_EQ(m.kv4_layers[l].k_scales, orig->kv4_layers[l].k_scales);
+        EXPECT_EQ(m.kv4_layers[l].v_scales, orig->kv4_layers[l].v_scales);
+      }
     }
   }
   EXPECT_EQ(read_count, 3u);
@@ -365,6 +374,60 @@ TEST(SerializeUpgrade, LegacyFp32SnapshotLoadsIntoQ8Engine) {
   std::remove(path.c_str());
 }
 
+// The same upgrade path for the sub-byte format: an fp32 snapshot loads
+// into a PC_KV_FORMAT=q4 engine, records are converted to Q4_0 at load
+// time, and serving works without re-encoding.
+TEST(SerializeUpgrade, LegacyFp32SnapshotLoadsIntoQ4Engine) {
+  AccuracyWorkload workload(7);
+  Model model = make_induction_model({workload.vocab().size(), 256});
+  constexpr const char* kSchema = R"(
+    <schema name="s">
+      <module name="doc1">w00 w01 q05 a10 a11 . w02</module>
+      <module name="doc2">w03 q06 a12 a13 . w04</module>
+    </schema>)";
+  constexpr const char* kPrompt =
+      R"(<prompt schema="s"><doc1/><doc2/> question: q06</prompt>)";
+  GenerateOptions opts;
+  opts.max_new_tokens = 6;
+  opts.stop_tokens = {workload.stop_token()};
+
+  const std::string path = ::testing::TempDir() + "pc_modules_legacy_q4.bin";
+  {
+    EngineConfig fp32_cfg;
+    fp32_cfg.precision = StorePrecision::kFp32;
+    PromptCacheEngine writer(model, workload.tokenizer(), fp32_cfg);
+    writer.load_schema(kSchema);
+    ASSERT_EQ(writer.save_modules(path), 2u);
+  }
+
+  EngineConfig q4_cfg;
+  q4_cfg.precision = StorePrecision::kQ4;
+  q4_cfg.eager_encode = false;
+  PromptCacheEngine reader(model, workload.tokenizer(), q4_cfg);
+  reader.load_schema(kSchema);
+  EXPECT_EQ(reader.load_modules(path), 2u);
+  EXPECT_EQ(reader.stats().modules_encoded, 0u);
+
+  size_t seen = 0;
+  reader.store().for_each([&](const std::string&, const EncodedModule& m,
+                              ModuleLocation) {
+    ++seen;
+    EXPECT_EQ(m.precision, StorePrecision::kQ4);
+    EXPECT_FALSE(m.kv32.has_value()) << "no fp32 payload may stay resident";
+    EXPECT_FALSE(m.kv4_layers.empty());
+  });
+  EXPECT_EQ(seen, 2u);
+  EXPECT_GT(reader.store().resident_bytes_q4(), 0u);
+  EXPECT_EQ(reader.store().resident_bytes_q8(), 0u);
+  EXPECT_EQ(reader.store().resident_bytes_fp32(), 0u);
+
+  const ServeResult r = reader.serve(kPrompt, opts);
+  EXPECT_EQ(r.text, "a12 a13");
+  EXPECT_EQ(reader.stats().modules_encoded, 0u)
+      << "conversion must not trigger re-encoding";
+  std::remove(path.c_str());
+}
+
 TEST_P(SerializeTest, GeometryMismatchRejected) {
   PromptCacheEngine writer(model_, workload_.tokenizer(), config());
   writer.load_schema(kSchema);
@@ -381,12 +444,14 @@ TEST_P(SerializeTest, GeometryMismatchRejected) {
 INSTANTIATE_TEST_SUITE_P(AllPrecisions, SerializeTest,
                          ::testing::Values(StorePrecision::kFp32,
                                            StorePrecision::kFp16,
-                                           StorePrecision::kQ8),
+                                           StorePrecision::kQ8,
+                                           StorePrecision::kQ4),
                          [](const auto& info) {
                            switch (info.param) {
                              case StorePrecision::kFp32: return "Fp32";
                              case StorePrecision::kFp16: return "Fp16";
                              case StorePrecision::kQ8: return "Q8";
+                             case StorePrecision::kQ4: return "Q4";
                            }
                            return "Unknown";
                          });

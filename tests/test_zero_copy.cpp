@@ -8,6 +8,7 @@
 #include "core/engine.h"
 #include "eval/workload.h"
 #include "kv/kv_view.h"
+#include "kv/quant.h"
 #include "model/induction.h"
 #include "tensor/ops.h"
 
@@ -192,6 +193,57 @@ TEST_F(ZeroCopyTest, Q8StoreResidencyIsTrackedByFormat) {
   // Q8_0 is a quarter of fp32 plus two scales per token-layer.
   EXPECT_LT(engine.store().resident_bytes_q8(),
             fp_engine.store().resident_bytes_fp32() * 3 / 10);
+}
+
+TEST_F(ZeroCopyTest, Q4ZeroCopyServesExactRetrievalWithoutDequant) {
+  // The sub-byte format borrows packed nibble rows in place and scores them
+  // in the int4 domain: retrieval stays exact (the induction gate) and the
+  // dequant-on-read counter stays at zero.
+  EngineConfig q4;
+  q4.precision = StorePrecision::kQ4;
+  PromptCacheEngine copy_engine(model_, workload_.tokenizer(), q4);
+  copy_engine.load_schema(kSchema);
+  const ServeResult copied = copy_engine.serve(kPrompt, answer_options());
+  EXPECT_EQ(copied.text, "a12 a13");
+  // The copy path materializes fp32 rows from the q4 payload — and counts
+  // every one of them.
+  EXPECT_GT(copy_engine.store().dequant_rows(), 0u);
+
+  EngineConfig zc = q4;
+  zc.zero_copy = true;
+  PromptCacheEngine zc_engine(model_, workload_.tokenizer(), zc);
+  zc_engine.load_schema(kSchema);
+  const ServeResult borrowed = zc_engine.serve(kPrompt, answer_options());
+  EXPECT_EQ(borrowed.text, "a12 a13");
+  EXPECT_EQ(borrowed.tokens, copied.tokens);
+  EXPECT_GT(borrowed.ttft.bytes_zero_copy, 0u);
+  EXPECT_EQ(borrowed.ttft.bytes_from_host, 0u);
+  EXPECT_EQ(zc_engine.store().dequant_rows(), 0u)
+      << "zero-copy q4 serving must never dequantize";
+}
+
+TEST_F(ZeroCopyTest, Q4StoreResidencyIsTrackedByFormat) {
+  EngineConfig q4;
+  q4.precision = StorePrecision::kQ4;
+  PromptCacheEngine engine(model_, workload_.tokenizer(), q4);
+  engine.load_schema(kSchema);
+  EXPECT_GT(engine.store().resident_bytes_q4(), 0u);
+  EXPECT_EQ(engine.store().resident_bytes_q8(), 0u);
+  EXPECT_EQ(engine.store().resident_bytes_fp32(), 0u);
+
+  EngineConfig fp32;
+  fp32.precision = StorePrecision::kFp32;
+  PromptCacheEngine fp_engine(model_, workload_.tokenizer(), fp32);
+  fp_engine.load_schema(kSchema);
+  EXPECT_EQ(fp_engine.store().resident_bytes_q4(), 0u);
+  // Q4_0 costs exactly 20 bytes per 32-value block (16 packed + one fp32
+  // scale) against 4 bytes per element for fp32. The induction model rounds
+  // its width up to the block size, so the identity reduces to the clean
+  // 5/32 ratio; it stays exact even for widths whose final block pads.
+  const size_t kv = static_cast<size_t>(model_.config().kv_dim());
+  const size_t blocks = static_cast<size_t>(q4_blocks(model_.config().kv_dim()));
+  EXPECT_EQ(engine.store().resident_bytes_q4() * kv * 4,
+            fp_engine.store().resident_bytes_fp32() * blocks * 20);
 }
 
 TEST_F(ZeroCopyTest, ManyRequestsShareOneModuleCopy) {
