@@ -1,4 +1,4 @@
-// Observability overhead + artifact bench. Two phases:
+// Observability overhead + artifact bench. Three phases:
 //
 //   1. Overhead: one 4-worker shared-store server serves paired bursts
 //      with tracing runtime-toggled OFF/ON (same binary, same warmed
@@ -14,6 +14,14 @@
 //      are checked for >= 4 worker lanes each nesting kv_concat and decode
 //      inside a serve, and exported as obs_trace.json (Perfetto) +
 //      obs_metrics.prom (Prometheus text).
+//
+//   3. Request-telemetry overhead under continuous batching: a batching
+//      server serves paired bursts with the FULL telemetry stack
+//      (tracing + request timelines + a 10 Hz metrics sampler + SLO
+//      tracking) toggled OFF/ON, same pairing methodology as phase 1.
+//      The acceptance check is overhead <= 2%; the final ON burst's
+//      timelines are exported as obs_requests.jsonl (the input for
+//      `trace_report --requests`).
 //
 // Writes BENCH_obs.json. PC_SMOKE=1 shrinks reps/requests for CI smoke
 // runs; PC_REQUESTS/PC_REPS override directly.
@@ -33,6 +41,8 @@
 #include "model/induction.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/request_timeline.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "sys/server.h"
 
@@ -246,6 +256,74 @@ int main() {
   const bool lanes_ok = worker_lanes >= 4 && lanes_nested >= 4 &&
                         lanes_with_encode >= 4 && trace_written;
 
+  // Phase 3: full-telemetry overhead under continuous batching. The ON arm
+  // pays for everything this PR adds at once: span tracing, per-request
+  // timeline assembly (with annotations and module-miss attribution), SLO
+  // tracking, and a 10 Hz background sampler over every pc_* family.
+  std::vector<double> batch_off_ms, batch_on_ms, batch_ratios;
+  uint64_t timelines_recorded = 0;
+  bool reqlog_written = false;
+  double slo_availability = 0;
+  {
+    obs::set_tracing(false);
+    obs::set_request_telemetry(false);
+    ServerConfig bcfg = cfg;
+    bcfg.batching = true;
+    bcfg.batch.max_batch = kWorkers;
+    bcfg.slo.window_s = 3600;  // the whole run stays inside the window
+    SharedModuleStore store(/*device=*/0, /*host=*/0);
+    Server server(model, workload.tokenizer(), store, bcfg);
+    obs::MetricsSampler sampler;  // 10 Hz, all families
+    (void)run_burst(server, prompts, opts, requests);  // warmup: encode all
+    (void)run_burst(server, prompts, opts, requests);  // warmup: steady state
+    const auto burst_off = [&] {
+      obs::set_tracing(false);
+      obs::set_request_telemetry(false);
+      sampler.stop();
+      return run_burst(server, prompts, opts, requests);
+    };
+    const auto burst_on = [&] {
+      obs::clear_traces();
+      obs::set_tracing(true);
+      obs::set_request_telemetry(true);
+      sampler.start();
+      return run_burst(server, prompts, opts, requests);
+    };
+    for (int r = 0; r < reps; ++r) {
+      double off, on;
+      if (r % 2 == 0) {
+        off = burst_off();
+        on = burst_on();
+      } else {
+        on = burst_on();
+        off = burst_off();
+      }
+      batch_off_ms.push_back(off);
+      batch_on_ms.push_back(on);
+      batch_ratios.push_back(on / off);
+    }
+    // One final telemetry-on burst feeds the exported request log.
+    obs::set_tracing(true);
+    obs::set_request_telemetry(true);
+    (void)run_burst(server, prompts, opts, requests);
+    sampler.stop();
+    obs::set_tracing(false);
+    timelines_recorded = server.requests().recorded();
+    reqlog_written = server.write_request_log("obs_requests.jsonl");
+    slo_availability = server.slo_snapshot().availability;
+  }
+  const double batch_overhead_pct = (median(batch_ratios) - 1.0) * 100.0;
+  std::cout << "batching full-telemetry overhead: "
+            << TablePrinter::fmt(batch_overhead_pct, 2)
+            << "% (threshold 2%); " << timelines_recorded
+            << " timelines recorded, SLO availability "
+            << TablePrinter::fmt(slo_availability * 100.0, 2) << "%\n"
+            << "wrote obs_requests.jsonl (inspect with trace_report "
+               "--requests)\n";
+  const bool batch_overhead_ok = batch_overhead_pct <= 2.0;
+  const bool requests_ok =
+      reqlog_written && timelines_recorded >= static_cast<uint64_t>(requests);
+
   std::ofstream out("BENCH_obs.json");
   out << "{\n  \"provenance\": " << bench::provenance_json() << ",\n"
       << "  \"workers\": " << kWorkers << ",\n"
@@ -262,8 +340,21 @@ int main() {
       << ", \"lanes_with_encode_spans\": " << lanes_with_encode
       << ", \"events\": " << total_events
       << ", \"dropped\": " << obs::dropped_events() << "},\n"
+      << "  \"wall_ms_batch_telemetry_off_median\": "
+      << TablePrinter::fmt(median(batch_off_ms), 2) << ",\n"
+      << "  \"wall_ms_batch_telemetry_on_median\": "
+      << TablePrinter::fmt(median(batch_on_ms), 2) << ",\n"
+      << "  \"batch_telemetry_overhead_pct\": "
+      << TablePrinter::fmt(batch_overhead_pct, 2) << ",\n"
+      << "  \"request_timelines_recorded\": " << timelines_recorded << ",\n"
+      << "  \"slo_availability\": "
+      << TablePrinter::fmt(slo_availability, 6) << ",\n"
       << "  \"checks\": {\n"
       << "    \"overhead_within_2pct\": " << (overhead_ok ? "true" : "false")
+      << ",\n"
+      << "    \"batch_telemetry_overhead_within_2pct\": "
+      << (batch_overhead_ok ? "true" : "false") << ",\n"
+      << "    \"request_log_written\": " << (requests_ok ? "true" : "false")
       << ",\n"
       << "    \"trace_has_4_worker_lanes_nested\": "
       << (lanes_ok ? "true" : "false") << ",\n"

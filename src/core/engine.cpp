@@ -475,6 +475,7 @@ void PromptCacheEngine::append_text_rows(const EncodedModule& module,
                                          KVCache& sequence_cache,
                                          TtftBreakdown* ttft) {
   const size_t row_elems = static_cast<size_t>(module.kv_dim);
+  if (ttft != nullptr) ++ttft->modules;  // one emitted module per call
   for (const auto& [begin, end] : module.text_row_ranges) {
     switch (module.precision) {
       case StorePrecision::kFp32:
@@ -521,6 +522,7 @@ void PromptCacheEngine::append_text_rows(const EncodedModule& module,
                               static_cast<uint64_t>(end - begin);
         shared_ != nullptr ? shared_->note_dequant_rows(rows)
                            : store_.note_dequant_rows(rows);
+        if (ttft != nullptr) ttft->dequant_rows += rows;
         break;
       }
       case StorePrecision::kQ4: {
@@ -547,6 +549,7 @@ void PromptCacheEngine::append_text_rows(const EncodedModule& module,
                               static_cast<uint64_t>(end - begin);
         shared_ != nullptr ? shared_->note_dequant_rows(rows)
                            : store_.note_dequant_rows(rows);
+        if (ttft != nullptr) ttft->dequant_rows += rows;
         break;
       }
     }
@@ -716,6 +719,7 @@ Tensor PromptCacheEngine::assemble_and_prefill(
             store_.pin(key);
             borrowed_pins_.push_back(key);
           }
+          if (ttft != nullptr) ++ttft->modules;
           for (const auto& [begin, end] : m.text_row_ranges) {
             if (m.precision == StorePrecision::kQ8) {
               // Q8 rows are borrowed as int8 + scale; attention scores them

@@ -102,9 +102,14 @@ struct TtftBreakdown {
   double uncached_ms = 0;  // forward pass over uncached tokens + first argmax
   int cached_tokens = 0;
   int uncached_tokens = 0;
+  int modules = 0;  // encoded modules/scaffolds whose states this serve reused
   size_t bytes_from_host = 0;    // copied over the host link
   size_t bytes_from_device = 0;  // copied within device memory
   size_t bytes_zero_copy = 0;    // borrowed in place, nothing moved
+  // Copy-path retrieval of quantized (q8/q4) modules dequantizes K and V
+  // rows into the sequence cache; zero-copy and paged serving never do.
+  // Per-request counterpart of pc_store_dequant_rows_total.
+  uint64_t dequant_rows = 0;
 
   double total_ms() const { return retrieve_ms + uncached_ms; }
 };

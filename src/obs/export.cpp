@@ -76,12 +76,38 @@ void export_perfetto_json(std::ostream& os) {
     }
     for (const TraceEvent& e : t.events) {
       sep();
-      os << "{\"ph\":\"X\",\"name\":\"";
-      write_escaped(os, e.name != nullptr ? e.name : "?");
-      os << "\",\"pid\":1,\"tid\":" << t.tid << ",\"ts\":";
-      write_number(os, static_cast<double>(e.start_ns) / 1e3);
-      os << ",\"dur\":";
-      write_number(os, static_cast<double>(e.end_ns - e.start_ns) / 1e3);
+      const char* name = e.name != nullptr ? e.name : "?";
+      if (e.kind == EventKind::kFlowStart || e.kind == EventKind::kFlowStep ||
+          e.kind == EventKind::kFlowEnd) {
+        // Flow legs: "s" starts the arc, "t" passes through, "f" ends it.
+        // bp:"e" binds the end leg to its enclosing slice, which is how one
+        // request's submit span connects to the worker/batch span that
+        // served it.
+        const char ph = e.kind == EventKind::kFlowStart  ? 's'
+                        : e.kind == EventKind::kFlowStep ? 't'
+                                                         : 'f';
+        os << "{\"ph\":\"" << ph << "\",\"cat\":\"req\",\"id\":" << e.flow_id
+           << ",\"name\":\"";
+        write_escaped(os, name);
+        os << "\",\"pid\":1,\"tid\":" << t.tid << ",\"ts\":";
+        write_number(os, static_cast<double>(e.start_ns) / 1e3);
+        if (e.kind == EventKind::kFlowEnd) os << ",\"bp\":\"e\"";
+        os << "}";
+        continue;
+      }
+      if (e.kind == EventKind::kInstant) {
+        os << "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"";
+        write_escaped(os, name);
+        os << "\",\"pid\":1,\"tid\":" << t.tid << ",\"ts\":";
+        write_number(os, static_cast<double>(e.start_ns) / 1e3);
+      } else {
+        os << "{\"ph\":\"X\",\"name\":\"";
+        write_escaped(os, name);
+        os << "\",\"pid\":1,\"tid\":" << t.tid << ",\"ts\":";
+        write_number(os, static_cast<double>(e.start_ns) / 1e3);
+        os << ",\"dur\":";
+        write_number(os, static_cast<double>(e.end_ns - e.start_ns) / 1e3);
+      }
       bool any_args = false;
       for (const SpanArg& a : e.args) {
         if (a.key == nullptr) continue;

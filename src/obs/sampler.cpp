@@ -1,0 +1,270 @@
+#include "obs/sampler.h"
+
+#if PC_OBS_ENABLED
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace pc::obs {
+
+namespace {
+
+void write_point(std::ostream& os, const SamplePoint& p) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "{\"t_s\":%.6f,\"value\":%.6f}", p.t_s,
+                p.value);
+  os << buf;
+}
+
+}  // namespace
+
+struct MetricsSampler::Impl {
+  SamplerConfig config;
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  std::map<std::string, std::deque<SamplePoint>> series;
+  uint64_t ticks = 0;
+  bool stop = false;
+  bool running = false;
+  std::thread thread;
+
+  void push_locked(const std::string& name, double t_s, double value) {
+    std::deque<SamplePoint>& ring = series[name];
+    if (ring.size() >= config.ring_capacity) ring.pop_front();
+    ring.push_back({t_s, value});
+  }
+
+  bool selected(const std::string& name) const {
+    if (config.families.empty()) return true;
+    return std::find(config.families.begin(), config.families.end(), name) !=
+           config.families.end();
+  }
+
+  void tick() {
+    const double t_s = now_seconds();
+    const auto samples = MetricsRegistry::global().collect();
+    std::lock_guard lock(mutex);
+    for (const auto& f : samples) {
+      if (!selected(f.name)) continue;
+      switch (f.type) {
+        case MetricType::kCounter:
+          push_locked(f.name, t_s, static_cast<double>(f.counter_value));
+          break;
+        case MetricType::kGauge:
+          push_locked(f.name, t_s, static_cast<double>(f.gauge_value));
+          break;
+        case MetricType::kHistogram:
+          push_locked(f.name + "_count", t_s,
+                      static_cast<double>(f.histogram_value.count()));
+          push_locked(f.name + "_p99_ms", t_s,
+                      f.histogram_value.quantile_seconds(0.99) * 1e3);
+          break;
+      }
+    }
+    ++ticks;
+  }
+
+  void loop() {
+    const double hz = std::clamp(config.hz, 0.1, 1000.0);
+    const auto period = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(std::chrono::duration<double>(
+        1.0 / hz));
+    std::unique_lock lock(mutex);
+    while (!stop) {
+      lock.unlock();
+      tick();
+      lock.lock();
+      cv.wait_for(lock, period, [&] { return stop; });
+    }
+  }
+};
+
+MetricsSampler::MetricsSampler(SamplerConfig config)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->config = std::move(config);
+  if (impl_->config.ring_capacity == 0) impl_->config.ring_capacity = 1;
+}
+
+MetricsSampler::~MetricsSampler() { stop(); }
+
+void MetricsSampler::start() {
+  std::lock_guard lock(impl_->mutex);
+  if (impl_->running) return;
+  impl_->stop = false;
+  impl_->running = true;
+  impl_->thread = std::thread([this] { impl_->loop(); });
+}
+
+void MetricsSampler::stop() {
+  {
+    std::lock_guard lock(impl_->mutex);
+    if (!impl_->running) return;
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  impl_->thread.join();
+  std::lock_guard lock(impl_->mutex);
+  impl_->running = false;
+}
+
+bool MetricsSampler::running() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->running;
+}
+
+void MetricsSampler::sample_once() { impl_->tick(); }
+
+uint64_t MetricsSampler::ticks() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->ticks;
+}
+
+std::map<std::string, std::vector<SamplePoint>> MetricsSampler::snapshot()
+    const {
+  std::lock_guard lock(impl_->mutex);
+  std::map<std::string, std::vector<SamplePoint>> out;
+  for (const auto& [name, ring] : impl_->series) {
+    out.emplace(name, std::vector<SamplePoint>(ring.begin(), ring.end()));
+  }
+  return out;
+}
+
+bool MetricsSampler::write_json(const std::string& path) const {
+  const auto series = snapshot();
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return false;
+  os << "{\"hz\":" << impl_->config.hz << ",\"ticks\":" << ticks()
+     << ",\"series\":{";
+  bool first_series = true;
+  for (const auto& [name, points] : series) {
+    if (!first_series) os << ",";
+    first_series = false;
+    os << "\"" << name << "\":[";
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (i > 0) os << ",";
+      write_point(os, points[i]);
+    }
+    os << "]";
+  }
+  os << "}}\n";
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+struct SloTracker::Impl {
+  SloConfig config;
+  mutable std::mutex mutex;
+  struct Event {
+    double t_s = 0;
+    bool served = false;
+    bool deadline_met = true;
+  };
+  std::deque<Event> window;
+  uint64_t breaches = 0;
+  bool breached = false;
+  Gauge availability_ppm;  // pc_slo_availability_ppm
+  Counter breach_counter;  // pc_slo_breaches_total
+
+  void prune_locked(double t_s) {
+    const double horizon = t_s - config.window_s;
+    while (!window.empty() && window.front().t_s < horizon) {
+      window.pop_front();
+    }
+  }
+
+  Snapshot snapshot_locked() const {
+    Snapshot s;
+    s.window_s = config.window_s;
+    s.availability_target = config.availability_target;
+    s.total = window.size();
+    for (const Event& e : window) {
+      if (e.served) ++s.served;
+      if (!e.deadline_met) ++s.deadline_misses;
+    }
+    if (s.total > 0) {
+      s.availability =
+          static_cast<double>(s.served) / static_cast<double>(s.total);
+      s.miss_rate = static_cast<double>(s.deadline_misses) /
+                    static_cast<double>(s.total);
+    }
+    const double budget = 1.0 - config.availability_target;
+    s.burn_rate = budget > 0 ? s.miss_rate / budget : 0.0;
+    s.breached = s.total > 0 && s.availability < config.availability_target;
+    s.breaches = breaches;
+    return s;
+  }
+};
+
+SloTracker::SloTracker(SloConfig config) : impl_(std::make_shared<Impl>()) {
+  impl_->config = config;
+  if (impl_->config.window_s <= 0) impl_->config.window_s = 60.0;
+  auto& reg = MetricsRegistry::global();
+  impl_->availability_ppm = reg.gauge(
+      "pc_slo_availability_ppm",
+      "rolling-window availability (served/total) in parts per million");
+  impl_->breach_counter = reg.counter(
+      "pc_slo_breaches_total", "transitions into availability-SLO breach");
+  impl_->availability_ppm.set(1000000);
+}
+
+void SloTracker::record(bool served, bool deadline_met) {
+  record_at(now_seconds(), served, deadline_met);
+}
+
+void SloTracker::record_at(double t_s, bool served, bool deadline_met) {
+  std::lock_guard lock(impl_->mutex);
+  impl_->prune_locked(t_s);
+  impl_->window.push_back({t_s, served, deadline_met});
+  const Snapshot s = impl_->snapshot_locked();
+  impl_->availability_ppm.set(static_cast<int64_t>(s.availability * 1e6));
+  if (s.breached && !impl_->breached) {
+    ++impl_->breaches;
+    impl_->breach_counter.inc();
+  }
+  impl_->breached = s.breached;
+}
+
+SloTracker::Snapshot SloTracker::snapshot() const {
+  return snapshot_at(now_seconds());
+}
+
+SloTracker::Snapshot SloTracker::snapshot_at(double t_s) const {
+  std::lock_guard lock(impl_->mutex);
+  impl_->prune_locked(t_s);
+  return impl_->snapshot_locked();
+}
+
+bool SloTracker::write_json(const std::string& path) const {
+  const Snapshot s = snapshot();
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return false;
+  char buf[64];
+  os << "{\"window_s\":" << s.window_s
+     << ",\"availability_target\":" << s.availability_target
+     << ",\"total\":" << s.total << ",\"served\":" << s.served
+     << ",\"deadline_misses\":" << s.deadline_misses;
+  std::snprintf(buf, sizeof(buf), ",\"availability\":%.6f", s.availability);
+  os << buf;
+  std::snprintf(buf, sizeof(buf), ",\"miss_rate\":%.6f", s.miss_rate);
+  os << buf;
+  std::snprintf(buf, sizeof(buf), ",\"burn_rate\":%.6f", s.burn_rate);
+  os << buf;
+  os << ",\"breached\":" << (s.breached ? "true" : "false")
+     << ",\"breaches\":" << s.breaches << "}\n";
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+}  // namespace pc::obs
+
+#endif  // PC_OBS_ENABLED

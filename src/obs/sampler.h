@@ -1,0 +1,163 @@
+// Time-series sampling and SLO tracking over the metrics registry.
+//
+// MetricsSampler: a background thread that snapshots selected pc_* metric
+// families at a configurable rate into fixed-size rings of (t, value)
+// points — the minimal time-series store a dashboard needs, with hard
+// bounds on memory (ring_capacity points per series) and cost (one
+// registry collect() per tick; sampling 10 Hz over a few dozen families is
+// microseconds per tick). Counters and gauges sample their aggregate
+// value; histogram families contribute two series, `<name>_count` and
+// `<name>_p99_ms`, because a histogram's level and tail are what move.
+//
+// SloTracker: a rolling-window availability/deadline monitor fed one
+// terminal request outcome at a time (Server::record_locked calls
+// record()). Within the window it reports availability (served / total),
+// the deadline-miss rate, and the error-budget burn rate
+// (miss_rate / (1 - availability_target): burn > 1 means the budget is
+// burning faster than it accrues — the standard SRE framing). Entering
+// the breached state (availability < target) increments
+// pc_slo_breaches_total; the current availability is exported as the
+// pc_slo_availability_ppm gauge so a scrape sees SLO state without JSON.
+//
+// Both are compiled to inert stubs under -DPC_OBS=OFF.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#ifndef PC_OBS_ENABLED
+#define PC_OBS_ENABLED 1
+#endif
+
+namespace pc::obs {
+
+struct SamplePoint {
+  double t_s = 0;  // obs epoch clock (obs/clock.h)
+  double value = 0;
+};
+
+struct SamplerConfig {
+  double hz = 10.0;            // ticks per second (clamped to [0.1, 1000])
+  size_t ring_capacity = 512;  // points retained per series
+  // Family names to sample; empty = every family present at each tick.
+  std::vector<std::string> families;
+};
+
+struct SloConfig {
+  double window_s = 60.0;             // rolling window length
+  double availability_target = 0.999; // served / total the SLO promises
+};
+
+#if PC_OBS_ENABLED
+
+// Background time-series sampler. start()/stop() are idempotent; the
+// destructor stops. snapshot()/write_json() may be called while running.
+class MetricsSampler {
+ public:
+  explicit MetricsSampler(SamplerConfig config = {});
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  void start();
+  void stop();
+  bool running() const;
+
+  // One synchronous tick (what the thread does each period). Public so
+  // tests and stopped samplers can capture deterministic points.
+  void sample_once();
+
+  uint64_t ticks() const;
+
+  // Series name -> retained points, oldest first.
+  std::map<std::string, std::vector<SamplePoint>> snapshot() const;
+
+  // {"hz":..,"series":{"pc_...":[{"t_s":..,"value":..},...],...}}
+  bool write_json(const std::string& path) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Rolling-window SLO monitor. record() is cheap (amortized deque ops) and
+// expected to be called under the owner's completion lock.
+class SloTracker {
+ public:
+  explicit SloTracker(SloConfig config = {});
+
+  // One terminal request outcome. `served` = the request returned tokens
+  // (ok or degraded); `deadline_met` = it met its deadline (requests with
+  // no deadline count as met). Stamps the obs clock.
+  void record(bool served, bool deadline_met);
+  // Test seam: same, at an explicit clock reading.
+  void record_at(double t_s, bool served, bool deadline_met);
+
+  struct Snapshot {
+    double window_s = 0;
+    double availability_target = 0;
+    uint64_t total = 0;           // outcomes inside the window
+    uint64_t served = 0;
+    uint64_t deadline_misses = 0;
+    double availability = 1.0;    // served / total (1.0 when empty)
+    double miss_rate = 0;         // deadline_misses / total
+    double burn_rate = 0;         // miss_rate / (1 - target)
+    bool breached = false;        // availability < target right now
+    uint64_t breaches = 0;        // transitions into the breached state
+  };
+  Snapshot snapshot() const;
+  // Snapshot pruned as of an explicit clock reading (test seam).
+  Snapshot snapshot_at(double t_s) const;
+
+  bool write_json(const std::string& path) const;
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+#else  // !PC_OBS_ENABLED — inert stubs.
+
+class MetricsSampler {
+ public:
+  explicit MetricsSampler(SamplerConfig = {}) {}
+  void start() {}
+  void stop() {}
+  bool running() const { return false; }
+  void sample_once() {}
+  uint64_t ticks() const { return 0; }
+  std::map<std::string, std::vector<SamplePoint>> snapshot() const {
+    return {};
+  }
+  bool write_json(const std::string&) const { return false; }
+};
+
+class SloTracker {
+ public:
+  explicit SloTracker(SloConfig = {}) {}
+  void record(bool, bool) {}
+  void record_at(double, bool, bool) {}
+  struct Snapshot {
+    double window_s = 0;
+    double availability_target = 0;
+    uint64_t total = 0;
+    uint64_t served = 0;
+    uint64_t deadline_misses = 0;
+    double availability = 1.0;
+    double miss_rate = 0;
+    double burn_rate = 0;
+    bool breached = false;
+    uint64_t breaches = 0;
+  };
+  Snapshot snapshot() const { return {}; }
+  Snapshot snapshot_at(double) const { return {}; }
+  bool write_json(const std::string&) const { return false; }
+};
+
+#endif  // PC_OBS_ENABLED
+
+}  // namespace pc::obs

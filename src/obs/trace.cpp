@@ -108,6 +108,19 @@ void record_span_impl(const char* name, uint64_t start_ns, uint64_t end_ns,
   thread_ring().push(e);
 }
 
+void record_event_impl(EventKind kind, const char* name, uint64_t ts_ns,
+                       uint32_t flow_id, SpanArg a0, SpanArg a1) {
+  TraceEvent e;
+  e.name = name;
+  e.start_ns = ts_ns;
+  e.end_ns = ts_ns;
+  e.args[0] = a0;
+  e.args[1] = a1;
+  e.flow_id = flow_id;
+  e.kind = kind;
+  thread_ring().push(e);
+}
+
 }  // namespace detail
 
 std::vector<ThreadTrace> collect_traces() {

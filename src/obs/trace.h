@@ -52,13 +52,29 @@ struct SpanArg {
   int64_t value = 0;
 };
 
+// What one TraceEvent represents. kSpan is the classic duration event;
+// kInstant marks a point in time (fault injections, drops); the kFlow*
+// kinds are Perfetto flow events ("s"/"t"/"f") that stitch one request's
+// spans across threads into a single followable arc, correlated by
+// flow_id (the request id).
+enum class EventKind : uint8_t {
+  kSpan = 0,
+  kInstant,
+  kFlowStart,
+  kFlowStep,
+  kFlowEnd,
+};
+
 // One completed span. 64 bytes; name/arg keys are unowned literals.
 struct TraceEvent {
   const char* name = nullptr;
   uint64_t start_ns = 0;
   uint64_t end_ns = 0;
   SpanArg args[2];
+  uint32_t flow_id = 0;  // meaningful for the kFlow* kinds
+  EventKind kind = EventKind::kSpan;
 };
+static_assert(sizeof(TraceEvent) <= 64, "TraceEvent must stay one line");
 
 // Everything recorded by one thread, in completion order (oldest first).
 struct ThreadTrace {
@@ -74,6 +90,8 @@ namespace detail {
 bool tracing_enabled_impl();
 void record_span_impl(const char* name, uint64_t start_ns, uint64_t end_ns,
                       SpanArg a0, SpanArg a1);
+void record_event_impl(EventKind kind, const char* name, uint64_t ts_ns,
+                       uint32_t flow_id, SpanArg a0, SpanArg a1);
 }  // namespace detail
 
 // Global runtime switch. Defaults to off unless the PC_TRACE environment
@@ -97,6 +115,24 @@ void set_ring_capacity(size_t events);
 inline void record_span(const char* name, uint64_t start_ns, uint64_t end_ns,
                         SpanArg a0 = {}, SpanArg a1 = {}) {
   detail::record_span_impl(name, start_ns, end_ns, a0, a1);
+}
+
+// Records a point-in-time marker on the calling thread's ring (rendered as
+// a Perfetto instant event). Used for fault injections and other
+// zero-duration occurrences worth seeing on the timeline.
+inline void record_instant(const char* name, SpanArg a0 = {}, SpanArg a1 = {}) {
+  if (!tracing_enabled()) return;
+  detail::record_event_impl(EventKind::kInstant, name, now_ns(), 0, a0, a1);
+}
+
+// Records one leg of a cross-thread flow arc. All legs sharing (name, id)
+// are bound into one arrow chain by the Perfetto UI; `id` is truncated to
+// 32 bits (request ids are submission indices, so this never collides in
+// practice). Use through PC_FLOW_START / PC_FLOW_STEP / PC_FLOW_END.
+inline void record_flow(EventKind kind, const char* name, uint64_t id) {
+  if (!tracing_enabled()) return;
+  detail::record_event_impl(kind, name, now_ns(),
+                            static_cast<uint32_t>(id), {}, {});
 }
 
 // RAII span. Construction snapshots the clock iff tracing is enabled; the
@@ -154,6 +190,8 @@ inline void set_thread_name(const std::string&) {}
 inline void set_ring_capacity(size_t) {}
 inline void record_span(const char*, uint64_t, uint64_t, SpanArg = {},
                         SpanArg = {}) {}
+inline void record_instant(const char*, SpanArg = {}, SpanArg = {}) {}
+inline void record_flow(EventKind, const char*, uint64_t) {}
 
 class Span {
  public:
@@ -182,7 +220,21 @@ inline void clear_traces() {}
   ::pc::obs::Span PC_OBS_CONCAT(pc_obs_span_, __COUNTER__)(__VA_ARGS__)
 // Named span handle for set_arg() after construction.
 #define PC_SPAN_NAMED(var, ...) ::pc::obs::Span var(__VA_ARGS__)
+// Point-in-time marker: PC_INSTANT("fault_inject_link", {"request", id}).
+#define PC_INSTANT(...) ::pc::obs::record_instant(__VA_ARGS__)
+// Cross-thread flow arc for one request: start where the request is born
+// (submit), step/end where it is picked up (worker serve / batch admit).
+#define PC_FLOW_START(name, id) \
+  ::pc::obs::record_flow(::pc::obs::EventKind::kFlowStart, name, id)
+#define PC_FLOW_STEP(name, id) \
+  ::pc::obs::record_flow(::pc::obs::EventKind::kFlowStep, name, id)
+#define PC_FLOW_END(name, id) \
+  ::pc::obs::record_flow(::pc::obs::EventKind::kFlowEnd, name, id)
 #else
 #define PC_SPAN(...) ((void)0)
 #define PC_SPAN_NAMED(var, ...) ::pc::obs::Span var("")
+#define PC_INSTANT(...) ((void)0)
+#define PC_FLOW_START(name, id) ((void)0)
+#define PC_FLOW_STEP(name, id) ((void)0)
+#define PC_FLOW_END(name, id) ((void)0)
 #endif

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "obs/request_timeline.h"
 #include "obs/trace.h"
 #include "sys/fault.h"
 
@@ -167,11 +168,15 @@ void BatchScheduler::assemble_paged(const pml::PromptBinding& binding,
         }
         seq.cache.append_shared(it->second);
         ttft.cached_tokens += m.text_token_count();
+        ++ttft.modules;
       });
   ttft.retrieve_ms = retrieve_timer.elapsed_ms();
 }
 
 void BatchScheduler::degrade(Seq& seq, const std::string& why) {
+  if (obs::request_telemetry_enabled()) {
+    seq.resp.annotations.push_back("degraded: " + why);
+  }
   try {
     PC_SPAN("serve_degraded", {"request", static_cast<int64_t>(seq.req.id)});
     seq.result = engine_->serve_full_prefill(seq.req.prompt, seq.req.options);
@@ -245,6 +250,24 @@ void BatchScheduler::admit(Request request) {
   PC_SPAN_NAMED(admit_span, "batch_admit",
                 {"request", static_cast<int64_t>(seq->req.id)},
                 {"queue_us", static_cast<int64_t>(seq->resp.queue_ms * 1e3)});
+  PC_FLOW_END("request", options_.flow_seed | (seq->req.id & 0xffffffffu));
+
+  // Per-request cache attribution (same scheme as the worker pool): the
+  // batch lane owns the one engine, and admission is serialized on this
+  // thread, so the encode-counter delta around admission is exactly this
+  // request's module misses.
+  const bool reqtl = obs::request_telemetry_enabled();
+  uint64_t encodes_before = 0;
+  if (reqtl) {
+    const EngineStats es = engine_->stats();
+    encodes_before = es.modules_encoded + es.scaffolds_encoded;
+  }
+  const auto settle_misses = [&](Seq& s) {
+    if (!reqtl) return;
+    const EngineStats es = engine_->stats();
+    s.resp.module_misses = static_cast<int>(
+        es.modules_encoded + es.scaffolds_encoded - encodes_before);
+  };
 
   FaultInjector& faults = FaultInjector::global();
   // Injected straggler: the batch lane freezes before admission, exactly
@@ -252,6 +275,10 @@ void BatchScheduler::admit(Request request) {
   if (faults.should_fail(FaultPoint::kStall)) {
     const double stall = faults.stall_ms(FaultPoint::kStall);
     PC_SPAN("fault_stall", {"ms", static_cast<int64_t>(stall)});
+    if (reqtl) {
+      seq->resp.annotations.push_back("fault_stall " + std::to_string(stall) +
+                                      "ms");
+    }
     std::this_thread::sleep_for(from_ms(stall));
   }
 
@@ -283,32 +310,41 @@ void BatchScheduler::admit(Request request) {
       seq->done_status = ServeStatus::kTimeout;
       seq->resp.detail = e.what();
       seq->done = true;
+      settle_misses(*seq);
       finish_serve(std::move(seq));
       return;
     } catch (const TransientError& e) {
       if (attempt < options_.retry.max_retries) {
         ++seq->resp.retries;
         PC_SPAN("serve_retry", {"attempt", attempt + 1});
+        if (reqtl) {
+          seq->resp.annotations.push_back(
+              "retry " + std::to_string(attempt + 1) + ": " + e.what());
+        }
         std::this_thread::sleep_for(
             from_ms(backoff_ms_for(seq->req.id, attempt)));
         continue;
       }
       degrade(*seq, e.what());
+      settle_misses(*seq);
       finish_serve(std::move(seq));
       return;
     } catch (const CacheError& e) {
       // Structural (the module fits in neither tier): degrade directly.
       degrade(*seq, e.what());
+      settle_misses(*seq);
       finish_serve(std::move(seq));
       return;
     } catch (const std::exception& e) {
       seq->done_status = ServeStatus::kFailed;
       seq->resp.detail = e.what();
       seq->done = true;
+      settle_misses(*seq);
       finish_serve(std::move(seq));
       return;
     }
   }
+  settle_misses(*seq);
 
   // Simulated host-link transfer for bytes this request pulled from host
   // memory (first materialization of its modules). Modeled as a phase with
@@ -383,6 +419,11 @@ bool BatchScheduler::step() {
       if (s.link_attempts < options_.retry.max_retries) {
         ++s.resp.retries;
         PC_SPAN("serve_retry", {"attempt", s.link_attempts + 1});
+        if (obs::request_telemetry_enabled()) {
+          s.resp.annotations.push_back("retry " +
+                                       std::to_string(s.link_attempts + 1) +
+                                       ": host-link transfer lost");
+        }
         const double backoff = backoff_ms_for(s.req.id, s.link_attempts);
         ++s.link_attempts;
         // Back off, then re-send the whole transfer.
@@ -457,6 +498,7 @@ bool BatchScheduler::step() {
     for (size_t i = 0; i < refs.size(); ++i) {
       Seq& s = *refs[i].seq;
       if (refs[i].chunk > 0) {
+        ++s.resp.prefill_chunks;
         s.prefill_done += static_cast<size_t>(refs[i].chunk);
         if (s.prefill_done < s.stream.tokens.size()) continue;
         // Prefill complete: the first token comes off this iteration's

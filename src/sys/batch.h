@@ -92,6 +92,9 @@ class BatchScheduler {
     BatchConfig batch;
     LinkModel link;
     RetryPolicy retry;
+    // High bits for Perfetto flow ids (the owning server's instance tag);
+    // the low 32 bits are the request id. Matches Server::flow_id.
+    uint64_t flow_seed = 0;
   };
 
   // A request handed over by the frontend (mirrors Server's queue item).

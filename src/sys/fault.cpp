@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pc {
 
@@ -62,6 +63,24 @@ int point_from_name(const std::string& name) {
     if (name == fault_point_name(static_cast<FaultPoint>(i))) return i;
   }
   return -1;
+}
+
+// Static literals for the trace markers (TraceEvent stores the pointer).
+// [[maybe_unused]]: PC_INSTANT compiles out under -DPC_OBS=OFF.
+[[maybe_unused]] const char* inject_marker_name(FaultPoint p) {
+  switch (p) {
+    case FaultPoint::kEncode:
+      return "fault_inject_encode";
+    case FaultPoint::kLink:
+      return "fault_inject_link";
+    case FaultPoint::kCorrupt:
+      return "fault_inject_corrupt";
+    case FaultPoint::kEvict:
+      return "fault_inject_evict";
+    case FaultPoint::kStall:
+      return "fault_inject_stall";
+  }
+  return "fault_inject";
 }
 
 }  // namespace
@@ -175,6 +194,11 @@ bool FaultInjector::roll(FaultPoint p) {
   if (draw_uniform(seed_, p, n) >= rule.rate) return false;
   injected_[i].fetch_add(1, std::memory_order_relaxed);
   injected_counter().inc();
+  // Chaos runs become readable on the timeline: the injection lands as an
+  // instant marker on the thread that drew it, inside whatever span was
+  // open there (serve_request, link_stall, encode_module, ...).
+  PC_INSTANT(inject_marker_name(p),
+             {"draw", static_cast<int64_t>(n)});
   return true;
 }
 

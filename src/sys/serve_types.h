@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/engine.h"
 
@@ -65,6 +66,17 @@ struct ServerResponse {
   int retries = 0;        // transient-fault retries spent on this request
   bool deadline_met = true;
   std::string detail;  // human-readable cause for non-kOk statuses
+
+  // Request-timeline attribution (obs/request_timeline.h). module_misses
+  // counts modules/scaffolds this request had to encode (delta of the
+  // engine's encode counters around its serve); prefill_chunks counts
+  // chunked-prefill iterations on the batch path (0 on the worker path,
+  // where prefill is one forward). annotations are free-form lifecycle
+  // notes (fault stalls, retries, degrade causes) in occurrence order;
+  // only populated while request telemetry is enabled.
+  int module_misses = 0;
+  int prefill_chunks = 0;
+  std::vector<std::string> annotations;
 };
 
 }  // namespace pc

@@ -1,10 +1,12 @@
 #include "sys/server.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <sstream>
 
 #include "common/logging.h"
+#include "obs/clock.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "sys/fault.h"
@@ -33,6 +35,25 @@ double jitter_factor(uint64_t id, int attempt) {
   return 0.5 + static_cast<double>(x >> 11) * 0x1.0p-53;
 }
 
+// Timeline vocabulary for the store's KV format.
+[[maybe_unused]] const char* precision_name(StorePrecision p) {
+  switch (p) {
+    case StorePrecision::kFp32:
+      return "fp32";
+    case StorePrecision::kFp16:
+      return "fp16";
+    case StorePrecision::kQ8:
+      return "q8";
+    case StorePrecision::kQ4:
+      return "q4";
+  }
+  return "unknown";
+}
+
+[[maybe_unused]] uint64_t ms_to_ns(double ms) {
+  return ms > 0 ? static_cast<uint64_t>(ms * 1e6) : 0;
+}
+
 }  // namespace
 
 const char* to_string(ServeStatus s) {
@@ -51,18 +72,33 @@ const char* to_string(ServeStatus s) {
   return "unknown";
 }
 
+// Request ids restart at 0 in every Server; the instance number keeps
+// timelines and flow ids distinguishable across servers in one process.
+static uint64_t next_server_instance() {
+  static std::atomic<uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 Server::Server(const Model& model, const TextTokenizer& tokenizer,
                SharedModuleStore& shared_store, ServerConfig config)
     : model_(model),
       tokenizer_(tokenizer),
       shared_(&shared_store),
-      config_(std::move(config)) {
+      config_(std::move(config)),
+      requests_(config_.request_ring),
+      slo_(config_.slo),
+      instance_(next_server_instance()) {
   start();
 }
 
 Server::Server(const Model& model, const TextTokenizer& tokenizer,
                ServerConfig config)
-    : model_(model), tokenizer_(tokenizer), config_(std::move(config)) {
+    : model_(model),
+      tokenizer_(tokenizer),
+      config_(std::move(config)),
+      requests_(config_.request_ring),
+      slo_(config_.slo),
+      instance_(next_server_instance()) {
   start();
 }
 
@@ -97,6 +133,9 @@ void Server::start() {
                             "end-to-end TTFT: queue + stall + engine");
   degraded_ttft_ = reg.histogram("pc_server_ttft_degraded_seconds",
                                  "end-to-end TTFT of degraded serves");
+  ttft_drift_ = reg.histogram(
+      "pc_ttft_model_drift",
+      "measured/predicted cached-TTFT ratio vs device_model");
   if (config_.batching) {
     // One batch lane instead of a worker pool: a single thread owns the
     // scheduler and serves up to batch.max_batch requests per iteration.
@@ -150,6 +189,11 @@ uint64_t Server::submit(std::string prompt, const GenerateOptions& options,
   }
   const double deadline =
       deadline_ms > 0 ? deadline_ms : config_.default_deadline_ms;
+  // Timeline anchor: the submit timestamp on the obs epoch clock, consumed
+  // by record_timeline_locked when the terminal status lands.
+  if constexpr (obs::kEnabled) {
+    if (obs::request_telemetry_enabled()) submit_ns_[id] = obs::now_ns();
+  }
 
   // Load shedding: when the backlog alone makes the deadline unmeetable
   // (estimated queue wait from the served-request EWMA), reject at submit —
@@ -195,6 +239,9 @@ uint64_t Server::submit(std::string prompt, const GenerateOptions& options,
   queue_depth_.add(1);
   lock.unlock();
   cv_not_empty_.notify_one();
+  // Flow arc: ties this submit to the serve_request / batch_admit span on
+  // whichever thread picks the request up (Perfetto draws the arrow).
+  PC_FLOW_START("request", flow_id(id));
   return id;
 }
 
@@ -263,9 +310,97 @@ void Server::record_locked(ServerResponse&& resp,
                            ? resp.service_ms
                            : 0.8 * service_ewma_ms_ + 0.2 * resp.service_ms;
   }
+  // Request telemetry rides the same lock that moves the counters above,
+  // so timelines and SLO outcomes reconcile with pc_server_* exactly —
+  // not eventually.
+  if constexpr (obs::kEnabled) {
+    slo_.record(is_served(resp.status), resp.deadline_met);
+    if (obs::request_telemetry_enabled()) {
+      record_timeline_locked(resp);
+    } else {
+      submit_ns_.erase(resp.id);
+    }
+  }
   responses_.push_back(std::move(resp));
   ++done_;
   last_complete_ = when;
+}
+
+void Server::record_timeline_locked(const ServerResponse& resp) {
+  obs::RequestTimeline t;
+  t.id = resp.id;
+  t.server = instance_;
+  t.lane = resp.worker;
+  t.batched = config_.batching;
+  const auto it = submit_ns_.find(resp.id);
+  if (it != submit_ns_.end()) {
+    t.submit_ns = it->second;
+    submit_ns_.erase(it);
+  }
+  t.done_ns = obs::now_ns();
+  // admit/first-token anchors are derived from the measured durations so
+  // they stay consistent with the e2e TTFT definition (queue + stall +
+  // engine TTFT) instead of introducing a second clock reading.
+  if (resp.worker >= 0) t.admit_ns = t.submit_ns + ms_to_ns(resp.queue_ms);
+  t.queue_ms = resp.queue_ms;
+  t.transfer_ms = resp.stall_ms;
+  t.service_ms = resp.service_ms;
+  t.ttft_ms = resp.ttft_ms;
+  t.outcome = static_cast<obs::RequestOutcome>(static_cast<int>(resp.status));
+  t.retries = resp.retries;
+  t.deadline_met = resp.deadline_met;
+  t.detail = resp.detail;
+  t.annotations = resp.annotations;
+  t.module_misses = resp.module_misses;
+  t.prefill_chunks = resp.prefill_chunks;
+  t.kv_format = precision_name(config_.engine.precision);
+  if (is_served(resp.status)) {
+    const TtftBreakdown& b = resp.result.ttft;
+    t.encode_ms = resp.result.encode_ms;
+    t.retrieve_ms = b.retrieve_ms;
+    t.prefill_ms = b.uncached_ms;
+    t.decode_ms = resp.result.decode_ms;
+    t.cached_tokens = b.cached_tokens;
+    t.uncached_tokens = b.uncached_tokens;
+    t.modules = b.modules;
+    t.bytes_from_host = b.bytes_from_host;
+    t.bytes_from_device = b.bytes_from_device;
+    t.bytes_zero_copy = b.bytes_zero_copy;
+    t.dequant_rows = b.dequant_rows;
+    t.first_token_ns = t.submit_ns + ms_to_ns(resp.ttft_ms);
+    if (config_.ttft_profile != nullptr && resp.status == ServeStatus::kOk &&
+        b.cached_tokens > 0) {
+      // TTFT-model drift: the analytic prediction for this request's exact
+      // (cached, uncached, location, kv format), against the measured
+      // engine TTFT (queue and link stall excluded on both sides — the
+      // model predicts retrieve + prefill only). Ratio 1.0 = no drift.
+      // CPU profiles have no device tier — cached states live in host RAM
+      // regardless of which store tier served them.
+      const ModuleLocation loc =
+          config_.ttft_profile->is_gpu && b.bytes_from_host == 0
+              ? ModuleLocation::kDeviceMemory
+              : ModuleLocation::kHostMemory;
+      size_t bytes_per_cached = 0;  // 0 = unquantized default
+      switch (config_.engine.precision) {
+        case StorePrecision::kQ8:
+          bytes_per_cached = config_.ttft_spec.kv_bytes_per_token_q8();
+          break;
+        case StorePrecision::kQ4:
+          bytes_per_cached = config_.ttft_spec.kv_bytes_per_token_q4();
+          break;
+        default:
+          break;
+      }
+      const TtftEstimate est = estimate_cached_ttft(
+          *config_.ttft_profile, config_.ttft_spec, b.cached_tokens,
+          b.uncached_tokens, loc, bytes_per_cached);
+      t.predicted_ttft_ms = est.total_ms();
+      if (t.predicted_ttft_ms > 0) {
+        ttft_drift_.record_seconds(b.total_ms() / t.predicted_ttft_ms);
+      }
+    }
+  }
+  requests_.record(std::move(t));
 }
 
 void Server::worker_loop(int index) {
@@ -336,11 +471,26 @@ void Server::worker_loop(int index) {
     PC_SPAN_NAMED(request_span, "serve_request",
                   {"request", static_cast<int64_t>(item.id)},
                   {"queue_us", static_cast<int64_t>(resp.queue_ms * 1e3)});
+    PC_FLOW_END("request", flow_id(item.id));
+
+    // Per-request cache attribution: the encode counters are per-worker
+    // engine cells and this worker serves one request at a time, so the
+    // delta around the serve is exactly this request's module misses.
+    const bool reqtl = obs::kEnabled && obs::request_telemetry_enabled();
+    uint64_t encodes_before = 0;
+    if (reqtl) {
+      const EngineStats es = self.engine->stats();
+      encodes_before = es.modules_encoded + es.scaffolds_encoded;
+    }
+    const auto annotate = [&](std::string note) {
+      if (reqtl) resp.annotations.push_back(std::move(note));
+    };
 
     // Injected straggler: the worker freezes before serving.
     if (faults.should_fail(FaultPoint::kStall)) {
       const double stall = faults.stall_ms(FaultPoint::kStall);
       PC_SPAN("fault_stall", {"ms", static_cast<int64_t>(stall)});
+      annotate("fault_stall " + std::to_string(stall) + "ms");
       sleep_ms(stall);
     }
 
@@ -359,6 +509,7 @@ void Server::worker_loop(int index) {
     // modules, but the request is still answerable — bitwise-identically —
     // by recomputing everything (see serve_full_prefill).
     const auto degrade = [&](const std::string& why) {
+      annotate("degraded: " + why);
       try {
         PC_SPAN("serve_degraded",
                 {"request", static_cast<int64_t>(item.id)});
@@ -390,6 +541,7 @@ void Server::worker_loop(int index) {
           ++resp.retries;
           retries_.inc();
           PC_SPAN("serve_retry", {"attempt", attempt + 1});
+          annotate("retry " + std::to_string(attempt + 1) + ": " + e.what());
           backoff(attempt);
           continue;
         }
@@ -432,6 +584,8 @@ void Server::worker_loop(int index) {
             ++resp.retries;
             retries_.inc();
             PC_SPAN("serve_retry", {"attempt", attempt + 1});
+            annotate("retry " + std::to_string(attempt + 1) +
+                     ": host-link transfer lost");
             backoff(attempt);
             continue;
           }
@@ -458,6 +612,12 @@ void Server::worker_loop(int index) {
     }
     resp.status = status;
     if (!is_served(status)) resp.result = ServeResult{};
+    if (reqtl) {
+      const EngineStats es = self.engine->stats();
+      resp.module_misses = static_cast<int>(es.modules_encoded +
+                                            es.scaffolds_encoded -
+                                            encodes_before);
+    }
 
     {
       std::lock_guard lock(mutex_);
@@ -475,6 +635,7 @@ void Server::batch_loop() {
   opts.batch = config_.batch;
   opts.link = config_.link;
   opts.retry = config_.retry;
+  opts.flow_seed = instance_ << 32;
   scheduler_ = std::make_unique<BatchScheduler>(
       model_, tokenizer_, shared_, std::move(opts),
       [this](ServerResponse&& resp) {

@@ -53,6 +53,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -65,7 +66,10 @@
 #include "core/shared_module_store.h"
 #include "model/model.h"
 #include "obs/metrics.h"
+#include "obs/request_timeline.h"
+#include "obs/sampler.h"
 #include "sys/batch.h"
+#include "sys/device_model.h"
 #include "sys/serve_types.h"
 
 namespace pc {
@@ -85,6 +89,17 @@ struct ServerConfig {
   // deadline/retry/degradation behavior, bitwise-identical tokens.
   bool batching = false;
   BatchConfig batch;
+  // Request-centric telemetry (obs/request_timeline.h). request_ring bounds
+  // the in-memory timeline buffer (oldest evicted first). When ttft_profile
+  // is set, every cached kOk serve is compared against device_model's
+  // estimate_cached_ttft(*ttft_profile, ttft_spec, ...) and the
+  // measured/predicted ratio lands in the pc_ttft_model_drift histogram —
+  // drift near 1.0 means the analytic model still tracks reality. slo
+  // configures the rolling availability/deadline window (obs/sampler.h).
+  size_t request_ring = 8192;
+  const HardwareProfile* ttft_profile = nullptr;  // null = no drift tracking
+  ModelSpec ttft_spec;
+  obs::SloConfig slo;
 };
 
 struct ServerStats {
@@ -180,6 +195,22 @@ class Server {
   std::string metrics_prometheus() const;
   bool write_trace_json(const std::string& path) const;
 
+  // Request-centric telemetry. requests() exposes the bounded ring of
+  // per-request timelines (one entry per recorded response, any status);
+  // write_request_log() dumps it as JSONL — one timeline_json() object per
+  // line, the same shape the PC_REQLOG live sink writes. slo_snapshot()
+  // reads the rolling availability/deadline window fed by every recorded
+  // response. All are exact only while idle (after drain()); under
+  // -DPC_OBS=OFF they are inert stubs.
+  const obs::RequestTracker& requests() const { return requests_; }
+  bool write_request_log(const std::string& path) const {
+    return requests_.write_jsonl(path);
+  }
+  obs::SloTracker::Snapshot slo_snapshot() const { return slo_.snapshot(); }
+  bool write_slo_json(const std::string& path) const {
+    return slo_.write_json(path);
+  }
+
   int n_workers() const { return config_.n_workers; }
 
  private:
@@ -204,6 +235,15 @@ class Server {
   // notifies cv_done_ after releasing the lock.
   void record_locked(ServerResponse&& resp,
                      std::chrono::steady_clock::time_point when);
+  // Assembles the RequestTimeline for a finished response and records it
+  // (plus the TTFT-drift sample when ttft_profile is set). Runs under
+  // mutex_ so timelines reconcile exactly with the pc_server_* counters.
+  void record_timeline_locked(const ServerResponse& resp);
+  // Perfetto flow id for a request: instance-qualified so two servers'
+  // flow arcs never share an id within one process-wide trace.
+  uint64_t flow_id(uint64_t id) const {
+    return (instance_ << 32) | (id & 0xffffffffu);
+  }
 
   const Model& model_;
   const TextTokenizer& tokenizer_;
@@ -237,6 +277,18 @@ class Server {
   obs::Gauge queue_depth_;         // pc_server_queue_depth
   obs::Histogram e2e_ttft_;        // pc_server_ttft_seconds; survives drain()
   obs::Histogram degraded_ttft_;   // pc_server_ttft_degraded_seconds
+  obs::Histogram ttft_drift_;      // pc_ttft_model_drift (measured/predicted)
+  // Request-centric telemetry: the timeline ring, the rolling SLO window,
+  // and the submit timestamps of in-flight ids (consumed at record time).
+  // All mutated under mutex_ (RequestTracker/SloTracker also lock
+  // internally; the outer lock just keeps them in step with the counters).
+  obs::RequestTracker requests_;
+  obs::SloTracker slo_;
+  std::map<uint64_t, uint64_t> submit_ns_;
+  // Process-unique instance number: stamps timelines (request ids restart
+  // at 0 per server but PC_REQLOG spans the process) and the high bits of
+  // Perfetto flow ids so arcs from different servers never chain.
+  const uint64_t instance_;
   uint64_t done_ = 0;        // responses recorded, any status (drain gate)
   // Requests dequeued but not yet recorded. Submit-time shedding estimates
   // the backlog from queue_.size() + in_service_ — counting only the queue
