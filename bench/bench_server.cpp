@@ -27,6 +27,20 @@
 // full-prefill serve, so availability (served / submitted) should hold at
 // 1.0 while the degraded fraction grows with the fault rate. Results land
 // in BENCH_server.json under "fault_sweep".
+//
+// Finally a cluster-sharding sweep (sys/shard.h): 1/2/4/8 ShardRouter
+// shards with replication R=min(2,N) serving a Zipf-skewed prompt mix.
+// Throughput should grow with the shard count (each shard is a full worker
+// pool overlapping its own link stalls) while the fleet-wide resident
+// module footprint stays ~R x the distinct module bytes — NOT N x —
+// because only ring owners pin modules and cross-shard fetches are
+// streamed back out after the request. A shard-kill chaos run
+// (PC_FAULTS "shardkill=...") then holds availability at 1.0 through
+// kills, failovers, and auto-restarts. Results land under "shard_sweep" /
+// "shard_chaos". `--shard-only` runs just this section at smoke scale and
+// writes BENCH_shard_smoke.json (the CI chaos job's quick gate).
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -46,6 +60,7 @@
 #include "obs/trace.h"
 #include "sys/fault.h"
 #include "sys/server.h"
+#include "sys/shard.h"
 
 namespace {
 
@@ -149,6 +164,202 @@ struct FaultRunResult {
   }
 };
 
+struct ShardRunResult {
+  int shards = 0;
+  int replication = 0;
+  int requests = 0;
+  std::string fault_spec;        // "" for the clean sweep rows
+  uint64_t injected = 0;         // shardkill injections during this run
+  uint64_t resp_failover_sum = 0;  // sum of per-response failover counts
+  bool all_served = true;        // every response kOk or kDegraded
+  ShardRouterStats stats;
+};
+
+// Deterministic Zipf(s) popularity over the prompt mix: rank-k probability
+// proportional to (k+1)^-s, sampled from a counter-based hash so the
+// traffic replays identically across shard counts.
+constexpr double kZipfS = 0.8;
+
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::vector<double> zipf_cdf(size_t n, double s) {
+  std::vector<double> cdf(n);
+  double total = 0;
+  for (size_t k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -s);
+    cdf[k] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
+}
+
+size_t zipf_pick(const std::vector<double>& cdf, uint64_t seed, int i) {
+  const double u =
+      static_cast<double>(mix64(seed ^ mix64(static_cast<uint64_t>(i))) >> 11) *
+      0x1.0p-53;
+  return static_cast<size_t>(
+      std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+}
+
+// One ShardRouter run over Zipf traffic. `kill_at` >= 0 kills shard 0 after
+// that many submits (the deterministic smoke's failover exercise);
+// probabilistic kills come from an armed PC_FAULTS shardkill spec instead.
+ShardRunResult run_shard_config(const Model& model,
+                                const AccuracyWorkload& workload,
+                                const std::string& schema,
+                                const std::vector<std::string>& prompts,
+                                const GenerateOptions& opts,
+                                const LinkModel& link, int n_shards,
+                                int requests, int restart_after, int kill_at) {
+  ShardRunResult run;
+  run.shards = n_shards;
+  run.replication = std::min(2, n_shards);
+  run.requests = requests;
+
+  ShardConfig cfg;
+  cfg.n_shards = n_shards;
+  cfg.replication = run.replication;
+  cfg.server.n_workers = 2;
+  cfg.server.queue_capacity = 16;
+  cfg.server.schemas = {schema};
+  cfg.server.link = link;
+  // Inter-shard interconnect: faster than the host link but not free, so
+  // cross-shard fetches show up as measurable extra stall.
+  cfg.cross_link.latency_s = link.latency_s / 4.0;
+  cfg.cross_link.bandwidth_bytes_per_s = 8e9;
+  cfg.restart_after_submits = restart_after;
+
+  const std::vector<double> cdf = zipf_cdf(prompts.size(), kZipfS);
+  const uint64_t injected_before =
+      FaultInjector::global().injected(FaultPoint::kShardKill);
+  {
+    ShardRouter router(model, workload.tokenizer(), cfg);
+    for (int i = 0; i < requests; ++i) {
+      if (i == kill_at) router.kill_shard(0);
+      router.submit(prompts[zipf_pick(cdf, 0x5eedf00dULL, i)], opts);
+    }
+    std::vector<ShardResponse> responses = router.drain();
+    for (const ShardResponse& r : responses) {
+      run.resp_failover_sum += static_cast<uint64_t>(r.failovers);
+      if (r.resp.status != ServeStatus::kOk &&
+          r.resp.status != ServeStatus::kDegraded) {
+        run.all_served = false;
+      }
+    }
+    // Heal before the final footprint snapshot: a restarted shard's owned
+    // share is re-replicated, so resident_bytes_total reports the steady
+    // state (~R x distinct bytes), not a transient hole.
+    (void)router.replicate_now();
+    run.stats = router.stats();
+  }
+  run.injected =
+      FaultInjector::global().injected(FaultPoint::kShardKill) - injected_before;
+  return run;
+}
+
+void print_shard_results(const std::vector<ShardRunResult>& runs) {
+  TablePrinter table(
+      "cluster sharding: Zipf traffic, replication R=min(2,N), streamed "
+      "cross-fetches");
+  table.set_header({"shards", "R", "req/s", "wall ms", "xfetch", "xfetch KB",
+                    "resident KB", "kills", "failovers", "avail"});
+  for (const ShardRunResult& r : runs) {
+    table.add_row(
+        {std::to_string(r.shards), std::to_string(r.replication),
+         TablePrinter::fmt(r.stats.throughput_rps, 1),
+         TablePrinter::fmt(r.stats.wall_ms, 1),
+         std::to_string(r.stats.cross_fetches),
+         TablePrinter::fmt(
+             static_cast<double>(r.stats.cross_fetch_bytes) / 1e3, 1),
+         TablePrinter::fmt(
+             static_cast<double>(r.stats.resident_bytes_total) / 1e3, 1),
+         std::to_string(r.stats.kills), std::to_string(r.stats.failovers),
+         TablePrinter::fmt(r.stats.availability, 3)});
+  }
+  table.print(std::cout);
+}
+
+void print_shard_chaos(const ShardRunResult& r) {
+  TablePrinter table("shard-kill chaos: availability through kills/restarts");
+  table.set_header({"spec", "injected", "kills", "failovers", "restarts",
+                    "degraded", "rereplic", "avail"});
+  table.add_row({r.fault_spec, std::to_string(r.injected),
+                 std::to_string(r.stats.kills),
+                 std::to_string(r.stats.failovers),
+                 std::to_string(r.stats.restarts),
+                 std::to_string(r.stats.degraded),
+                 std::to_string(r.stats.rereplications),
+                 TablePrinter::fmt(r.stats.availability, 3)});
+  table.print(std::cout);
+}
+
+std::string shard_run_json(const ShardRunResult& r) {
+  std::ostringstream out;
+  const ShardRouterStats& s = r.stats;
+  out << "{\"shards\": " << r.shards << ", \"replication\": " << r.replication
+      << ", \"requests\": " << r.requests
+      << ", \"zipf_s\": " << TablePrinter::fmt(kZipfS, 2);
+  if (!r.fault_spec.empty()) {
+    out << ", \"fault_spec\": \"" << r.fault_spec << "\""
+        << ", \"injected\": " << r.injected;
+  }
+  out << ", \"wall_ms\": " << TablePrinter::fmt(s.wall_ms, 1)
+      << ", \"throughput_rps\": " << TablePrinter::fmt(s.throughput_rps, 2)
+      << ", \"submitted\": " << s.submitted
+      << ", \"completed\": " << s.completed << ", \"degraded\": " << s.degraded
+      << ", \"timeouts\": " << s.timeouts << ", \"failed\": " << s.failed
+      << ", \"kills\": " << s.kills << ", \"restarts\": " << s.restarts
+      << ", \"failovers\": " << s.failovers
+      << ", \"cross_fetches\": " << s.cross_fetches
+      << ", \"cross_fetch_bytes\": " << s.cross_fetch_bytes
+      << ", \"rereplications\": " << s.rereplications
+      << ", \"unavailable_degrades\": " << s.unavailable_degrades
+      << ", \"resident_bytes_total\": " << s.resident_bytes_total
+      << ", \"availability\": " << TablePrinter::fmt(s.availability, 4) << "}";
+  return out.str();
+}
+
+// --shard-only writes this instead of BENCH_server.json: a quick gate for
+// CI (clean 1/2-shard rows plus a deterministic mid-stream shard kill).
+void write_shard_smoke_json(const std::vector<ShardRunResult>& runs,
+                            const ShardRunResult& kill_run) {
+  bool all_served = kill_run.all_served;
+  bool failovers_reconcile =
+      kill_run.stats.failovers == kill_run.resp_failover_sum;
+  for (const ShardRunResult& r : runs) {
+    all_served = all_served && r.all_served;
+    if (r.stats.failovers != r.resp_failover_sum) failovers_reconcile = false;
+  }
+  const bool kill_recovered = kill_run.stats.kills >= 1 &&
+                              kill_run.stats.availability >= 1.0 &&
+                              kill_run.stats.failed == 0 &&
+                              kill_run.stats.timeouts == 0;
+
+  std::ofstream out("BENCH_shard_smoke.json");
+  out << "{\n"
+      << "  \"provenance\": " << bench::provenance_json() << ",\n"
+      << "  \"shard_sweep\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    out << "    " << shard_run_json(runs[i])
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"shard_kill\": " << shard_run_json(kill_run) << ",\n"
+      << "  \"checks\": {\n"
+      << "    \"shard_smoke_all_served\": " << (all_served ? "true" : "false")
+      << ",\n"
+      << "    \"shard_smoke_kill_recovered\": "
+      << (kill_recovered ? "true" : "false") << ",\n"
+      << "    \"shard_smoke_failovers_reconcile\": "
+      << (failovers_reconcile ? "true" : "false") << "\n"
+      << "  }\n}\n";
+  std::cout << "\nwrote BENCH_shard_smoke.json\n";
+}
+
 void print_results(const std::vector<RunResult>& runs) {
   TablePrinter table("serving throughput: shared store vs private stores");
   table.set_header({"store", "workers", "req/s", "ttft p50", "ttft p99",
@@ -225,6 +436,8 @@ void write_json(const std::vector<RunResult>& runs,
                 const std::vector<BatchRunResult>& batch_runs,
                 const std::vector<FaultRunResult>& fault_runs,
                 const std::vector<KvFormatResult>& kv_format_runs,
+                const std::vector<ShardRunResult>& shard_runs,
+                const ShardRunResult& shard_chaos,
                 size_t distinct_modules,
                 size_t module_bytes, const LinkModel& link,
                 double calibrated_serve_ms) {
@@ -412,7 +625,46 @@ void write_json(const std::vector<RunResult>& runs,
         << TablePrinter::fmt(s.degraded_ttft.p50_ms(), 3) << "}"
         << (i + 1 < fault_runs.size() ? "," : "") << "\n";
   }
-  out << "  ],\n  \"checks\": {\n"
+  // Shard-sweep acceptance: throughput must grow 2 -> 4 -> 8 shards, the
+  // fleet footprint must stay near R x the distinct module bytes instead
+  // of N x (replicated owners + streamed cross-fetches), the chaos run
+  // must hold availability 1.0, and the failover counter must reconcile
+  // exactly with the per-response failover counts.
+  double rps1 = 0, rps2 = 0, rps4 = 0, rps8 = 0;
+  size_t resident1 = 0, resident8 = 0;
+  bool shard_failovers_reconcile = true;
+  for (const ShardRunResult& r : shard_runs) {
+    if (r.shards == 1) { rps1 = r.stats.throughput_rps;
+                         resident1 = r.stats.resident_bytes_total; }
+    if (r.shards == 2) rps2 = r.stats.throughput_rps;
+    if (r.shards == 4) rps4 = r.stats.throughput_rps;
+    if (r.shards == 8) { rps8 = r.stats.throughput_rps;
+                         resident8 = r.stats.resident_bytes_total; }
+    if (r.stats.failovers != r.resp_failover_sum) {
+      shard_failovers_reconcile = false;
+    }
+  }
+  if (shard_chaos.stats.failovers != shard_chaos.resp_failover_sum) {
+    shard_failovers_reconcile = false;
+  }
+  const bool shard_throughput_monotone =
+      rps2 > rps1 && rps4 > rps2 && rps8 > rps4;
+  const bool shard_resident_sublinear =
+      resident1 > 0 && resident8 <= 3 * resident1;  // R=2 steady state ~2x
+  const bool shard_chaos_available =
+      shard_chaos.all_served && shard_chaos.stats.availability >= 1.0 &&
+      shard_chaos.stats.failed == 0 && shard_chaos.stats.timeouts == 0;
+  const bool shard_chaos_kills_reconcile =
+      shard_chaos.stats.kills == shard_chaos.injected;
+
+  out << "  ],\n  \"shard_sweep\": [\n";
+  for (size_t i = 0; i < shard_runs.size(); ++i) {
+    out << "    " << shard_run_json(shard_runs[i])
+        << (i + 1 < shard_runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"shard_chaos\": " << shard_run_json(shard_chaos) << ",\n";
+
+  out << "  \"checks\": {\n"
       << "    \"shared_encodes_equal_distinct_modules\": "
       << (shared_encodes_equal_distinct ? "true" : "false") << ",\n"
       << "    \"private_encodes_are_workers_times_distinct\": "
@@ -438,7 +690,17 @@ void write_json(const std::vector<RunResult>& runs,
       << "    \"fault_availability_is_full\": "
       << (fault_availability_full ? "true" : "false") << ",\n"
       << "    \"degraded_count_monotone_in_fault_rate\": "
-      << (degraded_grows_with_rate ? "true" : "false") << "\n"
+      << (degraded_grows_with_rate ? "true" : "false") << ",\n"
+      << "    \"shard_throughput_monotone_1_to_8\": "
+      << (shard_throughput_monotone ? "true" : "false") << ",\n"
+      << "    \"shard_resident_8_shards_le_3x_single\": "
+      << (shard_resident_sublinear ? "true" : "false") << ",\n"
+      << "    \"shard_failovers_reconcile_with_responses\": "
+      << (shard_failovers_reconcile ? "true" : "false") << ",\n"
+      << "    \"shard_chaos_availability_is_full\": "
+      << (shard_chaos_available ? "true" : "false") << ",\n"
+      << "    \"shard_chaos_kills_equal_injected\": "
+      << (shard_chaos_kills_reconcile ? "true" : "false") << "\n"
       << "  }\n}\n";
   std::cout << "\nwrote BENCH_server.json\n";
 }
@@ -455,12 +717,15 @@ int main(int argc, char** argv) {
   // PC_TRACE=<path> (or any non-empty value, default bench_server_trace.json)
   // additionally exports a Perfetto trace of the whole run.
   bool obs_summary = false;
+  bool shard_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--obs-summary") obs_summary = true;
+    if (std::string(argv[i]) == "--shard-only") shard_only = true;
   }
 
   bench::print_banner(
-      "Concurrent serving — shared vs private module stores",
+      shard_only ? "Cluster sharding smoke — ShardRouter over Zipf traffic"
+                 : "Concurrent serving — shared vs private module stores",
       "simulated host link (sleeps), measured CPU compute; PC_FULL=1 for "
       "more requests");
 
@@ -502,6 +767,29 @@ int main(int argc, char** argv) {
   const int requests = bench::env_int("PC_REQUESTS",
                                       bench::full_mode() ? 160 : 60);
   const size_t device_capacity = module_bytes * 2 / 5;  // 40%: tier pressure
+
+  if (shard_only) {
+    // CI's quick gate: clean 1/2-shard rows, then a deterministic shard
+    // kill mid-stream on 2 shards (R=2: the survivor owns everything, so
+    // every in-flight request fails over and still serves).
+    const int smoke_requests = std::min(requests, 24);
+    std::vector<ShardRunResult> smoke_runs;
+    for (int n : {1, 2}) {
+      smoke_runs.push_back(run_shard_config(model, workload, schema, prompts,
+                                            opts, link, n, smoke_requests,
+                                            /*restart_after=*/0,
+                                            /*kill_at=*/-1));
+    }
+    ShardRunResult kill_run = run_shard_config(
+        model, workload, schema, prompts, opts, link, /*n_shards=*/2,
+        smoke_requests, /*restart_after=*/0, /*kill_at=*/smoke_requests / 2);
+    kill_run.fault_spec = "manual kill_shard(0) mid-stream";
+    print_shard_results(smoke_runs);
+    std::cout << "\n";
+    print_shard_chaos(kill_run);
+    write_shard_smoke_json(smoke_runs, kill_run);
+    return 0;
+  }
 
   std::vector<RunResult> runs;
   for (const char* mode : {"shared", "private"}) {
@@ -704,9 +992,37 @@ int main(int argc, char** argv) {
   FaultInjector::global().configure(main_spec);
   std::cout << "\n";
   print_fault_results(fault_runs);
+  std::cout << "\n";
 
-  write_json(runs, batch_runs, fault_runs, kv_format_runs, distinct_modules,
-             module_bytes, link, calibrated_serve_ms);
+  // Cluster-sharding sweep: 1/2/4/8 shards, R=min(2,N), Zipf traffic.
+  std::vector<ShardRunResult> shard_runs;
+  for (int n : {1, 2, 4, 8}) {
+    shard_runs.push_back(run_shard_config(model, workload, schema, prompts,
+                                          opts, link, n, requests,
+                                          /*restart_after=*/0,
+                                          /*kill_at=*/-1));
+  }
+  print_shard_results(shard_runs);
+  std::cout << "\n";
+
+  // Shard-kill chaos: probabilistic kills from the injector's seeded
+  // schedule, auto-restart after 5 submits, R=2 over 4 shards. Every kill
+  // fails its in-flight requests over to a replica; availability holds 1.0.
+  ShardRunResult shard_chaos;
+  {
+    const std::string chaos_spec = "seed=91,shardkill=0.1";
+    FaultInjector::global().configure(chaos_spec);
+    shard_chaos = run_shard_config(model, workload, schema, prompts, opts,
+                                   link, /*n_shards=*/4, requests,
+                                   /*restart_after=*/5, /*kill_at=*/-1);
+    shard_chaos.fault_spec = chaos_spec;
+    FaultInjector::global().configure(main_spec);
+  }
+  print_shard_chaos(shard_chaos);
+
+  write_json(runs, batch_runs, fault_runs, kv_format_runs, shard_runs,
+             shard_chaos, distinct_modules, module_bytes, link,
+             calibrated_serve_ms);
 
   if (const char* trace = std::getenv("PC_TRACE");
       trace != nullptr && *trace != '\0') {

@@ -46,6 +46,15 @@ class CacheError : public Error {
   explicit CacheError(const std::string& what) : Error(what) {}
 };
 
+// Malformed runtime configuration (environment variables such as
+// PC_FAULTS, or programmatic config structs validated at startup). Raised
+// before any request is served so a typo'd chaos spec cannot silently run
+// a clean experiment.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
 // A failure that is expected to succeed if retried: an injected fault, a
 // lost host-link transfer, a single-flight encode whose leader died. The
 // server retries these with backoff before degrading to full prefill.

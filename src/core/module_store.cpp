@@ -52,7 +52,7 @@ void ModuleStore::touch(Entry& e, const std::string& key) {
 
 bool ModuleStore::make_room(ModuleLocation loc, size_t bytes) {
   const TierUsage& u = tiers_.usage(loc);
-  if (u.capacity_bytes != 0 && bytes > u.capacity_bytes) return false;
+  if (!u.unlimited() && bytes > u.capacity_bytes) return false;
   while (!tiers_.can_fit(loc, bytes)) {
     // Evict the coldest unpinned entry in this tier.
     std::string victim;

@@ -181,7 +181,7 @@ ModuleLocation SharedModuleStore::place_locked(
 bool SharedModuleStore::make_room_locked(Shard& s, ModuleLocation loc,
                                          size_t bytes) {
   const TierUsage& u = s.tiers.usage(loc);
-  if (u.capacity_bytes != 0 && bytes > u.capacity_bytes) return false;
+  if (!u.unlimited() && bytes > u.capacity_bytes) return false;
   while (!s.tiers.can_fit(loc, bytes)) {
     // Victim: the coldest unpinned entry resident in this tier.
     auto victim = s.entries.end();

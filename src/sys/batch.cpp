@@ -24,17 +24,6 @@ std::chrono::steady_clock::duration from_ms(double ms) {
       std::chrono::duration<double, std::milli>(ms));
 }
 
-// Same deterministic jitter as the worker pool (sys/server.cpp) so the two
-// modes retry on statistically identical schedules.
-double jitter_factor(uint64_t id, int attempt) {
-  uint64_t x = id * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(attempt) +
-               0xd1b54a32d192ed03ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  x ^= x >> 31;
-  return 0.5 + static_cast<double>(x >> 11) * 0x1.0p-53;
-}
-
 // Index of the stop sequence forming a suffix of `out`, or -1 (mirrors the
 // decode loop in model.cpp).
 int matched_stop_sequence(const std::vector<TokenId>& out,
@@ -113,10 +102,9 @@ BatchScheduler::BatchScheduler(const Model& model,
 BatchScheduler::~BatchScheduler() = default;
 
 double BatchScheduler::backoff_ms_for(uint64_t id, int attempt) const {
-  double ms = options_.retry.backoff_base_ms *
-              static_cast<double>(1ULL << std::min(attempt, 20));
-  ms = std::min(ms, options_.retry.backoff_max_ms);
-  return ms * jitter_factor(id, attempt);
+  // Shared with the worker pool (retry_backoff_ms, sys/serve_types.h) so
+  // the two modes retry on identical deterministic schedules.
+  return retry_backoff_ms(options_.retry, id, attempt);
 }
 
 void BatchScheduler::assemble_paged(const pml::PromptBinding& binding,
@@ -257,6 +245,12 @@ void BatchScheduler::admit(Request request) {
   // thread, so the encode-counter delta around admission is exactly this
   // request's module misses.
   const bool reqtl = obs::request_telemetry_enabled();
+  // Routing / failover provenance from the submitter lands first in the
+  // annotation stream, before any fault notes (same order as the worker
+  // pool).
+  if (reqtl && !seq->req.annotation.empty()) {
+    seq->resp.annotations.push_back(seq->req.annotation);
+  }
   uint64_t encodes_before = 0;
   if (reqtl) {
     const EngineStats es = engine_->stats();
@@ -283,6 +277,17 @@ void BatchScheduler::admit(Request request) {
   }
 
   seq->req.options.cancel = seq->req.token;
+
+  if (seq->req.force_full_prefill) {
+    // The submitter decided the cache path cannot serve this request
+    // (shard router: every replica holding its modules is down) — go
+    // straight to the bitwise-identical full-prefill fallback.
+    degrade(*seq, seq->req.annotation.empty() ? "forced full prefill"
+                                              : seq->req.annotation);
+    settle_misses(*seq);
+    finish_serve(std::move(seq));
+    return;
+  }
 
   for (int attempt = 0;; ++attempt) {
     try {
@@ -314,6 +319,17 @@ void BatchScheduler::admit(Request request) {
       finish_serve(std::move(seq));
       return;
     } catch (const TransientError& e) {
+      // Retries stop the moment the deadline expires (same rule as the
+      // worker pool): another attempt can only finish later than a caller
+      // who is already gone.
+      if (seq->req.token.expired()) {
+        seq->done_status = ServeStatus::kTimeout;
+        seq->resp.detail = "deadline expired before retry";
+        seq->done = true;
+        settle_misses(*seq);
+        finish_serve(std::move(seq));
+        return;
+      }
       if (attempt < options_.retry.max_retries) {
         ++seq->resp.retries;
         PC_SPAN("serve_retry", {"attempt", attempt + 1});
@@ -350,8 +366,12 @@ void BatchScheduler::admit(Request request) {
   // memory (first materialization of its modules). Modeled as a phase with
   // a ready-timestamp rather than a sleep, so the transfer overlaps other
   // requests' compute like real DMA.
+  // The submitter's extra stall (shard router: cross-shard module fetches)
+  // folds into the same transfer phase, so it overlaps other requests'
+  // compute too.
   const double stall_s =
-      options_.link.stall_s(seq->result.ttft.bytes_from_host);
+      options_.link.stall_s(seq->result.ttft.bytes_from_host) +
+      seq->req.extra_stall_ms / 1e3;
   if (stall_s > 0) {
     seq->phase = Phase::kTransfer;
     seq->transfer_ms = stall_s * 1e3;
@@ -416,7 +436,12 @@ bool BatchScheduler::step() {
     if (now < s.transfer_ready) continue;
     s.resp.stall_ms += s.transfer_ms;
     if (faults.should_fail(FaultPoint::kLink)) {
-      if (s.link_attempts < options_.retry.max_retries) {
+      if (s.req.token.expired()) {
+        // Retries stop the moment the deadline expires.
+        s.done = true;
+        s.done_status = ServeStatus::kTimeout;
+        s.resp.detail = "deadline expired before retry";
+      } else if (s.link_attempts < options_.retry.max_retries) {
         ++s.resp.retries;
         PC_SPAN("serve_retry", {"attempt", s.link_attempts + 1});
         if (obs::request_telemetry_enabled()) {

@@ -105,6 +105,13 @@ class BatchScheduler {
     double deadline_ms = 0;
     std::chrono::steady_clock::time_point enqueued;
     CancellationToken token;  // armed iff deadline_ms > 0
+    // SubmitOptions pass-through (sys/serve_types.h): extra stall folds
+    // into the request's kTransfer phase, forced degradation runs the
+    // full-prefill fallback at admission, the annotation lands first in
+    // the timeline.
+    double extra_stall_ms = 0;
+    bool force_full_prefill = false;
+    std::string annotation;
   };
 
   // Called once per admitted request, on the scheduler's thread, when its

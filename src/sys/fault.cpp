@@ -1,5 +1,6 @@
 #include "sys/fault.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <mutex>
 
@@ -22,6 +23,8 @@ const char* fault_point_name(FaultPoint p) {
       return "evict";
     case FaultPoint::kStall:
       return "stall";
+    case FaultPoint::kShardKill:
+      return "shardkill";
   }
   return "unknown";
 }
@@ -79,8 +82,52 @@ int point_from_name(const std::string& name) {
       return "fault_inject_evict";
     case FaultPoint::kStall:
       return "fault_inject_stall";
+    case FaultPoint::kShardKill:
+      return "fault_inject_shardkill";
   }
   return "fault_inject";
+}
+
+// Strict numeric parsers for spec fields: the whole field must be one
+// number — std::stod/stoull alone would accept "0.2abc" and negative
+// values via wraparound, silently arming a different schedule than the
+// operator wrote.
+double parse_double_field(const std::string& value, const std::string& entry,
+                          const char* what) {
+  size_t pos = 0;
+  double v = 0;
+  try {
+    v = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    throw ConfigError("PC_FAULTS: bad " + std::string(what) + " '" + value +
+                      "' in '" + entry + "'");
+  }
+  if (pos != value.size() || !std::isfinite(v)) {
+    throw ConfigError("PC_FAULTS: bad " + std::string(what) + " '" + value +
+                      "' in '" + entry + "' (not a plain finite number)");
+  }
+  return v;
+}
+
+uint64_t parse_uint_field(const std::string& value, const std::string& entry,
+                          const char* what) {
+  if (value.empty() || value[0] == '-' || value[0] == '+') {
+    throw ConfigError("PC_FAULTS: bad " + std::string(what) + " '" + value +
+                      "' in '" + entry + "' (expected an unsigned integer)");
+  }
+  size_t pos = 0;
+  uint64_t v = 0;
+  try {
+    v = std::stoull(value, &pos);
+  } catch (const std::exception&) {
+    throw ConfigError("PC_FAULTS: bad " + std::string(what) + " '" + value +
+                      "' in '" + entry + "'");
+  }
+  if (pos != value.size()) {
+    throw ConfigError("PC_FAULTS: bad " + std::string(what) + " '" + value +
+                      "' in '" + entry + "' (trailing characters)");
+  }
+  return v;
 }
 
 }  // namespace
@@ -107,53 +154,43 @@ void FaultInjector::configure(const std::string& spec) {
     if (entry.empty()) continue;
     const size_t eq = entry.find('=');
     if (eq == std::string::npos || eq == 0 || eq + 1 == entry.size()) {
-      throw Error("PC_FAULTS: malformed entry '" + entry +
-                  "' (expected name=value)");
+      throw ConfigError("PC_FAULTS: malformed entry '" + entry +
+                        "' (expected name=value)");
     }
     const std::string name{trim(entry.substr(0, eq))};
     std::string value{trim(entry.substr(eq + 1))};
     if (name == "seed") {
-      try {
-        seed = std::stoull(value);
-      } catch (const std::exception&) {
-        throw Error("PC_FAULTS: bad seed '" + value + "'");
-      }
+      seed = parse_uint_field(value, entry, "seed");
       continue;
     }
     const int pi = point_from_name(name);
     if (pi < 0) {
-      throw Error("PC_FAULTS: unknown fault point '" + name + "'");
+      throw ConfigError("PC_FAULTS: unknown fault point '" + name + "'");
     }
     Rule& rule = rules[static_cast<size_t>(pi)];
     // value = rate ["x" count] [":" ms]
     const size_t colon = value.find(':');
     if (colon != std::string::npos) {
-      try {
-        rule.stall_ms = std::stod(value.substr(colon + 1));
-      } catch (const std::exception&) {
-        throw Error("PC_FAULTS: bad stall duration in '" + entry + "'");
-      }
+      rule.stall_ms =
+          parse_double_field(value.substr(colon + 1), entry, "stall duration");
       if (rule.stall_ms < 0) {
-        throw Error("PC_FAULTS: negative stall duration in '" + entry + "'");
+        throw ConfigError("PC_FAULTS: negative stall duration in '" + entry +
+                          "'");
       }
       value = value.substr(0, colon);
     }
     const size_t x = value.find('x');
     if (x != std::string::npos) {
-      try {
-        rule.max_count = std::stoull(value.substr(x + 1));
-      } catch (const std::exception&) {
-        throw Error("PC_FAULTS: bad injection cap in '" + entry + "'");
-      }
+      rule.max_count = parse_uint_field(value.substr(x + 1), entry,
+                                        "injection cap");
       value = value.substr(0, x);
     }
-    try {
-      rule.rate = std::stod(value);
-    } catch (const std::exception&) {
-      throw Error("PC_FAULTS: bad rate in '" + entry + "'");
-    }
-    if (rule.rate < 0.0 || rule.rate > 1.0) {
-      throw Error("PC_FAULTS: rate out of [0,1] in '" + entry + "'");
+    rule.rate = parse_double_field(value, entry, "rate");
+    // Written as !(in range): NaN fails every comparison, so the
+    // `< 0 || > 1` form would accept it even if one got past the finite
+    // check above.
+    if (!(rule.rate >= 0.0 && rule.rate <= 1.0)) {
+      throw ConfigError("PC_FAULTS: rate out of [0,1] in '" + entry + "'");
     }
     if (rule.rate > 0) any = true;
   }

@@ -15,6 +15,9 @@
 //                            path at serve time)
 //   stall    server.cpp      a worker freezes for stall_ms before serving
 //                            (straggler; stresses deadlines and shedding)
+//   shardkill shard.cpp      a whole shard (Server + store) dies; the
+//                            ShardRouter fails affected requests over to a
+//                            replica (docs/INTERNALS.md §14)
 //
 // Faults are drawn from a seeded counter-based hash: the decision for the
 // N-th poll of a point is a pure function of (seed, point, N), so a given
@@ -26,6 +29,7 @@
 //   entry     = "seed=" uint64                      (default 1)
 //             | point "=" rate ["x" count] [":" ms]
 //   point     = "encode" | "link" | "corrupt" | "evict" | "stall"
+//             | "shardkill"
 //   rate      = probability in [0,1]
 //   count     = cap on injections at this point (0 / absent = unlimited)
 //   ms        = stall duration for "stall" (default 20)
@@ -56,8 +60,9 @@ enum class FaultPoint : int {
   kCorrupt,
   kEvict,
   kStall,
+  kShardKill,
 };
-inline constexpr int kNumFaultPoints = 5;
+inline constexpr int kNumFaultPoints = 6;
 
 const char* fault_point_name(FaultPoint p);
 
@@ -69,8 +74,11 @@ class FaultInjector {
   // environment (empty/unset = disabled).
   static FaultInjector& global();
 
-  // Parses and arms a spec (see the grammar above); throws pc::Error on a
-  // malformed spec. An empty spec disables. Resets draw/injection counts.
+  // Parses and arms a spec (see the grammar above); throws pc::ConfigError
+  // on a malformed spec — unknown points, non-numeric or trailing-garbage
+  // rates, bad xN/:ms suffixes — so a typo'd chaos spec fails loudly at
+  // startup instead of silently running clean. An empty spec disables.
+  // Resets draw/injection counts.
   void configure(const std::string& spec);
 
   // Disarms all fault points (counts are preserved for inspection).

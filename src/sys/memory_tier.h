@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 
 #include "common/error.h"
 #include "sys/device_model.h"
@@ -16,11 +17,17 @@
 namespace pc {
 
 struct TierUsage {
-  size_t capacity_bytes = 0;  // 0 means unlimited
+  size_t capacity_bytes = 0;  // 0 means unlimited — test with unlimited()
   size_t used_bytes = 0;
 
+  // The capacity sentinel, spelled out: arithmetic on capacity_bytes is
+  // only meaningful when this is false. Callers must branch on this
+  // instead of comparing capacity_bytes to 0 (or free_bytes() to
+  // SIZE_MAX) themselves.
+  bool unlimited() const { return capacity_bytes == 0; }
+
   size_t free_bytes() const {
-    if (capacity_bytes == 0) return static_cast<size_t>(-1);
+    if (unlimited()) return std::numeric_limits<size_t>::max();
     return capacity_bytes - used_bytes;
   }
 };
@@ -38,7 +45,10 @@ class TierAllocator {
 
   bool can_fit(ModuleLocation loc, size_t bytes) const {
     const TierUsage& u = usage(loc);
-    return u.capacity_bytes == 0 || u.used_bytes + bytes <= u.capacity_bytes;
+    // Compare against the remaining headroom, never `used + bytes`: the
+    // sum form wraps around for requests near SIZE_MAX and would admit
+    // them into a full tier.
+    return u.unlimited() || bytes <= u.capacity_bytes - u.used_bytes;
   }
 
   void charge(ModuleLocation loc, size_t bytes) {

@@ -54,6 +54,35 @@ struct RetryPolicy {
   double backoff_max_ms = 20.0;
 };
 
+// The deterministic backoff schedule both serving modes sleep between
+// transient-fault retries: backoff_base_ms * 2^attempt, capped at
+// backoff_max_ms, scaled by a jitter in [0.5, 1.5) that is a pure function
+// of (id, attempt) — workers retrying the same key desynchronize without a
+// shared RNG, and a given request replays the same schedule on any lane.
+// Pinned by a golden test (tests/test_faults.cpp).
+double retry_backoff_ms(const RetryPolicy& retry, uint64_t id, int attempt);
+
+// Per-request submission controls beyond GenerateOptions, used by the
+// shard router (sys/shard.h) and available to any caller of
+// Server::submit. Plain submit(prompt, options, deadline) is the
+// all-defaults case.
+struct SubmitOptions {
+  double deadline_ms = 0;  // 0 = the server's default deadline
+  // Extra simulated host-link stall charged to this request (cross-shard
+  // module fetches), slept by the serving lane alongside the regular
+  // LinkModel stall so transfers overlap compute.
+  double extra_stall_ms = 0;
+  // Serve via the full-prefill degrade path directly (recorded as
+  // kDegraded): the router uses this when every replica holding a
+  // request's modules is down — tokens stay bitwise-identical, TTFT pays
+  // the full forward pass.
+  bool force_full_prefill = false;
+  // Free-form note appended to the request's timeline annotations at
+  // dequeue (routing decisions, failover provenance). Doubles as the
+  // degrade detail when force_full_prefill is set.
+  std::string annotation;
+};
+
 struct ServerResponse {
   uint64_t id = 0;    // submission order
   int worker = -1;    // worker that served it (-1 when shed at submit)

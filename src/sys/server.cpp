@@ -24,17 +24,6 @@ void sleep_ms(double ms) {
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
 }
 
-// Deterministic jitter in [0.5, 1.5) from (request id, attempt) — workers
-// retrying the same key desynchronize without a shared RNG.
-double jitter_factor(uint64_t id, int attempt) {
-  uint64_t x = id * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(attempt) +
-               0xd1b54a32d192ed03ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  x ^= x >> 31;
-  return 0.5 + static_cast<double>(x >> 11) * 0x1.0p-53;
-}
-
 // Timeline vocabulary for the store's KV format.
 [[maybe_unused]] const char* precision_name(StorePrecision p) {
   switch (p) {
@@ -55,6 +44,20 @@ double jitter_factor(uint64_t id, int attempt) {
 }
 
 }  // namespace
+
+double retry_backoff_ms(const RetryPolicy& retry, uint64_t id, int attempt) {
+  double ms = retry.backoff_base_ms *
+              static_cast<double>(1ULL << std::min(attempt, 20));
+  ms = std::min(ms, retry.backoff_max_ms);
+  // Deterministic jitter in [0.5, 1.5) from (request id, attempt) —
+  // workers retrying the same key desynchronize without a shared RNG.
+  uint64_t x = id * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(attempt) +
+               0xd1b54a32d192ed03ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return ms * (0.5 + static_cast<double>(x >> 11) * 0x1.0p-53);
+}
 
 const char* to_string(ServeStatus s) {
   switch (s) {
@@ -169,6 +172,13 @@ void Server::start() {
 
 uint64_t Server::submit(std::string prompt, const GenerateOptions& options,
                         double deadline_ms) {
+  SubmitOptions sopts;
+  sopts.deadline_ms = deadline_ms;
+  return submit(std::move(prompt), options, sopts);
+}
+
+uint64_t Server::submit(std::string prompt, const GenerateOptions& options,
+                        const SubmitOptions& submit_options) {
   std::unique_lock lock(mutex_);
   PC_CHECK_MSG(!stop_, "submit() on a stopped Server");
   cv_not_full_.wait(lock, [&] {
@@ -187,8 +197,9 @@ uint64_t Server::submit(std::string prompt, const GenerateOptions& options,
     clock_started_ = true;
     first_submit_ = enqueued;
   }
-  const double deadline =
-      deadline_ms > 0 ? deadline_ms : config_.default_deadline_ms;
+  const double deadline = submit_options.deadline_ms > 0
+                              ? submit_options.deadline_ms
+                              : config_.default_deadline_ms;
   // Timeline anchor: the submit timestamp on the obs epoch clock, consumed
   // by record_timeline_locked when the terminal status lands.
   if constexpr (obs::kEnabled) {
@@ -229,6 +240,9 @@ uint64_t Server::submit(std::string prompt, const GenerateOptions& options,
   item.options = options;
   item.deadline_ms = deadline;
   item.enqueued = enqueued;
+  item.extra_stall_ms = submit_options.extra_stall_ms;
+  item.force_full_prefill = submit_options.force_full_prefill;
+  item.annotation = submit_options.annotation;
   if (deadline > 0) {
     item.token = CancellationToken::with_deadline(
         enqueued + std::chrono::duration_cast<
@@ -321,7 +335,12 @@ void Server::record_locked(ServerResponse&& resp,
       submit_ns_.erase(resp.id);
     }
   }
-  responses_.push_back(std::move(resp));
+  // The completion hook sees the response under the same lock that moved
+  // the counters, so a router's view reconciles exactly with pc_server_*.
+  // Contract (ServerConfig::on_record): the callback must not re-enter
+  // this Server.
+  if (config_.on_record) config_.on_record(resp);
+  if (config_.retain_responses) responses_.push_back(std::move(resp));
   ++done_;
   last_complete_ = when;
 }
@@ -494,14 +513,33 @@ void Server::worker_loop(int index) {
       sleep_ms(stall);
     }
 
+    // Routing / failover provenance from the submitter (the shard router)
+    // lands first in the annotation stream, before any fault notes.
+    if (!item.annotation.empty()) annotate(item.annotation);
+
     GenerateOptions options = item.options;
     options.cancel = item.token;
 
+    // Backoff sleeps never overshoot the deadline: a retry the caller can
+    // no longer use is pure wasted latency, so the sleep is capped at the
+    // time remaining (the expiry check at the retry sites stops the ladder
+    // entirely once the token fires).
+    const auto deadline_tp =
+        item.deadline_ms > 0
+            ? item.enqueued +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          item.deadline_ms))
+            : std::chrono::steady_clock::time_point::max();
     const auto backoff = [&](int attempt) {
-      double ms = retry.backoff_base_ms *
-                  static_cast<double>(1ULL << std::min(attempt, 20));
-      ms = std::min(ms, retry.backoff_max_ms);
-      sleep_ms(ms * jitter_factor(item.id, attempt));
+      double ms = retry_backoff_ms(retry, item.id, attempt);
+      if (item.deadline_ms > 0) {
+        const double remaining_ms =
+            ms_between(std::chrono::steady_clock::now(), deadline_tp);
+        ms = std::min(ms, std::max(0.0, remaining_ms));
+      }
+      sleep_ms(ms);
     };
 
     ServeStatus status = ServeStatus::kOk;
@@ -525,39 +563,55 @@ void Server::worker_loop(int index) {
       }
     };
 
-    for (int attempt = 0;; ++attempt) {
-      try {
-        resp.result = self.engine->serve(item.prompt, options);
-        status = ServeStatus::kOk;
-        break;
-      } catch (const CancelledError& e) {
-        self.engine->release_borrowed_pins();
-        status = ServeStatus::kTimeout;
-        resp.detail = e.what();
-        break;
-      } catch (const TransientError& e) {
-        self.engine->release_borrowed_pins();
-        if (attempt < retry.max_retries) {
-          ++resp.retries;
-          retries_.inc();
-          PC_SPAN("serve_retry", {"attempt", attempt + 1});
-          annotate("retry " + std::to_string(attempt + 1) + ": " + e.what());
-          backoff(attempt);
-          continue;
+    if (item.force_full_prefill) {
+      // The submitter decided the cache path cannot serve this request
+      // (shard router: every replica holding its modules is down) — go
+      // straight to the bitwise-identical full-prefill fallback.
+      degrade(item.annotation.empty() ? "forced full prefill"
+                                      : item.annotation);
+    } else {
+      for (int attempt = 0;; ++attempt) {
+        try {
+          resp.result = self.engine->serve(item.prompt, options);
+          status = ServeStatus::kOk;
+          break;
+        } catch (const CancelledError& e) {
+          self.engine->release_borrowed_pins();
+          status = ServeStatus::kTimeout;
+          resp.detail = e.what();
+          break;
+        } catch (const TransientError& e) {
+          self.engine->release_borrowed_pins();
+          // Retries stop the moment the deadline expires: another attempt
+          // (and its backoff sleep) can only finish later than a caller who
+          // is already gone.
+          if (item.token.expired()) {
+            status = ServeStatus::kTimeout;
+            resp.detail = "deadline expired before retry";
+            break;
+          }
+          if (attempt < retry.max_retries) {
+            ++resp.retries;
+            retries_.inc();
+            PC_SPAN("serve_retry", {"attempt", attempt + 1});
+            annotate("retry " + std::to_string(attempt + 1) + ": " + e.what());
+            backoff(attempt);
+            continue;
+          }
+          degrade(e.what());
+          break;
+        } catch (const CacheError& e) {
+          // Structural, not transient (the module fits in neither tier under
+          // current pin pressure): retrying cannot help, degrade directly.
+          self.engine->release_borrowed_pins();
+          degrade(e.what());
+          break;
+        } catch (const std::exception& e) {
+          self.engine->release_borrowed_pins();
+          status = ServeStatus::kFailed;
+          resp.detail = e.what();
+          break;
         }
-        degrade(e.what());
-        break;
-      } catch (const CacheError& e) {
-        // Structural, not transient (the module fits in neither tier under
-        // current pin pressure): retrying cannot help, degrade directly.
-        self.engine->release_borrowed_pins();
-        degrade(e.what());
-        break;
-      } catch (const std::exception& e) {
-        self.engine->release_borrowed_pins();
-        status = ServeStatus::kFailed;
-        resp.detail = e.what();
-        break;
       }
     }
 
@@ -592,6 +646,15 @@ void Server::worker_loop(int index) {
           degrade("injected fault: host-link transfer lost");
           break;
         }
+      }
+      // Extra stall charged by the submitter (shard router: cross-shard
+      // module fetches over its inter-shard link). Same overlap semantics
+      // as the host link — the sleep yields the core.
+      if (status == ServeStatus::kOk && item.extra_stall_ms > 0) {
+        PC_SPAN("cross_shard_stall",
+                {"ms", static_cast<int64_t>(item.extra_stall_ms)});
+        sleep_ms(item.extra_stall_ms);
+        resp.stall_ms += item.extra_stall_ms;
       }
     }
 
@@ -681,6 +744,9 @@ void Server::batch_loop() {
         req.deadline_ms = item.deadline_ms;
         req.enqueued = item.enqueued;
         req.token = item.token;
+        req.extra_stall_ms = item.extra_stall_ms;
+        req.force_full_prefill = item.force_full_prefill;
+        req.annotation = std::move(item.annotation);
         admits.push_back(std::move(req));
       }
     }

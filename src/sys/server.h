@@ -53,6 +53,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -100,6 +101,16 @@ struct ServerConfig {
   const HardwareProfile* ttft_profile = nullptr;  // null = no drift tracking
   ModelSpec ttft_spec;
   obs::SloConfig slo;
+  // Completion hook, invoked under the server's lock for every recorded
+  // response (any status) right before it is buffered — the shard router
+  // uses it to observe completions without polling drain(). The callback
+  // must be fast and must NOT call back into this Server (submit/drain/
+  // stats deadlock on the held lock); enqueue and return.
+  std::function<void(const ServerResponse&)> on_record;
+  // When false, responses are handed to on_record only and never buffered
+  // for drain() — the mode for a fronting router that owns the response
+  // lifecycle. drain() then returns empty once all requests completed.
+  bool retain_responses = true;
 };
 
 struct ServerStats {
@@ -175,6 +186,12 @@ class Server {
   uint64_t submit(std::string prompt, const GenerateOptions& options = {},
                   double deadline_ms = 0);
 
+  // Extended submit (sys/serve_types.h): per-request extra link stall,
+  // forced full-prefill degradation, and a timeline annotation, on top of
+  // the deadline. The plain overload forwards here with defaults.
+  uint64_t submit(std::string prompt, const GenerateOptions& options,
+                  const SubmitOptions& submit_options);
+
   // Blocks until every submitted request has been recorded (served, shed,
   // timed out, or failed), then returns the responses sorted by id (and
   // clears the internal buffer).
@@ -221,6 +238,9 @@ class Server {
     double deadline_ms = 0;
     std::chrono::steady_clock::time_point enqueued;
     CancellationToken token;  // armed iff deadline_ms > 0
+    double extra_stall_ms = 0;     // SubmitOptions::extra_stall_ms
+    bool force_full_prefill = false;
+    std::string annotation;        // SubmitOptions::annotation
   };
 
   struct Worker {

@@ -21,6 +21,7 @@
 // test, which honors an env-provided spec when present (the CI smoke).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -30,6 +31,7 @@
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/error.h"
 #include "core/engine.h"
 #include "core/shared_module_store.h"
 #include "eval/workload.h"
@@ -122,6 +124,55 @@ TEST_F(FaultTest, BadSpecsThrow) {
   EXPECT_THROW(f.configure("encode"), Error);
   EXPECT_THROW(f.configure("seed=notanumber"), Error);
   EXPECT_FALSE(f.enabled());  // a failed configure never arms
+}
+
+TEST_F(FaultTest, MalformedSpecsThrowConfigErrorPerForm) {
+  // Every malformed form must raise pc::ConfigError at configure time — a
+  // typo'd chaos spec fails loudly at startup instead of silently running
+  // a clean "chaos" test. One case per grammar production.
+  FaultInjector& f = FaultInjector::global();
+  // Trailing garbage after a well-formed rate.
+  EXPECT_THROW(f.configure("encode=0.5junk"), ConfigError);
+  // Bare / non-numeric / negative xN count suffixes.
+  EXPECT_THROW(f.configure("encode=0.5x"), ConfigError);
+  EXPECT_THROW(f.configure("encode=0.5xabc"), ConfigError);
+  EXPECT_THROW(f.configure("encode=0.5x-1"), ConfigError);
+  EXPECT_THROW(f.configure("encode=0.5x3junk"), ConfigError);
+  // Bare / non-numeric / negative :ms suffixes.
+  EXPECT_THROW(f.configure("stall=0.1:"), ConfigError);
+  EXPECT_THROW(f.configure("stall=0.1:abc"), ConfigError);
+  EXPECT_THROW(f.configure("stall=0.1:-5"), ConfigError);
+  // Seed must be a clean uint64.
+  EXPECT_THROW(f.configure("seed="), ConfigError);
+  EXPECT_THROW(f.configure("seed=12junk"), ConfigError);
+  EXPECT_THROW(f.configure("seed=-1"), ConfigError);
+  // Non-finite probabilities (stod would happily accept these).
+  EXPECT_THROW(f.configure("encode=nan"), ConfigError);
+  EXPECT_THROW(f.configure("encode=inf"), ConfigError);
+  // Out-of-range probability on the new point too.
+  EXPECT_THROW(f.configure("shardkill=2.0"), ConfigError);
+  // Unknown point name.
+  EXPECT_THROW(f.configure("shardskill=0.5"), ConfigError);
+  // A failed configure never arms, and the spec stays empty.
+  EXPECT_FALSE(f.enabled());
+  EXPECT_EQ(f.spec(), "");
+  // A good spec still arms afterwards (no poisoned state left behind).
+  f.configure("shardkill=0.5x2");
+  EXPECT_TRUE(f.enabled());
+}
+
+TEST_F(FaultTest, ShardKillPointParsesAndCaps) {
+  EXPECT_STREQ(fault_point_name(FaultPoint::kShardKill), "shardkill");
+  FaultInjector& f = FaultInjector::global();
+  f.configure("shardkill=1x2");
+  EXPECT_TRUE(f.should_fail(FaultPoint::kShardKill));
+  EXPECT_TRUE(f.should_fail(FaultPoint::kShardKill));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(f.should_fail(FaultPoint::kShardKill));
+  }
+  EXPECT_EQ(f.injected(FaultPoint::kShardKill), 2u);
+  // The other points were never armed by this spec.
+  EXPECT_FALSE(f.should_fail(FaultPoint::kEncode));
 }
 
 TEST_F(FaultTest, ScheduleIsDeterministicPerSeed) {
@@ -460,7 +511,84 @@ TEST_F(FaultTest, DeadlineExpiryMidServiceTimesOut) {
   check_accounting(stats);
 }
 
+TEST_F(FaultTest, DeadlineExpiryStopsRetryLadderImmediately) {
+  // With every encode faulted and a backoff schedule whose single
+  // un-capped sleep (10 s) dwarfs the deadline (60 ms), the retry loop
+  // must stop the moment the deadline expires — the sleep is capped at
+  // the remaining budget and an expired token short-circuits the next
+  // attempt — instead of serving out the exponential ladder.
+  ServerHarness h;
+  ServerConfig cfg;
+  cfg.n_workers = 1;
+  cfg.schemas = {kSchema};
+  cfg.engine.eager_encode = false;  // encode at serve time, under faults
+  cfg.retry.max_retries = 8;
+  cfg.retry.backoff_base_ms = 10000;
+  cfg.retry.backoff_max_ms = 10000;
+  Server server(h.model, h.workload.tokenizer(), cfg);
+
+  FaultInjector::global().configure("encode=1");
+  const auto t0 = std::chrono::steady_clock::now();
+  server.submit(kPrompts[0], ask_options(h.workload), /*deadline_ms=*/60);
+  const std::vector<ServerResponse> responses = server.drain();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  FaultInjector::global().disable();
+
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, ServeStatus::kTimeout)
+      << responses[0].detail;
+  EXPECT_FALSE(responses[0].deadline_met);
+  check_status_invariants(responses[0]);
+  // One un-capped backoff alone would be 10 s; generous slack for CI.
+  EXPECT_LT(elapsed_ms, 5000.0)
+      << "retries must stop at the deadline, not serve out the ladder";
+  check_accounting(server.stats());
+}
+
 #endif  // PC_FAULTS_ENABLED
+
+// ---------------------------------------------------------------------------
+// Retry backoff schedule (always compiled — no injector involved)
+
+TEST_F(FaultTest, RetryBackoffGoldenSchedule) {
+  // The deterministic jitter schedule is part of the serving contract
+  // (identical replay across lanes and runs); pin it. Values are
+  // retry_backoff_ms with the default policy (base 0.5 ms, cap 20 ms).
+  const RetryPolicy policy;
+  const double golden[3][4] = {
+      // id=1
+      {0.33800628128297117, 0.87684244477711237, 2.9626587727260931,
+       2.662955055612493},
+      // id=7
+      {0.49007477255529996, 0.50241657487984059, 1.5451060779277386,
+       5.5127452083350956},
+      // id=42
+      {0.52704875675699181, 0.68043535162983715, 1.2784753703219474,
+       2.2612623134725847},
+  };
+  const uint64_t ids[3] = {1, 7, 42};
+  for (int i = 0; i < 3; ++i) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      EXPECT_DOUBLE_EQ(retry_backoff_ms(policy, ids[i], attempt),
+                       golden[i][attempt])
+          << "id " << ids[i] << " attempt " << attempt;
+    }
+  }
+  // Envelope: jitter scales the capped exponential by [0.5, 1.5).
+  for (uint64_t id = 0; id < 200; ++id) {
+    for (int attempt = 0; attempt < 10; ++attempt) {
+      const double base = std::min(
+          policy.backoff_base_ms * static_cast<double>(1ULL << attempt),
+          policy.backoff_max_ms);
+      const double ms = retry_backoff_ms(policy, id, attempt);
+      EXPECT_GE(ms, 0.5 * base);
+      EXPECT_LT(ms, 1.5 * base);
+    }
+  }
+}
 
 TEST_F(FaultTest, BacklogShedsAtSubmitWhenDeadlineUnmeetable) {
   ServerHarness h;

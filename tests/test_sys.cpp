@@ -4,6 +4,8 @@
 // baseline vs linear cached cost, tier ordering).
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "sys/device_model.h"
 #include "sys/memory_tier.h"
 #include "sys/model_spec.h"
@@ -142,6 +144,37 @@ TEST(TierAllocator, ChargesAndCreditsWithinCapacity) {
 TEST(TierAllocator, ZeroCapacityMeansUnlimited) {
   TierAllocator tiers(0, 0);
   EXPECT_TRUE(tiers.can_fit(ModuleLocation::kHostMemory, size_t{1} << 60));
+}
+
+TEST(TierUsage, UnlimitedPredicateSpellsOutTheSentinel) {
+  TierUsage unlimited;  // capacity 0
+  EXPECT_TRUE(unlimited.unlimited());
+  EXPECT_EQ(unlimited.free_bytes(), std::numeric_limits<size_t>::max());
+
+  TierUsage limited;
+  limited.capacity_bytes = 100;
+  limited.used_bytes = 30;
+  EXPECT_FALSE(limited.unlimited());
+  EXPECT_EQ(limited.free_bytes(), 70u);
+  limited.used_bytes = 100;
+  EXPECT_EQ(limited.free_bytes(), 0u);
+}
+
+TEST(TierUsage, CanFitNearSizeMaxDoesNotWrapAround) {
+  // The historical bug shape: `used + bytes <= capacity` wraps for
+  // requests near SIZE_MAX and admits them into a full tier. The headroom
+  // form must reject them.
+  TierAllocator tiers(/*host=*/100, /*device=*/0);
+  tiers.charge(ModuleLocation::kHostMemory, 60);
+  EXPECT_FALSE(tiers.can_fit(ModuleLocation::kHostMemory,
+                             std::numeric_limits<size_t>::max()));
+  EXPECT_FALSE(tiers.can_fit(ModuleLocation::kHostMemory,
+                             std::numeric_limits<size_t>::max() - 59));
+  EXPECT_TRUE(tiers.can_fit(ModuleLocation::kHostMemory, 40));
+  EXPECT_FALSE(tiers.can_fit(ModuleLocation::kHostMemory, 41));
+  // The unlimited tier admits anything, including SIZE_MAX.
+  EXPECT_TRUE(tiers.can_fit(ModuleLocation::kDeviceMemory,
+                            std::numeric_limits<size_t>::max()));
 }
 
 }  // namespace
