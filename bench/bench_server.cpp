@@ -39,12 +39,24 @@
 // kills, failovers, and auto-restarts. Results land under "shard_sweep" /
 // "shard_chaos". `--shard-only` runs just this section at smoke scale and
 // writes BENCH_shard_smoke.json (the CI chaos job's quick gate).
+//
+// Last, a tiered-store sweep (docs/INTERNALS.md §15): the same Zipf traffic
+// over one store whose RAM is capped at 50% / 25% / 12.5% of the measured
+// module working set, with the disk spill tier and the async prefetch
+// pipeline (sys/prefetch.h) enabled. Every capped run must produce
+// bitwise-identical texts to the uncapped reference, keep peak resident RAM
+// under the cap, and show the prefetcher hiding some disk reads
+// (prefetch_hit_rate > 0); a disk-fault chaos run (diskread/diskwrite
+// injections) must hold availability at 1.0. Results land under
+// "tiered_sweep" / "tiered_chaos". `--tiered-only` runs just this section
+// at smoke scale and writes BENCH_tiered_smoke.json (CI's tiered gate).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -360,6 +372,309 @@ void write_shard_smoke_json(const std::vector<ShardRunResult>& runs,
   std::cout << "\nwrote BENCH_shard_smoke.json\n";
 }
 
+// One row of the tiered-store sweep: RAM-capped serving over the disk
+// spill tier with the async prefetch pipeline, checked bitwise against the
+// uncapped reference run.
+struct TieredRunResult {
+  std::string label;         // "uncapped", "50%", "25%", "12.5%"
+  size_t ram_cap_bytes = 0;  // device+host RAM budget; 0 = uncapped
+  int requests = 0;
+  std::string fault_spec;    // "" except for the disk-fault chaos run
+  uint64_t injected = 0;     // diskread+diskwrite injections during the run
+  bool bitwise_identical = true;  // all texts match the reference, all served
+  size_t peak_resident = 0;       // store high-water RAM mark
+  uint64_t prefetch_prompts = 0;  // prompts the pipeline accepted
+  uint64_t prefetch_keys = 0;     // store.prefetch() calls it issued
+  DiskTierStats disk;
+  ServerStats stats;
+
+  bool all_served() const {
+    return stats.completed == stats.submitted && stats.failed == 0 &&
+           stats.timeouts == 0 && stats.shed == 0;
+  }
+  // Conservation law over the spill records (exact at quiescence): every
+  // spill is consumed by exactly one fault-in, disk eviction, or failed
+  // read, or is still on disk.
+  bool disk_reconciles() const {
+    return disk.spills == disk.faults + disk.evictions + disk.read_failures +
+                              static_cast<uint64_t>(disk.spilled);
+  }
+};
+
+// One tiered run over Zipf traffic. ram_cap 0 is the uncapped reference
+// (no disk tier, no prefetch); otherwise RAM is capped at ram_cap with the
+// spill tier unbounded and the prefetch pipeline on. `texts_out` collects
+// served texts in submission order (the reference run); `reference`
+// compares against them bitwise.
+TieredRunResult run_tiered_config(const Model& model,
+                                  const AccuracyWorkload& workload,
+                                  const std::string& schema,
+                                  const std::vector<std::string>& prompts,
+                                  const GenerateOptions& opts,
+                                  const LinkModel& link, size_t ram_cap,
+                                  int requests,
+                                  const std::vector<std::string>* reference,
+                                  std::vector<std::string>* texts_out) {
+  TieredRunResult run;
+  run.ram_cap_bytes = ram_cap;
+  run.requests = requests;
+
+  ServerConfig cfg;
+  cfg.n_workers = 2;
+  cfg.queue_capacity = 16;
+  cfg.schemas = {schema};
+  cfg.link = link;
+
+  // One shard so the cap is exact (no per-shard slicing slack); host gets a
+  // token 1-byte slice so every RAM-resident module sits on the "device"
+  // side of the cap and overflow goes straight to disk.
+  std::unique_ptr<SharedModuleStore> store;
+  if (ram_cap == 0) {
+    store = std::make_unique<SharedModuleStore>(0, 0, /*n_shards=*/1);
+  } else {
+    DiskTierConfig disk;
+    disk.enabled = true;
+    // Simulated disk link: cheaper than the host link (same shape as the
+    // shard sweep's interconnect) but not free, so fault-ins the prefetcher
+    // fails to hide show up as measurable admission stall.
+    disk.read_latency_s = link.latency_s / 4.0;
+    disk.read_bandwidth_bytes_per_s = 8e9;
+    cfg.prefetch = true;
+    cfg.prefetch_depth = 4;
+    store = std::make_unique<SharedModuleStore>(ram_cap, /*host=*/1, disk,
+                                                /*n_shards=*/1);
+  }
+
+  const std::vector<double> cdf = zipf_cdf(prompts.size(), kZipfS);
+  {
+    Server server(model, workload.tokenizer(), *store, cfg);
+    for (int i = 0; i < requests; ++i) {
+      server.submit(prompts[zipf_pick(cdf, 0x7143eedULL, i)], opts);
+    }
+    std::vector<ServerResponse> responses = server.drain();
+    for (const ServerResponse& r : responses) {
+      if (!is_served(r.status)) run.bitwise_identical = false;
+      if (texts_out != nullptr) texts_out->push_back(r.result.text);
+      if (reference != nullptr &&
+          (r.id >= reference->size() ||
+           (*reference)[static_cast<size_t>(r.id)] != r.result.text)) {
+        run.bitwise_identical = false;
+      }
+    }
+    run.stats = server.stats();
+    if (const StorePrefetcher* p = server.prefetcher()) {
+      const StorePrefetcher::Stats ps = p->stats();
+      run.prefetch_prompts = ps.prompts;
+      run.prefetch_keys = ps.keys_issued;
+    }
+  }
+  // Past the server's scope: workers and the prefetcher have joined, so the
+  // disk counters are quiescent and the conservation law must hold exactly.
+  run.peak_resident = store->peak_resident_bytes();
+  run.disk = store->disk_stats();
+  return run;
+}
+
+struct TieredSweep {
+  TieredRunResult reference;
+  std::vector<TieredRunResult> capped;  // 50% / 25% / 12.5% RAM caps
+  TieredRunResult chaos;                // tightest cap + disk faults
+};
+
+TieredSweep run_tiered_sweep(const Model& model,
+                             const AccuracyWorkload& workload,
+                             const std::string& schema,
+                             const std::vector<std::string>& prompts,
+                             const GenerateOptions& opts,
+                             const LinkModel& link, size_t module_bytes,
+                             int requests) {
+  TieredSweep sweep;
+  std::vector<std::string> ref_texts;
+  sweep.reference =
+      run_tiered_config(model, workload, schema, prompts, opts, link,
+                        /*ram_cap=*/0, requests, nullptr, &ref_texts);
+  sweep.reference.label = "uncapped";
+
+  const struct { const char* label; size_t divisor; } kCaps[] = {
+      {"50%", 2}, {"25%", 4}, {"12.5%", 8}};
+  for (const auto& cap : kCaps) {
+    TieredRunResult r = run_tiered_config(
+        model, workload, schema, prompts, opts, link,
+        std::max<size_t>(1, module_bytes / cap.divisor), requests, &ref_texts,
+        nullptr);
+    r.label = cap.label;
+    sweep.capped.push_back(std::move(r));
+  }
+
+  // Disk-fault chaos at the tightest cap: injected read faults fall back to
+  // a re-encode (deterministic, so texts stay bitwise-identical) and write
+  // faults degrade the spill to a destroy-eviction — availability holds.
+  const std::string main_spec = FaultInjector::global().spec();
+  const std::string chaos_spec = "seed=77,diskread=0.2,diskwrite=0.2";
+  FaultInjector::global().configure(chaos_spec);
+  const uint64_t injected_before =
+      FaultInjector::global().injected(FaultPoint::kDiskRead) +
+      FaultInjector::global().injected(FaultPoint::kDiskWrite);
+  sweep.chaos = run_tiered_config(model, workload, schema, prompts, opts,
+                                  link, std::max<size_t>(1, module_bytes / 8),
+                                  requests, &ref_texts, nullptr);
+  sweep.chaos.label = "12.5%+faults";
+  sweep.chaos.fault_spec = chaos_spec;
+  sweep.chaos.injected =
+      FaultInjector::global().injected(FaultPoint::kDiskRead) +
+      FaultInjector::global().injected(FaultPoint::kDiskWrite) -
+      injected_before;
+  FaultInjector::global().configure(main_spec);
+  return sweep;
+}
+
+void print_tiered_results(const TieredSweep& sweep) {
+  TablePrinter table(
+      "tiered store: RAM-capped Zipf serving, disk spill + async prefetch");
+  table.set_header({"ram cap", "cap KB", "req/s", "ttft p50", "spills",
+                    "faults", "pf hit", "stall ms", "peak KB", "bitwise"});
+  std::vector<const TieredRunResult*> rows;
+  rows.push_back(&sweep.reference);
+  for (const TieredRunResult& r : sweep.capped) rows.push_back(&r);
+  for (const TieredRunResult* r : rows) {
+    table.add_row(
+        {r->label,
+         r->ram_cap_bytes == 0
+             ? std::string("-")
+             : TablePrinter::fmt(static_cast<double>(r->ram_cap_bytes) / 1e3,
+                                 1),
+         TablePrinter::fmt(r->stats.throughput_rps, 1),
+         TablePrinter::fmt_ms(r->stats.ttft.p50_ms()),
+         std::to_string(r->disk.spills), std::to_string(r->disk.faults),
+         TablePrinter::fmt(r->disk.prefetch_hit_rate(), 3),
+         TablePrinter::fmt(r->disk.stall_ms(), 1),
+         TablePrinter::fmt(static_cast<double>(r->peak_resident) / 1e3, 1),
+         r->bitwise_identical ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+}
+
+void print_tiered_chaos(const TieredRunResult& r) {
+  TablePrinter table("disk-fault chaos: availability through read/write faults");
+  table.set_header({"spec", "injected", "read fail", "spill fail", "faults",
+                    "avail", "bitwise"});
+  table.add_row({r.fault_spec, std::to_string(r.injected),
+                 std::to_string(r.disk.read_failures),
+                 std::to_string(r.disk.spill_failures),
+                 std::to_string(r.disk.faults),
+                 TablePrinter::fmt(r.all_served() ? 1.0 : 0.0, 3),
+                 r.bitwise_identical ? "yes" : "NO"});
+  table.print(std::cout);
+}
+
+std::string tiered_run_json(const TieredRunResult& r) {
+  std::ostringstream out;
+  const DiskTierStats& d = r.disk;
+  const ServerStats& s = r.stats;
+  out << "{\"label\": \"" << r.label << "\", \"ram_cap_bytes\": "
+      << r.ram_cap_bytes << ", \"requests\": " << r.requests
+      << ", \"zipf_s\": " << TablePrinter::fmt(kZipfS, 2);
+  if (!r.fault_spec.empty()) {
+    out << ", \"fault_spec\": \"" << r.fault_spec << "\""
+        << ", \"injected\": " << r.injected;
+  }
+  out << ", \"wall_ms\": " << TablePrinter::fmt(s.wall_ms, 1)
+      << ", \"throughput_rps\": " << TablePrinter::fmt(s.throughput_rps, 2)
+      << ", \"ttft_p50_ms\": " << TablePrinter::fmt(s.ttft.p50_ms(), 3)
+      << ", \"ttft_p99_ms\": " << TablePrinter::fmt(s.ttft.p99_ms(), 3)
+      << ", \"modules_encoded\": " << s.modules_encoded
+      << ", \"peak_resident_bytes\": " << r.peak_resident
+      << ", \"spills\": " << d.spills << ", \"faults\": " << d.faults
+      << ", \"prefetch_hits\": " << d.prefetch_hits
+      << ", \"prefetch_misses\": " << d.prefetch_misses
+      << ", \"prefetch_hit_rate\": "
+      << TablePrinter::fmt(d.prefetch_hit_rate(), 4)
+      << ", \"disk_evictions\": " << d.evictions
+      << ", \"read_failures\": " << d.read_failures
+      << ", \"spill_failures\": " << d.spill_failures
+      << ", \"stall_ms\": " << TablePrinter::fmt(d.stall_ms(), 3)
+      << ", \"spilled_final\": " << d.spilled
+      << ", \"spilled_bytes_final\": " << d.spilled_bytes
+      << ", \"prefetch_prompts\": " << r.prefetch_prompts
+      << ", \"prefetch_keys\": " << r.prefetch_keys
+      << ", \"bitwise_identical\": "
+      << (r.bitwise_identical ? "true" : "false")
+      << ", \"all_served\": " << (r.all_served() ? "true" : "false") << "}";
+  return out.str();
+}
+
+// The tiered acceptance checks, shared by the smoke gate and the full run.
+struct TieredChecks {
+  bool all_served = true;
+  bool bitwise = true;        // every capped/chaos run matched the reference
+  bool rss_bounded = true;    // peak resident RAM <= cap (+1B host slice)
+  bool spills_occur = true;   // every capped run actually hit the disk tier
+  bool prefetch_hits = false; // the pipeline hid at least one disk read
+  bool reconciles = true;     // spill-record conservation, every run
+  bool chaos_available = true;
+};
+
+TieredChecks check_tiered(const TieredSweep& sweep) {
+  TieredChecks c;
+  c.all_served = sweep.reference.all_served();
+  std::vector<const TieredRunResult*> capped_and_chaos;
+  for (const TieredRunResult& r : sweep.capped) capped_and_chaos.push_back(&r);
+  capped_and_chaos.push_back(&sweep.chaos);
+  for (const TieredRunResult* r : capped_and_chaos) {
+    if (!r->all_served()) c.all_served = false;
+    if (!r->bitwise_identical) c.bitwise = false;
+    if (r->peak_resident > r->ram_cap_bytes + 1) c.rss_bounded = false;
+    if (!r->disk_reconciles()) c.reconciles = false;
+    if (r->fault_spec.empty()) {
+      if (r->disk.spills == 0) c.spills_occur = false;
+      if (r->disk.prefetch_hits > 0) c.prefetch_hits = true;
+    }
+  }
+  c.chaos_available =
+      sweep.chaos.all_served() && sweep.chaos.bitwise_identical;
+  return c;
+}
+
+void write_tiered_checks(std::ostream& out, const TieredChecks& c) {
+  out << "    \"tiered_all_served\": " << (c.all_served ? "true" : "false")
+      << ",\n"
+      << "    \"tiered_bitwise_identical\": " << (c.bitwise ? "true" : "false")
+      << ",\n"
+      << "    \"tiered_rss_bounded_by_cap\": "
+      << (c.rss_bounded ? "true" : "false") << ",\n"
+      << "    \"tiered_capped_runs_spill\": "
+      << (c.spills_occur ? "true" : "false") << ",\n"
+      << "    \"tiered_prefetch_hides_reads\": "
+      << (c.prefetch_hits ? "true" : "false") << ",\n"
+      << "    \"tiered_disk_accounting_reconciles\": "
+      << (c.reconciles ? "true" : "false") << ",\n"
+      << "    \"tiered_chaos_availability_is_full\": "
+      << (c.chaos_available ? "true" : "false");
+}
+
+// --tiered-only writes this instead of BENCH_server.json: CI's quick gate
+// for the disk tier (capped rows bitwise vs uncapped, plus disk-fault
+// chaos).
+void write_tiered_smoke_json(const TieredSweep& sweep) {
+  const TieredChecks checks = check_tiered(sweep);
+  std::ofstream out("BENCH_tiered_smoke.json");
+  out << "{\n"
+      << "  \"provenance\": " << bench::provenance_json() << ",\n"
+      << "  \"tiered_reference\": " << tiered_run_json(sweep.reference)
+      << ",\n"
+      << "  \"tiered_sweep\": [\n";
+  for (size_t i = 0; i < sweep.capped.size(); ++i) {
+    out << "    " << tiered_run_json(sweep.capped[i])
+        << (i + 1 < sweep.capped.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"tiered_chaos\": " << tiered_run_json(sweep.chaos)
+      << ",\n"
+      << "  \"checks\": {\n";
+  write_tiered_checks(out, checks);
+  out << "\n  }\n}\n";
+  std::cout << "\nwrote BENCH_tiered_smoke.json\n";
+}
+
 void print_results(const std::vector<RunResult>& runs) {
   TablePrinter table("serving throughput: shared store vs private stores");
   table.set_header({"store", "workers", "req/s", "ttft p50", "ttft p99",
@@ -438,6 +753,7 @@ void write_json(const std::vector<RunResult>& runs,
                 const std::vector<KvFormatResult>& kv_format_runs,
                 const std::vector<ShardRunResult>& shard_runs,
                 const ShardRunResult& shard_chaos,
+                const TieredSweep& tiered,
                 size_t distinct_modules,
                 size_t module_bytes, const LinkModel& link,
                 double calibrated_serve_ms) {
@@ -664,6 +980,22 @@ void write_json(const std::vector<RunResult>& runs,
   }
   out << "  ],\n  \"shard_chaos\": " << shard_run_json(shard_chaos) << ",\n";
 
+  // Tiered-store acceptance (docs/INTERNALS.md §15): RAM-capped serving
+  // over the disk tier must stay bitwise-identical to the uncapped
+  // reference, bound peak resident RAM by the cap, actually exercise the
+  // spill path, and hide at least part of the disk reads behind the
+  // prefetch pipeline; the disk-fault chaos run must hold availability 1.0.
+  const TieredChecks tiered_checks = check_tiered(tiered);
+
+  out << "  \"tiered_reference\": " << tiered_run_json(tiered.reference)
+      << ",\n  \"tiered_sweep\": [\n";
+  for (size_t i = 0; i < tiered.capped.size(); ++i) {
+    out << "    " << tiered_run_json(tiered.capped[i])
+        << (i + 1 < tiered.capped.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"tiered_chaos\": " << tiered_run_json(tiered.chaos)
+      << ",\n";
+
   out << "  \"checks\": {\n"
       << "    \"shared_encodes_equal_distinct_modules\": "
       << (shared_encodes_equal_distinct ? "true" : "false") << ",\n"
@@ -700,8 +1032,9 @@ void write_json(const std::vector<RunResult>& runs,
       << "    \"shard_chaos_availability_is_full\": "
       << (shard_chaos_available ? "true" : "false") << ",\n"
       << "    \"shard_chaos_kills_equal_injected\": "
-      << (shard_chaos_kills_reconcile ? "true" : "false") << "\n"
-      << "  }\n}\n";
+      << (shard_chaos_kills_reconcile ? "true" : "false") << ",\n";
+  write_tiered_checks(out, tiered_checks);
+  out << "\n  }\n}\n";
   std::cout << "\nwrote BENCH_server.json\n";
 }
 
@@ -718,14 +1051,18 @@ int main(int argc, char** argv) {
   // additionally exports a Perfetto trace of the whole run.
   bool obs_summary = false;
   bool shard_only = false;
+  bool tiered_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--obs-summary") obs_summary = true;
     if (std::string(argv[i]) == "--shard-only") shard_only = true;
+    if (std::string(argv[i]) == "--tiered-only") tiered_only = true;
   }
 
   bench::print_banner(
       shard_only ? "Cluster sharding smoke — ShardRouter over Zipf traffic"
-                 : "Concurrent serving — shared vs private module stores",
+      : tiered_only
+          ? "Tiered store smoke — disk spill + async prefetch pipeline"
+          : "Concurrent serving — shared vs private module stores",
       "simulated host link (sleeps), measured CPU compute; PC_FULL=1 for "
       "more requests");
 
@@ -788,6 +1125,21 @@ int main(int argc, char** argv) {
     std::cout << "\n";
     print_shard_chaos(kill_run);
     write_shard_smoke_json(smoke_runs, kill_run);
+    return 0;
+  }
+
+  if (tiered_only) {
+    // CI's tiered gate: uncapped reference + 50/25/12.5% RAM caps + disk
+    // faults, at smoke scale — bitwise identity and availability are the
+    // point, not throughput.
+    const int smoke_requests = std::min(requests, 30);
+    TieredSweep sweep =
+        run_tiered_sweep(model, workload, schema, prompts, opts, link,
+                         module_bytes, smoke_requests);
+    print_tiered_results(sweep);
+    std::cout << "\n";
+    print_tiered_chaos(sweep.chaos);
+    write_tiered_smoke_json(sweep);
     return 0;
   }
 
@@ -1019,9 +1371,19 @@ int main(int argc, char** argv) {
     FaultInjector::global().configure(main_spec);
   }
   print_shard_chaos(shard_chaos);
+  std::cout << "\n";
+
+  // Tiered-store sweep: RAM caps at 50/25/12.5% of the measured working
+  // set, disk spill + async prefetch, checked bitwise against an uncapped
+  // reference; then disk-fault chaos at the tightest cap.
+  TieredSweep tiered = run_tiered_sweep(model, workload, schema, prompts,
+                                        opts, link, module_bytes, requests);
+  print_tiered_results(tiered);
+  std::cout << "\n";
+  print_tiered_chaos(tiered.chaos);
 
   write_json(runs, batch_runs, fault_runs, kv_format_runs, shard_runs,
-             shard_chaos, distinct_modules, module_bytes, link,
+             shard_chaos, tiered, distinct_modules, module_bytes, link,
              calibrated_serve_ms);
 
   if (const char* trace = std::getenv("PC_TRACE");

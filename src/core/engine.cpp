@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <set>
@@ -649,6 +650,34 @@ void PromptCacheEngine::for_each_encoded(
   }
 }
 
+std::vector<std::string> PromptCacheEngine::module_keys(
+    const pml::PromptBinding& binding) const {
+  std::vector<bool> covered;
+  const auto active = active_scaffolds(binding, &covered);
+  std::vector<bool> scaffold_done(active.size(), false);
+
+  std::vector<std::string> keys;
+  keys.reserve(binding.modules.size());
+  for (int mi : binding.modules) {
+    if (covered[static_cast<size_t>(mi)]) {
+      for (size_t si = 0; si < active.size(); ++si) {
+        const auto& members = active[si]->module_indices;
+        if (std::find(members.begin(), members.end(), mi) == members.end()) {
+          continue;
+        }
+        if (!scaffold_done[si]) {
+          scaffold_done[si] = true;
+          keys.push_back(active[si]->key);
+        }
+        break;
+      }
+    } else {
+      keys.push_back(module_key(*binding.schema, mi));
+    }
+  }
+  return keys;
+}
+
 namespace {
 
 // Shared tail of both assembly paths: one forward pass over the uncached
@@ -994,18 +1023,38 @@ void PromptCacheEngine::pin_module(const std::string& schema_name,
 }
 
 size_t PromptCacheEngine::save_modules(const std::string& path) const {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) throw Error("cannot open '" + path + "' for writing");
-  write_store_header(os);
+  // Crash atomicity: stream into a sibling temp file and rename over the
+  // destination only after a successful flush. A crash mid-write leaves the
+  // previous store intact and at most a stray .tmp behind — never a
+  // truncated store the next load has to kSkipCorrupt through.
+  const std::string tmp = path + ".tmp";
   size_t count = 0;
-  const auto write_one = [&](const std::string& key,
-                             const EncodedModule& module, ModuleLocation) {
-    write_module_record(os, key, module);
-    ++count;
-  };
-  shared_ != nullptr ? shared_->for_each(write_one) : store_.for_each(write_one);
-  os.flush();
-  if (!os) throw Error("write failure persisting modules to '" + path + "'");
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw Error("cannot open '" + tmp + "' for writing");
+    try {
+      write_store_header(os);
+      const auto write_one = [&](const std::string& key,
+                                 const EncodedModule& module, ModuleLocation) {
+        write_module_record(os, key, module);
+        ++count;
+      };
+      shared_ != nullptr ? shared_->for_each(write_one)
+                         : store_.for_each(write_one);
+      os.flush();
+      if (!os) {
+        throw Error("write failure persisting modules to '" + tmp + "'");
+      }
+    } catch (...) {
+      os.close();
+      std::remove(tmp.c_str());
+      throw;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("cannot rename '" + tmp + "' over '" + path + "'");
+  }
   return count;
 }
 

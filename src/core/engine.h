@@ -314,6 +314,13 @@ class PromptCacheEngine {
                                ModuleLocation location)>& emit,
       bool borrow = false);
 
+  // The store keys for_each_encoded would emit for `binding` (modules, with
+  // active scaffolds collapsed to their joint key), in concatenation order,
+  // WITHOUT touching any store or encoding anything. The prefetch
+  // pipeline's lookahead (sys/prefetch.h): a binder engine maps queued
+  // prompts to keys so spilled payloads can fault in ahead of admission.
+  std::vector<std::string> module_keys(const pml::PromptBinding& binding) const;
+
  private:
   struct Scaffold {
     std::string schema_name;

@@ -1,6 +1,8 @@
 #include "core/serialize.h"
 
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <vector>
@@ -323,6 +325,46 @@ bool read_module_record(std::istream& is, std::string* key,
   }
   *out = std::move(m);
   return true;
+}
+
+void write_module_file(const std::string& path, const std::string& key,
+                       const EncodedModule& module) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw Error("cannot open '" + tmp + "' for writing");
+    try {
+      write_store_header(os);
+      write_module_record(os, key, module);
+      os.flush();
+      if (!os) throw Error("write failure persisting module to '" + tmp + "'");
+    } catch (...) {
+      os.close();
+      std::remove(tmp.c_str());
+      throw;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("cannot rename '" + tmp + "' over '" + path + "'");
+  }
+}
+
+EncodedModule read_module_file(const std::string& path,
+                               const std::string& expected_key) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw Error("cannot open '" + path + "' for reading");
+  read_store_header(is);
+  std::string key;
+  EncodedModule module;
+  if (!read_module_record(is, &key, &module)) {
+    throw Error("module file '" + path + "' holds no record");
+  }
+  if (key != expected_key) {
+    throw Error("module file '" + path + "' holds key '" + key +
+                "', expected '" + expected_key + "'");
+  }
+  return module;
 }
 
 bool resync_to_next_record(std::istream& is) {

@@ -35,4 +35,18 @@ bool resync_to_next_record(std::istream& is);
 void write_store_header(std::ostream& os);
 void read_store_header(std::istream& is);
 
+// Crash-atomic single-record persistence, used for disk-tier spill files:
+// writes header + one record into `path + ".tmp"`, flushes, and renames
+// over `path` only on success — a crash (or write fault) mid-write leaves
+// at most a stray .tmp behind, never a partial file at `path`. Throws
+// pc::Error on any I/O failure (the .tmp is cleaned up first).
+void write_module_file(const std::string& path, const std::string& key,
+                       const EncodedModule& module);
+
+// Reads back a file written by write_module_file. Throws pc::Error on open
+// failure, corruption, truncation, or when the stored key differs from
+// `expected_key`.
+EncodedModule read_module_file(const std::string& path,
+                               const std::string& expected_key);
+
 }  // namespace pc

@@ -36,10 +36,27 @@
 //     per-key flight; they wake holding a ref to the leader's result. A
 //     failed leader wakes the waiters and the next caller retries.
 //
+//   * Disk tier (docs/INTERNALS.md §15). With a DiskTierConfig the store
+//     gains a third, cold tier: when make_room runs out of unpinned RAM
+//     victims, the coldest entries serialize to per-module spill files
+//     (core/serialize.h's checksummed record format, written crash-
+//     atomically via tmp+rename) instead of being destroyed. find()/
+//     ensure() transparently fault spilled entries back in — the disk read
+//     runs outside all shard locks under the same per-key single-flight
+//     Flight that deduplicates encodes, and the faulted payload is placed
+//     host-first so its bytes are charged through the serving LinkModel
+//     like any host-resident module. prefetch() is the async pipeline's
+//     entry point (sys/prefetch.h): it faults a key in ahead of admission
+//     and tags the entry so the first serve that lands on it counts as a
+//     prefetch hit. Spill round-trips are byte-exact (serialize round-trip
+//     is), so RAM-capped tiered serving stays bitwise-identical.
+//
 // Stats live in registry cells (obs/metrics.h) shared with the private
 // store's metric families — one pc_store_* naming scheme covers both — and
 // the hit/miss/insert/evict semantics mirror ModuleStoreStats so existing
-// telemetry carries over.
+// telemetry carries over. The disk tier adds pc_store_disk_* families
+// (spills, faults, prefetch hits/misses, evictions, failures, stall time,
+// spilled bytes) local to each store instance.
 #pragma once
 
 #include <atomic>
@@ -59,15 +76,69 @@
 
 namespace pc {
 
+// Configuration for the store's disk spill tier (docs/INTERNALS.md §15).
+struct DiskTierConfig {
+  bool enabled = false;
+  // Spill directory; "" uses the system temp directory. Each store creates
+  // (and removes on destruction) a unique subdirectory underneath it.
+  std::string dir;
+  // Disk budget in bytes, split across shards like the RAM tiers; 0 means
+  // unbounded. When full, the coldest spilled records are destroyed.
+  size_t capacity_bytes = 0;
+  // Simulated disk-link cost added to every fault-in on top of the real
+  // file read (same shape as sys/serve_types.h's LinkModel, restated here
+  // because core cannot include sys serving headers). 0-valued fields
+  // contribute nothing.
+  double read_latency_s = 0;
+  double read_bandwidth_bytes_per_s = 0;
+
+  // Environment-driven config: PC_DISK_DIR (presence enables the tier;
+  // the value is `dir`) and PC_DISK_CAPACITY (bytes; optional). Stores
+  // constructed without an explicit DiskTierConfig use this.
+  static DiskTierConfig from_env();
+};
+
+// Snapshot of the disk tier's counters (exact individually; cross-field
+// invariants can be momentarily off mid-update). Conservation law, exact
+// at quiescence:  spills == faults + evictions + read_failures + spilled.
+struct DiskTierStats {
+  uint64_t spills = 0;          // entries written to spill files
+  uint64_t faults = 0;          // spill files read back into RAM
+  uint64_t prefetch_hits = 0;   // serves that found a prefetched entry
+  uint64_t prefetch_misses = 0; // demand fault-ins the prefetcher missed
+  uint64_t evictions = 0;       // spilled records destroyed (disk pressure
+                                // or administrative erase/clear)
+  uint64_t read_failures = 0;   // fault-ins dropped (I/O fault, corruption)
+  uint64_t spill_failures = 0;  // spill writes failed; victim was destroyed
+  uint64_t stall_us = 0;        // wall time spent inside fault-in reads
+  size_t spilled_bytes = 0;     // payload bytes currently on disk
+  size_t spilled = 0;           // records currently on disk
+
+  double stall_ms() const { return static_cast<double>(stall_us) / 1000.0; }
+  // Fraction of disk reads the prefetcher hid from the serve path.
+  double prefetch_hit_rate() const {
+    const uint64_t denom = prefetch_hits + prefetch_misses;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(prefetch_hits) /
+                            static_cast<double>(denom);
+  }
+};
+
 class SharedModuleStore {
  public:
   static constexpr size_t kDefaultShards = 8;
 
-  // Capacities in bytes, split evenly across shards; 0 means unlimited.
-  // A single module larger than capacity / n_shards cannot be stored in a
-  // capacity-limited tier — size shard counts to the workload.
+  // Capacities in bytes, split across shards summing exactly to the given
+  // totals; 0 means unlimited. A single module larger than its shard's
+  // slice (at most ceil(capacity / n_shards)) cannot be stored in a
+  // capacity-limited tier — size shard counts to the workload. The disk
+  // tier defaults to DiskTierConfig::from_env() (disabled unless
+  // PC_DISK_DIR is set).
   SharedModuleStore(size_t device_capacity, size_t host_capacity,
                     size_t n_shards = kDefaultShards);
+  SharedModuleStore(size_t device_capacity, size_t host_capacity,
+                    DiskTierConfig disk, size_t n_shards = kDefaultShards);
+  ~SharedModuleStore();
 
   SharedModuleStore(const SharedModuleStore&) = delete;
   SharedModuleStore& operator=(const SharedModuleStore&) = delete;
@@ -94,8 +165,21 @@ class SharedModuleStore {
 
   // Looks up a module and bumps its recency; empty ref on miss. With
   // and_pin, the lookup and the pin are one atomic step (no window where
-  // another worker can evict between them).
+  // another worker can evict between them). A key resident on the disk
+  // tier is transparently faulted back in (single-flight; the read runs
+  // outside all shard locks) and counts as a hit; only a key resident
+  // nowhere is a miss.
   ModuleRef find(const std::string& key, bool and_pin = false);
+
+  // Async-prefetch entry point: fault `key` in from the disk tier ahead of
+  // demand. Returns true when the key is (or is about to be, when another
+  // thread's flight is already on it) RAM-resident; false when the key is
+  // resident nowhere or the fault-in failed. Entries faulted in here are
+  // tagged; the first find()/ensure() that lands on the tag counts one
+  // prefetch hit, while demand fault-ins on the serve path count prefetch
+  // misses — hit rate = hits / (hits + misses). Never encodes, never
+  // blocks on another thread's flight, and does not touch hit/miss cells.
+  bool prefetch(const std::string& key);
 
   // Single-flight lookup-or-encode: returns a ref to the resident module,
   // running `encode` (outside all store locks) only if this caller is the
@@ -113,6 +197,8 @@ class SharedModuleStore {
   // Throws pc::CacheError when the module fits in neither tier.
   void insert(const std::string& key, EncodedModule module);
 
+  // True when the key is resident in RAM or spilled to the disk tier
+  // (either way a lookup will produce it without re-encoding).
   bool contains(const std::string& key) const;
 
   // Reference-counted pins: the entry is not evictable while the count is
@@ -148,6 +234,20 @@ class SharedModuleStore {
   // Summed usage across shards for `loc`, and total resident payload.
   TierUsage usage(ModuleLocation loc) const;
   size_t resident_bytes() const;
+  // High-water mark of resident RAM bytes across the store's lifetime —
+  // the "peak RSS" the tiered bench reports against the configured cap.
+  size_t peak_resident_bytes() const {
+    return peak_resident_bytes_.load(std::memory_order_relaxed);
+  }
+
+  // Disk tier telemetry. disk_stats() snapshots the pc_store_disk_* cells;
+  // spilled_count()/spilled_bytes() are the current on-disk footprint.
+  bool disk_enabled() const { return disk_.enabled; }
+  DiskTierStats disk_stats() const;
+  size_t spilled_count() const;
+  size_t spilled_bytes() const {
+    return static_cast<size_t>(disk_spilled_bytes_.value());
+  }
 
   // Consistent-enough snapshot of the counter cells (individual fields are
   // exact; cross-field invariants can be momentarily off mid-update).
@@ -178,6 +278,16 @@ class SharedModuleStore {
     ModuleLocation location = ModuleLocation::kHostMemory;
     int pin_count = 0;
     uint64_t last_used = 0;  // global clock stamp; smallest = coldest
+    // Faulted in by prefetch() and not yet used by a serve: the first
+    // find()/ensure() hit clears this and counts one prefetch hit.
+    bool prefetched = false;
+  };
+
+  // A record resident on the disk tier (absent from `entries`).
+  struct SpillInfo {
+    std::string path;
+    size_t bytes = 0;
+    uint64_t last_used = 0;  // recency at spill time; smallest = coldest
   };
 
   // One single-flight encode in progress for a key.
@@ -192,9 +302,13 @@ class SharedModuleStore {
     std::unordered_map<std::string, Entry> entries;
     std::unordered_map<std::string, std::shared_ptr<Flight>> in_flight;
     TierAllocator tiers;
+    // Disk tier: spilled records and this shard's slice of the disk budget.
+    std::unordered_map<std::string, SpillInfo> spilled;
+    TierUsage disk;
 
-    Shard(size_t host_capacity, size_t device_capacity)
-        : tiers(host_capacity, device_capacity) {}
+    Shard(size_t host_capacity, size_t device_capacity, bool host_zero,
+          bool device_zero)
+        : tiers(host_capacity, device_capacity, host_zero, device_zero) {}
   };
 
   Shard& shard_for(const std::string& key) {
@@ -210,18 +324,58 @@ class SharedModuleStore {
   bool make_room_locked(Shard& s, ModuleLocation loc, size_t bytes);
   void erase_locked(Shard& s,
                     std::unordered_map<std::string, Entry>::iterator it);
-  // Places the payload (device-first), preserving `pins` from a replaced
-  // entry. Returns the chosen tier; throws CacheError when nothing fits.
+  // Places the payload, preserving `pins` from a replaced entry. Returns
+  // the chosen tier; throws CacheError when nothing fits. kDeviceFirst is
+  // the insert/encode order; fault-ins place kHostFirst so disk bytes
+  // surface as host-resident (and get charged through the LinkModel).
+  enum class PlacePref { kDeviceFirst, kHostFirst };
   ModuleLocation place_locked(Shard& s, const std::string& key,
                               std::shared_ptr<const EncodedModule> module,
-                              int pins);
+                              int pins,
+                              PlacePref pref = PlacePref::kDeviceFirst);
   void finish_flight(Shard& s, const std::string& key);
+
+  // Disk-tier helpers. spill_locked serializes the victim crash-atomically
+  // and converts the entry into a spill record; false (injected write
+  // fault, disk full, I/O error) means the caller must destroy-evict
+  // instead. make_disk_room_locked destroys the coldest spilled records
+  // (skipping keys with an active flight) until `bytes` fit.
+  bool spill_locked(Shard& s,
+                    std::unordered_map<std::string, Entry>::iterator victim);
+  bool make_disk_room_locked(Shard& s, size_t bytes);
+  void drop_spill_locked(Shard& s,
+                         std::unordered_map<std::string, SpillInfo>::iterator it,
+                         bool count_eviction);
+  // Single-flight fault-in leader path: reads `info` outside all locks and
+  // places the payload. The caller registered the key's Flight and is
+  // responsible for finishing it — ensure() keeps the flight alive to fall
+  // back to an encode when the read fails (empty ref; record dropped).
+  ModuleRef fault_in(Shard& s, const std::string& key, SpillInfo info,
+                     bool and_pin, bool prefetching);
+  void note_resident_peak();
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> clock_{1};
+  // Configured RAM totals, for the over-slice diagnostic in place_locked.
+  size_t device_capacity_total_ = 0;
+  size_t host_capacity_total_ = 0;
+  std::atomic<size_t> peak_resident_bytes_{0};
+
+  DiskTierConfig disk_;
+  std::string spill_dir_;  // this store's unique subdir ("" = disk off)
+  std::atomic<uint64_t> spill_seq_{0};
 
   ModuleStoreCells cells_;
   obs::Counter single_flight_waits_;  // pc_store_single_flight_waits_total
+  obs::Counter disk_spills_;          // pc_store_disk_spills_total
+  obs::Counter disk_faults_;          // pc_store_disk_faults_total
+  obs::Counter disk_prefetch_hits_;   // pc_store_disk_prefetch_hits_total
+  obs::Counter disk_prefetch_misses_; // pc_store_disk_prefetch_misses_total
+  obs::Counter disk_evictions_;       // pc_store_disk_evictions_total
+  obs::Counter disk_read_failures_;   // pc_store_disk_read_failures_total
+  obs::Counter disk_spill_failures_;  // pc_store_disk_spill_failures_total
+  obs::Counter disk_stall_us_;        // pc_store_disk_stall_us_total
+  obs::Gauge disk_spilled_bytes_;     // pc_store_disk_spilled_bytes
 };
 
 }  // namespace pc

@@ -25,6 +25,10 @@ const char* fault_point_name(FaultPoint p) {
       return "stall";
     case FaultPoint::kShardKill:
       return "shardkill";
+    case FaultPoint::kDiskRead:
+      return "diskread";
+    case FaultPoint::kDiskWrite:
+      return "diskwrite";
   }
   return "unknown";
 }
@@ -84,6 +88,10 @@ int point_from_name(const std::string& name) {
       return "fault_inject_stall";
     case FaultPoint::kShardKill:
       return "fault_inject_shardkill";
+    case FaultPoint::kDiskRead:
+      return "fault_inject_diskread";
+    case FaultPoint::kDiskWrite:
+      return "fault_inject_diskwrite";
   }
   return "fault_inject";
 }

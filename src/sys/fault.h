@@ -18,6 +18,11 @@
 //   shardkill shard.cpp      a whole shard (Server + store) dies; the
 //                            ShardRouter fails affected requests over to a
 //                            replica (docs/INTERNALS.md §14)
+//   diskread  shared store   a disk-tier spill file fails to read back; the
+//                            fault-in drops the record and the caller
+//                            re-encodes (docs/INTERNALS.md §15)
+//   diskwrite shared store   a disk-tier spill write fails; the victim is
+//                            destroy-evicted instead of spilled
 //
 // Faults are drawn from a seeded counter-based hash: the decision for the
 // N-th poll of a point is a pure function of (seed, point, N), so a given
@@ -29,7 +34,7 @@
 //   entry     = "seed=" uint64                      (default 1)
 //             | point "=" rate ["x" count] [":" ms]
 //   point     = "encode" | "link" | "corrupt" | "evict" | "stall"
-//             | "shardkill"
+//             | "shardkill" | "diskread" | "diskwrite"
 //   rate      = probability in [0,1]
 //   count     = cap on injections at this point (0 / absent = unlimited)
 //   ms        = stall duration for "stall" (default 20)
@@ -61,8 +66,10 @@ enum class FaultPoint : int {
   kEvict,
   kStall,
   kShardKill,
+  kDiskRead,
+  kDiskWrite,
 };
-inline constexpr int kNumFaultPoints = 6;
+inline constexpr int kNumFaultPoints = 8;
 
 const char* fault_point_name(FaultPoint p);
 

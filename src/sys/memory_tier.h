@@ -19,12 +19,18 @@ namespace pc {
 struct TierUsage {
   size_t capacity_bytes = 0;  // 0 means unlimited — test with unlimited()
   size_t used_bytes = 0;
+  // Disambiguates the 0 sentinel: a shard handed a 0-byte slice of a
+  // capacity-limited total is genuinely closed, not unlimited. Without
+  // this flag, splitting a small capacity across many shards either
+  // over-commits (clamping slices up to 1 byte) or silently opens the
+  // 0-byte shards wide.
+  bool zero_capacity = false;
 
   // The capacity sentinel, spelled out: arithmetic on capacity_bytes is
   // only meaningful when this is false. Callers must branch on this
   // instead of comparing capacity_bytes to 0 (or free_bytes() to
   // SIZE_MAX) themselves.
-  bool unlimited() const { return capacity_bytes == 0; }
+  bool unlimited() const { return capacity_bytes == 0 && !zero_capacity; }
 
   size_t free_bytes() const {
     if (unlimited()) return std::numeric_limits<size_t>::max();
@@ -34,9 +40,15 @@ struct TierUsage {
 
 class TierAllocator {
  public:
-  TierAllocator(size_t host_capacity_bytes, size_t device_capacity_bytes) {
+  // The *_zero flags mark a 0-byte capacity as "closed" rather than the
+  // default "unlimited" sentinel (see TierUsage::zero_capacity).
+  TierAllocator(size_t host_capacity_bytes, size_t device_capacity_bytes,
+                bool host_zero_capacity = false,
+                bool device_zero_capacity = false) {
     host_.capacity_bytes = host_capacity_bytes;
+    host_.zero_capacity = host_capacity_bytes == 0 && host_zero_capacity;
     device_.capacity_bytes = device_capacity_bytes;
+    device_.zero_capacity = device_capacity_bytes == 0 && device_zero_capacity;
   }
 
   const TierUsage& usage(ModuleLocation loc) const {

@@ -139,6 +139,17 @@ void Server::start() {
   ttft_drift_ = reg.histogram(
       "pc_ttft_model_drift",
       "measured/predicted cached-TTFT ratio vs device_model");
+  if (config_.prefetch && shared_ != nullptr) {
+    // The pipeline needs somewhere to fault keys in from; without a shared
+    // store there is no disk tier and the prefetcher would only burn a
+    // thread binding prompts nobody looks up.
+    PrefetcherConfig pf;
+    pf.depth = config_.prefetch_depth;
+    pf.engine = config_.engine;
+    pf.schemas = config_.schemas;
+    prefetcher_ = std::make_unique<StorePrefetcher>(model_, tokenizer_,
+                                                    *shared_, std::move(pf));
+  }
   if (config_.batching) {
     // One batch lane instead of a worker pool: a single thread owns the
     // scheduler and serves up to batch.max_batch requests per iteration.
@@ -249,6 +260,12 @@ uint64_t Server::submit(std::string prompt, const GenerateOptions& options,
                        std::chrono::steady_clock::duration>(
                        std::chrono::duration<double, std::milli>(deadline)));
   }
+  // Kick the prefetch pipeline before the workers can race ahead: by the
+  // time a worker (or the batch loop) picks this request up, its spilled
+  // modules are faulting in — or already resident. enqueue() only touches
+  // the prefetcher's leaf mutex, so calling it under mutex_ cannot
+  // deadlock (the prefetcher never calls back into the server).
+  if (prefetcher_ != nullptr) prefetcher_->enqueue(item.prompt);
   queue_.push_back(std::move(item));
   queue_depth_.add(1);
   lock.unlock();
@@ -286,6 +303,9 @@ void Server::stop() {
     if (w->thread.joinable()) w->thread.join();
   }
   if (batch_thread_.joinable()) batch_thread_.join();
+  // After the serving threads: a prefetch racing shutdown is harmless, and
+  // stopping last lets queued requests still benefit from the pipeline.
+  if (prefetcher_ != nullptr) prefetcher_->stop();
 }
 
 void Server::record_locked(ServerResponse&& resp,

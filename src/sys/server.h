@@ -71,6 +71,7 @@
 #include "obs/sampler.h"
 #include "sys/batch.h"
 #include "sys/device_model.h"
+#include "sys/prefetch.h"
 #include "sys/serve_types.h"
 
 namespace pc {
@@ -101,6 +102,14 @@ struct ServerConfig {
   const HardwareProfile* ttft_profile = nullptr;  // null = no drift tracking
   ModelSpec ttft_spec;
   obs::SloConfig slo;
+  // Async disk-tier prefetch (sys/prefetch.h): a background binder thread
+  // maps each submitted prompt to its module keys and faults spilled
+  // payloads back into RAM ahead of admission, overlapping disk reads with
+  // in-flight decode. Only meaningful with a shared store whose disk tier
+  // is enabled; otherwise the pipeline idles (prefetch() of resident keys
+  // is a recency bump). prefetch_depth is the double-buffer window.
+  bool prefetch = false;
+  size_t prefetch_depth = 2;
   // Completion hook, invoked under the server's lock for every recorded
   // response (any status) right before it is buffered — the shard router
   // uses it to observe completions without polling drain(). The callback
@@ -230,6 +239,10 @@ class Server {
 
   int n_workers() const { return config_.n_workers; }
 
+  // The async prefetch pipeline, or null (ServerConfig::prefetch off, or
+  // private stores — there is no disk tier to fault from).
+  const StorePrefetcher* prefetcher() const { return prefetcher_.get(); }
+
  private:
   struct Item {
     uint64_t id = 0;
@@ -271,6 +284,8 @@ class Server {
   ServerConfig config_;
 
   std::vector<std::unique_ptr<Worker>> workers_;
+  // Async prefetch pipeline (ServerConfig::prefetch); shared store only.
+  std::unique_ptr<StorePrefetcher> prefetcher_;
   // Batching mode: the scheduler and its loop thread (workers_ stays
   // empty). Built on batch_thread_; read from stats() only while idle.
   std::unique_ptr<BatchScheduler> scheduler_;
